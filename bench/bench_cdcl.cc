@@ -1,0 +1,143 @@
+// Experiment E2b — solver ablation for the coNP decision procedure: the
+// plain DPLL solver against the CDCL solver (clause learning, watched
+// literals, restarts) on the instance families the implication checker
+// produces — random DNF-tautology reductions and pigeonhole formulas.
+// Both families are small enough here that the two solvers are
+// comparable; pigeonhole in particular is exponential for *any*
+// resolution-based solver, so clause learning cannot win asymptotically
+// there and its bookkeeping shows up as overhead. The value of CDCL is
+// interchangeability (same contract, agreement checked) plus headroom on
+// instances with exploitable structure.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "prop/cdcl.h"
+#include "prop/dpll.h"
+#include "prop/tautology.h"
+
+namespace diffc {
+namespace {
+
+using prop::CdclSolver;
+using prop::Clause;
+using prop::Cnf;
+using prop::DpllSolver;
+
+Cnf NegatedDnf(const prop::DnfFormula& f) {
+  Cnf cnf;
+  cnf.num_vars = f.num_vars;
+  for (const prop::DnfConjunct& c : f.conjuncts) {
+    Clause clause;
+    ForEachBit(c.pos, [&](int b) { clause.push_back(-(b + 1)); });
+    ForEachBit(c.neg, [&](int b) { clause.push_back(b + 1); });
+    cnf.AddClause(std::move(clause));
+  }
+  return cnf;
+}
+
+Cnf Pigeonhole(int holes) {
+  const int pigeons = holes + 1;
+  Cnf cnf;
+  cnf.num_vars = pigeons * holes;
+  auto var = [&](int p, int h) { return p * holes + h + 1; };
+  for (int p = 0; p < pigeons; ++p) {
+    Clause clause;
+    for (int h = 0; h < holes; ++h) clause.push_back(var(p, h));
+    cnf.AddClause(std::move(clause));
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        cnf.AddClause({-var(p1, h), -var(p2, h)});
+      }
+    }
+  }
+  return cnf;
+}
+
+void PrintSolverTable() {
+  std::printf("=== E2b: DPLL vs CDCL on implication-checker instance families ===\n");
+  std::printf("%-22s %12s %12s %10s\n", "instance", "dpll(ms)", "cdcl(ms)", "agree");
+  // Random DNF reductions.
+  for (int vars : {14, 18}) {
+    double dpll_ms = 0, cdcl_ms = 0;
+    bool agree = true;
+    const int kTrials = 10;
+    for (int t = 0; t < kTrials; ++t) {
+      Cnf cnf = NegatedDnf(prop::RandomDnf(vars, vars * 4, 3, vars * 100 + t));
+      auto t0 = std::chrono::steady_clock::now();
+      Result<prop::SatResult> d = DpllSolver().Solve(cnf);
+      auto t1 = std::chrono::steady_clock::now();
+      Result<prop::SatResult> c = CdclSolver().Solve(cnf);
+      auto t2 = std::chrono::steady_clock::now();
+      dpll_ms += std::chrono::duration<double, std::milli>(t1 - t0).count();
+      cdcl_ms += std::chrono::duration<double, std::milli>(t2 - t1).count();
+      if (!d.ok() || !c.ok() || d->satisfiable != c->satisfiable) agree = false;
+    }
+    std::printf("random-dnf n=%-10d %12.3f %12.3f %10s\n", vars, dpll_ms / kTrials,
+                cdcl_ms / kTrials, agree ? "yes" : "NO");
+  }
+  // Pigeonhole.
+  for (int holes : {5, 6, 7}) {
+    Cnf cnf = Pigeonhole(holes);
+    auto t0 = std::chrono::steady_clock::now();
+    Result<prop::SatResult> d = DpllSolver().Solve(cnf);
+    auto t1 = std::chrono::steady_clock::now();
+    Result<prop::SatResult> c = CdclSolver().Solve(cnf);
+    auto t2 = std::chrono::steady_clock::now();
+    bool agree = d.ok() && c.ok() && d->satisfiable == c->satisfiable;
+    std::printf("pigeonhole PHP(%d,%d)%*s %12.3f %12.3f %10s\n", holes + 1, holes,
+                holes >= 10 ? 0 : 2, "",
+                std::chrono::duration<double, std::milli>(t1 - t0).count(),
+                std::chrono::duration<double, std::milli>(t2 - t1).count(),
+                agree ? "yes" : "NO");
+  }
+  std::printf("\n");
+}
+
+void BM_DpllPigeonhole(benchmark::State& state) {
+  Cnf cnf = Pigeonhole(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DpllSolver().Solve(cnf)->satisfiable);
+  }
+}
+BENCHMARK(BM_DpllPigeonhole)->Arg(4)->Arg(5)->Arg(6);
+
+void BM_CdclPigeonhole(benchmark::State& state) {
+  Cnf cnf = Pigeonhole(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CdclSolver().Solve(cnf)->satisfiable);
+  }
+}
+BENCHMARK(BM_CdclPigeonhole)->Arg(4)->Arg(5)->Arg(6)->Arg(7);
+
+void BM_DpllRandomDnf(benchmark::State& state) {
+  Cnf cnf = NegatedDnf(prop::RandomDnf(static_cast<int>(state.range(0)),
+                                       static_cast<int>(state.range(0)) * 4, 3, 9));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DpllSolver().Solve(cnf)->satisfiable);
+  }
+}
+BENCHMARK(BM_DpllRandomDnf)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_CdclRandomDnf(benchmark::State& state) {
+  Cnf cnf = NegatedDnf(prop::RandomDnf(static_cast<int>(state.range(0)),
+                                       static_cast<int>(state.range(0)) * 4, 3, 9));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CdclSolver().Solve(cnf)->satisfiable);
+  }
+}
+BENCHMARK(BM_CdclRandomDnf)->Arg(12)->Arg(16)->Arg(20);
+
+}  // namespace
+}  // namespace diffc
+
+int main(int argc, char** argv) {
+  diffc::PrintSolverTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

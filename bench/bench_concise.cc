@@ -1,0 +1,107 @@
+// Experiment E6 — concise representations (Section 6.1.1), the table of
+// the Bykowski–Rigotti line of work: as the support threshold varies, the
+// number of frequent itemsets vs the size of FDFree ∪ Bd⁻, the number of
+// support counts performed, and the effect of planted disjunctive rules
+// and of the rule arity (Kryszkiewicz–Gajek generalization).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "fis/apriori.h"
+#include "fis/concise.h"
+#include "fis/generator.h"
+
+namespace diffc {
+namespace {
+
+BasketList MakeData(bool with_rules, std::uint64_t seed) {
+  BasketGenConfig config;
+  config.num_items = 14;
+  config.num_baskets = 3000;
+  config.num_patterns = 4;
+  config.pattern_size = 4;
+  config.pattern_prob = 0.35;
+  config.noise_density = 0.12;
+  config.seed = seed;
+  if (!with_rules) return *GenerateBaskets(config);
+  std::vector<PlantedRule> rules{
+      {0, ItemSet{1, 2}}, {3, ItemSet{4}}, {5, ItemSet{6, 7}}};
+  return *GenerateBasketsWithRules(config, rules);
+}
+
+void PrintConciseTable() {
+  std::printf("=== E6: |frequent| vs |FDFree ∪ Bd-| across support thresholds ===\n");
+  for (bool with_rules : {false, true}) {
+    BasketList b = MakeData(with_rules, 2005);
+    std::printf("\n-- data %s planted disjunctive rules --\n",
+                with_rules ? "WITH" : "without");
+    std::printf("%8s %10s %10s %12s %10s %12s %12s\n", "kappa", "frequent", "border",
+                "apriori cnt", "FDFree+Bd-", "concise cnt", "rules");
+    for (std::int64_t kappa : {30, 90, 180, 450}) {
+      AprioriResult apriori = *Apriori(b, kappa);
+      ConciseRepresentation rep =
+          *ConciseRepresentation::Build(b, {.min_support = kappa, .rule_arity = 2});
+      std::printf("%8lld %10zu %10zu %12llu %10zu %12llu %12zu\n",
+                  static_cast<long long>(kappa), apriori.frequent.size(),
+                  apriori.negative_border.size(),
+                  static_cast<unsigned long long>(apriori.candidates_counted), rep.size(),
+                  static_cast<unsigned long long>(rep.candidates_counted()),
+                  rep.rules().size());
+    }
+  }
+
+  std::printf("\n-- rule arity (Kryszkiewicz–Gajek generalization), kappa=90 --\n");
+  std::printf("%8s %12s %10s %12s\n", "arity", "FDFree", "border", "rules");
+  BasketList b = MakeData(true, 2005);
+  for (int arity : {0, 1, 2, 3, 4}) {
+    ConciseRepresentation rep =
+        *ConciseRepresentation::Build(b, {.min_support = 90, .rule_arity = arity});
+    std::printf("%8d %12zu %10zu %12zu\n", arity, rep.fdfree().size(),
+                rep.border().size(), rep.rules().size());
+  }
+  std::printf("\n");
+}
+
+void BM_Apriori(benchmark::State& state) {
+  BasketList b = MakeData(true, 7);
+  const std::int64_t kappa = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Apriori(b, kappa)->frequent.size());
+  }
+}
+BENCHMARK(BM_Apriori)->Arg(30)->Arg(90)->Arg(300);
+
+void BM_ConciseBuild(benchmark::State& state) {
+  BasketList b = MakeData(true, 7);
+  const std::int64_t kappa = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ConciseRepresentation::Build(b, {.min_support = kappa, .rule_arity = 2})->size());
+  }
+}
+BENCHMARK(BM_ConciseBuild)->Arg(30)->Arg(90)->Arg(300);
+
+void BM_DeriveSupport(benchmark::State& state) {
+  BasketList b = MakeData(true, 7);
+  ConciseRepresentation rep =
+      *ConciseRepresentation::Build(b, {.min_support = 30, .rule_arity = 2});
+  Rng rng(1);
+  std::vector<ItemSet> queries;
+  for (int i = 0; i < 64; ++i) queries.push_back(ItemSet(rng.RandomMask(14, 0.3)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rep.Derive(queries[i++ % queries.size()]).frequent);
+  }
+}
+BENCHMARK(BM_DeriveSupport);
+
+}  // namespace
+}  // namespace diffc
+
+int main(int argc, char** argv) {
+  diffc::PrintConciseTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

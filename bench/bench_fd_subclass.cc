@@ -1,0 +1,94 @@
+// Experiment E3 — the polynomial subclass (paper Section 8): for
+// constraints with single-member right-hand sides, implication reduces to
+// functional-dependency closure, decidable in P. The table compares the
+// closure-based decider against the general SAT procedure as the
+// constraint set grows, confirming agreement and the asymptotic gap.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "core/implication.h"
+#include "util/random.h"
+
+namespace diffc {
+namespace {
+
+ConstraintSet RandomFdSet(Rng& rng, int n, int count) {
+  ConstraintSet out;
+  for (int i = 0; i < count; ++i) {
+    Mask lhs = rng.RandomMask(n, 2.0 / n);
+    Mask rhs = Mask{1} << rng.UniformInt(0, n - 1);
+    out.push_back(DifferentialConstraint(ItemSet(lhs), SetFamily({ItemSet(rhs)})));
+  }
+  return out;
+}
+
+void PrintSubclassTable() {
+  std::printf("=== E3: FD subclass (P) vs general coNP decider ===\n");
+  std::printf("%6s %6s %14s %14s %10s\n", "n", "|C|", "closure(us)", "sat(us)", "agree");
+  for (int n : {16, 32, 64}) {
+    for (int count : {8, 64, 512}) {
+      Rng rng(n * 1000 + count);
+      ConstraintSet premises = RandomFdSet(rng, n, count);
+      std::vector<DifferentialConstraint> goals;
+      for (int i = 0; i < 50; ++i) {
+        Mask lhs = rng.RandomMask(n, 2.0 / n);
+        Mask rhs = Mask{1} << rng.UniformInt(0, n - 1);
+        goals.push_back(DifferentialConstraint(ItemSet(lhs), SetFamily({ItemSet(rhs)})));
+      }
+      bool agree = true;
+      auto t0 = std::chrono::steady_clock::now();
+      for (const DifferentialConstraint& g : goals) (void)CheckImplicationFd(n, premises, g);
+      auto t1 = std::chrono::steady_clock::now();
+      for (const DifferentialConstraint& g : goals) (void)CheckImplicationSat(n, premises, g);
+      auto t2 = std::chrono::steady_clock::now();
+      for (const DifferentialConstraint& g : goals) {
+        if (CheckImplicationFd(n, premises, g)->implied !=
+            CheckImplicationSat(n, premises, g)->implied) {
+          agree = false;
+        }
+      }
+      double fd_us = std::chrono::duration<double, std::micro>(t1 - t0).count() / 50;
+      double sat_us = std::chrono::duration<double, std::micro>(t2 - t1).count() / 50;
+      std::printf("%6d %6d %14.2f %14.2f %10s\n", n, count, fd_us, sat_us,
+                  agree ? "yes" : "NO");
+    }
+  }
+  std::printf("\n");
+}
+
+void BM_FdClosureDecide(benchmark::State& state) {
+  const int n = 64;
+  const int count = static_cast<int>(state.range(0));
+  Rng rng(count);
+  ConstraintSet premises = RandomFdSet(rng, n, count);
+  DifferentialConstraint goal = RandomFdSet(rng, n, 1)[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CheckImplicationFd(n, premises, goal)->implied);
+  }
+}
+BENCHMARK(BM_FdClosureDecide)->Arg(8)->Arg(64)->Arg(512)->Arg(2048);
+
+void BM_SatOnFdInstances(benchmark::State& state) {
+  const int n = 64;
+  const int count = static_cast<int>(state.range(0));
+  Rng rng(count);
+  ConstraintSet premises = RandomFdSet(rng, n, count);
+  DifferentialConstraint goal = RandomFdSet(rng, n, 1)[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CheckImplicationSat(n, premises, goal)->implied);
+  }
+}
+BENCHMARK(BM_SatOnFdInstances)->Arg(8)->Arg(64)->Arg(512);
+
+}  // namespace
+}  // namespace diffc
+
+int main(int argc, char** argv) {
+  diffc::PrintSubclassTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

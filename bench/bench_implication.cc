@@ -1,0 +1,137 @@
+// Experiment E1 — implication-checker scaling (Theorem 3.5 vs
+// Proposition 5.4): the exhaustive lattice-containment checker is
+// exponential in the number of free attributes, while the SAT-based
+// procedure scales with formula size on typical instances. The table shows
+// the crossover; the benchmarks measure both deciders across universe size
+// and constraint-set size.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+
+#include "core/implication.h"
+#include "util/random.h"
+
+namespace diffc {
+namespace {
+
+DifferentialConstraint RandomConstraint(Rng& rng, int n, int members) {
+  ItemSet lhs(rng.RandomMask(n, 2.0 / n));
+  std::vector<ItemSet> family;
+  for (int i = 0; i < members; ++i) {
+    Mask m = rng.RandomMask(n, 2.0 / n);
+    if (m == 0) m = Mask{1} << rng.UniformInt(0, n - 1);
+    family.push_back(ItemSet(m));
+  }
+  return DifferentialConstraint(lhs, SetFamily(std::move(family)));
+}
+
+ConstraintSet RandomSet(Rng& rng, int n, int count) {
+  ConstraintSet out;
+  for (int i = 0; i < count; ++i) out.push_back(RandomConstraint(rng, n, 2));
+  return out;
+}
+
+double MeasureMs(const std::function<void()>& fn, int reps) {
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < reps; ++i) fn();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count() / reps;
+}
+
+void PrintScalingTable() {
+  std::printf("=== E1: implication deciders vs universe size (|C|=6, 20 queries) ===\n");
+  std::printf("%6s %16s %16s %10s\n", "n", "exhaustive(ms)", "sat(ms)", "agree");
+  for (int n : {8, 12, 16, 20, 24}) {
+    Rng rng(n * 131);
+    ConstraintSet premises = RandomSet(rng, n, 6);
+    std::vector<DifferentialConstraint> goals;
+    for (int i = 0; i < 20; ++i) goals.push_back(RandomConstraint(rng, n, 2));
+
+    bool all_agree = true;
+    double ex_ms = MeasureMs(
+        [&] {
+          for (const DifferentialConstraint& g : goals) {
+            (void)CheckImplicationExhaustive(n, premises, g);
+          }
+        },
+        1);
+    double sat_ms = MeasureMs(
+        [&] {
+          for (const DifferentialConstraint& g : goals) {
+            (void)CheckImplicationSat(n, premises, g);
+          }
+        },
+        1);
+    for (const DifferentialConstraint& g : goals) {
+      Result<ImplicationOutcome> a = CheckImplicationExhaustive(n, premises, g);
+      Result<ImplicationOutcome> b = CheckImplicationSat(n, premises, g);
+      if (!a.ok() || !b.ok() || a->implied != b->implied) all_agree = false;
+    }
+    std::printf("%6d %16.3f %16.3f %10s\n", n, ex_ms, sat_ms, all_agree ? "yes" : "NO");
+  }
+  std::printf("\n=== E1b: SAT decider vs |C| (n=32) ===\n");
+  std::printf("%6s %16s\n", "|C|", "sat(ms)");
+  for (int count : {2, 8, 32, 128}) {
+    Rng rng(count * 17 + 3);
+    const int n = 32;
+    ConstraintSet premises = RandomSet(rng, n, count);
+    std::vector<DifferentialConstraint> goals;
+    for (int i = 0; i < 20; ++i) goals.push_back(RandomConstraint(rng, n, 2));
+    double sat_ms = MeasureMs(
+        [&] {
+          for (const DifferentialConstraint& g : goals) {
+            (void)CheckImplicationSat(n, premises, g);
+          }
+        },
+        1);
+    std::printf("%6d %16.3f\n", count, sat_ms);
+  }
+  std::printf("\n");
+}
+
+void BM_Exhaustive(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(n);
+  ConstraintSet premises = RandomSet(rng, n, 6);
+  DifferentialConstraint goal = RandomConstraint(rng, n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CheckImplicationExhaustive(n, premises, goal)->implied);
+  }
+}
+BENCHMARK(BM_Exhaustive)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_Sat(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(n);
+  ConstraintSet premises = RandomSet(rng, n, 6);
+  DifferentialConstraint goal = RandomConstraint(rng, n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CheckImplicationSat(n, premises, goal)->implied);
+  }
+}
+BENCHMARK(BM_Sat)->Arg(8)->Arg(16)->Arg(32)->Arg(48)->Arg(64);
+
+void BM_SatVsConstraintCount(benchmark::State& state) {
+  const int count = static_cast<int>(state.range(0));
+  const int n = 32;
+  Rng rng(count);
+  ConstraintSet premises = RandomSet(rng, n, count);
+  DifferentialConstraint goal = RandomConstraint(rng, n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CheckImplicationSat(n, premises, goal)->implied);
+  }
+}
+BENCHMARK(BM_SatVsConstraintCount)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace diffc
+
+int main(int argc, char** argv) {
+  diffc::PrintScalingTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Experiment E4 — Möbius/zeta transforms (Remark 2.3): the fast
+// O(n·2^n) superset transforms against the naive O(4^n) definition, plus
+// the round-trip identity cost. These transforms underpin every density
+// computation in the library (satisfaction, support functions, Simpson
+// functions).
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "lattice/mobius.h"
+#include "util/random.h"
+#include "util/rational.h"
+
+namespace diffc {
+namespace {
+
+SetFunction<std::int64_t> RandomFunction(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  SetFunction<std::int64_t> f = *SetFunction<std::int64_t>::Make(n);
+  for (Mask m = 0; m < f.size(); ++m) f.at(m) = rng.UniformInt(-100, 100);
+  return f;
+}
+
+void PrintTransformTable() {
+  std::printf("=== E4: density computation, naive O(4^n) vs fast O(n*2^n) ===\n");
+  std::printf("%6s %14s %14s %10s\n", "n", "naive(ms)", "fast(ms)", "equal");
+  for (int n : {8, 10, 12, 14}) {
+    SetFunction<std::int64_t> f = RandomFunction(n, n);
+    auto t0 = std::chrono::steady_clock::now();
+    SetFunction<std::int64_t> naive = NaiveDensity(f);
+    auto t1 = std::chrono::steady_clock::now();
+    SetFunction<std::int64_t> fast = Density(f);
+    auto t2 = std::chrono::steady_clock::now();
+    std::printf("%6d %14.3f %14.3f %10s\n", n,
+                std::chrono::duration<double, std::milli>(t1 - t0).count(),
+                std::chrono::duration<double, std::milli>(t2 - t1).count(),
+                naive == fast ? "yes" : "NO");
+  }
+  std::printf("(fast transform continues to n=%d and beyond; naive is already "
+              "infeasible)\n\n",
+              kMaxSetFunctionBits);
+}
+
+void BM_FastDensity(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  SetFunction<std::int64_t> f = RandomFunction(n, 7);
+  for (auto _ : state) {
+    SetFunction<std::int64_t> d = f;
+    MobiusSupersetInPlace(d);
+    benchmark::DoNotOptimize(d.at(Mask{0}));
+  }
+  state.SetComplexityN(std::int64_t{1} << n);
+}
+BENCHMARK(BM_FastDensity)->Arg(10)->Arg(14)->Arg(18)->Arg(20);
+
+void BM_NaiveDensity(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  SetFunction<std::int64_t> f = RandomFunction(n, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NaiveDensity(f).at(Mask{0}));
+  }
+}
+BENCHMARK(BM_NaiveDensity)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_RoundTrip(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  SetFunction<std::int64_t> f = RandomFunction(n, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FromDensity(Density(f)) == f);
+  }
+}
+BENCHMARK(BM_RoundTrip)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_RationalDensity(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(5);
+  SetFunction<Rational> f = *SetFunction<Rational>::Make(n);
+  for (Mask m = 0; m < f.size(); ++m) {
+    f.at(m) = Rational(rng.UniformInt(-9, 9), rng.UniformInt(1, 9));
+  }
+  for (auto _ : state) {
+    SetFunction<Rational> d = f;
+    MobiusSupersetInPlace(d);
+    benchmark::DoNotOptimize(d.at(Mask{0}));
+  }
+}
+BENCHMARK(BM_RationalDensity)->Arg(8)->Arg(12);
+
+}  // namespace
+}  // namespace diffc
+
+int main(int argc, char** argv) {
+  diffc::PrintTransformTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Dempster–Shafer evidence fusion with differential constraints — the
+// third application domain named in the paper's conclusion. Two sensors
+// report evidence about a fault location; Dempster's rule combines them,
+// and differential constraints on the commonality function express
+// domain knowledge of the form "any hypothesis set compatible with X also
+// allows Y or Z" over focal elements.
+
+#include <cstdio>
+
+#include "diffc.h"
+
+using namespace diffc;
+
+namespace {
+
+void Describe(const char* name, const MassFunction& m, const Universe& u) {
+  std::printf("%s focal elements:\n", name);
+  for (const ItemSet& focal : m.FocalElements()) {
+    std::printf("  m(%s) = %s\n", focal.ToString(u).c_str(),
+                m.mass(focal.bits()).ToString().c_str());
+  }
+  SetFunction<Rational> bel = m.Belief();
+  SetFunction<Rational> pl = m.Plausibility();
+  std::printf("  Bel({A}) = %s, Pl({A}) = %s;  bayesian: %s, consonant: %s\n\n",
+              bel.at(ItemSet{0}).ToString().c_str(), pl.at(ItemSet{0}).ToString().c_str(),
+              m.IsBayesian() ? "yes" : "no", m.IsConsonant() ? "yes" : "no");
+}
+
+}  // namespace
+
+int main() {
+  // Frame of discernment: fault in {A: pump, B: valve, C: controller}.
+  Universe u = Universe::Letters(3);
+
+  // Sensor 1: strong evidence for the pump, some for pump-or-valve.
+  SetFunction<Rational> v1 = *SetFunction<Rational>::Make(3);
+  v1.at(Mask{0b001}) = Rational(3, 5);  // {A}
+  v1.at(Mask{0b011}) = Rational(1, 5);  // {A,B}
+  v1.at(Mask{0b111}) = Rational(1, 5);  // ignorance
+  MassFunction sensor1 = *MassFunction::Make(v1);
+
+  // Sensor 2: points at valve-or-controller.
+  SetFunction<Rational> v2 = *SetFunction<Rational>::Make(3);
+  v2.at(Mask{0b110}) = Rational(1, 2);  // {B,C}
+  v2.at(Mask{0b010}) = Rational(1, 4);  // {B}
+  v2.at(Mask{0b111}) = Rational(1, 4);  // ignorance
+  MassFunction sensor2 = *MassFunction::Make(v2);
+
+  Describe("sensor 1", sensor1, u);
+  Describe("sensor 2", sensor2, u);
+
+  Rational conflict = *DempsterConflict(sensor1, sensor2);
+  std::printf("conflict K = %s\n\n", conflict.ToString().c_str());
+
+  MassFunction fused = *DempsterCombine(sensor1, sensor2);
+  Describe("fused (Dempster's rule)", fused, u);
+
+  // Differential constraints over the commonality function: the paper's
+  // semantics says Q satisfies X -> Y iff every focal element containing
+  // X contains some member of Y.
+  std::printf("differential constraints on the fused commonality function:\n");
+  for (const char* text : {"0 -> {A, B}", "C -> {B}", "A -> {B}", "0 -> {A, B, C}"}) {
+    DifferentialConstraint c = *ParseConstraint(u, text);
+    bool direct = fused.SatisfiesConstraint(c);
+    bool via_density =
+        SatisfiesWithDensity(Density(fused.Commonality()), c);
+    std::printf("  %-16s %s  (density check agrees: %s)\n", text,
+                direct ? "holds" : "fails", direct == via_density ? "yes" : "NO");
+  }
+
+  // The commonality function is a frequency function, so the paper's
+  // implication machinery applies verbatim.
+  std::printf("\nfused commonality is a frequency function: %s\n",
+              IsFrequencyFunction(fused.Commonality()) ? "yes" : "no");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Market-basket analysis with differential constraints (paper Section 6):
+// mine frequent itemsets with Apriori, discover disjunctive rules, and
+// build the Bykowski–Rigotti concise representation FDFree ∪ Bd⁻, showing
+// how many support counts the rules save and that every support is still
+// derivable.
+//
+// Usage: market_basket [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "diffc.h"
+
+using namespace diffc;
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+
+  // A synthetic store: 12 products, 2000 baskets, three co-purchase
+  // patterns, plus two planted disjunctive rules — "coffee buyers take milk
+  // or cream" and "pasta buyers take sauce".
+  BasketGenConfig config;
+  config.num_items = 12;
+  config.num_baskets = 2000;
+  config.num_patterns = 3;
+  config.pattern_size = 4;
+  config.pattern_prob = 0.35;
+  config.noise_density = 0.12;
+  config.seed = seed;
+  std::vector<PlantedRule> rules{
+      {/*coffee=*/0, /*milk,cream=*/ItemSet{1, 2}},
+      {/*pasta=*/3, /*sauce=*/ItemSet{4}},
+  };
+  BasketList baskets = *GenerateBasketsWithRules(config, rules);
+  std::printf("generated %d baskets over %d items (seed %llu)\n\n", baskets.size(),
+              baskets.num_items(), static_cast<unsigned long long>(seed));
+
+  const std::int64_t kappa = baskets.size() / 20;  // 5%% support threshold.
+  std::printf("support threshold kappa = %lld\n\n", static_cast<long long>(kappa));
+
+  // 1. Classic Apriori with negative border.
+  AprioriResult apriori = *Apriori(baskets, kappa);
+  std::printf("[apriori]  frequent itemsets: %zu   negative border: %zu   "
+              "supports counted: %llu\n",
+              apriori.frequent.size(), apriori.negative_border.size(),
+              static_cast<unsigned long long>(apriori.candidates_counted));
+
+  // 2. The concise representation: frequent disjunctive-free sets + border.
+  ConciseRepresentation rep =
+      *ConciseRepresentation::Build(baskets, {.min_support = kappa, .rule_arity = 2});
+  std::printf("[concise]  FDFree: %zu   border Bd-: %zu   rules found: %zu   "
+              "supports counted: %llu\n\n",
+              rep.fdfree().size(), rep.border().size(), rep.rules().size(),
+              static_cast<unsigned long long>(rep.candidates_counted()));
+
+  // 3. Show a few discovered rules, as differential constraints.
+  Universe u = Universe::Letters(baskets.num_items());
+  std::printf("sample discovered disjunctive rules (as differential constraints):\n");
+  std::size_t shown = 0;
+  for (const SingletonDisjunctiveRule& rule : rep.rules()) {
+    if (shown++ >= 5) break;
+    DifferentialConstraint c(ItemSet(rule.lhs),
+                             SetFamily::Singletons(ItemSet(rule.rhs_items)));
+    std::printf("  %-24s holds: %s\n", c.ToString(u).c_str(),
+                SatisfiesDisjunctive(baskets, c) ? "yes" : "no");
+  }
+
+  // 4. Reconstruct supports of all frequent itemsets from the
+  // representation alone and verify them against the data.
+  std::size_t checked = 0, exact = 0;
+  for (const CountedItemset& s : apriori.frequent) {
+    DerivedSupport d = rep.Derive(ItemSet(s.items));
+    ++checked;
+    if (d.support.has_value() && *d.support == s.support && d.frequent) ++exact;
+  }
+  std::printf("\nreconstruction: %zu/%zu frequent supports derived exactly from "
+              "FDFree + Bd- + rules (no basket access)\n",
+              exact, checked);
+
+  double savings = apriori.frequent.size() + apriori.negative_border.size() == 0
+                       ? 0.0
+                       : 100.0 * (1.0 - static_cast<double>(rep.size()) /
+                                            (apriori.frequent.size() +
+                                             apriori.negative_border.size()));
+  std::printf("representation size: %zu vs %zu (%.1f%% smaller)\n", rep.size(),
+              apriori.frequent.size() + apriori.negative_border.size(), savings);
+  return 0;
+}

@@ -1,0 +1,43 @@
+#ifndef DIFFC_CORE_ARMSTRONG_H_
+#define DIFFC_CORE_ARMSTRONG_H_
+
+#include <cstdint>
+
+#include "core/constraint.h"
+#include "fis/basket.h"
+#include "lattice/mobius.h"
+#include "util/status.h"
+
+namespace diffc {
+
+/// Armstrong models for differential constraints.
+///
+/// An *Armstrong function* for a constraint set `C` satisfies exactly the
+/// constraints implied by `C`: it satisfies every member of `C*` and
+/// violates everything else. By Theorem 3.5 such a function exists for
+/// every `C` — put density 1 on every `U ∉ L(C)` and 0 on `L(C)`; a goal
+/// is violated iff its lattice decomposition leaks outside `L(C)`, i.e.
+/// iff it is not implied.
+///
+/// This mirrors Armstrong relations from functional-dependency theory and
+/// gives a single reusable "worst-case witness" for a whole constraint
+/// set: one model refutes every non-implied constraint at once.
+
+/// The Armstrong function of `C` over `n` attributes: density 1 exactly
+/// outside `L(C)`. Requires `n <= kMaxSetFunctionBits`.
+Result<SetFunction<std::int64_t>> ArmstrongFunction(int n, const ConstraintSet& c);
+
+/// The Armstrong basket list of `C`: one basket per `U ∉ L(C)`. Its
+/// support function is exactly `ArmstrongFunction(n, c)`, so the Armstrong
+/// model also lives inside `support(S)` — the witness class of
+/// Proposition 6.4. Exponential in `n` (there are up to 2^n baskets);
+/// guarded by `max_bits`.
+Result<BasketList> ArmstrongBaskets(int n, const ConstraintSet& c, int max_bits = 20);
+
+/// True iff `f` is an Armstrong function for `C` over `n` attributes:
+/// `d_f` vanishes on `L(C)` and nowhere else.
+bool IsArmstrongFunction(const SetFunction<std::int64_t>& f, const ConstraintSet& c);
+
+}  // namespace diffc
+
+#endif  // DIFFC_CORE_ARMSTRONG_H_

@@ -1,0 +1,28 @@
+#include "core/atoms.h"
+
+#include "lattice/decomposition.h"
+#include "lattice/hitting_set.h"
+
+namespace diffc {
+
+Result<std::vector<DifferentialConstraint>> Decomp(const DifferentialConstraint& c) {
+  Result<std::vector<ItemSet>> witnesses = AllWitnessSets(c.rhs());
+  if (!witnesses.ok()) return witnesses.status();
+  std::vector<DifferentialConstraint> out;
+  out.reserve(witnesses->size());
+  for (const ItemSet& w : *witnesses) {
+    out.push_back(DifferentialConstraint(c.lhs(), SetFamily::Singletons(w)));
+  }
+  return out;
+}
+
+Result<std::vector<DifferentialConstraint>> Atoms(int n, const DifferentialConstraint& c) {
+  Result<std::vector<ItemSet>> elements = EnumerateDecomposition(n, c.lhs(), c.rhs());
+  if (!elements.ok()) return elements.status();
+  std::vector<DifferentialConstraint> out;
+  out.reserve(elements->size());
+  for (const ItemSet& u : *elements) out.push_back(AtomConstraint(n, u));
+  return out;
+}
+
+}  // namespace diffc

@@ -1,0 +1,25 @@
+#ifndef DIFFC_CORE_ATOMS_H_
+#define DIFFC_CORE_ATOMS_H_
+
+#include <vector>
+
+#include "core/constraint.h"
+#include "util/status.h"
+
+namespace diffc {
+
+/// The decomposition of Definition 4.4:
+/// `decomp(X -> Y) = { X -> {{w} | w ∈ W} | W ∈ W(Y) }` — one constraint
+/// per witness set, with singleton right-hand members. Enumerates witness
+/// sets, so inherits their ResourceExhausted guard.
+Result<std::vector<DifferentialConstraint>> Decomp(const DifferentialConstraint& c);
+
+/// The atomic decomposition of Definition 4.4:
+/// `atoms(X -> Y) = { atom(U) | U ∈ L(X, Y) }`. Enumerates the lattice
+/// decomposition, so requires `n - |X|` free attributes within the
+/// enumeration guard.
+Result<std::vector<DifferentialConstraint>> Atoms(int n, const DifferentialConstraint& c);
+
+}  // namespace diffc
+
+#endif  // DIFFC_CORE_ATOMS_H_

@@ -1,0 +1,18 @@
+#include "core/constraint.h"
+
+namespace diffc {
+
+DifferentialConstraint AtomConstraint(int n, const ItemSet& u) {
+  return DifferentialConstraint(u, SetFamily::Singletons(u.ComplementIn(n)));
+}
+
+std::string ConstraintSetToString(const ConstraintSet& c, const Universe& u) {
+  std::string out;
+  for (size_t i = 0; i < c.size(); ++i) {
+    if (i > 0) out += "; ";
+    out += c[i].ToString(u);
+  }
+  return out;
+}
+
+}  // namespace diffc

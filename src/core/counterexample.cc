@@ -1,0 +1,23 @@
+#include "core/counterexample.h"
+
+#include "lattice/decomposition.h"
+
+namespace diffc {
+
+Result<SetFunction<std::int64_t>> CounterexampleFunction(int n, const ItemSet& u) {
+  Result<SetFunction<std::int64_t>> f = SetFunction<std::int64_t>::Make(n);
+  if (!f.ok()) return f.status();
+  ForEachSubset(u.bits(), [&](Mask w) { f->at(w) = 1; });
+  return f;
+}
+
+bool IsValidCounterexample(int n, const ConstraintSet& premises,
+                           const DifferentialConstraint& goal, const ItemSet& u) {
+  if (!InDecomposition(n, goal.lhs(), goal.rhs(), u)) return false;
+  for (const DifferentialConstraint& p : premises) {
+    if (InDecomposition(n, p.lhs(), p.rhs(), u)) return false;
+  }
+  return true;
+}
+
+}  // namespace diffc

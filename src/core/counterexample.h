@@ -1,0 +1,29 @@
+#ifndef DIFFC_CORE_COUNTEREXAMPLE_H_
+#define DIFFC_CORE_COUNTEREXAMPLE_H_
+
+#include <cstdint>
+
+#include "core/constraint.h"
+#include "lattice/mobius.h"
+#include "util/status.h"
+
+namespace diffc {
+
+/// The witness function `f_U` from the proof of Theorem 3.5 (with `c = 1`):
+/// `f_U(W) = 1` if `W ⊆ U`, else 0. Its density is the indicator of `U`,
+/// so `f_U` satisfies every constraint whose lattice decomposition avoids
+/// `U` and violates every constraint whose decomposition contains `U`.
+///
+/// `f_U` is also the support function of the one-basket list `(U)` — the
+/// witness in Proposition 6.4 showing that implication over all of `F(S)`,
+/// over frequency functions, and over support functions coincide.
+Result<SetFunction<std::int64_t>> CounterexampleFunction(int n, const ItemSet& u);
+
+/// True iff `u` certifies non-implication: `u ∈ L(goal) ∖ L(premises)`.
+/// O(|C| · |Y|) membership tests; no enumeration.
+bool IsValidCounterexample(int n, const ConstraintSet& premises,
+                           const DifferentialConstraint& goal, const ItemSet& u);
+
+}  // namespace diffc
+
+#endif  // DIFFC_CORE_COUNTEREXAMPLE_H_

@@ -1,0 +1,49 @@
+#include "core/differential_semantics.h"
+
+#include "math/gauss.h"
+
+namespace diffc {
+
+Result<std::vector<Rational>> DifferentialFunctional(int n, const DifferentialConstraint& c,
+                                                     int max_bits) {
+  if (n > max_bits) {
+    return Status::ResourceExhausted("differential functional over " + std::to_string(n) +
+                                     " attributes");
+  }
+  std::vector<Rational> coeffs(std::size_t{1} << n, Rational(0));
+  const int k = c.rhs().size();
+  for (Mask z = 0; z < (Mask{1} << k); ++z) {
+    Mask arg = c.lhs().bits();
+    ForEachBit(z, [&](int j) { arg |= c.rhs().member(j).bits(); });
+    coeffs[arg] += Popcount(z) % 2 == 0 ? Rational(1) : Rational(-1);
+  }
+  return coeffs;
+}
+
+Result<DifferentialImplicationOutcome> CheckImplicationDifferentialSemantics(
+    int n, const ConstraintSet& premises, const DifferentialConstraint& goal,
+    int max_bits) {
+  Result<std::vector<Rational>> goal_functional = DifferentialFunctional(n, goal, max_bits);
+  if (!goal_functional.ok()) return goal_functional.status();
+  RationalMatrix premise_rows;
+  premise_rows.reserve(premises.size());
+  for (const DifferentialConstraint& p : premises) {
+    Result<std::vector<Rational>> row = DifferentialFunctional(n, p, max_bits);
+    if (!row.ok()) return row.status();
+    premise_rows.push_back(*std::move(row));
+  }
+
+  DifferentialImplicationOutcome out;
+  std::optional<std::vector<Rational>> witness =
+      NullSpaceWitness(premise_rows, *goal_functional);
+  out.implied = !witness.has_value();
+  if (witness.has_value()) {
+    Result<SetFunction<Rational>> f = SetFunction<Rational>::Make(n);
+    if (!f.ok()) return f.status();
+    for (Mask m = 0; m < f->size(); ++m) f->at(m) = (*witness)[m];
+    out.counterexample = *std::move(f);
+  }
+  return out;
+}
+
+}  // namespace diffc

@@ -1,0 +1,54 @@
+#ifndef DIFFC_CORE_DIFFERENTIAL_SEMANTICS_H_
+#define DIFFC_CORE_DIFFERENTIAL_SEMANTICS_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/constraint.h"
+#include "lattice/mobius.h"
+#include "util/rational.h"
+#include "util/status.h"
+
+namespace diffc {
+
+/// The *differential-based* semantics of Remark 3.6 (the semantics of the
+/// authors' earlier work [24, 25, 26]): `f` satisfies `X -> Y` when
+/// `D^Y_f(X) = 0` — a single linear equation on `f`, weaker than the
+/// density-based semantics in general, equivalent for frequency
+/// functions.
+///
+/// Because each constraint's satisfaction set is a *hyperplane* of
+/// `F(S) = R^(2^n)`, the implication problem over all of `F(S)` under
+/// this semantics is exact linear algebra: `C` implies `X -> Y` iff the
+/// goal's functional lies in the span of the premises' functionals —
+/// decidable in time polynomial in `2^n · |C|` (contrast with the
+/// coNP-complete density semantics). The paper notes the relationship
+/// between the two semantics "is not yet well-understood"; experiment E11
+/// probes it empirically with this checker.
+
+/// The coefficient vector of the functional `f ↦ D^Y_f(X)` over the
+/// standard basis of `F(S)`: entry `U` is the coefficient of `f(U)`,
+/// namely `Σ_{Z ⊆ Y, X ∪ ∪Z = U} (-1)^{|Z|}`. Requires
+/// `n <= max_bits` (vectors have 2^n entries).
+Result<std::vector<Rational>> DifferentialFunctional(int n, const DifferentialConstraint& c,
+                                                     int max_bits = 12);
+
+/// Outcome of a differential-semantics implication query.
+struct DifferentialImplicationOutcome {
+  bool implied = false;
+  /// When not implied: a function (as dense rational values) satisfying
+  /// every premise under the differential semantics with
+  /// `D^Y_goal(X_goal) = 1`.
+  std::optional<SetFunction<Rational>> counterexample;
+};
+
+/// Decides `premises |= goal` over `F(S)` under the differential-based
+/// semantics: row-space membership of the goal functional, with a
+/// nullspace witness as counterexample otherwise.
+Result<DifferentialImplicationOutcome> CheckImplicationDifferentialSemantics(
+    int n, const ConstraintSet& premises, const DifferentialConstraint& goal,
+    int max_bits = 12);
+
+}  // namespace diffc
+
+#endif  // DIFFC_CORE_DIFFERENTIAL_SEMANTICS_H_

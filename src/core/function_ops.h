@@ -1,0 +1,102 @@
+#ifndef DIFFC_CORE_FUNCTION_OPS_H_
+#define DIFFC_CORE_FUNCTION_OPS_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "core/constraint.h"
+#include "lattice/decomposition.h"
+#include "lattice/mobius.h"
+#include "util/rational.h"
+
+namespace diffc {
+
+/// Exact-or-tolerant zero tests used by satisfaction checks: exact for the
+/// integer and rational scalar types, |v| < eps for double.
+inline bool IsZeroValue(double v, double eps = 1e-9) { return std::fabs(v) < eps; }
+inline bool IsZeroValue(std::int64_t v, double /*eps*/ = 0) { return v == 0; }
+inline bool IsZeroValue(const Rational& v, double /*eps*/ = 0) { return v.IsZero(); }
+
+inline bool IsNegativeValue(double v, double eps = 1e-9) { return v < -eps; }
+inline bool IsNegativeValue(std::int64_t v, double /*eps*/ = 0) { return v < 0; }
+inline bool IsNegativeValue(const Rational& v, double /*eps*/ = 0) { return v.IsNegative(); }
+
+/// The Y-differential of `f` at `X` (Definition 2.1):
+///
+///   D^Y_f(X) = Σ_{Z ⊆ Y} (-1)^{|Z|} f(X ∪ ∪Z),
+///
+/// computed directly from the definition in O(2^|Y|) evaluations. By
+/// Proposition 2.9 this equals Σ_{U ∈ L(X, Y)} d_f(U) — an identity the
+/// test suite checks on random functions.
+template <typename T>
+T DifferentialAt(const SetFunction<T>& f, const ItemSet& x, const SetFamily& family) {
+  const int k = family.size();
+  T acc{};
+  for (Mask z = 0; z < (Mask{1} << k); ++z) {
+    Mask arg = x.bits();
+    ForEachBit(z, [&](int j) { arg |= family.member(j).bits(); });
+    if (Popcount(z) % 2 == 0) {
+      acc += f.at(arg);
+    } else {
+      acc -= f.at(arg);
+    }
+  }
+  return acc;
+}
+
+/// The density of `f` at `X` via the differential over the complement
+/// singletons (Definition 2.1): `d_f(X) = D^{{{y}|y∉X}}_f(X)`. Reference
+/// implementation; use `Density` (fast Möbius transform) for whole-function
+/// densities.
+template <typename T>
+T DensityAtViaDifferential(const SetFunction<T>& f, const ItemSet& x) {
+  return DifferentialAt(f, x, SetFamily::Singletons(x.ComplementIn(f.n())));
+}
+
+/// Density-based satisfaction (Definition 3.1): `f` satisfies `c` iff
+/// `d_f(U) = 0` for all `U ∈ L(X, Y)`. Takes the *density* of `f`; use
+/// `Satisfies` when only `f` is at hand.
+template <typename T>
+bool SatisfiesWithDensity(const SetFunction<T>& density, const DifferentialConstraint& c,
+                          double eps = 1e-9) {
+  bool ok = true;
+  ForEachSuperset(c.lhs().bits(), FullMask(density.n()), [&](Mask u) {
+    if (!ok) return;
+    if (!c.rhs().SomeMemberSubsetOf(ItemSet(u)) && !IsZeroValue(density.at(u), eps)) {
+      ok = false;
+    }
+  });
+  return ok;
+}
+
+/// Density-based satisfaction computed from `f` directly (computes the
+/// density in O(n·2^n) first).
+template <typename T>
+bool Satisfies(const SetFunction<T>& f, const DifferentialConstraint& c, double eps = 1e-9) {
+  return SatisfiesWithDensity(Density(f), c, eps);
+}
+
+/// Differential-based satisfaction (Remark 3.6): `D^Y_f(X) = 0`. Strictly
+/// weaker than the density-based semantics in general; equivalent for
+/// functions with nonnegative (or nonpositive) densities.
+template <typename T>
+bool SatisfiesDifferentialSemantics(const SetFunction<T>& f, const DifferentialConstraint& c,
+                                    double eps = 1e-9) {
+  return IsZeroValue(DifferentialAt(f, c.lhs(), c.rhs()), eps);
+}
+
+/// True iff `f` is a frequency function (Section 6): every differential
+/// `D^Y_f` is nonnegative — equivalently (by Proposition 2.9, both
+/// directions checked in tests) `d_f ≥ 0` everywhere.
+template <typename T>
+bool IsFrequencyFunction(const SetFunction<T>& f, double eps = 1e-9) {
+  SetFunction<T> d = Density(f);
+  for (Mask m = 0; m < (Mask{1} << f.n()); ++m) {
+    if (IsNegativeValue(d.at(m), eps)) return false;
+  }
+  return true;
+}
+
+}  // namespace diffc
+
+#endif  // DIFFC_CORE_FUNCTION_OPS_H_

@@ -1,0 +1,149 @@
+#include "core/implication.h"
+
+#include "lattice/decomposition.h"
+#include "prop/cnf.h"
+
+namespace diffc {
+
+namespace {
+
+// True iff `u` lies in the closure lattice L(C) = ∪ L(X_i, Y_i).
+bool InPremiseLattice(const ConstraintSet& premises, const ItemSet& u) {
+  for (const DifferentialConstraint& p : premises) {
+    if (p.lhs().IsSubsetOf(u) && !p.rhs().SomeMemberSubsetOf(u)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<ImplicationOutcome> CheckImplicationExhaustive(int n, const ConstraintSet& premises,
+                                                      const DifferentialConstraint& goal,
+                                                      int max_free_bits) {
+  const int free_bits = n - goal.lhs().size();
+  if (free_bits > max_free_bits) {
+    return Status::ResourceExhausted("exhaustive implication over " +
+                                     std::to_string(free_bits) + " free attributes");
+  }
+  ImplicationOutcome out;
+  out.implied = true;
+  ForEachSuperset(goal.lhs().bits(), FullMask(n), [&](Mask m) {
+    if (!out.implied) return;
+    ItemSet u(m);
+    if (!goal.rhs().SomeMemberSubsetOf(u) && !InPremiseLattice(premises, u)) {
+      out.implied = false;
+      out.counterexample = u;
+    }
+  });
+  return out;
+}
+
+Result<ImplicationOutcome> CheckImplicationSat(int n, const ConstraintSet& premises,
+                                               const DifferentialConstraint& goal,
+                                               prop::SolverStats* stats) {
+  prop::Cnf cnf;
+  cnf.num_vars = n;
+
+  // U must contain the goal's left-hand side...
+  ForEachBit(goal.lhs().bits(), [&](int a) { cnf.AddClause({a + 1}); });
+  // ...and no goal member (so U ∈ L(X, Y)). An empty member yields the
+  // empty clause: the goal is trivial and the CNF unsatisfiable, as wanted.
+  for (const ItemSet& member : goal.rhs().members()) {
+    prop::Clause clause;
+    ForEachBit(member.bits(), [&](int y) { clause.push_back(-(y + 1)); });
+    cnf.AddClause(std::move(clause));
+  }
+  // Each premise must not witness U: X' ⊄ U, or some member of Y' ⊆ U.
+  // aux_j asserts "member j is contained in U" (one-sided definition
+  // suffices: aux_j occurs positively only in the premise clause).
+  for (const DifferentialConstraint& p : premises) {
+    prop::Clause clause;
+    ForEachBit(p.lhs().bits(), [&](int a) { clause.push_back(-(a + 1)); });
+    for (const ItemSet& member : p.rhs().members()) {
+      int aux = cnf.NewVar();
+      ForEachBit(member.bits(), [&](int y) { cnf.AddClause({-(aux + 1), y + 1}); });
+      clause.push_back(aux + 1);
+    }
+    cnf.AddClause(std::move(clause));
+  }
+
+  prop::DpllSolver solver;
+  Result<prop::SatResult> sat = solver.Solve(cnf);
+  if (stats != nullptr) *stats = solver.stats();
+  if (!sat.ok()) return sat.status();
+
+  ImplicationOutcome out;
+  out.implied = !sat->satisfiable;
+  if (sat->satisfiable) {
+    Mask u = 0;
+    for (int i = 0; i < n; ++i) {
+      if (sat->model[i]) u |= Mask{1} << i;
+    }
+    out.counterexample = ItemSet(u);
+  }
+  return out;
+}
+
+bool FdSubclassApplicable(const ConstraintSet& premises, const DifferentialConstraint& goal) {
+  if (goal.rhs().size() != 1) return false;
+  for (const DifferentialConstraint& p : premises) {
+    if (p.rhs().size() != 1) return false;
+  }
+  return true;
+}
+
+Result<ImplicationOutcome> CheckImplicationFd(int n, const ConstraintSet& premises,
+                                              const DifferentialConstraint& goal) {
+  (void)n;
+  if (!FdSubclassApplicable(premises, goal)) {
+    return Status::FailedPrecondition(
+        "FD subclass requires single-member right-hand sides");
+  }
+  // Attribute-set closure of the goal's left-hand side under the premises,
+  // read as functional dependencies X' -> Y'.
+  ItemSet closure = goal.lhs();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const DifferentialConstraint& p : premises) {
+      if (p.lhs().IsSubsetOf(closure) && !p.rhs().member(0).IsSubsetOf(closure)) {
+        closure = closure.Union(p.rhs().member(0));
+        changed = true;
+      }
+    }
+  }
+  ImplicationOutcome out;
+  out.implied = goal.rhs().member(0).IsSubsetOf(closure);
+  if (!out.implied) out.counterexample = closure;
+  return out;
+}
+
+Result<ImplicationOutcome> CheckImplication(int n, const ConstraintSet& premises,
+                                            const DifferentialConstraint& goal) {
+  if (goal.IsTrivial()) {
+    ImplicationOutcome out;
+    out.implied = true;
+    return out;
+  }
+  if (FdSubclassApplicable(premises, goal)) {
+    return CheckImplicationFd(n, premises, goal);
+  }
+  return CheckImplicationSat(n, premises, goal);
+}
+
+ConstraintSet DnfTautologyReduction(const prop::DnfFormula& f) {
+  ConstraintSet out;
+  out.reserve(f.conjuncts.size());
+  for (const prop::DnfConjunct& c : f.conjuncts) {
+    std::vector<ItemSet> members;
+    ForEachBit(c.neg, [&](int q) { members.push_back(ItemSet::Singleton(q)); });
+    out.push_back(DifferentialConstraint(ItemSet(c.pos), SetFamily(std::move(members))));
+  }
+  return out;
+}
+
+DifferentialConstraint TautologyGoal() {
+  return DifferentialConstraint(ItemSet(), SetFamily());
+}
+
+}  // namespace diffc

@@ -1,0 +1,75 @@
+#ifndef DIFFC_CORE_IMPLICATION_H_
+#define DIFFC_CORE_IMPLICATION_H_
+
+#include <optional>
+
+#include "core/constraint.h"
+#include "prop/dpll.h"
+#include "prop/tautology.h"
+#include "util/status.h"
+
+namespace diffc {
+
+/// The answer to an implication query `C |= X -> Y`.
+struct ImplicationOutcome {
+  /// True iff the constraint is implied.
+  bool implied = false;
+  /// When not implied: a set `U ∈ L(X, Y) ∖ L(C)`. The function `f_U`
+  /// (Theorem 3.5) and the one-basket list `(U)` (Proposition 6.4) built
+  /// from it satisfy `C` and violate the goal; see `core/counterexample.h`.
+  std::optional<ItemSet> counterexample;
+};
+
+/// Decides `premises |= goal` by the syntactic criterion of Theorem 3.5,
+/// `L(C) ⊇ L(X, Y)`, checked by exhaustive enumeration of `L(X, Y)`.
+/// Exact but exponential; requires `n - |X| <= max_free_bits`.
+Result<ImplicationOutcome> CheckImplicationExhaustive(int n, const ConstraintSet& premises,
+                                                      const DifferentialConstraint& goal,
+                                                      int max_free_bits = 24);
+
+/// Decides `premises |= goal` through the propositional translation
+/// (Proposition 5.4) refuted with DPLL: a counterexample `U` exists iff the
+/// CNF
+///
+///   ∧_{a∈X} u_a  ∧  ∧_{Y∈Y} (∨_{y∈Y} ¬u_y)
+///   ∧_{X'->Y' ∈ C} ( (∨_{a∈X'} ¬u_a) ∨ ∨_j aux_j ),  aux_j → ∧_{y∈Y'_j} u_y
+///
+/// is satisfiable. One variable per attribute plus one auxiliary variable
+/// per premise member; no universe-size restriction beyond 64 attributes.
+/// `stats`, when non-null, receives the solver counters.
+Result<ImplicationOutcome> CheckImplicationSat(int n, const ConstraintSet& premises,
+                                               const DifferentialConstraint& goal,
+                                               prop::SolverStats* stats = nullptr);
+
+/// True iff every premise and the goal have a single right-hand member —
+/// the subclass the paper's conclusion identifies with functional
+/// dependencies, decidable in polynomial time.
+bool FdSubclassApplicable(const ConstraintSet& premises, const DifferentialConstraint& goal);
+
+/// Decides the FD subclass by attribute-set closure (Armstrong), in
+/// O(|C|^2) set operations. Requires `FdSubclassApplicable`. The
+/// counterexample (when not implied) is the closure of the goal's
+/// left-hand side.
+Result<ImplicationOutcome> CheckImplicationFd(int n, const ConstraintSet& premises,
+                                              const DifferentialConstraint& goal);
+
+/// Front door: dispatches to the FD subclass when applicable, otherwise to
+/// the SAT-based procedure.
+Result<ImplicationOutcome> CheckImplication(int n, const ConstraintSet& premises,
+                                            const DifferentialConstraint& goal);
+
+/// The reduction of Proposition 5.5: the constraint set `C_φ` for a DNF
+/// formula `φ`, such that `φ` is a tautology iff `C_φ |= ∅ -> {}`
+/// (the goal returned by `TautologyGoal`). A conjunct mentioning a
+/// variable both positively and negatively is a contradiction; its
+/// translated constraint is trivial and constrains nothing, matching the
+/// conjunct's absence from `φ`.
+ConstraintSet DnfTautologyReduction(const prop::DnfFormula& f);
+
+/// The goal `∅ -> {}` of the tautology reduction, whose lattice
+/// decomposition is all of `2^S`.
+DifferentialConstraint TautologyGoal();
+
+}  // namespace diffc
+
+#endif  // DIFFC_CORE_IMPLICATION_H_

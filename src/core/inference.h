@@ -1,0 +1,113 @@
+#ifndef DIFFC_CORE_INFERENCE_H_
+#define DIFFC_CORE_INFERENCE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/constraint.h"
+#include "util/status.h"
+
+namespace diffc {
+
+/// The inference rules of Figure 1, plus a pseudo-rule for citing a given
+/// constraint.
+enum class InferenceRule {
+  kGiven,         ///< cite a constraint of `C`
+  kTriviality,    ///< ⊢ X -> Y when some Y ∈ Y has Y ⊆ X
+  kAugmentation,  ///< X -> Y ⊢ X∪Z -> Y
+  kAddition,      ///< X -> Y ⊢ X -> Y∪{Z}
+  kElimination,   ///< X -> Y∪{Z}, X∪Z -> Y ⊢ X -> Y
+};
+
+/// Name of a rule ("given", "triviality", ...).
+const char* InferenceRuleName(InferenceRule rule);
+
+/// One application of a rule inside a derivation.
+struct ProofStep {
+  InferenceRule rule;
+  /// Indices of earlier steps used as premises (empty for kGiven and
+  /// kTriviality).
+  std::vector<int> premises;
+  /// For kGiven: index into the given constraint set.
+  int given_index = -1;
+  /// The constraint this step derives.
+  DifferentialConstraint conclusion;
+};
+
+/// A derivation `C ⊢ X -> Y` (Definition 4.1): a sequence of rule
+/// applications whose last step concludes the derived constraint.
+/// Derivations are data; `ValidateDerivation` checks every step against
+/// the rule schemas, so machine-generated proofs are independently
+/// verifiable.
+class Derivation {
+ public:
+  /// The steps in order.
+  const std::vector<ProofStep>& steps() const { return steps_; }
+  /// Number of steps.
+  int size() const { return static_cast<int>(steps_.size()); }
+  /// The final conclusion. Requires a nonempty derivation.
+  const DifferentialConstraint& conclusion() const { return steps_.back().conclusion; }
+
+  /// Appends a step and returns its index.
+  int AddStep(ProofStep step) {
+    steps_.push_back(std::move(step));
+    return static_cast<int>(steps_.size()) - 1;
+  }
+
+  /// Pretty-prints the proof, one numbered line per step.
+  std::string ToString(const Universe& u) const;
+
+ private:
+  std::vector<ProofStep> steps_;
+};
+
+/// Rule-schema validation (exposed for tests and the Figure 1 benchmark).
+bool IsValidTriviality(const DifferentialConstraint& conclusion);
+bool IsValidAugmentation(const DifferentialConstraint& premise,
+                         const DifferentialConstraint& conclusion);
+bool IsValidAddition(const DifferentialConstraint& premise,
+                     const DifferentialConstraint& conclusion);
+bool IsValidElimination(const DifferentialConstraint& p1, const DifferentialConstraint& p2,
+                        const DifferentialConstraint& conclusion);
+
+/// Checks that every step of `d` is a correct application of its rule over
+/// an `n`-attribute universe, with kGiven steps citing `givens`. Returns
+/// the first violation found.
+Status ValidateDerivation(int n, const ConstraintSet& givens, const Derivation& d);
+
+/// Limits for the proof generator.
+struct DeriveOptions {
+  /// Upper bound on emitted steps (ResourceExhausted beyond).
+  std::size_t max_steps = 1'000'000;
+};
+
+/// Removes steps the conclusion does not depend on (the generator's
+/// memoization leaves unused intermediates behind) and renumbers premise
+/// references. The result validates whenever the input does, concludes
+/// the same constraint, and is never larger.
+Derivation PruneDerivation(const Derivation& d);
+
+/// Constructs an explicit derivation `givens ⊢ goal` using only the four
+/// rules of Figure 1, following the completeness argument of Theorem 4.8:
+///
+///  1. for every needed `U ∈ L(goal)`, derive `atom(U)` from a premise
+///     whose lattice decomposition contains `U` (augmentation, then member
+///     narrowing via addition+triviality+elimination, then addition);
+///  2. for every witness-set leaf `W` of the goal's right-hand family,
+///     derive `X -> {{w}|w∈W}` by the elimination cascade of
+///     Proposition 4.7;
+///  3. reassemble `X -> Y` by the union-rule induction of Proposition 4.6,
+///     with each union application expanded into base rules.
+///
+/// Returns NotFound (with no derivation) when `givens` does not imply
+/// `goal`, and ResourceExhausted when the proof would exceed
+/// `opts.max_steps`. The result always passes `ValidateDerivation` and
+/// concludes exactly `goal` — both re-checked by the test suite.
+Result<Derivation> DeriveImplied(int n, const ConstraintSet& givens,
+                                 const DifferentialConstraint& goal,
+                                 const DeriveOptions& opts = {});
+
+}  // namespace diffc
+
+#endif  // DIFFC_CORE_INFERENCE_H_

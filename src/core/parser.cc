@@ -1,0 +1,46 @@
+#include "core/parser.h"
+
+#include "util/text.h"
+
+namespace diffc {
+
+Result<DifferentialConstraint> ParseConstraint(const Universe& u, const std::string& text) {
+  std::string_view body = Trim(text);
+  size_t arrow = body.find("->");
+  if (arrow == std::string_view::npos) {
+    return Status::InvalidArgument("constraint missing '->': " + text);
+  }
+  std::string lhs_text(Trim(body.substr(0, arrow)));
+  std::string_view rhs_text = Trim(body.substr(arrow + 2));
+
+  Result<ItemSet> lhs = ParseItemSet(u, lhs_text);
+  if (!lhs.ok()) return lhs.status();
+
+  if (rhs_text.size() < 2 || rhs_text.front() != '{' || rhs_text.back() != '}') {
+    return Status::InvalidArgument("constraint right-hand side must be '{...}': " + text);
+  }
+  std::string_view inner = Trim(rhs_text.substr(1, rhs_text.size() - 2));
+  std::vector<ItemSet> members;
+  if (!inner.empty()) {
+    for (const std::string& piece : Split(inner, ',')) {
+      Result<ItemSet> member = ParseItemSet(u, piece);
+      if (!member.ok()) return member.status();
+      members.push_back(*member);
+    }
+  }
+  return DifferentialConstraint(*lhs, SetFamily(std::move(members)));
+}
+
+Result<ConstraintSet> ParseConstraintSet(const Universe& u, const std::string& text) {
+  ConstraintSet out;
+  if (Trim(text).empty()) return out;
+  for (const std::string& piece : Split(text, ';')) {
+    if (Trim(piece).empty()) continue;
+    Result<DifferentialConstraint> c = ParseConstraint(u, piece);
+    if (!c.ok()) return c.status();
+    out.push_back(*c);
+  }
+  return out;
+}
+
+}  // namespace diffc

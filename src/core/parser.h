@@ -1,0 +1,28 @@
+#ifndef DIFFC_CORE_PARSER_H_
+#define DIFFC_CORE_PARSER_H_
+
+#include <string>
+
+#include "core/constraint.h"
+#include "util/status.h"
+
+namespace diffc {
+
+/// Parses a differential constraint written as
+///
+///   `<set> -> { <set>, <set>, ... }`
+///
+/// e.g. `A -> {BC, CD}` or `AB -> {}` or `0 -> {C}`. Sets use the
+/// universe's attribute names, concatenated when all names are single
+/// characters; `0` denotes the empty set; `{}` denotes the empty family.
+/// (Family members are comma-separated, so comma-separated attribute
+/// names are not supported inside constraint text.)
+Result<DifferentialConstraint> ParseConstraint(const Universe& u, const std::string& text);
+
+/// Parses a `;`-separated list of constraints (empty input yields the
+/// empty set).
+Result<ConstraintSet> ParseConstraintSet(const Universe& u, const std::string& text);
+
+}  // namespace diffc
+
+#endif  // DIFFC_CORE_PARSER_H_

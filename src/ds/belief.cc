@@ -1,0 +1,132 @@
+#include "ds/belief.h"
+
+namespace diffc {
+
+Result<MassFunction> MassFunction::Make(SetFunction<Rational> values) {
+  if (values.n() < 1) {
+    return Status::InvalidArgument("mass function needs a nonempty frame");
+  }
+  if (!values.at(Mask{0}).IsZero()) {
+    return Status::InvalidArgument("mass of the empty set must be 0");
+  }
+  Rational total;
+  for (Mask m = 0; m < values.size(); ++m) {
+    if (values.at(m).IsNegative()) {
+      return Status::InvalidArgument("mass values must be nonnegative");
+    }
+    total += values.at(m);
+  }
+  if (total != Rational(1)) {
+    return Status::InvalidArgument("total mass must be 1, got " + total.ToString());
+  }
+  return MassFunction(std::move(values));
+}
+
+Result<MassFunction> MassFunction::Vacuous(int n) {
+  Result<SetFunction<Rational>> values = SetFunction<Rational>::Make(n);
+  if (!values.ok()) return values.status();
+  if (n < 1) return Status::InvalidArgument("mass function needs a nonempty frame");
+  values->at(FullMask(n)) = Rational(1);
+  return Make(*std::move(values));
+}
+
+Result<MassFunction> MassFunction::Bayesian(const std::vector<Rational>& probabilities) {
+  const int n = static_cast<int>(probabilities.size());
+  Result<SetFunction<Rational>> values = SetFunction<Rational>::Make(n);
+  if (!values.ok()) return values.status();
+  for (int i = 0; i < n; ++i) values->at(Mask{1} << i) = probabilities[i];
+  return Make(*std::move(values));
+}
+
+std::vector<ItemSet> MassFunction::FocalElements() const {
+  std::vector<ItemSet> out;
+  for (Mask m = 0; m < values_.size(); ++m) {
+    if (!values_.at(m).IsZero()) out.push_back(ItemSet(m));
+  }
+  return out;
+}
+
+SetFunction<Rational> MassFunction::Belief() const {
+  SetFunction<Rational> bel = values_;
+  ZetaSubsetInPlace(bel);
+  return bel;
+}
+
+SetFunction<Rational> MassFunction::Plausibility() const {
+  SetFunction<Rational> bel = Belief();
+  SetFunction<Rational> pl = *SetFunction<Rational>::Make(n());
+  const Mask full = FullMask(n());
+  for (Mask m = 0; m < pl.size(); ++m) {
+    pl.at(m) = Rational(1) - bel.at(full & ~m);
+  }
+  return pl;
+}
+
+SetFunction<Rational> MassFunction::Commonality() const {
+  SetFunction<Rational> q = values_;
+  ZetaSupersetInPlace(q);
+  return q;
+}
+
+bool MassFunction::IsBayesian() const {
+  for (Mask m = 0; m < values_.size(); ++m) {
+    if (!values_.at(m).IsZero() && Popcount(m) != 1) return false;
+  }
+  return true;
+}
+
+bool MassFunction::IsConsonant() const {
+  std::vector<ItemSet> focal = FocalElements();
+  for (const ItemSet& a : focal) {
+    for (const ItemSet& b : focal) {
+      if (!a.IsSubsetOf(b) && !b.IsSubsetOf(a)) return false;
+    }
+  }
+  return true;
+}
+
+bool MassFunction::SatisfiesConstraint(const DifferentialConstraint& c) const {
+  for (Mask m = 0; m < values_.size(); ++m) {
+    if (values_.at(m).IsZero()) continue;
+    ItemSet focal(m);
+    if (c.lhs().IsSubsetOf(focal) && !c.rhs().SomeMemberSubsetOf(focal)) return false;
+  }
+  return true;
+}
+
+Result<Rational> DempsterConflict(const MassFunction& m1, const MassFunction& m2) {
+  if (m1.n() != m2.n()) {
+    return Status::InvalidArgument("combining mass functions over different frames");
+  }
+  Rational conflict;
+  for (const ItemSet& u : m1.FocalElements()) {
+    for (const ItemSet& v : m2.FocalElements()) {
+      if (u.Intersect(v).empty()) conflict += m1.mass(u.bits()) * m2.mass(v.bits());
+    }
+  }
+  return conflict;
+}
+
+Result<MassFunction> DempsterCombine(const MassFunction& m1, const MassFunction& m2) {
+  Result<Rational> conflict = DempsterConflict(m1, m2);
+  if (!conflict.ok()) return conflict.status();
+  if (*conflict == Rational(1)) {
+    return Status::FailedPrecondition(
+        "totally conflicting bodies of evidence (K = 1) cannot be combined");
+  }
+  Result<SetFunction<Rational>> combined = SetFunction<Rational>::Make(m1.n());
+  if (!combined.ok()) return combined.status();
+  for (const ItemSet& u : m1.FocalElements()) {
+    for (const ItemSet& v : m2.FocalElements()) {
+      ItemSet x = u.Intersect(v);
+      if (!x.empty()) combined->at(x) += m1.mass(u.bits()) * m2.mass(v.bits());
+    }
+  }
+  const Rational normalizer = Rational(1) - *conflict;
+  for (Mask m = 0; m < combined->size(); ++m) {
+    combined->at(m) /= normalizer;
+  }
+  return MassFunction::Make(*std::move(combined));
+}
+
+}  // namespace diffc

@@ -1,0 +1,92 @@
+#ifndef DIFFC_DS_BELIEF_H_
+#define DIFFC_DS_BELIEF_H_
+
+#include <vector>
+
+#include "core/constraint.h"
+#include "lattice/mobius.h"
+#include "util/rational.h"
+#include "util/status.h"
+
+namespace diffc {
+
+/// Dempster–Shafer belief functions — the third application domain the
+/// paper's conclusion names for measure/differential constraints (via
+/// Halpern's exposition). A *mass function* assigns nonnegative evidence
+/// to subsets of the frame of discernment `S`, summing to 1 with
+/// `m(∅) = 0`; its *focal elements* are the sets of positive mass.
+///
+/// The bridge to the paper: the commonality function
+/// `Q(X) = Σ_{U ⊇ X} m(U)` has density exactly `m >= 0`, so `Q` is a
+/// frequency function in the sense of Section 6, and `Q` satisfies the
+/// differential constraint `X -> Y` iff every focal element containing
+/// `X` contains some member of `Y` — the disjunctive-rule semantics with
+/// focal elements playing the role of baskets.
+class MassFunction {
+ public:
+  /// Builds a mass function from dense values over an `n`-attribute frame.
+  /// Requires nonnegative values, total mass 1, and `values.at(∅) = 0`.
+  static Result<MassFunction> Make(SetFunction<Rational> values);
+
+  /// The vacuous mass function: all mass on the full frame (total
+  /// ignorance). Requires 1 <= n <= kMaxSetFunctionBits.
+  static Result<MassFunction> Vacuous(int n);
+
+  /// A Bayesian mass function from a probability vector over singletons
+  /// (`probabilities[i]` = mass of `{i}`; must be nonnegative, sum 1).
+  static Result<MassFunction> Bayesian(const std::vector<Rational>& probabilities);
+
+  /// Frame size.
+  int n() const { return values_.n(); }
+  /// Mass of the subset `m`.
+  const Rational& mass(Mask m) const { return values_.at(m); }
+  /// The dense mass values.
+  const SetFunction<Rational>& values() const { return values_; }
+
+  /// The focal elements (sets of positive mass), sorted by mask.
+  std::vector<ItemSet> FocalElements() const;
+
+  /// Belief: `Bel(X) = Σ_{U ⊆ X} m(U)` (with m(∅)=0 this is the standard
+  /// definition). Computed for all X via the subset zeta transform.
+  SetFunction<Rational> Belief() const;
+
+  /// Plausibility: `Pl(X) = Σ_{U ∩ X ≠ ∅} m(U) = 1 - Bel(S∖X)`.
+  SetFunction<Rational> Plausibility() const;
+
+  /// Commonality: `Q(X) = Σ_{U ⊇ X} m(U)` — the frequency-function face;
+  /// `Density(Commonality()) == values()`.
+  SetFunction<Rational> Commonality() const;
+
+  /// True iff every focal element is a singleton (a probability measure).
+  bool IsBayesian() const;
+
+  /// True iff the focal elements are nested (a consonant body of
+  /// evidence, i.e. a possibility measure).
+  bool IsConsonant() const;
+
+  /// Satisfaction of a differential constraint by the commonality
+  /// function — equivalently, `m` vanishes on `L(X, Y)`: every focal
+  /// element containing X contains some member of Y.
+  bool SatisfiesConstraint(const DifferentialConstraint& c) const;
+
+ private:
+  explicit MassFunction(SetFunction<Rational> values) : values_(std::move(values)) {}
+
+  SetFunction<Rational> values_;
+};
+
+/// Dempster's rule of combination:
+///
+///   (m1 ⊕ m2)(X) = (1/(1-K)) Σ_{U ∩ V = X, X ≠ ∅} m1(U) m2(V),
+///   K = Σ_{U ∩ V = ∅} m1(U) m2(V)   (the conflict).
+///
+/// Fails with FailedPrecondition when the bodies of evidence are totally
+/// conflicting (K = 1). Cost O(F1 · F2) over focal elements.
+Result<MassFunction> DempsterCombine(const MassFunction& m1, const MassFunction& m2);
+
+/// The conflict mass `K` between two bodies of evidence.
+Result<Rational> DempsterConflict(const MassFunction& m1, const MassFunction& m2);
+
+}  // namespace diffc
+
+#endif  // DIFFC_DS_BELIEF_H_

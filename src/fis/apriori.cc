@@ -1,0 +1,132 @@
+#include "fis/apriori.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "fis/support.h"
+
+namespace diffc {
+
+namespace {
+
+bool AllSubsetsFrequent(Mask candidate, const std::unordered_set<Mask>& frequent_prev) {
+  bool ok = true;
+  ForEachBit(candidate, [&](int b) {
+    if (!frequent_prev.count(candidate & ~(Mask{1} << b))) ok = false;
+  });
+  return ok;
+}
+
+}  // namespace
+
+Result<AprioriResult> Apriori(const BasketList& b, std::int64_t min_support) {
+  if (min_support < 1) {
+    return Status::InvalidArgument("Apriori requires min_support >= 1");
+  }
+  AprioriResult result;
+
+  // Level 0: the empty itemset, supported by every basket.
+  const std::int64_t total = b.size();
+  ++result.candidates_counted;
+  if (total < min_support) {
+    result.negative_border.push_back({0, total});
+    return result;
+  }
+  result.frequent.push_back({0, total});
+
+  // Level 1: count all single items in one scan.
+  std::vector<std::int64_t> item_counts(b.num_items(), 0);
+  for (Mask basket : b.baskets()) {
+    ForEachBit(basket, [&](int i) { ++item_counts[i]; });
+  }
+  std::vector<Mask> current_level;
+  std::unordered_set<Mask> frequent_prev;
+  for (int i = 0; i < b.num_items(); ++i) {
+    Mask item = Mask{1} << i;
+    ++result.candidates_counted;
+    if (item_counts[i] >= min_support) {
+      result.frequent.push_back({item, item_counts[i]});
+      current_level.push_back(item);
+      frequent_prev.insert(item);
+    } else {
+      result.negative_border.push_back({item, item_counts[i]});
+    }
+  }
+
+  // Levels k >= 2.
+  while (!current_level.empty()) {
+    // Candidate generation: extend each frequent set by a strictly larger
+    // item, then prune candidates with an infrequent (k-1)-subset. Every
+    // set whose proper subsets are all frequent is generated exactly once
+    // (from itself minus its largest item).
+    std::vector<Mask> candidates;
+    for (Mask base : current_level) {
+      const int max_item = 63 - std::countl_zero(base);
+      for (int i = max_item + 1; i < b.num_items(); ++i) {
+        Mask candidate = base | (Mask{1} << i);
+        if (AllSubsetsFrequent(candidate, frequent_prev)) candidates.push_back(candidate);
+      }
+    }
+    if (candidates.empty()) break;
+
+    // Counting pass.
+    std::unordered_map<Mask, std::int64_t> counts;
+    counts.reserve(candidates.size() * 2);
+    for (Mask c : candidates) counts.emplace(c, 0);
+    for (Mask basket : b.baskets()) {
+      for (Mask c : candidates) {
+        if (IsSubset(c, basket)) ++counts[c];
+      }
+    }
+    result.candidates_counted += candidates.size();
+
+    std::sort(candidates.begin(), candidates.end());
+    std::vector<Mask> next_level;
+    std::unordered_set<Mask> frequent_now;
+    for (Mask c : candidates) {
+      std::int64_t support = counts[c];
+      if (support >= min_support) {
+        result.frequent.push_back({c, support});
+        next_level.push_back(c);
+        frequent_now.insert(c);
+      } else {
+        result.negative_border.push_back({c, support});
+      }
+    }
+    current_level = std::move(next_level);
+    frequent_prev = std::move(frequent_now);
+  }
+
+  auto by_size_then_mask = [](const CountedItemset& a, const CountedItemset& b2) {
+    if (Popcount(a.items) != Popcount(b2.items)) {
+      return Popcount(a.items) < Popcount(b2.items);
+    }
+    return a.items < b2.items;
+  };
+  std::sort(result.frequent.begin(), result.frequent.end(), by_size_then_mask);
+  std::sort(result.negative_border.begin(), result.negative_border.end(),
+            by_size_then_mask);
+  return result;
+}
+
+Result<std::vector<CountedItemset>> FrequentItemsetsExhaustive(const BasketList& b,
+                                                               std::int64_t min_support) {
+  Result<SetFunction<std::int64_t>> support = SupportFunction(b);
+  if (!support.ok()) return support.status();
+  std::vector<CountedItemset> out;
+  const Mask full = FullMask(b.num_items());
+  for (Mask m = 0;; ++m) {
+    if (support->at(m) >= min_support) out.push_back({m, support->at(m)});
+    if (m == full) break;
+  }
+  std::sort(out.begin(), out.end(), [](const CountedItemset& a, const CountedItemset& b2) {
+    if (Popcount(a.items) != Popcount(b2.items)) {
+      return Popcount(a.items) < Popcount(b2.items);
+    }
+    return a.items < b2.items;
+  });
+  return out;
+}
+
+}  // namespace diffc

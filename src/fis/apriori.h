@@ -1,0 +1,52 @@
+#ifndef DIFFC_FIS_APRIORI_H_
+#define DIFFC_FIS_APRIORI_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "fis/basket.h"
+#include "util/status.h"
+
+namespace diffc {
+
+/// An itemset together with its support count.
+struct CountedItemset {
+  Mask items = 0;
+  std::int64_t support = 0;
+
+  friend bool operator==(const CountedItemset& a, const CountedItemset& b) {
+    return a.items == b.items && a.support == b.support;
+  }
+};
+
+/// Output of the Apriori computation.
+struct AprioriResult {
+  /// All frequent itemsets (support >= min_support) with supports, ordered
+  /// by (cardinality, mask).
+  std::vector<CountedItemset> frequent;
+  /// The negative border Bd⁻: minimal infrequent itemsets (all proper
+  /// subsets frequent), with their supports, ordered by (cardinality, mask).
+  std::vector<CountedItemset> negative_border;
+  /// Number of candidate itemsets whose support was counted against the
+  /// basket list — the work measure the concise representations reduce.
+  std::uint64_t candidates_counted = 0;
+};
+
+/// The level-wise Apriori algorithm (Agrawal–Srikant) with negative-border
+/// collection (Mannila–Toivonen): generates size-k candidates from
+/// frequent (k-1)-sets, prunes candidates with an infrequent subset, and
+/// counts the survivors against the baskets. Requires min_support >= 1.
+/// Works for any universe up to 64 items (no dense tables).
+Result<AprioriResult> Apriori(const BasketList& b, std::int64_t min_support);
+
+/// Exhaustive reference: all frequent itemsets by enumerating 2^n sets
+/// over the materialized support function (num_items <=
+/// kMaxSetFunctionBits). Used to validate Apriori and as the baseline in
+/// experiment E6.
+Result<std::vector<CountedItemset>> FrequentItemsetsExhaustive(const BasketList& b,
+                                                               std::int64_t min_support);
+
+}  // namespace diffc
+
+#endif  // DIFFC_FIS_APRIORI_H_

@@ -1,0 +1,57 @@
+#include "fis/association.h"
+
+#include <cstdio>
+#include <unordered_map>
+
+namespace diffc {
+
+std::string AssociationRule::ToString(const Universe& u) const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "  (sup=%lld, conf=%.3f)",
+                static_cast<long long>(support), confidence);
+  return u.FormatSet(lhs) + " => " + u.FormatSet(rhs) + buf;
+}
+
+Result<std::vector<AssociationRule>> GenerateAssociationRules(const AprioriResult& apriori,
+                                                              double min_confidence) {
+  if (min_confidence <= 0.0 || min_confidence > 1.0) {
+    return Status::InvalidArgument("min_confidence must be in (0, 1]");
+  }
+  std::unordered_map<Mask, std::int64_t> supports;
+  supports.reserve(apriori.frequent.size() * 2);
+  for (const CountedItemset& s : apriori.frequent) supports.emplace(s.items, s.support);
+
+  std::vector<AssociationRule> rules;
+  for (const CountedItemset& s : apriori.frequent) {
+    if (Popcount(s.items) < 2) continue;
+    ForEachSubset(s.items, [&](Mask lhs) {
+      if (lhs == 0 || lhs == s.items) return;
+      // Every subset of a frequent itemset is frequent, so its support is
+      // available.
+      const std::int64_t lhs_support = supports.at(lhs);
+      const double confidence =
+          static_cast<double>(s.support) / static_cast<double>(lhs_support);
+      if (confidence + 1e-12 >= min_confidence) {
+        AssociationRule rule;
+        rule.lhs = lhs;
+        rule.rhs = s.items & ~lhs;
+        rule.support = s.support;
+        rule.confidence = s.support == lhs_support ? 1.0 : confidence;
+        rules.push_back(rule);
+      }
+    });
+  }
+  return rules;
+}
+
+Result<std::vector<AssociationRule>> GeneratePureRules(const AprioriResult& apriori) {
+  Result<std::vector<AssociationRule>> all = GenerateAssociationRules(apriori, 1.0);
+  if (!all.ok()) return all.status();
+  std::vector<AssociationRule> pure;
+  for (const AssociationRule& r : *all) {
+    if (r.IsPure()) pure.push_back(r);
+  }
+  return pure;
+}
+
+}  // namespace diffc

@@ -1,0 +1,45 @@
+#ifndef DIFFC_FIS_ASSOCIATION_H_
+#define DIFFC_FIS_ASSOCIATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fis/apriori.h"
+#include "lattice/universe.h"
+#include "util/status.h"
+
+namespace diffc {
+
+/// Association rules (Agrawal–Srikant): `lhs => rhs` with
+/// `confidence = s(lhs ∪ rhs) / s(lhs)`. *Pure* association rules
+/// (confidence 1) are exactly the single-alternative disjunctive rules of
+/// Section 6 — the support function satisfies the differential constraint
+/// `lhs -> {rhs}` — which is how the paper's augmentation rule explains
+/// the classical "B({a}) = B({a,b})" counting shortcut.
+struct AssociationRule {
+  Mask lhs = 0;
+  Mask rhs = 0;  ///< Disjoint from lhs, nonempty.
+  std::int64_t support = 0;  ///< s(lhs ∪ rhs).
+  double confidence = 0.0;
+
+  /// True iff confidence is exactly 1 (s(lhs) == s(lhs ∪ rhs)).
+  bool IsPure() const { return confidence == 1.0; }
+
+  /// Renders "AB => C  (sup=…, conf=…)".
+  std::string ToString(const Universe& u) const;
+};
+
+/// Generates all association rules among the frequent itemsets of
+/// `apriori` with confidence at least `min_confidence` (> 0), splitting
+/// each frequent itemset of size >= 2 into every nonempty lhs/rhs
+/// partition. Rules are ordered by (itemset, lhs).
+Result<std::vector<AssociationRule>> GenerateAssociationRules(const AprioriResult& apriori,
+                                                              double min_confidence);
+
+/// The pure rules only (confidence exactly 1).
+Result<std::vector<AssociationRule>> GeneratePureRules(const AprioriResult& apriori);
+
+}  // namespace diffc
+
+#endif  // DIFFC_FIS_ASSOCIATION_H_

@@ -1,0 +1,34 @@
+#include "fis/basket.h"
+
+namespace diffc {
+
+Result<BasketList> BasketList::Make(int num_items, std::vector<Mask> baskets) {
+  if (num_items < 0 || num_items > 64) {
+    return Status::InvalidArgument("basket universe must have 0..64 items");
+  }
+  const Mask full = FullMask(num_items);
+  for (Mask b : baskets) {
+    if (!IsSubset(b, full)) {
+      return Status::InvalidArgument("basket contains items outside the universe");
+    }
+  }
+  return BasketList(num_items, std::move(baskets));
+}
+
+std::int64_t BasketList::SupportCount(const ItemSet& x) const {
+  std::int64_t count = 0;
+  for (Mask b : baskets_) {
+    if (IsSubset(x.bits(), b)) ++count;
+  }
+  return count;
+}
+
+std::vector<int> BasketList::Cover(const ItemSet& x) const {
+  std::vector<int> out;
+  for (int i = 0; i < size(); ++i) {
+    if (IsSubset(x.bits(), baskets_[i])) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace diffc

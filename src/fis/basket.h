@@ -1,0 +1,46 @@
+#ifndef DIFFC_FIS_BASKET_H_
+#define DIFFC_FIS_BASKET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "lattice/itemset.h"
+#include "util/status.h"
+
+namespace diffc {
+
+/// A list of baskets `B` over a set of items (Section 6.1): the input of
+/// the frequent itemset problem. The same basket may occur multiple times
+/// (it is a list, not a set).
+class BasketList {
+ public:
+  /// Builds a basket list; every basket must be a subset of the
+  /// `num_items`-item universe, `0 <= num_items <= 64`.
+  static Result<BasketList> Make(int num_items, std::vector<Mask> baskets);
+
+  /// Number of items in the universe.
+  int num_items() const { return num_items_; }
+  /// Number of baskets.
+  int size() const { return static_cast<int>(baskets_.size()); }
+  /// Basket `i` as a bitmask.
+  Mask basket(int i) const { return baskets_[i]; }
+  /// All baskets.
+  const std::vector<Mask>& baskets() const { return baskets_; }
+
+  /// The support `s_B(X) = |{i : X ⊆ B[i]}|`, by linear scan.
+  std::int64_t SupportCount(const ItemSet& x) const;
+
+  /// The cover `B(X) = {i : X ⊆ B[i]}` as basket indices.
+  std::vector<int> Cover(const ItemSet& x) const;
+
+ private:
+  BasketList(int num_items, std::vector<Mask> baskets)
+      : num_items_(num_items), baskets_(std::move(baskets)) {}
+
+  int num_items_;
+  std::vector<Mask> baskets_;
+};
+
+}  // namespace diffc
+
+#endif  // DIFFC_FIS_BASKET_H_

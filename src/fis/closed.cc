@@ -1,0 +1,66 @@
+#include "fis/closed.h"
+
+namespace diffc {
+
+ItemSet BasketClosure(const BasketList& b, const ItemSet& x) {
+  Mask closure = FullMask(b.num_items());
+  bool any = false;
+  for (Mask basket : b.baskets()) {
+    if (IsSubset(x.bits(), basket)) {
+      closure &= basket;
+      any = true;
+    }
+  }
+  return any ? ItemSet(closure) : ItemSet(FullMask(b.num_items()));
+}
+
+Result<std::vector<CountedItemset>> ClosedFrequentItemsets(const BasketList& b,
+                                                           std::int64_t min_support) {
+  Result<AprioriResult> apriori = Apriori(b, min_support);
+  if (!apriori.ok()) return apriori.status();
+  std::vector<CountedItemset> closed;
+  for (const CountedItemset& s : apriori->frequent) {
+    if (BasketClosure(b, ItemSet(s.items)) == ItemSet(s.items)) closed.push_back(s);
+  }
+  return closed;  // Inherits (size, mask) order from the frequent list.
+}
+
+Result<std::vector<CountedItemset>> MaximalFrequentItemsets(const BasketList& b,
+                                                            std::int64_t min_support) {
+  Result<AprioriResult> apriori = Apriori(b, min_support);
+  if (!apriori.ok()) return apriori.status();
+  std::vector<CountedItemset> maximal;
+  for (const CountedItemset& s : apriori->frequent) {
+    bool has_frequent_superset = false;
+    for (const CountedItemset& t : apriori->frequent) {
+      if (t.items != s.items && IsSubset(s.items, t.items)) {
+        has_frequent_superset = true;
+        break;
+      }
+    }
+    if (!has_frequent_superset) maximal.push_back(s);
+  }
+  return maximal;
+}
+
+DerivedSupport DeriveFromClosed(const std::vector<CountedItemset>& closed,
+                                std::int64_t min_support, const ItemSet& x) {
+  DerivedSupport out;
+  bool found = false;
+  std::int64_t best = 0;
+  for (const CountedItemset& c : closed) {
+    if (IsSubset(x.bits(), c.items) && (!found || c.support > best)) {
+      best = c.support;
+      found = true;
+    }
+  }
+  if (found) {
+    out.frequent = best >= min_support;
+    out.support = best;
+  } else {
+    out.frequent = false;  // Not inside any closed frequent set.
+  }
+  return out;
+}
+
+}  // namespace diffc

@@ -1,0 +1,44 @@
+#ifndef DIFFC_FIS_CLOSED_H_
+#define DIFFC_FIS_CLOSED_H_
+
+#include <vector>
+
+#include "fis/apriori.h"
+#include "fis/basket.h"
+#include "fis/concise.h"
+#include "util/status.h"
+
+namespace diffc {
+
+/// Closed and maximal frequent itemsets — the other classical concise
+/// representations the disjunctive-free line of work (Section 6.1.1) is
+/// compared against.
+///
+/// `X` is *closed* when no proper superset has the same support;
+/// equivalently `X` equals its closure `∩ {baskets ⊇ X}`. Closed frequent
+/// itemsets determine the support of every frequent itemset
+/// (`s(X) = max{s(C) : C closed, C ⊇ X}`); maximal frequent itemsets
+/// determine frequency status only.
+
+/// The closure of `x`: the intersection of all baskets containing `x`
+/// (and the full universe when none does).
+ItemSet BasketClosure(const BasketList& b, const ItemSet& x);
+
+/// All closed frequent itemsets with supports, by (size, mask). Computed
+/// from the frequent sets of an Apriori run.
+Result<std::vector<CountedItemset>> ClosedFrequentItemsets(const BasketList& b,
+                                                           std::int64_t min_support);
+
+/// All maximal frequent itemsets with supports, by (size, mask).
+Result<std::vector<CountedItemset>> MaximalFrequentItemsets(const BasketList& b,
+                                                            std::int64_t min_support);
+
+/// Support reconstruction from the closed representation:
+/// frequency status of any itemset, with the exact support of frequent
+/// ones (`s(X) = max` over enclosing closed sets).
+DerivedSupport DeriveFromClosed(const std::vector<CountedItemset>& closed,
+                                std::int64_t min_support, const ItemSet& x);
+
+}  // namespace diffc
+
+#endif  // DIFFC_FIS_CLOSED_H_

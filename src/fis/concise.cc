@@ -1,0 +1,179 @@
+#include "fis/concise.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace diffc {
+
+namespace {
+
+bool BySizeThenMask(const CountedItemset& a, const CountedItemset& b) {
+  if (Popcount(a.items) != Popcount(b.items)) return Popcount(a.items) < Popcount(b.items);
+  return a.items < b.items;
+}
+
+}  // namespace
+
+Result<ConciseRepresentation> ConciseRepresentation::Build(const BasketList& b,
+                                                           const ConciseOptions& options) {
+  if (options.min_support < 1) {
+    return Status::InvalidArgument("concise representation requires min_support >= 1");
+  }
+  if (options.rule_arity < 0) {
+    return Status::InvalidArgument("rule_arity must be nonnegative");
+  }
+  ConciseRepresentation rep;
+  rep.min_support_ = options.min_support;
+
+  // Supports of every counted set (FDFree and border alike), used for the
+  // inclusion–exclusion rule test.
+  std::unordered_map<Mask, std::int64_t> supports;
+
+  // Level 0: the empty set.
+  const std::int64_t total = b.size();
+  ++rep.candidates_counted_;
+  supports.emplace(0, total);
+  if (total < options.min_support) {
+    rep.border_.push_back({0, total});
+    return rep;
+  }
+  rep.fdfree_.push_back({0, total});
+
+  std::vector<Mask> current_level{0};
+  std::unordered_set<Mask> fdfree_prev{0};
+
+  while (!current_level.empty()) {
+    // Candidates: extend by a strictly larger item; all proper max-size
+    // subsets must be frequent disjunctive-free.
+    std::vector<Mask> candidates;
+    for (Mask base : current_level) {
+      const int start = base == 0 ? 0 : 64 - std::countl_zero(base);
+      for (int i = start; i < b.num_items(); ++i) {
+        Mask candidate = base | (Mask{1} << i);
+        bool all_in = true;
+        ForEachBit(candidate, [&](int bit) {
+          if (!fdfree_prev.count(candidate & ~(Mask{1} << bit))) all_in = false;
+        });
+        if (all_in) candidates.push_back(candidate);
+      }
+    }
+    if (candidates.empty()) break;
+
+    // One counting pass for the level.
+    std::unordered_map<Mask, std::int64_t> counts;
+    for (Mask c : candidates) counts.emplace(c, 0);
+    for (Mask basket : b.baskets()) {
+      for (Mask c : candidates) {
+        if (IsSubset(c, basket)) ++counts[c];
+      }
+    }
+    rep.candidates_counted_ += candidates.size();
+
+    std::sort(candidates.begin(), candidates.end());
+    std::vector<Mask> next_level;
+    std::unordered_set<Mask> fdfree_now;
+    for (Mask x : candidates) {
+      const std::int64_t support = counts[x];
+      supports.emplace(x, support);
+      if (support < options.min_support) {
+        rep.border_.push_back({x, support});
+        continue;
+      }
+      // Disjunctive test: some ∅ ≠ R ⊆ X with |R| <= arity and
+      // Σ_{T⊆R} (-1)^{|T|} s(X∖(R∖T)) = 0. All needed supports are stored
+      // (proper subsets of X are FDFree; X itself was just counted).
+      Mask found_rule = 0;
+      ForEachSubset(x, [&](Mask r) {
+        if (found_rule != 0 || r == 0 || Popcount(r) > options.rule_arity) return;
+        std::int64_t differential = 0;
+        ForEachSubset(r, [&](Mask t) {
+          // Term for T: (-1)^{|T|} s((X∖R) ∪ T) = (-1)^{|T|} s(X∖(R∖T)).
+          const std::int64_t s = supports.at((x & ~r) | t);
+          differential += Popcount(t) % 2 == 0 ? s : -s;
+        });
+        if (differential == 0) found_rule = r;
+      });
+      if (found_rule != 0) {
+        rep.border_.push_back({x, support});
+        rep.rules_.push_back({x & ~found_rule, found_rule});
+        continue;
+      }
+      rep.fdfree_.push_back({x, support});
+      next_level.push_back(x);
+      fdfree_now.insert(x);
+    }
+    // Later levels need all FDFree sets of smaller sizes for the subset
+    // check; merge rather than replace.
+    for (Mask m : fdfree_prev) fdfree_now.insert(m);
+    current_level = std::move(next_level);
+    fdfree_prev = std::move(fdfree_now);
+  }
+
+  std::sort(rep.fdfree_.begin(), rep.fdfree_.end(), BySizeThenMask);
+  std::sort(rep.border_.begin(), rep.border_.end(), BySizeThenMask);
+  return rep;
+}
+
+std::optional<std::int64_t> ConciseRepresentation::DeriveExact(
+    Mask x, std::vector<std::pair<Mask, std::int64_t>>& memo) const {
+  for (const auto& [mask, support] : memo) {
+    if (mask == x) return support;
+  }
+  for (const CountedItemset& s : fdfree_) {
+    if (s.items == x) {
+      memo.emplace_back(x, s.support);
+      return s.support;
+    }
+  }
+  for (const CountedItemset& s : border_) {
+    if (s.items == x) {
+      memo.emplace_back(x, s.support);
+      return s.support;
+    }
+  }
+  for (const SingletonDisjunctiveRule& rule : rules_) {
+    if (!IsSubset(rule.lhs | rule.rhs_items, x)) continue;
+    // s(X) = Σ_{∅≠T⊆R} (-1)^{|T|+1} s(X∖T): solve the vanishing
+    // differential for the T = ∅ ... T = R telescope.
+    std::int64_t acc = 0;
+    bool ok = true;
+    ForEachSubset(rule.rhs_items, [&](Mask t) {
+      if (!ok || t == rule.rhs_items) return;  // T ⊊ R terms only.
+      std::optional<std::int64_t> sub = DeriveExact(x & ~(rule.rhs_items & ~t), memo);
+      if (!sub.has_value()) {
+        ok = false;
+        return;
+      }
+      // Solved form: s(X) = (-1)^{|R|+1} Σ_{T⊊R} (-1)^{|T|} s(X∖(R∖T)).
+      acc += Popcount(t) % 2 == 0 ? *sub : -*sub;
+    });
+    if (!ok) continue;
+    std::int64_t support = Popcount(rule.rhs_items) % 2 == 0 ? -acc : acc;
+    memo.emplace_back(x, support);
+    return support;
+  }
+  return std::nullopt;
+}
+
+DerivedSupport ConciseRepresentation::Derive(const ItemSet& x) const {
+  DerivedSupport out;
+  // An infrequent border subset forces infrequency (Apriori monotonicity);
+  // its superset supports are not retained.
+  for (const CountedItemset& s : border_) {
+    if (s.support < min_support_ && IsSubset(s.items, x.bits())) {
+      if (s.items == x.bits()) out.support = s.support;  // Stored exactly.
+      out.frequent = false;
+      return out;
+    }
+  }
+  std::vector<std::pair<Mask, std::int64_t>> memo;
+  std::optional<std::int64_t> support = DeriveExact(x.bits(), memo);
+  if (support.has_value()) {
+    out.frequent = *support >= min_support_;
+    out.support = support;
+  }
+  return out;
+}
+
+}  // namespace diffc

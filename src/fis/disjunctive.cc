@@ -1,0 +1,118 @@
+#include "fis/disjunctive.h"
+
+#include <algorithm>
+
+#include "core/implication.h"
+
+namespace diffc {
+
+bool SatisfiesDisjunctive(const BasketList& b, const DifferentialConstraint& c) {
+  for (Mask basket : b.baskets()) {
+    if (!IsSubset(c.lhs().bits(), basket)) continue;
+    bool covered = false;
+    for (const ItemSet& member : c.rhs().members()) {
+      if (IsSubset(member.bits(), basket)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+bool SatisfiesSingletonRule(const BasketList& b, const SingletonDisjunctiveRule& rule) {
+  for (Mask basket : b.baskets()) {
+    if (IsSubset(rule.lhs, basket) && (basket & rule.rhs_items) == 0) return false;
+  }
+  return true;
+}
+
+Result<bool> IsDisjunctiveItemset(const BasketList& b, const ItemSet& x, int max_rhs) {
+  if (x.size() > 24) {
+    return Status::ResourceExhausted("disjunctive-itemset check over " +
+                                     std::to_string(x.size()) + " items");
+  }
+  // By augmentation it suffices to test lhs = x ∖ R for each candidate R
+  // (see the header comment of SingletonDisjunctiveRule).
+  bool found = false;
+  ForEachSubset(x.bits(), [&](Mask r) {
+    if (found || r == 0 || Popcount(r) > max_rhs) return;
+    if (SatisfiesSingletonRule(b, {x.bits() & ~r, r})) found = true;
+  });
+  return found;
+}
+
+Result<std::vector<SingletonDisjunctiveRule>> MineSingletonRules(const BasketList& b,
+                                                                 int max_lhs, int max_rhs,
+                                                                 std::size_t max_results) {
+  const int n = b.num_items();
+  if (n > 24) {
+    return Status::ResourceExhausted("rule mining over " + std::to_string(n) + " items");
+  }
+  std::vector<SingletonDisjunctiveRule> satisfied;
+  // Enumerate left-hand sides by increasing size, right-hand sides by
+  // increasing size, and keep rules not dominated by an earlier one.
+  std::vector<Mask> all_sets;
+  for (Mask m = 0; m < (Mask{1} << n); ++m) {
+    if (Popcount(m) <= std::max(max_lhs, max_rhs)) all_sets.push_back(m);
+  }
+  std::sort(all_sets.begin(), all_sets.end(), [](Mask a, Mask b2) {
+    if (Popcount(a) != Popcount(b2)) return Popcount(a) < Popcount(b2);
+    return a < b2;
+  });
+  for (Mask lhs : all_sets) {
+    if (Popcount(lhs) > max_lhs) continue;
+    for (Mask rhs : all_sets) {
+      if (rhs == 0 || Popcount(rhs) > max_rhs || (lhs & rhs) != 0) continue;
+      bool dominated = false;
+      for (const SingletonDisjunctiveRule& prev : satisfied) {
+        if (IsSubset(prev.lhs, lhs) && IsSubset(prev.rhs_items, rhs)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (dominated) continue;
+      if (SatisfiesSingletonRule(b, {lhs, rhs})) {
+        satisfied.push_back({lhs, rhs});
+        if (satisfied.size() > max_results) {
+          return Status::ResourceExhausted("more than " + std::to_string(max_results) +
+                                           " minimal rules");
+        }
+      }
+    }
+  }
+  std::sort(satisfied.begin(), satisfied.end(),
+            [](const SingletonDisjunctiveRule& a, const SingletonDisjunctiveRule& b2) {
+              if (a.lhs != b2.lhs) return a.lhs < b2.lhs;
+              return a.rhs_items < b2.rhs_items;
+            });
+  return satisfied;
+}
+
+Result<bool> IsDisjunctiveForConstraints(int n, const ConstraintSet& c, const ItemSet& x) {
+  if (x.size() > 20) {
+    return Status::ResourceExhausted("Σ2 disjunctive check over " +
+                                     std::to_string(x.size()) + " items");
+  }
+  // ∃ phase: candidate nontrivial constraints (x∖R) -> {{y}|y∈R} with
+  // ∅ ≠ R ⊆ x; ∀ phase: C |= candidate via the SAT-based coNP checker.
+  Status first_error = Status::Ok();
+  bool found = false;
+  ForEachSubset(x.bits(), [&](Mask r) {
+    if (found || !first_error.ok() || r == 0) return;
+    std::vector<ItemSet> members;
+    ForEachBit(r, [&](int y) { members.push_back(ItemSet::Singleton(y)); });
+    DifferentialConstraint candidate(ItemSet(x.bits() & ~r), SetFamily(std::move(members)));
+    Result<ImplicationOutcome> implied = CheckImplicationSat(n, c, candidate);
+    if (!implied.ok()) {
+      first_error = implied.status();
+      return;
+    }
+    if (implied->implied) found = true;
+  });
+  if (!first_error.ok()) return first_error;
+  return found;
+}
+
+}  // namespace diffc

@@ -1,0 +1,63 @@
+#ifndef DIFFC_FIS_DISJUNCTIVE_H_
+#define DIFFC_FIS_DISJUNCTIVE_H_
+
+#include <vector>
+
+#include "core/constraint.h"
+#include "fis/basket.h"
+#include "util/status.h"
+
+namespace diffc {
+
+/// Disjunctive constraints over basket lists (Definition 6.1): `B`
+/// satisfies `X ⇒disj Y` iff `B(X) = ∪_{Y∈Y} B(X∪Y)` — every basket
+/// containing `X` contains some member of `Y` entirely. By
+/// Proposition 6.3 this holds iff the support function `s_B` satisfies the
+/// differential constraint `X -> Y` (checked in tests).
+/// O(|B| · |Y|).
+bool SatisfiesDisjunctive(const BasketList& b, const DifferentialConstraint& c);
+
+/// A disjunctive rule with singleton alternatives: `lhs ⇒disj
+/// {{y} | y ∈ rhs_items}` — the form of Bykowski–Rigotti (|rhs| <= 2) and
+/// Kryszkiewicz–Gajek (arbitrary |rhs|) rules. Any satisfied nontrivial
+/// disjunctive constraint yields a satisfied nontrivial singleton rule
+/// over the same items (pick one element outside X per member), so
+/// singleton rules decide disjunctive-itemset status.
+struct SingletonDisjunctiveRule {
+  Mask lhs = 0;
+  Mask rhs_items = 0;
+
+  friend bool operator==(const SingletonDisjunctiveRule& a,
+                         const SingletonDisjunctiveRule& b) {
+    return a.lhs == b.lhs && a.rhs_items == b.rhs_items;
+  }
+};
+
+/// True iff `b` satisfies the singleton rule.
+bool SatisfiesSingletonRule(const BasketList& b, const SingletonDisjunctiveRule& rule);
+
+/// True iff `x` is a disjunctive itemset of `b` (Definition 6.2) with
+/// alternative sets of size at most `max_rhs` (2 = Bykowski–Rigotti
+/// disjunctive; x.size() = unbounded/generalized): some nonempty `R ⊆ x`
+/// with `|R| <= max_rhs` has `(x∖R) ⇒disj R` satisfied. O(2^|x| · |B|);
+/// requires |x| <= 24.
+Result<bool> IsDisjunctiveItemset(const BasketList& b, const ItemSet& x, int max_rhs);
+
+/// All minimal satisfied singleton rules with `|lhs| <= max_lhs` and
+/// `1 <= |rhs| <= max_rhs`, lexicographic by (lhs, rhs). "Minimal": no
+/// satisfied rule with subset lhs and subset rhs is reported. Exponential
+/// search over the item universe; `max_results` guards the output.
+Result<std::vector<SingletonDisjunctiveRule>> MineSingletonRules(
+    const BasketList& b, int max_lhs, int max_rhs, std::size_t max_results = 100000);
+
+/// The Σ2 decision of Section 6.1.1: is `x` a disjunctive itemset
+/// *according to a constraint set `C`* — does `C` imply some nontrivial
+/// constraint `X' -> Y'` with `X ⊇ X' ∪ ∪Y'`? Searches singleton-member
+/// candidates (complete, by the projection argument) and decides each
+/// implication with the SAT checker: an ∃∀ procedure matching the
+/// problem's Σ2 upper bound. Requires |x| <= 20.
+Result<bool> IsDisjunctiveForConstraints(int n, const ConstraintSet& c, const ItemSet& x);
+
+}  // namespace diffc
+
+#endif  // DIFFC_FIS_DISJUNCTIVE_H_

@@ -1,0 +1,87 @@
+#ifndef DIFFC_FIS_FREQUENCY_H_
+#define DIFFC_FIS_FREQUENCY_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/constraint.h"
+#include "fis/basket.h"
+#include "math/simplex.h"
+#include "util/status.h"
+
+namespace diffc {
+
+/// Frequency constraints (Calders–Paredaens) and their interaction with
+/// differential constraints — the paper's closing future-work direction:
+/// "constraints on the density functions … would permit a study of the
+/// relationship between such constraints and the frequency constraints
+/// considered by Calders and Paredaens."
+///
+/// A frequency constraint bounds a support value: `lo <= s(X) <= hi`.
+/// Over the density variables `d(U) >= 0` (support functions are exactly
+/// the functions with nonnegative integer densities, Section 6.1) these
+/// are linear constraints, and a differential constraint `X -> Y` *fixes
+/// densities to zero* on `L(X, Y)`. Rational-relaxation reasoning —
+/// consistency and entailed support intervals — is therefore exact linear
+/// programming, solved here with the rational simplex substrate.
+
+/// `lo <= s(itemset) <= hi`; omit `hi` for no upper bound.
+struct FrequencyConstraint {
+  ItemSet itemset;
+  std::int64_t lo = 0;
+  std::optional<std::int64_t> hi;
+};
+
+/// True iff the basket list satisfies the constraint.
+bool SatisfiesFrequencyConstraint(const BasketList& b, const FrequencyConstraint& c);
+
+/// The frequency constraints a basket list induces on a collection of
+/// itemsets (exact point constraints, `lo = hi = s(X)`), handy for tests
+/// and demos.
+std::vector<FrequencyConstraint> ExactConstraintsOf(const BasketList& b,
+                                                    const std::vector<ItemSet>& itemsets);
+
+/// Result of a consistency query.
+struct FrequencyConsistency {
+  /// True iff some *fractional* nonnegative density satisfies everything
+  /// (rational relaxation of FREQSAT; a necessary condition for a basket
+  /// list to exist, exact when a rational witness can be scaled — which
+  /// the simplex vertex always can).
+  bool consistent = false;
+  /// When consistent: a witness basket list obtained by scaling the
+  /// rational density vertex to integers. Satisfies every differential
+  /// constraint, and every frequency constraint whose bounds scale
+  /// (two-sided constraints are only preserved up to the scaling factor —
+  /// see `scaling`); present only when scaling preserved all constraints.
+  std::optional<BasketList> witness;
+  /// The factor the witness was scaled by (1 = witness meets the bounds
+  /// verbatim).
+  std::int64_t scaling = 1;
+};
+
+/// Decides whether the frequency constraints plus the differential
+/// constraints are simultaneously satisfiable by a (fractional) support
+/// function over `n` items. Differential constraints enter as `d(U) = 0`
+/// on their lattice decompositions — i.e. dropped density variables.
+/// Requires `n <= max_bits` (default 10; the LP has 2^n variables).
+Result<FrequencyConsistency> CheckFrequencyConsistency(
+    int n, const std::vector<FrequencyConstraint>& frequency,
+    const ConstraintSet& differential = {}, int max_bits = 10);
+
+/// The tightest support interval for `target` entailed by the frequency
+/// and differential constraints over fractional support functions:
+/// min/max of `s(target)` subject to the constraint polytope. Returns
+/// nullopt upper bound when unbounded; FailedPrecondition when the
+/// constraints are inconsistent.
+struct SupportInterval {
+  Rational lo;
+  std::optional<Rational> hi;
+};
+Result<SupportInterval> ImpliedSupportInterval(
+    int n, const std::vector<FrequencyConstraint>& frequency,
+    const ConstraintSet& differential, const ItemSet& target, int max_bits = 10);
+
+}  // namespace diffc
+
+#endif  // DIFFC_FIS_FREQUENCY_H_

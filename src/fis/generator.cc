@@ -1,0 +1,65 @@
+#include "fis/generator.h"
+
+namespace diffc {
+
+Result<BasketList> GenerateBaskets(const BasketGenConfig& config) {
+  if (config.num_items < 1 || config.num_items > 64) {
+    return Status::InvalidArgument("generator needs 1..64 items");
+  }
+  if (config.num_baskets < 0 || config.num_patterns < 0) {
+    return Status::InvalidArgument("negative generator counts");
+  }
+  Rng rng(config.seed);
+  std::vector<Mask> patterns;
+  patterns.reserve(config.num_patterns);
+  for (int i = 0; i < config.num_patterns; ++i) {
+    Mask pattern = 0;
+    while (Popcount(pattern) < config.pattern_size) {
+      pattern |= Mask{1} << rng.UniformInt(0, config.num_items - 1);
+    }
+    patterns.push_back(pattern);
+  }
+  std::vector<Mask> baskets;
+  baskets.reserve(config.num_baskets);
+  for (int i = 0; i < config.num_baskets; ++i) {
+    Mask basket = rng.RandomMask(config.num_items, config.noise_density);
+    for (Mask pattern : patterns) {
+      if (rng.Bernoulli(config.pattern_prob)) basket |= pattern;
+    }
+    baskets.push_back(basket);
+  }
+  return BasketList::Make(config.num_items, std::move(baskets));
+}
+
+Result<BasketList> GenerateBasketsWithRules(const BasketGenConfig& config,
+                                            const std::vector<PlantedRule>& rules) {
+  Result<BasketList> base = GenerateBaskets(config);
+  if (!base.ok()) return base.status();
+  for (const PlantedRule& rule : rules) {
+    if (rule.trigger < 0 || rule.trigger >= config.num_items ||
+        rule.alternatives.empty() ||
+        !IsSubset(rule.alternatives.bits(), FullMask(config.num_items))) {
+      return Status::InvalidArgument("planted rule outside the item universe");
+    }
+  }
+  Rng rng(config.seed ^ 0x9e3779b97f4a7c15ULL);
+  std::vector<Mask> baskets = base->baskets();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (Mask& basket : baskets) {
+      for (const PlantedRule& rule : rules) {
+        if (((basket >> rule.trigger) & 1) != 0 &&
+            (basket & rule.alternatives.bits()) == 0) {
+          // Add one uniformly random alternative item.
+          Mask pick = rng.RandomNonemptySubsetOf(rule.alternatives.bits());
+          basket |= Mask{1} << LowestBit(pick);
+          changed = true;
+        }
+      }
+    }
+  }
+  return BasketList::Make(config.num_items, std::move(baskets));
+}
+
+}  // namespace diffc

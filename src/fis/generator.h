@@ -1,0 +1,51 @@
+#ifndef DIFFC_FIS_GENERATOR_H_
+#define DIFFC_FIS_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fis/basket.h"
+#include "util/random.h"
+
+namespace diffc {
+
+/// Configuration of the synthetic basket generator (the substitution for
+/// the retail traces used by the concise-representation literature; see
+/// DESIGN.md §5). Baskets are built IBM-Quest style: a pool of random
+/// patterns is sampled into each basket, plus independent noise items.
+struct BasketGenConfig {
+  int num_items = 16;
+  int num_baskets = 1000;
+  /// Number of patterns in the pool.
+  int num_patterns = 6;
+  /// Items per pattern.
+  int pattern_size = 4;
+  /// Probability that a given pattern is included in a basket.
+  double pattern_prob = 0.3;
+  /// Independent probability of each noise item.
+  double noise_density = 0.05;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a synthetic basket list from `config`.
+Result<BasketList> GenerateBaskets(const BasketGenConfig& config);
+
+/// A disjunctive rule planted into generated data: whenever `trigger` is
+/// present in a basket, at least one of `alternatives` is forced in, so
+/// the list satisfies `{trigger} ⇒disj {{a} | a ∈ alternatives}`.
+struct PlantedRule {
+  int trigger = 0;
+  ItemSet alternatives;
+};
+
+/// Generates baskets and then enforces `rules`, adding one random
+/// alternative to any basket violating a rule (rules are re-applied until
+/// all hold, so later rules cannot break earlier ones). Planted rules make
+/// supersets of `{trigger} ∪ alternatives` disjunctive itemsets, shrinking
+/// the disjunctive-free representation — the knob for experiment E6.
+Result<BasketList> GenerateBasketsWithRules(const BasketGenConfig& config,
+                                            const std::vector<PlantedRule>& rules);
+
+}  // namespace diffc
+
+#endif  // DIFFC_FIS_GENERATOR_H_

@@ -1,0 +1,35 @@
+#include "fis/induce.h"
+
+namespace diffc {
+
+bool IsSupportFunction(const SetFunction<std::int64_t>& f) {
+  SetFunction<std::int64_t> density = Density(f);
+  for (Mask m = 0; m < density.size(); ++m) {
+    if (density.at(m) < 0) return false;
+  }
+  return true;
+}
+
+Result<BasketList> InduceBaskets(const SetFunction<std::int64_t>& f,
+                                 std::int64_t max_baskets) {
+  SetFunction<std::int64_t> density = Density(f);
+  std::int64_t total = 0;
+  for (Mask m = 0; m < density.size(); ++m) {
+    if (density.at(m) < 0) {
+      return Status::InvalidArgument("not a support function: d_f < 0 somewhere");
+    }
+    total += density.at(m);
+    if (total > max_baskets) {
+      return Status::ResourceExhausted("induced basket list exceeds " +
+                                       std::to_string(max_baskets) + " baskets");
+    }
+  }
+  std::vector<Mask> baskets;
+  baskets.reserve(total);
+  for (Mask m = 0; m < density.size(); ++m) {
+    for (std::int64_t k = 0; k < density.at(m); ++k) baskets.push_back(m);
+  }
+  return BasketList::Make(f.n(), std::move(baskets));
+}
+
+}  // namespace diffc

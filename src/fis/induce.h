@@ -1,0 +1,31 @@
+#ifndef DIFFC_FIS_INDUCE_H_
+#define DIFFC_FIS_INDUCE_H_
+
+#include <cstdint>
+
+#include "fis/basket.h"
+#include "lattice/mobius.h"
+#include "util/status.h"
+
+namespace diffc {
+
+/// The basket-space induction of Section 6: "it is possible to induce a
+/// basket space from each of these functions, and vice versa." A function
+/// `f : 2^S -> Z` is the support function of some basket list iff its
+/// density is nonnegative (then the density *is* the multiplicity
+/// function `d^B`).
+
+/// True iff `f` is the support function of some basket list: integer
+/// values with nonnegative density.
+bool IsSupportFunction(const SetFunction<std::int64_t>& f);
+
+/// The unique basket list (up to order) whose support function is `f`:
+/// basket `U` repeated `d_f(U)` times, ordered by mask. InvalidArgument
+/// when the density takes a negative value; ResourceExhausted when the
+/// total basket count exceeds `max_baskets`.
+Result<BasketList> InduceBaskets(const SetFunction<std::int64_t>& f,
+                                 std::int64_t max_baskets = 10'000'000);
+
+}  // namespace diffc
+
+#endif  // DIFFC_FIS_INDUCE_H_

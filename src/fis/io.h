@@ -1,0 +1,36 @@
+#ifndef DIFFC_FIS_IO_H_
+#define DIFFC_FIS_IO_H_
+
+#include <string>
+
+#include "fis/basket.h"
+#include "util/status.h"
+
+namespace diffc {
+
+/// Plain-text basket files, for interoperability with the classic FIMI
+/// transaction format:
+///
+///   # comment lines start with '#'
+///   items 12          <- header: universe size
+///   0 3 7             <- one basket per line, space-separated item ids
+///   2
+///   -                 <- "-" marks an empty basket; blank lines are skipped
+///
+/// Item ids must lie in [0, items).
+
+/// Writes `b` to `path`. Overwrites an existing file.
+Status SaveBaskets(const BasketList& b, const std::string& path);
+
+/// Reads a basket file written by `SaveBaskets` (or by hand).
+Result<BasketList> LoadBaskets(const std::string& path);
+
+/// Serializes to the text format in memory (used by SaveBaskets).
+std::string BasketsToText(const BasketList& b);
+
+/// Parses the text format (used by LoadBaskets).
+Result<BasketList> BasketsFromText(const std::string& text);
+
+}  // namespace diffc
+
+#endif  // DIFFC_FIS_IO_H_

@@ -1,0 +1,177 @@
+#include "fis/ndi.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace diffc {
+
+Result<SupportBounds> NdiBounds(Mask x, std::int64_t num_baskets,
+                                const std::function<std::int64_t(Mask)>& support_of) {
+  if (Popcount(x) > 20) {
+    return Status::ResourceExhausted("NDI bounds over " + std::to_string(Popcount(x)) +
+                                     " items");
+  }
+  SupportBounds bounds{0, num_baskets};
+  if (x == 0) {
+    // s(∅) = |B| exactly.
+    bounds.lower = bounds.upper = num_baskets;
+    return bounds;
+  }
+  ForEachSubset(x, [&](Mask y) {
+    if (y == x) return;  // Proper subsets only.
+    const Mask diff = x & ~y;
+    // σ = -Σ_{T ⊊ X∖Y} (-1)^{|T|} s(Y ∪ T); the differential inequality
+    // (-1)^{|X∖Y|} s(X) >= σ then bounds s(X) from below (|X∖Y| even) or
+    // above (|X∖Y| odd).
+    std::int64_t sigma = 0;
+    ForEachSubset(diff, [&](Mask t) {
+      if (t == diff) return;
+      const std::int64_t s = support_of(y | t);
+      sigma -= Popcount(t) % 2 == 0 ? s : -s;
+    });
+    if (Popcount(diff) % 2 == 0) {
+      bounds.lower = std::max(bounds.lower, sigma);
+    } else {
+      bounds.upper = std::min(bounds.upper, -sigma);
+    }
+  });
+  return bounds;
+}
+
+Result<NdiRepresentation> NdiRepresentation::Build(const BasketList& b,
+                                                   std::int64_t min_support) {
+  if (min_support < 1) {
+    return Status::InvalidArgument("NDI representation requires min_support >= 1");
+  }
+  NdiRepresentation rep;
+  rep.min_support_ = min_support;
+  rep.num_baskets_ = b.size();
+
+  // Supports of every frequent set seen so far (counted or derived).
+  std::unordered_map<Mask, std::int64_t> supports;
+  auto lookup = [&supports](Mask m) { return supports.at(m); };
+
+  // Level 0: s(∅) = |B| is always derivable (never stored, never counted).
+  if (b.size() < min_support) return rep;
+  supports.emplace(0, b.size());
+
+  std::vector<Mask> current_level{0};
+  std::unordered_set<Mask> frequent_prev{0};
+
+  while (!current_level.empty()) {
+    std::vector<Mask> candidates;
+    for (Mask base : current_level) {
+      const int start = base == 0 ? 0 : 64 - std::countl_zero(base);
+      for (int i = start; i < b.num_items(); ++i) {
+        Mask candidate = base | (Mask{1} << i);
+        bool all_in = true;
+        ForEachBit(candidate, [&](int bit) {
+          if (!frequent_prev.count(candidate & ~(Mask{1} << bit))) all_in = false;
+        });
+        if (all_in) candidates.push_back(candidate);
+      }
+    }
+    if (candidates.empty()) break;
+
+    // Split candidates into derivable (support known from bounds) and
+    // non-derivable (must be counted).
+    std::vector<std::pair<Mask, SupportBounds>> to_count;
+    std::vector<std::pair<Mask, std::int64_t>> level_supports;
+    for (Mask x : candidates) {
+      Result<SupportBounds> bounds = NdiBounds(x, b.size(), lookup);
+      if (!bounds.ok()) return bounds.status();
+      if (bounds->Derivable()) {
+        level_supports.emplace_back(x, bounds->lower);
+      } else {
+        to_count.emplace_back(x, *bounds);
+      }
+    }
+    if (!to_count.empty()) {
+      std::unordered_map<Mask, std::int64_t> counts;
+      for (const auto& [x, bounds] : to_count) counts.emplace(x, 0);
+      for (Mask basket : b.baskets()) {
+        for (const auto& [x, bounds] : to_count) {
+          if (IsSubset(x, basket)) ++counts[x];
+        }
+      }
+      rep.candidates_counted_ += to_count.size();
+      for (const auto& [x, bounds] : to_count) {
+        const std::int64_t support = counts[x];
+        level_supports.emplace_back(x, support);
+        if (support >= min_support) rep.ndi_.push_back({x, support});
+      }
+    }
+
+    std::vector<Mask> next_level;
+    std::unordered_set<Mask> frequent_now = frequent_prev;
+    std::sort(level_supports.begin(), level_supports.end());
+    for (const auto& [x, support] : level_supports) {
+      if (support >= min_support) {
+        supports.emplace(x, support);
+        next_level.push_back(x);
+        frequent_now.insert(x);
+      }
+    }
+    current_level = std::move(next_level);
+    frequent_prev = std::move(frequent_now);
+  }
+
+  std::sort(rep.ndi_.begin(), rep.ndi_.end(),
+            [](const CountedItemset& a, const CountedItemset& b2) {
+              if (Popcount(a.items) != Popcount(b2.items)) {
+                return Popcount(a.items) < Popcount(b2.items);
+              }
+              return a.items < b2.items;
+            });
+  return rep;
+}
+
+std::optional<std::int64_t> NdiRepresentation::SupportOf(
+    Mask x, std::vector<std::pair<Mask, std::optional<std::int64_t>>>& memo) const {
+  for (const auto& [mask, support] : memo) {
+    if (mask == x) return support;
+  }
+  auto remember = [&memo, x](std::optional<std::int64_t> v) {
+    memo.emplace_back(x, v);
+    return v;
+  };
+  if (x == 0) return remember(num_baskets_ >= min_support_
+                                  ? std::optional<std::int64_t>(num_baskets_)
+                                  : std::nullopt);
+  for (const CountedItemset& s : ndi_) {
+    if (s.items == x) return remember(s.support);
+  }
+  // All proper subsets must be frequent with known supports; otherwise x
+  // is infrequent by monotonicity.
+  bool subsets_ok = true;
+  ForEachBit(x, [&](int bit) {
+    if (!subsets_ok) return;
+    std::optional<std::int64_t> sub = SupportOf(x & ~(Mask{1} << bit), memo);
+    if (!sub.has_value() || *sub < min_support_) subsets_ok = false;
+  });
+  if (!subsets_ok) return remember(std::nullopt);
+
+  Result<SupportBounds> bounds = NdiBounds(x, num_baskets_, [&](Mask m) {
+    return *SupportOf(m, memo);  // Proper subsets: known by the check above.
+  });
+  if (!bounds.ok()) return remember(std::nullopt);
+  if (bounds->Derivable()) return remember(bounds->lower);
+  // Non-derivable and not stored: not a frequent set.
+  return remember(std::nullopt);
+}
+
+DerivedSupport NdiRepresentation::Derive(const ItemSet& x) const {
+  std::vector<std::pair<Mask, std::optional<std::int64_t>>> memo;
+  std::optional<std::int64_t> support = SupportOf(x.bits(), memo);
+  DerivedSupport out;
+  if (support.has_value()) {
+    out.frequent = *support >= min_support_;
+    out.support = support;
+  } else {
+    out.frequent = false;
+  }
+  return out;
+}
+
+}  // namespace diffc

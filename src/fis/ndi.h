@@ -1,0 +1,78 @@
+#ifndef DIFFC_FIS_NDI_H_
+#define DIFFC_FIS_NDI_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "fis/apriori.h"
+#include "fis/basket.h"
+#include "fis/concise.h"
+#include "util/status.h"
+
+namespace diffc {
+
+/// Non-derivable itemsets (Calders–Goethals, PKDD 2002 — cited by the
+/// paper as a concise representation the differential theory explains).
+///
+/// Support functions are frequency functions (Section 6), so *every*
+/// differential is nonnegative:
+///
+///   D^{X∖Y}_{s}(Y) = Σ_{T ⊆ X∖Y} (-1)^{|T|} s(Y ∪ T)  >=  0
+///                                              for every Y ⊆ X.
+///
+/// Isolating the `T = X∖Y` term turns each such inequality into a bound on
+/// `s(X)` in terms of supports of proper subsets: a lower bound when
+/// `|X∖Y|` is even, an upper bound when odd. `X` is *derivable* when its
+/// lower and upper bounds meet — then `s(X)` is known without counting,
+/// and the representation stores only non-derivable frequent itemsets.
+
+/// Inclusion–exclusion support bounds for `x` from its proper subsets'
+/// supports, supplied by `support_of` (which is only called on proper
+/// subsets of `x`). Cost O(3^|x|); requires |x| <= 20.
+struct SupportBounds {
+  std::int64_t lower = 0;
+  std::int64_t upper = 0;
+
+  bool Derivable() const { return lower == upper; }
+};
+Result<SupportBounds> NdiBounds(Mask x, std::int64_t num_baskets,
+                                const std::function<std::int64_t(Mask)>& support_of);
+
+/// The NDI concise representation: the non-derivable frequent itemsets
+/// with their supports.
+class NdiRepresentation {
+ public:
+  /// Builds the representation level-wise: candidates whose subsets are
+  /// all frequent get their bounds evaluated; only non-derivable ones are
+  /// counted against the baskets.
+  static Result<NdiRepresentation> Build(const BasketList& b, std::int64_t min_support);
+
+  /// The stored non-derivable frequent itemsets, by (size, mask).
+  const std::vector<CountedItemset>& ndi() const { return ndi_; }
+  /// Number of supports counted against the baskets.
+  std::uint64_t candidates_counted() const { return candidates_counted_; }
+  /// Representation size.
+  std::size_t size() const { return ndi_.size(); }
+
+  /// Frequency status of an arbitrary itemset, with the exact support for
+  /// every frequent itemset, reconstructed from the stored sets through
+  /// the deduction bounds (no basket access).
+  DerivedSupport Derive(const ItemSet& x) const;
+
+ private:
+  // Memoized exact-support reconstruction; nullopt = infrequent with
+  // unknown support.
+  std::optional<std::int64_t> SupportOf(
+      Mask x, std::vector<std::pair<Mask, std::optional<std::int64_t>>>& memo) const;
+
+  std::vector<CountedItemset> ndi_;
+  std::uint64_t candidates_counted_ = 0;
+  std::int64_t min_support_ = 1;
+  std::int64_t num_baskets_ = 0;
+};
+
+}  // namespace diffc
+
+#endif  // DIFFC_FIS_NDI_H_

@@ -1,0 +1,19 @@
+#include "fis/support.h"
+
+namespace diffc {
+
+Result<SetFunction<std::int64_t>> BasketMultiplicity(const BasketList& b) {
+  Result<SetFunction<std::int64_t>> d = SetFunction<std::int64_t>::Make(b.num_items());
+  if (!d.ok()) return d.status();
+  for (Mask basket : b.baskets()) ++d->at(basket);
+  return d;
+}
+
+Result<SetFunction<std::int64_t>> SupportFunction(const BasketList& b) {
+  Result<SetFunction<std::int64_t>> s = BasketMultiplicity(b);
+  if (!s.ok()) return s.status();
+  ZetaSupersetInPlace(*s);
+  return s;
+}
+
+}  // namespace diffc

@@ -1,0 +1,23 @@
+#ifndef DIFFC_FIS_SUPPORT_H_
+#define DIFFC_FIS_SUPPORT_H_
+
+#include <cstdint>
+
+#include "fis/basket.h"
+#include "lattice/mobius.h"
+
+namespace diffc {
+
+/// The multiplicity function `d^B(X) = |{i : B[i] = X}|` (Section 6.1) —
+/// the density of the support function (`d_{s_B} = d^B`, Remark 2.3
+/// applied to baskets). Requires `num_items <= kMaxSetFunctionBits`.
+Result<SetFunction<std::int64_t>> BasketMultiplicity(const BasketList& b);
+
+/// The full support function `s_B` over every itemset, computed as the
+/// superset-zeta transform of the multiplicity in O(n·2^n + |B|) — exactly
+/// equation (5): `s_B(X) = Σ_{X ⊆ U} d^B(U)`.
+Result<SetFunction<std::int64_t>> SupportFunction(const BasketList& b);
+
+}  // namespace diffc
+
+#endif  // DIFFC_FIS_SUPPORT_H_

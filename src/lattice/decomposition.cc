@@ -1,0 +1,62 @@
+#include "lattice/decomposition.h"
+
+#include <algorithm>
+
+#include "lattice/hitting_set.h"
+
+namespace diffc {
+
+bool InDecomposition(int n, const ItemSet& x, const SetFamily& family, const ItemSet& u) {
+  if (!x.IsSubsetOf(u)) return false;
+  if (!IsSubset(u.bits(), FullMask(n))) return false;
+  return !family.SomeMemberSubsetOf(u);
+}
+
+bool DecompositionIsEmpty(const ItemSet& x, const SetFamily& family) {
+  return family.SomeMemberSubsetOf(x);
+}
+
+Result<std::vector<ItemSet>> EnumerateDecomposition(int n, const ItemSet& x,
+                                                    const SetFamily& family,
+                                                    int max_free_bits) {
+  const int free_bits = n - x.size();
+  if (free_bits > max_free_bits) {
+    return Status::ResourceExhausted("decomposition enumeration over " +
+                                     std::to_string(free_bits) + " free attributes");
+  }
+  std::vector<ItemSet> out;
+  ForEachSuperset(x.bits(), FullMask(n), [&](Mask u) {
+    ItemSet cand(u);
+    if (!family.SomeMemberSubsetOf(cand)) out.push_back(cand);
+  });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<std::uint64_t> CountDecomposition(int n, const ItemSet& x, const SetFamily& family,
+                                         int max_free_bits) {
+  const int free_bits = n - x.size();
+  if (free_bits > max_free_bits) {
+    return Status::ResourceExhausted("decomposition count over " +
+                                     std::to_string(free_bits) + " free attributes");
+  }
+  std::uint64_t count = 0;
+  ForEachSuperset(x.bits(), FullMask(n), [&](Mask u) {
+    if (!family.SomeMemberSubsetOf(ItemSet(u))) ++count;
+  });
+  return count;
+}
+
+Result<std::vector<Interval>> DecompositionIntervalCover(int n, const ItemSet& x,
+                                                         const SetFamily& family) {
+  Result<std::vector<ItemSet>> witnesses = MinimalWitnessSets(family);
+  if (!witnesses.ok()) return witnesses.status();
+  std::vector<Interval> cover;
+  for (const ItemSet& w : *witnesses) {
+    Interval iv{x, w.ComplementIn(n)};
+    if (!iv.IsEmpty()) cover.push_back(iv);
+  }
+  return cover;
+}
+
+}  // namespace diffc

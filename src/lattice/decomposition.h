@@ -1,0 +1,49 @@
+#ifndef DIFFC_LATTICE_DECOMPOSITION_H_
+#define DIFFC_LATTICE_DECOMPOSITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "lattice/interval.h"
+#include "lattice/set_family.h"
+#include "util/status.h"
+
+namespace diffc {
+
+/// Lattice decompositions (Definition 2.6, with the pointwise
+/// characterization established in the proof of Proposition 2.9):
+///
+///   L(X, Y) = ∪_{W ∈ W(Y)} [X, S∖W]
+///           = { U | X ⊆ U ⊆ S and no member Y ∈ Y has Y ⊆ U }.
+///
+/// Membership is O(|Y|); enumeration is exponential and guarded.
+
+/// True iff `u` ∈ L(`x`, `family`) within a universe of `n` attributes.
+bool InDecomposition(int n, const ItemSet& x, const SetFamily& family, const ItemSet& u);
+
+/// True iff L(`x`, `family`) = ∅, i.e. some member of `family` is contained
+/// in `x` — exactly when the constraint `x -> family` is trivial.
+bool DecompositionIsEmpty(const ItemSet& x, const SetFamily& family);
+
+/// All elements of L(`x`, `family`), sorted by mask. Requires the number of
+/// free attributes `n - |x|` to be at most `max_free_bits` (default 24);
+/// returns ResourceExhausted otherwise.
+Result<std::vector<ItemSet>> EnumerateDecomposition(int n, const ItemSet& x,
+                                                    const SetFamily& family,
+                                                    int max_free_bits = 24);
+
+/// |L(`x`, `family`)| without materializing the elements; same guard as
+/// `EnumerateDecomposition`.
+Result<std::uint64_t> CountDecomposition(int n, const ItemSet& x, const SetFamily& family,
+                                         int max_free_bits = 24);
+
+/// The interval cover of Definition 2.6 built from *minimal* witness sets:
+/// nonempty intervals `[x, S∖W]` for each minimal `W ∈ W(family)`. Their
+/// union is exactly L(x, family); minimal witness sets give the maximal
+/// intervals.
+Result<std::vector<Interval>> DecompositionIntervalCover(int n, const ItemSet& x,
+                                                         const SetFamily& family);
+
+}  // namespace diffc
+
+#endif  // DIFFC_LATTICE_DECOMPOSITION_H_

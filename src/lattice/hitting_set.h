@@ -1,0 +1,38 @@
+#ifndef DIFFC_LATTICE_HITTING_SET_H_
+#define DIFFC_LATTICE_HITTING_SET_H_
+
+#include <vector>
+
+#include "lattice/set_family.h"
+#include "util/status.h"
+
+namespace diffc {
+
+/// Witness sets (Definition 2.5): `W` is a witness set of the family `Y`
+/// iff `W ⊆ ∪Y` and `W ∩ Y ≠ ∅` for every member `Y ∈ Y`.
+///
+/// Witness sets of `Y` are exactly the hitting sets (transversals) of `Y`
+/// drawn from `∪Y`. `W(∅) = {∅}`, and a family with an empty member has no
+/// witness sets.
+bool IsWitnessSet(const SetFamily& family, const ItemSet& w);
+
+/// True iff `family` has at least one witness set (no member is empty).
+bool HasWitnessSet(const SetFamily& family);
+
+/// All witness sets of `family`, sorted by mask. Enumerates the subsets of
+/// `∪Y`; returns ResourceExhausted when `|∪Y|` exceeds `max_union_bits`
+/// (default 24).
+Result<std::vector<ItemSet>> AllWitnessSets(const SetFamily& family,
+                                            int max_union_bits = 24);
+
+/// The ⊆-minimal witness sets of `family` (the minimal transversal
+/// antichain), sorted by mask. Every witness set is a superset of a minimal
+/// one, so these generate the lattice decomposition's interval cover.
+/// Computed by branch-and-extend over the members; `max_results` bounds the
+/// output (ResourceExhausted beyond it).
+Result<std::vector<ItemSet>> MinimalWitnessSets(const SetFamily& family,
+                                                std::size_t max_results = 1 << 20);
+
+}  // namespace diffc
+
+#endif  // DIFFC_LATTICE_HITTING_SET_H_

@@ -1,0 +1,16 @@
+#include "lattice/interval.h"
+
+#include <algorithm>
+
+namespace diffc {
+
+std::vector<ItemSet> Interval::Enumerate() const {
+  std::vector<ItemSet> out;
+  if (IsEmpty()) return out;
+  out.reserve(Size());
+  ForEachSuperset(lo.bits(), hi.bits(), [&](Mask m) { out.push_back(ItemSet(m)); });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace diffc

@@ -1,0 +1,32 @@
+#include "lattice/itemset.h"
+
+#include "util/text.h"
+
+namespace diffc {
+
+Result<ItemSet> ParseItemSet(const Universe& u, const std::string& text) {
+  std::string_view body = Trim(text);
+  if (body.empty()) return Status::InvalidArgument("empty item set text");
+  if (body == Universe::kEmptySetText) return ItemSet();
+
+  Mask bits = 0;
+  if (body.find(',') != std::string_view::npos) {
+    for (const std::string& piece : Split(body, ',')) {
+      std::string name(Trim(piece));
+      Result<int> idx = u.Index(name);
+      if (!idx.ok()) return idx.status();
+      bits |= Mask{1} << *idx;
+    }
+    return ItemSet(bits);
+  }
+  // Concatenated single-character names.
+  for (char c : body) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    Result<int> idx = u.Index(std::string(1, c));
+    if (!idx.ok()) return idx.status();
+    bits |= Mask{1} << *idx;
+  }
+  return ItemSet(bits);
+}
+
+}  // namespace diffc

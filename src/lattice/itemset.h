@@ -1,0 +1,78 @@
+#ifndef DIFFC_LATTICE_ITEMSET_H_
+#define DIFFC_LATTICE_ITEMSET_H_
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <string>
+
+#include "lattice/universe.h"
+#include "util/bitops.h"
+
+namespace diffc {
+
+/// A subset of a `Universe`, a cheap value type wrapping a bitmask.
+///
+/// `ItemSet` is the public vocabulary type for the sets `X`, `Y`, `U`, `W`
+/// of the paper; algorithms that iterate the subset lattice use the raw
+/// `Mask` of an item set via `bits()`.
+class ItemSet {
+ public:
+  /// The empty set.
+  ItemSet() : bits_(0) {}
+  /// The set with exactly the bits of `bits`.
+  explicit ItemSet(Mask bits) : bits_(bits) {}
+  /// The set containing the given attribute indices.
+  ItemSet(std::initializer_list<int> indices) : bits_(0) {
+    for (int i : indices) bits_ |= Mask{1} << i;
+  }
+
+  /// The underlying bitmask.
+  Mask bits() const { return bits_; }
+  /// Number of elements.
+  int size() const { return Popcount(bits_); }
+  /// True iff empty.
+  bool empty() const { return bits_ == 0; }
+
+  /// True iff attribute `i` is a member.
+  bool Contains(int i) const { return (bits_ >> i) & 1; }
+  /// True iff this is a subset of `other`.
+  bool IsSubsetOf(const ItemSet& other) const { return IsSubset(bits_, other.bits_); }
+
+  /// Set union.
+  ItemSet Union(const ItemSet& other) const { return ItemSet(bits_ | other.bits_); }
+  /// Set intersection.
+  ItemSet Intersect(const ItemSet& other) const { return ItemSet(bits_ & other.bits_); }
+  /// Set difference (elements of this not in `other`).
+  ItemSet Minus(const ItemSet& other) const { return ItemSet(bits_ & ~other.bits_); }
+  /// Complement within a universe of `n` attributes.
+  ItemSet ComplementIn(int n) const { return ItemSet(FullMask(n) & ~bits_); }
+  /// The set {i}.
+  static ItemSet Singleton(int i) { return ItemSet(Mask{1} << i); }
+
+  /// Renders using the universe's attribute names.
+  std::string ToString(const Universe& u) const { return u.FormatSet(bits_); }
+
+  friend bool operator==(const ItemSet& a, const ItemSet& b) { return a.bits_ == b.bits_; }
+  friend bool operator!=(const ItemSet& a, const ItemSet& b) { return a.bits_ != b.bits_; }
+  friend bool operator<(const ItemSet& a, const ItemSet& b) { return a.bits_ < b.bits_; }
+
+ private:
+  Mask bits_;
+};
+
+/// Parses a set written with the universe's attribute names: either
+/// concatenated single-character names ("ACD"), or comma-separated names
+/// ("A,C,D"). `Universe::kEmptySetText` ("0") denotes the empty set.
+Result<ItemSet> ParseItemSet(const Universe& u, const std::string& text);
+
+}  // namespace diffc
+
+template <>
+struct std::hash<diffc::ItemSet> {
+  size_t operator()(const diffc::ItemSet& s) const noexcept {
+    return std::hash<diffc::Mask>{}(s.bits());
+  }
+};
+
+#endif  // DIFFC_LATTICE_ITEMSET_H_

@@ -1,0 +1,161 @@
+#ifndef DIFFC_LATTICE_MOBIUS_H_
+#define DIFFC_LATTICE_MOBIUS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "lattice/itemset.h"
+#include "util/bitops.h"
+#include "util/status.h"
+
+namespace diffc {
+
+/// Largest universe size for which the library materializes full set
+/// functions (2^n values).
+inline constexpr int kMaxSetFunctionBits = 22;
+
+/// A total function `f : 2^S -> T` over an `n`-attribute universe, stored
+/// densely — the paper's `F(S)` for `T = double`, support functions for
+/// `T = int64_t` (Section 6), Simpson functions for `T = Rational`
+/// (Section 7).
+template <typename T>
+class SetFunction {
+ public:
+  /// The all-zero function over an `n`-attribute universe.
+  /// Requires 0 <= n <= kMaxSetFunctionBits (checked by `Make`).
+  static Result<SetFunction<T>> Make(int n) {
+    if (n < 0 || n > kMaxSetFunctionBits) {
+      return Status::InvalidArgument("SetFunction supports 0..22 attributes, got " +
+                                     std::to_string(n));
+    }
+    SetFunction<T> f;
+    f.n_ = n;
+    f.values_.assign(std::size_t{1} << n, T{});
+    return f;
+  }
+
+  /// Universe size.
+  int n() const { return n_; }
+  /// Number of stored values, 2^n.
+  std::size_t size() const { return values_.size(); }
+
+  /// Value at the subset with bitmask `m`.
+  const T& at(Mask m) const { return values_[m]; }
+  T& at(Mask m) { return values_[m]; }
+  /// Value at `s`.
+  const T& at(const ItemSet& s) const { return values_[s.bits()]; }
+  T& at(const ItemSet& s) { return values_[s.bits()]; }
+
+  friend bool operator==(const SetFunction& a, const SetFunction& b) {
+    return a.n_ == b.n_ && a.values_ == b.values_;
+  }
+
+ private:
+  int n_ = 0;
+  std::vector<T> values_;
+};
+
+/// In-place superset zeta transform: replaces `f` with
+/// `g(X) = Σ_{U ⊇ X} f(U)`. O(n·2^n).
+///
+/// This is equation (5) of Remark 2.3: it recovers a function from its
+/// density, `f(X) = Σ_{X ⊆ U ⊆ S} d(U)`.
+template <typename T>
+void ZetaSupersetInPlace(SetFunction<T>& f) {
+  const int n = f.n();
+  const std::size_t total = f.size();
+  for (int i = 0; i < n; ++i) {
+    const Mask bit = Mask{1} << i;
+    for (std::size_t m = 0; m < total; ++m) {
+      if (!(m & bit)) f.at(m) += f.at(m | bit);
+    }
+  }
+}
+
+/// In-place superset Möbius transform, the inverse of `ZetaSupersetInPlace`:
+/// replaces `f` with `d(X) = Σ_{U ⊇ X} (-1)^{|U|-|X|} f(U)`. O(n·2^n).
+///
+/// This is equation (4) of Remark 2.3: the density (Möbius inverse) of `f`.
+template <typename T>
+void MobiusSupersetInPlace(SetFunction<T>& f) {
+  const int n = f.n();
+  const std::size_t total = f.size();
+  for (int i = 0; i < n; ++i) {
+    const Mask bit = Mask{1} << i;
+    for (std::size_t m = 0; m < total; ++m) {
+      if (!(m & bit)) f.at(m) -= f.at(m | bit);
+    }
+  }
+}
+
+/// In-place subset zeta transform: replaces `f` with
+/// `g(X) = Σ_{U ⊆ X} f(U)`. O(n·2^n). The dual of `ZetaSupersetInPlace`,
+/// used by the Dempster–Shafer substrate (belief from mass).
+template <typename T>
+void ZetaSubsetInPlace(SetFunction<T>& f) {
+  const int n = f.n();
+  const std::size_t total = f.size();
+  for (int i = 0; i < n; ++i) {
+    const Mask bit = Mask{1} << i;
+    for (std::size_t m = 0; m < total; ++m) {
+      if (m & bit) f.at(m) += f.at(m & ~bit);
+    }
+  }
+}
+
+/// In-place subset Möbius transform, the inverse of `ZetaSubsetInPlace`:
+/// replaces `f` with `d(X) = Σ_{U ⊆ X} (-1)^{|X|-|U|} f(U)` (mass from
+/// belief). O(n·2^n).
+template <typename T>
+void MobiusSubsetInPlace(SetFunction<T>& f) {
+  const int n = f.n();
+  const std::size_t total = f.size();
+  for (int i = 0; i < n; ++i) {
+    const Mask bit = Mask{1} << i;
+    for (std::size_t m = 0; m < total; ++m) {
+      if (m & bit) f.at(m) -= f.at(m & ~bit);
+    }
+  }
+}
+
+/// The density function `d_f` of `f` (Definition 2.1 / Remark 2.3).
+template <typename T>
+SetFunction<T> Density(const SetFunction<T>& f) {
+  SetFunction<T> d = f;
+  MobiusSupersetInPlace(d);
+  return d;
+}
+
+/// Reconstructs `f` from its density `d` via equation (5).
+template <typename T>
+SetFunction<T> FromDensity(const SetFunction<T>& d) {
+  SetFunction<T> f = d;
+  ZetaSupersetInPlace(f);
+  return f;
+}
+
+/// Reference O(4^n) implementation of the density, used to validate the
+/// fast transform and as the baseline in the Möbius benchmark (experiment
+/// E4).
+template <typename T>
+SetFunction<T> NaiveDensity(const SetFunction<T>& f) {
+  SetFunction<T> d = *SetFunction<T>::Make(f.n());
+  const Mask full = FullMask(f.n());
+  for (Mask x = 0; x <= full; ++x) {
+    T acc{};
+    ForEachSuperset(x, full, [&](Mask u) {
+      if ((Popcount(u) - Popcount(x)) % 2 == 0) {
+        acc += f.at(u);
+      } else {
+        acc -= f.at(u);
+      }
+    });
+    d.at(x) = acc;
+    if (x == full) break;
+  }
+  return d;
+}
+
+}  // namespace diffc
+
+#endif  // DIFFC_LATTICE_MOBIUS_H_

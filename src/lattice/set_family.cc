@@ -1,0 +1,86 @@
+#include "lattice/set_family.h"
+
+#include <algorithm>
+
+namespace diffc {
+
+SetFamily::SetFamily(std::vector<ItemSet> members) : members_(std::move(members)) {
+  std::sort(members_.begin(), members_.end());
+  members_.erase(std::unique(members_.begin(), members_.end()), members_.end());
+}
+
+SetFamily SetFamily::FromMasks(const std::vector<Mask>& masks) {
+  std::vector<ItemSet> members;
+  members.reserve(masks.size());
+  for (Mask m : masks) members.push_back(ItemSet(m));
+  return SetFamily(std::move(members));
+}
+
+SetFamily SetFamily::Singletons(ItemSet set) {
+  std::vector<ItemSet> members;
+  ForEachBit(set.bits(), [&](int b) { members.push_back(ItemSet::Singleton(b)); });
+  return SetFamily(std::move(members));
+}
+
+bool SetFamily::HasMember(const ItemSet& s) const {
+  return std::binary_search(members_.begin(), members_.end(), s);
+}
+
+bool SetFamily::SomeMemberSubsetOf(const ItemSet& u) const {
+  for (const ItemSet& m : members_) {
+    if (m.IsSubsetOf(u)) return true;
+  }
+  return false;
+}
+
+ItemSet SetFamily::UnionOfMembers() const {
+  Mask bits = 0;
+  for (const ItemSet& m : members_) bits |= m.bits();
+  return ItemSet(bits);
+}
+
+SetFamily SetFamily::WithMember(const ItemSet& s) const {
+  std::vector<ItemSet> members = members_;
+  members.push_back(s);
+  return SetFamily(std::move(members));
+}
+
+SetFamily SetFamily::WithoutMember(const ItemSet& s) const {
+  std::vector<ItemSet> members;
+  members.reserve(members_.size());
+  for (const ItemSet& m : members_) {
+    if (m != s) members.push_back(m);
+  }
+  return SetFamily(std::move(members));
+}
+
+SetFamily SetFamily::IntersectMembersWith(const ItemSet& mask) const {
+  std::vector<ItemSet> members;
+  members.reserve(members_.size());
+  for (const ItemSet& m : members_) members.push_back(m.Intersect(mask));
+  return SetFamily(std::move(members));
+}
+
+SetFamily SetFamily::Minimized() const {
+  std::vector<ItemSet> keep;
+  for (const ItemSet& m : members_) {
+    bool minimal = true;
+    for (const ItemSet& o : members_) {
+      if (o != m && o.IsSubsetOf(m)) {
+        minimal = false;
+        break;
+      }
+    }
+    if (minimal) keep.push_back(m);
+  }
+  return SetFamily(std::move(keep));
+}
+
+std::string SetFamily::ToString(const Universe& u) const {
+  std::vector<Mask> masks;
+  masks.reserve(members_.size());
+  for (const ItemSet& m : members_) masks.push_back(m.bits());
+  return u.FormatFamily(masks);
+}
+
+}  // namespace diffc

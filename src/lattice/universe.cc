@@ -1,0 +1,67 @@
+#include "lattice/universe.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace diffc {
+
+Universe Universe::Letters(int n) {
+  Universe u;
+  for (int i = 0; i < n && i < 64; ++i) {
+    std::string name(1, static_cast<char>('A' + (i % 26)));
+    if (i >= 26) name += std::to_string(i / 26);
+    u.names_.push_back(std::move(name));
+  }
+  return u;
+}
+
+Result<Universe> Universe::Named(std::vector<std::string> names) {
+  if (names.size() > 64) {
+    return Status::InvalidArgument("universe supports at most 64 attributes");
+  }
+  std::unordered_set<std::string> seen;
+  for (const std::string& n : names) {
+    if (n.empty()) return Status::InvalidArgument("empty attribute name");
+    if (!seen.insert(n).second) {
+      return Status::InvalidArgument("duplicate attribute name: " + n);
+    }
+  }
+  Universe u;
+  u.names_ = std::move(names);
+  return u;
+}
+
+Result<int> Universe::Index(const std::string& name) const {
+  for (int i = 0; i < size(); ++i) {
+    if (names_[i] == name) return i;
+  }
+  return Status::NotFound("no attribute named " + name);
+}
+
+std::string Universe::FormatSet(Mask m) const {
+  if (m == 0) return kEmptySetText;
+  bool all_single = true;
+  ForEachBit(m, [&](int b) {
+    if (names_[b].size() != 1) all_single = false;
+  });
+  std::string out;
+  bool first = true;
+  ForEachBit(m, [&](int b) {
+    if (!first && !all_single) out += ",";
+    out += names_[b];
+    first = false;
+  });
+  return out;
+}
+
+std::string Universe::FormatFamily(const std::vector<Mask>& members) const {
+  std::string out = "{";
+  for (size_t i = 0; i < members.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += FormatSet(members[i]);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace diffc

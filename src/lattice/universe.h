@@ -1,0 +1,59 @@
+#ifndef DIFFC_LATTICE_UNIVERSE_H_
+#define DIFFC_LATTICE_UNIVERSE_H_
+
+#include <string>
+#include <vector>
+
+#include "util/bitops.h"
+#include "util/status.h"
+
+namespace diffc {
+
+/// The finite set `S` over which all constraints, functions and lattices in
+/// the paper are defined: an ordered list of named attributes (items).
+///
+/// A universe holds at most 64 attributes (subsets are `Mask` bitmasks).
+/// Attribute `i` corresponds to bit `i`.
+class Universe {
+ public:
+  /// An empty universe.
+  Universe() = default;
+
+  /// A universe of `n` attributes named "A", "B", ..., "Z", "A1", "B1", ...
+  /// Requires 0 <= n <= 64.
+  static Universe Letters(int n);
+
+  /// A universe with the given attribute names. Names must be nonempty,
+  /// unique, and at most 64 of them.
+  static Result<Universe> Named(std::vector<std::string> names);
+
+  /// Number of attributes.
+  int size() const { return static_cast<int>(names_.size()); }
+
+  /// The mask with all attributes present.
+  Mask full_mask() const { return FullMask(size()); }
+
+  /// Name of attribute `i`. Requires 0 <= i < size().
+  const std::string& name(int i) const { return names_[i]; }
+
+  /// Index of the attribute named `name`, or NotFound.
+  Result<int> Index(const std::string& name) const;
+
+  /// Renders a subset as concatenated names when all names are single
+  /// characters (e.g. "ACD"), comma-separated otherwise (e.g. "a1,c3").
+  /// The empty set renders as "{}" ... spelled `kEmptySetText`.
+  std::string FormatSet(Mask m) const;
+
+  /// Renders a family of subsets as "{M1, M2, ...}".
+  std::string FormatFamily(const std::vector<Mask>& members) const;
+
+  /// Text used for the empty subset ("0", following the paper's f(∅)).
+  static constexpr const char* kEmptySetText = "0";
+
+ private:
+  std::vector<std::string> names_;
+};
+
+}  // namespace diffc
+
+#endif  // DIFFC_LATTICE_UNIVERSE_H_

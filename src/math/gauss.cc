@@ -1,0 +1,81 @@
+#include "math/gauss.h"
+
+namespace diffc {
+
+int RowReduce(RationalMatrix& m) {
+  if (m.empty()) return 0;
+  const std::size_t cols = m[0].size();
+  std::size_t pivot_row = 0;
+  for (std::size_t col = 0; col < cols && pivot_row < m.size(); ++col) {
+    // Find a pivot in this column.
+    std::size_t found = pivot_row;
+    while (found < m.size() && m[found][col].IsZero()) ++found;
+    if (found == m.size()) continue;
+    std::swap(m[pivot_row], m[found]);
+    // Normalize the pivot row.
+    const Rational pivot = m[pivot_row][col];
+    for (Rational& v : m[pivot_row]) v /= pivot;
+    // Eliminate the column everywhere else.
+    for (std::size_t r = 0; r < m.size(); ++r) {
+      if (r == pivot_row || m[r][col].IsZero()) continue;
+      const Rational factor = m[r][col];
+      for (std::size_t c = col; c < cols; ++c) {
+        m[r][c] -= factor * m[pivot_row][c];
+      }
+    }
+    ++pivot_row;
+  }
+  return static_cast<int>(pivot_row);
+}
+
+bool InRowSpace(RationalMatrix m, const std::vector<Rational>& v) {
+  const int rank_without = RowReduce(m);
+  m.push_back(v);
+  const int rank_with = RowReduce(m);
+  return rank_with == rank_without;
+}
+
+std::optional<std::vector<Rational>> SolveLinearSystem(const RationalMatrix& a,
+                                                       const std::vector<Rational>& b) {
+  const std::size_t rows = a.size();
+  const std::size_t cols = rows == 0 ? 0 : a[0].size();
+  // Augmented matrix [A | b].
+  RationalMatrix aug = a;
+  for (std::size_t r = 0; r < rows; ++r) aug[r].push_back(b[r]);
+  RowReduce(aug);
+  // Inconsistency: a pivot in the last column.
+  std::vector<int> pivot_col_of_row(rows, -1);
+  for (std::size_t r = 0; r < rows; ++r) {
+    int pivot = -1;
+    for (std::size_t c = 0; c <= cols; ++c) {
+      if (!aug[r][c].IsZero()) {
+        pivot = static_cast<int>(c);
+        break;
+      }
+    }
+    if (pivot == static_cast<int>(cols)) return std::nullopt;
+    pivot_col_of_row[r] = pivot;
+  }
+  // Back-substitute with free variables at 0: x[pivot] = rhs (the reduced
+  // form has unit pivots and zeros above/below).
+  std::vector<Rational> x(cols, Rational(0));
+  for (std::size_t r = 0; r < rows; ++r) {
+    if (pivot_col_of_row[r] >= 0) {
+      // Account for free columns: x[pivot] = rhs - Σ_{free} a*0 = rhs.
+      x[pivot_col_of_row[r]] = aug[r][cols];
+    }
+  }
+  return x;
+}
+
+std::optional<std::vector<Rational>> NullSpaceWitness(const RationalMatrix& a,
+                                                      const std::vector<Rational>& g) {
+  // Solve [A; g] x = [0; 1].
+  RationalMatrix system = a;
+  system.push_back(g);
+  std::vector<Rational> rhs(a.size(), Rational(0));
+  rhs.push_back(Rational(1));
+  return SolveLinearSystem(system, rhs);
+}
+
+}  // namespace diffc

@@ -1,0 +1,41 @@
+#ifndef DIFFC_MATH_GAUSS_H_
+#define DIFFC_MATH_GAUSS_H_
+
+#include <optional>
+#include <vector>
+
+#include "util/rational.h"
+
+namespace diffc {
+
+/// Exact rational linear algebra: row reduction, rank, row-space
+/// membership, and linear-system solving. Substrate for the
+/// differential-semantics implication checker (`core/differential_
+/// semantics.h`), where constraint satisfaction sets are hyperplanes and
+/// implication is row-space membership.
+
+/// A dense rational matrix as a list of equal-length rows.
+using RationalMatrix = std::vector<std::vector<Rational>>;
+
+/// Reduces `m` in place to reduced row-echelon form; returns the rank.
+/// Zero rows sink to the bottom. Rows may be empty (rank 0).
+int RowReduce(RationalMatrix& m);
+
+/// True iff `v` lies in the row space of `m` (which need not be reduced).
+bool InRowSpace(RationalMatrix m, const std::vector<Rational>& v);
+
+/// Solves `A x = b` exactly. Returns a particular solution (free
+/// variables set to 0), or nullopt when inconsistent. `A` is given by
+/// rows; all rows and `b` must agree in size.
+std::optional<std::vector<Rational>> SolveLinearSystem(const RationalMatrix& a,
+                                                       const std::vector<Rational>& b);
+
+/// A vector in the null space of `A` with `g · x = 1`, or nullopt when
+/// none exists (i.e. when `g` lies in the row space of `A`). This is the
+/// counterexample constructor of the differential-semantics checker.
+std::optional<std::vector<Rational>> NullSpaceWitness(const RationalMatrix& a,
+                                                      const std::vector<Rational>& g);
+
+}  // namespace diffc
+
+#endif  // DIFFC_MATH_GAUSS_H_

@@ -1,0 +1,248 @@
+#include "math/simplex.h"
+
+namespace diffc {
+
+namespace {
+
+// Dense simplex tableau. Columns: the problem's variables, then one slack
+// or surplus per inequality, then one artificial per >=/=-row (and per
+// <=-row whose normalized rhs required one). `basis[i]` is the column
+// basic in row i.
+class Tableau {
+ public:
+  Tableau(int num_columns, int num_rows)
+      : num_columns_(num_columns),
+        rows_(num_rows, std::vector<Rational>(num_columns)),
+        rhs_(num_rows),
+        basis_(num_rows, -1) {}
+
+  int num_columns() const { return num_columns_; }
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+  Rational& at(int i, int j) { return rows_[i][j]; }
+  const Rational& at(int i, int j) const { return rows_[i][j]; }
+  Rational& rhs(int i) { return rhs_[i]; }
+  const Rational& rhs(int i) const { return rhs_[i]; }
+  int basis(int i) const { return basis_[i]; }
+  void set_basis(int i, int col) { basis_[i] = col; }
+
+  // Pivots on (row, col): makes column `col` basic in row `row` and
+  // eliminates it from all other rows and from the reduced-cost row.
+  void Pivot(int row, int col, std::vector<Rational>& reduced, Rational& value) {
+    const Rational pivot = rows_[row][col];
+    for (Rational& v : rows_[row]) v /= pivot;
+    rhs_[row] /= pivot;
+    for (int i = 0; i < num_rows(); ++i) {
+      if (i == row || rows_[i][col].IsZero()) continue;
+      const Rational factor = rows_[i][col];
+      for (int j = 0; j < num_columns_; ++j) {
+        rows_[i][j] -= factor * rows_[row][j];
+      }
+      rhs_[i] -= factor * rhs_[row];
+    }
+    if (!reduced[col].IsZero()) {
+      const Rational factor = reduced[col];
+      for (int j = 0; j < num_columns_; ++j) {
+        reduced[j] -= factor * rows_[row][j];
+      }
+      value += factor * rhs_[row];
+    }
+    basis_[row] = col;
+  }
+
+ private:
+  int num_columns_;
+  std::vector<std::vector<Rational>> rows_;
+  std::vector<Rational> rhs_;
+  std::vector<int> basis_;
+};
+
+// Reduced costs for objective `c` given the current basis:
+// reduced[j] = c[j] - Σ_i c[basis(i)]·T[i][j]; value = Σ_i c[basis(i)]·rhs(i).
+void ComputeReducedCosts(const Tableau& t, const std::vector<Rational>& c,
+                         std::vector<Rational>& reduced, Rational& value) {
+  reduced = c;
+  value = Rational(0);
+  for (int i = 0; i < t.num_rows(); ++i) {
+    const Rational& cb = c[t.basis(i)];
+    if (cb.IsZero()) continue;
+    for (int j = 0; j < t.num_columns(); ++j) {
+      reduced[j] -= cb * t.at(i, j);
+    }
+    value += cb * t.rhs(i);
+  }
+}
+
+// Runs the primal simplex loop (maximization) with Bland's rule.
+// `enterable[j]` bars columns (artificials in phase 2). Returns kOptimal
+// or kUnbounded; ResourceExhausted past the pivot budget.
+Result<LpOutcome> RunSimplex(Tableau& t, std::vector<Rational>& reduced, Rational& value,
+                             const std::vector<bool>& enterable, std::size_t max_pivots,
+                             std::size_t& pivots_used) {
+  while (true) {
+    // Bland: entering column = smallest index with positive reduced cost.
+    int entering = -1;
+    for (int j = 0; j < t.num_columns(); ++j) {
+      if (enterable[j] && reduced[j] > Rational(0)) {
+        entering = j;
+        break;
+      }
+    }
+    if (entering == -1) return LpOutcome::kOptimal;
+
+    // Ratio test; Bland tie-break on the smallest basic variable index.
+    int leaving_row = -1;
+    Rational best_ratio;
+    for (int i = 0; i < t.num_rows(); ++i) {
+      if (!(t.at(i, entering) > Rational(0))) continue;
+      Rational ratio = t.rhs(i) / t.at(i, entering);
+      if (leaving_row == -1 || ratio < best_ratio ||
+          (ratio == best_ratio && t.basis(i) < t.basis(leaving_row))) {
+        leaving_row = i;
+        best_ratio = ratio;
+      }
+    }
+    if (leaving_row == -1) return LpOutcome::kUnbounded;
+
+    if (++pivots_used > max_pivots) {
+      return Status::ResourceExhausted("simplex pivot budget exceeded");
+    }
+    t.Pivot(leaving_row, entering, reduced, value);
+  }
+}
+
+}  // namespace
+
+Result<LpSolution> SolveLp(const LpProblem& problem, std::size_t max_pivots) {
+  const int n = problem.num_vars;
+  if (n < 0) return Status::InvalidArgument("negative variable count");
+  if (static_cast<int>(problem.objective.size()) != n) {
+    return Status::InvalidArgument("objective size does not match num_vars");
+  }
+  for (const LpConstraint& c : problem.constraints) {
+    if (static_cast<int>(c.coeffs.size()) != n) {
+      return Status::InvalidArgument("constraint arity does not match num_vars");
+    }
+  }
+  const int m = static_cast<int>(problem.constraints.size());
+
+  // Normalize rows to nonnegative rhs and decide slack/artificial needs.
+  // After normalization: <= rows get a slack (basic), >= rows get a
+  // surplus plus an artificial (basic), = rows get an artificial (basic).
+  struct RowPlan {
+    std::vector<Rational> coeffs;
+    LpSense sense;
+    Rational rhs;
+  };
+  std::vector<RowPlan> rows;
+  rows.reserve(m);
+  int num_slacks = 0, num_artificials = 0;
+  for (const LpConstraint& c : problem.constraints) {
+    RowPlan row{c.coeffs, c.sense, c.rhs};
+    if (row.rhs < Rational(0)) {
+      for (Rational& v : row.coeffs) v = -v;
+      row.rhs = -row.rhs;
+      if (row.sense == LpSense::kLe) {
+        row.sense = LpSense::kGe;
+      } else if (row.sense == LpSense::kGe) {
+        row.sense = LpSense::kLe;
+      }
+    }
+    if (row.sense != LpSense::kEq) ++num_slacks;
+    if (row.sense != LpSense::kLe) ++num_artificials;
+    rows.push_back(std::move(row));
+  }
+
+  const int total_cols = n + num_slacks + num_artificials;
+  Tableau t(total_cols, m);
+  std::vector<bool> is_artificial(total_cols, false);
+  int slack_cursor = n;
+  int artificial_cursor = n + num_slacks;
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) t.at(i, j) = rows[i].coeffs[j];
+    t.rhs(i) = rows[i].rhs;
+    switch (rows[i].sense) {
+      case LpSense::kLe:
+        t.at(i, slack_cursor) = Rational(1);
+        t.set_basis(i, slack_cursor++);
+        break;
+      case LpSense::kGe:
+        t.at(i, slack_cursor++) = Rational(-1);
+        t.at(i, artificial_cursor) = Rational(1);
+        is_artificial[artificial_cursor] = true;
+        t.set_basis(i, artificial_cursor++);
+        break;
+      case LpSense::kEq:
+        t.at(i, artificial_cursor) = Rational(1);
+        is_artificial[artificial_cursor] = true;
+        t.set_basis(i, artificial_cursor++);
+        break;
+    }
+  }
+  // The slack column of a >=-row sits before later rows' columns; the
+  // cursor bookkeeping above already placed each -1 surplus correctly.
+
+  std::size_t pivots_used = 0;
+
+  // Phase 1: maximize -(sum of artificials); feasible iff optimum is 0.
+  if (num_artificials > 0) {
+    std::vector<Rational> phase1_costs(total_cols);
+    for (int j = 0; j < total_cols; ++j) {
+      if (is_artificial[j]) phase1_costs[j] = Rational(-1);
+    }
+    std::vector<Rational> reduced;
+    Rational value;
+    ComputeReducedCosts(t, phase1_costs, reduced, value);
+    std::vector<bool> enterable(total_cols, true);
+    Result<LpOutcome> phase1 =
+        RunSimplex(t, reduced, value, enterable, max_pivots, pivots_used);
+    if (!phase1.ok()) return phase1.status();
+    if (*phase1 == LpOutcome::kUnbounded) {
+      return Status::Internal("phase-1 objective cannot be unbounded");
+    }
+    if (value != Rational(0)) {
+      LpSolution solution;
+      solution.outcome = LpOutcome::kInfeasible;
+      return solution;
+    }
+    // Drive any artificial still basic (at level 0) out of the basis when
+    // a pivotable non-artificial column exists; otherwise the row is
+    // redundant and harmless (its artificial stays basic at 0 and is
+    // barred from re-entering).
+    for (int i = 0; i < t.num_rows(); ++i) {
+      if (!is_artificial[t.basis(i)]) continue;
+      for (int j = 0; j < total_cols; ++j) {
+        if (!is_artificial[j] && !t.at(i, j).IsZero()) {
+          t.Pivot(i, j, reduced, value);
+          break;
+        }
+      }
+    }
+  }
+
+  // Phase 2: the real objective; artificial columns barred.
+  std::vector<Rational> phase2_costs(total_cols);
+  for (int j = 0; j < n; ++j) phase2_costs[j] = problem.objective[j];
+  std::vector<Rational> reduced;
+  Rational value;
+  ComputeReducedCosts(t, phase2_costs, reduced, value);
+  std::vector<bool> enterable(total_cols, true);
+  for (int j = 0; j < total_cols; ++j) {
+    if (is_artificial[j]) enterable[j] = false;
+  }
+  Result<LpOutcome> phase2 =
+      RunSimplex(t, reduced, value, enterable, max_pivots, pivots_used);
+  if (!phase2.ok()) return phase2.status();
+
+  LpSolution solution;
+  solution.outcome = *phase2;
+  if (*phase2 == LpOutcome::kOptimal) {
+    solution.objective_value = value;
+    solution.values.assign(n, Rational(0));
+    for (int i = 0; i < t.num_rows(); ++i) {
+      if (t.basis(i) < n) solution.values[t.basis(i)] = t.rhs(i);
+    }
+  }
+  return solution;
+}
+
+}  // namespace diffc

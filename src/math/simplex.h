@@ -1,0 +1,58 @@
+#ifndef DIFFC_MATH_SIMPLEX_H_
+#define DIFFC_MATH_SIMPLEX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rational.h"
+#include "util/status.h"
+
+namespace diffc {
+
+/// An exact linear-programming solver over rationals: two-phase primal
+/// simplex with Bland's anti-cycling rule, dense tableau.
+///
+/// Substrate for the frequency-constraint module (`fis/frequency.h`): the
+/// paper's closing paragraph proposes constraints that pin density values
+/// and relates them to the support-interval constraints of Calders and
+/// Paredaens; deciding their (rational) consistency and entailed support
+/// bounds is linear programming over the density variables, and those
+/// questions demand exact zero tests — hence rationals, not doubles.
+
+/// Constraint sense.
+enum class LpSense { kLe, kGe, kEq };
+
+/// One linear constraint `coeffs · x (sense) rhs`. `coeffs` is indexed by
+/// variable and must have exactly `num_vars` entries.
+struct LpConstraint {
+  std::vector<Rational> coeffs;
+  LpSense sense = LpSense::kLe;
+  Rational rhs;
+};
+
+/// Maximize `objective · x` subject to the constraints and `x >= 0`.
+struct LpProblem {
+  int num_vars = 0;
+  std::vector<LpConstraint> constraints;
+  std::vector<Rational> objective;
+};
+
+/// Outcome class of a solve.
+enum class LpOutcome { kOptimal, kInfeasible, kUnbounded };
+
+/// Solution: when optimal, `values` is an optimal vertex and
+/// `objective_value` its objective.
+struct LpSolution {
+  LpOutcome outcome = LpOutcome::kInfeasible;
+  Rational objective_value;
+  std::vector<Rational> values;
+};
+
+/// Solves `problem` exactly. Returns InvalidArgument on malformed input
+/// and ResourceExhausted past `max_pivots` (Bland's rule terminates, so
+/// the cap is a backstop, not a correctness device).
+Result<LpSolution> SolveLp(const LpProblem& problem, std::size_t max_pivots = 200000);
+
+}  // namespace diffc
+
+#endif  // DIFFC_MATH_SIMPLEX_H_

@@ -1,0 +1,252 @@
+#include "prop/cdcl.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace diffc {
+namespace prop {
+
+void CdclSolver::AddWatchedClause(int clause_index) {
+  const std::vector<Lit>& c = clauses_[clause_index];
+  watches_[c[0]].push_back(clause_index);
+  if (c.size() > 1) watches_[c[1]].push_back(clause_index);
+}
+
+void CdclSolver::Enqueue(Lit l, int reason) {
+  const int var = VarOf(l);
+  assignment_[var] = SignOf(l) ? kFalse : kTrue;
+  saved_phase_[var] = SignOf(l);
+  level_[var] = static_cast<int>(trail_limits_.size());
+  reason_[var] = reason;
+  trail_.push_back(l);
+}
+
+int CdclSolver::Propagate() {
+  while (propagate_head_ < trail_.size()) {
+    const Lit assigned = trail_[propagate_head_++];
+    ++stats_.propagations;
+    const Lit false_lit = Negate(assigned);  // Literals watching this are now false.
+    std::vector<int>& watch_list = watches_[false_lit];
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < watch_list.size(); ++i) {
+      const int ci = watch_list[i];
+      std::vector<Lit>& c = clauses_[ci];
+      // Normalize: watched literals are c[0] and c[1]; put false_lit at c[1].
+      if (c.size() == 1) {
+        // Unit clause re-propagated: conflict iff its literal is false.
+        if (LitValue(c[0]) == kFalse) {
+          for (std::size_t j = i; j < watch_list.size(); ++j) {
+            watch_list[keep++] = watch_list[j];
+          }
+          watch_list.resize(keep);
+          return ci;
+        }
+        watch_list[keep++] = ci;
+        continue;
+      }
+      if (c[0] == false_lit) std::swap(c[0], c[1]);
+      if (LitValue(c[0]) == kTrue) {
+        watch_list[keep++] = ci;  // Clause satisfied; keep the watch.
+        continue;
+      }
+      // Look for a replacement watch.
+      bool moved = false;
+      for (std::size_t k = 2; k < c.size(); ++k) {
+        if (LitValue(c[k]) != kFalse) {
+          std::swap(c[1], c[k]);
+          watches_[c[1]].push_back(ci);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;  // Watch moved: drop from this list.
+      watch_list[keep++] = ci;
+      if (LitValue(c[0]) == kFalse) {
+        // Conflict: restore the remainder of the watch list first.
+        for (std::size_t j = i + 1; j < watch_list.size(); ++j) {
+          watch_list[keep++] = watch_list[j];
+        }
+        watch_list.resize(keep);
+        return ci;
+      }
+      Enqueue(c[0], ci);  // Unit: propagate.
+    }
+    watch_list.resize(keep);
+  }
+  return -1;
+}
+
+void CdclSolver::BumpVar(int var) {
+  activity_[var] += activity_increment_;
+  if (activity_[var] > 1e100) {
+    for (double& a : activity_) a *= 1e-100;
+    activity_increment_ *= 1e-100;
+  }
+}
+
+void CdclSolver::DecayActivities() { activity_increment_ /= 0.95; }
+
+int CdclSolver::Analyze(int conflict_clause, std::vector<Lit>& learned) {
+  learned.clear();
+  learned.push_back(0);  // Placeholder for the asserting (UIP) literal.
+  std::vector<bool> seen(num_vars_, false);
+  int counter = 0;  // Literals of the current level still to resolve.
+  Lit p = -1;
+  int clause = conflict_clause;
+  std::size_t trail_index = trail_.size();
+  const int current_level = static_cast<int>(trail_limits_.size());
+
+  while (true) {
+    const std::vector<Lit>& c = clauses_[clause];
+    // Skip c[0] when it is the literal we just resolved on.
+    for (std::size_t i = (p == -1 ? 0 : 1); i < c.size(); ++i) {
+      const Lit q = c[i];
+      const int v = VarOf(q);
+      if (seen[v] || level_[v] == 0) continue;
+      seen[v] = true;
+      BumpVar(v);
+      if (level_[v] == current_level) {
+        ++counter;
+      } else {
+        learned.push_back(q);
+      }
+    }
+    // Find the next current-level literal on the trail to resolve.
+    while (!seen[VarOf(trail_[trail_index - 1])]) --trail_index;
+    --trail_index;
+    p = trail_[trail_index];
+    seen[VarOf(p)] = false;
+    --counter;
+    if (counter == 0) break;
+    clause = reason_[VarOf(p)];
+  }
+  learned[0] = Negate(p);  // The first UIP, asserted after backjumping.
+
+  // Backjump level: the highest level among the other learned literals.
+  int backjump = 0;
+  for (std::size_t i = 1; i < learned.size(); ++i) {
+    backjump = std::max(backjump, level_[VarOf(learned[i])]);
+  }
+  // Watch invariant: learned[1] must be a highest-level literal.
+  for (std::size_t i = 2; i < learned.size(); ++i) {
+    if (level_[VarOf(learned[i])] > level_[VarOf(learned[1])]) {
+      std::swap(learned[1], learned[i]);
+    }
+  }
+  return backjump;
+}
+
+void CdclSolver::Backtrack(int target_level) {
+  if (static_cast<int>(trail_limits_.size()) <= target_level) return;
+  const std::size_t new_size = trail_limits_[target_level];
+  for (std::size_t i = new_size; i < trail_.size(); ++i) {
+    const int var = VarOf(trail_[i]);
+    assignment_[var] = kUnassigned;
+    reason_[var] = -1;
+  }
+  trail_.resize(new_size);
+  trail_limits_.resize(target_level);
+  propagate_head_ = new_size;
+}
+
+int CdclSolver::PickBranchVariable() const {
+  int best = -1;
+  for (int v = 0; v < num_vars_; ++v) {
+    if (assignment_[v] == kUnassigned && (best == -1 || activity_[v] > activity_[best])) {
+      best = v;
+    }
+  }
+  return best;
+}
+
+Result<SatResult> CdclSolver::Solve(const Cnf& cnf) {
+  stats_ = SolverStats{};
+  learned_ = 0;
+  restarts_ = 0;
+  num_vars_ = cnf.num_vars;
+  clauses_.clear();
+  watches_.assign(2 * num_vars_, {});
+  assignment_.assign(num_vars_, kUnassigned);
+  saved_phase_.assign(num_vars_, true);  // Prefer false, like MiniSat.
+  level_.assign(num_vars_, 0);
+  reason_.assign(num_vars_, -1);
+  trail_.clear();
+  trail_limits_.clear();
+  propagate_head_ = 0;
+  activity_.assign(num_vars_, 0.0);
+  activity_increment_ = 1.0;
+
+  // Load clauses: empty clause = UNSAT; duplicate literals kept (harmless);
+  // tautological clauses (p ∨ ¬p) dropped.
+  for (const Clause& input : cnf.clauses) {
+    if (input.empty()) return SatResult{};
+    std::vector<Lit> c;
+    c.reserve(input.size());
+    bool tautology = false;
+    for (Literal lit : input) {
+      if (lit == 0 || std::abs(lit) > num_vars_) {
+        return Status::InvalidArgument("literal out of range in CNF");
+      }
+      Lit l = Encode(lit);
+      if (std::find(c.begin(), c.end(), Negate(l)) != c.end()) tautology = true;
+      if (std::find(c.begin(), c.end(), l) == c.end()) c.push_back(l);
+    }
+    if (tautology) continue;
+    clauses_.push_back(std::move(c));
+    AddWatchedClause(static_cast<int>(clauses_.size()) - 1);
+    // Top-level units propagate immediately below.
+    if (clauses_.back().size() == 1) {
+      const Lit unit = clauses_.back()[0];
+      if (LitValue(unit) == kFalse) return SatResult{};
+      if (LitValue(unit) == kUnassigned) {
+        Enqueue(unit, static_cast<int>(clauses_.size()) - 1);
+      }
+    }
+  }
+  if (Propagate() != -1) return SatResult{};
+
+  std::uint64_t conflicts_until_restart = 100;
+  std::uint64_t conflicts_since_restart = 0;
+
+  while (true) {
+    const int conflict = Propagate();
+    if (conflict != -1) {
+      ++stats_.conflicts;
+      ++conflicts_since_restart;
+      if (stats_.conflicts > max_conflicts_) {
+        return Status::ResourceExhausted("CDCL conflict budget exceeded");
+      }
+      if (trail_limits_.empty()) return SatResult{};  // Conflict at level 0.
+      std::vector<Lit> learned;
+      const int backjump = Analyze(conflict, learned);
+      Backtrack(backjump);
+      clauses_.push_back(learned);
+      ++learned_;
+      AddWatchedClause(static_cast<int>(clauses_.size()) - 1);
+      Enqueue(learned[0], static_cast<int>(clauses_.size()) - 1);
+      DecayActivities();
+      continue;
+    }
+    if (conflicts_since_restart >= conflicts_until_restart) {
+      conflicts_since_restart = 0;
+      conflicts_until_restart = conflicts_until_restart * 3 / 2;
+      ++restarts_;
+      Backtrack(0);
+      continue;
+    }
+    const int var = PickBranchVariable();
+    if (var == -1) {
+      SatResult result;
+      result.satisfiable = true;
+      result.model.resize(num_vars_);
+      for (int v = 0; v < num_vars_; ++v) result.model[v] = assignment_[v] == kTrue;
+      return result;
+    }
+    ++stats_.decisions;
+    trail_limits_.push_back(static_cast<int>(trail_.size()));
+    Enqueue(2 * var + (saved_phase_[var] ? 1 : 0), -1);
+  }
+}
+
+}  // namespace prop
+}  // namespace diffc

@@ -1,0 +1,95 @@
+#include "prop/cnf.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace diffc::prop {
+
+bool Cnf::IsSatisfiedBy(const std::vector<bool>& assignment) const {
+  for (const Clause& clause : clauses) {
+    bool sat = false;
+    for (Literal lit : clause) {
+      int v = std::abs(lit) - 1;
+      bool val = v < static_cast<int>(assignment.size()) && assignment[v];
+      if ((lit > 0) == val) {
+        sat = true;
+        break;
+      }
+    }
+    if (!sat) return false;
+  }
+  return true;
+}
+
+std::string Cnf::ToString() const {
+  std::string out =
+      "p cnf " + std::to_string(num_vars) + " " + std::to_string(clauses.size()) + "\n";
+  for (const Clause& clause : clauses) {
+    for (Literal lit : clause) out += std::to_string(lit) + " ";
+    out += "0\n";
+  }
+  return out;
+}
+
+namespace {
+
+// Returns a literal equivalent to `f`, adding Tseitin definition clauses to
+// `cnf` as needed. `polarity_only` optimizations are intentionally not
+// applied; instances in this library are small and full equivalence keeps
+// the transform easy to verify.
+Literal Encode(const Formula& f, Cnf& cnf) {
+  switch (f.kind()) {
+    case FormulaKind::kConst: {
+      int v = cnf.NewVar();
+      cnf.AddClause({f.const_value() ? v + 1 : -(v + 1)});
+      return v + 1;
+    }
+    case FormulaKind::kVar:
+      return f.var() + 1;
+    case FormulaKind::kNot:
+      return -Encode(*f.children()[0], cnf);
+    case FormulaKind::kAnd: {
+      std::vector<Literal> lits;
+      lits.reserve(f.children().size());
+      for (const FormulaPtr& c : f.children()) lits.push_back(Encode(*c, cnf));
+      int v = cnf.NewVar();
+      Literal out = v + 1;
+      // out -> each lit; (all lits) -> out.
+      Clause reverse{out};
+      for (Literal lit : lits) {
+        cnf.AddClause({-out, lit});
+        reverse.push_back(-lit);
+      }
+      cnf.AddClause(std::move(reverse));
+      return out;
+    }
+    case FormulaKind::kOr: {
+      std::vector<Literal> lits;
+      lits.reserve(f.children().size());
+      for (const FormulaPtr& c : f.children()) lits.push_back(Encode(*c, cnf));
+      int v = cnf.NewVar();
+      Literal out = v + 1;
+      // out -> (some lit); each lit -> out.
+      Clause forward{-out};
+      for (Literal lit : lits) {
+        cnf.AddClause({out, -lit});
+        forward.push_back(lit);
+      }
+      cnf.AddClause(std::move(forward));
+      return out;
+    }
+  }
+  std::abort();
+}
+
+}  // namespace
+
+Cnf TseitinTransform(const Formula& f, int num_original_vars) {
+  Cnf cnf;
+  cnf.num_vars = std::max(num_original_vars, f.MaxVar() + 1);
+  Literal root = Encode(f, cnf);
+  cnf.AddClause({root});
+  return cnf;
+}
+
+}  // namespace diffc::prop

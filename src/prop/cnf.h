@@ -1,0 +1,49 @@
+#ifndef DIFFC_PROP_CNF_H_
+#define DIFFC_PROP_CNF_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "prop/formula.h"
+
+namespace diffc::prop {
+
+/// A literal in DIMACS convention: variable `v` (0-based) appears as `v+1`
+/// (positive) or `-(v+1)` (negative).
+using Literal = int;
+
+/// A clause: a disjunction of literals.
+using Clause = std::vector<Literal>;
+
+/// A formula in conjunctive normal form.
+struct Cnf {
+  /// Number of variables; literals mention variables in [0, num_vars).
+  int num_vars = 0;
+  /// The clauses; an empty clause makes the CNF unsatisfiable.
+  std::vector<Clause> clauses;
+
+  /// Appends a clause.
+  void AddClause(Clause c) { clauses.push_back(std::move(c)); }
+
+  /// Allocates a fresh variable and returns its index.
+  int NewVar() { return num_vars++; }
+
+  /// True iff `assignment[v]` (one bool per variable) satisfies all clauses.
+  bool IsSatisfiedBy(const std::vector<bool>& assignment) const;
+
+  /// DIMACS-like rendering, for debugging.
+  std::string ToString() const;
+};
+
+/// Converts an arbitrary formula to an equisatisfiable CNF via the Tseitin
+/// transformation. Variables [0, num_original_vars) of the result are the
+/// formula's own variables; higher indices are auxiliary definition
+/// variables. Every model of the CNF restricted to the original variables
+/// satisfies the formula, and every satisfying assignment of the formula
+/// extends to a model of the CNF.
+Cnf TseitinTransform(const Formula& f, int num_original_vars);
+
+}  // namespace diffc::prop
+
+#endif  // DIFFC_PROP_CNF_H_

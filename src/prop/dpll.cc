@@ -1,0 +1,133 @@
+#include "prop/dpll.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace diffc::prop {
+
+namespace {
+
+// Literal value under a partial assignment: kTrue/kFalse/kUnassigned.
+std::int8_t LitValue(Literal lit, const std::vector<std::int8_t>& assignment) {
+  std::int8_t v = assignment[std::abs(lit) - 1];
+  if (v < 0) return v;
+  return (lit > 0) == (v == 1) ? std::int8_t{1} : std::int8_t{0};
+}
+
+}  // namespace
+
+Result<SatResult> DpllSolver::Solve(const Cnf& cnf) {
+  stats_ = SolverStats{};
+  budget_exceeded_ = false;
+  for (const Clause& clause : cnf.clauses) {
+    if (clause.empty()) return SatResult{};  // Trivially unsatisfiable.
+    for (Literal lit : clause) {
+      if (lit == 0 || std::abs(lit) > cnf.num_vars) {
+        return Status::InvalidArgument("literal out of range in CNF");
+      }
+    }
+  }
+  std::vector<std::int8_t> assignment(cnf.num_vars, kUnassigned);
+  bool sat = Search(cnf, assignment);
+  if (budget_exceeded_) {
+    return Status::ResourceExhausted("DPLL decision budget exceeded");
+  }
+  SatResult result;
+  result.satisfiable = sat;
+  if (sat) {
+    result.model.resize(cnf.num_vars);
+    for (int v = 0; v < cnf.num_vars; ++v) {
+      // Variables untouched by the search are irrelevant; default to false.
+      result.model[v] = assignment[v] == kTrue;
+    }
+  }
+  return result;
+}
+
+bool DpllSolver::Propagate(const Cnf& cnf, std::vector<std::int8_t>& assignment,
+                           std::vector<int>& trail) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Clause& clause : cnf.clauses) {
+      Literal unit = 0;
+      bool satisfied = false;
+      int unassigned = 0;
+      for (Literal lit : clause) {
+        std::int8_t v = LitValue(lit, assignment);
+        if (v == 1) {
+          satisfied = true;
+          break;
+        }
+        if (v == kUnassigned) {
+          ++unassigned;
+          unit = lit;
+          if (unassigned > 1) break;
+        }
+      }
+      if (satisfied) continue;
+      if (unassigned == 0) {
+        ++stats_.conflicts;
+        return false;  // All literals false: conflict.
+      }
+      if (unassigned == 1) {
+        int var = std::abs(unit) - 1;
+        assignment[var] = unit > 0 ? kTrue : kFalse;
+        trail.push_back(var);
+        ++stats_.propagations;
+        changed = true;
+      }
+    }
+  }
+  return true;
+}
+
+int DpllSolver::PickBranchVariable(const Cnf& cnf,
+                                   const std::vector<std::int8_t>& assignment) const {
+  // Most occurrences among clauses that are not yet satisfied.
+  std::vector<int> score(cnf.num_vars, 0);
+  for (const Clause& clause : cnf.clauses) {
+    bool satisfied = false;
+    for (Literal lit : clause) {
+      if (LitValue(lit, assignment) == 1) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (satisfied) continue;
+    for (Literal lit : clause) {
+      int var = std::abs(lit) - 1;
+      if (assignment[var] == kUnassigned) ++score[var];
+    }
+  }
+  int best = -1;
+  for (int v = 0; v < cnf.num_vars; ++v) {
+    if (assignment[v] == kUnassigned && (best == -1 || score[v] > score[best])) best = v;
+  }
+  return best;
+}
+
+bool DpllSolver::Search(const Cnf& cnf, std::vector<std::int8_t>& assignment) {
+  if (budget_exceeded_) return false;
+  std::vector<int> trail;
+  if (!Propagate(cnf, assignment, trail)) {
+    for (int v : trail) assignment[v] = kUnassigned;
+    return false;
+  }
+  int var = PickBranchVariable(cnf, assignment);
+  if (var == -1) return true;  // Complete assignment, no conflict: model.
+
+  for (std::int8_t phase : {kTrue, kFalse}) {
+    if (++stats_.decisions > max_decisions_) {
+      budget_exceeded_ = true;
+      break;
+    }
+    assignment[var] = phase;
+    if (Search(cnf, assignment)) return true;
+    assignment[var] = kUnassigned;
+  }
+  for (int v : trail) assignment[v] = kUnassigned;
+  return false;
+}
+
+}  // namespace diffc::prop

@@ -1,0 +1,68 @@
+#ifndef DIFFC_PROP_DPLL_H_
+#define DIFFC_PROP_DPLL_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "prop/cnf.h"
+#include "util/status.h"
+
+namespace diffc::prop {
+
+/// Outcome of a satisfiability call.
+struct SatResult {
+  /// True iff a model was found.
+  bool satisfiable = false;
+  /// When satisfiable: one model, indexed by variable.
+  std::vector<bool> model;
+};
+
+/// Counters describing the work a solve performed.
+struct SolverStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;
+};
+
+/// A DPLL satisfiability solver: recursive search with unit propagation and
+/// a most-occurrences branching heuristic.
+///
+/// This is the decision procedure behind the coNP implication checker
+/// (Proposition 5.5): non-implication of a differential constraint is
+/// encoded as a satisfiable CNF whose model is a counterexample set `U`.
+/// The solver is deliberately dependency-free and small; instances arising
+/// from constraint implication have one variable per attribute plus one
+/// auxiliary variable per right-hand-side member.
+class DpllSolver {
+ public:
+  /// Creates a solver. `max_decisions` bounds the search; Solve returns
+  /// ResourceExhausted when exceeded.
+  explicit DpllSolver(std::uint64_t max_decisions = 50'000'000)
+      : max_decisions_(max_decisions) {}
+
+  /// Decides satisfiability of `cnf`. The returned model (when satisfiable)
+  /// satisfies every clause; `Cnf::IsSatisfiedBy` re-checks it in tests.
+  Result<SatResult> Solve(const Cnf& cnf);
+
+  /// Statistics of the most recent Solve call.
+  const SolverStats& stats() const { return stats_; }
+
+ private:
+  enum : std::int8_t { kUnassigned = -1, kFalse = 0, kTrue = 1 };
+
+  bool Search(const Cnf& cnf, std::vector<std::int8_t>& assignment);
+  // Applies unit propagation; returns false on conflict. Appends assigned
+  // variables to `trail`.
+  bool Propagate(const Cnf& cnf, std::vector<std::int8_t>& assignment,
+                 std::vector<int>& trail);
+  int PickBranchVariable(const Cnf& cnf, const std::vector<std::int8_t>& assignment) const;
+
+  std::uint64_t max_decisions_;
+  SolverStats stats_;
+  bool budget_exceeded_ = false;
+};
+
+}  // namespace diffc::prop
+
+#endif  // DIFFC_PROP_DPLL_H_

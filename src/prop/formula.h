@@ -1,0 +1,75 @@
+#ifndef DIFFC_PROP_FORMULA_H_
+#define DIFFC_PROP_FORMULA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lattice/universe.h"
+#include "util/bitops.h"
+
+namespace diffc::prop {
+
+class Formula;
+/// Formulas are immutable and shared.
+using FormulaPtr = std::shared_ptr<const Formula>;
+
+/// Node kinds of the propositional AST.
+enum class FormulaKind { kConst, kVar, kNot, kAnd, kOr };
+
+/// A propositional formula over variables identified by attribute index —
+/// the fragment of Section 5, where propositional variables are the
+/// attributes of the universe `S`.
+///
+/// Assignments are `Mask`s: bit `i` set means variable `i` is true. This is
+/// exactly the paper's identification of truth assignments with subsets
+/// `X ⊆ S` (Definition 5.1).
+class Formula {
+ public:
+  /// The constant `value`.
+  static FormulaPtr Const(bool value);
+  /// Constant true / false.
+  static FormulaPtr True() { return Const(true); }
+  static FormulaPtr False() { return Const(false); }
+  /// The variable with attribute index `var` (0 <= var < 64).
+  static FormulaPtr Var(int var);
+  /// Negation.
+  static FormulaPtr Not(FormulaPtr f);
+  /// Conjunction; And({}) is true.
+  static FormulaPtr And(std::vector<FormulaPtr> children);
+  /// Disjunction; Or({}) is false.
+  static FormulaPtr Or(std::vector<FormulaPtr> children);
+  /// Material implication a ⇒ b, i.e. Or(Not(a), b).
+  static FormulaPtr Implies(FormulaPtr a, FormulaPtr b);
+  /// The conjunction of the variables in `vars` (the paper's ∧X).
+  static FormulaPtr AndOfVars(Mask vars);
+
+  FormulaKind kind() const { return kind_; }
+  /// For kConst: the constant value.
+  bool const_value() const { return const_value_; }
+  /// For kVar: the variable index.
+  int var() const { return var_; }
+  /// For kNot/kAnd/kOr: the children (kNot has exactly one).
+  const std::vector<FormulaPtr>& children() const { return children_; }
+
+  /// Evaluates under the assignment `assignment` (bit i = variable i true).
+  bool Eval(Mask assignment) const;
+
+  /// The largest variable index mentioned, or -1 for variable-free formulas.
+  int MaxVar() const;
+
+  /// Renders with the universe's attribute names, e.g. "(A & !B) | C".
+  std::string ToString(const Universe& u) const;
+
+ private:
+  Formula() = default;
+
+  FormulaKind kind_ = FormulaKind::kConst;
+  bool const_value_ = false;
+  int var_ = -1;
+  std::vector<FormulaPtr> children_;
+};
+
+}  // namespace diffc::prop
+
+#endif  // DIFFC_PROP_FORMULA_H_

@@ -1,0 +1,14 @@
+#include "prop/implication_constraint.h"
+
+namespace diffc::prop {
+
+FormulaPtr ImplicationConstraintFormula(const ItemSet& x, const SetFamily& family) {
+  std::vector<FormulaPtr> disjuncts;
+  disjuncts.reserve(family.size());
+  for (const ItemSet& member : family.members()) {
+    disjuncts.push_back(Formula::AndOfVars(member.bits()));
+  }
+  return Formula::Implies(Formula::AndOfVars(x.bits()), Formula::Or(std::move(disjuncts)));
+}
+
+}  // namespace diffc::prop

@@ -1,0 +1,21 @@
+#ifndef DIFFC_PROP_IMPLICATION_CONSTRAINT_H_
+#define DIFFC_PROP_IMPLICATION_CONSTRAINT_H_
+
+#include "lattice/set_family.h"
+#include "prop/formula.h"
+
+namespace diffc::prop {
+
+/// Implication constraints (Definition 5.2): `X ⇒prop Y` denotes the
+/// formula `∧X ⇒ ∨_{Y∈Y} ∧Y`.
+///
+/// By Proposition 5.3, `negminset(X ⇒prop Y) = L(X, Y)`: an assignment `U`
+/// falsifies the formula exactly when `X ⊆ U` and no member of `Y` is
+/// contained in `U`. Edge cases follow the usual conventions: an empty
+/// right-hand family is the empty disjunction (false), and an empty member
+/// is the empty conjunction (true), matching trivial constraints.
+FormulaPtr ImplicationConstraintFormula(const ItemSet& x, const SetFamily& family);
+
+}  // namespace diffc::prop
+
+#endif  // DIFFC_PROP_IMPLICATION_CONSTRAINT_H_

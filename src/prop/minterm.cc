@@ -1,0 +1,59 @@
+#include "prop/minterm.h"
+
+namespace diffc::prop {
+
+FormulaPtr MintermFormula(Mask x, int n) {
+  std::vector<FormulaPtr> lits;
+  for (int i = 0; i < n; ++i) {
+    FormulaPtr v = Formula::Var(i);
+    lits.push_back(((x >> i) & 1) ? v : Formula::Not(v));
+  }
+  return Formula::And(std::move(lits));
+}
+
+namespace {
+Result<std::vector<Mask>> Assignments(const Formula& f, int n, int max_bits, bool want) {
+  if (n > max_bits) {
+    return Status::ResourceExhausted("minset enumeration over " + std::to_string(n) +
+                                     " variables");
+  }
+  std::vector<Mask> out;
+  const Mask full = FullMask(n);
+  for (Mask m = 0;; ++m) {
+    if (f.Eval(m) == want) out.push_back(m);
+    if (m == full) break;
+  }
+  return out;
+}
+}  // namespace
+
+Result<std::vector<Mask>> Minset(const Formula& f, int n, int max_bits) {
+  return Assignments(f, n, max_bits, /*want=*/true);
+}
+
+Result<std::vector<Mask>> NegMinset(const Formula& f, int n, int max_bits) {
+  return Assignments(f, n, max_bits, /*want=*/false);
+}
+
+Result<bool> Entails(const std::vector<FormulaPtr>& premises, const Formula& conclusion,
+                     int n, int max_bits) {
+  if (n > max_bits) {
+    return Status::ResourceExhausted("entailment check over " + std::to_string(n) +
+                                     " variables");
+  }
+  const Mask full = FullMask(n);
+  for (Mask m = 0;; ++m) {
+    bool all_premises = true;
+    for (const FormulaPtr& p : premises) {
+      if (!p->Eval(m)) {
+        all_premises = false;
+        break;
+      }
+    }
+    if (all_premises && !conclusion.Eval(m)) return false;
+    if (m == full) break;
+  }
+  return true;
+}
+
+}  // namespace diffc::prop

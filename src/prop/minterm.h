@@ -1,0 +1,33 @@
+#ifndef DIFFC_PROP_MINTERM_H_
+#define DIFFC_PROP_MINTERM_H_
+
+#include <vector>
+
+#include "prop/formula.h"
+#include "util/status.h"
+
+namespace diffc::prop {
+
+/// Minterms and minsets (Definition 5.1). A minterm `X̂` over an
+/// `n`-attribute universe is the complete conjunction that is true exactly
+/// under the assignment `X`; minsets identify a formula with the set of
+/// assignments satisfying it.
+
+/// The minterm formula `∧_{a∈X} a ∧ ∧_{b∉X} ¬b` over `n` variables.
+FormulaPtr MintermFormula(Mask x, int n);
+
+/// `minset(φ) = {X | X̂ ⊨ φ}`: all satisfying assignments, sorted.
+/// Requires n <= max_bits (default 24); ResourceExhausted otherwise.
+Result<std::vector<Mask>> Minset(const Formula& f, int n, int max_bits = 24);
+
+/// `negminset(φ) = minset(¬φ)`: all falsifying assignments, sorted.
+Result<std::vector<Mask>> NegMinset(const Formula& f, int n, int max_bits = 24);
+
+/// Semantic entailment Φ ⊨ φ over `n` variables by minset containment:
+/// `negminset(φ) ⊆ ∪_{φ'∈Φ} negminset(φ')` (Section 5). Exhaustive in 2^n.
+Result<bool> Entails(const std::vector<FormulaPtr>& premises, const Formula& conclusion,
+                     int n, int max_bits = 24);
+
+}  // namespace diffc::prop
+
+#endif  // DIFFC_PROP_MINTERM_H_

@@ -1,0 +1,72 @@
+#include "prop/tautology.h"
+
+#include <random>
+
+#include "prop/dpll.h"
+
+namespace diffc::prop {
+
+bool DnfFormula::Eval(Mask assignment) const {
+  for (const DnfConjunct& c : conjuncts) {
+    if (IsSubset(c.pos, assignment) && (c.neg & assignment) == 0) return true;
+  }
+  return false;
+}
+
+Result<bool> IsDnfTautology(const DnfFormula& f) {
+  // ¬f is the CNF with, per conjunct (∧P ∧ ∧¬Q), the clause (∨¬P ∨ ∨Q).
+  Cnf cnf;
+  cnf.num_vars = f.num_vars;
+  for (const DnfConjunct& c : f.conjuncts) {
+    Clause clause;
+    ForEachBit(c.pos, [&](int b) { clause.push_back(-(b + 1)); });
+    ForEachBit(c.neg, [&](int b) { clause.push_back(b + 1); });
+    cnf.AddClause(std::move(clause));
+  }
+  DpllSolver solver;
+  Result<SatResult> res = solver.Solve(cnf);
+  if (!res.ok()) return res.status();
+  return !res->satisfiable;
+}
+
+Result<bool> IsDnfTautologyExhaustive(const DnfFormula& f, int max_bits) {
+  if (f.num_vars > max_bits) {
+    return Status::ResourceExhausted("exhaustive tautology check over " +
+                                     std::to_string(f.num_vars) + " variables");
+  }
+  const Mask full = FullMask(f.num_vars);
+  for (Mask m = 0;; ++m) {
+    if (!f.Eval(m)) return false;
+    if (m == full) break;
+  }
+  return true;
+}
+
+DnfFormula RandomDnf(int num_vars, int num_conjuncts, int literals_per_conjunct,
+                     std::uint64_t seed) {
+  std::mt19937_64 engine(seed);
+  std::uniform_int_distribution<int> var_dist(0, num_vars - 1);
+  std::bernoulli_distribution sign_dist(0.5);
+  DnfFormula f;
+  f.num_vars = num_vars;
+  f.conjuncts.reserve(num_conjuncts);
+  for (int i = 0; i < num_conjuncts; ++i) {
+    DnfConjunct c;
+    int placed = 0;
+    while (placed < literals_per_conjunct) {
+      int v = var_dist(engine);
+      Mask bit = Mask{1} << v;
+      if ((c.pos | c.neg) & bit) continue;  // Distinct variables only.
+      if (sign_dist(engine)) {
+        c.pos |= bit;
+      } else {
+        c.neg |= bit;
+      }
+      ++placed;
+    }
+    f.conjuncts.push_back(c);
+  }
+  return f;
+}
+
+}  // namespace diffc::prop

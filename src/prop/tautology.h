@@ -1,0 +1,46 @@
+#ifndef DIFFC_PROP_TAUTOLOGY_H_
+#define DIFFC_PROP_TAUTOLOGY_H_
+
+#include <vector>
+
+#include "util/bitops.h"
+#include "util/status.h"
+
+namespace diffc::prop {
+
+/// One conjunct `∧P ∧ ∧_{q∈Q} ¬q` of a DNF formula, as in the proof of
+/// Proposition 5.5. A variable in both `pos` and `neg` makes the conjunct
+/// contradictory.
+struct DnfConjunct {
+  Mask pos = 0;  ///< P: variables appearing positively.
+  Mask neg = 0;  ///< Q: variables appearing negated.
+};
+
+/// A propositional formula in disjunctive normal form over `num_vars`
+/// variables: the disjunction of its conjuncts. The empty DNF is false.
+struct DnfFormula {
+  int num_vars = 0;
+  std::vector<DnfConjunct> conjuncts;
+
+  /// Evaluates under `assignment`.
+  bool Eval(Mask assignment) const;
+};
+
+/// Decides whether `f` is a tautology by refuting `¬f` with DPLL. `¬f` is
+/// directly a CNF (one clause per conjunct), so no Tseitin encoding is
+/// needed. The tautology problem for DNF is the canonical coNP-complete
+/// problem the paper reduces from.
+Result<bool> IsDnfTautology(const DnfFormula& f);
+
+/// Exhaustive 2^n reference check, for testing the SAT path.
+Result<bool> IsDnfTautologyExhaustive(const DnfFormula& f, int max_bits = 24);
+
+/// A random DNF with `num_conjuncts` conjuncts of `literals_per_conjunct`
+/// distinct literals each (random polarity). Used by the coNP benchmark
+/// (experiment E2) to generate hard instances near the tautology threshold.
+DnfFormula RandomDnf(int num_vars, int num_conjuncts, int literals_per_conjunct,
+                     std::uint64_t seed);
+
+}  // namespace diffc::prop
+
+#endif  // DIFFC_PROP_TAUTOLOGY_H_

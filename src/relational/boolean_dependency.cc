@@ -1,0 +1,32 @@
+#include "relational/boolean_dependency.h"
+
+namespace diffc {
+
+bool SatisfiesBooleanDependency(const Relation& r, const DifferentialConstraint& c) {
+  // The quantification "∀ t, t' ∈ r" of formula (6) includes t = t'. That
+  // pair always agrees on X and agrees on every member, so it only matters
+  // for an empty right-hand family, which no nonempty relation satisfies —
+  // matching the Simpson side, whose density at S is always positive.
+  if (c.rhs().empty()) return r.size() == 0;
+  for (int i = 0; i < r.size(); ++i) {
+    for (int j = i + 1; j < r.size(); ++j) {
+      if (!r.AgreeOn(i, j, c.lhs())) continue;
+      bool some_member_agrees = false;
+      for (const ItemSet& member : c.rhs().members()) {
+        if (r.AgreeOn(i, j, member)) {
+          some_member_agrees = true;
+          break;
+        }
+      }
+      if (!some_member_agrees) return false;
+    }
+  }
+  return true;
+}
+
+bool SatisfiesFdInRelation(const Relation& r, const ItemSet& lhs, const ItemSet& rhs) {
+  return SatisfiesBooleanDependency(
+      r, DifferentialConstraint(lhs, SetFamily({rhs})));
+}
+
+}  // namespace diffc

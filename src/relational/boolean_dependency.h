@@ -1,0 +1,26 @@
+#ifndef DIFFC_RELATIONAL_BOOLEAN_DEPENDENCY_H_
+#define DIFFC_RELATIONAL_BOOLEAN_DEPENDENCY_H_
+
+#include "core/constraint.h"
+#include "relational/relation.h"
+
+namespace diffc {
+
+/// Positive boolean dependencies (Sagiv–Delobel–Parker–Fagin; paper
+/// formula (6)): `r` satisfies `X ⇒boolean Y` iff
+///
+///   ∀ t, t' ∈ r:  t[X] = t'[X]  ⇒  ∨_{Y ∈ Y} t[Y] = t'[Y].
+///
+/// By Proposition 7.3 this holds iff any (equivalently every) Simpson
+/// function of `r` satisfies the differential constraint `X -> Y` — an
+/// equivalence the test suite checks exactly over rationals.
+/// O(|r|^2 · (|X| + Σ|Y|)).
+bool SatisfiesBooleanDependency(const Relation& r, const DifferentialConstraint& c);
+
+/// Classic functional-dependency satisfaction `X -> Z` as the boolean
+/// dependency `X ⇒boolean {Z}`.
+bool SatisfiesFdInRelation(const Relation& r, const ItemSet& lhs, const ItemSet& rhs);
+
+}  // namespace diffc
+
+#endif  // DIFFC_RELATIONAL_BOOLEAN_DEPENDENCY_H_

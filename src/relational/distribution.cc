@@ -1,0 +1,25 @@
+#include "relational/distribution.h"
+
+namespace diffc {
+
+Result<Distribution> Distribution::Make(std::vector<Rational> weights) {
+  Rational total;
+  for (const Rational& w : weights) {
+    if (w.IsZero() || w.IsNegative()) {
+      return Status::InvalidArgument("tuple probabilities must be strictly positive");
+    }
+    total += w;
+  }
+  if (total != Rational(1)) {
+    return Status::InvalidArgument("tuple probabilities must sum to 1, got " +
+                                   total.ToString());
+  }
+  return Distribution(std::move(weights));
+}
+
+Result<Distribution> Distribution::Uniform(int size) {
+  if (size < 1) return Status::InvalidArgument("uniform distribution needs >= 1 tuple");
+  return Make(std::vector<Rational>(size, Rational(1, size)));
+}
+
+}  // namespace diffc

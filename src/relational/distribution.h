@@ -1,0 +1,35 @@
+#ifndef DIFFC_RELATIONAL_DISTRIBUTION_H_
+#define DIFFC_RELATIONAL_DISTRIBUTION_H_
+
+#include <vector>
+
+#include "util/rational.h"
+#include "util/status.h"
+
+namespace diffc {
+
+/// A probability distribution over the tuples of a relation
+/// (Definition 7.1): exact rational weights, strictly positive on every
+/// tuple (the paper requires `p(t) ≠ 0` for `t ∈ r`), summing to 1.
+class Distribution {
+ public:
+  /// Builds a distribution from `weights` (one per tuple).
+  static Result<Distribution> Make(std::vector<Rational> weights);
+
+  /// The uniform distribution over `size` tuples. Requires size >= 1.
+  static Result<Distribution> Uniform(int size);
+
+  /// Number of tuples covered.
+  int size() const { return static_cast<int>(weights_.size()); }
+  /// Probability of tuple `i`.
+  const Rational& weight(int i) const { return weights_[i]; }
+
+ private:
+  explicit Distribution(std::vector<Rational> weights) : weights_(std::move(weights)) {}
+
+  std::vector<Rational> weights_;
+};
+
+}  // namespace diffc
+
+#endif  // DIFFC_RELATIONAL_DISTRIBUTION_H_

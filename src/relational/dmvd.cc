@@ -1,0 +1,21 @@
+#include "relational/dmvd.h"
+
+#include "core/implication.h"
+#include "relational/boolean_dependency.h"
+
+namespace diffc {
+
+bool SatisfiesDmvd(const Relation& r, const Dmvd& d) {
+  return SatisfiesBooleanDependency(r, d.AsConstraint());
+}
+
+Result<bool> DmvdImplies(int n, const std::vector<Dmvd>& premises, const Dmvd& goal) {
+  ConstraintSet constraints;
+  constraints.reserve(premises.size());
+  for (const Dmvd& p : premises) constraints.push_back(p.AsConstraint());
+  Result<ImplicationOutcome> r = CheckImplicationSat(n, constraints, goal.AsConstraint());
+  if (!r.ok()) return r.status();
+  return r->implied;
+}
+
+}  // namespace diffc

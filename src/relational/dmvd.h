@@ -1,0 +1,48 @@
+#ifndef DIFFC_RELATIONAL_DMVD_H_
+#define DIFFC_RELATIONAL_DMVD_H_
+
+#include <string>
+
+#include "core/constraint.h"
+#include "relational/relation.h"
+#include "util/status.h"
+
+namespace diffc {
+
+/// Degenerate multivalued dependencies (Baixeries–Balcázar, cited in the
+/// paper's Section 2.2): `X -|-> Y | Z` holds in `r` when any two tuples
+/// agreeing on `X` agree on `Y` or agree on `Z`.
+///
+/// A DMVD is exactly the positive boolean dependency
+/// `X ⇒boolean {Y, Z}` — i.e. the two-member differential constraint
+/// `X -> {Y, Z}` under the Simpson semantics of Section 7. This wrapper
+/// makes that identification explicit and routes satisfaction and
+/// implication through the differential machinery.
+struct Dmvd {
+  ItemSet lhs;
+  ItemSet left;   ///< Y
+  ItemSet right;  ///< Z
+
+  /// The differential constraint `lhs -> {left, right}` this DMVD is.
+  DifferentialConstraint AsConstraint() const {
+    return DifferentialConstraint(lhs, SetFamily({left, right}));
+  }
+
+  /// Renders "X -|-> Y | Z".
+  std::string ToString(const Universe& u) const {
+    return lhs.ToString(u) + " -|-> " + left.ToString(u) + " | " + right.ToString(u);
+  }
+};
+
+/// True iff `r` satisfies the DMVD (checked as a boolean dependency).
+bool SatisfiesDmvd(const Relation& r, const Dmvd& d);
+
+/// Decides `premises |= goal` for DMVDs through the differential-
+/// constraint implication machinery (Corollary 7.4 / Theorem 8.1 make
+/// this equivalent to implication over Simpson functions). `n` is the
+/// schema size.
+Result<bool> DmvdImplies(int n, const std::vector<Dmvd>& premises, const Dmvd& goal);
+
+}  // namespace diffc
+
+#endif  // DIFFC_RELATIONAL_DMVD_H_

@@ -1,0 +1,65 @@
+#include "relational/entropy.h"
+
+#include <cmath>
+#include <map>
+
+namespace diffc {
+
+namespace {
+
+Status CheckArgs(const Relation& r, const Distribution& p) {
+  if (r.size() == 0) {
+    return Status::InvalidArgument("Shannon function requires a nonempty relation");
+  }
+  if (p.size() != r.size()) {
+    return Status::InvalidArgument("distribution size does not match relation");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<SetFunction<double>> ShannonFunction(const Relation& r, const Distribution& p) {
+  if (Status s = CheckArgs(r, p); !s.ok()) return s;
+  Result<SetFunction<double>> h = SetFunction<double>::Make(r.num_attrs());
+  if (!h.ok()) return h.status();
+  const Mask full = FullMask(r.num_attrs());
+  for (Mask x = 0;; ++x) {
+    ItemSet attrs(x);
+    std::map<std::vector<int>, double> groups;
+    for (int i = 0; i < r.size(); ++i) {
+      groups[r.Project(i, attrs)] += p.weight(i).ToDouble();
+    }
+    double entropy = 0;
+    for (const auto& [key, weight] : groups) {
+      if (weight > 0) entropy -= weight * std::log2(weight);
+    }
+    h->at(x) = entropy;
+    if (x == full) break;
+  }
+  return h;
+}
+
+double ConditionalEntropy(const SetFunction<double>& h, const ItemSet& x, const ItemSet& y) {
+  return h.at(x.Union(y)) - h.at(x);
+}
+
+bool SatisfiesInformationDependency(const SetFunction<double>& h, const ItemSet& x,
+                                    const ItemSet& y, double eps) {
+  return std::fabs(ConditionalEntropy(h, x, y)) < eps;
+}
+
+Result<SetFunction<double>> ShannonComplementFunction(const Relation& r,
+                                                      const Distribution& p) {
+  Result<SetFunction<double>> h = ShannonFunction(r, p);
+  if (!h.ok()) return h.status();
+  Result<SetFunction<double>> g = SetFunction<double>::Make(r.num_attrs());
+  if (!g.ok()) return g.status();
+  const double h_full = h->at(FullMask(r.num_attrs()));
+  for (Mask m = 0; m < g->size(); ++m) {
+    g->at(m) = h_full - h->at(m);
+  }
+  return g;
+}
+
+}  // namespace diffc

@@ -1,0 +1,47 @@
+#ifndef DIFFC_RELATIONAL_ENTROPY_H_
+#define DIFFC_RELATIONAL_ENTROPY_H_
+
+#include "lattice/mobius.h"
+#include "relational/distribution.h"
+#include "relational/relation.h"
+
+namespace diffc {
+
+/// Shannon-entropy functions over probabilistic relations — the measure
+/// Lee, Malvestuto, and Dalkilic–Robertson coupled to the attribute space
+/// before the paper's Simpson function, and the subject of the paper's
+/// explicit open problem: *"It remains an open problem whether results in
+/// this section apply to Shannon functions."* This module provides the
+/// Shannon machinery and the empirical probe (experiment E9).
+
+/// The Shannon function `H(X) = -Σ_{x ∈ π_X(r)} p_X(x) log2 p_X(x)` for
+/// every attribute set. Requires a nonempty relation with a matching
+/// distribution; O(2^n · |r| log |r|).
+Result<SetFunction<double>> ShannonFunction(const Relation& r, const Distribution& p);
+
+/// Conditional entropy `H(Y | X) = H(X ∪ Y) - H(X)` read off a
+/// precomputed Shannon function.
+double ConditionalEntropy(const SetFunction<double>& h, const ItemSet& x, const ItemSet& y);
+
+/// The information dependency (Dalkilic–Robertson): `X -> Y` holds iff
+/// `H(Y | X) = 0` — equivalent to FD satisfaction in the relation.
+bool SatisfiesInformationDependency(const SetFunction<double>& h, const ItemSet& x,
+                                    const ItemSet& y, double eps = 1e-9);
+
+/// The paper's open-problem probe: the *Shannon complement function*
+/// `g(X) = H(S) - H(X)`, the natural entropy analogue of the Simpson
+/// function's direction (decreasing in X, like simpson). Its first-order
+/// differentials are conditional entropies `H(Y|X) >= 0` and its
+/// second-order differentials are conditional mutual informations
+/// `I(Y;Z|X) >= 0`, but third-order differentials (interaction
+/// information) can be negative — which is exactly why the paper's
+/// Section 7 results are open for Shannon functions. Tests and the E9
+/// bench measure how often density-based satisfaction of `g` agrees with
+/// the boolean-dependency semantics that Simpson functions match exactly
+/// (Proposition 7.3).
+Result<SetFunction<double>> ShannonComplementFunction(const Relation& r,
+                                                      const Distribution& p);
+
+}  // namespace diffc
+
+#endif  // DIFFC_RELATIONAL_ENTROPY_H_

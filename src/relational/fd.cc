@@ -1,0 +1,71 @@
+#include "relational/fd.h"
+
+#include <algorithm>
+
+namespace diffc {
+
+ItemSet FdClosure(const ItemSet& x, const std::vector<Fd>& fds) {
+  ItemSet closure = x;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Fd& fd : fds) {
+      if (fd.lhs.IsSubsetOf(closure) && !fd.rhs.IsSubsetOf(closure)) {
+        closure = closure.Union(fd.rhs);
+        changed = true;
+      }
+    }
+  }
+  return closure;
+}
+
+bool FdImplies(const std::vector<Fd>& fds, const Fd& goal) {
+  return goal.rhs.IsSubsetOf(FdClosure(goal.lhs, fds));
+}
+
+std::vector<Fd> FdMinimalCover(const std::vector<Fd>& fds) {
+  // 1. Split right-hand sides into singletons.
+  std::vector<Fd> cover;
+  for (const Fd& fd : fds) {
+    ForEachBit(fd.rhs.bits(), [&](int b) {
+      cover.push_back(Fd{fd.lhs, ItemSet::Singleton(b)});
+    });
+  }
+  // 2. Drop extraneous left-hand attributes.
+  for (Fd& fd : cover) {
+    bool shrunk = true;
+    while (shrunk) {
+      shrunk = false;
+      ItemSet lhs = fd.lhs;
+      bool done = false;
+      ForEachBit(lhs.bits(), [&](int a) {
+        if (done) return;
+        ItemSet reduced = lhs.Minus(ItemSet::Singleton(a));
+        if (fd.rhs.IsSubsetOf(FdClosure(reduced, cover))) {
+          fd.lhs = reduced;
+          shrunk = true;
+          done = true;
+        }
+      });
+    }
+  }
+  // 3. Drop redundant dependencies.
+  for (size_t i = 0; i < cover.size();) {
+    Fd removed = cover[i];
+    cover.erase(cover.begin() + i);
+    if (FdImplies(cover, removed)) {
+      continue;  // Redundant: keep it removed, re-test the same index.
+    }
+    cover.insert(cover.begin() + i, removed);
+    ++i;
+  }
+  // Deduplicate.
+  std::sort(cover.begin(), cover.end(), [](const Fd& a, const Fd& b) {
+    if (a.lhs != b.lhs) return a.lhs < b.lhs;
+    return a.rhs < b.rhs;
+  });
+  cover.erase(std::unique(cover.begin(), cover.end()), cover.end());
+  return cover;
+}
+
+}  // namespace diffc

@@ -1,0 +1,41 @@
+#ifndef DIFFC_RELATIONAL_FD_H_
+#define DIFFC_RELATIONAL_FD_H_
+
+#include <string>
+#include <vector>
+
+#include "lattice/itemset.h"
+
+namespace diffc {
+
+/// A functional dependency `X -> Y` over the schema/universe — the
+/// subclass of differential constraints with a single right-hand member
+/// (paper Section 8), for which implication is polynomial.
+struct Fd {
+  ItemSet lhs;
+  ItemSet rhs;
+
+  /// Renders "X -> Y".
+  std::string ToString(const Universe& u) const {
+    return lhs.ToString(u) + " -> " + rhs.ToString(u);
+  }
+
+  friend bool operator==(const Fd& a, const Fd& b) {
+    return a.lhs == b.lhs && a.rhs == b.rhs;
+  }
+};
+
+/// The attribute-set closure `X+` under `fds` (Armstrong). O(|fds|^2) set
+/// operations.
+ItemSet FdClosure(const ItemSet& x, const std::vector<Fd>& fds);
+
+/// True iff `fds ⊨ goal`, i.e. `goal.rhs ⊆ FdClosure(goal.lhs, fds)`.
+bool FdImplies(const std::vector<Fd>& fds, const Fd& goal);
+
+/// A canonical (minimal) cover of `fds`: singleton right-hand sides, no
+/// extraneous left-hand attributes, no redundant dependencies.
+std::vector<Fd> FdMinimalCover(const std::vector<Fd>& fds);
+
+}  // namespace diffc
+
+#endif  // DIFFC_RELATIONAL_FD_H_

@@ -1,0 +1,145 @@
+#include "relational/normalization.h"
+
+#include <algorithm>
+#include <map>
+
+namespace diffc {
+
+Result<std::vector<ItemSet>> CandidateKeys(const ItemSet& attrs, const std::vector<Fd>& fds,
+                                           int max_attrs) {
+  if (attrs.size() > max_attrs) {
+    return Status::ResourceExhausted("candidate-key search over " +
+                                     std::to_string(attrs.size()) + " attributes");
+  }
+  std::vector<Mask> subsets;
+  ForEachSubset(attrs.bits(), [&](Mask m) { subsets.push_back(m); });
+  std::sort(subsets.begin(), subsets.end(), [](Mask a, Mask b) {
+    if (Popcount(a) != Popcount(b)) return Popcount(a) < Popcount(b);
+    return a < b;
+  });
+  std::vector<ItemSet> keys;
+  for (Mask m : subsets) {
+    bool dominated = false;
+    for (const ItemSet& k : keys) {
+      if (IsSubset(k.bits(), m)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) continue;
+    if (attrs.IsSubsetOf(FdClosure(ItemSet(m), fds))) keys.push_back(ItemSet(m));
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+Result<std::optional<BcnfViolation>> FindBcnfViolation(const ItemSet& attrs,
+                                                       const std::vector<Fd>& fds,
+                                                       int max_attrs) {
+  if (attrs.size() > max_attrs) {
+    return Status::ResourceExhausted("BCNF check over " + std::to_string(attrs.size()) +
+                                     " attributes");
+  }
+  std::optional<BcnfViolation> violation;
+  ForEachSubset(attrs.bits(), [&](Mask x) {
+    if (violation.has_value()) return;
+    ItemSet closure = FdClosure(ItemSet(x), fds);
+    if (attrs.IsSubsetOf(closure)) return;  // X is a superkey: fine.
+    ItemSet gained = closure.Intersect(attrs).Minus(ItemSet(x));
+    if (!gained.empty()) violation = BcnfViolation{ItemSet(x), gained};
+  });
+  return violation;
+}
+
+Result<bool> IsBcnf(const ItemSet& attrs, const std::vector<Fd>& fds, int max_attrs) {
+  Result<std::optional<BcnfViolation>> v = FindBcnfViolation(attrs, fds, max_attrs);
+  if (!v.ok()) return v.status();
+  return !v->has_value();
+}
+
+Result<std::vector<ItemSet>> BcnfDecompose(const ItemSet& attrs, const std::vector<Fd>& fds,
+                                           int max_attrs) {
+  std::vector<ItemSet> done;
+  std::vector<ItemSet> work{attrs};
+  while (!work.empty()) {
+    ItemSet r = work.back();
+    work.pop_back();
+    Result<std::optional<BcnfViolation>> v = FindBcnfViolation(r, fds, max_attrs);
+    if (!v.ok()) return v.status();
+    if (!v->has_value()) {
+      done.push_back(r);
+      continue;
+    }
+    // Split on X -> Y: R1 = X ∪ (X+ ∩ R), R2 = R ∖ (R1 ∖ X).
+    ItemSet x = (*v)->lhs;
+    ItemSet r1 = x.Union(FdClosure(x, fds).Intersect(r));
+    ItemSet r2 = r.Minus(r1.Minus(x));
+    work.push_back(r1);
+    work.push_back(r2);
+  }
+  // Deduplicate, then drop schemas properly contained in another.
+  std::sort(done.begin(), done.end());
+  done.erase(std::unique(done.begin(), done.end()), done.end());
+  std::vector<ItemSet> result;
+  for (const ItemSet& r : done) {
+    bool subsumed = false;
+    for (const ItemSet& other : done) {
+      if (other != r && r.IsSubsetOf(other)) {
+        subsumed = true;
+        break;
+      }
+    }
+    if (!subsumed) result.push_back(r);
+  }
+  return result;
+}
+
+Result<std::vector<ItemSet>> Synthesize3Nf(const ItemSet& attrs, const std::vector<Fd>& fds) {
+  std::vector<Fd> cover = FdMinimalCover(fds);
+  // Group the cover by left-hand side; one schema per group.
+  std::map<Mask, Mask> groups;
+  for (const Fd& fd : cover) {
+    if (!fd.lhs.IsSubsetOf(attrs) || !fd.rhs.IsSubsetOf(attrs)) continue;
+    groups[fd.lhs.bits()] |= fd.lhs.bits() | fd.rhs.bits();
+  }
+  std::vector<ItemSet> schemas;
+  for (const auto& [lhs, schema] : groups) schemas.push_back(ItemSet(schema));
+  // Attributes mentioned in no dependency still need a home, and some
+  // schema must contain a candidate key for losslessness.
+  Result<std::vector<ItemSet>> keys = CandidateKeys(attrs, cover);
+  if (!keys.ok()) return keys.status();
+  bool has_key_schema = false;
+  for (const ItemSet& schema : schemas) {
+    for (const ItemSet& key : *keys) {
+      if (key.IsSubsetOf(schema)) {
+        has_key_schema = true;
+        break;
+      }
+    }
+    if (has_key_schema) break;
+  }
+  if (!has_key_schema && !keys->empty()) schemas.push_back((*keys)[0]);
+  // Drop subsumed schemas.
+  std::vector<ItemSet> result;
+  for (const ItemSet& schema : schemas) {
+    bool subsumed = false;
+    for (const ItemSet& other : schemas) {
+      if (other != schema && schema.IsSubsetOf(other)) {
+        subsumed = true;
+        break;
+      }
+    }
+    if (!subsumed) result.push_back(schema);
+  }
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+bool IsLosslessBinarySplit(const ItemSet& r1, const ItemSet& r2, const std::vector<Fd>& fds) {
+  ItemSet common = r1.Intersect(r2);
+  ItemSet closure = FdClosure(common, fds);
+  return r1.IsSubsetOf(closure) || r2.IsSubsetOf(closure);
+}
+
+}  // namespace diffc

@@ -1,0 +1,59 @@
+#ifndef DIFFC_RELATIONAL_NORMALIZATION_H_
+#define DIFFC_RELATIONAL_NORMALIZATION_H_
+
+#include <optional>
+#include <vector>
+
+#include "relational/fd.h"
+#include "util/status.h"
+
+namespace diffc {
+
+/// Classical FD-based schema design on top of the paper's polynomial
+/// subclass (Section 8): candidate keys, BCNF checking and decomposition,
+/// 3NF synthesis, and the lossless-join test. A schema here is an
+/// attribute set within the universe.
+
+/// All candidate keys of the schema `attrs` under `fds` (minimal X ⊆ attrs
+/// with attrs ⊆ X+), sorted by mask. Exponential in the worst case;
+/// `max_attrs` guards the search.
+Result<std::vector<ItemSet>> CandidateKeys(const ItemSet& attrs, const std::vector<Fd>& fds,
+                                           int max_attrs = 24);
+
+/// A BCNF violation: an FD X -> Y applicable to the schema with X not a
+/// superkey (projected to the schema, with trivial parts removed).
+struct BcnfViolation {
+  ItemSet lhs;
+  ItemSet rhs;
+};
+
+/// Finds a BCNF violation of `attrs` under `fds`, or nothing when the
+/// schema is in BCNF. Checks every *projected* dependency (closure-based),
+/// not just the listed ones, so violations hidden by projection are found.
+/// Exponential in |attrs|; guarded.
+Result<std::optional<BcnfViolation>> FindBcnfViolation(const ItemSet& attrs,
+                                                       const std::vector<Fd>& fds,
+                                                       int max_attrs = 20);
+
+/// True iff the schema is in BCNF under `fds`.
+Result<bool> IsBcnf(const ItemSet& attrs, const std::vector<Fd>& fds, int max_attrs = 20);
+
+/// Decomposes `attrs` into BCNF subschemas by the classical split
+/// R -> (X ∪ X+∩R, R ∖ (X+ ∖ X)) on violations. The result is lossless by
+/// construction (each split is on a key of one side); dependency
+/// preservation is not guaranteed (it cannot be, in general).
+Result<std::vector<ItemSet>> BcnfDecompose(const ItemSet& attrs, const std::vector<Fd>& fds,
+                                           int max_attrs = 20);
+
+/// Synthesizes a lossless, dependency-preserving 3NF decomposition from a
+/// minimal cover (Bernstein synthesis): one schema per cover group plus a
+/// key schema when needed; subsumed schemas dropped.
+Result<std::vector<ItemSet>> Synthesize3Nf(const ItemSet& attrs, const std::vector<Fd>& fds);
+
+/// The binary lossless-join test: the decomposition {r1, r2} of a schema
+/// is lossless under `fds` iff (r1 ∩ r2) -> r1 or (r1 ∩ r2) -> r2.
+bool IsLosslessBinarySplit(const ItemSet& r1, const ItemSet& r2, const std::vector<Fd>& fds);
+
+}  // namespace diffc
+
+#endif  // DIFFC_RELATIONAL_NORMALIZATION_H_

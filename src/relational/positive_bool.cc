@@ -1,0 +1,89 @@
+#include "relational/positive_bool.h"
+
+namespace diffc {
+
+bool IsLiteralNnf(const prop::Formula& f) {
+  switch (f.kind()) {
+    case prop::FormulaKind::kConst:
+    case prop::FormulaKind::kVar:
+      return true;
+    case prop::FormulaKind::kNot:
+      return f.children()[0]->kind() == prop::FormulaKind::kVar;
+    case prop::FormulaKind::kAnd:
+    case prop::FormulaKind::kOr:
+      for (const prop::FormulaPtr& c : f.children()) {
+        if (!IsLiteralNnf(*c)) return false;
+      }
+      return true;
+  }
+  return false;
+}
+
+bool SatisfiesPositiveBoolDependency(const Relation& r, const prop::Formula& f) {
+  const Mask all_agree = FullMask(r.num_attrs());
+  // The diagonal pair (t, t) realizes the all-true assignment whenever the
+  // relation is nonempty.
+  if (r.size() > 0 && !f.Eval(all_agree)) return false;
+  for (int i = 0; i < r.size(); ++i) {
+    for (int j = i + 1; j < r.size(); ++j) {
+      Mask agreement = 0;
+      for (int a = 0; a < r.num_attrs(); ++a) {
+        if (r.tuple(i)[a] == r.tuple(j)[a]) agreement |= Mask{1} << a;
+      }
+      if (!f.Eval(agreement)) return false;
+    }
+  }
+  return true;
+}
+
+Result<Relation> TwoTupleRelation(int n, Mask agree_on) {
+  if (!IsSubset(agree_on, FullMask(n))) {
+    return Status::InvalidArgument("agreement mask outside the schema");
+  }
+  std::vector<int> t1(n, 0);
+  if (agree_on == FullMask(n)) {
+    // Two tuples agreeing everywhere would be duplicates; the assignment
+    // is realized by the diagonal pair of a single tuple.
+    return Relation::Make(n, {t1});
+  }
+  std::vector<int> t2(n, 0);
+  for (int a = 0; a < n; ++a) {
+    if (!((agree_on >> a) & 1)) t2[a] = 1;
+  }
+  return Relation::Make(n, {t1, t2});
+}
+
+Result<bool> PositiveBoolImplies(int n, const std::vector<prop::FormulaPtr>& premises,
+                                 const prop::Formula& goal, Mask* counterexample_agreement,
+                                 int max_bits) {
+  if (n > max_bits) {
+    return Status::ResourceExhausted("positive-boolean implication over " +
+                                     std::to_string(n) + " attributes");
+  }
+  const Mask all_agree = FullMask(n);
+  // If some premise fails at the all-true assignment, no nonempty relation
+  // satisfies the premises (the diagonal pair refutes it), so the
+  // implication holds vacuously over relations.
+  for (const prop::FormulaPtr& p : premises) {
+    if (!p->Eval(all_agree)) return true;
+  }
+  // Otherwise the countermodels are exactly the two-tuple relations (SDPF):
+  // an agreement assignment where all premises hold but the goal fails.
+  for (Mask u = 0;; ++u) {
+    bool premises_hold = true;
+    for (const prop::FormulaPtr& p : premises) {
+      if (!p->Eval(u)) {
+        premises_hold = false;
+        break;
+      }
+    }
+    if (premises_hold && !goal.Eval(u)) {
+      if (counterexample_agreement != nullptr) *counterexample_agreement = u;
+      return false;
+    }
+    if (u == all_agree) break;
+  }
+  return true;
+}
+
+}  // namespace diffc

@@ -1,0 +1,58 @@
+#ifndef DIFFC_RELATIONAL_POSITIVE_BOOL_H_
+#define DIFFC_RELATIONAL_POSITIVE_BOOL_H_
+
+#include <vector>
+
+#include "prop/formula.h"
+#include "relational/relation.h"
+#include "util/status.h"
+
+namespace diffc {
+
+/// The *full* class of positive boolean dependencies of Sagiv, Delobel,
+/// Parker, and Fagin (the paper's [22, 23]): an arbitrary negation-free
+/// propositional formula `φ` over agreement atoms, where atom `a` reads
+/// "the two tuples agree on attribute a". A relation satisfies `φ` when
+/// every (ordered, including equal) pair of tuples does. The paper's
+/// `X ⇒boolean Y` (formula (6)) is the fragment `∧X ⇒ ∨∧Y`; this module
+/// implements the general class and the SDPF equivalence theorem —
+/// dependency implication coincides with propositional implication, with
+/// two-tuple relations as the universal countermodels.
+///
+/// Positivity: the formula may only use variables, conjunction and
+/// disjunction *in the consequent sense* of SDPF — here encoded as:
+/// implication-free NNF where negation is not applied below any
+/// connective except directly on variables in the antecedent position.
+/// `IsPositiveDependencyFormula` checks the shape this module supports:
+/// truth-monotone formulas built from Const/Var/And/Or plus implications
+/// `A ⇒ B` desugared by the prop layer into `¬A ∨ B`; concretely it
+/// requires every *negation* to sit directly above a variable.
+
+/// True iff every negation in `f` applies directly to a variable (the
+/// shape produced by `Formula::Implies` over positive parts).
+bool IsLiteralNnf(const prop::Formula& f);
+
+/// Does `r` satisfy the dependency `f` over agreement atoms? Checks all
+/// ordered tuple pairs, including `t = t'` (whose agreement assignment is
+/// all-true). O(|r|^2 · |f|).
+bool SatisfiesPositiveBoolDependency(const Relation& r, const prop::Formula& f);
+
+/// Builds a two-tuple relation over `n` attributes whose single
+/// nontrivial agreement assignment is exactly `agree_on` — the canonical
+/// countermodel of the SDPF theorem.
+Result<Relation> TwoTupleRelation(int n, Mask agree_on);
+
+/// The SDPF equivalence: `premises` imply `goal` over relations iff the
+/// corresponding propositional entailment holds. Decided by checking all
+/// 2^n agreement assignments (exhaustive; requires n <= max_bits).
+/// Returns the truth value; when false, `counterexample_agreement`
+/// receives an assignment whose two-tuple relation satisfies every
+/// premise and violates the goal.
+Result<bool> PositiveBoolImplies(int n, const std::vector<prop::FormulaPtr>& premises,
+                                 const prop::Formula& goal,
+                                 Mask* counterexample_agreement = nullptr,
+                                 int max_bits = 24);
+
+}  // namespace diffc
+
+#endif  // DIFFC_RELATIONAL_POSITIVE_BOOL_H_

@@ -1,0 +1,41 @@
+#include "relational/relation.h"
+
+#include <algorithm>
+
+namespace diffc {
+
+Result<Relation> Relation::Make(int num_attrs, std::vector<std::vector<int>> tuples) {
+  if (num_attrs < 0 || num_attrs > 64) {
+    return Status::InvalidArgument("relation schema must have 0..64 attributes");
+  }
+  for (const std::vector<int>& t : tuples) {
+    if (static_cast<int>(t.size()) != num_attrs) {
+      return Status::InvalidArgument("tuple arity does not match schema");
+    }
+  }
+  std::vector<std::vector<int>> sorted = tuples;
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+    return Status::InvalidArgument("duplicate tuple in relation");
+  }
+  return Relation(num_attrs, std::move(tuples));
+}
+
+bool Relation::AgreeOn(int i, int j, const ItemSet& x) const {
+  const std::vector<int>& a = tuples_[i];
+  const std::vector<int>& b = tuples_[j];
+  bool agree = true;
+  ForEachBit(x.bits(), [&](int attr) {
+    if (a[attr] != b[attr]) agree = false;
+  });
+  return agree;
+}
+
+std::vector<int> Relation::Project(int i, const ItemSet& x) const {
+  std::vector<int> out;
+  out.reserve(x.size());
+  ForEachBit(x.bits(), [&](int attr) { out.push_back(tuples_[i][attr]); });
+  return out;
+}
+
+}  // namespace diffc

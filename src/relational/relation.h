@@ -1,0 +1,46 @@
+#ifndef DIFFC_RELATIONAL_RELATION_H_
+#define DIFFC_RELATIONAL_RELATION_H_
+
+#include <vector>
+
+#include "lattice/itemset.h"
+#include "util/status.h"
+
+namespace diffc {
+
+/// A finite relation over a schema of `num_attrs` attributes (Section 7).
+/// Tuples are rows of integer-coded values; attribute `i` of the schema is
+/// attribute `i` of the associated `Universe`.
+class Relation {
+ public:
+  /// Builds a relation; every tuple must have exactly `num_attrs` values
+  /// and `num_attrs` must be in [0, 64]. Duplicate tuples are rejected
+  /// (the paper's relations are sets; weights live in a `Distribution`).
+  static Result<Relation> Make(int num_attrs, std::vector<std::vector<int>> tuples);
+
+  /// Number of schema attributes.
+  int num_attrs() const { return num_attrs_; }
+  /// Number of tuples.
+  int size() const { return static_cast<int>(tuples_.size()); }
+  /// Tuple `i`.
+  const std::vector<int>& tuple(int i) const { return tuples_[i]; }
+
+  /// True iff tuples `i` and `j` agree on every attribute in `x`
+  /// (`t[X] = t'[X]`). Agreement on the empty set is vacuously true.
+  bool AgreeOn(int i, int j, const ItemSet& x) const;
+
+  /// The projection `t[X]` of tuple `i`: values of the attributes in `x`,
+  /// in attribute order.
+  std::vector<int> Project(int i, const ItemSet& x) const;
+
+ private:
+  Relation(int num_attrs, std::vector<std::vector<int>> tuples)
+      : num_attrs_(num_attrs), tuples_(std::move(tuples)) {}
+
+  int num_attrs_;
+  std::vector<std::vector<int>> tuples_;
+};
+
+}  // namespace diffc
+
+#endif  // DIFFC_RELATIONAL_RELATION_H_

@@ -1,0 +1,68 @@
+#include "relational/simpson.h"
+
+#include <map>
+
+namespace diffc {
+
+namespace {
+
+Status CheckArgs(const Relation& r, const Distribution& p) {
+  if (r.size() == 0) {
+    return Status::InvalidArgument("Simpson function requires a nonempty relation");
+  }
+  if (p.size() != r.size()) {
+    return Status::InvalidArgument("distribution size does not match relation");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<SetFunction<Rational>> SimpsonFunction(const Relation& r, const Distribution& p) {
+  if (Status s = CheckArgs(r, p); !s.ok()) return s;
+  Result<SetFunction<Rational>> f = SetFunction<Rational>::Make(r.num_attrs());
+  if (!f.ok()) return f.status();
+  const Mask full = FullMask(r.num_attrs());
+  for (Mask x = 0;; ++x) {
+    ItemSet attrs(x);
+    std::map<std::vector<int>, Rational> groups;
+    for (int i = 0; i < r.size(); ++i) {
+      groups[r.Project(i, attrs)] += p.weight(i);
+    }
+    Rational acc;
+    for (const auto& [key, weight] : groups) acc += weight * weight;
+    f->at(x) = acc;
+    if (x == full) break;
+  }
+  return f;
+}
+
+Result<SetFunction<Rational>> SimpsonDensityDirect(const Relation& r,
+                                                   const Distribution& p) {
+  if (Status s = CheckArgs(r, p); !s.ok()) return s;
+  Result<SetFunction<Rational>> d = SetFunction<Rational>::Make(r.num_attrs());
+  if (!d.ok()) return d.status();
+  const int n = r.num_attrs();
+  const Mask full = FullMask(n);
+  for (Mask x = 0;; ++x) {
+    ItemSet attrs(x);
+    ItemSet complement = attrs.ComplementIn(n);
+    Rational acc;
+    for (int i = 0; i < r.size(); ++i) {
+      for (int j = 0; j < r.size(); ++j) {
+        if (!r.AgreeOn(i, j, attrs)) continue;
+        // c(X, t, t'): t and t' differ on *every* attribute outside X.
+        bool differ_everywhere = true;
+        ForEachBit(complement.bits(), [&](int attr) {
+          if (r.tuple(i)[attr] == r.tuple(j)[attr]) differ_everywhere = false;
+        });
+        if (differ_everywhere) acc += p.weight(i) * p.weight(j);
+      }
+    }
+    d->at(x) = acc;
+    if (x == full) break;
+  }
+  return d;
+}
+
+}  // namespace diffc

@@ -1,0 +1,34 @@
+#ifndef DIFFC_RELATIONAL_SIMPSON_H_
+#define DIFFC_RELATIONAL_SIMPSON_H_
+
+#include "lattice/mobius.h"
+#include "relational/distribution.h"
+#include "relational/relation.h"
+#include "util/rational.h"
+
+namespace diffc {
+
+/// The Simpson function of a nonempty probabilistic relation
+/// (Definition 7.1):
+///
+///   simpson_{r,p}(X) = Σ_{x ∈ π_X(r)} p_X(x)^2,
+///
+/// a measure of how uniform the X-projections of `r` are under `p`
+/// (Simpson's diversity index, 1949). Computed exactly over rationals for
+/// every `X ⊆ S`; O(2^n · |r| log |r|). Requires a nonempty relation with
+/// `p` matching its size and `num_attrs <= kMaxSetFunctionBits`.
+Result<SetFunction<Rational>> SimpsonFunction(const Relation& r, const Distribution& p);
+
+/// The density of the Simpson function computed directly from the
+/// pair-summation formula of Proposition 7.2:
+///
+///   d(X) = Σ_{t,t' ∈ r, t[X]=t'[X], ∀y∉X: t(y)≠t'(y)} p(t)·p(t'),
+///
+/// manifestly nonnegative (so Simpson functions are frequency functions).
+/// O(2^n · |r|^2); the test suite checks it equals `Density(SimpsonFunction)`.
+Result<SetFunction<Rational>> SimpsonDensityDirect(const Relation& r,
+                                                   const Distribution& p);
+
+}  // namespace diffc
+
+#endif  // DIFFC_RELATIONAL_SIMPSON_H_

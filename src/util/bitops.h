@@ -1,0 +1,67 @@
+#ifndef DIFFC_UTIL_BITOPS_H_
+#define DIFFC_UTIL_BITOPS_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace diffc {
+
+/// A subset of a universe of at most 64 attributes, encoded as a bitmask.
+/// Bit `i` set means attribute `i` is in the subset.
+using Mask = std::uint64_t;
+
+/// The full universe mask over `n` attributes (bits 0..n-1 set).
+/// Requires 0 <= n <= 64.
+inline Mask FullMask(int n) {
+  return n >= 64 ? ~Mask{0} : ((Mask{1} << n) - 1);
+}
+
+/// Number of attributes in `m`.
+inline int Popcount(Mask m) { return std::popcount(m); }
+
+/// True iff `a` is a subset of `b`.
+inline bool IsSubset(Mask a, Mask b) { return (a & ~b) == 0; }
+
+/// Index of the lowest set bit. Requires m != 0.
+inline int LowestBit(Mask m) { return std::countr_zero(m); }
+
+/// Calls `fn(int bit)` for each set bit of `m`, lowest first.
+template <typename Fn>
+void ForEachBit(Mask m, Fn fn) {
+  while (m != 0) {
+    int b = std::countr_zero(m);
+    fn(b);
+    m &= m - 1;
+  }
+}
+
+/// Calls `fn(Mask sub)` for every subset `sub` of `m`, including the empty
+/// set and `m` itself. Visits 2^|m| subsets in decreasing binary order
+/// starting from `m`.
+template <typename Fn>
+void ForEachSubset(Mask m, Fn fn) {
+  Mask sub = m;
+  while (true) {
+    fn(sub);
+    if (sub == 0) break;
+    sub = (sub - 1) & m;
+  }
+}
+
+/// Calls `fn(Mask sup)` for every superset `sup` of `base` within the
+/// universe mask `full` (i.e. base <= sup <= full). Requires base subset of
+/// full. Visits 2^(|full|-|base|) sets.
+template <typename Fn>
+void ForEachSuperset(Mask base, Mask full, Fn fn) {
+  Mask free = full & ~base;
+  Mask sub = free;
+  while (true) {
+    fn(base | sub);
+    if (sub == 0) break;
+    sub = (sub - 1) & free;
+  }
+}
+
+}  // namespace diffc
+
+#endif  // DIFFC_UTIL_BITOPS_H_

@@ -1,0 +1,38 @@
+#include "util/random.h"
+
+namespace diffc {
+
+Mask Rng::RandomMask(int n, double density) {
+  Mask m = 0;
+  for (int i = 0; i < n; ++i) {
+    if (Bernoulli(density)) m |= Mask{1} << i;
+  }
+  return m;
+}
+
+Mask Rng::RandomSubsetOf(Mask pool) {
+  Mask m = 0;
+  ForEachBit(pool, [&](int b) {
+    if (Bernoulli(0.5)) m |= Mask{1} << b;
+  });
+  return m;
+}
+
+Mask Rng::RandomNonemptySubsetOf(Mask pool) {
+  Mask m = RandomSubsetOf(pool);
+  if (m != 0) return m;
+  // Fall back to a uniformly random single element.
+  int k = static_cast<int>(UniformInt(0, Popcount(pool) - 1));
+  Mask p = pool;
+  while (k-- > 0) p &= p - 1;
+  return Mask{1} << LowestBit(p);
+}
+
+std::vector<Mask> Rng::RandomFamily(int n, int count, double density) {
+  std::vector<Mask> out;
+  out.reserve(count);
+  for (int i = 0; i < count; ++i) out.push_back(RandomMask(n, density));
+  return out;
+}
+
+}  // namespace diffc

@@ -1,0 +1,59 @@
+#ifndef DIFFC_UTIL_RANDOM_H_
+#define DIFFC_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/bitops.h"
+
+namespace diffc {
+
+/// A deterministic pseudo-random source used by generators, property tests
+/// and benchmarks. All randomized components of the library take an `Rng&`
+/// so that every experiment is reproducible from a seed.
+class Rng {
+ public:
+  /// Creates a generator seeded with `seed`.
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  Rng(const Rng&) = delete;
+  Rng& operator=(const Rng&) = delete;
+
+  /// Uniform integer in [lo, hi]. Requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Bernoulli trial with success probability `p`.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// A random subset of the `n`-attribute universe where each attribute is
+  /// included independently with probability `density`.
+  Mask RandomMask(int n, double density);
+
+  /// A uniformly random subset of `pool` (possibly empty).
+  Mask RandomSubsetOf(Mask pool);
+
+  /// A uniformly random nonempty subset of `pool`. Requires pool != 0.
+  Mask RandomNonemptySubsetOf(Mask pool);
+
+  /// A random family of `count` subsets of the `n`-attribute universe, each
+  /// drawn with `RandomMask(n, density)`.
+  std::vector<Mask> RandomFamily(int n, int count, double density);
+
+  /// Access to the underlying engine for std distributions.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace diffc
+
+#endif  // DIFFC_UTIL_RANDOM_H_

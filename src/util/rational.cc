@@ -1,0 +1,79 @@
+#include "util/rational.h"
+
+#include <cstdlib>
+
+namespace diffc {
+
+namespace {
+
+using Int128 = __int128;
+
+std::int64_t CheckedNarrow(Int128 v) {
+  if (v > INT64_MAX || v < INT64_MIN) {
+    std::abort();  // Rational overflow: values in this library stay small.
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+// Reduces num/den (den != 0) to lowest terms with a positive denominator.
+void Reduce(Int128 num, Int128 den, std::int64_t* out_num, std::int64_t* out_den) {
+  if (den < 0) {
+    num = -num;
+    den = -den;
+  }
+  Int128 a = num < 0 ? -num : num;
+  Int128 b = den;
+  while (b != 0) {
+    Int128 t = a % b;
+    a = b;
+    b = t;
+  }
+  if (a == 0) a = 1;  // num == 0.
+  *out_num = CheckedNarrow(num / a);
+  *out_den = CheckedNarrow(den / a);
+}
+
+Rational FromParts(Int128 num, Int128 den) {
+  std::int64_t n, d;
+  Reduce(num, den, &n, &d);
+  Rational r;
+  // n/d is already in lowest terms; the constructor's reduction is a no-op.
+  return Rational(n, d);
+}
+
+}  // namespace
+
+Rational::Rational(std::int64_t num, std::int64_t den) {
+  if (den == 0) std::abort();
+  Reduce(num, den, &num_, &den_);
+}
+
+std::string Rational::ToString() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+Rational Rational::operator+(const Rational& o) const {
+  return FromParts(Int128{num_} * o.den_ + Int128{o.num_} * den_, Int128{den_} * o.den_);
+}
+
+Rational Rational::operator-(const Rational& o) const {
+  return FromParts(Int128{num_} * o.den_ - Int128{o.num_} * den_, Int128{den_} * o.den_);
+}
+
+Rational Rational::operator*(const Rational& o) const {
+  return FromParts(Int128{num_} * o.num_, Int128{den_} * o.den_);
+}
+
+Rational Rational::operator/(const Rational& o) const {
+  if (o.num_ == 0) std::abort();
+  return FromParts(Int128{num_} * o.den_, Int128{den_} * o.num_);
+}
+
+Rational Rational::operator-() const { return Rational(-num_, den_); }
+
+bool operator<(const Rational& a, const Rational& b) {
+  return Int128{a.num_} * b.den_ < Int128{b.num_} * a.den_;
+}
+
+}  // namespace diffc

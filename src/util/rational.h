@@ -1,0 +1,69 @@
+#ifndef DIFFC_UTIL_RATIONAL_H_
+#define DIFFC_UTIL_RATIONAL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace diffc {
+
+/// An exact rational number with 64-bit numerator and denominator, always
+/// stored in lowest terms with a positive denominator.
+///
+/// Used wherever the theory requires exact zero tests on real-valued
+/// functions (e.g. densities of Simpson functions, Proposition 7.2), where
+/// floating point would make "d_f(U) = 0" ill-defined. Intermediate products
+/// use 128-bit arithmetic; overflow of the reduced result aborts (the
+/// library only forms rationals from small counts and probability weights).
+class Rational {
+ public:
+  /// Zero.
+  Rational() : num_(0), den_(1) {}
+  /// The integer `n`.
+  Rational(std::int64_t n) : num_(n), den_(1) {}  // NOLINT(google-explicit-constructor)
+  /// The fraction `num/den`, reduced. Requires den != 0.
+  Rational(std::int64_t num, std::int64_t den);
+
+  /// Numerator of the reduced form (sign lives here).
+  std::int64_t num() const { return num_; }
+  /// Denominator of the reduced form; always positive.
+  std::int64_t den() const { return den_; }
+
+  /// True iff this is exactly zero.
+  bool IsZero() const { return num_ == 0; }
+  /// True iff this is strictly negative.
+  bool IsNegative() const { return num_ < 0; }
+
+  /// Lossy conversion to double.
+  double ToDouble() const { return static_cast<double>(num_) / static_cast<double>(den_); }
+  /// Renders "p/q", or just "p" when the denominator is 1.
+  std::string ToString() const;
+
+  Rational operator+(const Rational& o) const;
+  Rational operator-(const Rational& o) const;
+  Rational operator*(const Rational& o) const;
+  /// Division; requires o != 0.
+  Rational operator/(const Rational& o) const;
+  Rational operator-() const;
+
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  friend bool operator==(const Rational& a, const Rational& b) {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend bool operator!=(const Rational& a, const Rational& b) { return !(a == b); }
+  friend bool operator<(const Rational& a, const Rational& b);
+  friend bool operator<=(const Rational& a, const Rational& b) { return a < b || a == b; }
+  friend bool operator>(const Rational& a, const Rational& b) { return b < a; }
+  friend bool operator>=(const Rational& a, const Rational& b) { return b <= a; }
+
+ private:
+  std::int64_t num_;
+  std::int64_t den_;
+};
+
+}  // namespace diffc
+
+#endif  // DIFFC_UTIL_RATIONAL_H_

@@ -1,0 +1,22 @@
+#ifndef DIFFC_UTIL_TEXT_H_
+#define DIFFC_UTIL_TEXT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace diffc {
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `s` on the character `sep`; consecutive separators yield empty
+/// pieces. Splitting the empty string yields one empty piece.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+}  // namespace diffc
+
+#endif  // DIFFC_UTIL_TEXT_H_

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "core/armstrong.h"
+#include "core/closure.h"
+#include "core/counterexample.h"
+#include "core/function_ops.h"
+#include "core/implication.h"
+#include "core/parser.h"
+#include "fis/support.h"
+#include "test_helpers.h"
+
+namespace diffc {
+namespace {
+
+TEST(ArmstrongTest, SatisfiesExactlyTheGivenSetOnExample) {
+  Universe u = Universe::Letters(3);
+  ConstraintSet c = *ParseConstraintSet(u, "A -> {B}; B -> {C}");
+  SetFunction<std::int64_t> f = *ArmstrongFunction(3, c);
+  // Satisfies every premise and every consequence...
+  EXPECT_TRUE(Satisfies(f, *ParseConstraint(u, "A -> {B}")));
+  EXPECT_TRUE(Satisfies(f, *ParseConstraint(u, "B -> {C}")));
+  EXPECT_TRUE(Satisfies(f, *ParseConstraint(u, "A -> {C}")));
+  // ...but nothing that is not implied.
+  EXPECT_FALSE(Satisfies(f, *ParseConstraint(u, "C -> {A}")));
+  EXPECT_FALSE(Satisfies(f, *ParseConstraint(u, "B -> {A}")));
+  EXPECT_FALSE(Satisfies(f, *ParseConstraint(u, "0 -> {A}")));
+}
+
+TEST(ArmstrongTest, IsArmstrongFunctionRecognizer) {
+  Universe u = Universe::Letters(3);
+  ConstraintSet c = *ParseConstraintSet(u, "A -> {B}");
+  SetFunction<std::int64_t> f = *ArmstrongFunction(3, c);
+  EXPECT_TRUE(IsArmstrongFunction(f, c));
+  // A generic counterexample function is not Armstrong for c (its density
+  // vanishes on far more than L(c)).
+  SetFunction<std::int64_t> g = *CounterexampleFunction(3, ItemSet{2});
+  EXPECT_FALSE(IsArmstrongFunction(g, c));
+}
+
+TEST(ArmstrongTest, BasketsSupportFunctionIsArmstrongFunction) {
+  Universe u = Universe::Letters(4);
+  ConstraintSet c = *ParseConstraintSet(u, "A -> {BC, CD}; C -> {D}");
+  BasketList b = *ArmstrongBaskets(4, c);
+  EXPECT_EQ(*SupportFunction(b), *ArmstrongFunction(4, c));
+  EXPECT_TRUE(IsArmstrongFunction(*SupportFunction(b), c));
+}
+
+TEST(ArmstrongTest, EmptyConstraintSet) {
+  // L(∅-set) = ∅, so the Armstrong function has density 1 everywhere: it
+  // violates every nontrivial constraint.
+  SetFunction<std::int64_t> f = *ArmstrongFunction(3, {});
+  Universe u = Universe::Letters(3);
+  EXPECT_FALSE(Satisfies(f, *ParseConstraint(u, "A -> {B}")));
+  EXPECT_TRUE(Satisfies(f, *ParseConstraint(u, "AB -> {A}")));  // Trivial.
+  EXPECT_TRUE(IsArmstrongFunction(f, {}));
+}
+
+TEST(ArmstrongTest, GuardOnLargeUniverse) {
+  EXPECT_EQ(ArmstrongBaskets(24, {}, /*max_bits=*/20).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+// The defining property, on random constraint sets: the Armstrong
+// function satisfies a constraint iff that constraint is implied.
+class ArmstrongProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ArmstrongProperty, SatisfiesExactlyTheClosure) {
+  Rng rng(GetParam() * 271 + 9);
+  const int n = 5;
+  for (int iter = 0; iter < 10; ++iter) {
+    ConstraintSet c =
+        testing::RandomConstraintSet(rng, n, static_cast<int>(rng.UniformInt(0, 4)));
+    SetFunction<std::int64_t> f = *ArmstrongFunction(n, c);
+    ASSERT_TRUE(IsArmstrongFunction(f, c));
+    for (int g_iter = 0; g_iter < 20; ++g_iter) {
+      DifferentialConstraint goal = testing::RandomConstraint(
+          rng, n, 0.3, static_cast<int>(rng.UniformInt(0, 3)), 0.35);
+      EXPECT_EQ(Satisfies(f, goal), CheckImplicationSat(n, c, goal)->implied)
+          << goal.ToString(Universe::Letters(n));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArmstrongProperty, ::testing::Range(1, 11));
+
+// One Armstrong model answers every implication query for its constraint
+// set — including through the support-function (basket) semantics.
+TEST(ArmstrongTest, BasketsDecideImplicationQueries) {
+  Rng rng(515);
+  const int n = 5;
+  ConstraintSet c = testing::RandomConstraintSet(rng, n, 3);
+  BasketList b = *ArmstrongBaskets(n, c);
+  SetFunction<std::int64_t> support = *SupportFunction(b);
+  SetFunction<std::int64_t> density = Density(support);
+  for (int iter = 0; iter < 30; ++iter) {
+    DifferentialConstraint goal = testing::RandomConstraint(rng, n);
+    EXPECT_EQ(SatisfiesWithDensity(density, goal),
+              CheckImplicationSat(n, c, goal)->implied);
+  }
+}
+
+}  // namespace
+}  // namespace diffc

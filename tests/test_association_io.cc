@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/function_ops.h"
+#include "fis/association.h"
+#include "fis/disjunctive.h"
+#include "fis/generator.h"
+#include "fis/io.h"
+#include "fis/support.h"
+
+namespace diffc {
+namespace {
+
+BasketList SmallMarket() {
+  return *BasketList::Make(4, {0b0011, 0b0111, 0b0001, 0b1000, 0b1011});
+}
+
+// -------------------------------------------------------- association rules
+
+TEST(AssociationTest, ValidatesConfidence) {
+  AprioriResult apriori = *Apriori(SmallMarket(), 1);
+  EXPECT_FALSE(GenerateAssociationRules(apriori, 0.0).ok());
+  EXPECT_FALSE(GenerateAssociationRules(apriori, 1.5).ok());
+}
+
+TEST(AssociationTest, RulesHaveCorrectConfidence) {
+  BasketList b = SmallMarket();
+  AprioriResult apriori = *Apriori(b, 1);
+  Result<std::vector<AssociationRule>> rules = GenerateAssociationRules(apriori, 0.5);
+  ASSERT_TRUE(rules.ok());
+  ASSERT_FALSE(rules->empty());
+  for (const AssociationRule& r : *rules) {
+    EXPECT_NE(r.lhs, 0u);
+    EXPECT_NE(r.rhs, 0u);
+    EXPECT_EQ(r.lhs & r.rhs, 0u);
+    const double expected = static_cast<double>(b.SupportCount(ItemSet(r.lhs | r.rhs))) /
+                            static_cast<double>(b.SupportCount(ItemSet(r.lhs)));
+    EXPECT_DOUBLE_EQ(r.confidence, expected);
+    EXPECT_EQ(r.support, b.SupportCount(ItemSet(r.lhs | r.rhs)));
+    EXPECT_GE(r.confidence, 0.5);
+  }
+}
+
+TEST(AssociationTest, MilkImpliesBread) {
+  // Items: 0=bread, 1=milk. Every milk basket has bread: confidence 1.
+  BasketList b = SmallMarket();
+  Result<std::vector<AssociationRule>> rules =
+      GenerateAssociationRules(*Apriori(b, 1), 1.0);
+  ASSERT_TRUE(rules.ok());
+  bool found = false;
+  for (const AssociationRule& r : *rules) {
+    if (r.lhs == 0b0010 && r.rhs == 0b0001) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(AssociationTest, PureRulesAreDisjunctiveConstraints) {
+  // A pure rule lhs => rhs is exactly the satisfied differential
+  // constraint lhs -> {rhs} on the support function (Section 6's
+  // "pure association rules").
+  BasketList b = SmallMarket();
+  SetFunction<std::int64_t> density = Density(*SupportFunction(b));
+  Result<std::vector<AssociationRule>> pure = GeneratePureRules(*Apriori(b, 1));
+  ASSERT_TRUE(pure.ok());
+  ASSERT_FALSE(pure->empty());
+  for (const AssociationRule& r : *pure) {
+    DifferentialConstraint c(ItemSet(r.lhs), SetFamily({ItemSet(r.rhs)}));
+    EXPECT_TRUE(SatisfiesWithDensity(density, c)) << c.ToString(Universe::Letters(4));
+    EXPECT_TRUE(SatisfiesDisjunctive(b, c));
+  }
+}
+
+TEST(AssociationTest, NonPureRuleIsNotASatisfiedConstraint) {
+  BasketList b = SmallMarket();
+  SetFunction<std::int64_t> density = Density(*SupportFunction(b));
+  Result<std::vector<AssociationRule>> rules =
+      GenerateAssociationRules(*Apriori(b, 1), 0.3);
+  ASSERT_TRUE(rules.ok());
+  for (const AssociationRule& r : *rules) {
+    if (r.IsPure()) continue;
+    DifferentialConstraint c(ItemSet(r.lhs), SetFamily({ItemSet(r.rhs)}));
+    EXPECT_FALSE(SatisfiesWithDensity(density, c));
+  }
+}
+
+TEST(AssociationTest, ToStringFormat) {
+  AssociationRule r{0b01, 0b10, 3, 0.75};
+  Universe u = Universe::Letters(2);
+  EXPECT_EQ(r.ToString(u), "A => B  (sup=3, conf=0.750)");
+}
+
+// ------------------------------------------------------------------- file IO
+
+TEST(IoTest, TextRoundTrip) {
+  BasketList b = SmallMarket();
+  Result<BasketList> loaded = BasketsFromText(BasketsToText(b));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_items(), b.num_items());
+  EXPECT_EQ(loaded->baskets(), b.baskets());
+}
+
+TEST(IoTest, EmptyBasketsRoundTrip) {
+  BasketList b = *BasketList::Make(3, {0, 0b101, 0});
+  Result<BasketList> loaded = BasketsFromText(BasketsToText(b));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->baskets(), b.baskets());
+}
+
+TEST(IoTest, ParsesCommentsAndBlankLines) {
+  Result<BasketList> b = BasketsFromText(
+      "# header comment\n"
+      "items 5\n"
+      "\n"
+      "0 2 4\n"
+      "# interior comment\n"
+      "1\n");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->num_items(), 5);
+  ASSERT_EQ(b->size(), 2);
+  EXPECT_EQ(b->basket(0), 0b10101u);
+  EXPECT_EQ(b->basket(1), 0b00010u);
+}
+
+TEST(IoTest, RejectsMalformedInput) {
+  EXPECT_FALSE(BasketsFromText("0 1 2\n").ok());            // No header.
+  EXPECT_FALSE(BasketsFromText("items x\n").ok());          // Bad header.
+  EXPECT_FALSE(BasketsFromText("items 3\n0 7\n").ok());     // Out of range.
+  EXPECT_FALSE(BasketsFromText("items 3\n0 q\n").ok());     // Bad token.
+  EXPECT_FALSE(BasketsFromText("").ok());                   // Empty.
+}
+
+TEST(IoTest, FileRoundTrip) {
+  std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "diffc_io_test.baskets";
+  BasketGenConfig config;
+  config.num_items = 10;
+  config.num_baskets = 200;
+  config.seed = 3;
+  BasketList b = *GenerateBaskets(config);
+  ASSERT_TRUE(SaveBaskets(b, path.string()).ok());
+  Result<BasketList> loaded = LoadBaskets(path.string());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_items(), b.num_items());
+  EXPECT_EQ(loaded->baskets(), b.baskets());
+  std::filesystem::remove(path);
+}
+
+TEST(IoTest, LoadMissingFileFails) {
+  EXPECT_EQ(LoadBaskets("/nonexistent/path/x.baskets").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace diffc

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "prop/cdcl.h"
+#include "prop/cnf.h"
+#include "prop/dpll.h"
+#include "prop/tautology.h"
+#include "util/random.h"
+
+namespace diffc {
+namespace {
+
+using prop::CdclSolver;
+using prop::Clause;
+using prop::Cnf;
+using prop::DpllSolver;
+
+TEST(CdclTest, TrivialCases) {
+  Cnf empty;
+  empty.num_vars = 0;
+  EXPECT_TRUE(CdclSolver().Solve(empty)->satisfiable);
+
+  Cnf contradiction;
+  contradiction.num_vars = 1;
+  contradiction.AddClause({1});
+  contradiction.AddClause({-1});
+  EXPECT_FALSE(CdclSolver().Solve(contradiction)->satisfiable);
+
+  Cnf empty_clause;
+  empty_clause.num_vars = 2;
+  empty_clause.AddClause({});
+  EXPECT_FALSE(CdclSolver().Solve(empty_clause)->satisfiable);
+}
+
+TEST(CdclTest, ModelSatisfiesClauses) {
+  Cnf cnf;
+  cnf.num_vars = 4;
+  cnf.AddClause({1, 2});
+  cnf.AddClause({-1, 3});
+  cnf.AddClause({-3, -2, 4});
+  cnf.AddClause({-4, 2});
+  Result<prop::SatResult> r = CdclSolver().Solve(cnf);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->satisfiable);
+  EXPECT_TRUE(cnf.IsSatisfiedBy(r->model));
+}
+
+TEST(CdclTest, TautologicalClausesDropped) {
+  Cnf cnf;
+  cnf.num_vars = 2;
+  cnf.AddClause({1, -1});
+  cnf.AddClause({2});
+  Result<prop::SatResult> r = CdclSolver().Solve(cnf);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->satisfiable);
+  EXPECT_TRUE(r->model[1]);
+}
+
+TEST(CdclTest, RejectsOutOfRangeLiterals) {
+  Cnf cnf;
+  cnf.num_vars = 1;
+  cnf.AddClause({3});
+  EXPECT_FALSE(CdclSolver().Solve(cnf).ok());
+}
+
+// Pigeonhole principle PHP(n+1, n): n+1 pigeons in n holes, classically
+// hard UNSAT instances that exercise clause learning.
+Cnf Pigeonhole(int holes) {
+  const int pigeons = holes + 1;
+  Cnf cnf;
+  cnf.num_vars = pigeons * holes;
+  auto var = [&](int p, int h) { return p * holes + h + 1; };
+  for (int p = 0; p < pigeons; ++p) {
+    Clause clause;
+    for (int h = 0; h < holes; ++h) clause.push_back(var(p, h));
+    cnf.AddClause(std::move(clause));
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        cnf.AddClause({-var(p1, h), -var(p2, h)});
+      }
+    }
+  }
+  return cnf;
+}
+
+TEST(CdclTest, PigeonholeUnsat) {
+  for (int holes = 2; holes <= 5; ++holes) {
+    Result<prop::SatResult> r = CdclSolver().Solve(Pigeonhole(holes));
+    ASSERT_TRUE(r.ok()) << holes;
+    EXPECT_FALSE(r->satisfiable) << holes;
+  }
+}
+
+TEST(CdclTest, PigeonholeSatWhenEnoughHoles) {
+  // n pigeons, n holes (drop the last pigeon's clauses by building
+  // PHP(n, n) directly).
+  const int n = 4;
+  Cnf cnf;
+  cnf.num_vars = n * n;
+  auto var = [&](int p, int h) { return p * n + h + 1; };
+  for (int p = 0; p < n; ++p) {
+    Clause clause;
+    for (int h = 0; h < n; ++h) clause.push_back(var(p, h));
+    cnf.AddClause(std::move(clause));
+  }
+  for (int h = 0; h < n; ++h) {
+    for (int p1 = 0; p1 < n; ++p1) {
+      for (int p2 = p1 + 1; p2 < n; ++p2) {
+        cnf.AddClause({-var(p1, h), -var(p2, h)});
+      }
+    }
+  }
+  Result<prop::SatResult> r = CdclSolver().Solve(cnf);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->satisfiable);
+  EXPECT_TRUE(cnf.IsSatisfiedBy(r->model));
+}
+
+TEST(CdclTest, LearnsClausesOnHardInstances) {
+  CdclSolver solver;
+  ASSERT_TRUE(solver.Solve(Pigeonhole(5)).ok());
+  EXPECT_GT(solver.learned_clauses(), 0u);
+  EXPECT_GT(solver.stats().conflicts, 0u);
+}
+
+// Property: CDCL and DPLL agree on random CNFs across the phase
+// transition, and CDCL models check out.
+class CdclVsDpll : public ::testing::TestWithParam<int> {};
+
+TEST_P(CdclVsDpll, Agree) {
+  Rng rng(GetParam() * 997);
+  for (int iter = 0; iter < 25; ++iter) {
+    const int n = static_cast<int>(rng.UniformInt(3, 12));
+    const int clauses = static_cast<int>(rng.UniformInt(n, n * 5));
+    Cnf cnf;
+    cnf.num_vars = n;
+    for (int c = 0; c < clauses; ++c) {
+      Clause clause;
+      int width = static_cast<int>(rng.UniformInt(1, 3));
+      for (int l = 0; l < width; ++l) {
+        int var = static_cast<int>(rng.UniformInt(0, n - 1));
+        clause.push_back(rng.Bernoulli(0.5) ? var + 1 : -(var + 1));
+      }
+      cnf.AddClause(std::move(clause));
+    }
+    Result<prop::SatResult> dpll = DpllSolver().Solve(cnf);
+    Result<prop::SatResult> cdcl = CdclSolver().Solve(cnf);
+    ASSERT_TRUE(dpll.ok());
+    ASSERT_TRUE(cdcl.ok());
+    EXPECT_EQ(dpll->satisfiable, cdcl->satisfiable) << "iter=" << iter;
+    if (cdcl->satisfiable) {
+      EXPECT_TRUE(cnf.IsSatisfiedBy(cdcl->model));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CdclVsDpll, ::testing::Range(1, 17));
+
+// Agreement on the DNF-tautology CNFs used by the coNP experiment.
+TEST(CdclTest, AgreesOnTautologyInstances) {
+  for (int seed = 1; seed <= 20; ++seed) {
+    prop::DnfFormula f = prop::RandomDnf(8, 20, 3, seed);
+    Cnf cnf;
+    cnf.num_vars = f.num_vars;
+    for (const prop::DnfConjunct& c : f.conjuncts) {
+      Clause clause;
+      ForEachBit(c.pos, [&](int b) { clause.push_back(-(b + 1)); });
+      ForEachBit(c.neg, [&](int b) { clause.push_back(b + 1); });
+      cnf.AddClause(std::move(clause));
+    }
+    Result<prop::SatResult> dpll = DpllSolver().Solve(cnf);
+    Result<prop::SatResult> cdcl = CdclSolver().Solve(cnf);
+    ASSERT_TRUE(dpll.ok());
+    ASSERT_TRUE(cdcl.ok());
+    EXPECT_EQ(dpll->satisfiable, cdcl->satisfiable) << seed;
+  }
+}
+
+}  // namespace
+}  // namespace diffc

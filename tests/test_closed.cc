@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fis/closed.h"
+#include "fis/generator.h"
+#include "fis/support.h"
+
+namespace diffc {
+namespace {
+
+BasketList SmallMarket() {
+  return *BasketList::Make(4, {0b0011, 0b0111, 0b0001, 0b1000, 0b1011});
+}
+
+TEST(ClosureTest, ClosureOfContainedSet) {
+  BasketList b = SmallMarket();
+  // Baskets containing milk (item 1): {0,1}, {0,1,2}, {0,1,3} -> closure
+  // of {milk} is {bread, milk}.
+  EXPECT_EQ(BasketClosure(b, ItemSet{1}), (ItemSet{0, 1}));
+  // Bread appears alone: closure of {bread} is {bread}.
+  EXPECT_EQ(BasketClosure(b, ItemSet{0}), ItemSet{0});
+}
+
+TEST(ClosureTest, ClosureOfUncontainedSetIsUniverse) {
+  BasketList b = SmallMarket();
+  EXPECT_EQ(BasketClosure(b, ItemSet{2, 3}), ItemSet(FullMask(4)));
+}
+
+TEST(ClosureTest, ClosureIsExtensiveIdempotentMonotone) {
+  BasketGenConfig config;
+  config.num_items = 7;
+  config.num_baskets = 60;
+  config.seed = 13;
+  BasketList b = *GenerateBaskets(config);
+  for (Mask x = 0; x < (Mask{1} << 7); ++x) {
+    ItemSet cx = BasketClosure(b, ItemSet(x));
+    EXPECT_TRUE(ItemSet(x).IsSubsetOf(cx));                    // Extensive.
+    EXPECT_EQ(BasketClosure(b, cx), cx);                       // Idempotent.
+    if (b.SupportCount(ItemSet(x)) > 0) {
+      EXPECT_EQ(b.SupportCount(cx), b.SupportCount(ItemSet(x)));  // Same support.
+    }
+  }
+}
+
+TEST(ClosedTest, ClosedSetsAreClosedAndFrequent) {
+  BasketList b = SmallMarket();
+  Result<std::vector<CountedItemset>> closed = ClosedFrequentItemsets(b, 2);
+  ASSERT_TRUE(closed.ok());
+  ASSERT_FALSE(closed->empty());
+  for (const CountedItemset& c : *closed) {
+    EXPECT_GE(c.support, 2);
+    EXPECT_EQ(BasketClosure(b, ItemSet(c.items)), ItemSet(c.items));
+    EXPECT_EQ(c.support, b.SupportCount(ItemSet(c.items)));
+  }
+}
+
+TEST(MaximalTest, MaximalAreAntichainCoveringFrequent) {
+  BasketList b = SmallMarket();
+  const std::int64_t kappa = 2;
+  Result<std::vector<CountedItemset>> maximal = MaximalFrequentItemsets(b, kappa);
+  Result<AprioriResult> apriori = Apriori(b, kappa);
+  ASSERT_TRUE(maximal.ok());
+  ASSERT_TRUE(apriori.ok());
+  // Antichain.
+  for (const CountedItemset& a : *maximal) {
+    for (const CountedItemset& c : *maximal) {
+      if (a.items != c.items) {
+        EXPECT_FALSE(IsSubset(a.items, c.items));
+      }
+    }
+  }
+  // Every frequent set sits under some maximal one.
+  for (const CountedItemset& f : apriori->frequent) {
+    bool covered = false;
+    for (const CountedItemset& m : *maximal) {
+      if (IsSubset(f.items, m.items)) covered = true;
+    }
+    EXPECT_TRUE(covered) << f.items;
+  }
+}
+
+// The closed representation reconstructs every status and every frequent
+// support — and is never larger than the frequent family.
+class ClosedCorrectness : public ::testing::TestWithParam<std::tuple<int, std::int64_t>> {};
+
+TEST_P(ClosedCorrectness, DerivesEverything) {
+  auto [seed, kappa] = GetParam();
+  BasketGenConfig config;
+  config.num_items = 8;
+  config.num_baskets = 150;
+  config.num_patterns = 3;
+  config.pattern_size = 3;
+  config.seed = seed;
+  BasketList b = *GenerateBaskets(config);
+  SetFunction<std::int64_t> support = *SupportFunction(b);
+  Result<std::vector<CountedItemset>> closed = ClosedFrequentItemsets(b, kappa);
+  Result<AprioriResult> apriori = Apriori(b, kappa);
+  ASSERT_TRUE(closed.ok());
+  ASSERT_TRUE(apriori.ok());
+  EXPECT_LE(closed->size(), apriori->frequent.size());
+  for (Mask x = 0; x < (Mask{1} << 8); ++x) {
+    SCOPED_TRACE(x);
+    DerivedSupport d = DeriveFromClosed(*closed, kappa, ItemSet(x));
+    const std::int64_t truth = support.at(x);
+    EXPECT_EQ(d.frequent, truth >= kappa);
+    if (truth >= kappa) {
+      ASSERT_TRUE(d.support.has_value());
+      EXPECT_EQ(*d.support, truth);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ClosedCorrectness,
+                         ::testing::Combine(::testing::Values(1, 2, 3),
+                                            ::testing::Values<std::int64_t>(5, 20, 60)));
+
+TEST(ClosedTest, MaximalSubsetOfClosed) {
+  // Every maximal frequent itemset is closed.
+  BasketGenConfig config;
+  config.num_items = 8;
+  config.num_baskets = 100;
+  config.seed = 9;
+  BasketList b = *GenerateBaskets(config);
+  std::vector<CountedItemset> closed = *ClosedFrequentItemsets(b, 10);
+  std::set<Mask> closed_masks;
+  for (const CountedItemset& c : closed) closed_masks.insert(c.items);
+  std::vector<CountedItemset> maximal = *MaximalFrequentItemsets(b, 10);
+  for (const CountedItemset& m : maximal) {
+    EXPECT_TRUE(closed_masks.count(m.items)) << m.items;
+  }
+}
+
+}  // namespace
+}  // namespace diffc

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fis/apriori.h"
+#include "fis/concise.h"
+#include "fis/generator.h"
+#include "fis/support.h"
+
+namespace diffc {
+namespace {
+
+BasketList RuleHeavyData(std::uint64_t seed, int items = 8, int baskets = 200) {
+  BasketGenConfig config;
+  config.num_items = items;
+  config.num_baskets = baskets;
+  config.num_patterns = 3;
+  config.pattern_size = 3;
+  config.pattern_prob = 0.4;
+  config.noise_density = 0.15;
+  config.seed = seed;
+  std::vector<PlantedRule> rules{{0, ItemSet{1, 2}}, {3, ItemSet{4}}};
+  return *GenerateBasketsWithRules(config, rules);
+}
+
+TEST(ConciseTest, BuildValidatesOptions) {
+  BasketList b = *BasketList::Make(2, {0b01});
+  EXPECT_FALSE(ConciseRepresentation::Build(b, {.min_support = 0}).ok());
+  EXPECT_FALSE(
+      ConciseRepresentation::Build(b, {.min_support = 1, .rule_arity = -1}).ok());
+}
+
+TEST(ConciseTest, EmptySetInfrequentShortCircuits) {
+  BasketList b = *BasketList::Make(3, {0b001});
+  ConciseRepresentation rep = *ConciseRepresentation::Build(b, {.min_support = 5});
+  EXPECT_TRUE(rep.fdfree().empty());
+  ASSERT_EQ(rep.border().size(), 1u);
+  EXPECT_EQ(rep.border()[0].items, 0u);
+  DerivedSupport d = rep.Derive(ItemSet{0, 1});
+  EXPECT_FALSE(d.frequent);
+}
+
+TEST(ConciseTest, StoredSupportsAreExact) {
+  BasketList b = RuleHeavyData(3);
+  ConciseRepresentation rep = *ConciseRepresentation::Build(b, {.min_support = 10});
+  for (const CountedItemset& s : rep.fdfree()) {
+    EXPECT_EQ(s.support, b.SupportCount(ItemSet(s.items)));
+  }
+  for (const CountedItemset& s : rep.border()) {
+    EXPECT_EQ(s.support, b.SupportCount(ItemSet(s.items)));
+  }
+}
+
+TEST(ConciseTest, DiscoveredRulesHoldInData) {
+  BasketList b = RuleHeavyData(4);
+  ConciseRepresentation rep = *ConciseRepresentation::Build(b, {.min_support = 10});
+  for (const SingletonDisjunctiveRule& rule : rep.rules()) {
+    EXPECT_TRUE(SatisfiesSingletonRule(b, rule));
+  }
+}
+
+TEST(ConciseTest, FdfreeAndBorderDisjoint) {
+  BasketList b = RuleHeavyData(5);
+  ConciseRepresentation rep = *ConciseRepresentation::Build(b, {.min_support = 15});
+  std::set<Mask> fdfree;
+  for (const CountedItemset& s : rep.fdfree()) fdfree.insert(s.items);
+  for (const CountedItemset& s : rep.border()) EXPECT_FALSE(fdfree.count(s.items));
+}
+
+TEST(ConciseTest, BorderSetsHaveAllSubsetsInFdfree) {
+  BasketList b = RuleHeavyData(6);
+  ConciseRepresentation rep = *ConciseRepresentation::Build(b, {.min_support = 15});
+  std::set<Mask> fdfree;
+  for (const CountedItemset& s : rep.fdfree()) fdfree.insert(s.items);
+  for (const CountedItemset& s : rep.border()) {
+    ForEachBit(s.items, [&](int bit) {
+      EXPECT_TRUE(fdfree.count(s.items & ~(Mask{1} << bit)))
+          << "border set " << s.items << " missing subset";
+    });
+  }
+}
+
+// The headline property (Bykowski–Rigotti): the representation determines
+// the frequency status of EVERY itemset, and the exact support of every
+// frequent itemset, without touching the baskets.
+class ConciseCorrectness
+    : public ::testing::TestWithParam<std::tuple<int, std::int64_t, int>> {};
+
+TEST_P(ConciseCorrectness, DerivesAllStatusesAndFrequentSupports) {
+  auto [seed, min_support, arity] = GetParam();
+  BasketList b = RuleHeavyData(seed);
+  SetFunction<std::int64_t> support = *SupportFunction(b);
+  ConciseRepresentation rep =
+      *ConciseRepresentation::Build(b, {.min_support = min_support, .rule_arity = arity});
+  for (Mask m = 0; m < (Mask{1} << b.num_items()); ++m) {
+    SCOPED_TRACE(m);
+    DerivedSupport d = rep.Derive(ItemSet(m));
+    const std::int64_t truth = support.at(m);
+    EXPECT_EQ(d.frequent, truth >= min_support);
+    if (truth >= min_support) {
+      ASSERT_TRUE(d.support.has_value());
+      EXPECT_EQ(*d.support, truth);
+    } else if (d.support.has_value()) {
+      EXPECT_EQ(*d.support, truth);  // When provided, must be exact.
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ConciseCorrectness,
+    ::testing::Combine(::testing::Values(1, 2, 7, 11), ::testing::Values<std::int64_t>(5, 25, 60),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(ConciseTest, RepresentationNoLargerThanFrequentSets) {
+  // With rules planted, |FDFree ∪ Bd⁻| should not exceed |frequent| +
+  // |negative border| (it prunes disjunctive sets) — the quantity
+  // experiment E6 tabulates.
+  BasketList b = RuleHeavyData(8, /*items=*/10, /*baskets=*/400);
+  const std::int64_t kappa = 20;
+  ConciseRepresentation rep = *ConciseRepresentation::Build(b, {.min_support = kappa});
+  AprioriResult apriori = *Apriori(b, kappa);
+  EXPECT_LE(rep.size(), apriori.frequent.size() + apriori.negative_border.size());
+  EXPECT_LE(rep.candidates_counted(), apriori.candidates_counted);
+}
+
+TEST(ConciseTest, HigherArityNeverGrowsFdfree) {
+  // Kryszkiewicz–Gajek: arity-k+1 rules subsume arity-k ones, so FDFree can
+  // only shrink (or stay) as arity grows.
+  BasketList b = RuleHeavyData(9);
+  const std::int64_t kappa = 10;
+  std::size_t prev = SIZE_MAX;
+  for (int arity = 1; arity <= 4; ++arity) {
+    ConciseRepresentation rep =
+        *ConciseRepresentation::Build(b, {.min_support = kappa, .rule_arity = arity});
+    EXPECT_LE(rep.fdfree().size(), prev);
+    prev = rep.fdfree().size();
+  }
+}
+
+TEST(ConciseTest, ArityZeroDegeneratesToApriori) {
+  BasketList b = RuleHeavyData(10);
+  const std::int64_t kappa = 15;
+  ConciseRepresentation rep =
+      *ConciseRepresentation::Build(b, {.min_support = kappa, .rule_arity = 0});
+  AprioriResult apriori = *Apriori(b, kappa);
+  EXPECT_TRUE(rep.rules().empty());
+  EXPECT_EQ(rep.fdfree().size(), apriori.frequent.size());
+  EXPECT_EQ(rep.border().size(), apriori.negative_border.size());
+}
+
+TEST(ConciseTest, DisjunctiveBorderMembersAreDisjunctiveItemsets) {
+  BasketList b = RuleHeavyData(12);
+  const std::int64_t kappa = 10;
+  const int arity = 2;
+  ConciseRepresentation rep =
+      *ConciseRepresentation::Build(b, {.min_support = kappa, .rule_arity = arity});
+  for (const CountedItemset& s : rep.border()) {
+    if (s.support >= kappa) {
+      // Frequent border members were pruned as disjunctive.
+      EXPECT_TRUE(*IsDisjunctiveItemset(b, ItemSet(s.items), arity));
+    }
+  }
+  for (const CountedItemset& s : rep.fdfree()) {
+    EXPECT_FALSE(*IsDisjunctiveItemset(b, ItemSet(s.items), arity));
+  }
+}
+
+}  // namespace
+}  // namespace diffc

@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/atoms.h"
+#include "core/constraint.h"
+#include "core/parser.h"
+#include "lattice/decomposition.h"
+#include "test_helpers.h"
+
+namespace diffc {
+namespace {
+
+// --------------------------------------------------------------- constraint
+
+TEST(ConstraintTest, Accessors) {
+  DifferentialConstraint c(ItemSet{0}, SetFamily({ItemSet{1}, ItemSet{2, 3}}));
+  EXPECT_EQ(c.lhs(), ItemSet{0});
+  EXPECT_EQ(c.rhs().size(), 2);
+}
+
+TEST(ConstraintTest, TrivialityMatchesEmptyDecomposition) {
+  // Definition 3.1 (corrected): trivial iff some member ⊆ lhs iff L = ∅.
+  DifferentialConstraint trivial(ItemSet{0, 1}, SetFamily({ItemSet{1}}));
+  EXPECT_TRUE(trivial.IsTrivial());
+  EXPECT_TRUE(DecompositionIsEmpty(trivial.lhs(), trivial.rhs()));
+
+  DifferentialConstraint nontrivial(ItemSet{0}, SetFamily({ItemSet{1}}));
+  EXPECT_FALSE(nontrivial.IsTrivial());
+  EXPECT_FALSE(DecompositionIsEmpty(nontrivial.lhs(), nontrivial.rhs()));
+}
+
+TEST(ConstraintTest, EmptyMemberMakesTrivial) {
+  DifferentialConstraint c(ItemSet(), SetFamily({ItemSet()}));
+  EXPECT_TRUE(c.IsTrivial());
+}
+
+TEST(ConstraintTest, EmptyFamilyIsNotTrivial) {
+  DifferentialConstraint c(ItemSet{0}, SetFamily());
+  EXPECT_FALSE(c.IsTrivial());
+}
+
+TEST(ConstraintTest, EqualityAndOrdering) {
+  DifferentialConstraint a(ItemSet{0}, SetFamily({ItemSet{1}}));
+  DifferentialConstraint b(ItemSet{0}, SetFamily({ItemSet{1}}));
+  DifferentialConstraint c(ItemSet{0}, SetFamily({ItemSet{2}}));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_TRUE(a < c || c < a);
+}
+
+TEST(ConstraintTest, ToString) {
+  Universe u = Universe::Letters(4);
+  DifferentialConstraint c(ItemSet{0}, SetFamily({ItemSet{1}, ItemSet{2, 3}}));
+  EXPECT_EQ(c.ToString(u), "A -> {B, CD}");
+  EXPECT_EQ(ConstraintSetToString({c, c}, u), "A -> {B, CD}; A -> {B, CD}");
+}
+
+TEST(ConstraintTest, AtomConstraintShape) {
+  // atom(U) = U -> {{z}|z∈S∖U}; L(atom(U)) = {U} (Remark 4.5).
+  const int n = 4;
+  ItemSet u{0, 2};
+  DifferentialConstraint atom = AtomConstraint(n, u);
+  EXPECT_EQ(atom.lhs(), u);
+  EXPECT_EQ(atom.rhs(), SetFamily({ItemSet{1}, ItemSet{3}}));
+  EXPECT_TRUE(atom.IsAtomic(n));
+  Result<std::vector<ItemSet>> L = EnumerateDecomposition(n, atom.lhs(), atom.rhs());
+  ASSERT_TRUE(L.ok());
+  EXPECT_EQ(*L, std::vector<ItemSet>{u});
+}
+
+TEST(ConstraintTest, AtomOfFullSetHasEmptyFamily) {
+  const int n = 3;
+  DifferentialConstraint atom = AtomConstraint(n, ItemSet(FullMask(n)));
+  EXPECT_TRUE(atom.rhs().empty());
+  EXPECT_TRUE(atom.IsAtomic(n));
+}
+
+TEST(ConstraintTest, IsAtomicRejectsOthers) {
+  EXPECT_FALSE(DifferentialConstraint(ItemSet{0}, SetFamily({ItemSet{1}})).IsAtomic(3));
+}
+
+// ------------------------------------------------------------------- parser
+
+TEST(ParserTest, BasicConstraint) {
+  Universe u = Universe::Letters(4);
+  Result<DifferentialConstraint> c = ParseConstraint(u, "A -> {BC, CD}");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->lhs(), ItemSet{0});
+  EXPECT_EQ(c->rhs(), SetFamily({ItemSet{1, 2}, ItemSet{2, 3}}));
+}
+
+TEST(ParserTest, EmptyLhsAndEmptyFamily) {
+  Universe u = Universe::Letters(3);
+  EXPECT_EQ(ParseConstraint(u, "0 -> {B}")->lhs(), ItemSet());
+  EXPECT_TRUE(ParseConstraint(u, "A -> {}")->rhs().empty());
+  EXPECT_EQ(ParseConstraint(u, "0 -> {}")->lhs(), ItemSet());
+}
+
+TEST(ParserTest, EmptyMemberInFamily) {
+  Universe u = Universe::Letters(3);
+  Result<DifferentialConstraint> c = ParseConstraint(u, "A -> {0, B}");
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(c->rhs().HasEmptyMember());
+  EXPECT_EQ(c->rhs().size(), 2);
+}
+
+TEST(ParserTest, WhitespaceTolerant) {
+  Universe u = Universe::Letters(4);
+  Result<DifferentialConstraint> c = ParseConstraint(u, "  AB  ->  { C ,  D }  ");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->lhs(), (ItemSet{0, 1}));
+  EXPECT_EQ(c->rhs(), SetFamily({ItemSet{2}, ItemSet{3}}));
+}
+
+TEST(ParserTest, Errors) {
+  Universe u = Universe::Letters(3);
+  EXPECT_FALSE(ParseConstraint(u, "A {B}").ok());       // No arrow.
+  EXPECT_FALSE(ParseConstraint(u, "A -> B").ok());      // No braces.
+  EXPECT_FALSE(ParseConstraint(u, "A -> {X}").ok());    // Unknown name.
+  EXPECT_FALSE(ParseConstraint(u, "Q -> {B}").ok());    // Unknown lhs.
+}
+
+TEST(ParserTest, ConstraintSet) {
+  Universe u = Universe::Letters(4);
+  Result<ConstraintSet> cs = ParseConstraintSet(u, "A -> {B}; B -> {C} ; C -> {D}");
+  ASSERT_TRUE(cs.ok());
+  EXPECT_EQ(cs->size(), 3u);
+  EXPECT_EQ((*cs)[2].lhs(), ItemSet{2});
+}
+
+TEST(ParserTest, EmptyConstraintSet) {
+  Universe u = Universe::Letters(3);
+  EXPECT_TRUE(ParseConstraintSet(u, "")->empty());
+  EXPECT_TRUE(ParseConstraintSet(u, "  ;  ")->empty());
+}
+
+TEST(ParserTest, RoundTripRandomConstraints) {
+  Universe u = Universe::Letters(6);
+  Rng rng(31);
+  for (int i = 0; i < 50; ++i) {
+    DifferentialConstraint c = testing::RandomConstraint(rng, 6);
+    Result<DifferentialConstraint> parsed = ParseConstraint(u, c.ToString(u));
+    ASSERT_TRUE(parsed.ok()) << c.ToString(u);
+    EXPECT_EQ(*parsed, c);
+  }
+}
+
+// ----------------------------------------------------------- decompositions
+
+TEST(DecompTest, PaperExampleDecomp) {
+  // decomp(A -> {B, CD}) = {A->{B,C}, A->{B,D}, A->{B,C,D}}.
+  Universe u = Universe::Letters(4);
+  Result<std::vector<DifferentialConstraint>> d =
+      Decomp(*ParseConstraint(u, "A -> {B, CD}"));
+  ASSERT_TRUE(d.ok());
+  std::set<std::string> got;
+  for (const DifferentialConstraint& c : *d) got.insert(c.ToString(u));
+  EXPECT_EQ(got, (std::set<std::string>{"A -> {B, C}", "A -> {B, D}", "A -> {B, C, D}"}));
+}
+
+TEST(DecompTest, PaperExampleAtoms) {
+  // atoms(A -> {B, CD}) = {A->{B,C,D}, AC->{B,D}, AD->{B,C}}.
+  Universe u = Universe::Letters(4);
+  Result<std::vector<DifferentialConstraint>> a =
+      Atoms(4, *ParseConstraint(u, "A -> {B, CD}"));
+  ASSERT_TRUE(a.ok());
+  std::set<std::string> got;
+  for (const DifferentialConstraint& c : *a) got.insert(c.ToString(u));
+  EXPECT_EQ(got,
+            (std::set<std::string>{"A -> {B, C, D}", "AC -> {B, D}", "AD -> {B, C}"}));
+}
+
+TEST(DecompTest, TrivialConstraintHasNoAtomsAndTrivialDecomp) {
+  Universe u = Universe::Letters(3);
+  DifferentialConstraint c = *ParseConstraint(u, "AB -> {A}");
+  ASSERT_TRUE(c.IsTrivial());
+  // L(AB, {A}) = ∅, so there are no atoms; witness sets depend only on the
+  // right-hand family, so decomp members exist but are all trivial too.
+  EXPECT_TRUE(Atoms(3, c)->empty());
+  Result<std::vector<DifferentialConstraint>> decomp = Decomp(c);
+  ASSERT_TRUE(decomp.ok());
+  for (const DifferentialConstraint& d : *decomp) EXPECT_TRUE(d.IsTrivial());
+}
+
+TEST(DecompTest, EmptyMemberTrivialConstraintDecomposesToNothing) {
+  // A family with an empty member has no witness sets at all.
+  DifferentialConstraint c(ItemSet{0}, SetFamily({ItemSet()}));
+  ASSERT_TRUE(c.IsTrivial());
+  EXPECT_TRUE(Decomp(c)->empty());
+  EXPECT_TRUE(Atoms(3, c)->empty());
+}
+
+TEST(DecompTest, AtomsAreAtomic) {
+  Rng rng(33);
+  const int n = 5;
+  for (int i = 0; i < 20; ++i) {
+    DifferentialConstraint c = testing::RandomConstraint(rng, n);
+    Result<std::vector<DifferentialConstraint>> atoms = Atoms(n, c);
+    ASSERT_TRUE(atoms.ok());
+    for (const DifferentialConstraint& a : *atoms) EXPECT_TRUE(a.IsAtomic(n));
+  }
+}
+
+// Remark 4.5: L(decomp members) covers exactly L(X, Y), and likewise for
+// atoms — the semantic equivalence {X->Y}* = decomp* = atoms*.
+class DecompEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(DecompEquivalence, SameLatticeUnion) {
+  Rng rng(GetParam() * 101);
+  const int n = 5;
+  for (int iter = 0; iter < 10; ++iter) {
+    DifferentialConstraint c = testing::RandomConstraint(rng, n);
+    Result<std::vector<DifferentialConstraint>> decomp = Decomp(c);
+    Result<std::vector<DifferentialConstraint>> atoms = Atoms(n, c);
+    ASSERT_TRUE(decomp.ok());
+    ASSERT_TRUE(atoms.ok());
+    for (Mask m = 0; m < (Mask{1} << n); ++m) {
+      ItemSet u(m);
+      bool in_orig = InDecomposition(n, c.lhs(), c.rhs(), u);
+      bool in_decomp = false;
+      for (const DifferentialConstraint& dc : *decomp) {
+        if (InDecomposition(n, dc.lhs(), dc.rhs(), u)) in_decomp = true;
+      }
+      bool in_atoms = false;
+      for (const DifferentialConstraint& ac : *atoms) {
+        if (InDecomposition(n, ac.lhs(), ac.rhs(), u)) in_atoms = true;
+      }
+      EXPECT_EQ(in_orig, in_decomp) << "m=" << m;
+      EXPECT_EQ(in_orig, in_atoms) << "m=" << m;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecompEquivalence, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace diffc

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/function_ops.h"
+#include "relational/boolean_dependency.h"
+#include "relational/entropy.h"
+#include "relational/fd.h"
+#include "test_helpers.h"
+#include "util/random.h"
+
+namespace diffc {
+namespace {
+
+Relation SampleRelation() {
+  // (A, B, C): A determines B; C free.
+  return *Relation::Make(3, {
+                                {1, 10, 0},
+                                {1, 10, 1},
+                                {2, 20, 0},
+                                {3, 20, 1},
+                            });
+}
+
+Relation RandomRelation(Rng& rng, int attrs, int tuples, int domain) {
+  std::vector<std::vector<int>> rows;
+  std::set<std::vector<int>> seen;
+  while (static_cast<int>(rows.size()) < tuples) {
+    std::vector<int> row(attrs);
+    for (int a = 0; a < attrs; ++a) row[a] = static_cast<int>(rng.UniformInt(0, domain - 1));
+    if (seen.insert(row).second) rows.push_back(row);
+  }
+  return *Relation::Make(attrs, rows);
+}
+
+TEST(ShannonTest, EmptyProjectionHasZeroEntropy) {
+  Relation r = SampleRelation();
+  SetFunction<double> h = *ShannonFunction(r, *Distribution::Uniform(r.size()));
+  EXPECT_NEAR(h.at(Mask{0}), 0.0, 1e-12);
+}
+
+TEST(ShannonTest, UniformFullProjection) {
+  // 4 distinct tuples, uniform: H(S) = 2 bits.
+  Relation r = SampleRelation();
+  SetFunction<double> h = *ShannonFunction(r, *Distribution::Uniform(r.size()));
+  EXPECT_NEAR(h.at(FullMask(3)), 2.0, 1e-12);
+}
+
+TEST(ShannonTest, KnownMarginals) {
+  Relation r = SampleRelation();
+  SetFunction<double> h = *ShannonFunction(r, *Distribution::Uniform(r.size()));
+  // On B: groups 10,10 / 20,20 -> 1 bit.
+  EXPECT_NEAR(h.at(Mask{0b010}), 1.0, 1e-12);
+  // On A: 1/2, 1/4, 1/4 -> 1.5 bits.
+  EXPECT_NEAR(h.at(Mask{0b001}), 1.5, 1e-12);
+}
+
+TEST(ShannonTest, MonotoneInAttributes) {
+  Rng rng(61);
+  for (int iter = 0; iter < 8; ++iter) {
+    Relation r = RandomRelation(rng, 4, static_cast<int>(rng.UniformInt(2, 8)), 3);
+    SetFunction<double> h = *ShannonFunction(r, *Distribution::Uniform(r.size()));
+    for (Mask x = 0; x < h.size(); ++x) {
+      for (int a = 0; a < 4; ++a) {
+        if (!(x & (Mask{1} << a))) {
+          EXPECT_LE(h.at(x), h.at(x | (Mask{1} << a)) + 1e-9);
+        }
+      }
+    }
+  }
+}
+
+TEST(ShannonTest, Submodular) {
+  // H(X∪{a}) - H(X) is antitone in X (diminishing information gain).
+  Rng rng(62);
+  for (int iter = 0; iter < 8; ++iter) {
+    Relation r = RandomRelation(rng, 4, static_cast<int>(rng.UniformInt(2, 8)), 3);
+    SetFunction<double> h = *ShannonFunction(r, *Distribution::Uniform(r.size()));
+    for (Mask x = 0; x < h.size(); ++x) {
+      for (Mask y = 0; y < h.size(); ++y) {
+        if (!IsSubset(x, y)) continue;
+        for (int a = 0; a < 4; ++a) {
+          const Mask bit = Mask{1} << a;
+          if ((y & bit) || (x & bit)) continue;
+          EXPECT_GE(h.at(x | bit) - h.at(x), h.at(y | bit) - h.at(y) - 1e-9);
+        }
+      }
+    }
+  }
+}
+
+TEST(InformationDependencyTest, EquivalentToFdSatisfaction) {
+  Rng rng(63);
+  for (int iter = 0; iter < 10; ++iter) {
+    Relation r = RandomRelation(rng, 4, static_cast<int>(rng.UniformInt(2, 8)), 2);
+    SetFunction<double> h = *ShannonFunction(r, *Distribution::Uniform(r.size()));
+    for (int c_iter = 0; c_iter < 20; ++c_iter) {
+      ItemSet x(rng.RandomMask(4, 0.4));
+      ItemSet y(rng.RandomMask(4, 0.4));
+      EXPECT_EQ(SatisfiesInformationDependency(h, x, y), SatisfiesFdInRelation(r, x, y))
+          << "X=" << x.bits() << " Y=" << y.bits();
+    }
+  }
+}
+
+TEST(ShannonComplementTest, FirstDifferencesAreConditionalEntropies) {
+  Rng rng(64);
+  Relation r = RandomRelation(rng, 4, 6, 3);
+  Distribution p = *Distribution::Uniform(r.size());
+  SetFunction<double> h = *ShannonFunction(r, p);
+  SetFunction<double> g = *ShannonComplementFunction(r, p);
+  for (Mask x = 0; x < g.size(); ++x) {
+    for (int a = 0; a < 4; ++a) {
+      const Mask bit = Mask{1} << a;
+      if (x & bit) continue;
+      // g(X) - g(X∪{a}) = H(X∪{a}) - H(X) = H({a} | X) >= 0.
+      double diff = g.at(x) - g.at(x | bit);
+      EXPECT_NEAR(diff, h.at(x | bit) - h.at(x), 1e-9);
+      EXPECT_GE(diff, -1e-9);
+    }
+  }
+}
+
+TEST(ShannonComplementTest, SecondOrderDifferentialsNonnegative) {
+  // D^{Y,Z}_g(X) = I(Y;Z|X) >= 0 — conditional mutual information.
+  Rng rng(65);
+  for (int iter = 0; iter < 10; ++iter) {
+    Relation r = RandomRelation(rng, 4, static_cast<int>(rng.UniformInt(2, 8)), 2);
+    SetFunction<double> g =
+        *ShannonComplementFunction(r, *Distribution::Uniform(r.size()));
+    for (int c_iter = 0; c_iter < 20; ++c_iter) {
+      ItemSet x(rng.RandomMask(4, 0.3));
+      SetFamily fam = SetFamily::FromMasks(rng.RandomFamily(4, 2, 0.4));
+      if (fam.size() != 2) continue;
+      EXPECT_GE(DifferentialAt(g, x, fam), -1e-9);
+    }
+  }
+}
+
+TEST(ShannonComplementTest, FdFaceMatchesBooleanDependency) {
+  // For single-member constraints the Shannon face agrees with boolean
+  // dependencies (this is the classical InD result, not open).
+  Rng rng(66);
+  for (int iter = 0; iter < 10; ++iter) {
+    Relation r = RandomRelation(rng, 4, static_cast<int>(rng.UniformInt(2, 8)), 2);
+    SetFunction<double> g =
+        *ShannonComplementFunction(r, *Distribution::Uniform(r.size()));
+    for (int c_iter = 0; c_iter < 15; ++c_iter) {
+      ItemSet x(rng.RandomMask(4, 0.4));
+      Mask y = rng.RandomMask(4, 0.4);
+      if (y == 0) y = 1;
+      DifferentialConstraint c(x, SetFamily({ItemSet(y)}));
+      // First-order differential zero <=> FD holds <=> boolean dependency.
+      bool shannon_diff_zero = std::fabs(DifferentialAt(g, c.lhs(), c.rhs())) < 1e-9;
+      EXPECT_EQ(shannon_diff_zero, SatisfiesBooleanDependency(r, c));
+    }
+  }
+}
+
+TEST(ShannonComplementTest, OpenProblemProbeRuns) {
+  // The open problem: does density-based Shannon satisfaction coincide
+  // with boolean dependencies for general families? We don't assert a
+  // theorem — we measure agreement and require the FD face (checked
+  // above) plus a sane agreement rate. Disagreements, if any, are
+  // interesting, not bugs.
+  Rng rng(67);
+  int agree = 0, total = 0;
+  for (int iter = 0; iter < 10; ++iter) {
+    Relation r = RandomRelation(rng, 4, static_cast<int>(rng.UniformInt(2, 8)), 2);
+    Distribution p = *Distribution::Uniform(r.size());
+    SetFunction<double> g = *ShannonComplementFunction(r, p);
+    SetFunction<double> density = Density(g);
+    for (int c_iter = 0; c_iter < 20; ++c_iter) {
+      DifferentialConstraint c = testing::RandomConstraint(rng, 4, 0.3, 2, 0.4);
+      bool shannon = SatisfiesWithDensity(density, c, 1e-9);
+      bool boolean = SatisfiesBooleanDependency(r, c);
+      ++total;
+      if (shannon == boolean) ++agree;
+    }
+  }
+  EXPECT_GT(agree, total / 2);
+}
+
+TEST(ShannonTest, Validation) {
+  EXPECT_FALSE(ShannonFunction(*Relation::Make(2, {}), *Distribution::Uniform(1)).ok());
+  EXPECT_FALSE(ShannonFunction(SampleRelation(), *Distribution::Uniform(3)).ok());
+}
+
+}  // namespace
+}  // namespace diffc

@@ -1,0 +1,327 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/function_ops.h"
+#include "core/implication.h"
+#include "core/parser.h"
+#include "fis/apriori.h"
+#include "fis/basket.h"
+#include "fis/disjunctive.h"
+#include "fis/generator.h"
+#include "fis/support.h"
+#include "test_helpers.h"
+
+namespace diffc {
+namespace {
+
+BasketList SmallMarket() {
+  // Items: 0=bread, 1=milk, 2=butter, 3=beer.
+  return *BasketList::Make(4, {
+                                  0b0011,  // bread, milk
+                                  0b0111,  // bread, milk, butter
+                                  0b0001,  // bread
+                                  0b1000,  // beer
+                                  0b1011,  // bread, milk, beer
+                              });
+}
+
+// ------------------------------------------------------------------ baskets
+
+TEST(BasketTest, MakeValidates) {
+  EXPECT_TRUE(BasketList::Make(3, {0b101}).ok());
+  EXPECT_FALSE(BasketList::Make(2, {0b100}).ok());
+  EXPECT_FALSE(BasketList::Make(65, {}).ok());
+}
+
+TEST(BasketTest, SupportCountAndCover) {
+  BasketList b = SmallMarket();
+  EXPECT_EQ(b.SupportCount(ItemSet()), 5);
+  EXPECT_EQ(b.SupportCount(ItemSet{0}), 4);
+  EXPECT_EQ(b.SupportCount(ItemSet{0, 1}), 3);
+  EXPECT_EQ(b.SupportCount(ItemSet{3}), 2);
+  EXPECT_EQ(b.Cover(ItemSet{0, 1}), (std::vector<int>{0, 1, 4}));
+}
+
+TEST(BasketTest, DuplicateBasketsCountTwice) {
+  BasketList b = *BasketList::Make(2, {0b11, 0b11});
+  EXPECT_EQ(b.SupportCount(ItemSet{0, 1}), 2);
+}
+
+// ------------------------------------------------------------------ support
+
+TEST(SupportTest, MultiplicityIsDensityOfSupport) {
+  // Section 6.1: d_{s_B} = d^B.
+  BasketList b = SmallMarket();
+  SetFunction<std::int64_t> support = *SupportFunction(b);
+  SetFunction<std::int64_t> multiplicity = *BasketMultiplicity(b);
+  EXPECT_EQ(Density(support), multiplicity);
+}
+
+TEST(SupportTest, MatchesLinearScan) {
+  BasketList b = SmallMarket();
+  SetFunction<std::int64_t> support = *SupportFunction(b);
+  for (Mask m = 0; m < 16; ++m) {
+    EXPECT_EQ(support.at(m), b.SupportCount(ItemSet(m))) << m;
+  }
+}
+
+TEST(SupportTest, SupportFunctionIsFrequencyFunction) {
+  // Section 6.1: every support function is a frequency function.
+  BasketList b = SmallMarket();
+  EXPECT_TRUE(IsFrequencyFunction(*SupportFunction(b)));
+}
+
+TEST(SupportTest, EmptyBasketListIsZero) {
+  BasketList b = *BasketList::Make(3, {});
+  SetFunction<std::int64_t> support = *SupportFunction(b);
+  for (Mask m = 0; m < 8; ++m) EXPECT_EQ(support.at(m), 0);
+}
+
+// ----------------------------------------------------------------- Apriori
+
+TEST(AprioriTest, SmallMarketFrequentSets) {
+  BasketList b = SmallMarket();
+  Result<AprioriResult> r = Apriori(b, 3);
+  ASSERT_TRUE(r.ok());
+  std::set<Mask> frequent;
+  for (const CountedItemset& s : r->frequent) frequent.insert(s.items);
+  // Support>=3: ∅(5), bread(4), milk(3), bread+milk(3).
+  EXPECT_EQ(frequent, (std::set<Mask>{0, 0b0001, 0b0010, 0b0011}));
+}
+
+TEST(AprioriTest, NegativeBorderIsMinimalInfrequent) {
+  BasketList b = SmallMarket();
+  Result<AprioriResult> r = Apriori(b, 3);
+  ASSERT_TRUE(r.ok());
+  std::set<Mask> border;
+  for (const CountedItemset& s : r->negative_border) border.insert(s.items);
+  // Minimal infrequent: butter(1), beer(2).
+  EXPECT_EQ(border, (std::set<Mask>{0b0100, 0b1000}));
+}
+
+TEST(AprioriTest, SupportsAreExact) {
+  BasketList b = SmallMarket();
+  Result<AprioriResult> r = Apriori(b, 2);
+  ASSERT_TRUE(r.ok());
+  for (const CountedItemset& s : r->frequent) {
+    EXPECT_EQ(s.support, b.SupportCount(ItemSet(s.items)));
+  }
+  for (const CountedItemset& s : r->negative_border) {
+    EXPECT_EQ(s.support, b.SupportCount(ItemSet(s.items)));
+  }
+}
+
+TEST(AprioriTest, ThresholdAboveSizeGivesEmptyBorder) {
+  BasketList b = SmallMarket();
+  Result<AprioriResult> r = Apriori(b, 10);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->frequent.empty());
+  ASSERT_EQ(r->negative_border.size(), 1u);
+  EXPECT_EQ(r->negative_border[0].items, 0u);  // ∅ itself infrequent.
+}
+
+TEST(AprioriTest, RejectsNonpositiveThreshold) {
+  EXPECT_FALSE(Apriori(SmallMarket(), 0).ok());
+}
+
+class AprioriProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AprioriProperty, MatchesExhaustive) {
+  BasketGenConfig config;
+  config.num_items = 9;
+  config.num_baskets = 120;
+  config.num_patterns = 4;
+  config.pattern_size = 3;
+  config.seed = GetParam();
+  BasketList b = *GenerateBaskets(config);
+  for (std::int64_t threshold : {1, 5, 20, 60}) {
+    Result<AprioriResult> apriori = Apriori(b, threshold);
+    Result<std::vector<CountedItemset>> brute = FrequentItemsetsExhaustive(b, threshold);
+    ASSERT_TRUE(apriori.ok());
+    ASSERT_TRUE(brute.ok());
+    EXPECT_EQ(apriori->frequent, *brute) << "threshold=" << threshold;
+    // Border property: infrequent, all proper subsets frequent.
+    std::set<Mask> frequent;
+    for (const CountedItemset& s : apriori->frequent) frequent.insert(s.items);
+    for (const CountedItemset& s : apriori->negative_border) {
+      EXPECT_LT(s.support, threshold);
+      ForEachBit(s.items, [&](int bit) {
+        EXPECT_TRUE(frequent.count(s.items & ~(Mask{1} << bit)));
+      });
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AprioriProperty, ::testing::Range(1, 9));
+
+// ------------------------------------------------------- disjunctive rules
+
+TEST(DisjunctiveTest, DefinitionOnSmallMarket) {
+  BasketList b = SmallMarket();
+  Universe u = Universe::Letters(4);  // A=bread, B=milk, C=butter, D=beer.
+  // Every basket with milk contains bread: B ⇒disj {A}.
+  EXPECT_TRUE(SatisfiesDisjunctive(b, *ParseConstraint(u, "B -> {A}")));
+  // Not every basket with bread has milk.
+  EXPECT_FALSE(SatisfiesDisjunctive(b, *ParseConstraint(u, "A -> {B}")));
+  // Every basket has bread or beer: ∅ ⇒disj {A, D}.
+  EXPECT_TRUE(SatisfiesDisjunctive(b, *ParseConstraint(u, "0 -> {A, D}")));
+  // Empty family: only satisfied when no basket contains the lhs.
+  EXPECT_FALSE(SatisfiesDisjunctive(b, *ParseConstraint(u, "A -> {}")));
+  EXPECT_TRUE(SatisfiesDisjunctive(b, *ParseConstraint(u, "CD -> {}")));
+}
+
+// Proposition 6.3: B satisfies X ⇒disj Y iff s_B satisfies X -> Y.
+class Prop63Property : public ::testing::TestWithParam<int> {};
+
+TEST_P(Prop63Property, DisjunctiveIffSupportSatisfies) {
+  BasketGenConfig config;
+  config.num_items = 6;
+  config.num_baskets = 40;
+  config.num_patterns = 3;
+  config.pattern_size = 3;
+  config.seed = GetParam() * 7 + 2;
+  BasketList b = *GenerateBaskets(config);
+  SetFunction<std::int64_t> support = *SupportFunction(b);
+  SetFunction<std::int64_t> density = Density(support);
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 60; ++iter) {
+    DifferentialConstraint c = testing::RandomConstraint(
+        rng, 6, 0.3, static_cast<int>(rng.UniformInt(0, 3)), 0.3);
+    EXPECT_EQ(SatisfiesDisjunctive(b, c), SatisfiesWithDensity(density, c))
+        << c.ToString(Universe::Letters(6));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Prop63Property, ::testing::Range(1, 11));
+
+TEST(SingletonRuleTest, MatchesGeneralForm) {
+  BasketList b = SmallMarket();
+  // B ⇒ {A} as a singleton rule.
+  EXPECT_TRUE(SatisfiesSingletonRule(b, {0b0010, 0b0001}));
+  EXPECT_FALSE(SatisfiesSingletonRule(b, {0b0001, 0b0010}));
+  // ∅ ⇒ {A, D}.
+  EXPECT_TRUE(SatisfiesSingletonRule(b, {0, 0b1001}));
+}
+
+TEST(DisjunctiveItemsetTest, SmallMarket) {
+  BasketList b = SmallMarket();
+  // {bread, milk} ⊇ {milk}∪{bread} and B ⇒ {A} holds, so AB is disjunctive.
+  EXPECT_TRUE(*IsDisjunctiveItemset(b, ItemSet{0, 1}, 2));
+  // A single item can only be disjunctive via ∅ ⇒ {a}: bread is not in
+  // every basket.
+  EXPECT_FALSE(*IsDisjunctiveItemset(b, ItemSet{0}, 2));
+  // Supersets of disjunctive sets are disjunctive (augmentation).
+  EXPECT_TRUE(*IsDisjunctiveItemset(b, ItemSet{0, 1, 3}, 2));
+}
+
+TEST(DisjunctiveItemsetTest, ArityMatters) {
+  // Baskets where every basket with item 0 has item 1 or item 2, but no
+  // arity-1 rule holds within {0,1,2}.
+  BasketList b = *BasketList::Make(3, {0b011, 0b101, 0b111, 0b110, 0b010, 0b100});
+  EXPECT_TRUE(*IsDisjunctiveItemset(b, ItemSet{0, 1, 2}, 2));
+  EXPECT_FALSE(*IsDisjunctiveItemset(b, ItemSet{0, 1, 2}, 1));
+}
+
+TEST(MineSingletonRulesTest, FindsPlantedRule) {
+  BasketGenConfig config;
+  config.num_items = 6;
+  config.num_baskets = 200;
+  config.seed = 17;
+  PlantedRule rule{0, ItemSet{1, 2}};
+  BasketList b = *GenerateBasketsWithRules(config, {rule});
+  // The planted rule must hold.
+  EXPECT_TRUE(SatisfiesSingletonRule(b, {0b000001, 0b000110}));
+  Result<std::vector<SingletonDisjunctiveRule>> mined = MineSingletonRules(b, 1, 2);
+  ASSERT_TRUE(mined.ok());
+  bool found = false;
+  for (const SingletonDisjunctiveRule& r : *mined) {
+    if (IsSubset(r.lhs, Mask{1}) && IsSubset(r.rhs_items, Mask{0b110})) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(MineSingletonRulesTest, MinedRulesHoldAndAreMinimal) {
+  BasketGenConfig config;
+  config.num_items = 7;
+  config.num_baskets = 60;
+  config.seed = 23;
+  BasketList b = *GenerateBaskets(config);
+  Result<std::vector<SingletonDisjunctiveRule>> mined = MineSingletonRules(b, 2, 2);
+  ASSERT_TRUE(mined.ok());
+  for (const SingletonDisjunctiveRule& r : *mined) {
+    EXPECT_TRUE(SatisfiesSingletonRule(b, r));
+    for (const SingletonDisjunctiveRule& other : *mined) {
+      if (&other != &r) {
+        EXPECT_FALSE(IsSubset(other.lhs, r.lhs) && IsSubset(other.rhs_items, r.rhs_items) &&
+                     !(other == r));
+      }
+    }
+  }
+}
+
+// ------------------------------------------------ Σ2 disjunctive-for-C
+
+TEST(Sigma2Test, DirectConstraint) {
+  Universe u = Universe::Letters(4);
+  ConstraintSet c = *ParseConstraintSet(u, "A -> {B, D}");
+  // ABD ⊇ A∪B∪D and the constraint is nontrivial and implied.
+  EXPECT_TRUE(*IsDisjunctiveForConstraints(4, c, ItemSet{0, 1, 3}));
+  // AB does not contain D: the only usable rules must live inside AB.
+  EXPECT_FALSE(*IsDisjunctiveForConstraints(4, c, ItemSet{0, 1}));
+}
+
+TEST(Sigma2Test, PaperTransitivityExample) {
+  // Section 6 discussion: from A -> {B,D} and B -> {C,D}, the set {A,C,D}
+  // is disjunctive via the derived constraint A -> {C,D}... expressed over
+  // singletons.
+  Universe u = Universe::Letters(4);
+  ConstraintSet c = *ParseConstraintSet(u, "A -> {B, D}; B -> {C, D}");
+  EXPECT_TRUE(*IsDisjunctiveForConstraints(4, c, ItemSet{0, 2, 3}));
+}
+
+TEST(Sigma2Test, EmptyConstraintsNothingDisjunctive) {
+  EXPECT_FALSE(*IsDisjunctiveForConstraints(4, {}, ItemSet{0, 1, 2, 3}));
+}
+
+// ---------------------------------------------------------------- generator
+
+TEST(GeneratorTest, Deterministic) {
+  BasketGenConfig config;
+  config.seed = 99;
+  BasketList a = *GenerateBaskets(config);
+  BasketList b = *GenerateBaskets(config);
+  EXPECT_EQ(a.baskets(), b.baskets());
+}
+
+TEST(GeneratorTest, RespectsUniverse) {
+  BasketGenConfig config;
+  config.num_items = 5;
+  config.num_baskets = 50;
+  BasketList b = *GenerateBaskets(config);
+  EXPECT_EQ(b.size(), 50);
+  for (Mask basket : b.baskets()) EXPECT_TRUE(IsSubset(basket, FullMask(5)));
+}
+
+TEST(GeneratorTest, PlantedRulesAllHold) {
+  BasketGenConfig config;
+  config.num_items = 8;
+  config.num_baskets = 300;
+  config.seed = 5;
+  std::vector<PlantedRule> rules{{0, ItemSet{1, 2}}, {3, ItemSet{4}}};
+  BasketList b = *GenerateBasketsWithRules(config, rules);
+  EXPECT_TRUE(SatisfiesSingletonRule(b, {0b00000001, 0b00000110}));
+  EXPECT_TRUE(SatisfiesSingletonRule(b, {0b00001000, 0b00010000}));
+}
+
+TEST(GeneratorTest, RejectsBadConfig) {
+  BasketGenConfig config;
+  config.num_items = 0;
+  EXPECT_FALSE(GenerateBaskets(config).ok());
+  config.num_items = 4;
+  EXPECT_FALSE(GenerateBasketsWithRules(config, {{7, ItemSet{1}}}).ok());
+  EXPECT_FALSE(GenerateBasketsWithRules(config, {{0, ItemSet()}}).ok());
+}
+
+}  // namespace
+}  // namespace diffc

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "core/function_ops.h"
+#include "core/parser.h"
+#include "fis/frequency.h"
+#include "fis/generator.h"
+#include "fis/ndi.h"
+#include "fis/support.h"
+
+namespace diffc {
+namespace {
+
+TEST(FrequencyConstraintTest, Satisfaction) {
+  BasketList b = *BasketList::Make(3, {0b011, 0b001, 0b111});
+  EXPECT_TRUE(SatisfiesFrequencyConstraint(b, {ItemSet{0}, 2, 3}));
+  EXPECT_FALSE(SatisfiesFrequencyConstraint(b, {ItemSet{0}, 4, std::nullopt}));
+  EXPECT_FALSE(SatisfiesFrequencyConstraint(b, {ItemSet{0}, 0, 2}));
+  EXPECT_TRUE(SatisfiesFrequencyConstraint(b, {ItemSet{2}, 0, std::nullopt}));
+}
+
+TEST(FrequencyConstraintTest, ExactConstraintsHold) {
+  BasketList b = *BasketList::Make(3, {0b011, 0b001, 0b111, 0b100});
+  std::vector<ItemSet> sets{ItemSet(), ItemSet{0}, ItemSet{0, 1}, ItemSet{2}};
+  for (const FrequencyConstraint& c : ExactConstraintsOf(b, sets)) {
+    EXPECT_TRUE(SatisfiesFrequencyConstraint(b, c));
+    ASSERT_TRUE(c.hi.has_value());
+    EXPECT_EQ(c.lo, *c.hi);
+  }
+}
+
+TEST(ConsistencyTest, ObviousContradiction) {
+  // s(A) >= 5 but s(∅) <= 3 — impossible since s is antitone.
+  std::vector<FrequencyConstraint> freq{
+      {ItemSet{0}, 5, std::nullopt},
+      {ItemSet(), 0, 3},
+  };
+  Result<FrequencyConsistency> r = CheckFrequencyConsistency(3, freq);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->consistent);
+}
+
+TEST(ConsistencyTest, SatisfiableWithWitness) {
+  std::vector<FrequencyConstraint> freq{
+      {ItemSet{0}, 3, 5},
+      {ItemSet{0, 1}, 2, 2},
+      {ItemSet(), 0, 10},
+  };
+  Result<FrequencyConsistency> r = CheckFrequencyConsistency(3, freq);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->consistent);
+  ASSERT_TRUE(r->witness.has_value());
+  for (const FrequencyConstraint& c : freq) {
+    EXPECT_TRUE(SatisfiesFrequencyConstraint(*r->witness, c));
+  }
+}
+
+TEST(ConsistencyTest, DifferentialConstraintsRestrict) {
+  Universe u = Universe::Letters(3);
+  // A -> {B} forces every basket containing A to contain B, so
+  // s(A) = s(AB); demanding s(A)=4, s(AB)=1 is inconsistent.
+  ConstraintSet diff = *ParseConstraintSet(u, "A -> {B}");
+  std::vector<FrequencyConstraint> freq{
+      {ItemSet{0}, 4, 4},
+      {ItemSet{0, 1}, 1, 1},
+  };
+  Result<FrequencyConsistency> r = CheckFrequencyConsistency(3, freq, diff);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->consistent);
+
+  // With matching supports it is consistent and the witness satisfies the
+  // differential constraint.
+  freq[1] = {ItemSet{0, 1}, 4, 4};
+  r = CheckFrequencyConsistency(3, freq, diff);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->consistent);
+  ASSERT_TRUE(r->witness.has_value());
+  SetFunction<std::int64_t> support = *SupportFunction(*r->witness);
+  EXPECT_TRUE(Satisfies(support, diff[0]));
+}
+
+TEST(ConsistencyTest, EmptyConstraintsAlwaysConsistent) {
+  Result<FrequencyConsistency> r = CheckFrequencyConsistency(4, {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->consistent);
+}
+
+TEST(ConsistencyTest, GuardOnLargeUniverse) {
+  EXPECT_EQ(CheckFrequencyConsistency(12, {}).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(IntervalTest, MonotonicityRecovered) {
+  // From s(A) = 7 alone: 0 <= s(AB) <= 7 (anti-monotonicity of support).
+  std::vector<FrequencyConstraint> freq{{ItemSet{0}, 7, 7}, {ItemSet(), 0, 20}};
+  Result<SupportInterval> iv = ImpliedSupportInterval(3, freq, {}, ItemSet{0, 1});
+  ASSERT_TRUE(iv.ok());
+  EXPECT_EQ(iv->lo, Rational(0));
+  ASSERT_TRUE(iv->hi.has_value());
+  EXPECT_EQ(*iv->hi, Rational(7));
+}
+
+TEST(IntervalTest, UnboundedWithoutCeiling) {
+  // No upper bounds anywhere: s(A) can be arbitrarily large.
+  std::vector<FrequencyConstraint> freq{{ItemSet{0}, 3, std::nullopt}};
+  Result<SupportInterval> iv = ImpliedSupportInterval(3, freq, {}, ItemSet{0});
+  ASSERT_TRUE(iv.ok());
+  EXPECT_EQ(iv->lo, Rational(3));
+  EXPECT_FALSE(iv->hi.has_value());
+}
+
+TEST(IntervalTest, InclusionExclusionBound) {
+  // s(A)=6, s(B)=7, s(∅)=10: s(AB) >= 3 (Bonferroni) and <= 6.
+  std::vector<FrequencyConstraint> freq{
+      {ItemSet{0}, 6, 6}, {ItemSet{1}, 7, 7}, {ItemSet(), 10, 10}};
+  Result<SupportInterval> iv = ImpliedSupportInterval(2, freq, {}, ItemSet{0, 1});
+  ASSERT_TRUE(iv.ok());
+  EXPECT_EQ(iv->lo, Rational(3));
+  ASSERT_TRUE(iv->hi.has_value());
+  EXPECT_EQ(*iv->hi, Rational(6));
+}
+
+TEST(IntervalTest, DifferentialConstraintTightensBounds) {
+  Universe u = Universe::Letters(3);
+  // s(A) = 5; under A -> {B}, s(AB) is forced to 5 exactly.
+  std::vector<FrequencyConstraint> freq{{ItemSet{0}, 5, 5}, {ItemSet(), 0, 20}};
+  Result<SupportInterval> plain = ImpliedSupportInterval(3, freq, {}, ItemSet{0, 1});
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->lo, Rational(0));
+
+  ConstraintSet diff = *ParseConstraintSet(u, "A -> {B}");
+  Result<SupportInterval> constrained = ImpliedSupportInterval(3, freq, diff, ItemSet{0, 1});
+  ASSERT_TRUE(constrained.ok());
+  EXPECT_EQ(constrained->lo, Rational(5));
+  ASSERT_TRUE(constrained->hi.has_value());
+  EXPECT_EQ(*constrained->hi, Rational(5));
+}
+
+TEST(IntervalTest, InconsistentConstraintsRejected) {
+  std::vector<FrequencyConstraint> freq{{ItemSet{0}, 5, std::nullopt}, {ItemSet(), 0, 3}};
+  EXPECT_EQ(ImpliedSupportInterval(3, freq, {}, ItemSet{1}).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// LP bounds vs the NDI inclusion–exclusion bounds: given exact supports
+// of all proper subsets, the LP interval is at least as tight (the NDI
+// inequalities are consequences of the density polytope).
+class LpVsNdiBounds : public ::testing::TestWithParam<int> {};
+
+TEST_P(LpVsNdiBounds, LpAtLeastAsTight) {
+  BasketGenConfig config;
+  config.num_items = 5;
+  config.num_baskets = 40;
+  config.num_patterns = 2;
+  config.pattern_size = 3;
+  config.seed = GetParam();
+  BasketList b = *GenerateBaskets(config);
+  SetFunction<std::int64_t> support = *SupportFunction(b);
+
+  const Mask target = FullMask(4);  // A four-item target set.
+  std::vector<FrequencyConstraint> freq;
+  ForEachSubset(target, [&](Mask w) {
+    if (w == target) return;
+    freq.push_back({ItemSet(w), support.at(w), support.at(w)});
+  });
+  Result<SupportInterval> lp =
+      ImpliedSupportInterval(b.num_items(), freq, {}, ItemSet(target));
+  ASSERT_TRUE(lp.ok());
+  Result<SupportBounds> ndi =
+      NdiBounds(target, b.size(), [&](Mask m) { return support.at(m); });
+  ASSERT_TRUE(ndi.ok());
+
+  // Soundness: the true support lies in both intervals.
+  const Rational truth(support.at(target));
+  EXPECT_LE(lp->lo, truth);
+  ASSERT_TRUE(lp->hi.has_value());
+  EXPECT_GE(*lp->hi, truth);
+  // Tightness: LP within NDI.
+  EXPECT_GE(lp->lo, Rational(ndi->lower));
+  EXPECT_LE(*lp->hi, Rational(ndi->upper));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpVsNdiBounds, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace diffc

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "core/function_ops.h"
+#include "core/parser.h"
+#include "lattice/decomposition.h"
+#include "test_helpers.h"
+#include "util/random.h"
+
+namespace diffc {
+namespace {
+
+SetFunction<std::int64_t> RandomFunction(Rng& rng, int n, int lo = -20, int hi = 20) {
+  SetFunction<std::int64_t> f = *SetFunction<std::int64_t>::Make(n);
+  for (Mask m = 0; m < f.size(); ++m) f.at(m) = rng.UniformInt(lo, hi);
+  return f;
+}
+
+// ------------------------------------------------------------ differentials
+
+TEST(DifferentialTest, PaperExample22) {
+  // D^{B,CD}_f(A) = f(A) - f(AB) - f(ACD) + f(ABCD).
+  Rng rng(1);
+  SetFunction<std::int64_t> f = RandomFunction(rng, 4);
+  const Mask A = 1, B = 2, C = 4, D = 8;
+  SetFamily fam({ItemSet(B), ItemSet(C | D)});
+  std::int64_t expected = f.at(A) - f.at(A | B) - f.at(A | C | D) + f.at(A | B | C | D);
+  EXPECT_EQ(DifferentialAt(f, ItemSet(A), fam), expected);
+}
+
+TEST(DifferentialTest, EmptyFamilyIsValueItself) {
+  // Constraint (1): D^∅_f(X) = f(X).
+  Rng rng(2);
+  SetFunction<std::int64_t> f = RandomFunction(rng, 4);
+  for (Mask m = 0; m < 16; ++m) {
+    EXPECT_EQ(DifferentialAt(f, ItemSet(m), SetFamily()), f.at(m));
+  }
+}
+
+TEST(DifferentialTest, SingleMemberIsFirstDifference) {
+  // Constraint (2): D^{Y}_f(X) = f(X) - f(X∪Y).
+  Rng rng(3);
+  SetFunction<std::int64_t> f = RandomFunction(rng, 5);
+  ItemSet x{0}, y{2, 3};
+  EXPECT_EQ(DifferentialAt(f, x, SetFamily({y})),
+            f.at(x.bits()) - f.at(x.bits() | y.bits()));
+}
+
+TEST(DifferentialTest, DensityViaComplementSingletons) {
+  // Definition 2.1: d_f(X) = D^{{{y}|y∉X}}_f(X), vs. the fast transform.
+  Rng rng(4);
+  SetFunction<std::int64_t> f = RandomFunction(rng, 6);
+  SetFunction<std::int64_t> d = Density(f);
+  for (Mask m = 0; m < f.size(); ++m) {
+    EXPECT_EQ(DensityAtViaDifferential(f, ItemSet(m)), d.at(m)) << m;
+  }
+}
+
+// Proposition 2.9: D^Y_f(X) = Σ_{U ∈ L(X,Y)} d_f(U).
+class Prop29Property : public ::testing::TestWithParam<int> {};
+
+TEST_P(Prop29Property, DifferentialEqualsDensitySumOverL) {
+  Rng rng(GetParam() * 17);
+  const int n = 6;
+  SetFunction<std::int64_t> f = RandomFunction(rng, n);
+  SetFunction<std::int64_t> d = Density(f);
+  for (int iter = 0; iter < 25; ++iter) {
+    ItemSet x(rng.RandomMask(n, 0.3));
+    int members = static_cast<int>(rng.UniformInt(0, 3));
+    SetFamily fam = SetFamily::FromMasks(rng.RandomFamily(n, members, 0.3));
+    std::int64_t sum = 0;
+    Result<std::vector<ItemSet>> lattice = EnumerateDecomposition(n, x, fam);
+    for (const ItemSet& u : *lattice) sum += d.at(u);
+    EXPECT_EQ(DifferentialAt(f, x, fam), sum);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Prop29Property, ::testing::Range(1, 11));
+
+// ------------------------------------------------------------ satisfaction
+
+TEST(SatisfactionTest, PaperExample32) {
+  // S={A,B,C}; f(∅)=f(C)=2, f=1 elsewhere. Satisfies A->{B} and B->{C},
+  // violates C->{A}.
+  Universe u = Universe::Letters(3);
+  SetFunction<double> f = *SetFunction<double>::Make(3);
+  for (Mask m = 0; m < 8; ++m) f.at(m) = 1.0;
+  f.at(0) = 2.0;
+  f.at(0b100) = 2.0;
+  EXPECT_TRUE(Satisfies(f, *ParseConstraint(u, "A -> {B}")));
+  EXPECT_TRUE(Satisfies(f, *ParseConstraint(u, "B -> {C}")));
+  EXPECT_FALSE(Satisfies(f, *ParseConstraint(u, "C -> {A}")));
+}
+
+TEST(SatisfactionTest, TrivialConstraintAlwaysSatisfied) {
+  Rng rng(21);
+  SetFunction<std::int64_t> f = RandomFunction(rng, 5);
+  // Member {0} ⊆ lhs {0,1}: trivial.
+  DifferentialConstraint c(ItemSet{0, 1}, SetFamily({ItemSet{0}}));
+  ASSERT_TRUE(c.IsTrivial());
+  EXPECT_TRUE(Satisfies(f, c));
+}
+
+TEST(SatisfactionTest, Remark36DifferentialWeakerThanDensity) {
+  // S={A}; f(∅)=0, f(A)=1: D^∅_f(∅)=0 but f does not satisfy ∅ -> {}.
+  SetFunction<double> f = *SetFunction<double>::Make(1);
+  f.at(Mask{0}) = 0.0;
+  f.at(Mask{1}) = 1.0;
+  DifferentialConstraint c{ItemSet(), SetFamily()};
+  EXPECT_TRUE(SatisfiesDifferentialSemantics(f, c));
+  EXPECT_FALSE(Satisfies(f, c));
+}
+
+TEST(SatisfactionTest, DensityImpliesDifferentialSemantics) {
+  // Density-based satisfaction always implies differential-based
+  // (Proposition 2.9); checked on random functions and constraints.
+  Rng rng(22);
+  const int n = 5;
+  for (int iter = 0; iter < 50; ++iter) {
+    SetFunction<std::int64_t> f = RandomFunction(rng, n, -3, 3);
+    DifferentialConstraint c = testing::RandomConstraint(rng, n);
+    if (Satisfies(f, c)) {
+      EXPECT_TRUE(SatisfiesDifferentialSemantics(f, c));
+    }
+  }
+}
+
+TEST(SatisfactionTest, EquivalentForNonnegativeDensities) {
+  // For frequency functions the two semantics coincide (Remark 3.6 /
+  // Section 6).
+  Rng rng(23);
+  const int n = 5;
+  for (int iter = 0; iter < 50; ++iter) {
+    // Build f from a nonnegative density.
+    SetFunction<std::int64_t> d = *SetFunction<std::int64_t>::Make(n);
+    for (Mask m = 0; m < d.size(); ++m) d.at(m) = rng.Bernoulli(0.3) ? rng.UniformInt(0, 3) : 0;
+    SetFunction<std::int64_t> f = FromDensity(d);
+    ASSERT_TRUE(IsFrequencyFunction(f));
+    DifferentialConstraint c = testing::RandomConstraint(rng, n);
+    EXPECT_EQ(Satisfies(f, c), SatisfiesDifferentialSemantics(f, c))
+        << "iter=" << iter;
+  }
+}
+
+TEST(SatisfactionTest, SatisfiesWithDensityMatchesSatisfies) {
+  Rng rng(24);
+  const int n = 6;
+  SetFunction<std::int64_t> f = RandomFunction(rng, n, -2, 2);
+  SetFunction<std::int64_t> d = Density(f);
+  for (int iter = 0; iter < 40; ++iter) {
+    DifferentialConstraint c = testing::RandomConstraint(rng, n);
+    EXPECT_EQ(Satisfies(f, c), SatisfiesWithDensity(d, c));
+  }
+}
+
+// ------------------------------------------------------- frequency functions
+
+TEST(FrequencyTest, NonnegativeDensityIsFrequency) {
+  SetFunction<std::int64_t> d = *SetFunction<std::int64_t>::Make(4);
+  d.at(Mask{0b0011}) = 2;
+  d.at(Mask{0b1000}) = 1;
+  EXPECT_TRUE(IsFrequencyFunction(FromDensity(d)));
+}
+
+TEST(FrequencyTest, NegativeDensitySomewhereIsNot) {
+  SetFunction<std::int64_t> d = *SetFunction<std::int64_t>::Make(4);
+  d.at(Mask{0b0011}) = 2;
+  d.at(Mask{0b1000}) = -1;
+  EXPECT_FALSE(IsFrequencyFunction(FromDensity(d)));
+}
+
+TEST(FrequencyTest, FrequencyFunctionHasAllDifferentialsNonnegative) {
+  // The defining property of Section 6, checked on random families.
+  Rng rng(25);
+  const int n = 5;
+  SetFunction<std::int64_t> d = *SetFunction<std::int64_t>::Make(n);
+  for (Mask m = 0; m < d.size(); ++m) d.at(m) = rng.UniformInt(0, 2);
+  SetFunction<std::int64_t> f = FromDensity(d);
+  ASSERT_TRUE(IsFrequencyFunction(f));
+  for (int iter = 0; iter < 100; ++iter) {
+    ItemSet x(rng.RandomMask(n, 0.3));
+    SetFamily fam = SetFamily::FromMasks(
+        rng.RandomFamily(n, static_cast<int>(rng.UniformInt(0, 3)), 0.3));
+    EXPECT_GE(DifferentialAt(f, x, fam), 0);
+  }
+}
+
+TEST(FrequencyTest, NonFrequencyHasSomeNegativeDifferential) {
+  // Converse direction: a negative density value is exposed by the
+  // complement-singletons differential.
+  SetFunction<std::int64_t> d = *SetFunction<std::int64_t>::Make(4);
+  d.at(Mask{0b0101}) = -3;
+  SetFunction<std::int64_t> f = FromDensity(d);
+  ItemSet x(Mask{0b0101});
+  EXPECT_LT(DifferentialAt(f, x, SetFamily::Singletons(x.ComplementIn(4))), 0);
+}
+
+TEST(ZeroValueTest, TypeSpecificZeroTests) {
+  EXPECT_TRUE(IsZeroValue(0.0));
+  EXPECT_TRUE(IsZeroValue(1e-12));
+  EXPECT_FALSE(IsZeroValue(1e-3));
+  EXPECT_TRUE(IsZeroValue(std::int64_t{0}));
+  EXPECT_FALSE(IsZeroValue(std::int64_t{1}));
+  EXPECT_TRUE(IsZeroValue(Rational()));
+  EXPECT_FALSE(IsZeroValue(Rational(1, 1000000)));
+}
+
+}  // namespace
+}  // namespace diffc

@@ -1,0 +1,43 @@
+#ifndef DIFFC_TESTS_TEST_HELPERS_H_
+#define DIFFC_TESTS_TEST_HELPERS_H_
+
+#include <vector>
+
+#include "core/constraint.h"
+#include "util/random.h"
+
+namespace diffc::testing {
+
+/// A random differential constraint over `n` attributes: left-hand side
+/// with the given density, `members` right-hand members of the given
+/// density. Constraints may be trivial; callers that need nontrivial ones
+/// should filter.
+inline DifferentialConstraint RandomConstraint(Rng& rng, int n, double lhs_density = 0.25,
+                                               int members = 2,
+                                               double member_density = 0.3) {
+  ItemSet lhs(rng.RandomMask(n, lhs_density));
+  std::vector<ItemSet> family;
+  family.reserve(members);
+  for (int i = 0; i < members; ++i) {
+    Mask m = rng.RandomMask(n, member_density);
+    if (m == 0) m = Mask{1} << rng.UniformInt(0, n - 1);  // Avoid trivial-by-∅.
+    family.push_back(ItemSet(m));
+  }
+  return DifferentialConstraint(lhs, SetFamily(std::move(family)));
+}
+
+/// A random constraint set of `count` constraints.
+inline ConstraintSet RandomConstraintSet(Rng& rng, int n, int count,
+                                         double lhs_density = 0.25, int members = 2,
+                                         double member_density = 0.3) {
+  ConstraintSet out;
+  out.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    out.push_back(RandomConstraint(rng, n, lhs_density, members, member_density));
+  }
+  return out;
+}
+
+}  // namespace diffc::testing
+
+#endif  // DIFFC_TESTS_TEST_HELPERS_H_

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "lattice/mobius.h"
+#include "util/random.h"
+#include "util/rational.h"
+
+namespace diffc {
+namespace {
+
+TEST(SetFunctionTest, MakeValidatesSize) {
+  EXPECT_TRUE(SetFunction<double>::Make(0).ok());
+  EXPECT_TRUE(SetFunction<double>::Make(10).ok());
+  EXPECT_FALSE(SetFunction<double>::Make(-1).ok());
+  EXPECT_FALSE(SetFunction<double>::Make(kMaxSetFunctionBits + 1).ok());
+}
+
+TEST(SetFunctionTest, ZeroInitializedAndIndexable) {
+  SetFunction<std::int64_t> f = *SetFunction<std::int64_t>::Make(3);
+  EXPECT_EQ(f.size(), 8u);
+  for (Mask m = 0; m < 8; ++m) EXPECT_EQ(f.at(m), 0);
+  f.at(ItemSet{0, 2}) = 7;
+  EXPECT_EQ(f.at(0b101), 7);
+}
+
+TEST(MobiusTest, PaperExample24DensityAtA) {
+  // S={A,B,C,D}: d_f(A) = f(A) - f(AB) - f(AC) - f(AD)
+  //                       + f(ABC) + f(ABD) + f(ACD) - f(ABCD).
+  SetFunction<double> f = *SetFunction<double>::Make(4);
+  Rng rng(5);
+  for (Mask m = 0; m < 16; ++m) f.at(m) = static_cast<double>(rng.UniformInt(0, 20));
+  SetFunction<double> d = Density(f);
+  const Mask A = 0b0001, B = 0b0010, C = 0b0100, D = 0b1000;
+  double expected = f.at(A) - f.at(A | B) - f.at(A | C) - f.at(A | D) +
+                    f.at(A | B | C) + f.at(A | B | D) + f.at(A | C | D) -
+                    f.at(A | B | C | D);
+  EXPECT_DOUBLE_EQ(d.at(A), expected);
+}
+
+TEST(MobiusTest, PaperExample24ReconstructionAtA) {
+  // f(A) = d(A) + d(AB) + d(AC) + d(AD) + d(ABC) + d(ABD) + d(ACD) + d(ABCD).
+  SetFunction<double> f = *SetFunction<double>::Make(4);
+  Rng rng(6);
+  for (Mask m = 0; m < 16; ++m) f.at(m) = static_cast<double>(rng.UniformInt(0, 20));
+  SetFunction<double> d = Density(f);
+  double sum = 0;
+  ForEachSuperset(0b0001, 0b1111, [&](Mask u) { sum += d.at(u); });
+  EXPECT_DOUBLE_EQ(sum, f.at(0b0001));
+}
+
+TEST(MobiusTest, RoundTripIdentityInt) {
+  Rng rng(7);
+  SetFunction<std::int64_t> f = *SetFunction<std::int64_t>::Make(8);
+  for (Mask m = 0; m < f.size(); ++m) f.at(m) = rng.UniformInt(-50, 50);
+  EXPECT_EQ(FromDensity(Density(f)), f);
+  EXPECT_EQ(Density(FromDensity(f)), f);
+}
+
+TEST(MobiusTest, RoundTripIdentityRational) {
+  Rng rng(8);
+  SetFunction<Rational> f = *SetFunction<Rational>::Make(5);
+  for (Mask m = 0; m < f.size(); ++m) {
+    f.at(m) = Rational(rng.UniformInt(-9, 9), rng.UniformInt(1, 9));
+  }
+  EXPECT_EQ(FromDensity(Density(f)), f);
+}
+
+TEST(MobiusTest, FastMatchesNaive) {
+  Rng rng(9);
+  for (int n = 0; n <= 8; ++n) {
+    SetFunction<std::int64_t> f = *SetFunction<std::int64_t>::Make(n);
+    for (Mask m = 0; m < f.size(); ++m) f.at(m) = rng.UniformInt(-100, 100);
+    EXPECT_EQ(Density(f), NaiveDensity(f)) << "n=" << n;
+  }
+}
+
+TEST(MobiusTest, DensityOfIndicatorDownSet) {
+  // f(W) = 1 iff W ⊆ U has density = indicator of U (Theorem 3.5's f_U).
+  const int n = 6;
+  const Mask u = 0b101100;
+  SetFunction<std::int64_t> f = *SetFunction<std::int64_t>::Make(n);
+  ForEachSubset(u, [&](Mask w) { f.at(w) = 1; });
+  SetFunction<std::int64_t> d = Density(f);
+  for (Mask m = 0; m < f.size(); ++m) {
+    EXPECT_EQ(d.at(m), m == u ? 1 : 0) << m;
+  }
+}
+
+TEST(MobiusTest, ZetaOfPointMass) {
+  // d = indicator of U ⇒ f(X) = [X ⊆ U].
+  const int n = 5;
+  const Mask u = 0b01101;
+  SetFunction<std::int64_t> d = *SetFunction<std::int64_t>::Make(n);
+  d.at(u) = 1;
+  SetFunction<std::int64_t> f = FromDensity(d);
+  for (Mask m = 0; m < f.size(); ++m) {
+    EXPECT_EQ(f.at(m), IsSubset(m, u) ? 1 : 0) << m;
+  }
+}
+
+TEST(MobiusTest, LinearityOfDensity) {
+  Rng rng(10);
+  const int n = 6;
+  SetFunction<std::int64_t> f = *SetFunction<std::int64_t>::Make(n);
+  SetFunction<std::int64_t> g = *SetFunction<std::int64_t>::Make(n);
+  for (Mask m = 0; m < f.size(); ++m) {
+    f.at(m) = rng.UniformInt(-20, 20);
+    g.at(m) = rng.UniformInt(-20, 20);
+  }
+  SetFunction<std::int64_t> sum = *SetFunction<std::int64_t>::Make(n);
+  for (Mask m = 0; m < f.size(); ++m) sum.at(m) = f.at(m) + g.at(m);
+  SetFunction<std::int64_t> df = Density(f), dg = Density(g), dsum = Density(sum);
+  for (Mask m = 0; m < f.size(); ++m) EXPECT_EQ(dsum.at(m), df.at(m) + dg.at(m));
+}
+
+TEST(MobiusTest, TrivialUniverse) {
+  SetFunction<std::int64_t> f = *SetFunction<std::int64_t>::Make(0);
+  f.at(Mask{0}) = 42;
+  EXPECT_EQ(Density(f).at(Mask{0}), 42);
+  EXPECT_EQ(FromDensity(f).at(Mask{0}), 42);
+}
+
+// Remark 2.3 uniqueness: the density is the only d with f(X) = Σ_{U⊇X} d(U).
+class MobiusUniqueness : public ::testing::TestWithParam<int> {};
+
+TEST_P(MobiusUniqueness, DensityIsUnique) {
+  Rng rng(GetParam() * 1000 + 13);
+  const int n = 5;
+  SetFunction<std::int64_t> f = *SetFunction<std::int64_t>::Make(n);
+  for (Mask m = 0; m < f.size(); ++m) f.at(m) = rng.UniformInt(-30, 30);
+  SetFunction<std::int64_t> d = Density(f);
+  // Verify equation (5) pointwise.
+  for (Mask x = 0; x < f.size(); ++x) {
+    std::int64_t sum = 0;
+    ForEachSuperset(x, FullMask(n), [&](Mask u) { sum += d.at(u); });
+    EXPECT_EQ(sum, f.at(x));
+  }
+  // Perturbing d anywhere breaks equation (5) somewhere.
+  Mask where = rng.RandomMask(n, 0.5);
+  d.at(where) += 1;
+  SetFunction<std::int64_t> f2 = FromDensity(d);
+  EXPECT_NE(f2, f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MobiusUniqueness, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace diffc

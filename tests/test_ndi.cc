@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "core/function_ops.h"
+#include "fis/generator.h"
+#include "fis/ndi.h"
+#include "fis/support.h"
+
+namespace diffc {
+namespace {
+
+BasketList TestData(std::uint64_t seed, int items = 9, int baskets = 250) {
+  BasketGenConfig config;
+  config.num_items = items;
+  config.num_baskets = baskets;
+  config.num_patterns = 3;
+  config.pattern_size = 3;
+  config.pattern_prob = 0.4;
+  config.noise_density = 0.15;
+  config.seed = seed;
+  return *GenerateBaskets(config);
+}
+
+TEST(NdiBoundsTest, EmptySetIsPinnedToBasketCount) {
+  Result<SupportBounds> bounds = NdiBounds(0, 42, [](Mask) { return 0; });
+  ASSERT_TRUE(bounds.ok());
+  EXPECT_EQ(bounds->lower, 42);
+  EXPECT_EQ(bounds->upper, 42);
+  EXPECT_TRUE(bounds->Derivable());
+}
+
+TEST(NdiBoundsTest, SingletonBoundedByEmptySetSupport) {
+  // For |X| = 1 the only deduction is 0 <= s(X) <= s(∅).
+  Result<SupportBounds> bounds = NdiBounds(0b1, 100, [](Mask m) {
+    EXPECT_EQ(m, 0u);
+    return 100;
+  });
+  ASSERT_TRUE(bounds.ok());
+  EXPECT_EQ(bounds->lower, 0);
+  EXPECT_EQ(bounds->upper, 100);
+}
+
+TEST(NdiBoundsTest, PairBounds) {
+  // s(AB) >= s(A) + s(B) - s(∅) (from Y=∅) and <= min(s(A), s(B)).
+  auto support = [](Mask m) -> std::int64_t {
+    switch (m) {
+      case 0b00: return 10;
+      case 0b01: return 7;
+      case 0b10: return 6;
+      default: return 0;
+    }
+  };
+  Result<SupportBounds> bounds = NdiBounds(0b11, 10, support);
+  ASSERT_TRUE(bounds.ok());
+  EXPECT_EQ(bounds->lower, 3);  // 7 + 6 - 10.
+  EXPECT_EQ(bounds->upper, 6);
+}
+
+TEST(NdiBoundsTest, GuardOnLargeSets) {
+  EXPECT_EQ(NdiBounds(FullMask(21), 1, [](Mask) { return 0; }).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+// The bounds are valid for every itemset of every basket list — this is
+// exactly "support functions are frequency functions" (Section 6) read as
+// deduction rules.
+class NdiBoundsProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(NdiBoundsProperty, TrueSupportAlwaysWithinBounds) {
+  BasketList b = TestData(GetParam(), /*items=*/7, /*baskets=*/60);
+  SetFunction<std::int64_t> support = *SupportFunction(b);
+  for (Mask x = 1; x < (Mask{1} << b.num_items()); ++x) {
+    Result<SupportBounds> bounds =
+        NdiBounds(x, b.size(), [&](Mask m) { return support.at(m); });
+    ASSERT_TRUE(bounds.ok());
+    EXPECT_LE(bounds->lower, support.at(x)) << x;
+    EXPECT_GE(bounds->upper, support.at(x)) << x;
+    if (bounds->Derivable()) {
+      EXPECT_EQ(bounds->lower, support.at(x)) << x;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NdiBoundsProperty, ::testing::Range(1, 9));
+
+TEST(NdiRepresentationTest, BuildValidates) {
+  EXPECT_FALSE(NdiRepresentation::Build(TestData(1), 0).ok());
+}
+
+TEST(NdiRepresentationTest, StoredSetsAreNonDerivableFrequent) {
+  BasketList b = TestData(2);
+  const std::int64_t kappa = 15;
+  NdiRepresentation rep = *NdiRepresentation::Build(b, kappa);
+  SetFunction<std::int64_t> support = *SupportFunction(b);
+  for (const CountedItemset& s : rep.ndi()) {
+    EXPECT_GE(s.support, kappa);
+    EXPECT_EQ(s.support, support.at(s.items));
+    Result<SupportBounds> bounds =
+        NdiBounds(s.items, b.size(), [&](Mask m) { return support.at(m); });
+    ASSERT_TRUE(bounds.ok());
+    EXPECT_FALSE(bounds->Derivable()) << s.items;
+  }
+}
+
+// Headline property: statuses of all itemsets and exact supports of all
+// frequent itemsets are recoverable from the NDI representation alone.
+class NdiCorrectness : public ::testing::TestWithParam<std::tuple<int, std::int64_t>> {};
+
+TEST_P(NdiCorrectness, DerivesEverything) {
+  auto [seed, kappa] = GetParam();
+  BasketList b = TestData(seed);
+  SetFunction<std::int64_t> support = *SupportFunction(b);
+  NdiRepresentation rep = *NdiRepresentation::Build(b, kappa);
+  for (Mask m = 0; m < (Mask{1} << b.num_items()); ++m) {
+    SCOPED_TRACE(m);
+    DerivedSupport d = rep.Derive(ItemSet(m));
+    const std::int64_t truth = support.at(m);
+    EXPECT_EQ(d.frequent, truth >= kappa);
+    if (truth >= kappa) {
+      ASSERT_TRUE(d.support.has_value());
+      EXPECT_EQ(*d.support, truth);
+    } else if (d.support.has_value()) {
+      EXPECT_EQ(*d.support, truth);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, NdiCorrectness,
+                         ::testing::Combine(::testing::Values(3, 4, 5),
+                                            ::testing::Values<std::int64_t>(10, 40, 90)));
+
+TEST(NdiRepresentationTest, NeverLargerThanFrequentSets) {
+  BasketList b = TestData(6, /*items=*/10, /*baskets=*/500);
+  const std::int64_t kappa = 25;
+  NdiRepresentation rep = *NdiRepresentation::Build(b, kappa);
+  AprioriResult apriori = *Apriori(b, kappa);
+  EXPECT_LE(rep.size(), apriori.frequent.size());
+  EXPECT_LE(rep.candidates_counted(), apriori.candidates_counted);
+}
+
+TEST(NdiRepresentationTest, EmptyWhenThresholdAboveBaskets) {
+  BasketList b = TestData(7);
+  NdiRepresentation rep = *NdiRepresentation::Build(b, b.size() + 1);
+  EXPECT_TRUE(rep.ndi().empty());
+  EXPECT_FALSE(rep.Derive(ItemSet{0}).frequent);
+  EXPECT_FALSE(rep.Derive(ItemSet()).frequent);
+}
+
+}  // namespace
+}  // namespace diffc

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "core/implication.h"
+#include "prop/implication_constraint.h"
+#include "prop/minterm.h"
+#include "relational/boolean_dependency.h"
+#include "relational/positive_bool.h"
+#include "test_helpers.h"
+#include "util/random.h"
+
+namespace diffc {
+namespace {
+
+using prop::Formula;
+using prop::FormulaPtr;
+
+TEST(LiteralNnfTest, Shapes) {
+  EXPECT_TRUE(IsLiteralNnf(*Formula::Var(0)));
+  EXPECT_TRUE(IsLiteralNnf(*Formula::Not(Formula::Var(0))));
+  EXPECT_TRUE(
+      IsLiteralNnf(*Formula::Implies(Formula::Var(0), Formula::Var(1))));
+  EXPECT_FALSE(IsLiteralNnf(
+      *Formula::Not(Formula::And({Formula::Var(0), Formula::Var(1)}))));
+}
+
+TEST(PositiveBoolTest, FamilyFragmentMatchesBooleanDependency) {
+  // On the paper's fragment (X ⇒ ∨∧Y) the general checker coincides with
+  // SatisfiesBooleanDependency.
+  Rng rng(11);
+  const int n = 4;
+  for (int iter = 0; iter < 20; ++iter) {
+    std::vector<std::vector<int>> rows;
+    std::set<std::vector<int>> seen;
+    int tuples = static_cast<int>(rng.UniformInt(1, 6));
+    while (static_cast<int>(rows.size()) < tuples) {
+      std::vector<int> row(n);
+      for (int a = 0; a < n; ++a) row[a] = static_cast<int>(rng.UniformInt(0, 2));
+      if (seen.insert(row).second) rows.push_back(row);
+    }
+    Relation r = *Relation::Make(n, rows);
+    for (int c_iter = 0; c_iter < 20; ++c_iter) {
+      DifferentialConstraint c = testing::RandomConstraint(
+          rng, n, 0.3, static_cast<int>(rng.UniformInt(0, 3)), 0.35);
+      FormulaPtr f = prop::ImplicationConstraintFormula(c.lhs(), c.rhs());
+      EXPECT_EQ(SatisfiesPositiveBoolDependency(r, *f), SatisfiesBooleanDependency(r, c))
+          << c.ToString(Universe::Letters(n));
+    }
+  }
+}
+
+TEST(PositiveBoolTest, BeyondTheFragment) {
+  // (agree on A) ∨ (agree on B): not expressible as one family constraint
+  // with a single antecedent... but directly checkable here.
+  Relation r = *Relation::Make(2, {{0, 0}, {0, 1}, {1, 1}});
+  FormulaPtr either = Formula::Or({Formula::Var(0), Formula::Var(1)});
+  // Pairs: (0,1) agree on A; (0,2) agree on nothing -> fails.
+  EXPECT_FALSE(SatisfiesPositiveBoolDependency(r, *either));
+  Relation r2 = *Relation::Make(2, {{0, 0}, {0, 1}});
+  EXPECT_TRUE(SatisfiesPositiveBoolDependency(r2, *either));
+}
+
+TEST(TwoTupleRelationTest, RealizesExactlyTheAgreement) {
+  const int n = 4;
+  for (Mask u = 0; u < FullMask(n); ++u) {
+    Relation r = *TwoTupleRelation(n, u);
+    ASSERT_EQ(r.size(), 2);
+    Mask agreement = 0;
+    for (int a = 0; a < n; ++a) {
+      if (r.tuple(0)[a] == r.tuple(1)[a]) agreement |= Mask{1} << a;
+    }
+    EXPECT_EQ(agreement, u);
+  }
+  // Full agreement degenerates to a single tuple.
+  EXPECT_EQ(TwoTupleRelation(n, FullMask(n))->size(), 1);
+}
+
+TEST(PositiveBoolImpliesTest, TransitiveChain) {
+  const int n = 3;
+  std::vector<FormulaPtr> premises{
+      Formula::Implies(Formula::Var(0), Formula::Var(1)),
+      Formula::Implies(Formula::Var(1), Formula::Var(2)),
+  };
+  EXPECT_TRUE(*PositiveBoolImplies(n, premises,
+                                   *Formula::Implies(Formula::Var(0), Formula::Var(2))));
+  Mask cex = 0;
+  Result<bool> reversed = PositiveBoolImplies(
+      n, premises, *Formula::Implies(Formula::Var(2), Formula::Var(0)), &cex);
+  ASSERT_TRUE(reversed.ok());
+  EXPECT_FALSE(*reversed);
+  // The counterexample's two-tuple relation separates premises from goal.
+  Relation model = *TwoTupleRelation(n, cex);
+  for (const FormulaPtr& p : premises) {
+    EXPECT_TRUE(SatisfiesPositiveBoolDependency(model, *p));
+  }
+  EXPECT_FALSE(SatisfiesPositiveBoolDependency(
+      model, *Formula::Implies(Formula::Var(2), Formula::Var(0))));
+}
+
+TEST(PositiveBoolImpliesTest, VacuousWhenPremiseFailsDiagonal) {
+  // A premise false at the all-true assignment has no nonempty models, so
+  // everything is relation-implied — even goals that fail propositionally.
+  const int n = 2;
+  std::vector<FormulaPtr> premises{
+      Formula::Implies(Formula::Var(0), Formula::Or({}))};  // A ⇒ false.
+  FormulaPtr goal = Formula::Var(1);
+  EXPECT_TRUE(*PositiveBoolImplies(n, premises, *goal));
+  // Propositional entailment disagrees (assignment {}: premise true, goal
+  // false), which is exactly the empty-family edge case documented in
+  // DESIGN.md.
+  EXPECT_FALSE(*prop::Entails(premises, *goal, n));
+}
+
+// On diagonal-consistent formulas (all true at the all-agree assignment),
+// relation implication coincides with propositional entailment — the SDPF
+// equivalence, cross-checked against the differential machinery on the
+// family fragment.
+class SdpfEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(SdpfEquivalence, MatchesPropositionalAndDifferential) {
+  Rng rng(GetParam() * 311);
+  const int n = 5;
+  for (int iter = 0; iter < 15; ++iter) {
+    ConstraintSet constraints = testing::RandomConstraintSet(
+        rng, n, static_cast<int>(rng.UniformInt(1, 3)), 0.3, 2, 0.35);
+    DifferentialConstraint goal = testing::RandomConstraint(rng, n, 0.3, 2, 0.35);
+    std::vector<FormulaPtr> premises;
+    for (const DifferentialConstraint& c : constraints) {
+      premises.push_back(prop::ImplicationConstraintFormula(c.lhs(), c.rhs()));
+    }
+    FormulaPtr goal_formula = prop::ImplicationConstraintFormula(goal.lhs(), goal.rhs());
+    // Nonempty right-hand families are diagonal-consistent.
+    Result<bool> relational = PositiveBoolImplies(n, premises, *goal_formula);
+    Result<bool> propositional = prop::Entails(premises, *goal_formula, n);
+    Result<ImplicationOutcome> differential = CheckImplicationSat(n, constraints, goal);
+    ASSERT_TRUE(relational.ok());
+    ASSERT_TRUE(propositional.ok());
+    ASSERT_TRUE(differential.ok());
+    EXPECT_EQ(*relational, *propositional);
+    EXPECT_EQ(*relational, differential->implied);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SdpfEquivalence, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace diffc

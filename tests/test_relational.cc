@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/function_ops.h"
+#include "core/implication.h"
+#include "core/parser.h"
+#include "relational/boolean_dependency.h"
+#include "relational/distribution.h"
+#include "relational/fd.h"
+#include "relational/relation.h"
+#include "relational/simpson.h"
+#include "test_helpers.h"
+
+namespace diffc {
+namespace {
+
+Relation SampleRelation() {
+  // Schema (A, B, C): A determines B; C free.
+  return *Relation::Make(3, {
+                                {1, 10, 0},
+                                {1, 10, 1},
+                                {2, 20, 0},
+                                {3, 20, 1},
+                            });
+}
+
+Relation RandomRelation(Rng& rng, int attrs, int tuples, int domain) {
+  std::vector<std::vector<int>> rows;
+  std::set<std::vector<int>> seen;
+  while (static_cast<int>(rows.size()) < tuples) {
+    std::vector<int> row(attrs);
+    for (int a = 0; a < attrs; ++a) row[a] = static_cast<int>(rng.UniformInt(0, domain - 1));
+    if (seen.insert(row).second) rows.push_back(row);
+  }
+  return *Relation::Make(attrs, rows);
+}
+
+// ----------------------------------------------------------------- relation
+
+TEST(RelationTest, MakeValidates) {
+  EXPECT_TRUE(Relation::Make(2, {{1, 2}}).ok());
+  EXPECT_FALSE(Relation::Make(2, {{1}}).ok());
+  EXPECT_FALSE(Relation::Make(2, {{1, 2}, {1, 2}}).ok());  // Duplicate.
+  EXPECT_FALSE(Relation::Make(-1, {}).ok());
+}
+
+TEST(RelationTest, AgreeOnAndProject) {
+  Relation r = SampleRelation();
+  EXPECT_TRUE(r.AgreeOn(0, 1, ItemSet{0, 1}));
+  EXPECT_FALSE(r.AgreeOn(0, 1, ItemSet{2}));
+  EXPECT_TRUE(r.AgreeOn(0, 3, ItemSet()));  // Empty projection agrees.
+  EXPECT_EQ(r.Project(2, ItemSet{0, 2}), (std::vector<int>{2, 0}));
+}
+
+// ------------------------------------------------------------- distribution
+
+TEST(DistributionTest, UniformSumsToOne) {
+  Distribution p = *Distribution::Uniform(4);
+  Rational sum;
+  for (int i = 0; i < 4; ++i) sum += p.weight(i);
+  EXPECT_EQ(sum, Rational(1));
+}
+
+TEST(DistributionTest, Validation) {
+  EXPECT_FALSE(Distribution::Make({Rational(1, 2)}).ok());          // Sum != 1.
+  EXPECT_FALSE(Distribution::Make({Rational(0), Rational(1)}).ok());  // Zero weight.
+  EXPECT_FALSE(Distribution::Make({Rational(-1, 2), Rational(3, 2)}).ok());
+  EXPECT_TRUE(Distribution::Make({Rational(1, 4), Rational(3, 4)}).ok());
+  EXPECT_FALSE(Distribution::Uniform(0).ok());
+}
+
+// ------------------------------------------------------------------ Simpson
+
+TEST(SimpsonTest, EmptyProjectionIsOne) {
+  // simpson(∅) = (Σp)^2 = 1 for any distribution.
+  Relation r = SampleRelation();
+  SetFunction<Rational> f = *SimpsonFunction(r, *Distribution::Uniform(r.size()));
+  EXPECT_EQ(f.at(Mask{0}), Rational(1));
+}
+
+TEST(SimpsonTest, FullProjectionIsSumOfSquares) {
+  Relation r = SampleRelation();
+  SetFunction<Rational> f = *SimpsonFunction(r, *Distribution::Uniform(r.size()));
+  EXPECT_EQ(f.at(FullMask(3)), Rational(4, 16));  // 4 · (1/4)^2.
+}
+
+TEST(SimpsonTest, GroupedValues) {
+  Relation r = SampleRelation();
+  SetFunction<Rational> f = *SimpsonFunction(r, *Distribution::Uniform(r.size()));
+  // On A: groups {1,1},{2},{3} → (1/2)^2 + (1/4)^2 + (1/4)^2 = 6/16.
+  EXPECT_EQ(f.at(Mask{0b001}), Rational(6, 16));
+  // On B: groups {10,10},{20,20} → 2 · (1/2)^2 = 1/2.
+  EXPECT_EQ(f.at(Mask{0b010}), Rational(1, 2));
+}
+
+TEST(SimpsonTest, RequiresNonemptyAndMatchingDistribution) {
+  EXPECT_FALSE(SimpsonFunction(*Relation::Make(2, {}), *Distribution::Uniform(1)).ok());
+  EXPECT_FALSE(SimpsonFunction(SampleRelation(), *Distribution::Uniform(3)).ok());
+}
+
+// Proposition 7.2: the density of the Simpson function equals the direct
+// pair-sum formula, and is nonnegative (Simpson functions are frequency
+// functions).
+class Prop72Property : public ::testing::TestWithParam<int> {};
+
+TEST_P(Prop72Property, DensityMatchesDirectFormulaAndIsNonnegative) {
+  Rng rng(GetParam() * 11 + 1);
+  for (int iter = 0; iter < 6; ++iter) {
+    Relation r = RandomRelation(rng, 4, static_cast<int>(rng.UniformInt(1, 8)), 3);
+    // Random positive rational weights summing to 1 (denominator = total).
+    std::vector<Rational> weights;
+    std::int64_t total = 0;
+    std::vector<std::int64_t> numerators;
+    for (int i = 0; i < r.size(); ++i) {
+      numerators.push_back(rng.UniformInt(1, 5));
+      total += numerators.back();
+    }
+    for (std::int64_t num : numerators) weights.push_back(Rational(num, total));
+    Distribution p = *Distribution::Make(weights);
+
+    SetFunction<Rational> f = *SimpsonFunction(r, p);
+    SetFunction<Rational> density = Density(f);
+    SetFunction<Rational> direct = *SimpsonDensityDirect(r, p);
+    EXPECT_EQ(density, direct);
+    for (Mask m = 0; m < f.size(); ++m) EXPECT_FALSE(density.at(m).IsNegative());
+    EXPECT_TRUE(IsFrequencyFunction(f));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Prop72Property, ::testing::Range(1, 9));
+
+// ------------------------------------------------------ boolean dependencies
+
+TEST(BooleanDependencyTest, FdStyle) {
+  Relation r = SampleRelation();
+  Universe u = Universe::Letters(3);
+  // A -> B holds; B -> A does not (20 maps to both 2 and 3).
+  EXPECT_TRUE(SatisfiesBooleanDependency(r, *ParseConstraint(u, "A -> {B}")));
+  EXPECT_FALSE(SatisfiesBooleanDependency(r, *ParseConstraint(u, "B -> {A}")));
+  EXPECT_TRUE(SatisfiesFdInRelation(r, ItemSet{0}, ItemSet{1}));
+  EXPECT_FALSE(SatisfiesFdInRelation(r, ItemSet{1}, ItemSet{0}));
+}
+
+TEST(BooleanDependencyTest, DisjunctiveRhs) {
+  Relation r = SampleRelation();
+  Universe u = Universe::Letters(3);
+  // B -> {A, C}: tuples agreeing on B agree on A or on C.
+  // Tuples 2,3 agree on B(20) but differ on A(2,3) and C(0,1): violated.
+  EXPECT_FALSE(SatisfiesBooleanDependency(r, *ParseConstraint(u, "B -> {A, C}")));
+  // Trivial dependency always holds.
+  EXPECT_TRUE(SatisfiesBooleanDependency(r, *ParseConstraint(u, "AB -> {A}")));
+  // Empty-family dependency: "∀t,t'" includes t = t', so a nonempty
+  // relation never satisfies X ⇒boolean {} — matching the Simpson side,
+  // whose density at S is always positive.
+  EXPECT_FALSE(SatisfiesBooleanDependency(r, *ParseConstraint(u, "B -> {}")));
+  EXPECT_FALSE(SatisfiesBooleanDependency(r, *ParseConstraint(u, "ABC -> {}")));
+  EXPECT_TRUE(
+      SatisfiesBooleanDependency(*Relation::Make(3, {}), *ParseConstraint(u, "B -> {}")));
+}
+
+// Proposition 7.3: simpson_{r,p} satisfies X -> Y iff r satisfies
+// X ⇒boolean Y — exactly, over rationals.
+class Prop73Property : public ::testing::TestWithParam<int> {};
+
+TEST_P(Prop73Property, SimpsonIffBooleanDependency) {
+  Rng rng(GetParam() * 13 + 3);
+  const int n = 4;
+  for (int iter = 0; iter < 5; ++iter) {
+    Relation r = RandomRelation(rng, n, static_cast<int>(rng.UniformInt(2, 7)), 2);
+    Distribution p = *Distribution::Uniform(r.size());
+    SetFunction<Rational> simpson = *SimpsonFunction(r, p);
+    SetFunction<Rational> density = Density(simpson);
+    for (int c_iter = 0; c_iter < 25; ++c_iter) {
+      DifferentialConstraint c = testing::RandomConstraint(
+          rng, n, 0.3, static_cast<int>(rng.UniformInt(0, 3)), 0.35);
+      EXPECT_EQ(SatisfiesWithDensity(density, c), SatisfiesBooleanDependency(r, c))
+          << c.ToString(Universe::Letters(n));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Prop73Property, ::testing::Range(1, 11));
+
+// --------------------------------------------------------------------- FDs
+
+TEST(FdTest, Closure) {
+  std::vector<Fd> fds{{ItemSet{0}, ItemSet{1}}, {ItemSet{1}, ItemSet{2, 3}}};
+  EXPECT_EQ(FdClosure(ItemSet{0}, fds), (ItemSet{0, 1, 2, 3}));
+  EXPECT_EQ(FdClosure(ItemSet{2}, fds), (ItemSet{2}));
+}
+
+TEST(FdTest, Implies) {
+  std::vector<Fd> fds{{ItemSet{0}, ItemSet{1}}, {ItemSet{1}, ItemSet{2}}};
+  EXPECT_TRUE(FdImplies(fds, {ItemSet{0}, ItemSet{2}}));
+  EXPECT_TRUE(FdImplies(fds, {ItemSet{0, 3}, ItemSet{1, 2}}));
+  EXPECT_FALSE(FdImplies(fds, {ItemSet{2}, ItemSet{0}}));
+  EXPECT_TRUE(FdImplies({}, {ItemSet{0, 1}, ItemSet{0}}));  // Reflexivity.
+}
+
+TEST(FdTest, MinimalCoverSingletonRhs) {
+  std::vector<Fd> fds{{ItemSet{0}, ItemSet{1, 2}}};
+  std::vector<Fd> cover = FdMinimalCover(fds);
+  ASSERT_EQ(cover.size(), 2u);
+  for (const Fd& fd : cover) EXPECT_EQ(fd.rhs.size(), 1);
+}
+
+TEST(FdTest, MinimalCoverDropsExtraneousLhs) {
+  // AB -> C with A -> B present: B is extraneous? A->B, AB->C ⇒ A->C.
+  std::vector<Fd> fds{{ItemSet{0}, ItemSet{1}}, {ItemSet{0, 1}, ItemSet{2}}};
+  std::vector<Fd> cover = FdMinimalCover(fds);
+  bool has_a_to_c = false;
+  for (const Fd& fd : cover) {
+    if (fd.lhs == ItemSet{0} && fd.rhs == ItemSet{2}) has_a_to_c = true;
+    EXPECT_LE(fd.lhs.size(), 1);
+  }
+  EXPECT_TRUE(has_a_to_c);
+}
+
+TEST(FdTest, MinimalCoverEquivalent) {
+  Rng rng(71);
+  const int n = 5;
+  for (int iter = 0; iter < 15; ++iter) {
+    std::vector<Fd> fds;
+    int count = static_cast<int>(rng.UniformInt(1, 6));
+    for (int i = 0; i < count; ++i) {
+      Mask lhs = rng.RandomMask(n, 0.3);
+      Mask rhs = rng.RandomMask(n, 0.3);
+      if (rhs == 0) rhs = Mask{1} << rng.UniformInt(0, n - 1);
+      fds.push_back({ItemSet(lhs), ItemSet(rhs)});
+    }
+    std::vector<Fd> cover = FdMinimalCover(fds);
+    // Same closures everywhere ⇒ equivalent.
+    for (Mask m = 0; m < (Mask{1} << n); ++m) {
+      EXPECT_EQ(FdClosure(ItemSet(m), fds), FdClosure(ItemSet(m), cover)) << m;
+    }
+  }
+}
+
+// The paper's §8 equivalence: FD implication (via closure) coincides with
+// differential-constraint implication for singleton-member constraints,
+// and with FD satisfaction in relations (soundness spot-check).
+TEST(FdTest, AgreesWithDifferentialImplication) {
+  Rng rng(73);
+  const int n = 5;
+  for (int iter = 0; iter < 25; ++iter) {
+    std::vector<Fd> fds;
+    ConstraintSet constraints;
+    int count = static_cast<int>(rng.UniformInt(0, 4));
+    for (int i = 0; i < count; ++i) {
+      Mask lhs = rng.RandomMask(n, 0.3);
+      Mask rhs = Mask{1} << rng.UniformInt(0, n - 1);
+      fds.push_back({ItemSet(lhs), ItemSet(rhs)});
+      constraints.push_back(
+          DifferentialConstraint(ItemSet(lhs), SetFamily({ItemSet(rhs)})));
+    }
+    Mask glhs = rng.RandomMask(n, 0.3);
+    Mask grhs = Mask{1} << rng.UniformInt(0, n - 1);
+    Fd goal_fd{ItemSet(glhs), ItemSet(grhs)};
+    DifferentialConstraint goal(ItemSet(glhs), SetFamily({ItemSet(grhs)}));
+    EXPECT_EQ(FdImplies(fds, goal_fd),
+              CheckImplicationSat(n, constraints, goal)->implied);
+  }
+}
+
+}  // namespace
+}  // namespace diffc

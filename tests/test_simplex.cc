@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "math/simplex.h"
+#include "util/random.h"
+
+namespace diffc {
+namespace {
+
+LpConstraint Row(std::vector<Rational> coeffs, LpSense sense, Rational rhs) {
+  return LpConstraint{std::move(coeffs), sense, rhs};
+}
+
+TEST(SimplexTest, ValidatesShapes) {
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {Rational(1)};  // Wrong size.
+  EXPECT_FALSE(SolveLp(p).ok());
+  p.objective = {Rational(1), Rational(0)};
+  p.constraints.push_back(Row({Rational(1)}, LpSense::kLe, Rational(1)));
+  EXPECT_FALSE(SolveLp(p).ok());
+}
+
+TEST(SimplexTest, TextbookMaximum) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18: optimum 36 at (2,6).
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {Rational(3), Rational(5)};
+  p.constraints = {
+      Row({Rational(1), Rational(0)}, LpSense::kLe, Rational(4)),
+      Row({Rational(0), Rational(2)}, LpSense::kLe, Rational(12)),
+      Row({Rational(3), Rational(2)}, LpSense::kLe, Rational(18)),
+  };
+  Result<LpSolution> s = SolveLp(p);
+  ASSERT_TRUE(s.ok());
+  ASSERT_EQ(s->outcome, LpOutcome::kOptimal);
+  EXPECT_EQ(s->objective_value, Rational(36));
+  EXPECT_EQ(s->values[0], Rational(2));
+  EXPECT_EQ(s->values[1], Rational(6));
+}
+
+TEST(SimplexTest, ExactFractionalOptimum) {
+  // max x + y s.t. 2x + y <= 1, x + 3y <= 2: optimum at x=1/5, y=3/5.
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {Rational(1), Rational(1)};
+  p.constraints = {
+      Row({Rational(2), Rational(1)}, LpSense::kLe, Rational(1)),
+      Row({Rational(1), Rational(3)}, LpSense::kLe, Rational(2)),
+  };
+  Result<LpSolution> s = SolveLp(p);
+  ASSERT_TRUE(s.ok());
+  ASSERT_EQ(s->outcome, LpOutcome::kOptimal);
+  EXPECT_EQ(s->objective_value, Rational(4, 5));
+  EXPECT_EQ(s->values[0], Rational(1, 5));
+  EXPECT_EQ(s->values[1], Rational(3, 5));
+}
+
+TEST(SimplexTest, Unbounded) {
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {Rational(1), Rational(0)};
+  p.constraints = {Row({Rational(-1), Rational(1)}, LpSense::kLe, Rational(1))};
+  Result<LpSolution> s = SolveLp(p);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->outcome, LpOutcome::kUnbounded);
+}
+
+TEST(SimplexTest, Infeasible) {
+  // x <= 1 and x >= 2.
+  LpProblem p;
+  p.num_vars = 1;
+  p.objective = {Rational(0)};
+  p.constraints = {
+      Row({Rational(1)}, LpSense::kLe, Rational(1)),
+      Row({Rational(1)}, LpSense::kGe, Rational(2)),
+  };
+  Result<LpSolution> s = SolveLp(p);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->outcome, LpOutcome::kInfeasible);
+}
+
+TEST(SimplexTest, EqualityConstraints) {
+  // max x s.t. x + y = 3, x - y = 1: unique point (2, 1).
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {Rational(1), Rational(0)};
+  p.constraints = {
+      Row({Rational(1), Rational(1)}, LpSense::kEq, Rational(3)),
+      Row({Rational(1), Rational(-1)}, LpSense::kEq, Rational(1)),
+  };
+  Result<LpSolution> s = SolveLp(p);
+  ASSERT_TRUE(s.ok());
+  ASSERT_EQ(s->outcome, LpOutcome::kOptimal);
+  EXPECT_EQ(s->values[0], Rational(2));
+  EXPECT_EQ(s->values[1], Rational(1));
+}
+
+TEST(SimplexTest, NegativeRhsNormalization) {
+  // -x <= -2 means x >= 2; max -x gives x = 2.
+  LpProblem p;
+  p.num_vars = 1;
+  p.objective = {Rational(-1)};
+  p.constraints = {Row({Rational(-1)}, LpSense::kLe, Rational(-2))};
+  Result<LpSolution> s = SolveLp(p);
+  ASSERT_TRUE(s.ok());
+  ASSERT_EQ(s->outcome, LpOutcome::kOptimal);
+  EXPECT_EQ(s->values[0], Rational(2));
+}
+
+TEST(SimplexTest, DegenerateProblemTerminates) {
+  // Classic degenerate vertex; Bland's rule must not cycle.
+  LpProblem p;
+  p.num_vars = 4;
+  p.objective = {Rational(3, 4), Rational(-150), Rational(1, 50), Rational(-6)};
+  p.constraints = {
+      Row({Rational(1, 4), Rational(-60), Rational(-1, 25), Rational(9)}, LpSense::kLe,
+          Rational(0)),
+      Row({Rational(1, 2), Rational(-90), Rational(-1, 50), Rational(3)}, LpSense::kLe,
+          Rational(0)),
+      Row({Rational(0), Rational(0), Rational(1), Rational(0)}, LpSense::kLe, Rational(1)),
+  };
+  Result<LpSolution> s = SolveLp(p);
+  ASSERT_TRUE(s.ok());
+  ASSERT_EQ(s->outcome, LpOutcome::kOptimal);
+  EXPECT_EQ(s->objective_value, Rational(1, 20));
+}
+
+TEST(SimplexTest, RedundantEqualityRows) {
+  // x + y = 2 stated twice; still solvable.
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {Rational(1), Rational(1)};
+  p.constraints = {
+      Row({Rational(1), Rational(1)}, LpSense::kEq, Rational(2)),
+      Row({Rational(1), Rational(1)}, LpSense::kEq, Rational(2)),
+  };
+  Result<LpSolution> s = SolveLp(p);
+  ASSERT_TRUE(s.ok());
+  ASSERT_EQ(s->outcome, LpOutcome::kOptimal);
+  EXPECT_EQ(s->objective_value, Rational(2));
+}
+
+TEST(SimplexTest, ZeroVariableProblem) {
+  LpProblem p;
+  p.num_vars = 0;
+  Result<LpSolution> s = SolveLp(p);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->outcome, LpOutcome::kOptimal);
+  EXPECT_EQ(s->objective_value, Rational(0));
+}
+
+// Property: on random feasible-by-construction problems the optimum is a
+// feasible point and no sampled feasible point beats it.
+class SimplexProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexProperty, OptimumIsFeasibleAndUnbeatenBySamples) {
+  Rng rng(GetParam() * 127);
+  for (int iter = 0; iter < 15; ++iter) {
+    const int n = static_cast<int>(rng.UniformInt(1, 4));
+    const int m = static_cast<int>(rng.UniformInt(1, 5));
+    LpProblem p;
+    p.num_vars = n;
+    for (int j = 0; j < n; ++j) p.objective.push_back(Rational(rng.UniformInt(-3, 3)));
+    // Constraints a·x <= b with a >= 0 elementwise keep the region bounded
+    // in every objective-increasing direction only if a > 0; add a box to
+    // guarantee boundedness.
+    for (int i = 0; i < m; ++i) {
+      std::vector<Rational> coeffs;
+      for (int j = 0; j < n; ++j) coeffs.push_back(Rational(rng.UniformInt(0, 3)));
+      p.constraints.push_back(Row(std::move(coeffs), LpSense::kLe,
+                                  Rational(rng.UniformInt(0, 10))));
+    }
+    for (int j = 0; j < n; ++j) {
+      std::vector<Rational> box(n);
+      box[j] = Rational(1);
+      p.constraints.push_back(Row(std::move(box), LpSense::kLe, Rational(8)));
+    }
+    Result<LpSolution> s = SolveLp(p);
+    ASSERT_TRUE(s.ok());
+    ASSERT_EQ(s->outcome, LpOutcome::kOptimal);  // 0 is always feasible.
+    // Feasibility of the reported vertex.
+    for (const LpConstraint& c : p.constraints) {
+      Rational lhs;
+      for (int j = 0; j < n; ++j) lhs += c.coeffs[j] * s->values[j];
+      EXPECT_LE(lhs, c.rhs);
+    }
+    for (int j = 0; j < n; ++j) EXPECT_GE(s->values[j], Rational(0));
+    // Random feasible samples never beat the optimum.
+    for (int sample = 0; sample < 50; ++sample) {
+      std::vector<Rational> x;
+      for (int j = 0; j < n; ++j) x.push_back(Rational(rng.UniformInt(0, 8)));
+      bool feasible = true;
+      for (const LpConstraint& c : p.constraints) {
+        Rational lhs;
+        for (int j = 0; j < n; ++j) lhs += c.coeffs[j] * x[j];
+        if (lhs > c.rhs) {
+          feasible = false;
+          break;
+        }
+      }
+      if (!feasible) continue;
+      Rational value;
+      for (int j = 0; j < n; ++j) value += p.objective[j] * x[j];
+      EXPECT_LE(value, s->objective_value);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexProperty, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace diffc

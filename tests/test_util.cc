@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/bitops.h"
+#include "util/random.h"
+#include "util/rational.h"
+#include "util/status.h"
+#include "util/text.h"
+
+namespace diffc {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kFailedPrecondition), "FailedPrecondition");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted), "ResourceExhausted");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("hello");
+  std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "hello");
+}
+
+// ---------------------------------------------------------------- Rational
+
+TEST(RationalTest, DefaultIsZero) {
+  Rational r;
+  EXPECT_TRUE(r.IsZero());
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r.den(), 1);
+}
+
+TEST(RationalTest, Reduces) {
+  Rational r(6, 4);
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 2);
+}
+
+TEST(RationalTest, NormalizesSign) {
+  Rational r(3, -6);
+  EXPECT_EQ(r.num(), -1);
+  EXPECT_EQ(r.den(), 2);
+  EXPECT_TRUE(r.IsNegative());
+}
+
+TEST(RationalTest, Arithmetic) {
+  Rational a(1, 3), b(1, 6);
+  EXPECT_EQ(a + b, Rational(1, 2));
+  EXPECT_EQ(a - b, Rational(1, 6));
+  EXPECT_EQ(a * b, Rational(1, 18));
+  EXPECT_EQ(a / b, Rational(2));
+  EXPECT_EQ(-a, Rational(-1, 3));
+}
+
+TEST(RationalTest, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LT(Rational(-1, 2), Rational(0));
+  EXPECT_GE(Rational(2, 4), Rational(1, 2));
+  EXPECT_NE(Rational(1, 3), Rational(1, 4));
+}
+
+TEST(RationalTest, CompoundAssignment) {
+  Rational r(1, 2);
+  r += Rational(1, 2);
+  EXPECT_EQ(r, Rational(1));
+  r *= Rational(2, 3);
+  EXPECT_EQ(r, Rational(2, 3));
+  r -= Rational(2, 3);
+  EXPECT_TRUE(r.IsZero());
+}
+
+TEST(RationalTest, ToString) {
+  EXPECT_EQ(Rational(3).ToString(), "3");
+  EXPECT_EQ(Rational(1, 2).ToString(), "1/2");
+  EXPECT_EQ(Rational(-1, 2).ToString(), "-1/2");
+}
+
+TEST(RationalTest, ToDouble) {
+  EXPECT_DOUBLE_EQ(Rational(1, 4).ToDouble(), 0.25);
+}
+
+TEST(RationalTest, SumOfThirdsIsExactlyOne) {
+  Rational acc;
+  for (int i = 0; i < 3; ++i) acc += Rational(1, 3);
+  EXPECT_EQ(acc, Rational(1));
+}
+
+// ---------------------------------------------------------------- bitops
+
+TEST(BitopsTest, FullMask) {
+  EXPECT_EQ(FullMask(0), 0u);
+  EXPECT_EQ(FullMask(3), 0b111u);
+  EXPECT_EQ(FullMask(64), ~Mask{0});
+}
+
+TEST(BitopsTest, SubsetTest) {
+  EXPECT_TRUE(IsSubset(0b101, 0b111));
+  EXPECT_FALSE(IsSubset(0b101, 0b011));
+  EXPECT_TRUE(IsSubset(0, 0));
+}
+
+TEST(BitopsTest, ForEachBitVisitsAllInOrder) {
+  std::vector<int> bits;
+  ForEachBit(0b10110, [&](int b) { bits.push_back(b); });
+  EXPECT_EQ(bits, (std::vector<int>{1, 2, 4}));
+}
+
+TEST(BitopsTest, ForEachSubsetVisitsAll) {
+  std::set<Mask> seen;
+  ForEachSubset(0b101, [&](Mask m) { seen.insert(m); });
+  EXPECT_EQ(seen, (std::set<Mask>{0, 0b001, 0b100, 0b101}));
+}
+
+TEST(BitopsTest, ForEachSubsetOfEmpty) {
+  int count = 0;
+  ForEachSubset(0, [&](Mask m) {
+    EXPECT_EQ(m, 0u);
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(BitopsTest, ForEachSupersetVisitsAll) {
+  std::set<Mask> seen;
+  ForEachSuperset(0b001, 0b011, [&](Mask m) { seen.insert(m); });
+  EXPECT_EQ(seen, (std::set<Mask>{0b001, 0b011}));
+}
+
+TEST(BitopsTest, SubsetSupersetCountsMatch) {
+  // 2^k subsets of a k-element set; supersets within a universe mirror it.
+  int subsets = 0;
+  ForEachSubset(0b11011, [&](Mask) { ++subsets; });
+  EXPECT_EQ(subsets, 16);
+  int supersets = 0;
+  ForEachSuperset(0b00011, FullMask(6), [&](Mask) { ++supersets; });
+  EXPECT_EQ(supersets, 16);
+}
+
+// ---------------------------------------------------------------- random
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+  }
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    std::int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, RandomMaskWithinUniverse) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(IsSubset(rng.RandomMask(10, 0.5), FullMask(10)));
+  }
+}
+
+TEST(RngTest, RandomMaskDensityExtremes) {
+  Rng rng(5);
+  EXPECT_EQ(rng.RandomMask(12, 0.0), 0u);
+  EXPECT_EQ(rng.RandomMask(12, 1.0), FullMask(12));
+}
+
+TEST(RngTest, RandomNonemptySubsetIsNonemptySubset) {
+  Rng rng(13);
+  const Mask pool = 0b1010110;
+  for (int i = 0; i < 200; ++i) {
+    Mask m = rng.RandomNonemptySubsetOf(pool);
+    EXPECT_NE(m, 0u);
+    EXPECT_TRUE(IsSubset(m, pool));
+  }
+}
+
+TEST(RngTest, RandomSubsetOfStaysInPool) {
+  Rng rng(17);
+  const Mask pool = 0b111000;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(IsSubset(rng.RandomSubsetOf(pool), pool));
+  }
+}
+
+TEST(RngTest, RandomFamilyHasRequestedCount) {
+  Rng rng(19);
+  EXPECT_EQ(rng.RandomFamily(8, 5, 0.3).size(), 5u);
+}
+
+// ---------------------------------------------------------------- text
+
+TEST(TextTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"x"}, ", "), "x");
+}
+
+TEST(TextTest, Split) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(TextTest, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("x"), "x");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("\t a b \n"), "a b");
+}
+
+}  // namespace
+}  // namespace diffc
