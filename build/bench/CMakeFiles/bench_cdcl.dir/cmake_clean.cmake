@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cdcl.dir/bench_cdcl.cc.o"
+  "CMakeFiles/bench_cdcl.dir/bench_cdcl.cc.o.d"
+  "bench_cdcl"
+  "bench_cdcl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cdcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_concise.dir/bench_concise.cc.o"
+  "CMakeFiles/bench_concise.dir/bench_concise.cc.o.d"
+  "bench_concise"
+  "bench_concise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_concise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_conp.dir/bench_conp.cc.o"
+  "CMakeFiles/bench_conp.dir/bench_conp.cc.o.d"
+  "bench_conp"
+  "bench_conp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_conp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_diff_semantics.dir/bench_diff_semantics.cc.o"
+  "CMakeFiles/bench_diff_semantics.dir/bench_diff_semantics.cc.o.d"
+  "bench_diff_semantics"
+  "bench_diff_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_diff_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

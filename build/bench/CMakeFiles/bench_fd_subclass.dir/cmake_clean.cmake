@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fd_subclass.dir/bench_fd_subclass.cc.o"
+  "CMakeFiles/bench_fd_subclass.dir/bench_fd_subclass.cc.o.d"
+  "bench_fd_subclass"
+  "bench_fd_subclass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fd_subclass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

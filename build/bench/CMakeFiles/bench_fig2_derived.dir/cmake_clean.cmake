@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_derived.dir/bench_fig2_derived.cc.o"
+  "CMakeFiles/bench_fig2_derived.dir/bench_fig2_derived.cc.o.d"
+  "bench_fig2_derived"
+  "bench_fig2_derived.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_derived.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_freqsat.dir/bench_freqsat.cc.o"
+  "CMakeFiles/bench_freqsat.dir/bench_freqsat.cc.o.d"
+  "bench_freqsat"
+  "bench_freqsat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_freqsat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mobius.dir/bench_mobius.cc.o"
+  "CMakeFiles/bench_mobius.dir/bench_mobius.cc.o.d"
+  "bench_mobius"
+  "bench_mobius.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mobius.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

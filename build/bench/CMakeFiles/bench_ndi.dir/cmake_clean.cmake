@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ndi.dir/bench_ndi.cc.o"
+  "CMakeFiles/bench_ndi.dir/bench_ndi.cc.o.d"
+  "bench_ndi"
+  "bench_ndi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ndi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

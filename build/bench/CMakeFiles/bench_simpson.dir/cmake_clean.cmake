@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_simpson.dir/bench_simpson.cc.o"
+  "CMakeFiles/bench_simpson.dir/bench_simpson.cc.o.d"
+  "bench_simpson"
+  "bench_simpson.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_simpson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/belief_fusion.dir/belief_fusion.cc.o"
+  "CMakeFiles/belief_fusion.dir/belief_fusion.cc.o.d"
+  "belief_fusion"
+  "belief_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/belief_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

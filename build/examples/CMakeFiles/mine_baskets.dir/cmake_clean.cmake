@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mine_baskets.dir/mine_baskets.cc.o"
+  "CMakeFiles/mine_baskets.dir/mine_baskets.cc.o.d"
+  "mine_baskets"
+  "mine_baskets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mine_baskets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_fds.dir/relational_fds.cc.o"
+  "CMakeFiles/relational_fds.dir/relational_fds.cc.o.d"
+  "relational_fds"
+  "relational_fds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_fds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_normalizer.dir/schema_normalizer.cc.o"
+  "CMakeFiles/schema_normalizer.dir/schema_normalizer.cc.o.d"
+  "schema_normalizer"
+  "schema_normalizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_normalizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_bounds.dir/support_bounds.cc.o"
+  "CMakeFiles/support_bounds.dir/support_bounds.cc.o.d"
+  "support_bounds"
+  "support_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

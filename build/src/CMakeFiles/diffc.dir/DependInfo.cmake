@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/armstrong.cc" "src/CMakeFiles/diffc.dir/core/armstrong.cc.o" "gcc" "src/CMakeFiles/diffc.dir/core/armstrong.cc.o.d"
+  "/root/repo/src/core/atoms.cc" "src/CMakeFiles/diffc.dir/core/atoms.cc.o" "gcc" "src/CMakeFiles/diffc.dir/core/atoms.cc.o.d"
+  "/root/repo/src/core/closure.cc" "src/CMakeFiles/diffc.dir/core/closure.cc.o" "gcc" "src/CMakeFiles/diffc.dir/core/closure.cc.o.d"
+  "/root/repo/src/core/constraint.cc" "src/CMakeFiles/diffc.dir/core/constraint.cc.o" "gcc" "src/CMakeFiles/diffc.dir/core/constraint.cc.o.d"
+  "/root/repo/src/core/counterexample.cc" "src/CMakeFiles/diffc.dir/core/counterexample.cc.o" "gcc" "src/CMakeFiles/diffc.dir/core/counterexample.cc.o.d"
+  "/root/repo/src/core/differential_semantics.cc" "src/CMakeFiles/diffc.dir/core/differential_semantics.cc.o" "gcc" "src/CMakeFiles/diffc.dir/core/differential_semantics.cc.o.d"
+  "/root/repo/src/core/implication.cc" "src/CMakeFiles/diffc.dir/core/implication.cc.o" "gcc" "src/CMakeFiles/diffc.dir/core/implication.cc.o.d"
+  "/root/repo/src/core/inference.cc" "src/CMakeFiles/diffc.dir/core/inference.cc.o" "gcc" "src/CMakeFiles/diffc.dir/core/inference.cc.o.d"
+  "/root/repo/src/core/parser.cc" "src/CMakeFiles/diffc.dir/core/parser.cc.o" "gcc" "src/CMakeFiles/diffc.dir/core/parser.cc.o.d"
+  "/root/repo/src/ds/belief.cc" "src/CMakeFiles/diffc.dir/ds/belief.cc.o" "gcc" "src/CMakeFiles/diffc.dir/ds/belief.cc.o.d"
+  "/root/repo/src/fis/apriori.cc" "src/CMakeFiles/diffc.dir/fis/apriori.cc.o" "gcc" "src/CMakeFiles/diffc.dir/fis/apriori.cc.o.d"
+  "/root/repo/src/fis/association.cc" "src/CMakeFiles/diffc.dir/fis/association.cc.o" "gcc" "src/CMakeFiles/diffc.dir/fis/association.cc.o.d"
+  "/root/repo/src/fis/basket.cc" "src/CMakeFiles/diffc.dir/fis/basket.cc.o" "gcc" "src/CMakeFiles/diffc.dir/fis/basket.cc.o.d"
+  "/root/repo/src/fis/closed.cc" "src/CMakeFiles/diffc.dir/fis/closed.cc.o" "gcc" "src/CMakeFiles/diffc.dir/fis/closed.cc.o.d"
+  "/root/repo/src/fis/concise.cc" "src/CMakeFiles/diffc.dir/fis/concise.cc.o" "gcc" "src/CMakeFiles/diffc.dir/fis/concise.cc.o.d"
+  "/root/repo/src/fis/disjunctive.cc" "src/CMakeFiles/diffc.dir/fis/disjunctive.cc.o" "gcc" "src/CMakeFiles/diffc.dir/fis/disjunctive.cc.o.d"
+  "/root/repo/src/fis/frequency.cc" "src/CMakeFiles/diffc.dir/fis/frequency.cc.o" "gcc" "src/CMakeFiles/diffc.dir/fis/frequency.cc.o.d"
+  "/root/repo/src/fis/generator.cc" "src/CMakeFiles/diffc.dir/fis/generator.cc.o" "gcc" "src/CMakeFiles/diffc.dir/fis/generator.cc.o.d"
+  "/root/repo/src/fis/induce.cc" "src/CMakeFiles/diffc.dir/fis/induce.cc.o" "gcc" "src/CMakeFiles/diffc.dir/fis/induce.cc.o.d"
+  "/root/repo/src/fis/io.cc" "src/CMakeFiles/diffc.dir/fis/io.cc.o" "gcc" "src/CMakeFiles/diffc.dir/fis/io.cc.o.d"
+  "/root/repo/src/fis/ndi.cc" "src/CMakeFiles/diffc.dir/fis/ndi.cc.o" "gcc" "src/CMakeFiles/diffc.dir/fis/ndi.cc.o.d"
+  "/root/repo/src/fis/support.cc" "src/CMakeFiles/diffc.dir/fis/support.cc.o" "gcc" "src/CMakeFiles/diffc.dir/fis/support.cc.o.d"
+  "/root/repo/src/lattice/decomposition.cc" "src/CMakeFiles/diffc.dir/lattice/decomposition.cc.o" "gcc" "src/CMakeFiles/diffc.dir/lattice/decomposition.cc.o.d"
+  "/root/repo/src/lattice/hitting_set.cc" "src/CMakeFiles/diffc.dir/lattice/hitting_set.cc.o" "gcc" "src/CMakeFiles/diffc.dir/lattice/hitting_set.cc.o.d"
+  "/root/repo/src/lattice/interval.cc" "src/CMakeFiles/diffc.dir/lattice/interval.cc.o" "gcc" "src/CMakeFiles/diffc.dir/lattice/interval.cc.o.d"
+  "/root/repo/src/lattice/itemset.cc" "src/CMakeFiles/diffc.dir/lattice/itemset.cc.o" "gcc" "src/CMakeFiles/diffc.dir/lattice/itemset.cc.o.d"
+  "/root/repo/src/lattice/set_family.cc" "src/CMakeFiles/diffc.dir/lattice/set_family.cc.o" "gcc" "src/CMakeFiles/diffc.dir/lattice/set_family.cc.o.d"
+  "/root/repo/src/lattice/universe.cc" "src/CMakeFiles/diffc.dir/lattice/universe.cc.o" "gcc" "src/CMakeFiles/diffc.dir/lattice/universe.cc.o.d"
+  "/root/repo/src/math/gauss.cc" "src/CMakeFiles/diffc.dir/math/gauss.cc.o" "gcc" "src/CMakeFiles/diffc.dir/math/gauss.cc.o.d"
+  "/root/repo/src/math/simplex.cc" "src/CMakeFiles/diffc.dir/math/simplex.cc.o" "gcc" "src/CMakeFiles/diffc.dir/math/simplex.cc.o.d"
+  "/root/repo/src/prop/cdcl.cc" "src/CMakeFiles/diffc.dir/prop/cdcl.cc.o" "gcc" "src/CMakeFiles/diffc.dir/prop/cdcl.cc.o.d"
+  "/root/repo/src/prop/cnf.cc" "src/CMakeFiles/diffc.dir/prop/cnf.cc.o" "gcc" "src/CMakeFiles/diffc.dir/prop/cnf.cc.o.d"
+  "/root/repo/src/prop/dpll.cc" "src/CMakeFiles/diffc.dir/prop/dpll.cc.o" "gcc" "src/CMakeFiles/diffc.dir/prop/dpll.cc.o.d"
+  "/root/repo/src/prop/formula.cc" "src/CMakeFiles/diffc.dir/prop/formula.cc.o" "gcc" "src/CMakeFiles/diffc.dir/prop/formula.cc.o.d"
+  "/root/repo/src/prop/implication_constraint.cc" "src/CMakeFiles/diffc.dir/prop/implication_constraint.cc.o" "gcc" "src/CMakeFiles/diffc.dir/prop/implication_constraint.cc.o.d"
+  "/root/repo/src/prop/minterm.cc" "src/CMakeFiles/diffc.dir/prop/minterm.cc.o" "gcc" "src/CMakeFiles/diffc.dir/prop/minterm.cc.o.d"
+  "/root/repo/src/prop/tautology.cc" "src/CMakeFiles/diffc.dir/prop/tautology.cc.o" "gcc" "src/CMakeFiles/diffc.dir/prop/tautology.cc.o.d"
+  "/root/repo/src/relational/boolean_dependency.cc" "src/CMakeFiles/diffc.dir/relational/boolean_dependency.cc.o" "gcc" "src/CMakeFiles/diffc.dir/relational/boolean_dependency.cc.o.d"
+  "/root/repo/src/relational/distribution.cc" "src/CMakeFiles/diffc.dir/relational/distribution.cc.o" "gcc" "src/CMakeFiles/diffc.dir/relational/distribution.cc.o.d"
+  "/root/repo/src/relational/dmvd.cc" "src/CMakeFiles/diffc.dir/relational/dmvd.cc.o" "gcc" "src/CMakeFiles/diffc.dir/relational/dmvd.cc.o.d"
+  "/root/repo/src/relational/entropy.cc" "src/CMakeFiles/diffc.dir/relational/entropy.cc.o" "gcc" "src/CMakeFiles/diffc.dir/relational/entropy.cc.o.d"
+  "/root/repo/src/relational/fd.cc" "src/CMakeFiles/diffc.dir/relational/fd.cc.o" "gcc" "src/CMakeFiles/diffc.dir/relational/fd.cc.o.d"
+  "/root/repo/src/relational/normalization.cc" "src/CMakeFiles/diffc.dir/relational/normalization.cc.o" "gcc" "src/CMakeFiles/diffc.dir/relational/normalization.cc.o.d"
+  "/root/repo/src/relational/positive_bool.cc" "src/CMakeFiles/diffc.dir/relational/positive_bool.cc.o" "gcc" "src/CMakeFiles/diffc.dir/relational/positive_bool.cc.o.d"
+  "/root/repo/src/relational/relation.cc" "src/CMakeFiles/diffc.dir/relational/relation.cc.o" "gcc" "src/CMakeFiles/diffc.dir/relational/relation.cc.o.d"
+  "/root/repo/src/relational/simpson.cc" "src/CMakeFiles/diffc.dir/relational/simpson.cc.o" "gcc" "src/CMakeFiles/diffc.dir/relational/simpson.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/diffc.dir/util/random.cc.o" "gcc" "src/CMakeFiles/diffc.dir/util/random.cc.o.d"
+  "/root/repo/src/util/rational.cc" "src/CMakeFiles/diffc.dir/util/rational.cc.o" "gcc" "src/CMakeFiles/diffc.dir/util/rational.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/diffc.dir/util/status.cc.o" "gcc" "src/CMakeFiles/diffc.dir/util/status.cc.o.d"
+  "/root/repo/src/util/text.cc" "src/CMakeFiles/diffc.dir/util/text.cc.o" "gcc" "src/CMakeFiles/diffc.dir/util/text.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

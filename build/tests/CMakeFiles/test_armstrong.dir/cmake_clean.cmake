@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_armstrong.dir/test_armstrong.cc.o"
+  "CMakeFiles/test_armstrong.dir/test_armstrong.cc.o.d"
+  "test_armstrong"
+  "test_armstrong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_armstrong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_association_io.dir/test_association_io.cc.o"
+  "CMakeFiles/test_association_io.dir/test_association_io.cc.o.d"
+  "test_association_io"
+  "test_association_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_association_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cdcl.dir/test_cdcl.cc.o"
+  "CMakeFiles/test_cdcl.dir/test_cdcl.cc.o.d"
+  "test_cdcl"
+  "test_cdcl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cdcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

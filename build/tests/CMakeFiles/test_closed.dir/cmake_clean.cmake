@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_closed.dir/test_closed.cc.o"
+  "CMakeFiles/test_closed.dir/test_closed.cc.o.d"
+  "test_closed"
+  "test_closed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_closed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

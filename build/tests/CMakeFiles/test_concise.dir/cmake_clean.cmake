@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_concise.dir/test_concise.cc.o"
+  "CMakeFiles/test_concise.dir/test_concise.cc.o.d"
+  "test_concise"
+  "test_concise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_concise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

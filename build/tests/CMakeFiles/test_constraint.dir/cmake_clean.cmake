@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_constraint.dir/test_constraint.cc.o"
+  "CMakeFiles/test_constraint.dir/test_constraint.cc.o.d"
+  "test_constraint"
+  "test_constraint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_constraint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

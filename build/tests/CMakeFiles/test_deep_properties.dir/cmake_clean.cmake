@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deep_properties.dir/test_deep_properties.cc.o"
+  "CMakeFiles/test_deep_properties.dir/test_deep_properties.cc.o.d"
+  "test_deep_properties"
+  "test_deep_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deep_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

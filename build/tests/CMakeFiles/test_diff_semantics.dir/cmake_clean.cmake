@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_diff_semantics.dir/test_diff_semantics.cc.o"
+  "CMakeFiles/test_diff_semantics.dir/test_diff_semantics.cc.o.d"
+  "test_diff_semantics"
+  "test_diff_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_diff_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fis.dir/test_fis.cc.o"
+  "CMakeFiles/test_fis.dir/test_fis.cc.o.d"
+  "test_fis"
+  "test_fis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

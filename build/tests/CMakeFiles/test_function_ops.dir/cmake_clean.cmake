@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_function_ops.dir/test_function_ops.cc.o"
+  "CMakeFiles/test_function_ops.dir/test_function_ops.cc.o.d"
+  "test_function_ops"
+  "test_function_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_function_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_guards.dir/test_guards.cc.o"
+  "CMakeFiles/test_guards.dir/test_guards.cc.o.d"
+  "test_guards"
+  "test_guards.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_guards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

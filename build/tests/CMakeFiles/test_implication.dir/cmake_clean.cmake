@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_implication.dir/test_implication.cc.o"
+  "CMakeFiles/test_implication.dir/test_implication.cc.o.d"
+  "test_implication"
+  "test_implication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_implication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_induce_dmvd.dir/test_induce_dmvd.cc.o"
+  "CMakeFiles/test_induce_dmvd.dir/test_induce_dmvd.cc.o.d"
+  "test_induce_dmvd"
+  "test_induce_dmvd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_induce_dmvd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lattice.dir/test_lattice.cc.o"
+  "CMakeFiles/test_lattice.dir/test_lattice.cc.o.d"
+  "test_lattice"
+  "test_lattice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lattice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mobius.dir/test_mobius.cc.o"
+  "CMakeFiles/test_mobius.dir/test_mobius.cc.o.d"
+  "test_mobius"
+  "test_mobius.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mobius.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

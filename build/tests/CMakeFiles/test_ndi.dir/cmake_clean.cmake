@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ndi.dir/test_ndi.cc.o"
+  "CMakeFiles/test_ndi.dir/test_ndi.cc.o.d"
+  "test_ndi"
+  "test_ndi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ndi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

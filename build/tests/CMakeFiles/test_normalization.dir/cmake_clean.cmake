@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_normalization.dir/test_normalization.cc.o"
+  "CMakeFiles/test_normalization.dir/test_normalization.cc.o.d"
+  "test_normalization"
+  "test_normalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_normalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_positive_bool.dir/test_positive_bool.cc.o"
+  "CMakeFiles/test_positive_bool.dir/test_positive_bool.cc.o.d"
+  "test_positive_bool"
+  "test_positive_bool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_positive_bool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

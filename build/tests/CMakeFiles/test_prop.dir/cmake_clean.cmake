@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prop.dir/test_prop.cc.o"
+  "CMakeFiles/test_prop.dir/test_prop.cc.o.d"
+  "test_prop"
+  "test_prop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

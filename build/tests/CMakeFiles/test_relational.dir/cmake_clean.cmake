@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_relational.dir/test_relational.cc.o"
+  "CMakeFiles/test_relational.dir/test_relational.cc.o.d"
+  "test_relational"
+  "test_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
