@@ -5,13 +5,21 @@
 // the crossover; the benchmarks measure both deciders across universe size
 // and constraint-set size.
 
+// Experiment E2 — batched implication engine vs the sequential front door:
+// a 1000-query batch re-validating derived constraints (repeated right-hand
+// families, shared premises) through `ImplicationEngine`, which amortizes
+// witness-set enumeration and premise translation across the batch.
+
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
 #include <functional>
+#include <vector>
 
 #include "core/implication.h"
+#include "engine/caches.h"
+#include "engine/implication_engine.h"
 #include "util/random.h"
 
 namespace diffc {
@@ -92,6 +100,69 @@ void PrintScalingTable() {
   std::printf("\n");
 }
 
+// The E2 workload: a service re-validating derived constraints. Most goals
+// are augmented premises (right-hand family repeated from a premise, widened
+// left-hand side); the rest are fresh random queries that need SAT.
+void MakeBatchWorkload(int n, int num_queries, ConstraintSet* premises,
+                       std::vector<DifferentialConstraint>* goals) {
+  Rng rng(12345);
+  *premises = RandomSet(rng, n, 8);
+  goals->clear();
+  goals->reserve(num_queries);
+  for (int i = 0; i < num_queries; ++i) {
+    if (i % 10 != 9) {
+      const DifferentialConstraint& p = (*premises)[i % premises->size()];
+      goals->push_back(DifferentialConstraint(
+          p.lhs().Union(ItemSet(rng.RandomMask(n, 2.0 / n))), p.rhs()));
+    } else {
+      goals->push_back(RandomConstraint(rng, n, 2));
+    }
+  }
+}
+
+void PrintBatchEngineTable() {
+  std::printf(
+      "=== E2: batched engine vs sequential front door (n=32, |C|=8, 1000 queries) ===\n");
+  const int n = 32;
+  ConstraintSet premises;
+  std::vector<DifferentialConstraint> goals;
+  MakeBatchWorkload(n, 1000, &premises, &goals);
+
+  std::vector<bool> sequential_verdicts;
+  double seq_ms = MeasureMs(
+      [&] {
+        sequential_verdicts.clear();
+        for (const DifferentialConstraint& g : goals) {
+          Result<ImplicationOutcome> r = CheckImplication(n, premises, g);
+          sequential_verdicts.push_back(r.ok() && r->implied);
+        }
+      },
+      1);
+
+  GlobalWitnessSetCache().Clear();
+  GlobalPremiseTranslationCache().Clear();
+  EngineOptions opts;
+  opts.num_threads = 4;
+  ImplicationEngine engine(opts);
+  Result<BatchOutcome> batch = Status::InvalidArgument("not yet run");
+  double engine_ms = MeasureMs([&] { batch = engine.CheckBatch(n, premises, goals); }, 1);
+
+  bool all_agree = batch.ok();
+  if (batch.ok()) {
+    for (std::size_t i = 0; i < goals.size(); ++i) {
+      const EngineQueryResult& r = batch->results[i];
+      if (!r.status.ok() || r.outcome.implied != sequential_verdicts[i]) all_agree = false;
+    }
+  }
+
+  std::printf("%22s %12s %10s %10s\n", "", "batch(ms)", "speedup", "agree");
+  std::printf("%22s %12.3f %10s %10s\n", "sequential loop", seq_ms, "1.00x", "-");
+  std::printf("%22s %12.3f %9.2fx %10s\n", "engine (4 workers)", engine_ms,
+              engine_ms > 0 ? seq_ms / engine_ms : 0.0, all_agree ? "yes" : "NO");
+  if (batch.ok()) std::printf("engine stats: %s\n", batch->stats.ToString().c_str());
+  std::printf("\n");
+}
+
 void BM_Exhaustive(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   Rng rng(n);
@@ -126,11 +197,42 @@ void BM_SatVsConstraintCount(benchmark::State& state) {
 }
 BENCHMARK(BM_SatVsConstraintCount)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
 
+void BM_SequentialBatch(benchmark::State& state) {
+  const int n = 32;
+  ConstraintSet premises;
+  std::vector<DifferentialConstraint> goals;
+  MakeBatchWorkload(n, static_cast<int>(state.range(0)), &premises, &goals);
+  for (auto _ : state) {
+    for (const DifferentialConstraint& g : goals) {
+      benchmark::DoNotOptimize(CheckImplication(n, premises, g)->implied);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * goals.size());
+}
+BENCHMARK(BM_SequentialBatch)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_EngineBatch(benchmark::State& state) {
+  const int n = 32;
+  ConstraintSet premises;
+  std::vector<DifferentialConstraint> goals;
+  MakeBatchWorkload(n, 1000, &premises, &goals);
+  EngineOptions opts;
+  opts.num_threads = static_cast<int>(state.range(0));
+  ImplicationEngine engine(opts);
+  for (auto _ : state) {
+    Result<BatchOutcome> out = engine.CheckBatch(n, premises, goals);
+    benchmark::DoNotOptimize(out.ok() && out->stats.implied > 0);
+  }
+  state.SetItemsProcessed(state.iterations() * goals.size());
+}
+BENCHMARK(BM_EngineBatch)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace diffc
 
 int main(int argc, char** argv) {
   diffc::PrintScalingTable();
+  diffc::PrintBatchEngineTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

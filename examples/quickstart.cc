@@ -23,11 +23,19 @@ int main() {
   // (Definition 2.6 / Example 2.7).
   std::printf("witness sets:    ");
   Result<std::vector<ItemSet>> witnesses = AllWitnessSets(c.rhs());
+  if (!witnesses.ok()) {
+    std::printf("error: %s\n", witnesses.status().ToString().c_str());
+    return 1;
+  }
   for (const ItemSet& w : *witnesses) {
     std::printf("%s ", w.ToString(u).c_str());
   }
   std::printf("\nL(A, {BC,CD}):   ");
   Result<std::vector<ItemSet>> lattice = EnumerateDecomposition(n, c.lhs(), c.rhs());
+  if (!lattice.ok()) {
+    std::printf("error: %s\n", lattice.status().ToString().c_str());
+    return 1;
+  }
   for (const ItemSet& x : *lattice) {
     std::printf("%s ", x.ToString(u).c_str());
   }

@@ -38,6 +38,11 @@ Result<DifferentialImplicationOutcome> CheckImplicationDifferentialSemantics(
       NullSpaceWitness(premise_rows, *goal_functional);
   out.implied = !witness.has_value();
   if (witness.has_value()) {
+    for (const Rational& v : *witness) {
+      if (v.Overflowed()) {
+        return Status::OutOfRange("rational overflow in differential-semantics witness");
+      }
+    }
     Result<SetFunction<Rational>> f = SetFunction<Rational>::Make(n);
     if (!f.ok()) return f.status();
     for (Mask m = 0; m < f->size(); ++m) f->at(m) = (*witness)[m];

@@ -5,17 +5,12 @@
 
 namespace diffc {
 
-namespace {
-
-// True iff `u` lies in the closure lattice L(C) = ∪ L(X_i, Y_i).
-bool InPremiseLattice(const ConstraintSet& premises, const ItemSet& u) {
+bool InConstraintLattice(const ConstraintSet& premises, const ItemSet& u) {
   for (const DifferentialConstraint& p : premises) {
     if (p.lhs().IsSubsetOf(u) && !p.rhs().SomeMemberSubsetOf(u)) return true;
   }
   return false;
 }
-
-}  // namespace
 
 Result<ImplicationOutcome> CheckImplicationExhaustive(int n, const ConstraintSet& premises,
                                                       const DifferentialConstraint& goal,
@@ -30,7 +25,7 @@ Result<ImplicationOutcome> CheckImplicationExhaustive(int n, const ConstraintSet
   ForEachSuperset(goal.lhs().bits(), FullMask(n), [&](Mask m) {
     if (!out.implied) return;
     ItemSet u(m);
-    if (!goal.rhs().SomeMemberSubsetOf(u) && !InPremiseLattice(premises, u)) {
+    if (!goal.rhs().SomeMemberSubsetOf(u) && !InConstraintLattice(premises, u)) {
       out.implied = false;
       out.counterexample = u;
     }
@@ -38,11 +33,37 @@ Result<ImplicationOutcome> CheckImplicationExhaustive(int n, const ConstraintSet
   return out;
 }
 
+PremiseTranslation TranslatePremises(int n, const ConstraintSet& premises) {
+  PremiseTranslation out;
+  out.num_vars = n;
+  // Each premise must not witness U: X' ⊄ U, or some member of Y' ⊆ U.
+  // aux_j asserts "member j is contained in U" (one-sided definition
+  // suffices: aux_j occurs positively only in the premise clause).
+  for (const DifferentialConstraint& p : premises) {
+    prop::Clause clause;
+    ForEachBit(p.lhs().bits(), [&](int a) { clause.push_back(-(a + 1)); });
+    for (const ItemSet& member : p.rhs().members()) {
+      int aux = out.num_vars++;
+      ForEachBit(member.bits(),
+                 [&](int y) { out.clauses.push_back({-(aux + 1), y + 1}); });
+      clause.push_back(aux + 1);
+    }
+    out.clauses.push_back(std::move(clause));
+  }
+  return out;
+}
+
 Result<ImplicationOutcome> CheckImplicationSat(int n, const ConstraintSet& premises,
                                                const DifferentialConstraint& goal,
                                                prop::SolverStats* stats) {
+  return CheckImplicationSatTranslated(n, TranslatePremises(n, premises), goal, stats);
+}
+
+Result<ImplicationOutcome> CheckImplicationSatTranslated(
+    int n, const PremiseTranslation& translation, const DifferentialConstraint& goal,
+    prop::SolverStats* stats, std::uint64_t max_decisions) {
   prop::Cnf cnf;
-  cnf.num_vars = n;
+  cnf.num_vars = translation.num_vars;
 
   // U must contain the goal's left-hand side...
   ForEachBit(goal.lhs().bits(), [&](int a) { cnf.AddClause({a + 1}); });
@@ -53,21 +74,11 @@ Result<ImplicationOutcome> CheckImplicationSat(int n, const ConstraintSet& premi
     ForEachBit(member.bits(), [&](int y) { clause.push_back(-(y + 1)); });
     cnf.AddClause(std::move(clause));
   }
-  // Each premise must not witness U: X' ⊄ U, or some member of Y' ⊆ U.
-  // aux_j asserts "member j is contained in U" (one-sided definition
-  // suffices: aux_j occurs positively only in the premise clause).
-  for (const DifferentialConstraint& p : premises) {
-    prop::Clause clause;
-    ForEachBit(p.lhs().bits(), [&](int a) { clause.push_back(-(a + 1)); });
-    for (const ItemSet& member : p.rhs().members()) {
-      int aux = cnf.NewVar();
-      ForEachBit(member.bits(), [&](int y) { cnf.AddClause({-(aux + 1), y + 1}); });
-      clause.push_back(aux + 1);
-    }
-    cnf.AddClause(std::move(clause));
-  }
+  // The (shared) premise clauses of Proposition 5.4.
+  cnf.clauses.insert(cnf.clauses.end(), translation.clauses.begin(),
+                     translation.clauses.end());
 
-  prop::DpllSolver solver;
+  prop::DpllSolver solver(max_decisions);
   Result<prop::SatResult> sat = solver.Solve(cnf);
   if (stats != nullptr) *stats = solver.stats();
   if (!sat.ok()) return sat.status();

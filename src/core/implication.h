@@ -20,12 +20,39 @@ struct ImplicationOutcome {
   std::optional<ItemSet> counterexample;
 };
 
+/// True iff `u` lies in the closure lattice `L(C) = ∪ L(X_i, Y_i)` of
+/// `premises` — i.e. `u` is excluded as a counterexample by some premise.
+/// O(|C|) set operations; the building block of the engine's interval-cover
+/// fast path.
+bool InConstraintLattice(const ConstraintSet& premises, const ItemSet& u);
+
 /// Decides `premises |= goal` by the syntactic criterion of Theorem 3.5,
 /// `L(C) ⊇ L(X, Y)`, checked by exhaustive enumeration of `L(X, Y)`.
 /// Exact but exponential; requires `n - |X| <= max_free_bits`.
 Result<ImplicationOutcome> CheckImplicationExhaustive(int n, const ConstraintSet& premises,
                                                       const DifferentialConstraint& goal,
                                                       int max_free_bits = 24);
+
+/// The premise side of the Proposition 5.4 CNF, reusable across goals.
+///
+/// Variables 1..n are the attribute variables `u_a`; variables n+1..num_vars
+/// are the auxiliary member variables. Goal clauses mention only attribute
+/// variables, so the (dominant) premise clauses can be built once per
+/// `ConstraintSet` and shared by every query against it — the implication
+/// engine caches exactly this object.
+struct PremiseTranslation {
+  /// Total variable count: `n` attribute variables plus one auxiliary per
+  /// premise right-hand member.
+  int num_vars = 0;
+  /// The premise clauses (auxiliary definitions interleaved with each
+  /// premise's main clause, in premise order).
+  std::vector<prop::Clause> clauses;
+};
+
+/// Builds the premise clauses of Proposition 5.4 over `n` attributes:
+///
+///   ∧_{X'->Y' ∈ C} ( (∨_{a∈X'} ¬u_a) ∨ ∨_j aux_j ),  aux_j → ∧_{y∈Y'_j} u_y
+PremiseTranslation TranslatePremises(int n, const ConstraintSet& premises);
 
 /// Decides `premises |= goal` through the propositional translation
 /// (Proposition 5.4) refuted with DPLL: a counterexample `U` exists iff the
@@ -40,6 +67,15 @@ Result<ImplicationOutcome> CheckImplicationExhaustive(int n, const ConstraintSet
 Result<ImplicationOutcome> CheckImplicationSat(int n, const ConstraintSet& premises,
                                                const DifferentialConstraint& goal,
                                                prop::SolverStats* stats = nullptr);
+
+/// `CheckImplicationSat` with a prebuilt (typically cached) premise
+/// translation. `translation` must have been produced by
+/// `TranslatePremises(n, premises)` for the same `n`; the result is
+/// identical to `CheckImplicationSat(n, premises, goal, stats)`.
+/// `max_decisions` bounds the DPLL search (ResourceExhausted beyond it).
+Result<ImplicationOutcome> CheckImplicationSatTranslated(
+    int n, const PremiseTranslation& translation, const DifferentialConstraint& goal,
+    prop::SolverStats* stats = nullptr, std::uint64_t max_decisions = 50'000'000);
 
 /// True iff every premise and the goal have a single right-hand member —
 /// the subclass the paper's conclusion identifies with functional

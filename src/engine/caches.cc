@@ -1,0 +1,113 @@
+#include "engine/caches.h"
+
+#include <utility>
+
+namespace diffc {
+
+std::shared_ptr<const WitnessSetCache::Entry> WitnessSetCache::Get(const SetFamily& family,
+                                                                   std::size_t max_results,
+                                                                   bool* hit) {
+  Key key{family, max_results};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      ++counters_.hits;
+      if (hit != nullptr) *hit = true;
+      return it->second;
+    }
+    ++counters_.misses;
+  }
+  if (hit != nullptr) *hit = false;
+
+  // Compute outside the lock: the transversal search can be expensive and
+  // must not serialize unrelated queries.
+  auto entry = std::make_shared<Entry>();
+  Result<std::vector<ItemSet>> r = MinimalWitnessSets(family, max_results, &entry->search);
+  entry->status = r.status();
+  if (r.ok()) entry->witnesses = *std::move(r);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = map_.emplace(key, entry);
+  if (!inserted) return it->second;  // A concurrent miss beat us; reuse it.
+  order_.push_back(std::move(key));
+  while (map_.size() > capacity_ && !order_.empty()) {
+    map_.erase(order_.front());
+    order_.pop_front();
+    ++counters_.evictions;
+  }
+  return entry;
+}
+
+void WitnessSetCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  order_.clear();
+}
+
+CacheCounters WitnessSetCache::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+std::size_t PremiseTranslationCache::KeyHash::operator()(const Key& k) const {
+  std::uint64_t h = 0x9e3779b97f4a7c15ull + static_cast<std::uint64_t>(k.n);
+  for (const DifferentialConstraint& c : k.premises) {
+    h ^= c.lhs().bits() + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    h ^= static_cast<std::uint64_t>(c.rhs().Hash()) + 0x9e3779b97f4a7c15ull + (h << 6) +
+         (h >> 2);
+  }
+  return static_cast<std::size_t>(h);
+}
+
+std::shared_ptr<const PremiseTranslation> PremiseTranslationCache::Get(
+    int n, const ConstraintSet& premises, bool* hit) {
+  Key key{n, premises};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      ++counters_.hits;
+      if (hit != nullptr) *hit = true;
+      return it->second;
+    }
+    ++counters_.misses;
+  }
+  if (hit != nullptr) *hit = false;
+
+  auto translation = std::make_shared<PremiseTranslation>(TranslatePremises(n, premises));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = map_.emplace(std::move(key), translation);
+  if (!inserted) return it->second;
+  order_.push_back(it->first);
+  while (map_.size() > capacity_ && !order_.empty()) {
+    map_.erase(order_.front());
+    order_.pop_front();
+    ++counters_.evictions;
+  }
+  return translation;
+}
+
+void PremiseTranslationCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  order_.clear();
+}
+
+CacheCounters PremiseTranslationCache::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+WitnessSetCache& GlobalWitnessSetCache() {
+  static WitnessSetCache* cache = new WitnessSetCache();
+  return *cache;
+}
+
+PremiseTranslationCache& GlobalPremiseTranslationCache() {
+  static PremiseTranslationCache* cache = new PremiseTranslationCache();
+  return *cache;
+}
+
+}  // namespace diffc

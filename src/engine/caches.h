@@ -1,0 +1,134 @@
+#ifndef DIFFC_ENGINE_CACHES_H_
+#define DIFFC_ENGINE_CACHES_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/constraint.h"
+#include "core/implication.h"
+#include "lattice/hitting_set.h"
+#include "lattice/set_family.h"
+#include "util/status.h"
+
+namespace diffc {
+
+/// Aggregate counters of a shared cache.
+struct CacheCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+};
+
+/// A process-wide cache of minimal witness sets keyed on the right-hand
+/// family — the dominant cost of the lattice side of implication checking
+/// (`lattice/hitting_set.cc`). Batches that repeat right-hand families
+/// (re-validating derived constraints, mining loops) hit the cache and skip
+/// the transversal search entirely.
+///
+/// Entries record the enumeration `Status` as well: a family whose
+/// enumeration exhausted its budget is cached negatively, so hostile
+/// or degenerate families are not re-searched on every query.
+///
+/// Thread-safe. The enumeration itself runs outside the lock, so
+/// concurrent misses on the same key may duplicate work (both results are
+/// equal; the first insert wins).
+class WitnessSetCache {
+ public:
+  /// The cached outcome of `MinimalWitnessSets(family, max_results)`.
+  struct Entry {
+    /// OK, or the enumeration error (ResourceExhausted on truncation).
+    Status status;
+    /// The minimal witness sets; meaningful only when `status.ok()`.
+    std::vector<ItemSet> witnesses;
+    /// Work counters of the (single) enumeration that populated the entry.
+    WitnessSearchStats search;
+  };
+
+  /// A cache holding at most `capacity` entries (FIFO eviction).
+  explicit WitnessSetCache(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  /// The minimal witness sets of `family` under `max_results`, computed on
+  /// miss. `hit`, when non-null, receives whether the entry was cached.
+  std::shared_ptr<const Entry> Get(const SetFamily& family, std::size_t max_results,
+                                   bool* hit = nullptr);
+
+  /// Drops every entry (counters are kept).
+  void Clear();
+
+  /// Lifetime hit/miss/eviction counters.
+  CacheCounters counters() const;
+
+ private:
+  struct Key {
+    SetFamily family;
+    std::size_t max_results;
+    bool operator==(const Key& o) const {
+      return max_results == o.max_results && family == o.family;
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return k.family.Hash() * 31 + k.max_results;
+    }
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::unordered_map<Key, std::shared_ptr<const Entry>, KeyHash> map_;
+  std::deque<Key> order_;  // Insertion order, for FIFO eviction.
+  CacheCounters counters_;
+};
+
+/// A process-wide cache of premise-side CNF translations (Proposition 5.4),
+/// keyed on (universe size, constraint set). The per-premise clauses are
+/// built once per `ConstraintSet` and shared read-only by every SAT query
+/// against it, instead of being rebuilt per query.
+///
+/// Thread-safe, with the same duplicate-miss policy as `WitnessSetCache`.
+class PremiseTranslationCache {
+ public:
+  /// A cache holding at most `capacity` entries (FIFO eviction).
+  explicit PremiseTranslationCache(std::size_t capacity = 256) : capacity_(capacity) {}
+
+  /// The translation of `premises` over `n` attributes, built on miss.
+  /// `hit`, when non-null, receives whether the entry was cached.
+  std::shared_ptr<const PremiseTranslation> Get(int n, const ConstraintSet& premises,
+                                                bool* hit = nullptr);
+
+  /// Drops every entry (counters are kept).
+  void Clear();
+
+  /// Lifetime hit/miss/eviction counters.
+  CacheCounters counters() const;
+
+ private:
+  struct Key {
+    int n;
+    ConstraintSet premises;
+    bool operator==(const Key& o) const { return n == o.n && premises == o.premises; }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::unordered_map<Key, std::shared_ptr<const PremiseTranslation>, KeyHash> map_;
+  std::deque<Key> order_;
+  CacheCounters counters_;
+};
+
+/// The process-wide witness-set cache shared by every engine instance.
+WitnessSetCache& GlobalWitnessSetCache();
+
+/// The process-wide premise-translation cache shared by every engine
+/// instance.
+PremiseTranslationCache& GlobalPremiseTranslationCache();
+
+}  // namespace diffc
+
+#endif  // DIFFC_ENGINE_CACHES_H_

@@ -1,0 +1,254 @@
+#include "engine/implication_engine.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+namespace diffc {
+
+namespace {
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+}  // namespace
+
+const char* DecisionProcedureName(DecisionProcedure p) {
+  switch (p) {
+    case DecisionProcedure::kNone:
+      return "none";
+    case DecisionProcedure::kTrivial:
+      return "trivial";
+    case DecisionProcedure::kFdSubclass:
+      return "fd-subclass";
+    case DecisionProcedure::kIntervalCover:
+      return "interval-cover";
+    case DecisionProcedure::kSat:
+      return "sat";
+    case DecisionProcedure::kExhaustive:
+      return "exhaustive";
+  }
+  return "unknown";
+}
+
+std::string BatchStats::ToString() const {
+  std::string s;
+  s += "queries=" + std::to_string(queries);
+  s += " implied=" + std::to_string(implied);
+  s += " not_implied=" + std::to_string(not_implied);
+  s += " failed=" + std::to_string(failed);
+  s += " | trivial=" + std::to_string(by_trivial);
+  s += " fd=" + std::to_string(by_fd);
+  s += " cover=" + std::to_string(by_interval_cover);
+  s += " sat=" + std::to_string(by_sat);
+  s += " exhaustive=" + std::to_string(by_exhaustive);
+  s += " | witness_cache=" + std::to_string(witness_cache_hits) + "h/" +
+       std::to_string(witness_cache_misses) + "m";
+  s += " premise_cache=" + std::to_string(premise_cache_hits) + "h/" +
+       std::to_string(premise_cache_misses) + "m";
+  s += " | decisions=" + std::to_string(solver_decisions);
+  s += " conflicts=" + std::to_string(solver_conflicts);
+  s += " batch_ms=" + std::to_string(batch_wall_ns / 1000000.0);
+  return s;
+}
+
+ImplicationEngine::ImplicationEngine(EngineOptions options)
+    : options_(options), pool_(options.num_threads < 1 ? 1 : options.num_threads) {
+  options_.num_threads = pool_.size();
+}
+
+EngineQueryResult ImplicationEngine::RunQuery(int n, const ConstraintSet& premises,
+                                              const DifferentialConstraint& goal) {
+  EngineQueryResult r;
+  const std::uint64_t start = NowNs();
+
+  // 1. Triviality: L(X, Y) = ∅, every function satisfies the goal.
+  if (goal.IsTrivial()) {
+    r.outcome.implied = true;
+    r.stats.procedure = DecisionProcedure::kTrivial;
+    r.stats.wall_ns = NowNs() - start;
+    return r;
+  }
+
+  // 2. The polynomial FD subclass (singleton right-hand sides).
+  if (FdSubclassApplicable(premises, goal)) {
+    Result<ImplicationOutcome> fd = CheckImplicationFd(n, premises, goal);
+    if (fd.ok()) {
+      r.outcome = *fd;
+      r.stats.procedure = DecisionProcedure::kFdSubclass;
+    } else {
+      r.status = fd.status();
+    }
+    r.stats.wall_ns = NowNs() - start;
+    return r;
+  }
+
+  // 3. Interval-cover fast path over the cached minimal witness sets of the
+  // goal's right-hand family: L(X, Y) = ∪_{W minimal} [X, S∖W]
+  // (Definition 2.6). Sound in both directions when conclusive:
+  //   - an interval top S∖W outside L(C) is itself a counterexample;
+  //   - if every nonempty interval is covered by a single premise's
+  //     lattice, then L(X, Y) ⊆ L(C) and the goal is implied (Thm. 3.5).
+  // Inconclusive covers (an interval needs several premises) go to SAT.
+  if (options_.use_interval_cover_fast_path) {
+    r.stats.witness_cache_used = true;
+    std::shared_ptr<const WitnessSetCache::Entry> entry = GlobalWitnessSetCache().Get(
+        goal.rhs(), options_.witness_max_results, &r.stats.witness_cache_hit);
+    if (entry->status.ok()) {
+      bool every_interval_covered = true;
+      for (const ItemSet& w : entry->witnesses) {
+        if (!goal.lhs().Intersect(w).empty()) continue;  // Empty interval.
+        const ItemSet top = w.ComplementIn(n);
+        // `top` ∈ L(X, Y): X ⊆ top, and no goal member fits inside top
+        // because W hits every member. If no premise excludes it, it is a
+        // counterexample and the goal is not implied.
+        if (!InConstraintLattice(premises, top)) {
+          r.outcome.implied = false;
+          r.outcome.counterexample = top;
+          r.stats.procedure = DecisionProcedure::kIntervalCover;
+          r.stats.wall_ns = NowNs() - start;
+          return r;
+        }
+        // Single-premise coverage of the whole interval [X, top]:
+        // p.lhs ⊆ X keeps p.lhs inside every U ⊇ X, and no member of
+        // p.rhs inside `top` keeps every U ⊆ top clear of p.rhs.
+        bool covered = false;
+        for (const DifferentialConstraint& p : premises) {
+          if (p.lhs().IsSubsetOf(goal.lhs()) && !p.rhs().SomeMemberSubsetOf(top)) {
+            covered = true;
+            break;
+          }
+        }
+        if (!covered) every_interval_covered = false;
+      }
+      if (every_interval_covered) {
+        r.outcome.implied = true;
+        r.stats.procedure = DecisionProcedure::kIntervalCover;
+        r.stats.wall_ns = NowNs() - start;
+        return r;
+      }
+    }
+    // Witness enumeration exhausted its budget, or the cover was
+    // inconclusive: fall through to the complete SAT procedure.
+  }
+
+  // 4. SAT (Proposition 5.4), premise clauses from the shared cache.
+  r.stats.premise_cache_used = true;
+  std::shared_ptr<const PremiseTranslation> translation =
+      GlobalPremiseTranslationCache().Get(n, premises, &r.stats.premise_cache_hit);
+  Result<ImplicationOutcome> sat = CheckImplicationSatTranslated(
+      n, *translation, goal, &r.stats.solver, options_.max_solver_decisions);
+  if (sat.ok()) {
+    r.outcome = *sat;
+    r.stats.procedure = DecisionProcedure::kSat;
+    r.stats.wall_ns = NowNs() - start;
+    return r;
+  }
+
+  // 5. Exhaustive lattice containment as a last resort when the SAT budget
+  // ran out and the free-attribute count admits enumeration.
+  if (sat.status().code() == StatusCode::kResourceExhausted &&
+      n - goal.lhs().size() <= options_.exhaustive_max_free_bits) {
+    Result<ImplicationOutcome> ex =
+        CheckImplicationExhaustive(n, premises, goal, options_.exhaustive_max_free_bits);
+    if (ex.ok()) {
+      r.outcome = *ex;
+      r.stats.procedure = DecisionProcedure::kExhaustive;
+      r.stats.wall_ns = NowNs() - start;
+      return r;
+    }
+  }
+
+  r.status = sat.status();
+  r.stats.wall_ns = NowNs() - start;
+  return r;
+}
+
+EngineQueryResult ImplicationEngine::CheckOne(int n, const ConstraintSet& premises,
+                                              const DifferentialConstraint& goal) {
+  if (n < 0 || n > 64) {
+    EngineQueryResult r;
+    r.status = Status::InvalidArgument("universe size must be in [0, 64]");
+    return r;
+  }
+  return RunQuery(n, premises, goal);
+}
+
+Result<BatchOutcome> ImplicationEngine::CheckBatch(
+    int n, const ConstraintSet& premises, const std::vector<DifferentialConstraint>& goals) {
+  if (n < 0 || n > 64) {
+    return Status::InvalidArgument("universe size must be in [0, 64]");
+  }
+
+  BatchOutcome out;
+  out.results.resize(goals.size());
+  const std::uint64_t batch_start = NowNs();
+
+  if (!goals.empty()) {
+    // Countdown latch: workers fill disjoint slots of the pre-sized result
+    // vector, the submitter blocks until the last query lands.
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    std::size_t remaining = goals.size();
+
+    for (std::size_t i = 0; i < goals.size(); ++i) {
+      pool_.Submit([this, i, n, &premises, &goals, &out, &done_mu, &done_cv, &remaining] {
+        out.results[i] = RunQuery(n, premises, goals[i]);
+        std::lock_guard<std::mutex> lock(done_mu);
+        if (--remaining == 0) done_cv.notify_one();
+      });
+    }
+
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&] { return remaining == 0; });
+  }
+
+  BatchStats& s = out.stats;
+  s.queries = goals.size();
+  for (const EngineQueryResult& r : out.results) {
+    if (!r.status.ok()) {
+      ++s.failed;
+    } else if (r.outcome.implied) {
+      ++s.implied;
+    } else {
+      ++s.not_implied;
+    }
+    switch (r.stats.procedure) {
+      case DecisionProcedure::kNone:
+        break;
+      case DecisionProcedure::kTrivial:
+        ++s.by_trivial;
+        break;
+      case DecisionProcedure::kFdSubclass:
+        ++s.by_fd;
+        break;
+      case DecisionProcedure::kIntervalCover:
+        ++s.by_interval_cover;
+        break;
+      case DecisionProcedure::kSat:
+        ++s.by_sat;
+        break;
+      case DecisionProcedure::kExhaustive:
+        ++s.by_exhaustive;
+        break;
+    }
+    if (r.stats.witness_cache_used) {
+      r.stats.witness_cache_hit ? ++s.witness_cache_hits : ++s.witness_cache_misses;
+    }
+    if (r.stats.premise_cache_used) {
+      r.stats.premise_cache_hit ? ++s.premise_cache_hits : ++s.premise_cache_misses;
+    }
+    s.solver_decisions += r.stats.solver.decisions;
+    s.solver_propagations += r.stats.solver.propagations;
+    s.solver_conflicts += r.stats.solver.conflicts;
+    s.total_query_ns += r.stats.wall_ns;
+  }
+  s.batch_wall_ns = NowNs() - batch_start;
+  return out;
+}
+
+}  // namespace diffc

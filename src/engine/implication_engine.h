@@ -1,0 +1,157 @@
+#ifndef DIFFC_ENGINE_IMPLICATION_ENGINE_H_
+#define DIFFC_ENGINE_IMPLICATION_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/constraint.h"
+#include "core/implication.h"
+#include "engine/caches.h"
+#include "engine/worker_pool.h"
+#include "util/status.h"
+
+namespace diffc {
+
+/// Tuning knobs of the batched implication engine.
+struct EngineOptions {
+  /// Worker threads for `CheckBatch` (clamped to at least 1).
+  int num_threads = 4;
+  /// Enables the interval-cover fast path: answer a query from the cached
+  /// minimal witness sets of its right-hand family when the cover is
+  /// conclusive, skipping the SAT solver entirely. Sound in both verdicts;
+  /// falls through to SAT when inconclusive.
+  bool use_interval_cover_fast_path = true;
+  /// Candidate budget for witness-set enumeration on the fast path.
+  /// Families whose transversal search exceeds it are cached negatively
+  /// and handled by SAT.
+  std::size_t witness_max_results = 4096;
+  /// DPLL decision budget per query (ResourceExhausted beyond it).
+  std::uint64_t max_solver_decisions = 50'000'000;
+  /// Free-attribute bound for the exhaustive fallback used when the SAT
+  /// budget is exhausted.
+  int exhaustive_max_free_bits = 24;
+};
+
+/// Which decision procedure answered a query.
+enum class DecisionProcedure {
+  kNone = 0,        // Query failed before any procedure concluded.
+  kTrivial,         // Goal trivial (Definition 3.1): implied outright.
+  kFdSubclass,      // Polynomial closure check (singleton-RHS subclass).
+  kIntervalCover,   // Witness-set interval cover was conclusive.
+  kSat,             // Proposition 5.4 CNF refuted / satisfied by DPLL.
+  kExhaustive,      // Exhaustive lattice containment (SAT-budget fallback).
+};
+
+/// Stable name of a `DecisionProcedure` ("fd-subclass", "sat", ...).
+const char* DecisionProcedureName(DecisionProcedure p);
+
+/// Per-query execution counters.
+struct QueryStats {
+  DecisionProcedure procedure = DecisionProcedure::kNone;
+  /// Witness-set cache hit/lookup flags (fast-path queries only).
+  bool witness_cache_used = false;
+  bool witness_cache_hit = false;
+  /// Premise-translation cache hit/lookup flags (SAT queries only).
+  bool premise_cache_used = false;
+  bool premise_cache_hit = false;
+  /// DPLL counters (zero off the SAT path).
+  prop::SolverStats solver;
+  /// Wall time of this query, nanoseconds.
+  std::uint64_t wall_ns = 0;
+};
+
+/// One query's answer: a per-query `Status` (the engine never aborts; every
+/// failure is carried here), the outcome when OK, and the counters.
+struct EngineQueryResult {
+  Status status;
+  ImplicationOutcome outcome;
+  QueryStats stats;
+};
+
+/// Aggregate counters of one `CheckBatch` call.
+struct BatchStats {
+  std::size_t queries = 0;
+  std::size_t implied = 0;
+  std::size_t not_implied = 0;
+  std::size_t failed = 0;
+  /// Queries answered per procedure.
+  std::size_t by_trivial = 0;
+  std::size_t by_fd = 0;
+  std::size_t by_interval_cover = 0;
+  std::size_t by_sat = 0;
+  std::size_t by_exhaustive = 0;
+  /// Shared-cache traffic from this batch.
+  std::size_t witness_cache_hits = 0;
+  std::size_t witness_cache_misses = 0;
+  std::size_t premise_cache_hits = 0;
+  std::size_t premise_cache_misses = 0;
+  /// Summed DPLL counters.
+  std::uint64_t solver_decisions = 0;
+  std::uint64_t solver_propagations = 0;
+  std::uint64_t solver_conflicts = 0;
+  /// Summed per-query wall time and end-to-end batch wall time.
+  std::uint64_t total_query_ns = 0;
+  std::uint64_t batch_wall_ns = 0;
+
+  /// One-line human-readable rendering, for benchmark tables and logs.
+  std::string ToString() const;
+};
+
+/// The results of a batch: one entry per goal, index-aligned, plus the
+/// aggregate counters.
+struct BatchOutcome {
+  std::vector<EngineQueryResult> results;
+  BatchStats stats;
+};
+
+/// A batched, multi-threaded front door to the implication checkers.
+///
+/// Each query `premises |= goal` is dispatched to the cheapest applicable
+/// decision procedure — trivial / FD-subclass closure / witness-set
+/// interval cover / SAT (Proposition 5.4) / exhaustive fallback — on a
+/// fixed-size `std::jthread` worker pool. All engines share two
+/// process-wide caches: minimal witness sets keyed on the right-hand
+/// family, and premise CNF translations keyed on the constraint set, so a
+/// service answering many queries against the same `ConstraintSet` pays
+/// the translation and transversal costs once.
+///
+/// Verdicts are identical to `CheckImplication` (every procedure is sound
+/// and the dispatch is deterministic per query); only speed depends on
+/// cache state and thread count. The engine returns `Status` on every
+/// failure path and never aborts the process.
+///
+/// Thread-safe: concurrent `CheckBatch` calls from different threads are
+/// allowed and share the pool.
+class ImplicationEngine {
+ public:
+  explicit ImplicationEngine(EngineOptions options = {});
+
+  ImplicationEngine(const ImplicationEngine&) = delete;
+  ImplicationEngine& operator=(const ImplicationEngine&) = delete;
+
+  /// The options the engine was built with (threads already clamped).
+  const EngineOptions& options() const { return options_; }
+
+  /// Decides `premises |= goals[i]` for every goal, in parallel. Returns
+  /// InvalidArgument for an out-of-range universe size; per-query failures
+  /// land in the corresponding `EngineQueryResult::status`, never abort.
+  Result<BatchOutcome> CheckBatch(int n, const ConstraintSet& premises,
+                                  const std::vector<DifferentialConstraint>& goals);
+
+  /// Single-query convenience: the same dispatch and caches, no pool
+  /// round-trip.
+  EngineQueryResult CheckOne(int n, const ConstraintSet& premises,
+                             const DifferentialConstraint& goal);
+
+ private:
+  EngineQueryResult RunQuery(int n, const ConstraintSet& premises,
+                             const DifferentialConstraint& goal);
+
+  EngineOptions options_;
+  WorkerPool pool_;
+};
+
+}  // namespace diffc
+
+#endif  // DIFFC_ENGINE_IMPLICATION_ENGINE_H_

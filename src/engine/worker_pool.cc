@@ -1,0 +1,43 @@
+#include "engine/worker_pool.h"
+
+#include <utility>
+
+namespace diffc {
+
+WorkerPool::WorkerPool(int num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this](std::stop_token stop) { WorkerLoop(stop); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  for (std::jthread& w : workers_) w.request_stop();
+  cv_.notify_all();
+  // jthread joins on destruction.
+}
+
+void WorkerPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void WorkerPool::WorkerLoop(std::stop_token stop) {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, stop, [this] { return !queue_.empty(); });
+      if (queue_.empty()) return;  // Stop requested and nothing to drain.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace diffc

@@ -1,0 +1,47 @@
+#ifndef DIFFC_ENGINE_WORKER_POOL_H_
+#define DIFFC_ENGINE_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace diffc {
+
+/// A fixed-size pool of `std::jthread` workers draining a shared task
+/// queue — the execution substrate of the batched implication engine.
+///
+/// Tasks are arbitrary `void()` callables and must not throw. Submission is
+/// thread-safe. Destruction requests stop, wakes all workers, and joins
+/// them (jthread); tasks still queued at destruction are discarded, so
+/// callers that need completion must track it themselves (the engine uses a
+/// countdown latch per batch).
+class WorkerPool {
+ public:
+  /// Creates `num_threads` workers (clamped to at least 1).
+  explicit WorkerPool(int num_threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Number of worker threads.
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `task` for execution by some worker.
+  void Submit(std::function<void()> task);
+
+ private:
+  void WorkerLoop(std::stop_token stop);
+
+  std::mutex mu_;
+  std::condition_variable_any cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace diffc
+
+#endif  // DIFFC_ENGINE_WORKER_POOL_H_

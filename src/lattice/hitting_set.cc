@@ -50,10 +50,12 @@ struct TransversalSearch {
   std::unordered_set<Mask> seen;
   std::vector<ItemSet> results;
   std::size_t max_results;
+  WitnessSearchStats stats;
   bool overflow = false;
 
   void Run(ItemSet chosen, size_t idx) {
     if (overflow) return;
+    ++stats.nodes;
     // Find the first member not hit by `chosen`.
     while (idx < members->size() && !(*members)[idx].Intersect(chosen).empty()) ++idx;
     if (idx == members->size()) {
@@ -62,6 +64,7 @@ struct TransversalSearch {
           overflow = true;
           return;
         }
+        ++stats.candidates;
         results.push_back(chosen);
       }
       return;
@@ -74,14 +77,19 @@ struct TransversalSearch {
 }  // namespace
 
 Result<std::vector<ItemSet>> MinimalWitnessSets(const SetFamily& family,
-                                                std::size_t max_results) {
+                                                std::size_t max_results,
+                                                WitnessSearchStats* stats) {
   if (family.HasEmptyMember()) return std::vector<ItemSet>{};
   SetFamily minimized = family.Minimized();
   TransversalSearch search;
   search.members = &minimized.members();
   search.max_results = max_results;
   search.Run(ItemSet(), 0);
+  if (stats != nullptr) *stats = search.stats;
   if (search.overflow) {
+    // A truncated enumeration is an error, never a partial answer: callers
+    // (decomposition covers, the implication engine's witness cache) would
+    // otherwise treat an incomplete transversal antichain as complete.
     return Status::ResourceExhausted("more than " + std::to_string(max_results) +
                                      " candidate transversals");
   }

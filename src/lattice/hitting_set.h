@@ -1,6 +1,7 @@
 #ifndef DIFFC_LATTICE_HITTING_SET_H_
 #define DIFFC_LATTICE_HITTING_SET_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "lattice/set_family.h"
@@ -25,13 +26,28 @@ bool HasWitnessSet(const SetFamily& family);
 Result<std::vector<ItemSet>> AllWitnessSets(const SetFamily& family,
                                             int max_union_bits = 24);
 
+/// Work counters of a minimal-witness-set enumeration, for benchmarks and
+/// the implication engine's cache statistics.
+struct WitnessSearchStats {
+  /// Branch-and-extend nodes visited.
+  std::uint64_t nodes = 0;
+  /// Candidate transversals emitted before the antichain filter.
+  std::uint64_t candidates = 0;
+};
+
 /// The ⊆-minimal witness sets of `family` (the minimal transversal
 /// antichain), sorted by mask. Every witness set is a superset of a minimal
 /// one, so these generate the lattice decomposition's interval cover.
 /// Computed by branch-and-extend over the members; `max_results` bounds the
-/// output (ResourceExhausted beyond it).
+/// output.
+///
+/// Truncation is never silent: when the candidate budget is exceeded the
+/// result is a ResourceExhausted *error* — callers must not treat it as a
+/// (partial) answer. `stats`, when non-null, receives the work counters
+/// even on the error path.
 Result<std::vector<ItemSet>> MinimalWitnessSets(const SetFamily& family,
-                                                std::size_t max_results = 1 << 20);
+                                                std::size_t max_results = 1 << 20,
+                                                WitnessSearchStats* stats = nullptr);
 
 }  // namespace diffc
 

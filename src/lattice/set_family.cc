@@ -76,6 +76,19 @@ SetFamily SetFamily::Minimized() const {
   return SetFamily(std::move(keep));
 }
 
+std::size_t SetFamily::Hash() const {
+  // FNV-1a over the member masks.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const ItemSet& m : members_) {
+    std::uint64_t v = m.bits();
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  }
+  return static_cast<std::size_t>(h);
+}
+
 std::string SetFamily::ToString(const Universe& u) const {
   std::vector<Mask> masks;
   masks.reserve(members_.size());

@@ -1,6 +1,7 @@
 #ifndef DIFFC_LATTICE_SET_FAMILY_H_
 #define DIFFC_LATTICE_SET_FAMILY_H_
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -61,6 +62,12 @@ class SetFamily {
 
   /// Renders "{M1, M2, ...}" using the universe's names.
   std::string ToString(const Universe& u) const;
+
+  /// A hash of the member masks, suitable for unordered containers (the
+  /// implication engine keys its witness-set cache on the right-hand
+  /// family). Equal families hash equal because members are sorted and
+  /// deduplicated.
+  std::size_t Hash() const;
 
   friend bool operator==(const SetFamily& a, const SetFamily& b) {
     return a.members_ == b.members_;

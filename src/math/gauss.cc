@@ -2,6 +2,15 @@
 
 namespace diffc {
 
+bool MatrixOverflowed(const RationalMatrix& m) {
+  for (const std::vector<Rational>& row : m) {
+    for (const Rational& v : row) {
+      if (v.Overflowed()) return true;
+    }
+  }
+  return false;
+}
+
 int RowReduce(RationalMatrix& m) {
   if (m.empty()) return 0;
   const std::size_t cols = m[0].size();

@@ -17,6 +17,11 @@ namespace diffc {
 /// A dense rational matrix as a list of equal-length rows.
 using RationalMatrix = std::vector<std::vector<Rational>>;
 
+/// True iff any entry of `m` is the `Rational` overflow value. Overflow is
+/// sticky through row reduction, so callers can detect mid-computation
+/// overflow by checking the reduced matrix (or the returned solution) once.
+bool MatrixOverflowed(const RationalMatrix& m);
+
 /// Reduces `m` in place to reduced row-echelon form; returns the rank.
 /// Zero rows sink to the bottom. Rows may be empty (rank 0).
 int RowReduce(RationalMatrix& m);

@@ -72,6 +72,24 @@ void ComputeReducedCosts(const Tableau& t, const std::vector<Rational>& c,
   }
 }
 
+// True iff any tableau cell, rhs, reduced cost or the objective value is
+// the Rational overflow poison. Overflow is sticky through pivots, so one
+// scan at the end of each simplex phase detects overflow anywhere inside.
+bool AnyOverflow(const Tableau& t, const std::vector<Rational>& reduced,
+                 const Rational& value) {
+  if (value.Overflowed()) return true;
+  for (const Rational& r : reduced) {
+    if (r.Overflowed()) return true;
+  }
+  for (int i = 0; i < t.num_rows(); ++i) {
+    if (t.rhs(i).Overflowed()) return true;
+    for (int j = 0; j < t.num_columns(); ++j) {
+      if (t.at(i, j).Overflowed()) return true;
+    }
+  }
+  return false;
+}
+
 // Runs the primal simplex loop (maximization) with Bland's rule.
 // `enterable[j]` bars columns (artificials in phase 2). Returns kOptimal
 // or kUnbounded; ResourceExhausted past the pivot budget.
@@ -196,6 +214,9 @@ Result<LpSolution> SolveLp(const LpProblem& problem, std::size_t max_pivots) {
     Result<LpOutcome> phase1 =
         RunSimplex(t, reduced, value, enterable, max_pivots, pivots_used);
     if (!phase1.ok()) return phase1.status();
+    if (AnyOverflow(t, reduced, value)) {
+      return Status::OutOfRange("rational overflow in simplex phase 1");
+    }
     if (*phase1 == LpOutcome::kUnbounded) {
       return Status::Internal("phase-1 objective cannot be unbounded");
     }
@@ -232,6 +253,9 @@ Result<LpSolution> SolveLp(const LpProblem& problem, std::size_t max_pivots) {
   Result<LpOutcome> phase2 =
       RunSimplex(t, reduced, value, enterable, max_pivots, pivots_used);
   if (!phase2.ok()) return phase2.status();
+  if (AnyOverflow(t, reduced, value)) {
+    return Status::OutOfRange("rational overflow in simplex phase 2");
+  }
 
   LpSolution solution;
   solution.outcome = *phase2;

@@ -31,6 +31,9 @@ Result<SetFunction<Rational>> SimpsonFunction(const Relation& r, const Distribut
     }
     Rational acc;
     for (const auto& [key, weight] : groups) acc += weight * weight;
+    if (acc.Overflowed()) {
+      return Status::OutOfRange("rational overflow computing Simpson function");
+    }
     f->at(x) = acc;
     if (x == full) break;
   }
@@ -58,6 +61,9 @@ Result<SetFunction<Rational>> SimpsonDensityDirect(const Relation& r,
         });
         if (differ_everywhere) acc += p.weight(i) * p.weight(j);
       }
+    }
+    if (acc.Overflowed()) {
+      return Status::OutOfRange("rational overflow computing Simpson density");
     }
     d->at(x) = acc;
     if (x == full) break;

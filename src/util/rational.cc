@@ -1,6 +1,6 @@
 #include "util/rational.h"
 
-#include <cstdlib>
+#include <climits>
 
 namespace diffc {
 
@@ -8,15 +8,18 @@ namespace {
 
 using Int128 = __int128;
 
-std::int64_t CheckedNarrow(Int128 v) {
+// Narrows to int64, flagging values outside the representable range.
+std::int64_t CheckedNarrow(Int128 v, bool* overflow) {
   if (v > INT64_MAX || v < INT64_MIN) {
-    std::abort();  // Rational overflow: values in this library stay small.
+    *overflow = true;
+    return 0;
   }
   return static_cast<std::int64_t>(v);
 }
 
 // Reduces num/den (den != 0) to lowest terms with a positive denominator.
-void Reduce(Int128 num, Int128 den, std::int64_t* out_num, std::int64_t* out_den) {
+// Returns false when the reduced result does not fit in 64 bits.
+bool Reduce(Int128 num, Int128 den, std::int64_t* out_num, std::int64_t* out_den) {
   if (den < 0) {
     num = -num;
     den = -den;
@@ -29,14 +32,16 @@ void Reduce(Int128 num, Int128 den, std::int64_t* out_num, std::int64_t* out_den
     b = t;
   }
   if (a == 0) a = 1;  // num == 0.
-  *out_num = CheckedNarrow(num / a);
-  *out_den = CheckedNarrow(den / a);
+  bool overflow = false;
+  *out_num = CheckedNarrow(num / a, &overflow);
+  *out_den = CheckedNarrow(den / a, &overflow);
+  return !overflow;
 }
 
 Rational FromParts(Int128 num, Int128 den) {
+  if (den == 0) return Rational::Overflow();
   std::int64_t n, d;
-  Reduce(num, den, &n, &d);
-  Rational r;
+  if (!Reduce(num, den, &n, &d)) return Rational::Overflow();
   // n/d is already in lowest terms; the constructor's reduction is a no-op.
   return Rational(n, d);
 }
@@ -44,35 +49,46 @@ Rational FromParts(Int128 num, Int128 den) {
 }  // namespace
 
 Rational::Rational(std::int64_t num, std::int64_t den) {
-  if (den == 0) std::abort();
-  Reduce(num, den, &num_, &den_);
+  if (den == 0 || !Reduce(num, den, &num_, &den_)) {
+    num_ = 0;
+    den_ = 0;  // Overflow value.
+  }
 }
 
 std::string Rational::ToString() const {
+  if (Overflowed()) return "overflow";
   if (den_ == 1) return std::to_string(num_);
   return std::to_string(num_) + "/" + std::to_string(den_);
 }
 
 Rational Rational::operator+(const Rational& o) const {
+  if (Overflowed() || o.Overflowed()) return Overflow();
   return FromParts(Int128{num_} * o.den_ + Int128{o.num_} * den_, Int128{den_} * o.den_);
 }
 
 Rational Rational::operator-(const Rational& o) const {
+  if (Overflowed() || o.Overflowed()) return Overflow();
   return FromParts(Int128{num_} * o.den_ - Int128{o.num_} * den_, Int128{den_} * o.den_);
 }
 
 Rational Rational::operator*(const Rational& o) const {
+  if (Overflowed() || o.Overflowed()) return Overflow();
   return FromParts(Int128{num_} * o.num_, Int128{den_} * o.den_);
 }
 
 Rational Rational::operator/(const Rational& o) const {
-  if (o.num_ == 0) std::abort();
+  if (Overflowed() || o.Overflowed() || o.num_ == 0) return Overflow();
   return FromParts(Int128{num_} * o.den_, Int128{den_} * o.num_);
 }
 
-Rational Rational::operator-() const { return Rational(-num_, den_); }
+Rational Rational::operator-() const {
+  if (Overflowed()) return Overflow();
+  // Negate in 128-bit space: -INT64_MIN is not representable in 64 bits.
+  return FromParts(-Int128{num_}, Int128{den_});
+}
 
 bool operator<(const Rational& a, const Rational& b) {
+  if (a.Overflowed() || b.Overflowed()) return false;
   return Int128{a.num_} * b.den_ < Int128{b.num_} * a.den_;
 }
 

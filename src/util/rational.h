@@ -12,36 +12,62 @@ namespace diffc {
 /// Used wherever the theory requires exact zero tests on real-valued
 /// functions (e.g. densities of Simpson functions, Proposition 7.2), where
 /// floating point would make "d_f(U) = 0" ill-defined. Intermediate products
-/// use 128-bit arithmetic; overflow of the reduced result aborts (the
-/// library only forms rationals from small counts and probability weights).
+/// use 128-bit arithmetic.
+///
+/// **Overflow handling.** When a reduced result does not fit in 64 bits (or
+/// on division by zero / a zero denominator), the result is the sticky
+/// *overflow* value: `Overflowed()` is true, and every arithmetic operation
+/// involving it yields it again, so a single check at the end of a
+/// computation detects overflow anywhere inside it. Fallible entry points
+/// (`math/simplex`, `math/gauss`, `relational/simpson`, ...) check the flag
+/// and surface `Status` errors; the process is never aborted.
+///
+/// Comparisons against an overflowed value are meaningless: `==`/`!=` treat
+/// overflow as equal only to itself, and every ordering comparison
+/// involving overflow returns false. Callers must test `Overflowed()`
+/// before trusting comparisons.
 class Rational {
  public:
   /// Zero.
   Rational() : num_(0), den_(1) {}
   /// The integer `n`.
   Rational(std::int64_t n) : num_(n), den_(1) {}  // NOLINT(google-explicit-constructor)
-  /// The fraction `num/den`, reduced. Requires den != 0.
+  /// The fraction `num/den`, reduced. `den == 0` yields the overflow value.
   Rational(std::int64_t num, std::int64_t den);
+
+  /// The sticky overflow (poison) value.
+  static Rational Overflow() {
+    Rational r;
+    r.num_ = 0;
+    r.den_ = 0;
+    return r;
+  }
+
+  /// True iff this is the overflow value — the result (transitively) of an
+  /// operation whose reduced value did not fit in 64 bits, a division by
+  /// zero, or a zero denominator.
+  bool Overflowed() const { return den_ == 0; }
 
   /// Numerator of the reduced form (sign lives here).
   std::int64_t num() const { return num_; }
-  /// Denominator of the reduced form; always positive.
+  /// Denominator of the reduced form; positive, except 0 for the overflow
+  /// value.
   std::int64_t den() const { return den_; }
 
-  /// True iff this is exactly zero.
-  bool IsZero() const { return num_ == 0; }
-  /// True iff this is strictly negative.
+  /// True iff this is exactly zero (overflow is not zero).
+  bool IsZero() const { return num_ == 0 && den_ != 0; }
+  /// True iff this is strictly negative (overflow is not negative).
   bool IsNegative() const { return num_ < 0; }
 
-  /// Lossy conversion to double.
+  /// Lossy conversion to double; NaN for the overflow value.
   double ToDouble() const { return static_cast<double>(num_) / static_cast<double>(den_); }
-  /// Renders "p/q", or just "p" when the denominator is 1.
+  /// Renders "p/q", or just "p" when the denominator is 1, or "overflow".
   std::string ToString() const;
 
   Rational operator+(const Rational& o) const;
   Rational operator-(const Rational& o) const;
   Rational operator*(const Rational& o) const;
-  /// Division; requires o != 0.
+  /// Division; division by zero yields the overflow value.
   Rational operator/(const Rational& o) const;
   Rational operator-() const;
 

@@ -1,0 +1,316 @@
+// Batched implication engine: dispatch correctness against the sequential
+// checkers, thread-count invariance (the stress test runs the same mixed
+// batch at 1, 4 and 8 workers), shared-cache behavior, and the
+// no-abort/Status-on-failure contract.
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/implication.h"
+#include "engine/caches.h"
+#include "engine/implication_engine.h"
+#include "engine/worker_pool.h"
+#include "test_helpers.h"
+#include "util/random.h"
+
+namespace diffc {
+namespace {
+
+// A counterexample must certify non-implication on its own: it lies in the
+// goal's lattice decomposition and escapes every premise's.
+void ExpectValidCounterexample(int n, const ConstraintSet& premises,
+                               const DifferentialConstraint& goal, const ItemSet& u) {
+  EXPECT_TRUE(goal.lhs().IsSubsetOf(u));
+  EXPECT_TRUE(u.IsSubsetOf(ItemSet(FullMask(n))));
+  EXPECT_FALSE(goal.rhs().SomeMemberSubsetOf(u));
+  EXPECT_FALSE(InConstraintLattice(premises, u));
+}
+
+// The mixed batch of the stress test: FD-subclass queries, general (SAT)
+// queries, trivially-implied goals, repeated right-hand families (witness
+// cache traffic), and non-implied goals with counterexamples.
+struct MixedBatch {
+  int n = 0;
+  ConstraintSet premises;
+  std::vector<DifferentialConstraint> goals;
+};
+
+MixedBatch MakeMixedBatch(int n, int num_goals, std::uint64_t seed) {
+  MixedBatch b;
+  b.n = n;
+  Rng rng(seed);
+  b.premises = testing::RandomConstraintSet(rng, n, 6);
+  // Some singleton-RHS premises so the FD subclass is exercised too.
+  b.premises.push_back(DifferentialConstraint(ItemSet{0}, SetFamily({ItemSet{1}})));
+  b.premises.push_back(DifferentialConstraint(ItemSet{1}, SetFamily({ItemSet{2}})));
+  for (int i = 0; i < num_goals; ++i) {
+    switch (i % 4) {
+      case 0:  // Augmented premise: implied, repeated right-hand family.
+      {
+        const DifferentialConstraint& p = b.premises[i % b.premises.size()];
+        b.goals.push_back(DifferentialConstraint(
+            p.lhs().Union(ItemSet::Singleton(i % n)), p.rhs()));
+        break;
+      }
+      case 1:  // FD-shaped goal (singleton RHS): FD path when premises allow.
+        b.goals.push_back(DifferentialConstraint(
+            ItemSet{0}, SetFamily({ItemSet::Singleton((i + 2) % n)})));
+        break;
+      case 2:  // Trivial goal: member inside the left-hand side.
+        b.goals.push_back(DifferentialConstraint(ItemSet{0, 1}, SetFamily({ItemSet{1}})));
+        break;
+      default:  // General random goal, usually not implied.
+        b.goals.push_back(testing::RandomConstraint(rng, n));
+        break;
+    }
+  }
+  return b;
+}
+
+TEST(ImplicationEngineTest, MatchesSequentialCheckersAcrossThreadCounts) {
+  MixedBatch b = MakeMixedBatch(12, 64, 7);
+
+  // Ground truth from the sequential front door.
+  std::vector<bool> expected;
+  for (const DifferentialConstraint& g : b.goals) {
+    Result<ImplicationOutcome> r = CheckImplication(b.n, b.premises, g);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    expected.push_back(r->implied);
+  }
+
+  for (int threads : {1, 4, 8}) {
+    EngineOptions opts;
+    opts.num_threads = threads;
+    ImplicationEngine engine(opts);
+    Result<BatchOutcome> out = engine.CheckBatch(b.n, b.premises, b.goals);
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    ASSERT_EQ(out->results.size(), b.goals.size());
+    for (std::size_t i = 0; i < b.goals.size(); ++i) {
+      const EngineQueryResult& r = out->results[i];
+      ASSERT_TRUE(r.status.ok()) << "threads=" << threads << " query=" << i << ": "
+                                 << r.status.ToString();
+      EXPECT_EQ(r.outcome.implied, expected[i])
+          << "threads=" << threads << " query=" << i << " via "
+          << DecisionProcedureName(r.stats.procedure);
+      if (!r.outcome.implied) {
+        ASSERT_TRUE(r.outcome.counterexample.has_value());
+        ExpectValidCounterexample(b.n, b.premises, b.goals[i], *r.outcome.counterexample);
+      }
+    }
+    EXPECT_EQ(out->stats.queries, b.goals.size());
+    EXPECT_EQ(out->stats.implied + out->stats.not_implied + out->stats.failed,
+              b.goals.size());
+  }
+}
+
+TEST(ImplicationEngineTest, StressSameBatchRepeatedlyOnAllThreadCounts) {
+  // Fire the same mixed batch through freshly-built engines at 1, 4 and 8
+  // threads, twice each (the second pass runs hot caches), and demand
+  // bit-identical verdict vectors every time.
+  MixedBatch b = MakeMixedBatch(14, 96, 23);
+  std::vector<bool> first;
+  bool have_first = false;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int threads : {1, 4, 8}) {
+      EngineOptions opts;
+      opts.num_threads = threads;
+      ImplicationEngine engine(opts);
+      Result<BatchOutcome> out = engine.CheckBatch(b.n, b.premises, b.goals);
+      ASSERT_TRUE(out.ok());
+      std::vector<bool> verdicts;
+      for (const EngineQueryResult& r : out->results) {
+        ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+        verdicts.push_back(r.outcome.implied);
+      }
+      if (!have_first) {
+        first = verdicts;
+        have_first = true;
+      } else {
+        EXPECT_EQ(verdicts, first) << "pass=" << pass << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(ImplicationEngineTest, RepeatedRhsBatchHitsWitnessCache) {
+  GlobalWitnessSetCache().Clear();
+  const int n = 10;
+  ConstraintSet premises{DifferentialConstraint(ItemSet{0}, SetFamily({ItemSet{1, 2}, ItemSet{3}}))};
+  // 32 goals sharing one right-hand family → 1 miss, then hits.
+  std::vector<DifferentialConstraint> goals;
+  SetFamily rhs({ItemSet{1, 2}, ItemSet{3}});
+  for (int i = 0; i < 32; ++i) {
+    goals.push_back(DifferentialConstraint(ItemSet{0}.Union(ItemSet::Singleton(4 + i % 5)), rhs));
+  }
+  ImplicationEngine engine;
+  Result<BatchOutcome> out = engine.CheckBatch(n, premises, goals);
+  ASSERT_TRUE(out.ok());
+  EXPECT_GT(out->stats.witness_cache_hits, 0u);
+  EXPECT_GE(out->stats.witness_cache_hits + out->stats.witness_cache_misses, 32u);
+  // Every goal augments the single premise: implied, via the cover.
+  for (const EngineQueryResult& r : out->results) {
+    ASSERT_TRUE(r.status.ok());
+    EXPECT_TRUE(r.outcome.implied);
+    EXPECT_EQ(r.stats.procedure, DecisionProcedure::kIntervalCover);
+  }
+}
+
+TEST(ImplicationEngineTest, PremiseTranslationSharedAcrossBatch) {
+  const int n = 16;
+  Rng rng(5);
+  ConstraintSet premises = testing::RandomConstraintSet(rng, n, 5);
+  std::vector<DifferentialConstraint> goals;
+  for (int i = 0; i < 24; ++i) goals.push_back(testing::RandomConstraint(rng, n));
+
+  // Fast path off: every nontrivial goal goes through SAT and the shared
+  // premise translation.
+  EngineOptions opts;
+  opts.use_interval_cover_fast_path = false;
+  ImplicationEngine engine(opts);
+  // First batch warms the cache (its miss count can exceed 1 when several
+  // workers miss concurrently; both build the same translation).
+  ASSERT_TRUE(engine.CheckBatch(n, premises, goals).ok());
+  // The second batch must be all hits.
+  Result<BatchOutcome> out = engine.CheckBatch(n, premises, goals);
+  ASSERT_TRUE(out.ok());
+  EXPECT_GT(out->stats.by_sat, 0u);
+  EXPECT_EQ(out->stats.premise_cache_misses, 0u);
+  EXPECT_EQ(out->stats.premise_cache_hits, out->stats.by_sat);
+}
+
+TEST(ImplicationEngineTest, FdSubclassBatchUsesFdProcedure) {
+  // All premises and goals have singleton right-hand sides: the polynomial
+  // FD-subclass procedure must decide every query.
+  const int n = 8;
+  ConstraintSet premises{
+      DifferentialConstraint(ItemSet{0}, SetFamily({ItemSet{1}})),
+      DifferentialConstraint(ItemSet{1}, SetFamily({ItemSet{2}})),
+      DifferentialConstraint(ItemSet{3}, SetFamily({ItemSet{4}})),
+  };
+  std::vector<DifferentialConstraint> goals{
+      DifferentialConstraint(ItemSet{0}, SetFamily({ItemSet{2}})),  // Implied.
+      DifferentialConstraint(ItemSet{3}, SetFamily({ItemSet{4}})),  // Implied.
+      DifferentialConstraint(ItemSet{0}, SetFamily({ItemSet{4}})),  // Not implied.
+  };
+  ImplicationEngine engine;
+  Result<BatchOutcome> out = engine.CheckBatch(n, premises, goals);
+  ASSERT_TRUE(out.ok());
+  for (std::size_t i = 0; i < goals.size(); ++i) {
+    const EngineQueryResult& r = out->results[i];
+    ASSERT_TRUE(r.status.ok());
+    EXPECT_EQ(r.stats.procedure, DecisionProcedure::kFdSubclass);
+    Result<ImplicationOutcome> seq = CheckImplication(n, premises, goals[i]);
+    ASSERT_TRUE(seq.ok());
+    EXPECT_EQ(r.outcome.implied, seq->implied);
+    if (!r.outcome.implied) {
+      ASSERT_TRUE(r.outcome.counterexample.has_value());
+      ExpectValidCounterexample(n, premises, goals[i], *r.outcome.counterexample);
+    }
+  }
+  EXPECT_EQ(out->stats.by_fd, goals.size());
+}
+
+TEST(ImplicationEngineTest, FastPathDisabledStillCorrect) {
+  MixedBatch b = MakeMixedBatch(12, 32, 99);
+  EngineOptions opts;
+  opts.use_interval_cover_fast_path = false;
+  ImplicationEngine engine(opts);
+  Result<BatchOutcome> out = engine.CheckBatch(b.n, b.premises, b.goals);
+  ASSERT_TRUE(out.ok());
+  for (std::size_t i = 0; i < b.goals.size(); ++i) {
+    Result<ImplicationOutcome> seq = CheckImplication(b.n, b.premises, b.goals[i]);
+    ASSERT_TRUE(seq.ok());
+    ASSERT_TRUE(out->results[i].status.ok());
+    EXPECT_EQ(out->results[i].outcome.implied, seq->implied);
+    EXPECT_EQ(out->stats.witness_cache_hits + out->stats.witness_cache_misses, 0u);
+  }
+}
+
+TEST(ImplicationEngineTest, InvalidUniverseSizeIsStatusNotAbort) {
+  ImplicationEngine engine;
+  EXPECT_EQ(engine.CheckBatch(-1, {}, {}).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.CheckBatch(65, {}, {}).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.CheckOne(65, {}, DifferentialConstraint(ItemSet(), SetFamily()))
+                .status.code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ImplicationEngineTest, EmptyBatch) {
+  ImplicationEngine engine;
+  Result<BatchOutcome> out = engine.CheckBatch(8, {}, {});
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->results.empty());
+  EXPECT_EQ(out->stats.queries, 0u);
+}
+
+TEST(ImplicationEngineTest, CheckOneMatchesFrontDoor) {
+  const int n = 10;
+  Rng rng(3);
+  ConstraintSet premises = testing::RandomConstraintSet(rng, n, 4);
+  ImplicationEngine engine;
+  for (int i = 0; i < 20; ++i) {
+    DifferentialConstraint goal = testing::RandomConstraint(rng, n);
+    Result<ImplicationOutcome> seq = CheckImplication(n, premises, goal);
+    ASSERT_TRUE(seq.ok());
+    EngineQueryResult r = engine.CheckOne(n, premises, goal);
+    ASSERT_TRUE(r.status.ok());
+    EXPECT_EQ(r.outcome.implied, seq->implied);
+  }
+}
+
+TEST(ImplicationEngineTest, HugeWitnessFamilyFallsBackToSat) {
+  // A right-hand family with an exponential transversal antichain: the
+  // witness budget trips, the negative entry is cached, and the query is
+  // still answered (by SAT), not failed.
+  const int n = 24;
+  std::vector<ItemSet> members;
+  for (int i = 0; i < 12; ++i) members.push_back(ItemSet{2 * i, 2 * i + 1});
+  SetFamily rhs(std::move(members));
+  ConstraintSet premises{
+      DifferentialConstraint(ItemSet{0}, SetFamily({ItemSet{1}, ItemSet{2, 3}}))};
+  DifferentialConstraint goal(ItemSet(), rhs);
+
+  EngineOptions opts;
+  opts.witness_max_results = 16;  // Force the budget to trip.
+  ImplicationEngine engine(opts);
+  EngineQueryResult r = engine.CheckOne(n, premises, goal);
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.stats.procedure, DecisionProcedure::kSat);
+  Result<ImplicationOutcome> seq = CheckImplication(n, premises, goal);
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ(r.outcome.implied, seq->implied);
+}
+
+TEST(ImplicationEngineTest, BatchStatsToStringMentionsCaches) {
+  MixedBatch b = MakeMixedBatch(10, 8, 1);
+  ImplicationEngine engine;
+  Result<BatchOutcome> out = engine.CheckBatch(b.n, b.premises, b.goals);
+  ASSERT_TRUE(out.ok());
+  std::string s = out->stats.ToString();
+  EXPECT_NE(s.find("witness_cache"), std::string::npos);
+  EXPECT_NE(s.find("premise_cache"), std::string::npos);
+}
+
+TEST(WorkerPoolTest, RunsAllSubmittedTasks) {
+  WorkerPool pool(4);
+  std::mutex mu;
+  std::condition_variable cv;
+  int done = 0;
+  const int kTasks = 100;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&] {
+      std::lock_guard<std::mutex> lock(mu);
+      if (++done == kTasks) cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done == kTasks; });
+  EXPECT_EQ(done, kTasks);
+}
+
+}  // namespace
+}  // namespace diffc

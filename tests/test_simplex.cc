@@ -140,6 +140,24 @@ TEST(SimplexTest, RedundantEqualityRows) {
   EXPECT_EQ(s->objective_value, Rational(2));
 }
 
+TEST(SimplexTest, RationalOverflowIsOutOfRangeNotAbort) {
+  // Pivoting mixes denominators 2^40+1 and 2^40+15 (coprime), so the
+  // eliminated row's coefficient 1 - 1/(d1*d2) needs a ~2^80 denominator.
+  // The solver must report OutOfRange, not abort.
+  const std::int64_t d1 = (std::int64_t{1} << 40) + 1;
+  const std::int64_t d2 = (std::int64_t{1} << 40) + 15;
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {Rational(1), Rational(1)};
+  p.constraints = {
+      Row({Rational(1, d1), Rational(1)}, LpSense::kLe, Rational(1)),
+      Row({Rational(1), Rational(1, d2)}, LpSense::kLe, Rational(1)),
+  };
+  Result<LpSolution> s = SolveLp(p);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kOutOfRange);
+}
+
 TEST(SimplexTest, ZeroVariableProblem) {
   LpProblem p;
   p.num_vars = 0;

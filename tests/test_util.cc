@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
 #include <set>
 
 #include "util/bitops.h"
@@ -118,6 +120,70 @@ TEST(RationalTest, SumOfThirdsIsExactlyOne) {
   Rational acc;
   for (int i = 0; i < 3; ++i) acc += Rational(1, 3);
   EXPECT_EQ(acc, Rational(1));
+}
+
+// Overflow used to abort the process; it must now surface as the sticky
+// overflow value, detectable with Overflowed().
+
+TEST(RationalTest, MultiplicationOverflowIsErrorNotCrash) {
+  Rational big(std::int64_t{1} << 62);
+  Rational r = big * big;
+  EXPECT_TRUE(r.Overflowed());
+  EXPECT_FALSE(r.IsZero());
+}
+
+TEST(RationalTest, AdditionOverflowIsErrorNotCrash) {
+  // num/den with den ~2^40: the sum's reduced denominator is ~2^80.
+  Rational a(1, (std::int64_t{1} << 40) + 1);
+  Rational b(1, (std::int64_t{1} << 40) + 15);
+  EXPECT_TRUE((a + b).Overflowed());
+}
+
+TEST(RationalTest, NegationOfMinIsOverflowNotUb) {
+  Rational min_num(std::numeric_limits<std::int64_t>::min());
+  EXPECT_TRUE((-min_num).Overflowed());
+  EXPECT_TRUE((Rational(0) - min_num).Overflowed());
+}
+
+TEST(RationalTest, OverflowIsSticky) {
+  Rational poison = Rational::Overflow();
+  EXPECT_TRUE((poison + Rational(1)).Overflowed());
+  EXPECT_TRUE((Rational(1) + poison).Overflowed());
+  EXPECT_TRUE((poison - poison).Overflowed());
+  EXPECT_TRUE((poison * Rational(0)).Overflowed());
+  EXPECT_TRUE((poison / Rational(2)).Overflowed());
+  EXPECT_TRUE((-poison).Overflowed());
+}
+
+TEST(RationalTest, DivisionByZeroIsOverflow) {
+  EXPECT_TRUE((Rational(1) / Rational(0)).Overflowed());
+  EXPECT_TRUE((Rational(0) / Rational(0)).Overflowed());
+}
+
+TEST(RationalTest, ZeroDenominatorConstructorIsOverflow) {
+  EXPECT_TRUE(Rational(5, 0).Overflowed());
+}
+
+TEST(RationalTest, OverflowComparesEqualOnlyToItself) {
+  Rational poison = Rational::Overflow();
+  EXPECT_EQ(poison, Rational::Overflow());
+  EXPECT_NE(poison, Rational(0));
+  EXPECT_FALSE(poison < Rational(1));
+  EXPECT_FALSE(Rational(1) < poison);
+  EXPECT_FALSE(poison < poison);
+}
+
+TEST(RationalTest, OverflowToString) {
+  EXPECT_EQ(Rational::Overflow().ToString(), "overflow");
+}
+
+TEST(RationalTest, NearOverflowStillExact) {
+  // Values that fit exactly must keep working right up to the edge.
+  Rational max_num(std::numeric_limits<std::int64_t>::max());
+  EXPECT_FALSE(max_num.Overflowed());
+  EXPECT_FALSE((max_num - max_num).Overflowed());
+  EXPECT_TRUE((max_num - max_num).IsZero());
+  EXPECT_TRUE((max_num + Rational(1)).Overflowed());
 }
 
 // ---------------------------------------------------------------- bitops
