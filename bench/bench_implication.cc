@@ -12,14 +12,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "core/implication.h"
 #include "engine/caches.h"
 #include "engine/implication_engine.h"
+#include "prop/tautology.h"
 #include "util/random.h"
 
 namespace diffc {
@@ -120,6 +124,28 @@ void MakeBatchWorkload(int n, int num_queries, ConstraintSet* premises,
   }
 }
 
+// The adversarial deadline workload: pigeonhole DNF tautologies through the
+// Proposition 5.5 reduction. The interval cover is inconclusive on them, so
+// every query is pinned to DPLL and genuinely exceeds a ~10ms deadline.
+prop::DnfFormula PigeonholeDnf(int holes) {
+  prop::DnfFormula f;
+  f.num_vars = (holes + 1) * holes;
+  auto var = [&](int pigeon, int hole) { return pigeon * holes + hole; };
+  for (int i = 0; i <= holes; ++i) {
+    prop::DnfConjunct c;
+    for (int k = 0; k < holes; ++k) c.neg |= Mask{1} << var(i, k);
+    f.conjuncts.push_back(c);
+  }
+  for (int i = 0; i <= holes; ++i)
+    for (int j = i + 1; j <= holes; ++j)
+      for (int k = 0; k < holes; ++k) {
+        prop::DnfConjunct c;
+        c.pos = (Mask{1} << var(i, k)) | (Mask{1} << var(j, k));
+        f.conjuncts.push_back(c);
+      }
+  return f;
+}
+
 void PrintBatchEngineTable() {
   std::printf(
       "=== E2: batched engine vs sequential front door (n=32, |C|=8, 1000 queries) ===\n");
@@ -160,7 +186,99 @@ void PrintBatchEngineTable() {
   std::printf("%22s %12.3f %9.2fx %10s\n", "engine (4 workers)", engine_ms,
               engine_ms > 0 ? seq_ms / engine_ms : 0.0, all_agree ? "yes" : "NO");
   if (batch.ok()) std::printf("engine stats: %s\n", batch->stats.ToString().c_str());
+
+  // Deadline-check overhead: the same hot-cache batch with no deadline vs a
+  // deadline generous enough to never fire — the difference is purely the
+  // amortized clock sampling inside the solvers.
+  // Interleaved min-of-trials: the hot-cache batch is ~1ms, so scheduler
+  // noise dwarfs a single measurement.
+  const int kOverheadReps = 5;
+  const int kOverheadTrials = 8;
+  auto make_engine = [&](std::chrono::nanoseconds per_query) {
+    EngineOptions o;
+    o.num_threads = 4;
+    o.per_query_deadline = per_query;
+    return std::make_unique<ImplicationEngine>(o);
+  };
+  auto plain = make_engine(std::chrono::nanoseconds(0));
+  auto guarded = make_engine(std::chrono::hours(1));
+  (void)plain->CheckBatch(n, premises, goals);  // Warm the caches.
+  (void)guarded->CheckBatch(n, premises, goals);
+  double no_deadline_ms = 1e100, generous_ms = 1e100;
+  for (int t = 0; t < kOverheadTrials; ++t) {
+    no_deadline_ms = std::min(
+        no_deadline_ms,
+        MeasureMs([&] { (void)plain->CheckBatch(n, premises, goals); }, kOverheadReps));
+    generous_ms = std::min(
+        generous_ms,
+        MeasureMs([&] { (void)guarded->CheckBatch(n, premises, goals); }, kOverheadReps));
+  }
+  double overhead_pct =
+      no_deadline_ms > 0 ? (generous_ms / no_deadline_ms - 1.0) * 100.0 : 0.0;
+  std::printf("deadline-check overhead: no-deadline %.3fms, generous-deadline %.3fms "
+              "(%+.2f%%)\n",
+              no_deadline_ms, generous_ms, overhead_pct);
+
+  // Adversarial deadline run: 200 pigeonhole queries that each want ~25ms
+  // of DPLL under a 10ms per-query deadline and kDegrade.
+  const int kPhpHoles = 6;
+  prop::DnfFormula php = PigeonholeDnf(kPhpHoles);
+  ConstraintSet php_premises = DnfTautologyReduction(php);
+  const std::size_t kAdversarialQueries = 200;
+  std::vector<DifferentialConstraint> php_goals(kAdversarialQueries, TautologyGoal());
+  EngineOptions adv;
+  adv.num_threads = 4;
+  adv.per_query_deadline = std::chrono::milliseconds(10);
+  adv.batch_deadline = std::chrono::seconds(1);
+  adv.exhaustion_policy = ExhaustionPolicy::kDegrade;
+  ImplicationEngine adv_engine(adv);
+  Result<BatchOutcome> adv_out = Status::InvalidArgument("not yet run");
+  double adv_ms = MeasureMs(
+      [&] { adv_out = adv_engine.CheckBatch(php.num_vars, php_premises, php_goals); }, 1);
+  if (adv_out.ok()) {
+    std::printf("adversarial deadlines (PHP(%d,%d), 10ms/query, degrade): %.1fms, %s\n",
+                kPhpHoles + 1, kPhpHoles, adv_ms, adv_out->stats.ToString().c_str());
+  }
   std::printf("\n");
+
+  // Machine-readable record of the experiment, for CI artifacts.
+  std::ofstream json("BENCH_E2.json");
+  json << "{\n";
+  json << "  \"experiment\": \"E2\",\n";
+  json << "  \"n\": " << n << ",\n";
+  json << "  \"queries\": " << goals.size() << ",\n";
+  json << "  \"threads\": " << opts.num_threads << ",\n";
+  json << "  \"sequential_ms\": " << seq_ms << ",\n";
+  json << "  \"engine_ms\": " << engine_ms << ",\n";
+  json << "  \"speedup\": " << (engine_ms > 0 ? seq_ms / engine_ms : 0.0) << ",\n";
+  json << "  \"verdicts_agree\": " << (all_agree ? "true" : "false") << ",\n";
+  if (batch.ok()) {
+    const BatchStats& s = batch->stats;
+    json << "  \"procedure_mix\": {\"trivial\": " << s.by_trivial
+         << ", \"fd\": " << s.by_fd << ", \"interval_cover\": " << s.by_interval_cover
+         << ", \"sat\": " << s.by_sat << ", \"exhaustive\": " << s.by_exhaustive
+         << "},\n";
+    json << "  \"cache\": {\"witness_hits\": " << s.witness_cache_hits
+         << ", \"witness_misses\": " << s.witness_cache_misses
+         << ", \"premise_hits\": " << s.premise_cache_hits
+         << ", \"premise_misses\": " << s.premise_cache_misses << "},\n";
+  }
+  json << "  \"deadline_overhead\": {\"reps\": " << kOverheadReps
+       << ", \"no_deadline_ms\": " << no_deadline_ms
+       << ", \"generous_deadline_ms\": " << generous_ms
+       << ", \"overhead_pct\": " << overhead_pct << "},\n";
+  json << "  \"adversarial_deadline\": {\"queries\": " << kAdversarialQueries
+       << ", \"per_query_deadline_ms\": 10, \"policy\": \"degrade\", \"batch_ms\": "
+       << adv_ms;
+  if (adv_out.ok()) {
+    const BatchStats& s = adv_out->stats;
+    json << ", \"degraded\": " << s.degraded << ", \"timed_out\": " << s.timed_out
+         << ", \"escalations\": " << s.escalations << ", \"cancelled\": " << s.cancelled
+         << ", \"failed\": " << s.failed;
+  }
+  json << "}\n";
+  json << "}\n";
+  std::printf("wrote BENCH_E2.json\n\n");
 }
 
 void BM_Exhaustive(benchmark::State& state) {

@@ -2,6 +2,7 @@
 
 #include "lattice/decomposition.h"
 #include "prop/cnf.h"
+#include "util/failpoint.h"
 
 namespace diffc {
 
@@ -14,22 +15,33 @@ bool InConstraintLattice(const ConstraintSet& premises, const ItemSet& u) {
 
 Result<ImplicationOutcome> CheckImplicationExhaustive(int n, const ConstraintSet& premises,
                                                       const DifferentialConstraint& goal,
-                                                      int max_free_bits) {
+                                                      int max_free_bits, StopCheck* stop) {
   const int free_bits = n - goal.lhs().size();
   if (free_bits > max_free_bits) {
     return Status::ResourceExhausted("exhaustive implication over " +
                                      std::to_string(free_bits) + " free attributes");
   }
   ImplicationOutcome out;
-  out.implied = true;
-  ForEachSuperset(goal.lhs().bits(), FullMask(n), [&](Mask m) {
-    if (!out.implied) return;
-    ItemSet u(m);
-    if (!goal.rhs().SomeMemberSubsetOf(u) && !InConstraintLattice(premises, u)) {
-      out.implied = false;
-      out.counterexample = u;
+  out.SetImplied();
+  // Manual superset walk (rather than ForEachSuperset) so a counterexample
+  // or a fired stop condition breaks out without visiting the remaining
+  // 2^free_bits - k supersets.
+  const Mask fixed = goal.lhs().bits();
+  const Mask free = FullMask(n) & ~fixed;
+  Mask sub = free;
+  while (true) {
+    if (stop != nullptr) {
+      Status s = stop->Check();
+      if (!s.ok()) return s;
     }
-  });
+    ItemSet u(fixed | sub);
+    if (!goal.rhs().SomeMemberSubsetOf(u) && !InConstraintLattice(premises, u)) {
+      out.SetNotImplied(u);
+      break;
+    }
+    if (sub == 0) break;
+    sub = (sub - 1) & free;
+  }
   return out;
 }
 
@@ -61,7 +73,10 @@ Result<ImplicationOutcome> CheckImplicationSat(int n, const ConstraintSet& premi
 
 Result<ImplicationOutcome> CheckImplicationSatTranslated(
     int n, const PremiseTranslation& translation, const DifferentialConstraint& goal,
-    prop::SolverStats* stats, std::uint64_t max_decisions) {
+    prop::SolverStats* stats, std::uint64_t max_decisions, StopCheck* stop) {
+  if (DIFFC_FAILPOINT("cnf/translate")) {
+    return Status::Internal("failpoint cnf/translate: CNF translation failed");
+  }
   prop::Cnf cnf;
   cnf.num_vars = translation.num_vars;
 
@@ -79,18 +94,20 @@ Result<ImplicationOutcome> CheckImplicationSatTranslated(
                      translation.clauses.end());
 
   prop::DpllSolver solver(max_decisions);
+  solver.set_stop(stop);
   Result<prop::SatResult> sat = solver.Solve(cnf);
   if (stats != nullptr) *stats = solver.stats();
   if (!sat.ok()) return sat.status();
 
   ImplicationOutcome out;
-  out.implied = !sat->satisfiable;
   if (sat->satisfiable) {
     Mask u = 0;
     for (int i = 0; i < n; ++i) {
       if (sat->model[i]) u |= Mask{1} << i;
     }
-    out.counterexample = ItemSet(u);
+    out.SetNotImplied(ItemSet(u));
+  } else {
+    out.SetImplied();
   }
   return out;
 }
@@ -124,8 +141,11 @@ Result<ImplicationOutcome> CheckImplicationFd(int n, const ConstraintSet& premis
     }
   }
   ImplicationOutcome out;
-  out.implied = goal.rhs().member(0).IsSubsetOf(closure);
-  if (!out.implied) out.counterexample = closure;
+  if (goal.rhs().member(0).IsSubsetOf(closure)) {
+    out.SetImplied();
+  } else {
+    out.SetNotImplied(closure);
+  }
   return out;
 }
 
@@ -133,7 +153,7 @@ Result<ImplicationOutcome> CheckImplication(int n, const ConstraintSet& premises
                                             const DifferentialConstraint& goal) {
   if (goal.IsTrivial()) {
     ImplicationOutcome out;
-    out.implied = true;
+    out.SetImplied();
     return out;
   }
   if (FdSubclassApplicable(premises, goal)) {

@@ -12,12 +12,40 @@ namespace diffc {
 
 /// The answer to an implication query `C |= X -> Y`.
 struct ImplicationOutcome {
-  /// True iff the constraint is implied.
+  /// Three-valued answer. The core decision procedures only ever produce
+  /// kImplied / kNotImplied; kUnknown is reserved for the implication
+  /// engine's `ExhaustionPolicy::kDegrade`, which converts a deadline or
+  /// budget exhaustion into an OK result carrying this verdict (the query
+  /// stats record which procedure ran out). Unscoped on purpose, so
+  /// `ImplicationOutcome::kUnknown` reads naturally at call sites.
+  enum Verdict { kNotImplied = 0, kImplied = 1, kUnknown = 2 };
+
+  /// True iff the constraint is implied. Kept in sync with `verdict`
+  /// (kUnknown reads as not implied here; check `verdict` when the engine
+  /// may degrade).
   bool implied = false;
+  /// The three-valued verdict; authoritative under degrade policies.
+  Verdict verdict = kNotImplied;
   /// When not implied: a set `U ∈ L(X, Y) ∖ L(C)`. The function `f_U`
   /// (Theorem 3.5) and the one-basket list `(U)` (Proposition 6.4) built
   /// from it satisfy `C` and violate the goal; see `core/counterexample.h`.
   std::optional<ItemSet> counterexample;
+
+  void SetImplied() {
+    implied = true;
+    verdict = kImplied;
+    counterexample.reset();
+  }
+  void SetNotImplied(const ItemSet& cx) {
+    implied = false;
+    verdict = kNotImplied;
+    counterexample = cx;
+  }
+  void SetUnknown() {
+    implied = false;
+    verdict = kUnknown;
+    counterexample.reset();
+  }
 };
 
 /// True iff `u` lies in the closure lattice `L(C) = ∪ L(X_i, Y_i)` of
@@ -28,10 +56,13 @@ bool InConstraintLattice(const ConstraintSet& premises, const ItemSet& u);
 
 /// Decides `premises |= goal` by the syntactic criterion of Theorem 3.5,
 /// `L(C) ⊇ L(X, Y)`, checked by exhaustive enumeration of `L(X, Y)`.
-/// Exact but exponential; requires `n - |X| <= max_free_bits`.
+/// Exact but exponential; requires `n - |X| <= max_free_bits`. `stop`,
+/// when non-null, is checked (amortized) per enumerated set; a fired
+/// deadline / cancel token aborts and its status is returned.
 Result<ImplicationOutcome> CheckImplicationExhaustive(int n, const ConstraintSet& premises,
                                                       const DifferentialConstraint& goal,
-                                                      int max_free_bits = 24);
+                                                      int max_free_bits = 24,
+                                                      StopCheck* stop = nullptr);
 
 /// The premise side of the Proposition 5.4 CNF, reusable across goals.
 ///
@@ -72,10 +103,13 @@ Result<ImplicationOutcome> CheckImplicationSat(int n, const ConstraintSet& premi
 /// translation. `translation` must have been produced by
 /// `TranslatePremises(n, premises)` for the same `n`; the result is
 /// identical to `CheckImplicationSat(n, premises, goal, stats)`.
-/// `max_decisions` bounds the DPLL search (ResourceExhausted beyond it).
+/// `max_decisions` bounds the DPLL search (ResourceExhausted beyond it);
+/// `stop`, when non-null, is handed to the solver as a cooperative stop
+/// condition (DeadlineExceeded / Cancelled when it fires mid-search).
 Result<ImplicationOutcome> CheckImplicationSatTranslated(
     int n, const PremiseTranslation& translation, const DifferentialConstraint& goal,
-    prop::SolverStats* stats = nullptr, std::uint64_t max_decisions = 50'000'000);
+    prop::SolverStats* stats = nullptr, std::uint64_t max_decisions = 50'000'000,
+    StopCheck* stop = nullptr);
 
 /// True iff every premise and the goal have a single right-hand member —
 /// the subclass the paper's conclusion identifies with functional

@@ -63,6 +63,8 @@
 #include "relational/relation.h"
 #include "relational/simpson.h"
 #include "util/bitops.h"
+#include "util/deadline.h"
+#include "util/failpoint.h"
 #include "util/random.h"
 #include "util/rational.h"
 #include "util/status.h"

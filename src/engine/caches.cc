@@ -2,11 +2,24 @@
 
 #include <utility>
 
+#include "util/failpoint.h"
+
 namespace diffc {
+
+namespace {
+
+// A cached status must describe the *key*, not the query that computed it:
+// deadline / cancellation outcomes are per-query and would poison every
+// later lookup of the same family if cached.
+bool CacheableStatus(const Status& s) {
+  return s.code() != StatusCode::kDeadlineExceeded && s.code() != StatusCode::kCancelled;
+}
+
+}  // namespace
 
 std::shared_ptr<const WitnessSetCache::Entry> WitnessSetCache::Get(const SetFamily& family,
                                                                    std::size_t max_results,
-                                                                   bool* hit) {
+                                                                   bool* hit, StopCheck* stop) {
   Key key{family, max_results};
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -23,18 +36,26 @@ std::shared_ptr<const WitnessSetCache::Entry> WitnessSetCache::Get(const SetFami
   // Compute outside the lock: the transversal search can be expensive and
   // must not serialize unrelated queries.
   auto entry = std::make_shared<Entry>();
-  Result<std::vector<ItemSet>> r = MinimalWitnessSets(family, max_results, &entry->search);
+  Result<std::vector<ItemSet>> r =
+      MinimalWitnessSets(family, max_results, &entry->search, stop);
   entry->status = r.status();
   if (r.ok()) entry->witnesses = *std::move(r);
 
+  if (!CacheableStatus(entry->status)) return entry;
+  if (DIFFC_FAILPOINT("cache/witness-insert")) return entry;  // Served uncached.
+
   std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = map_.emplace(key, entry);
-  if (!inserted) return it->second;  // A concurrent miss beat us; reuse it.
+  // Find-then-insert: a concurrent miss may have populated the key while we
+  // searched; reusing its entry keeps `order_` free of duplicate keys.
+  auto it = map_.find(key);
+  if (it != map_.end()) return it->second;
+  map_.emplace(key, entry);
   order_.push_back(std::move(key));
   while (map_.size() > capacity_ && !order_.empty()) {
-    map_.erase(order_.front());
+    // Count only actual erases, so the eviction counter stays truthful even
+    // if `order_` ever drifts from the map's key set.
+    if (map_.erase(order_.front()) > 0) ++counters_.evictions;
     order_.pop_front();
-    ++counters_.evictions;
   }
   return entry;
 }
@@ -48,6 +69,11 @@ void WitnessSetCache::Clear() {
 CacheCounters WitnessSetCache::counters() const {
   std::lock_guard<std::mutex> lock(mu_);
   return counters_;
+}
+
+std::size_t WitnessSetCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
 }
 
 std::size_t PremiseTranslationCache::KeyHash::operator()(const Key& k) const {
@@ -77,14 +103,16 @@ std::shared_ptr<const PremiseTranslation> PremiseTranslationCache::Get(
 
   auto translation = std::make_shared<PremiseTranslation>(TranslatePremises(n, premises));
 
+  if (DIFFC_FAILPOINT("cache/premise-insert")) return translation;  // Served uncached.
+
   std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = map_.emplace(std::move(key), translation);
-  if (!inserted) return it->second;
-  order_.push_back(it->first);
+  auto it = map_.find(key);
+  if (it != map_.end()) return it->second;
+  auto inserted_it = map_.emplace(std::move(key), translation).first;
+  order_.push_back(inserted_it->first);
   while (map_.size() > capacity_ && !order_.empty()) {
-    map_.erase(order_.front());
+    if (map_.erase(order_.front()) > 0) ++counters_.evictions;
     order_.pop_front();
-    ++counters_.evictions;
   }
   return translation;
 }
@@ -98,6 +126,11 @@ void PremiseTranslationCache::Clear() {
 CacheCounters PremiseTranslationCache::counters() const {
   std::lock_guard<std::mutex> lock(mu_);
   return counters_;
+}
+
+std::size_t PremiseTranslationCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
 }
 
 WitnessSetCache& GlobalWitnessSetCache() {

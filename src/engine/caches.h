@@ -12,6 +12,7 @@
 #include "core/implication.h"
 #include "lattice/hitting_set.h"
 #include "lattice/set_family.h"
+#include "util/deadline.h"
 #include "util/status.h"
 
 namespace diffc {
@@ -53,14 +54,21 @@ class WitnessSetCache {
 
   /// The minimal witness sets of `family` under `max_results`, computed on
   /// miss. `hit`, when non-null, receives whether the entry was cached.
+  /// `stop`, when non-null, bounds the miss-path enumeration; an entry
+  /// whose status is DeadlineExceeded / Cancelled is returned to the
+  /// caller but never cached — those statuses describe this query's
+  /// deadline, not the family.
   std::shared_ptr<const Entry> Get(const SetFamily& family, std::size_t max_results,
-                                   bool* hit = nullptr);
+                                   bool* hit = nullptr, StopCheck* stop = nullptr);
 
   /// Drops every entry (counters are kept).
   void Clear();
 
   /// Lifetime hit/miss/eviction counters.
   CacheCounters counters() const;
+
+  /// Number of cached entries.
+  std::size_t size() const;
 
  private:
   struct Key {
@@ -104,6 +112,9 @@ class PremiseTranslationCache {
 
   /// Lifetime hit/miss/eviction counters.
   CacheCounters counters() const;
+
+  /// Number of cached entries.
+  std::size_t size() const;
 
  private:
   struct Key {

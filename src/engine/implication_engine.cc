@@ -2,8 +2,14 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <exception>
 #include <memory>
 #include <mutex>
+#include <random>
+#include <stdexcept>
+#include <thread>
+
+#include "util/failpoint.h"
 
 namespace diffc {
 
@@ -15,7 +21,50 @@ std::uint64_t NowNs() {
                                         .count());
 }
 
+// True for the statuses the exhaustion policy applies to; everything else
+// (Cancelled, Internal, InvalidArgument, ...) always surfaces as-is.
+bool IsExhaustion(const Status& s) {
+  return s.code() == StatusCode::kDeadlineExceeded ||
+         s.code() == StatusCode::kResourceExhausted;
+}
+
+// True iff `s` came from a fired StopCheck (as opposed to a solver budget
+// or any other per-stage failure).
+bool IsStopStatus(const Status& s) {
+  return s.code() == StatusCode::kDeadlineExceeded || s.code() == StatusCode::kCancelled;
+}
+
+// Sleeps a jittered exponential backoff before escalation attempt
+// `attempt` (the one about to run, 2-based), capped by the remaining batch
+// deadline. A zero base disables sleeping entirely.
+void EscalationBackoff(std::chrono::nanoseconds base, int attempt,
+                       const Deadline& batch_deadline) {
+  if (base.count() <= 0) return;
+  thread_local std::mt19937_64 rng{std::random_device{}()};
+  const double jitter = std::uniform_real_distribution<double>(0.5, 1.5)(rng);
+  auto wait = std::chrono::nanoseconds(static_cast<std::int64_t>(
+      static_cast<double>(base.count()) * static_cast<double>(1 << (attempt - 2)) * jitter));
+  if (!batch_deadline.IsNever()) {
+    auto remaining = batch_deadline.Remaining();
+    if (remaining.count() <= 0) return;
+    wait = std::min(wait, std::chrono::duration_cast<std::chrono::nanoseconds>(remaining));
+  }
+  std::this_thread::sleep_for(wait);
+}
+
 }  // namespace
+
+const char* ExhaustionPolicyName(ExhaustionPolicy p) {
+  switch (p) {
+    case ExhaustionPolicy::kFail:
+      return "fail";
+    case ExhaustionPolicy::kDegrade:
+      return "degrade";
+    case ExhaustionPolicy::kEscalate:
+      return "escalate";
+  }
+  return "unknown";
+}
 
 const char* DecisionProcedureName(DecisionProcedure p) {
   switch (p) {
@@ -40,7 +89,11 @@ std::string BatchStats::ToString() const {
   s += "queries=" + std::to_string(queries);
   s += " implied=" + std::to_string(implied);
   s += " not_implied=" + std::to_string(not_implied);
+  s += " degraded=" + std::to_string(degraded);
   s += " failed=" + std::to_string(failed);
+  s += " | timed_out=" + std::to_string(timed_out);
+  s += " escalations=" + std::to_string(escalations);
+  s += " cancelled=" + std::to_string(cancelled);
   s += " | trivial=" + std::to_string(by_trivial);
   s += " fd=" + std::to_string(by_fd);
   s += " cover=" + std::to_string(by_interval_cover);
@@ -61,15 +114,26 @@ ImplicationEngine::ImplicationEngine(EngineOptions options)
   options_.num_threads = pool_.size();
 }
 
-EngineQueryResult ImplicationEngine::RunQuery(int n, const ConstraintSet& premises,
-                                              const DifferentialConstraint& goal) {
+EngineQueryResult ImplicationEngine::RunQueryOnce(int n, const ConstraintSet& premises,
+                                                  const DifferentialConstraint& goal,
+                                                  StopCheck* stop, const Budgets& budgets) {
   EngineQueryResult r;
   const std::uint64_t start = NowNs();
 
-  // 1. Triviality: L(X, Y) = ∅, every function satisfies the goal.
+  // 1. Triviality: L(X, Y) = ∅, every function satisfies the goal. Runs
+  // before the first stop sample on purpose: an O(1) certain answer beats a
+  // DeadlineExceeded even when the batch is already over budget.
   if (goal.IsTrivial()) {
-    r.outcome.implied = true;
+    r.outcome.SetImplied();
     r.stats.procedure = DecisionProcedure::kTrivial;
+    r.stats.wall_ns = NowNs() - start;
+    return r;
+  }
+
+  // Fail fast on a deadline that expired before this query started (the
+  // degrade path of an over-budget batch).
+  if (Status s = stop->CheckNow(); !s.ok()) {
+    r.status = std::move(s);
     r.stats.wall_ns = NowNs() - start;
     return r;
   }
@@ -97,18 +161,29 @@ EngineQueryResult ImplicationEngine::RunQuery(int n, const ConstraintSet& premis
   if (options_.use_interval_cover_fast_path) {
     r.stats.witness_cache_used = true;
     std::shared_ptr<const WitnessSetCache::Entry> entry = GlobalWitnessSetCache().Get(
-        goal.rhs(), options_.witness_max_results, &r.stats.witness_cache_hit);
+        goal.rhs(), budgets.witness_max_results, &r.stats.witness_cache_hit, stop);
+    if (IsStopStatus(entry->status)) {
+      r.status = entry->status;
+      r.stats.stopped_in = DecisionProcedure::kIntervalCover;
+      r.stats.wall_ns = NowNs() - start;
+      return r;
+    }
     if (entry->status.ok()) {
       bool every_interval_covered = true;
       for (const ItemSet& w : entry->witnesses) {
+        if (Status s = stop->Check(); !s.ok()) {
+          r.status = std::move(s);
+          r.stats.stopped_in = DecisionProcedure::kIntervalCover;
+          r.stats.wall_ns = NowNs() - start;
+          return r;
+        }
         if (!goal.lhs().Intersect(w).empty()) continue;  // Empty interval.
         const ItemSet top = w.ComplementIn(n);
         // `top` ∈ L(X, Y): X ⊆ top, and no goal member fits inside top
         // because W hits every member. If no premise excludes it, it is a
         // counterexample and the goal is not implied.
         if (!InConstraintLattice(premises, top)) {
-          r.outcome.implied = false;
-          r.outcome.counterexample = top;
+          r.outcome.SetNotImplied(top);
           r.stats.procedure = DecisionProcedure::kIntervalCover;
           r.stats.wall_ns = NowNs() - start;
           return r;
@@ -126,7 +201,7 @@ EngineQueryResult ImplicationEngine::RunQuery(int n, const ConstraintSet& premis
         if (!covered) every_interval_covered = false;
       }
       if (every_interval_covered) {
-        r.outcome.implied = true;
+        r.outcome.SetImplied();
         r.stats.procedure = DecisionProcedure::kIntervalCover;
         r.stats.wall_ns = NowNs() - start;
         return r;
@@ -141,10 +216,16 @@ EngineQueryResult ImplicationEngine::RunQuery(int n, const ConstraintSet& premis
   std::shared_ptr<const PremiseTranslation> translation =
       GlobalPremiseTranslationCache().Get(n, premises, &r.stats.premise_cache_hit);
   Result<ImplicationOutcome> sat = CheckImplicationSatTranslated(
-      n, *translation, goal, &r.stats.solver, options_.max_solver_decisions);
+      n, *translation, goal, &r.stats.solver, budgets.max_decisions, stop);
   if (sat.ok()) {
     r.outcome = *sat;
     r.stats.procedure = DecisionProcedure::kSat;
+    r.stats.wall_ns = NowNs() - start;
+    return r;
+  }
+  if (IsStopStatus(sat.status())) {
+    r.status = sat.status();
+    r.stats.stopped_in = DecisionProcedure::kSat;
     r.stats.wall_ns = NowNs() - start;
     return r;
   }
@@ -153,19 +234,89 @@ EngineQueryResult ImplicationEngine::RunQuery(int n, const ConstraintSet& premis
   // ran out and the free-attribute count admits enumeration.
   if (sat.status().code() == StatusCode::kResourceExhausted &&
       n - goal.lhs().size() <= options_.exhaustive_max_free_bits) {
-    Result<ImplicationOutcome> ex =
-        CheckImplicationExhaustive(n, premises, goal, options_.exhaustive_max_free_bits);
+    Result<ImplicationOutcome> ex = CheckImplicationExhaustive(
+        n, premises, goal, options_.exhaustive_max_free_bits, stop);
     if (ex.ok()) {
       r.outcome = *ex;
       r.stats.procedure = DecisionProcedure::kExhaustive;
       r.stats.wall_ns = NowNs() - start;
       return r;
     }
+    if (IsStopStatus(ex.status())) {
+      r.status = ex.status();
+      r.stats.stopped_in = DecisionProcedure::kExhaustive;
+      r.stats.wall_ns = NowNs() - start;
+      return r;
+    }
   }
 
   r.status = sat.status();
+  if (IsExhaustion(r.status)) r.stats.stopped_in = DecisionProcedure::kSat;
   r.stats.wall_ns = NowNs() - start;
   return r;
+}
+
+EngineQueryResult ImplicationEngine::RunQuery(int n, const ConstraintSet& premises,
+                                              const DifferentialConstraint& goal,
+                                              const Deadline& batch_deadline,
+                                              const CancelToken& cancel) {
+  if (DIFFC_FAILPOINT("engine/throw")) {
+    throw std::runtime_error("failpoint engine/throw: query task threw");
+  }
+  Budgets budgets{options_.max_solver_decisions, options_.witness_max_results};
+  const std::uint64_t start = NowNs();
+  EngineQueryResult r;
+  int attempt = 1;
+  while (true) {
+    // Each attempt gets a fresh per-query deadline; the batch deadline is
+    // absolute and shared by every attempt.
+    Deadline deadline = batch_deadline;
+    if (options_.per_query_deadline.count() > 0) {
+      deadline = Deadline::Earlier(Deadline::After(options_.per_query_deadline), deadline);
+    }
+    StopCheck stop(deadline, cancel, options_.stop_check_stride);
+    r = RunQueryOnce(n, premises, goal, &stop, budgets);
+    r.stats.attempts = attempt;
+    if (r.status.ok() || !IsExhaustion(r.status)) break;
+
+    if (options_.exhaustion_policy == ExhaustionPolicy::kFail) break;
+    if (options_.exhaustion_policy == ExhaustionPolicy::kEscalate &&
+        attempt <= options_.max_retries) {
+      budgets.max_decisions *= 2;
+      budgets.witness_max_results *= 2;
+      ++attempt;
+      EscalationBackoff(options_.escalate_backoff, attempt, batch_deadline);
+      continue;
+    }
+    // kDegrade, or escalation retries exhausted: answer OK + kUnknown and
+    // keep the partial evidence (stopped_in, counters) in the stats.
+    r.stats.degraded_from = r.status.code();
+    r.status = Status::Ok();
+    r.outcome.SetUnknown();
+    break;
+  }
+  r.stats.wall_ns = NowNs() - start;
+  return r;
+}
+
+EngineQueryResult ImplicationEngine::GuardedRunQuery(int n, const ConstraintSet& premises,
+                                                     const DifferentialConstraint& goal,
+                                                     const Deadline& batch_deadline,
+                                                     const CancelToken& cancel) {
+  // A decision procedure that throws must fail its own query, not the
+  // process: the pool's loop-level catch would keep the worker alive but
+  // lose the error.
+  try {
+    return RunQuery(n, premises, goal, batch_deadline, cancel);
+  } catch (const std::exception& e) {
+    EngineQueryResult r;
+    r.status = Status::Internal(std::string("uncaught exception in query: ") + e.what());
+    return r;
+  } catch (...) {
+    EngineQueryResult r;
+    r.status = Status::Internal("uncaught non-exception throw in query");
+    return r;
+  }
 }
 
 EngineQueryResult ImplicationEngine::CheckOne(int n, const ConstraintSet& premises,
@@ -175,11 +326,15 @@ EngineQueryResult ImplicationEngine::CheckOne(int n, const ConstraintSet& premis
     r.status = Status::InvalidArgument("universe size must be in [0, 64]");
     return r;
   }
-  return RunQuery(n, premises, goal);
+  Deadline batch_deadline = options_.batch_deadline.count() > 0
+                                ? Deadline::After(options_.batch_deadline)
+                                : Deadline::Never();
+  return GuardedRunQuery(n, premises, goal, batch_deadline, CancelToken());
 }
 
 Result<BatchOutcome> ImplicationEngine::CheckBatch(
-    int n, const ConstraintSet& premises, const std::vector<DifferentialConstraint>& goals) {
+    int n, const ConstraintSet& premises, const std::vector<DifferentialConstraint>& goals,
+    CancelToken cancel) {
   if (n < 0 || n > 64) {
     return Status::InvalidArgument("universe size must be in [0, 64]");
   }
@@ -187,6 +342,9 @@ Result<BatchOutcome> ImplicationEngine::CheckBatch(
   BatchOutcome out;
   out.results.resize(goals.size());
   const std::uint64_t batch_start = NowNs();
+  const Deadline batch_deadline = options_.batch_deadline.count() > 0
+                                      ? Deadline::After(options_.batch_deadline)
+                                      : Deadline::Never();
 
   if (!goals.empty()) {
     // Countdown latch: workers fill disjoint slots of the pre-sized result
@@ -196,8 +354,16 @@ Result<BatchOutcome> ImplicationEngine::CheckBatch(
     std::size_t remaining = goals.size();
 
     for (std::size_t i = 0; i < goals.size(); ++i) {
-      pool_.Submit([this, i, n, &premises, &goals, &out, &done_mu, &done_cv, &remaining] {
-        out.results[i] = RunQuery(n, premises, goals[i]);
+      pool_.Submit([this, i, n, &premises, &goals, &out, &done_mu, &done_cv, &remaining,
+                    &batch_deadline, cancel] {
+        // A fired token drains still-queued queries without running them;
+        // queries already inside a solver observe the same token at their
+        // next check-point.
+        if (cancel.Cancelled()) {
+          out.results[i].status = Status::Cancelled("batch cancelled before query started");
+        } else {
+          out.results[i] = GuardedRunQuery(n, premises, goals[i], batch_deadline, cancel);
+        }
         std::lock_guard<std::mutex> lock(done_mu);
         if (--remaining == 0) done_cv.notify_one();
       });
@@ -212,11 +378,19 @@ Result<BatchOutcome> ImplicationEngine::CheckBatch(
   for (const EngineQueryResult& r : out.results) {
     if (!r.status.ok()) {
       ++s.failed;
+      if (r.status.code() == StatusCode::kCancelled) ++s.cancelled;
+    } else if (r.outcome.verdict == ImplicationOutcome::kUnknown) {
+      ++s.degraded;
     } else if (r.outcome.implied) {
       ++s.implied;
     } else {
       ++s.not_implied;
     }
+    if (r.status.code() == StatusCode::kDeadlineExceeded ||
+        r.stats.degraded_from == StatusCode::kDeadlineExceeded) {
+      ++s.timed_out;
+    }
+    s.escalations += static_cast<std::size_t>(r.stats.attempts > 1 ? r.stats.attempts - 1 : 0);
     switch (r.stats.procedure) {
       case DecisionProcedure::kNone:
         break;

@@ -1,6 +1,7 @@
 #ifndef DIFFC_ENGINE_IMPLICATION_ENGINE_H_
 #define DIFFC_ENGINE_IMPLICATION_ENGINE_H_
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -9,9 +10,33 @@
 #include "core/implication.h"
 #include "engine/caches.h"
 #include "engine/worker_pool.h"
+#include "util/deadline.h"
 #include "util/status.h"
 
 namespace diffc {
+
+/// What the engine does when a query exhausts a deadline or a solver
+/// budget (DeadlineExceeded / ResourceExhausted). Cancellation is never
+/// subject to this policy: a fired cancel token always surfaces as a
+/// Cancelled status.
+enum class ExhaustionPolicy {
+  /// Surface the failure as the per-query `Status` (the default; matches
+  /// the engine's historical behavior).
+  kFail = 0,
+  /// Return OK with `ImplicationOutcome::kUnknown`. The query stats keep
+  /// the partial evidence: `stopped_in` names the procedure that ran out
+  /// and `degraded_from` the status code it ran out with; solver / cache
+  /// counters describe the work done before giving up.
+  kDegrade,
+  /// Retry with doubled solver budgets (decision budget and witness
+  /// candidate budget) and a fresh per-query deadline, after a jittered
+  /// exponential backoff, up to `EngineOptions::max_retries` times; then
+  /// degrade as above.
+  kEscalate,
+};
+
+/// Stable name of an `ExhaustionPolicy` ("fail", "degrade", "escalate").
+const char* ExhaustionPolicyName(ExhaustionPolicy p);
 
 /// Tuning knobs of the batched implication engine.
 struct EngineOptions {
@@ -31,6 +56,26 @@ struct EngineOptions {
   /// Free-attribute bound for the exhaustive fallback used when the SAT
   /// budget is exhausted.
   int exhaustive_max_free_bits = 24;
+  /// Wall-clock budget per query attempt; zero = unbounded. Checked
+  /// cooperatively (amortized every `stop_check_stride` steps) inside every
+  /// decision procedure, so a fired deadline surfaces at the next
+  /// check-point, not instantly.
+  std::chrono::nanoseconds per_query_deadline{0};
+  /// Wall-clock budget for a whole `CheckBatch` call; zero = unbounded.
+  /// Each query runs under the earlier of this and its own deadline.
+  std::chrono::nanoseconds batch_deadline{0};
+  /// What to do when a query exhausts a deadline or solver budget.
+  ExhaustionPolicy exhaustion_policy = ExhaustionPolicy::kFail;
+  /// Retries under `ExhaustionPolicy::kEscalate` (attempts beyond the
+  /// first); exhausted retries degrade.
+  int max_retries = 2;
+  /// Base backoff between escalation attempts (doubled per retry, jittered
+  /// by 0.5–1.5x, capped by the remaining batch deadline); zero disables
+  /// sleeping.
+  std::chrono::nanoseconds escalate_backoff{100'000};
+  /// Steps between cooperative deadline / cancellation checks inside the
+  /// solvers and enumerations.
+  std::uint32_t stop_check_stride = StopCheck::kDefaultStride;
 };
 
 /// Which decision procedure answered a query.
@@ -49,15 +94,26 @@ const char* DecisionProcedureName(DecisionProcedure p);
 /// Per-query execution counters.
 struct QueryStats {
   DecisionProcedure procedure = DecisionProcedure::kNone;
+  /// The procedure that was running when a deadline / cancellation / budget
+  /// stop fired (kNone when the query concluded normally). Under
+  /// `ExhaustionPolicy::kDegrade` this is the partial evidence attached to
+  /// a kUnknown verdict.
+  DecisionProcedure stopped_in = DecisionProcedure::kNone;
+  /// Attempts run (1 + escalation retries).
+  int attempts = 1;
+  /// Under `ExhaustionPolicy::kDegrade`: the status code (DeadlineExceeded
+  /// or ResourceExhausted) the final attempt failed with before the engine
+  /// converted it to OK + kUnknown; kOk otherwise.
+  StatusCode degraded_from = StatusCode::kOk;
   /// Witness-set cache hit/lookup flags (fast-path queries only).
   bool witness_cache_used = false;
   bool witness_cache_hit = false;
   /// Premise-translation cache hit/lookup flags (SAT queries only).
   bool premise_cache_used = false;
   bool premise_cache_hit = false;
-  /// DPLL counters (zero off the SAT path).
+  /// DPLL counters (zero off the SAT path; last attempt only).
   prop::SolverStats solver;
-  /// Wall time of this query, nanoseconds.
+  /// Wall time of this query across all attempts, nanoseconds.
   std::uint64_t wall_ns = 0;
 };
 
@@ -70,11 +126,26 @@ struct EngineQueryResult {
 };
 
 /// Aggregate counters of one `CheckBatch` call.
+///
+/// `implied + not_implied + degraded + failed == queries`; `cancelled` and
+/// `timed_out` classify (subsets of) the other buckets and `escalations`
+/// counts retries, so those three are not part of the partition.
 struct BatchStats {
   std::size_t queries = 0;
   std::size_t implied = 0;
   std::size_t not_implied = 0;
   std::size_t failed = 0;
+  /// Queries whose verdict is kUnknown (OK status under
+  /// `ExhaustionPolicy::kDegrade`).
+  std::size_t degraded = 0;
+  /// Queries that hit a deadline: final status DeadlineExceeded, or
+  /// degraded from it.
+  std::size_t timed_out = 0;
+  /// Escalation retries run across the batch (attempts beyond each query's
+  /// first).
+  std::size_t escalations = 0;
+  /// Queries returned Cancelled (counted in `failed` as well).
+  std::size_t cancelled = 0;
   /// Queries answered per procedure.
   std::size_t by_trivial = 0;
   std::size_t by_fd = 0;
@@ -136,17 +207,40 @@ class ImplicationEngine {
   /// Decides `premises |= goals[i]` for every goal, in parallel. Returns
   /// InvalidArgument for an out-of-range universe size; per-query failures
   /// land in the corresponding `EngineQueryResult::status`, never abort.
+  ///
+  /// `cancel` is a cooperative batch-wide cancel handle: fire it (from any
+  /// thread) and queries not yet started return Cancelled without running,
+  /// while running queries stop at their next check-point and return
+  /// Cancelled from there. The call still waits for every slot to settle,
+  /// so the returned vector is fully populated.
   Result<BatchOutcome> CheckBatch(int n, const ConstraintSet& premises,
-                                  const std::vector<DifferentialConstraint>& goals);
+                                  const std::vector<DifferentialConstraint>& goals,
+                                  CancelToken cancel = CancelToken());
 
-  /// Single-query convenience: the same dispatch and caches, no pool
-  /// round-trip.
+  /// Single-query convenience: the same dispatch, caches, deadlines, and
+  /// exhaustion policy, no pool round-trip.
   EngineQueryResult CheckOne(int n, const ConstraintSet& premises,
                              const DifferentialConstraint& goal);
 
  private:
+  /// Solver budgets, doubled per escalation attempt.
+  struct Budgets {
+    std::uint64_t max_decisions;
+    std::size_t witness_max_results;
+  };
+
+  /// One dispatch pass under `stop` (may end early with its status).
+  EngineQueryResult RunQueryOnce(int n, const ConstraintSet& premises,
+                                 const DifferentialConstraint& goal, StopCheck* stop,
+                                 const Budgets& budgets);
+  /// The exhaustion-policy loop around `RunQueryOnce`.
   EngineQueryResult RunQuery(int n, const ConstraintSet& premises,
-                             const DifferentialConstraint& goal);
+                             const DifferentialConstraint& goal, const Deadline& batch_deadline,
+                             const CancelToken& cancel);
+  /// `RunQuery` with exceptions converted to an Internal per-query status.
+  EngineQueryResult GuardedRunQuery(int n, const ConstraintSet& premises,
+                                    const DifferentialConstraint& goal,
+                                    const Deadline& batch_deadline, const CancelToken& cancel);
 
   EngineOptions options_;
   WorkerPool pool_;

@@ -36,7 +36,14 @@ void WorkerPool::WorkerLoop(std::stop_token stop) {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    try {
+      task();
+    } catch (...) {
+      // Never let an exception escape the jthread (std::terminate). The
+      // task's owner observes the failure through its own result channel;
+      // this counter is for tests and post-mortems.
+      uncaught_exceptions_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 }
 

@@ -1,7 +1,9 @@
 #ifndef DIFFC_ENGINE_WORKER_POOL_H_
 #define DIFFC_ENGINE_WORKER_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -13,11 +15,19 @@ namespace diffc {
 /// A fixed-size pool of `std::jthread` workers draining a shared task
 /// queue — the execution substrate of the batched implication engine.
 ///
-/// Tasks are arbitrary `void()` callables and must not throw. Submission is
-/// thread-safe. Destruction requests stop, wakes all workers, and joins
-/// them (jthread); tasks still queued at destruction are discarded, so
-/// callers that need completion must track it themselves (the engine uses a
-/// countdown latch per batch).
+/// Tasks are arbitrary `void()` callables. A task that throws does NOT
+/// take the process down: the exception is swallowed at the worker loop
+/// (counted in `uncaught_exceptions()`) and the worker keeps draining the
+/// queue. Callers that need the error itself must catch inside the task —
+/// the engine converts throws to a per-query Internal `Status` there; the
+/// loop-level catch is the last-resort guard that keeps one poisoned task
+/// from terminating every thread (an escaped exception in a `jthread`
+/// calls `std::terminate`).
+///
+/// Submission is thread-safe. Destruction requests stop, wakes all
+/// workers, and joins them (jthread); tasks still queued at destruction
+/// are discarded, so callers that need completion must track it themselves
+/// (the engine uses a countdown latch per batch).
 class WorkerPool {
  public:
   /// Creates `num_threads` workers (clamped to at least 1).
@@ -33,6 +43,12 @@ class WorkerPool {
   /// Enqueues `task` for execution by some worker.
   void Submit(std::function<void()> task);
 
+  /// Number of exceptions that escaped submitted tasks (and were swallowed
+  /// by the worker loop) over the pool's lifetime.
+  std::uint64_t uncaught_exceptions() const {
+    return uncaught_exceptions_.load(std::memory_order_relaxed);
+  }
+
  private:
   void WorkerLoop(std::stop_token stop);
 
@@ -40,6 +56,7 @@ class WorkerPool {
   std::condition_variable_any cv_;
   std::deque<std::function<void()>> queue_;
   std::vector<std::jthread> workers_;
+  std::atomic<std::uint64_t> uncaught_exceptions_{0};
 };
 
 }  // namespace diffc

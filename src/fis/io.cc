@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/failpoint.h"
 #include "util/text.h"
 
 namespace diffc {
@@ -23,6 +24,9 @@ std::string BasketsToText(const BasketList& b) {
 }
 
 Result<BasketList> BasketsFromText(const std::string& text) {
+  if (DIFFC_FAILPOINT("fis/parse-baskets")) {
+    return Status::Internal("failpoint fis/parse-baskets: basket parse failed");
+  }
   int num_items = -1;
   std::vector<Mask> baskets;
   for (const std::string& raw : Split(text, '\n')) {
@@ -75,6 +79,9 @@ Status SaveBaskets(const BasketList& b, const std::string& path) {
 }
 
 Result<BasketList> LoadBaskets(const std::string& path) {
+  if (DIFFC_FAILPOINT("fis/load-baskets")) {
+    return Status::NotFound("failpoint fis/load-baskets: cannot open: " + path);
+  }
   std::ifstream in(path);
   if (!in) return Status::NotFound("cannot open: " + path);
   std::ostringstream buffer;

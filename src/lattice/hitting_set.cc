@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "util/failpoint.h"
+
 namespace diffc {
 
 bool IsWitnessSet(const SetFamily& family, const ItemSet& w) {
@@ -52,9 +54,18 @@ struct TransversalSearch {
   std::size_t max_results;
   WitnessSearchStats stats;
   bool overflow = false;
+  StopCheck* stop = nullptr;
+  Status stop_status;
 
   void Run(ItemSet chosen, size_t idx) {
-    if (overflow) return;
+    if (overflow || !stop_status.ok()) return;
+    if (stop != nullptr) {
+      Status s = stop->Check();
+      if (!s.ok()) {
+        stop_status = std::move(s);
+        return;
+      }
+    }
     ++stats.nodes;
     // Find the first member not hit by `chosen`.
     while (idx < members->size() && !(*members)[idx].Intersect(chosen).empty()) ++idx;
@@ -78,14 +89,22 @@ struct TransversalSearch {
 
 Result<std::vector<ItemSet>> MinimalWitnessSets(const SetFamily& family,
                                                 std::size_t max_results,
-                                                WitnessSearchStats* stats) {
+                                                WitnessSearchStats* stats,
+                                                StopCheck* stop) {
   if (family.HasEmptyMember()) return std::vector<ItemSet>{};
+  if (DIFFC_FAILPOINT("witness/truncate")) {
+    if (stats != nullptr) *stats = WitnessSearchStats{};
+    return Status::ResourceExhausted(
+        "failpoint witness/truncate: candidate transversal budget exceeded");
+  }
   SetFamily minimized = family.Minimized();
   TransversalSearch search;
   search.members = &minimized.members();
   search.max_results = max_results;
+  search.stop = stop;
   search.Run(ItemSet(), 0);
   if (stats != nullptr) *stats = search.stats;
+  if (!search.stop_status.ok()) return search.stop_status;
   if (search.overflow) {
     // A truncated enumeration is an error, never a partial answer: callers
     // (decomposition covers, the implication engine's witness cache) would

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "lattice/set_family.h"
+#include "util/deadline.h"
 #include "util/status.h"
 
 namespace diffc {
@@ -44,10 +45,13 @@ struct WitnessSearchStats {
 /// Truncation is never silent: when the candidate budget is exceeded the
 /// result is a ResourceExhausted *error* — callers must not treat it as a
 /// (partial) answer. `stats`, when non-null, receives the work counters
-/// even on the error path.
+/// even on the error path. `stop`, when non-null, is checked (amortized) at
+/// every search node; a fired deadline / cancel token aborts the search and
+/// its status is returned.
 Result<std::vector<ItemSet>> MinimalWitnessSets(const SetFamily& family,
                                                 std::size_t max_results = 1 << 20,
-                                                WitnessSearchStats* stats = nullptr);
+                                                WitnessSearchStats* stats = nullptr,
+                                                StopCheck* stop = nullptr);
 
 }  // namespace diffc
 

@@ -209,6 +209,10 @@ Result<SatResult> CdclSolver::Solve(const Cnf& cnf) {
   std::uint64_t conflicts_since_restart = 0;
 
   while (true) {
+    if (stop_ != nullptr) {
+      Status s = stop_->Check();
+      if (!s.ok()) return s;
+    }
     const int conflict = Propagate();
     if (conflict != -1) {
       ++stats_.conflicts;

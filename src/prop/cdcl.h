@@ -28,6 +28,12 @@ class CdclSolver {
   explicit CdclSolver(std::uint64_t max_conflicts = 5'000'000)
       : max_conflicts_(max_conflicts) {}
 
+  /// Installs a cooperative stop condition, checked (amortized) once per
+  /// main-loop iteration; Solve returns its DeadlineExceeded / Cancelled
+  /// status when it fires. Non-owning; `stop` must outlive Solve. Pass
+  /// nullptr to detach.
+  void set_stop(StopCheck* stop) { stop_ = stop; }
+
   /// Decides satisfiability of `cnf`; when satisfiable the model satisfies
   /// every clause.
   Result<SatResult> Solve(const Cnf& cnf);
@@ -75,6 +81,7 @@ class CdclSolver {
 
   std::uint64_t max_conflicts_;
   SolverStats stats_;
+  StopCheck* stop_ = nullptr;
   std::uint64_t learned_ = 0;
   std::uint64_t restarts_ = 0;
 

@@ -19,6 +19,7 @@ std::int8_t LitValue(Literal lit, const std::vector<std::int8_t>& assignment) {
 Result<SatResult> DpllSolver::Solve(const Cnf& cnf) {
   stats_ = SolverStats{};
   budget_exceeded_ = false;
+  stop_status_ = Status::Ok();
   for (const Clause& clause : cnf.clauses) {
     if (clause.empty()) return SatResult{};  // Trivially unsatisfiable.
     for (Literal lit : clause) {
@@ -29,6 +30,7 @@ Result<SatResult> DpllSolver::Solve(const Cnf& cnf) {
   }
   std::vector<std::int8_t> assignment(cnf.num_vars, kUnassigned);
   bool sat = Search(cnf, assignment);
+  if (!stop_status_.ok()) return stop_status_;
   if (budget_exceeded_) {
     return Status::ResourceExhausted("DPLL decision budget exceeded");
   }
@@ -108,7 +110,16 @@ int DpllSolver::PickBranchVariable(const Cnf& cnf,
 }
 
 bool DpllSolver::Search(const Cnf& cnf, std::vector<std::int8_t>& assignment) {
-  if (budget_exceeded_) return false;
+  if (budget_exceeded_ || !stop_status_.ok()) return false;
+  // Cooperative check-point: amortized inside StopCheck, so this is a
+  // branch and a decrement on all but every 1024th node.
+  if (stop_ != nullptr) {
+    Status s = stop_->Check();
+    if (!s.ok()) {
+      stop_status_ = std::move(s);
+      return false;
+    }
+  }
   std::vector<int> trail;
   if (!Propagate(cnf, assignment, trail)) {
     for (int v : trail) assignment[v] = kUnassigned;
@@ -118,6 +129,7 @@ bool DpllSolver::Search(const Cnf& cnf, std::vector<std::int8_t>& assignment) {
   if (var == -1) return true;  // Complete assignment, no conflict: model.
 
   for (std::int8_t phase : {kTrue, kFalse}) {
+    if (!stop_status_.ok()) break;
     if (++stats_.decisions > max_decisions_) {
       budget_exceeded_ = true;
       break;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "prop/cnf.h"
+#include "util/deadline.h"
 #include "util/status.h"
 
 namespace diffc::prop {
@@ -41,6 +42,12 @@ class DpllSolver {
   explicit DpllSolver(std::uint64_t max_decisions = 50'000'000)
       : max_decisions_(max_decisions) {}
 
+  /// Installs a cooperative stop condition, checked (amortized) at every
+  /// search node; Solve returns its DeadlineExceeded / Cancelled status
+  /// when it fires mid-search. Non-owning; `stop` must outlive Solve.
+  /// Pass nullptr to detach.
+  void set_stop(StopCheck* stop) { stop_ = stop; }
+
   /// Decides satisfiability of `cnf`. The returned model (when satisfiable)
   /// satisfies every clause; `Cnf::IsSatisfiedBy` re-checks it in tests.
   Result<SatResult> Solve(const Cnf& cnf);
@@ -61,6 +68,8 @@ class DpllSolver {
   std::uint64_t max_decisions_;
   SolverStats stats_;
   bool budget_exceeded_ = false;
+  StopCheck* stop_ = nullptr;
+  Status stop_status_;
 };
 
 }  // namespace diffc::prop

@@ -2,6 +2,8 @@
 
 #include <climits>
 
+#include "util/failpoint.h"
+
 namespace diffc {
 
 namespace {
@@ -39,6 +41,9 @@ bool Reduce(Int128 num, Int128 den, std::int64_t* out_num, std::int64_t* out_den
 }
 
 Rational FromParts(Int128 num, Int128 den) {
+  // Every arithmetic operator funnels through here, so one fail point
+  // covers all overflow-producing paths.
+  if (DIFFC_FAILPOINT("rational/overflow")) return Rational::Overflow();
   if (den == 0) return Rational::Overflow();
   std::int64_t n, d;
   if (!Reduce(num, den, &n, &d)) return Rational::Overflow();

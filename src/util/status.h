@@ -18,6 +18,8 @@ enum class StatusCode {
   kNotFound = 4,
   kResourceExhausted = 5,
   kInternal = 6,
+  kDeadlineExceeded = 7,
+  kCancelled = 8,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -62,6 +64,16 @@ class Status {
   /// Returns an Internal error with `message`.
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
+  }
+  /// Returns a DeadlineExceeded error with `message` — a wall-clock bound
+  /// expired before the computation finished.
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  /// Returns a Cancelled error with `message` — the caller's `CancelToken`
+  /// fired before or during the computation.
+  static Status Cancelled(std::string message) {
+    return Status(StatusCode::kCancelled, std::move(message));
   }
 
   /// True iff this status represents success.

@@ -5,16 +5,21 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/implication.h"
 #include "engine/caches.h"
 #include "engine/implication_engine.h"
 #include "engine/worker_pool.h"
+#include "prop/tautology.h"
 #include "test_helpers.h"
+#include "util/deadline.h"
 #include "util/random.h"
 
 namespace diffc {
@@ -295,6 +300,255 @@ TEST(ImplicationEngineTest, BatchStatsToStringMentionsCaches) {
   EXPECT_NE(s.find("premise_cache"), std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// Shared caches, tested on local instances (the global ones are shared
+// across tests and carry counters from earlier batches).
+
+TEST(CacheTest, WitnessCacheEvictsFifoAtCapacity) {
+  WitnessSetCache cache(4);
+  for (int i = 0; i < 10; ++i) {
+    SetFamily family({ItemSet::Singleton(i), ItemSet{10, 11}});
+    bool hit = true;
+    std::shared_ptr<const WitnessSetCache::Entry> entry = cache.Get(family, 64, &hit);
+    ASSERT_TRUE(entry->status.ok());
+    EXPECT_FALSE(hit);
+  }
+  EXPECT_EQ(cache.size(), 4u);
+  CacheCounters c = cache.counters();
+  EXPECT_EQ(c.misses, 10u);
+  EXPECT_EQ(c.hits, 0u);
+  EXPECT_EQ(c.evictions, 6u);
+  // FIFO: the newest entry survives, the oldest was evicted.
+  bool hit = false;
+  cache.Get(SetFamily({ItemSet::Singleton(9), ItemSet{10, 11}}), 64, &hit);
+  EXPECT_TRUE(hit);
+  cache.Get(SetFamily({ItemSet::Singleton(0), ItemSet{10, 11}}), 64, &hit);
+  EXPECT_FALSE(hit);
+}
+
+TEST(CacheTest, RepeatLookupsShareOneEntry) {
+  WitnessSetCache cache(4);
+  SetFamily family({ItemSet{0}, ItemSet{1, 2}});
+  std::shared_ptr<const WitnessSetCache::Entry> a = cache.Get(family, 64);
+  std::shared_ptr<const WitnessSetCache::Entry> b = cache.Get(family, 64);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(cache.size(), 1u);
+  CacheCounters c = cache.counters();
+  EXPECT_EQ(c.hits, 1u);
+  EXPECT_EQ(c.misses, 1u);
+  EXPECT_EQ(c.evictions, 0u);
+}
+
+TEST(CacheTest, NegativeEntriesAreCachedAndServed) {
+  // 12 disjoint pairs: 2^12 minimal transversals, far over a budget of 16,
+  // so the enumeration fails ResourceExhausted — and that failure is itself
+  // cached, so hostile families are not re-searched per query.
+  WitnessSetCache cache(16);
+  std::vector<ItemSet> members;
+  for (int i = 0; i < 12; ++i) members.push_back(ItemSet{2 * i, 2 * i + 1});
+  SetFamily family(std::move(members));
+  bool hit = true;
+  std::shared_ptr<const WitnessSetCache::Entry> first = cache.Get(family, 16, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(first->status.code(), StatusCode::kResourceExhausted);
+  std::shared_ptr<const WitnessSetCache::Entry> second = cache.Get(family, 16, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(second.get(), first.get());
+  EXPECT_EQ(second->status.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(CacheTest, PremiseCacheEvictsAndDedupes) {
+  PremiseTranslationCache cache(2);
+  auto make = [](int i) {
+    return ConstraintSet{DifferentialConstraint(ItemSet::Singleton(i),
+                                                SetFamily({ItemSet::Singleton(i + 1)}))};
+  };
+  for (int i = 0; i < 5; ++i) cache.Get(8, make(i));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.counters().evictions, 3u);
+  bool hit = false;
+  cache.Get(8, make(4), &hit);  // Newest still resident.
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Reliability layer: deadlines, exhaustion policies, cancellation.
+//
+// The adversarial instance is the pigeonhole DNF tautology PHP(holes+1,
+// holes) pushed through the Proposition 5.5 reduction: the interval-cover
+// fast path is provably inconclusive on it (the empty right-hand family's
+// only witness interval is not covered), so every query is pinned to DPLL,
+// whose cost scales steeply (holes=6 ≈ 6.5k decisions, holes=7 ≈ 65k
+// decisions ≈ hundreds of milliseconds) — and with 42+ free attributes the
+// exhaustive fallback is out of range, so exhaustion is genuine.
+
+prop::DnfFormula PigeonholeDnf(int holes) {
+  prop::DnfFormula f;
+  f.num_vars = (holes + 1) * holes;
+  auto var = [&](int pigeon, int hole) { return pigeon * holes + hole; };
+  // Pigeon i sits nowhere...
+  for (int i = 0; i <= holes; ++i) {
+    prop::DnfConjunct c;
+    for (int k = 0; k < holes; ++k) c.neg |= Mask{1} << var(i, k);
+    f.conjuncts.push_back(c);
+  }
+  // ...or pigeons i and j share hole k: a tautology by pigeonhole.
+  for (int i = 0; i <= holes; ++i)
+    for (int j = i + 1; j <= holes; ++j)
+      for (int k = 0; k < holes; ++k) {
+        prop::DnfConjunct c;
+        c.pos = (Mask{1} << var(i, k)) | (Mask{1} << var(j, k));
+        f.conjuncts.push_back(c);
+      }
+  return f;
+}
+
+struct PigeonholeProblem {
+  int n = 0;
+  ConstraintSet premises;
+  DifferentialConstraint goal = TautologyGoal();
+};
+
+PigeonholeProblem MakePigeonhole(int holes) {
+  PigeonholeProblem p;
+  prop::DnfFormula f = PigeonholeDnf(holes);
+  p.n = f.num_vars;
+  p.premises = DnfTautologyReduction(f);
+  return p;
+}
+
+TEST(EngineReliabilityTest, DegradePolicyYieldsUnknownWithEvidence) {
+  PigeonholeProblem p = MakePigeonhole(7);
+  EngineOptions opts;
+  opts.per_query_deadline = std::chrono::milliseconds(10);
+  opts.exhaustion_policy = ExhaustionPolicy::kDegrade;
+  ImplicationEngine engine(opts);
+  EngineQueryResult r = engine.CheckOne(p.n, p.premises, p.goal);
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.outcome.verdict, ImplicationOutcome::kUnknown);
+  EXPECT_FALSE(r.outcome.implied);
+  EXPECT_FALSE(r.outcome.counterexample.has_value());
+  // The partial evidence survives: which procedure ran out, with what, and
+  // how much work it had done.
+  EXPECT_EQ(r.stats.degraded_from, StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(r.stats.stopped_in, DecisionProcedure::kSat);
+  EXPECT_GT(r.stats.solver.decisions, 0u);
+}
+
+TEST(EngineReliabilityTest, FailPolicySurfacesDeadlineExceeded) {
+  PigeonholeProblem p = MakePigeonhole(7);
+  EngineOptions opts;
+  opts.per_query_deadline = std::chrono::milliseconds(5);
+  ImplicationEngine engine(opts);  // Default policy: kFail.
+  EngineQueryResult r = engine.CheckOne(p.n, p.premises, p.goal);
+  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(r.stats.stopped_in, DecisionProcedure::kSat);
+  EXPECT_EQ(r.stats.attempts, 1);
+}
+
+TEST(EngineReliabilityTest, EscalatePolicyRetriesUntilTheBudgetFits) {
+  // PHP(7,6) needs ~6.5k DPLL decisions: a budget of 2000 fails, its
+  // doublings 4000 and 8000 fail and succeed respectively, so the query
+  // lands on attempt 3 with two observable escalations.
+  PigeonholeProblem p = MakePigeonhole(6);
+  EngineOptions opts;
+  opts.max_solver_decisions = 2000;
+  opts.exhaustion_policy = ExhaustionPolicy::kEscalate;
+  opts.max_retries = 2;
+  opts.escalate_backoff = std::chrono::nanoseconds(0);
+  ImplicationEngine engine(opts);
+  Result<BatchOutcome> out = engine.CheckBatch(p.n, p.premises, {p.goal});
+  ASSERT_TRUE(out.ok());
+  const EngineQueryResult& r = out->results[0];
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_TRUE(r.outcome.implied);
+  EXPECT_EQ(r.stats.attempts, 3);
+  EXPECT_EQ(out->stats.escalations, 2u);
+  EXPECT_EQ(out->stats.implied, 1u);
+}
+
+TEST(EngineReliabilityTest, ExhaustedRetriesDegrade) {
+  PigeonholeProblem p = MakePigeonhole(6);
+  EngineOptions opts;
+  opts.max_solver_decisions = 100;  // 100 then 200: both far short.
+  opts.exhaustion_policy = ExhaustionPolicy::kEscalate;
+  opts.max_retries = 1;
+  opts.escalate_backoff = std::chrono::nanoseconds(0);
+  ImplicationEngine engine(opts);
+  EngineQueryResult r = engine.CheckOne(p.n, p.premises, p.goal);
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.outcome.verdict, ImplicationOutcome::kUnknown);
+  EXPECT_EQ(r.stats.attempts, 2);
+  EXPECT_EQ(r.stats.degraded_from, StatusCode::kResourceExhausted);
+}
+
+TEST(EngineReliabilityTest, CancellationDrainsTheBatch) {
+  PigeonholeProblem p = MakePigeonhole(7);
+  std::vector<DifferentialConstraint> goals(6, p.goal);
+  EngineOptions opts;
+  opts.num_threads = 2;
+  ImplicationEngine engine(opts);
+  CancelToken cancel;
+  std::thread canceller([&cancel] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    cancel.Cancel();
+  });
+  Result<BatchOutcome> out = engine.CheckBatch(p.n, p.premises, goals, cancel);
+  canceller.join();
+  ASSERT_TRUE(out.ok());
+  std::size_t stopped_while_running = 0, drained_from_queue = 0;
+  for (const EngineQueryResult& r : out->results) {
+    EXPECT_EQ(r.status.code(), StatusCode::kCancelled) << r.status.ToString();
+    if (r.status.message().find("before query started") != std::string::npos) {
+      ++drained_from_queue;
+    } else {
+      ++stopped_while_running;
+    }
+  }
+  EXPECT_EQ(out->stats.cancelled, goals.size());
+  EXPECT_EQ(out->stats.failed, goals.size());
+  // Two workers were mid-solve when the token fired (each query alone runs
+  // far past 30ms); the queued queries drained without starting.
+  EXPECT_GE(stopped_while_running, 1u);
+  EXPECT_GE(drained_from_queue, 1u);
+}
+
+TEST(EngineReliabilityTest, AdversarialDeadlineBatchFinishesPromptly) {
+  // 1000 queries that each want ~26ms of DPLL, under a ~10ms per-query
+  // deadline and a 1s batch deadline: the batch must come in well under
+  // twice its deadline, every query OK (degraded), none failed.
+  PigeonholeProblem p = MakePigeonhole(6);
+  const std::size_t kQueries = 1000;
+  std::vector<DifferentialConstraint> goals(kQueries, p.goal);
+  EngineOptions opts;
+  opts.num_threads = 4;
+  opts.per_query_deadline = std::chrono::milliseconds(10);
+  opts.batch_deadline = std::chrono::seconds(1);
+  opts.exhaustion_policy = ExhaustionPolicy::kDegrade;
+  opts.stop_check_stride = 256;
+  ImplicationEngine engine(opts);
+  Result<BatchOutcome> out = engine.CheckBatch(p.n, p.premises, goals);
+  ASSERT_TRUE(out.ok());
+  EXPECT_LE(out->stats.batch_wall_ns, 2ull * 1'000'000'000ull);
+  std::size_t unknown = 0;
+  for (const EngineQueryResult& r : out->results) {
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    if (r.outcome.verdict == ImplicationOutcome::kUnknown) ++unknown;
+  }
+  EXPECT_EQ(out->stats.failed, 0u);
+  EXPECT_EQ(out->stats.degraded, unknown);
+  EXPECT_GT(out->stats.degraded, 0u);
+  // Every degrade here is deadline-driven.
+  EXPECT_EQ(out->stats.timed_out, out->stats.degraded);
+  EXPECT_EQ(out->stats.implied + out->stats.not_implied + out->stats.degraded +
+                out->stats.failed,
+            kQueries);
+  std::string s = out->stats.ToString();
+  EXPECT_NE(s.find("timed_out"), std::string::npos);
+  EXPECT_NE(s.find("degraded"), std::string::npos);
+}
+
 TEST(WorkerPoolTest, RunsAllSubmittedTasks) {
   WorkerPool pool(4);
   std::mutex mu;
@@ -310,6 +564,36 @@ TEST(WorkerPoolTest, RunsAllSubmittedTasks) {
   std::unique_lock<std::mutex> lock(mu);
   cv.wait(lock, [&] { return done == kTasks; });
   EXPECT_EQ(done, kTasks);
+}
+
+TEST(WorkerPoolTest, TaskExceptionsAreContainedAndCounted) {
+  WorkerPool pool(2);
+  const int kThrowers = 10;
+  const int kNormal = 10;
+  for (int i = 0; i < kThrowers; ++i) {
+    pool.Submit([] { throw std::runtime_error("task failure"); });
+  }
+  // Queued behind the throwers: they only complete if the workers survive.
+  std::mutex mu;
+  std::condition_variable cv;
+  int done = 0;
+  for (int i = 0; i < kNormal; ++i) {
+    pool.Submit([&] {
+      std::lock_guard<std::mutex> lock(mu);
+      if (++done == kNormal) cv.notify_one();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return done == kNormal; });
+  }
+  // A thrower dequeued just before the last normal task may still be
+  // mid-unwind; give the counter a moment to settle.
+  for (int spin = 0; spin < 1000 && pool.uncaught_exceptions() < static_cast<std::uint64_t>(kThrowers);
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(pool.uncaught_exceptions(), static_cast<std::uint64_t>(kThrowers));
 }
 
 }  // namespace

@@ -1,0 +1,252 @@
+// Fail-point framework: registry/trigger semantics (compiled in every
+// configuration) and, under -DDIFFC_FAILPOINTS=ON, end-to-end fault
+// injection through every wired failure path — witness truncation, cache
+// insertion, CNF translation, Rational overflow, basket IO, and a query
+// task that throws — checking that each failure lands in the right
+// per-query Status while unrelated verdicts stay correct.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/implication.h"
+#include "engine/caches.h"
+#include "engine/implication_engine.h"
+#include "fis/io.h"
+#include "util/failpoint.h"
+#include "util/rational.h"
+
+namespace diffc {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    failpoint::DisarmAll();
+    // Injected statuses may have been cached; never leak them into other
+    // tests sharing the process-wide caches.
+    GlobalWitnessSetCache().Clear();
+    GlobalPremiseTranslationCache().Clear();
+  }
+};
+
+TEST_F(FailpointTest, UnarmedNeverFires) {
+  EXPECT_FALSE(failpoint::Evaluate("no/such/point"));
+  EXPECT_EQ(failpoint::HitCount("no/such/point"), 0u);
+  EXPECT_EQ(failpoint::TripCount("no/such/point"), 0u);
+}
+
+TEST_F(FailpointTest, AlwaysFiresEveryEvaluation) {
+  failpoint::Arm("t/always", failpoint::Spec::Always());
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(failpoint::Evaluate("t/always"));
+  EXPECT_EQ(failpoint::HitCount("t/always"), 5u);
+  EXPECT_EQ(failpoint::TripCount("t/always"), 5u);
+}
+
+TEST_F(FailpointTest, NthHitFiresExactlyOnce) {
+  failpoint::Arm("t/nth", failpoint::Spec::NthHit(3));
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) fired.push_back(failpoint::Evaluate("t/nth"));
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false, false}));
+  EXPECT_EQ(failpoint::HitCount("t/nth"), 6u);
+  EXPECT_EQ(failpoint::TripCount("t/nth"), 1u);
+}
+
+TEST_F(FailpointTest, AfterHitFiresFromNPlusOne) {
+  failpoint::Arm("t/after", failpoint::Spec::AfterHit(2));
+  std::vector<bool> fired;
+  for (int i = 0; i < 5; ++i) fired.push_back(failpoint::Evaluate("t/after"));
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, true, true}));
+  EXPECT_EQ(failpoint::TripCount("t/after"), 3u);
+}
+
+TEST_F(FailpointTest, ProbabilityIsSeedDeterministic) {
+  auto run = [](std::uint64_t seed) {
+    failpoint::Arm("t/prob", failpoint::Spec::Probability(0.5, seed));
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) fired.push_back(failpoint::Evaluate("t/prob"));
+    return fired;
+  };
+  EXPECT_EQ(run(7), run(7));  // Re-arming resets the rng: identical runs.
+  std::vector<bool> fired = run(7);
+  int trips = 0;
+  for (bool f : fired) trips += f ? 1 : 0;
+  EXPECT_GT(trips, 0);
+  EXPECT_LT(trips, 64);
+}
+
+TEST_F(FailpointTest, ProbabilityBoundsAreTotal) {
+  failpoint::Arm("t/p0", failpoint::Spec::Probability(0.0));
+  failpoint::Arm("t/p1", failpoint::Spec::Probability(1.1));
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_FALSE(failpoint::Evaluate("t/p0"));
+    EXPECT_TRUE(failpoint::Evaluate("t/p1"));
+  }
+}
+
+TEST_F(FailpointTest, DisarmStopsFiring) {
+  failpoint::Arm("t/disarm", failpoint::Spec::Always());
+  EXPECT_TRUE(failpoint::Evaluate("t/disarm"));
+  failpoint::Disarm("t/disarm");
+  EXPECT_FALSE(failpoint::Evaluate("t/disarm"));
+  EXPECT_EQ(failpoint::HitCount("t/disarm"), 0u);  // Counters reset with the arm.
+}
+
+TEST_F(FailpointTest, ArmFromStringParsesTheEnvGrammar) {
+  ASSERT_TRUE(
+      failpoint::ArmFromString("a=always; b = hit(2) ;c=after(1);d=prob(0.25,9)").ok());
+  EXPECT_TRUE(failpoint::Evaluate("a"));
+  EXPECT_FALSE(failpoint::Evaluate("b"));
+  EXPECT_TRUE(failpoint::Evaluate("b"));
+  EXPECT_FALSE(failpoint::Evaluate("c"));
+  EXPECT_TRUE(failpoint::Evaluate("c"));
+  // `off` disarms an armed point.
+  ASSERT_TRUE(failpoint::ArmFromString("a=off").ok());
+  EXPECT_FALSE(failpoint::Evaluate("a"));
+}
+
+TEST_F(FailpointTest, ArmFromStringRejectsBadSpecs) {
+  EXPECT_EQ(failpoint::ArmFromString("noequals").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(failpoint::ArmFromString("=always").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(failpoint::ArmFromString("a=hit(x)").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(failpoint::ArmFromString("a=bogus").code(), StatusCode::kInvalidArgument);
+}
+
+#if defined(DIFFC_FAILPOINTS)
+
+TEST_F(FailpointTest, SitesAreCompiledIn) { EXPECT_TRUE(failpoint::CompiledIn()); }
+
+// A goal whose right-hand family has two singleton members: not
+// FD-subclass-shaped, normally answered by the interval-cover fast path.
+DifferentialConstraint TwoMemberGoal() {
+  return DifferentialConstraint(ItemSet{0}, SetFamily({ItemSet{1}, ItemSet{2}}));
+}
+
+ConstraintSet CoveringPremises() {
+  // {0} -> {1} covers every U ∋ 0 with 1 ∉ U, so TwoMemberGoal is implied.
+  return ConstraintSet{DifferentialConstraint(ItemSet{0}, SetFamily({ItemSet{1}}))};
+}
+
+TEST_F(FailpointTest, WitnessTruncationFallsBackToSat) {
+  const int n = 6;
+  ImplicationEngine engine;
+  GlobalWitnessSetCache().Clear();
+
+  // Baseline: the fast path answers this query.
+  EngineQueryResult baseline = engine.CheckOne(n, CoveringPremises(), TwoMemberGoal());
+  ASSERT_TRUE(baseline.status.ok());
+  EXPECT_TRUE(baseline.outcome.implied);
+  EXPECT_EQ(baseline.stats.procedure, DecisionProcedure::kIntervalCover);
+
+  GlobalWitnessSetCache().Clear();
+  failpoint::Arm("witness/truncate", failpoint::Spec::Always());
+  EngineQueryResult r = engine.CheckOne(n, CoveringPremises(), TwoMemberGoal());
+  EXPECT_GT(failpoint::TripCount("witness/truncate"), 0u);
+  // The truncation is not the query's failure: SAT completes the answer.
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_TRUE(r.outcome.implied);
+  EXPECT_EQ(r.stats.procedure, DecisionProcedure::kSat);
+}
+
+TEST_F(FailpointTest, CacheInsertFailuresServeUncachedResults) {
+  const int n = 6;
+  ImplicationEngine engine;
+  GlobalWitnessSetCache().Clear();
+  GlobalPremiseTranslationCache().Clear();
+  failpoint::Arm("cache/witness-insert", failpoint::Spec::Always());
+  failpoint::Arm("cache/premise-insert", failpoint::Spec::Always());
+
+  for (int i = 0; i < 2; ++i) {
+    EngineQueryResult r = engine.CheckOne(n, CoveringPremises(), TwoMemberGoal());
+    ASSERT_TRUE(r.status.ok());
+    EXPECT_TRUE(r.outcome.implied);
+    // Never a cache hit: every insert is dropped, so each query recomputes.
+    EXPECT_FALSE(r.stats.witness_cache_hit);
+  }
+  EXPECT_EQ(GlobalWitnessSetCache().size(), 0u);
+  EXPECT_EQ(GlobalPremiseTranslationCache().size(), 0u);
+}
+
+TEST_F(FailpointTest, CnfTranslationFailureIsPerQuery) {
+  const int n = 6;
+  // Disable the fast path so the query must reach the SAT translation.
+  EngineOptions opts;
+  opts.use_interval_cover_fast_path = false;
+  ImplicationEngine engine(opts);
+  failpoint::Arm("cnf/translate", failpoint::Spec::Always());
+
+  EngineQueryResult sat_query = engine.CheckOne(n, CoveringPremises(), TwoMemberGoal());
+  EXPECT_EQ(sat_query.status.code(), StatusCode::kInternal);
+
+  // Queries that never reach the translation are untouched.
+  EngineQueryResult fd_query = engine.CheckOne(
+      n, CoveringPremises(), DifferentialConstraint(ItemSet{0}, SetFamily({ItemSet{1}})));
+  ASSERT_TRUE(fd_query.status.ok());
+  EXPECT_TRUE(fd_query.outcome.implied);
+  EXPECT_EQ(fd_query.stats.procedure, DecisionProcedure::kFdSubclass);
+
+  // One batch, mixed outcomes: only the SAT-bound query fails.
+  std::vector<DifferentialConstraint> goals{
+      TwoMemberGoal(), DifferentialConstraint(ItemSet{0}, SetFamily({ItemSet{1}}))};
+  Result<BatchOutcome> batch = engine.CheckBatch(n, CoveringPremises(), goals);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->results[0].status.code(), StatusCode::kInternal);
+  EXPECT_TRUE(batch->results[1].status.ok());
+  EXPECT_EQ(batch->stats.failed, 1u);
+}
+
+TEST_F(FailpointTest, RationalOverflowInjection) {
+  Rational half(1, 2);
+  Rational third(1, 3);
+  EXPECT_FALSE((half + third).Overflowed());
+
+  failpoint::Arm("rational/overflow", failpoint::Spec::Always());
+  EXPECT_TRUE((half + third).Overflowed());
+  EXPECT_TRUE((half * third).Overflowed());
+  EXPECT_TRUE((-half).Overflowed());
+
+  failpoint::Disarm("rational/overflow");
+  EXPECT_EQ(half + third, Rational(5, 6));
+}
+
+TEST_F(FailpointTest, BasketIoInjection) {
+  const std::string text = "items 3\n0 1\n2\n";
+  ASSERT_TRUE(BasketsFromText(text).ok());
+
+  failpoint::Arm("fis/parse-baskets", failpoint::Spec::Always());
+  EXPECT_EQ(BasketsFromText(text).status().code(), StatusCode::kInternal);
+  failpoint::Disarm("fis/parse-baskets");
+
+  failpoint::Arm("fis/load-baskets", failpoint::Spec::Always());
+  EXPECT_EQ(LoadBaskets("/nonexistent/really").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(FailpointTest, ThrowingQueryTaskFailsItsQueryOnly) {
+  const int n = 6;
+  ImplicationEngine engine;
+  // Fire on the second query only: the other two must stay correct.
+  failpoint::Arm("engine/throw", failpoint::Spec::NthHit(2));
+  std::vector<DifferentialConstraint> goals{TwoMemberGoal(), TwoMemberGoal(),
+                                            TwoMemberGoal()};
+  Result<BatchOutcome> batch = engine.CheckBatch(n, CoveringPremises(), goals);
+  ASSERT_TRUE(batch.ok());
+  int internal = 0, ok = 0;
+  for (const EngineQueryResult& r : batch->results) {
+    if (r.status.code() == StatusCode::kInternal) {
+      ++internal;
+      EXPECT_NE(r.status.message().find("uncaught exception"), std::string::npos);
+    } else {
+      ASSERT_TRUE(r.status.ok());
+      EXPECT_TRUE(r.outcome.implied);
+      ++ok;
+    }
+  }
+  EXPECT_EQ(internal, 1);
+  EXPECT_EQ(ok, 2);
+}
+
+#endif  // DIFFC_FAILPOINTS
+
+}  // namespace
+}  // namespace diffc

@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
 #include <limits>
 #include <set>
+#include <thread>
 
 #include "util/bitops.h"
+#include "util/deadline.h"
 #include "util/random.h"
 #include "util/rational.h"
 #include "util/status.h"
@@ -311,6 +314,114 @@ TEST(TextTest, Trim) {
   EXPECT_EQ(Trim("x"), "x");
   EXPECT_EQ(Trim("   "), "");
   EXPECT_EQ(Trim("\t a b \n"), "a b");
+}
+
+// ---------------------------------------------------------------- Deadline
+
+TEST(DeadlineTest, DefaultNeverExpires) {
+  Deadline d;
+  EXPECT_TRUE(d.IsNever());
+  EXPECT_FALSE(d.Expired());
+  EXPECT_EQ(d.Remaining(), Deadline::Clock::duration::max());
+  EXPECT_TRUE(Deadline::Never().IsNever());
+}
+
+TEST(DeadlineTest, AfterExpires) {
+  Deadline past = Deadline::After(std::chrono::nanoseconds(-1));
+  EXPECT_FALSE(past.IsNever());
+  EXPECT_TRUE(past.Expired());
+  EXPECT_LE(past.Remaining().count(), 0);
+
+  Deadline future = Deadline::After(std::chrono::hours(1));
+  EXPECT_FALSE(future.Expired());
+  EXPECT_GT(future.Remaining().count(), 0);
+}
+
+TEST(DeadlineTest, EarlierPicksTheTighterBound) {
+  Deadline a = Deadline::After(std::chrono::hours(1));
+  Deadline never = Deadline::Never();
+  EXPECT_EQ(Deadline::Earlier(a, never).expiry(), a.expiry());
+  EXPECT_EQ(Deadline::Earlier(never, a).expiry(), a.expiry());
+  EXPECT_TRUE(Deadline::Earlier(never, never).IsNever());
+
+  Deadline b = Deadline::At(a.expiry() - std::chrono::minutes(1));
+  EXPECT_EQ(Deadline::Earlier(a, b).expiry(), b.expiry());
+}
+
+TEST(CancelTokenTest, CopiesShareTheFlag) {
+  CancelToken token;
+  CancelToken copy = token;
+  EXPECT_FALSE(token.Cancelled());
+  EXPECT_FALSE(copy.Cancelled());
+  copy.Cancel();
+  EXPECT_TRUE(token.Cancelled());
+  EXPECT_TRUE(copy.Cancelled());
+  token.Cancel();  // Idempotent.
+  EXPECT_TRUE(token.Cancelled());
+}
+
+TEST(CancelTokenTest, FreshTokensAreIndependent) {
+  CancelToken a;
+  CancelToken b;
+  a.Cancel();
+  EXPECT_FALSE(b.Cancelled());
+}
+
+TEST(StopCheckTest, DefaultNeverStops) {
+  StopCheck stop;
+  for (int i = 0; i < 10'000; ++i) EXPECT_TRUE(stop.Check().ok());
+  EXPECT_FALSE(stop.stopped());
+  EXPECT_EQ(stop.samples(), 0u);  // Unarmed checks never touch the clock.
+}
+
+TEST(StopCheckTest, ExpiredDeadlineFiresOnFirstCheck) {
+  StopCheck stop(Deadline::After(std::chrono::nanoseconds(-1)), CancelToken());
+  Status s = stop.Check();
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(stop.stopped());
+}
+
+TEST(StopCheckTest, CancellationWinsAndIsSticky) {
+  CancelToken token;
+  StopCheck stop(Deadline::After(std::chrono::nanoseconds(-1)), token);
+  token.Cancel();
+  // Both conditions hold; cancellation is reported (checked first).
+  EXPECT_EQ(stop.Check().code(), StatusCode::kCancelled);
+  // Sticky: the same status comes back without re-sampling.
+  const std::uint64_t samples = stop.samples();
+  EXPECT_EQ(stop.Check().code(), StatusCode::kCancelled);
+  EXPECT_EQ(stop.CheckNow().code(), StatusCode::kCancelled);
+  EXPECT_EQ(stop.samples(), samples);
+}
+
+TEST(StopCheckTest, ChecksAreAmortizedByStride) {
+  CancelToken token;
+  StopCheck stop(Deadline::Never(), token, /*stride=*/64);
+  // First call samples; the next 63 are countdown-only.
+  EXPECT_TRUE(stop.Check().ok());
+  EXPECT_EQ(stop.samples(), 1u);
+  token.Cancel();
+  for (int i = 0; i < 63; ++i) EXPECT_TRUE(stop.Check().ok());
+  EXPECT_EQ(stop.samples(), 1u);
+  // The 64th call after the sample re-samples and observes the token.
+  EXPECT_EQ(stop.Check().code(), StatusCode::kCancelled);
+  EXPECT_EQ(stop.samples(), 2u);
+}
+
+TEST(StopCheckTest, CheckNowBypassesTheStride) {
+  CancelToken token;
+  StopCheck stop(Deadline::Never(), token, /*stride=*/1'000'000);
+  EXPECT_TRUE(stop.Check().ok());
+  token.Cancel();
+  EXPECT_EQ(stop.CheckNow().code(), StatusCode::kCancelled);
+}
+
+TEST(StopCheckTest, DeadlineObservedAcrossSleep) {
+  StopCheck stop(Deadline::After(std::chrono::milliseconds(1)), CancelToken(),
+                 /*stride=*/1);
+  EXPECT_TRUE(stop.Check().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  EXPECT_EQ(stop.Check().code(), StatusCode::kDeadlineExceeded);
 }
 
 }  // namespace
