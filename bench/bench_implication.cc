@@ -10,19 +10,31 @@
 // families, shared premises) through `ImplicationEngine`, which amortizes
 // witness-set enumeration and premise translation across the batch.
 
+// Experiment E3 — cost and output of the observability layer: the E2 batch
+// with metrics disabled / enabled / enabled+tracing (interleaved
+// min-of-trials), the deadline-slack distribution from an adversarial
+// deadline run, per-procedure latency histograms, and the full metrics
+// snapshot, all recorded in BENCH_E3.json (validated against
+// bench/BENCH_E3.schema.json in CI).
+
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/implication.h"
 #include "engine/caches.h"
 #include "engine/implication_engine.h"
+#include "obs/event_log.h"
+#include "obs/exposition.h"
+#include "obs/metrics.h"
 #include "prop/tautology.h"
 #include "util/random.h"
 
@@ -281,6 +293,140 @@ void PrintBatchEngineTable() {
   std::printf("wrote BENCH_E2.json\n\n");
 }
 
+// One histogram as a JSON object: {"bounds": [...], "counts": [...],
+// "count": N, "sum": X}. Counts are non-cumulative with +Inf last, matching
+// `obs::RenderJson`.
+std::string HistogramJson(const obs::HistogramSample& h) {
+  std::string out = "{\"bounds\": [";
+  for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += obs::FormatDouble(h.bounds[i]);
+  }
+  out += "], \"counts\": [";
+  for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(h.buckets[i]);
+  }
+  out += "], \"count\": " + std::to_string(h.count) +
+         ", \"sum\": " + obs::FormatDouble(h.sum) + "}";
+  return out;
+}
+
+void PrintObservabilityTable() {
+  std::printf("=== E3: observability layer cost and exposition (n=32, 1000 queries) ===\n");
+  const int n = 32;
+  ConstraintSet premises;
+  std::vector<DifferentialConstraint> goals;
+  MakeBatchWorkload(n, 1000, &premises, &goals);
+
+  EngineOptions opts;
+  opts.num_threads = 4;
+  ImplicationEngine engine(opts);
+  EngineOptions traced_opts = opts;
+  traced_opts.trace = true;
+  ImplicationEngine traced_engine(traced_opts);
+
+  // Warm the shared caches so the measured batches are the hot-path steady
+  // state where instrumentation cost is proportionally largest.
+  (void)engine.CheckBatch(n, premises, goals);
+  (void)traced_engine.CheckBatch(n, premises, goals);
+
+  // Interleaved min-of-trials (the hot batch is ~1ms, scheduler noise
+  // dominates single runs): disabled / enabled / enabled+trace.
+  const int kReps = 5;
+  const int kTrials = 8;
+  double disabled_ms = 1e100, enabled_ms = 1e100, trace_ms = 1e100;
+  for (int t = 0; t < kTrials; ++t) {
+    obs::SetMetricsEnabled(false);
+    disabled_ms = std::min(
+        disabled_ms,
+        MeasureMs([&] { (void)engine.CheckBatch(n, premises, goals); }, kReps));
+    obs::SetMetricsEnabled(true);
+    enabled_ms = std::min(
+        enabled_ms,
+        MeasureMs([&] { (void)engine.CheckBatch(n, premises, goals); }, kReps));
+    trace_ms = std::min(
+        trace_ms,
+        MeasureMs([&] { (void)traced_engine.CheckBatch(n, premises, goals); }, kReps));
+  }
+  obs::SetMetricsEnabled(true);
+  const double enabled_pct =
+      disabled_ms > 0 ? (enabled_ms / disabled_ms - 1.0) * 100.0 : 0.0;
+  const double trace_pct =
+      disabled_ms > 0 ? (trace_ms / disabled_ms - 1.0) * 100.0 : 0.0;
+  std::printf("metrics overhead: disabled %.3fms, enabled %.3fms (%+.2f%%), "
+              "enabled+trace %.3fms (%+.2f%%)\n",
+              disabled_ms, enabled_ms, enabled_pct, trace_ms, trace_pct);
+
+  // Populate the deadline-slack histogram: the adversarial PHP degrade run
+  // (near-zero slack) plus the friendly batch under a generous deadline
+  // (large slack), so the distribution has both tails.
+  const int kPhpHoles = 6;
+  prop::DnfFormula php = PigeonholeDnf(kPhpHoles);
+  ConstraintSet php_premises = DnfTautologyReduction(php);
+  std::vector<DifferentialConstraint> php_goals(100, TautologyGoal());
+  EngineOptions adv;
+  adv.num_threads = 4;
+  adv.per_query_deadline = std::chrono::milliseconds(10);
+  adv.batch_deadline = std::chrono::seconds(2);
+  adv.exhaustion_policy = ExhaustionPolicy::kDegrade;
+  ImplicationEngine adv_engine(adv);
+  Result<BatchOutcome> adv_out = adv_engine.CheckBatch(php.num_vars, php_premises, php_goals);
+
+  EngineOptions friendly = opts;
+  friendly.per_query_deadline = std::chrono::seconds(10);
+  ImplicationEngine friendly_engine(friendly);
+  (void)friendly_engine.CheckBatch(n, premises, goals);
+
+  // Pull the distributions out of the registry snapshot.
+  obs::MetricsSnapshot snap = obs::Registry::Global().Snapshot();
+  const obs::HistogramSample* slack = nullptr;
+  std::vector<const obs::HistogramSample*> latency;
+  for (const obs::HistogramSample& h : snap.histograms) {
+    if (h.name == "diffc_deadline_slack_seconds") slack = &h;
+    if (h.name == "diffc_engine_query_seconds") latency.push_back(&h);
+  }
+  if (slack != nullptr) {
+    std::printf("deadline slack: %llu samples, mean %.4fs\n",
+                static_cast<unsigned long long>(slack->count),
+                slack->count > 0 ? slack->sum / static_cast<double>(slack->count) : 0.0);
+  }
+
+  // Machine-readable record, shape-checked against BENCH_E3.schema.json.
+  std::ofstream json("BENCH_E3.json");
+  json << "{\n";
+  json << "  \"experiment\": \"E3\",\n";
+  json << "  \"n\": " << n << ",\n";
+  json << "  \"queries\": " << goals.size() << ",\n";
+  json << "  \"threads\": " << opts.num_threads << ",\n";
+  json << "  \"overhead\": {\"reps\": " << kReps << ", \"trials\": " << kTrials
+       << ", \"disabled_ms\": " << disabled_ms << ", \"enabled_ms\": " << enabled_ms
+       << ", \"enabled_trace_ms\": " << trace_ms
+       << ", \"enabled_overhead_pct\": " << enabled_pct
+       << ", \"trace_overhead_pct\": " << trace_pct << "},\n";
+  json << "  \"deadline_slack\": "
+       << (slack != nullptr ? HistogramJson(*slack) : std::string("null")) << ",\n";
+  json << "  \"adversarial\": {\"queries\": " << php_goals.size()
+       << ", \"per_query_deadline_ms\": 10, \"policy\": \"degrade\", \"degraded\": "
+       << (adv_out.ok() ? adv_out->stats.degraded : 0) << "},\n";
+  json << "  \"query_latency\": [";
+  for (std::size_t i = 0; i < latency.size(); ++i) {
+    if (i > 0) json << ",";
+    std::string procedure;
+    for (const auto& [k, v] : latency[i]->labels) {
+      if (k == "procedure") procedure = v;
+    }
+    json << "\n    {\"procedure\": \"" << procedure
+         << "\", \"histogram\": " << HistogramJson(*latency[i]) << "}";
+  }
+  json << (latency.empty() ? "],\n" : "\n  ],\n");
+  json << "  \"events\": {\"total\": " << obs::GlobalEventLog().total()
+       << ", \"dropped\": " << obs::GlobalEventLog().dropped() << "},\n";
+  json << "  \"metrics\": " << obs::SnapshotJson() << "\n";
+  json << "}\n";
+  std::printf("wrote BENCH_E3.json\n\n");
+}
+
 void BM_Exhaustive(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   Rng rng(n);
@@ -349,8 +495,14 @@ BENCHMARK(BM_EngineBatch)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 }  // namespace diffc
 
 int main(int argc, char** argv) {
+  // Fast path for CI schema validation: only the E3 experiment.
+  if (std::getenv("DIFFC_BENCH_E3_ONLY") != nullptr) {
+    diffc::PrintObservabilityTable();
+    return 0;
+  }
   diffc::PrintScalingTable();
   diffc::PrintBatchEngineTable();
+  diffc::PrintObservabilityTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -40,6 +40,10 @@
 #include "lattice/decomposition.h"
 #include "math/gauss.h"
 #include "math/simplex.h"
+#include "obs/event_log.h"
+#include "obs/exposition.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "lattice/hitting_set.h"
 #include "lattice/interval.h"
 #include "lattice/itemset.h"

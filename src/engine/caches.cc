@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/event_log.h"
+#include "obs/metrics.h"
 #include "util/failpoint.h"
 
 namespace diffc {
@@ -15,22 +17,65 @@ bool CacheableStatus(const Status& s) {
   return s.code() != StatusCode::kDeadlineExceeded && s.code() != StatusCode::kCancelled;
 }
 
+// Registry handles for one cache, labelled `cache=<which>`. Looked up once
+// per cache kind; the increments themselves are lock-free.
+struct CacheMetrics {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* evictions;
+  obs::Counter* negative_entries;
+  obs::Gauge* size;
+
+  explicit CacheMetrics(const char* which) {
+    obs::Registry& r = obs::Registry::Global();
+    obs::Labels labels{{"cache", which}};
+    hits = r.GetCounter("diffc_cache_hits_total", "Cache lookups served from the cache.",
+                        labels);
+    misses = r.GetCounter("diffc_cache_misses_total",
+                          "Cache lookups that had to compute the entry.", labels);
+    evictions = r.GetCounter("diffc_cache_evictions_total",
+                             "Entries evicted by FIFO capacity pressure.", labels);
+    negative_entries =
+        r.GetCounter("diffc_cache_negative_entries_total",
+                     "Entries cached with a non-OK status (budget-exhausted families).",
+                     labels);
+    size = r.GetGauge("diffc_cache_size", "Entries currently resident.", labels);
+  }
+};
+
+CacheMetrics& WitnessMetrics() {
+  static CacheMetrics* m = new CacheMetrics("witness");
+  return *m;
+}
+
+CacheMetrics& PremiseMetrics() {
+  static CacheMetrics* m = new CacheMetrics("premise");
+  return *m;
+}
+
+void RecordEviction(const char* which) {
+  obs::GlobalEventLog().Record("cache_eviction", {{"cache", which}});
+}
+
 }  // namespace
 
 std::shared_ptr<const WitnessSetCache::Entry> WitnessSetCache::Get(const SetFamily& family,
                                                                    std::size_t max_results,
                                                                    bool* hit, StopCheck* stop) {
+  const bool obs_on = obs::MetricsEnabled();
   Key key{family, max_results};
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = map_.find(key);
     if (it != map_.end()) {
-      ++counters_.hits;
+      counters_.hits.fetch_add(1, std::memory_order_relaxed);
+      if (obs_on) WitnessMetrics().hits->Inc();
       if (hit != nullptr) *hit = true;
       return it->second;
     }
-    ++counters_.misses;
   }
+  counters_.misses.fetch_add(1, std::memory_order_relaxed);
+  if (obs_on) WitnessMetrics().misses->Inc();
   if (hit != nullptr) *hit = false;
 
   // Compute outside the lock: the transversal search can be expensive and
@@ -44,32 +89,49 @@ std::shared_ptr<const WitnessSetCache::Entry> WitnessSetCache::Get(const SetFami
   if (!CacheableStatus(entry->status)) return entry;
   if (DIFFC_FAILPOINT("cache/witness-insert")) return entry;  // Served uncached.
 
-  std::lock_guard<std::mutex> lock(mu_);
-  // Find-then-insert: a concurrent miss may have populated the key while we
-  // searched; reusing its entry keeps `order_` free of duplicate keys.
-  auto it = map_.find(key);
-  if (it != map_.end()) return it->second;
-  map_.emplace(key, entry);
-  order_.push_back(std::move(key));
-  while (map_.size() > capacity_ && !order_.empty()) {
-    // Count only actual erases, so the eviction counter stays truthful even
-    // if `order_` ever drifts from the map's key set.
-    if (map_.erase(order_.front()) > 0) ++counters_.evictions;
-    order_.pop_front();
+  std::size_t evicted = 0;
+  bool inserted_negative = false;
+  std::shared_ptr<const Entry> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Find-then-insert: a concurrent miss may have populated the key while
+    // we searched; reusing its entry keeps `order_` free of duplicate keys.
+    auto it = map_.find(key);
+    if (it != map_.end()) return it->second;
+    map_.emplace(key, entry);
+    order_.push_back(std::move(key));
+    inserted_negative = !entry->status.ok();
+    while (map_.size() > capacity_ && !order_.empty()) {
+      // Count only actual erases, so the eviction counter stays truthful
+      // even if `order_` ever drifts from the map's key set.
+      if (map_.erase(order_.front()) > 0) ++evicted;
+      order_.pop_front();
+    }
+    if (obs_on) WitnessMetrics().size->Set(static_cast<std::int64_t>(map_.size()));
+    out = entry;
   }
-  return entry;
+  if (evicted > 0) {
+    counters_.evictions.fetch_add(evicted, std::memory_order_relaxed);
+    if (obs_on) {
+      WitnessMetrics().evictions->Inc(evicted);
+      RecordEviction("witness");
+    }
+  }
+  if (inserted_negative) {
+    counters_.negative_entries.fetch_add(1, std::memory_order_relaxed);
+    if (obs_on) WitnessMetrics().negative_entries->Inc();
+  }
+  return out;
 }
 
 void WitnessSetCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   map_.clear();
   order_.clear();
+  if (obs::MetricsEnabled()) WitnessMetrics().size->Set(0);
 }
 
-CacheCounters WitnessSetCache::counters() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return counters_;
-}
+CacheCounters WitnessSetCache::counters() const { return counters_.Snapshot(); }
 
 std::size_t WitnessSetCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -88,31 +150,45 @@ std::size_t PremiseTranslationCache::KeyHash::operator()(const Key& k) const {
 
 std::shared_ptr<const PremiseTranslation> PremiseTranslationCache::Get(
     int n, const ConstraintSet& premises, bool* hit) {
+  const bool obs_on = obs::MetricsEnabled();
   Key key{n, premises};
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = map_.find(key);
     if (it != map_.end()) {
-      ++counters_.hits;
+      counters_.hits.fetch_add(1, std::memory_order_relaxed);
+      if (obs_on) PremiseMetrics().hits->Inc();
       if (hit != nullptr) *hit = true;
       return it->second;
     }
-    ++counters_.misses;
   }
+  counters_.misses.fetch_add(1, std::memory_order_relaxed);
+  if (obs_on) PremiseMetrics().misses->Inc();
   if (hit != nullptr) *hit = false;
 
   auto translation = std::make_shared<PremiseTranslation>(TranslatePremises(n, premises));
 
   if (DIFFC_FAILPOINT("cache/premise-insert")) return translation;  // Served uncached.
 
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = map_.find(key);
-  if (it != map_.end()) return it->second;
-  auto inserted_it = map_.emplace(std::move(key), translation).first;
-  order_.push_back(inserted_it->first);
-  while (map_.size() > capacity_ && !order_.empty()) {
-    if (map_.erase(order_.front()) > 0) ++counters_.evictions;
-    order_.pop_front();
+  std::size_t evicted = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) return it->second;
+    auto inserted_it = map_.emplace(std::move(key), translation).first;
+    order_.push_back(inserted_it->first);
+    while (map_.size() > capacity_ && !order_.empty()) {
+      if (map_.erase(order_.front()) > 0) ++evicted;
+      order_.pop_front();
+    }
+    if (obs_on) PremiseMetrics().size->Set(static_cast<std::int64_t>(map_.size()));
+  }
+  if (evicted > 0) {
+    counters_.evictions.fetch_add(evicted, std::memory_order_relaxed);
+    if (obs_on) {
+      PremiseMetrics().evictions->Inc(evicted);
+      RecordEviction("premise");
+    }
   }
   return translation;
 }
@@ -121,12 +197,10 @@ void PremiseTranslationCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   map_.clear();
   order_.clear();
+  if (obs::MetricsEnabled()) PremiseMetrics().size->Set(0);
 }
 
-CacheCounters PremiseTranslationCache::counters() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return counters_;
-}
+CacheCounters PremiseTranslationCache::counters() const { return counters_.Snapshot(); }
 
 std::size_t PremiseTranslationCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);

@@ -1,6 +1,7 @@
 #ifndef DIFFC_ENGINE_CACHES_H_
 #define DIFFC_ENGINE_CACHES_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -22,6 +23,31 @@ struct CacheCounters {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
+  /// Entries cached with a non-OK status (budget-exhausted families served
+  /// negatively). Always 0 for caches that never store failures.
+  std::uint64_t negative_entries = 0;
+};
+
+/// Internal: the atomic counter block behind `CacheCounters`. The counters
+/// are deliberately *not* guarded by the cache's map mutex — they are
+/// mutated and snapshotted with atomics, so a reader calling `counters()`
+/// mid-`Get` can never race the increments (the old plain-field version
+/// could, when a snapshot was taken without the lock). Registry-backed
+/// metrics mirror every increment, so dashboards see the same numbers.
+struct AtomicCacheCounters {
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
+  std::atomic<std::uint64_t> evictions{0};
+  std::atomic<std::uint64_t> negative_entries{0};
+
+  CacheCounters Snapshot() const {
+    CacheCounters c;
+    c.hits = hits.load(std::memory_order_relaxed);
+    c.misses = misses.load(std::memory_order_relaxed);
+    c.evictions = evictions.load(std::memory_order_relaxed);
+    c.negative_entries = negative_entries.load(std::memory_order_relaxed);
+    return c;
+  }
 };
 
 /// A process-wide cache of minimal witness sets keyed on the right-hand
@@ -88,7 +114,7 @@ class WitnessSetCache {
   mutable std::mutex mu_;
   std::unordered_map<Key, std::shared_ptr<const Entry>, KeyHash> map_;
   std::deque<Key> order_;  // Insertion order, for FIFO eviction.
-  CacheCounters counters_;
+  AtomicCacheCounters counters_;
 };
 
 /// A process-wide cache of premise-side CNF translations (Proposition 5.4),
@@ -130,7 +156,7 @@ class PremiseTranslationCache {
   mutable std::mutex mu_;
   std::unordered_map<Key, std::shared_ptr<const PremiseTranslation>, KeyHash> map_;
   std::deque<Key> order_;
-  CacheCounters counters_;
+  AtomicCacheCounters counters_;
 };
 
 /// The process-wide witness-set cache shared by every engine instance.

@@ -9,6 +9,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/event_log.h"
+#include "obs/metrics.h"
 #include "util/failpoint.h"
 
 namespace diffc {
@@ -50,6 +52,116 @@ void EscalationBackoff(std::chrono::nanoseconds base, int attempt,
     wait = std::min(wait, std::chrono::duration_cast<std::chrono::nanoseconds>(remaining));
   }
   std::this_thread::sleep_for(wait);
+}
+
+// Registry handles of the engine subsystem (`diffc_engine_*` /
+// `diffc_deadline_*`), looked up once. Per-procedure families carry a
+// `procedure` label; the array is indexed by `DecisionProcedure`.
+struct EngineMetrics {
+  static constexpr int kProcedures = 6;
+
+  obs::Counter* queries_by_proc[kProcedures];
+  obs::Histogram* latency_by_proc[kProcedures];
+  obs::Counter* implied;
+  obs::Counter* not_implied;
+  obs::Counter* unknown;
+  obs::Counter* failed;
+  obs::Counter* cancelled;
+  obs::Counter* escalations;
+  obs::Counter* degraded_deadline;
+  obs::Counter* degraded_resource;
+  obs::Counter* deadline_exceeded;
+  obs::Counter* unbounded_queries;
+  obs::Histogram* deadline_slack;
+  obs::Counter* batches;
+  obs::Histogram* batch_seconds;
+
+  EngineMetrics() {
+    obs::Registry& r = obs::Registry::Global();
+    for (int p = 0; p < kProcedures; ++p) {
+      obs::Labels labels{
+          {"procedure", DecisionProcedureName(static_cast<DecisionProcedure>(p))}};
+      queries_by_proc[p] =
+          r.GetCounter("diffc_engine_queries_total",
+                       "Queries answered, by concluding decision procedure "
+                       "(procedure=none: failed before any procedure concluded).",
+                       labels);
+      latency_by_proc[p] = r.GetHistogram(
+          "diffc_engine_query_seconds",
+          "End-to-end per-query wall time across attempts, by procedure.",
+          obs::ExponentialBuckets(1e-6, 4.0, 14), labels);
+    }
+    implied = r.GetCounter("diffc_engine_outcomes_total", "Query verdicts.",
+                           {{"outcome", "implied"}});
+    not_implied = r.GetCounter("diffc_engine_outcomes_total", "Query verdicts.",
+                               {{"outcome", "not_implied"}});
+    unknown = r.GetCounter("diffc_engine_outcomes_total", "Query verdicts.",
+                           {{"outcome", "unknown"}});
+    failed = r.GetCounter("diffc_engine_outcomes_total", "Query verdicts.",
+                          {{"outcome", "failed"}});
+    cancelled = r.GetCounter("diffc_engine_cancelled_total",
+                             "Queries that returned Cancelled.");
+    escalations = r.GetCounter("diffc_engine_escalations_total",
+                               "Escalation retries run (attempts beyond the first).");
+    degraded_deadline =
+        r.GetCounter("diffc_engine_degraded_total",
+                     "Queries degraded to kUnknown, by exhausted budget kind.",
+                     {{"from", "deadline"}});
+    degraded_resource =
+        r.GetCounter("diffc_engine_degraded_total",
+                     "Queries degraded to kUnknown, by exhausted budget kind.",
+                     {{"from", "resource"}});
+    deadline_exceeded = r.GetCounter(
+        "diffc_deadline_exceeded_total",
+        "Queries that hit a wall-clock deadline (surfaced or degraded).");
+    unbounded_queries = r.GetCounter(
+        "diffc_deadline_unbounded_queries_total",
+        "Queries that ran without a finite deadline (no slack sample).");
+    deadline_slack = r.GetHistogram(
+        "diffc_deadline_slack_seconds",
+        "Wall-clock budget remaining at query completion (0 = finished at or "
+        "past the deadline); one sample per query run under a finite deadline.",
+        obs::ExponentialBuckets(1e-5, 4.0, 12));
+    batches = r.GetCounter("diffc_engine_batches_total", "CheckBatch calls.");
+    batch_seconds =
+        r.GetHistogram("diffc_engine_batch_seconds", "End-to-end CheckBatch wall time.",
+                       obs::ExponentialBuckets(1e-5, 4.0, 12));
+  }
+};
+
+EngineMetrics& Metrics() {
+  static EngineMetrics* m = new EngineMetrics();
+  return *m;
+}
+
+// Flushes one settled query into the registry: procedure mix, verdict, and
+// latency. Called exactly once per query result, wherever it settles
+// (normal run, exception guard, or queue drain).
+void RecordQueryMetrics(const EngineQueryResult& r) {
+  if (!obs::MetricsEnabled()) return;
+  EngineMetrics& m = Metrics();
+  const int proc = static_cast<int>(r.stats.procedure);
+  if (proc >= 0 && proc < EngineMetrics::kProcedures) {
+    m.queries_by_proc[proc]->Inc();
+    m.latency_by_proc[proc]->Observe(r.stats.wall_ns / 1e9);
+  }
+  if (!r.status.ok()) {
+    m.failed->Inc();
+    if (r.status.code() == StatusCode::kCancelled) m.cancelled->Inc();
+    if (r.status.code() == StatusCode::kDeadlineExceeded) m.deadline_exceeded->Inc();
+  } else if (r.outcome.verdict == ImplicationOutcome::kUnknown) {
+    m.unknown->Inc();
+    if (r.stats.degraded_from == StatusCode::kDeadlineExceeded) {
+      m.degraded_deadline->Inc();
+      m.deadline_exceeded->Inc();
+    } else if (r.stats.degraded_from == StatusCode::kResourceExhausted) {
+      m.degraded_resource->Inc();
+    }
+  } else if (r.outcome.implied) {
+    m.implied->Inc();
+  } else {
+    m.not_implied->Inc();
+  }
 }
 
 }  // namespace
@@ -116,7 +228,8 @@ ImplicationEngine::ImplicationEngine(EngineOptions options)
 
 EngineQueryResult ImplicationEngine::RunQueryOnce(int n, const ConstraintSet& premises,
                                                   const DifferentialConstraint& goal,
-                                                  StopCheck* stop, const Budgets& budgets) {
+                                                  StopCheck* stop, const Budgets& budgets,
+                                                  obs::Tracer* tracer) {
   EngineQueryResult r;
   const std::uint64_t start = NowNs();
 
@@ -140,6 +253,7 @@ EngineQueryResult ImplicationEngine::RunQueryOnce(int n, const ConstraintSet& pr
 
   // 2. The polynomial FD subclass (singleton right-hand sides).
   if (FdSubclassApplicable(premises, goal)) {
+    obs::SpanGuard span(tracer, "fd-subclass");
     Result<ImplicationOutcome> fd = CheckImplicationFd(n, premises, goal);
     if (fd.ok()) {
       r.outcome = *fd;
@@ -159,9 +273,14 @@ EngineQueryResult ImplicationEngine::RunQueryOnce(int n, const ConstraintSet& pr
   //     lattice, then L(X, Y) ⊆ L(C) and the goal is implied (Thm. 3.5).
   // Inconclusive covers (an interval needs several premises) go to SAT.
   if (options_.use_interval_cover_fast_path) {
+    obs::SpanGuard cover_span(tracer, "interval-cover");
     r.stats.witness_cache_used = true;
-    std::shared_ptr<const WitnessSetCache::Entry> entry = GlobalWitnessSetCache().Get(
-        goal.rhs(), budgets.witness_max_results, &r.stats.witness_cache_hit, stop);
+    std::shared_ptr<const WitnessSetCache::Entry> entry;
+    {
+      obs::SpanGuard probe_span(tracer, "witness-cache-probe");
+      entry = GlobalWitnessSetCache().Get(goal.rhs(), budgets.witness_max_results,
+                                          &r.stats.witness_cache_hit, stop);
+    }
     if (IsStopStatus(entry->status)) {
       r.status = entry->status;
       r.stats.stopped_in = DecisionProcedure::kIntervalCover;
@@ -212,46 +331,54 @@ EngineQueryResult ImplicationEngine::RunQueryOnce(int n, const ConstraintSet& pr
   }
 
   // 4. SAT (Proposition 5.4), premise clauses from the shared cache.
-  r.stats.premise_cache_used = true;
-  std::shared_ptr<const PremiseTranslation> translation =
-      GlobalPremiseTranslationCache().Get(n, premises, &r.stats.premise_cache_hit);
-  Result<ImplicationOutcome> sat = CheckImplicationSatTranslated(
-      n, *translation, goal, &r.stats.solver, budgets.max_decisions, stop);
-  if (sat.ok()) {
-    r.outcome = *sat;
-    r.stats.procedure = DecisionProcedure::kSat;
-    r.stats.wall_ns = NowNs() - start;
-    return r;
-  }
-  if (IsStopStatus(sat.status())) {
+  {
+    obs::SpanGuard sat_span(tracer, "sat");
+    r.stats.premise_cache_used = true;
+    std::shared_ptr<const PremiseTranslation> translation;
+    {
+      obs::SpanGuard probe_span(tracer, "premise-cache-probe");
+      translation = GlobalPremiseTranslationCache().Get(n, premises,
+                                                        &r.stats.premise_cache_hit);
+    }
+    Result<ImplicationOutcome> sat = CheckImplicationSatTranslated(
+        n, *translation, goal, &r.stats.solver, budgets.max_decisions, stop);
+    if (sat.ok()) {
+      r.outcome = *sat;
+      r.stats.procedure = DecisionProcedure::kSat;
+      r.stats.wall_ns = NowNs() - start;
+      return r;
+    }
+    if (IsStopStatus(sat.status())) {
+      r.status = sat.status();
+      r.stats.stopped_in = DecisionProcedure::kSat;
+      r.stats.wall_ns = NowNs() - start;
+      return r;
+    }
+
+    // 5. Exhaustive lattice containment as a last resort when the SAT budget
+    // ran out and the free-attribute count admits enumeration.
+    if (sat.status().code() == StatusCode::kResourceExhausted &&
+        n - goal.lhs().size() <= options_.exhaustive_max_free_bits) {
+      obs::SpanGuard ex_span(tracer, "exhaustive");
+      Result<ImplicationOutcome> ex = CheckImplicationExhaustive(
+          n, premises, goal, options_.exhaustive_max_free_bits, stop);
+      if (ex.ok()) {
+        r.outcome = *ex;
+        r.stats.procedure = DecisionProcedure::kExhaustive;
+        r.stats.wall_ns = NowNs() - start;
+        return r;
+      }
+      if (IsStopStatus(ex.status())) {
+        r.status = ex.status();
+        r.stats.stopped_in = DecisionProcedure::kExhaustive;
+        r.stats.wall_ns = NowNs() - start;
+        return r;
+      }
+    }
+
     r.status = sat.status();
-    r.stats.stopped_in = DecisionProcedure::kSat;
-    r.stats.wall_ns = NowNs() - start;
-    return r;
+    if (IsExhaustion(r.status)) r.stats.stopped_in = DecisionProcedure::kSat;
   }
-
-  // 5. Exhaustive lattice containment as a last resort when the SAT budget
-  // ran out and the free-attribute count admits enumeration.
-  if (sat.status().code() == StatusCode::kResourceExhausted &&
-      n - goal.lhs().size() <= options_.exhaustive_max_free_bits) {
-    Result<ImplicationOutcome> ex = CheckImplicationExhaustive(
-        n, premises, goal, options_.exhaustive_max_free_bits, stop);
-    if (ex.ok()) {
-      r.outcome = *ex;
-      r.stats.procedure = DecisionProcedure::kExhaustive;
-      r.stats.wall_ns = NowNs() - start;
-      return r;
-    }
-    if (IsStopStatus(ex.status())) {
-      r.status = ex.status();
-      r.stats.stopped_in = DecisionProcedure::kExhaustive;
-      r.stats.wall_ns = NowNs() - start;
-      return r;
-    }
-  }
-
-  r.status = sat.status();
-  if (IsExhaustion(r.status)) r.stats.stopped_in = DecisionProcedure::kSat;
   r.stats.wall_ns = NowNs() - start;
   return r;
 }
@@ -265,17 +392,25 @@ EngineQueryResult ImplicationEngine::RunQuery(int n, const ConstraintSet& premis
   }
   Budgets budgets{options_.max_solver_decisions, options_.witness_max_results};
   const std::uint64_t start = NowNs();
+  obs::Tracer tracer(options_.trace);
   EngineQueryResult r;
   int attempt = 1;
+  // The deadline of the attempt that settled the query, for the slack
+  // histogram below.
+  Deadline deadline = batch_deadline;
   while (true) {
     // Each attempt gets a fresh per-query deadline; the batch deadline is
     // absolute and shared by every attempt.
-    Deadline deadline = batch_deadline;
+    deadline = batch_deadline;
     if (options_.per_query_deadline.count() > 0) {
       deadline = Deadline::Earlier(Deadline::After(options_.per_query_deadline), deadline);
     }
     StopCheck stop(deadline, cancel, options_.stop_check_stride);
-    r = RunQueryOnce(n, premises, goal, &stop, budgets);
+    {
+      obs::SpanGuard attempt_span(&tracer,
+                                  attempt == 1 ? "attempt" : "attempt-retry");
+      r = RunQueryOnce(n, premises, goal, &stop, budgets, &tracer);
+    }
     r.stats.attempts = attempt;
     if (r.status.ok() || !IsExhaustion(r.status)) break;
 
@@ -285,17 +420,48 @@ EngineQueryResult ImplicationEngine::RunQuery(int n, const ConstraintSet& premis
       budgets.max_decisions *= 2;
       budgets.witness_max_results *= 2;
       ++attempt;
+      if (obs::MetricsEnabled()) Metrics().escalations->Inc();
+      obs::GlobalEventLog().Record(
+          "escalate", {{"attempt", std::to_string(attempt)},
+                       {"stopped_in", DecisionProcedureName(r.stats.stopped_in)},
+                       {"from", StatusCodeName(r.status.code())}});
+      obs::SpanGuard backoff_span(&tracer, "escalate-backoff");
       EscalationBackoff(options_.escalate_backoff, attempt, batch_deadline);
       continue;
     }
     // kDegrade, or escalation retries exhausted: answer OK + kUnknown and
     // keep the partial evidence (stopped_in, counters) in the stats.
     r.stats.degraded_from = r.status.code();
+    obs::GlobalEventLog().Record(
+        "degrade", {{"stopped_in", DecisionProcedureName(r.stats.stopped_in)},
+                    {"from", StatusCodeName(r.status.code())},
+                    {"attempts", std::to_string(attempt)}});
     r.status = Status::Ok();
     r.outcome.SetUnknown();
     break;
   }
   r.stats.wall_ns = NowNs() - start;
+  if (r.status.code() == StatusCode::kDeadlineExceeded ||
+      r.stats.degraded_from == StatusCode::kDeadlineExceeded) {
+    obs::GlobalEventLog().Record(
+        "deadline_exceeded",
+        {{"stopped_in", DecisionProcedureName(r.stats.stopped_in)},
+         {"surfaced", r.status.ok() ? "degraded" : "status"}});
+  }
+  if (obs::MetricsEnabled()) {
+    // Slack: how much of the wall-clock budget was left when the query
+    // settled. 0 means it finished at (or past) its deadline.
+    if (deadline.IsNever()) {
+      Metrics().unbounded_queries->Inc();
+    } else {
+      const double remaining_s =
+          std::chrono::duration<double>(deadline.Remaining()).count();
+      Metrics().deadline_slack->Observe(remaining_s > 0 ? remaining_s : 0.0);
+    }
+  }
+  if (tracer.enabled()) {
+    r.trace = std::make_shared<obs::TraceRecord>(tracer.Finish());
+  }
   return r;
 }
 
@@ -306,17 +472,18 @@ EngineQueryResult ImplicationEngine::GuardedRunQuery(int n, const ConstraintSet&
   // A decision procedure that throws must fail its own query, not the
   // process: the pool's loop-level catch would keep the worker alive but
   // lose the error.
+  EngineQueryResult r;
   try {
-    return RunQuery(n, premises, goal, batch_deadline, cancel);
+    r = RunQuery(n, premises, goal, batch_deadline, cancel);
   } catch (const std::exception& e) {
-    EngineQueryResult r;
+    r = EngineQueryResult{};
     r.status = Status::Internal(std::string("uncaught exception in query: ") + e.what());
-    return r;
   } catch (...) {
-    EngineQueryResult r;
+    r = EngineQueryResult{};
     r.status = Status::Internal("uncaught non-exception throw in query");
-    return r;
   }
+  RecordQueryMetrics(r);
+  return r;
 }
 
 EngineQueryResult ImplicationEngine::CheckOne(int n, const ConstraintSet& premises,
@@ -361,6 +528,7 @@ Result<BatchOutcome> ImplicationEngine::CheckBatch(
         // next check-point.
         if (cancel.Cancelled()) {
           out.results[i].status = Status::Cancelled("batch cancelled before query started");
+          RecordQueryMetrics(out.results[i]);
         } else {
           out.results[i] = GuardedRunQuery(n, premises, goals[i], batch_deadline, cancel);
         }
@@ -422,6 +590,10 @@ Result<BatchOutcome> ImplicationEngine::CheckBatch(
     s.total_query_ns += r.stats.wall_ns;
   }
   s.batch_wall_ns = NowNs() - batch_start;
+  if (obs::MetricsEnabled()) {
+    Metrics().batches->Inc();
+    Metrics().batch_seconds->Observe(s.batch_wall_ns / 1e9);
+  }
   return out;
 }
 

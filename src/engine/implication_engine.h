@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -10,6 +11,7 @@
 #include "core/implication.h"
 #include "engine/caches.h"
 #include "engine/worker_pool.h"
+#include "obs/trace.h"
 #include "util/deadline.h"
 #include "util/status.h"
 
@@ -76,6 +78,12 @@ struct EngineOptions {
   /// Steps between cooperative deadline / cancellation checks inside the
   /// solvers and enumerations.
   std::uint32_t stop_check_stride = StopCheck::kDefaultStride;
+  /// Records a per-query span tree (`EngineQueryResult::trace`): one span
+  /// per attempt with children for each decision-procedure phase (cache
+  /// probe, interval cover, SAT, exhaustive, escalation backoff). Latency
+  /// *histograms* are aggregated regardless of this flag; the flag only
+  /// controls the per-query record.
+  bool trace = false;
 };
 
 /// Which decision procedure answered a query.
@@ -123,6 +131,10 @@ struct EngineQueryResult {
   Status status;
   ImplicationOutcome outcome;
   QueryStats stats;
+  /// The query's span tree, present iff `EngineOptions::trace` was on. For
+  /// a degraded query the hottest leaf span names the solver phase that
+  /// consumed the budget.
+  std::shared_ptr<const obs::TraceRecord> trace;
 };
 
 /// Aggregate counters of one `CheckBatch` call.
@@ -230,9 +242,11 @@ class ImplicationEngine {
   };
 
   /// One dispatch pass under `stop` (may end early with its status).
+  /// `tracer` (never null; disabled when tracing is off) receives the
+  /// per-phase spans.
   EngineQueryResult RunQueryOnce(int n, const ConstraintSet& premises,
                                  const DifferentialConstraint& goal, StopCheck* stop,
-                                 const Budgets& budgets);
+                                 const Budgets& budgets, obs::Tracer* tracer);
   /// The exhaustion-policy loop around `RunQueryOnce`.
   EngineQueryResult RunQuery(int n, const ConstraintSet& premises,
                              const DifferentialConstraint& goal, const Deadline& batch_deadline,

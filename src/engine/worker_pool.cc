@@ -1,8 +1,57 @@
 #include "engine/worker_pool.h"
 
+#include <chrono>
 #include <utility>
 
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+
 namespace diffc {
+
+namespace {
+
+std::uint64_t SteadyNowNs() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+// Pool-wide (process-wide) registry handles; all pools aggregate into them.
+struct PoolMetrics {
+  obs::Counter* submitted;
+  obs::Counter* completed;
+  obs::Counter* exceptions;
+  obs::Gauge* queue_depth;
+  obs::Gauge* in_flight;
+  obs::Histogram* queue_wait;
+  obs::Histogram* run_time;
+
+  PoolMetrics() {
+    obs::Registry& r = obs::Registry::Global();
+    submitted = r.GetCounter("diffc_pool_tasks_submitted_total",
+                             "Tasks submitted to worker pools.");
+    completed = r.GetCounter("diffc_pool_tasks_completed_total",
+                             "Tasks completed by worker pools (including throwers).");
+    exceptions = r.GetCounter("diffc_pool_task_exceptions_total",
+                              "Exceptions that escaped tasks and were contained.");
+    queue_depth =
+        r.GetGauge("diffc_pool_queue_depth", "Tasks queued but not yet picked up.");
+    in_flight = r.GetGauge("diffc_pool_in_flight", "Tasks currently executing.");
+    queue_wait = r.GetHistogram("diffc_pool_queue_wait_seconds",
+                                "Time from Submit to a worker picking the task up.",
+                                obs::ExponentialBuckets(1e-6, 4.0, 12));
+    run_time = r.GetHistogram("diffc_pool_task_run_seconds",
+                              "Task execution time on the worker.",
+                              obs::ExponentialBuckets(1e-6, 4.0, 12));
+  }
+};
+
+PoolMetrics& Metrics() {
+  static PoolMetrics* m = new PoolMetrics();
+  return *m;
+}
+
+}  // namespace
 
 WorkerPool::WorkerPool(int num_threads) {
   if (num_threads < 1) num_threads = 1;
@@ -19,30 +68,87 @@ WorkerPool::~WorkerPool() {
 }
 
 void WorkerPool::Submit(std::function<void()> task) {
+  const bool obs_on = obs::MetricsEnabled();
+  // Count the submission BEFORE publishing the task: a worker may pop and
+  // finish it the moment the lock drops, and `completed <= submitted` must
+  // hold for every snapshot (release pairs with the acquire in stats()).
+  submitted_.fetch_add(1, std::memory_order_release);
+  std::size_t depth;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(QueuedTask{std::move(task), obs_on ? SteadyNowNs() : 0});
+    depth = queue_.size();
+  }
+  if (obs_on) {
+    Metrics().submitted->Inc();
+    // Set (not Add): idempotent against the enable flag toggling mid-run.
+    Metrics().queue_depth->Set(static_cast<std::int64_t>(depth));
   }
   cv_.notify_one();
 }
 
+WorkerPool::Stats WorkerPool::stats() const {
+  Stats s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.queue_depth = queue_.size();
+  }
+  // Load `completed` before `submitted`: the acquire synchronizes with the
+  // completing worker's release, which itself saw the submission increment,
+  // so `completed <= submitted` holds in every snapshot.
+  s.completed = completed_.load(std::memory_order_acquire);
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.exceptions = uncaught_exceptions_.load(std::memory_order_relaxed);
+  s.in_flight = in_flight_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::size_t WorkerPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
 void WorkerPool::WorkerLoop(std::stop_token stop) {
   while (true) {
-    std::function<void()> task;
+    QueuedTask task;
+    std::size_t depth;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, stop, [this] { return !queue_.empty(); });
       if (queue_.empty()) return;  // Stop requested and nothing to drain.
       task = std::move(queue_.front());
       queue_.pop_front();
+      depth = queue_.size();
     }
+    const bool obs_on = obs::MetricsEnabled();
+    std::uint64_t start_ns = 0;
+    if (obs_on) {
+      start_ns = SteadyNowNs();
+      if (task.enqueue_ns != 0) {
+        Metrics().queue_wait->Observe((start_ns - task.enqueue_ns) / 1e9);
+      }
+      Metrics().queue_depth->Set(static_cast<std::int64_t>(depth));
+      Metrics().in_flight->Set(in_flight_.load(std::memory_order_relaxed) + 1);
+    }
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
     try {
-      task();
+      task.fn();
     } catch (...) {
       // Never let an exception escape the jthread (std::terminate). The
       // task's owner observes the failure through its own result channel;
       // this counter is for tests and post-mortems.
       uncaught_exceptions_.fetch_add(1, std::memory_order_relaxed);
+      if (obs_on) {
+        Metrics().exceptions->Inc();
+        obs::GlobalEventLog().Record("worker_exception", {});
+      }
+    }
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    completed_.fetch_add(1, std::memory_order_release);
+    if (obs_on) {
+      Metrics().run_time->Observe((SteadyNowNs() - start_ns) / 1e9);
+      Metrics().completed->Inc();
+      Metrics().in_flight->Set(in_flight_.load(std::memory_order_relaxed));
     }
   }
 }

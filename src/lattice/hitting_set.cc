@@ -3,9 +3,51 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "obs/metrics.h"
 #include "util/failpoint.h"
 
 namespace diffc {
+
+namespace {
+
+// Registry handles for the minimal-transversal search. The DFS touches only
+// the local `WitnessSearchStats`; these are flushed once per call.
+struct WitnessMetrics {
+  obs::Counter* searches;
+  obs::Counter* nodes;
+  obs::Counter* candidates;
+  obs::Counter* truncations;
+
+  WitnessMetrics() {
+    obs::Registry& r = obs::Registry::Global();
+    searches =
+        r.GetCounter("diffc_witness_searches_total", "MinimalWitnessSets() calls.");
+    nodes = r.GetCounter("diffc_witness_nodes_total",
+                         "Transversal search tree nodes visited.");
+    candidates = r.GetCounter("diffc_witness_candidates_total",
+                              "Candidate transversals emitted by the search.");
+    truncations =
+        r.GetCounter("diffc_witness_truncations_total",
+                     "Searches aborted by the candidate budget (ResourceExhausted).");
+  }
+};
+
+WitnessMetrics& Metrics() {
+  static WitnessMetrics* m = new WitnessMetrics();
+  return *m;
+}
+
+// Flushes one finished (or aborted) search into the registry.
+void FlushSearchMetrics(const WitnessSearchStats& stats, bool truncated) {
+  if (!obs::MetricsEnabled()) return;
+  WitnessMetrics& m = Metrics();
+  m.searches->Inc();
+  if (stats.nodes > 0) m.nodes->Inc(stats.nodes);
+  if (stats.candidates > 0) m.candidates->Inc(stats.candidates);
+  if (truncated) m.truncations->Inc();
+}
+
+}  // namespace
 
 bool IsWitnessSet(const SetFamily& family, const ItemSet& w) {
   if (!w.IsSubsetOf(family.UnionOfMembers())) return false;
@@ -91,9 +133,13 @@ Result<std::vector<ItemSet>> MinimalWitnessSets(const SetFamily& family,
                                                 std::size_t max_results,
                                                 WitnessSearchStats* stats,
                                                 StopCheck* stop) {
-  if (family.HasEmptyMember()) return std::vector<ItemSet>{};
+  if (family.HasEmptyMember()) {
+    FlushSearchMetrics(WitnessSearchStats{}, /*truncated=*/false);
+    return std::vector<ItemSet>{};
+  }
   if (DIFFC_FAILPOINT("witness/truncate")) {
     if (stats != nullptr) *stats = WitnessSearchStats{};
+    FlushSearchMetrics(WitnessSearchStats{}, /*truncated=*/true);
     return Status::ResourceExhausted(
         "failpoint witness/truncate: candidate transversal budget exceeded");
   }
@@ -104,6 +150,7 @@ Result<std::vector<ItemSet>> MinimalWitnessSets(const SetFamily& family,
   search.stop = stop;
   search.Run(ItemSet(), 0);
   if (stats != nullptr) *stats = search.stats;
+  FlushSearchMetrics(search.stats, search.overflow);
   if (!search.stop_status.ok()) return search.stop_status;
   if (search.overflow) {
     // A truncated enumeration is an error, never a partial answer: callers

@@ -1,0 +1,105 @@
+#include "obs/event_log.h"
+
+#include <chrono>
+
+#include "obs/exposition.h"
+
+namespace diffc::obs {
+
+namespace {
+
+std::uint64_t SteadyNowNs() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+}  // namespace
+
+std::string Event::ToJsonLine() const {
+  std::string out = "{\"seq\": " + std::to_string(seq) +
+                    ", \"ns\": " + std::to_string(ns) + ", \"type\": \"" +
+                    JsonEscape(type) + "\"";
+  for (const auto& [k, v] : fields) {
+    out += ", \"" + JsonEscape(k) + "\": \"" + JsonEscape(v) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+EventLog::EventLog(std::size_t capacity) : capacity_(capacity < 1 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void EventLog::Record(std::string type,
+                      std::vector<std::pair<std::string, std::string>> fields) {
+  const std::uint64_t now = SteadyNowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_) return;
+  Event e;
+  e.ns = now;
+  e.seq = total_++;
+  e.type = std::move(type);
+  e.fields = std::move(fields);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(e));
+  } else {
+    ring_[next_] = std::move(e);
+    next_ = (next_ + 1) % capacity_;
+    ++dropped_;
+  }
+}
+
+std::vector<Event> EventLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Event> out;
+  out.reserve(ring_.size());
+  // `next_` is the oldest slot once the ring is full; 0 before that.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string EventLog::DumpJsonl() const {
+  std::string out;
+  for (const Event& e : Snapshot()) {
+    out += e.ToJsonLine();
+    out += "\n";
+  }
+  return out;
+}
+
+void EventLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+}
+
+void EventLog::SetEnabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_ = enabled;
+}
+
+bool EventLog::enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return enabled_;
+}
+
+std::uint64_t EventLog::total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::uint64_t EventLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+EventLog& GlobalEventLog() {
+  // Leaked for the same destruction-order reason as the metrics registry.
+  static EventLog* log = new EventLog(4096);
+  return *log;
+}
+
+}  // namespace diffc::obs

@@ -1,0 +1,116 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "obs/exposition.h"
+
+namespace diffc::obs {
+
+namespace {
+
+std::uint64_t SteadyNowNs() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+}  // namespace
+
+std::uint64_t TraceRecord::TotalNs() const {
+  std::uint64_t total = 0;
+  for (const TraceSpan& s : spans) {
+    if (s.parent == -1) total += s.duration_ns;
+  }
+  return total;
+}
+
+int TraceRecord::HottestLeaf() const {
+  // Self time = duration minus the children's durations, so a phase span
+  // is charged for its own work, not for cheap probes nested inside it.
+  std::vector<std::uint64_t> self(spans.size(), 0);
+  for (std::size_t i = 0; i < spans.size(); ++i) self[i] = spans[i].duration_ns;
+  for (const TraceSpan& s : spans) {
+    if (s.parent >= 0) {
+      self[s.parent] -= self[s.parent] >= s.duration_ns ? s.duration_ns : self[s.parent];
+    }
+  }
+  int best = -1;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    // Ties go to the deeper (more specific) span.
+    if (best == -1 || self[i] > self[best] ||
+        (self[i] == self[best] && spans[i].depth > spans[best].depth)) {
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+std::string TraceRecord::ToString() const {
+  std::string out;
+  for (const TraceSpan& s : spans) {
+    for (int i = 0; i < s.depth; ++i) out += "  ";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), " %.3fms", s.duration_ns / 1e6);
+    out += s.name + buf + "\n";
+  }
+  return out;
+}
+
+std::string TraceRecord::ToJson() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const TraceSpan& s = spans[i];
+    if (i > 0) out += ", ";
+    out += "{\"name\": \"" + JsonEscape(s.name) +
+           "\", \"parent\": " + std::to_string(s.parent) +
+           ", \"depth\": " + std::to_string(s.depth) +
+           ", \"start_ns\": " + std::to_string(s.start_ns) +
+           ", \"duration_ns\": " + std::to_string(s.duration_ns) + "}";
+  }
+  out += "]";
+  return out;
+}
+
+Tracer::Tracer(bool enabled) : enabled_(enabled) {
+  if (enabled_) start_ns_ = SteadyNowNs();
+}
+
+std::uint64_t Tracer::NowRelNs() const { return SteadyNowNs() - start_ns_; }
+
+int Tracer::Begin(std::string_view name) {
+  if (!enabled_) return -1;
+  TraceSpan span;
+  span.name = std::string(name);
+  span.parent = open_.empty() ? -1 : open_.back();
+  span.depth = static_cast<int>(open_.size());
+  span.start_ns = NowRelNs();
+  record_.spans.push_back(std::move(span));
+  int handle = static_cast<int>(record_.spans.size()) - 1;
+  open_.push_back(handle);
+  return handle;
+}
+
+void Tracer::End(int handle) {
+  if (!enabled_ || handle < 0) return;
+  const std::uint64_t now = NowRelNs();
+  // Close the span and any descendants still open (guards unwind LIFO, so
+  // this only triggers on early returns that skipped inner guards).
+  while (!open_.empty()) {
+    int idx = open_.back();
+    open_.pop_back();
+    TraceSpan& s = record_.spans[idx];
+    s.duration_ns = now >= s.start_ns ? now - s.start_ns : 0;
+    if (idx == handle) break;
+  }
+}
+
+TraceRecord Tracer::Finish() {
+  if (!open_.empty()) End(open_.front());
+  TraceRecord out = std::move(record_);
+  record_ = TraceRecord{};
+  open_.clear();
+  return out;
+}
+
+}  // namespace diffc::obs

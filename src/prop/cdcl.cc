@@ -3,8 +3,63 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace diffc {
 namespace prop {
+
+namespace {
+
+// Registry handles for the CDCL solver. The search loop only touches the
+// solver's local counters; these aggregates are flushed once per Solve().
+struct CdclMetrics {
+  obs::Counter* solves;
+  obs::Counter* decisions;
+  obs::Counter* propagations;
+  obs::Counter* conflicts;
+  obs::Counter* learned_clauses;
+  obs::Counter* restarts;
+
+  CdclMetrics() {
+    obs::Registry& r = obs::Registry::Global();
+    solves = r.GetCounter("diffc_cdcl_solves_total", "CDCL Solve() calls.");
+    decisions = r.GetCounter("diffc_cdcl_decisions_total", "CDCL branch decisions.");
+    propagations =
+        r.GetCounter("diffc_cdcl_propagations_total", "CDCL unit propagations.");
+    conflicts = r.GetCounter("diffc_cdcl_conflicts_total", "CDCL conflicts analyzed.");
+    learned_clauses =
+        r.GetCounter("diffc_cdcl_learned_clauses_total", "Clauses learned from conflicts.");
+    restarts = r.GetCounter("diffc_cdcl_restarts_total", "Solver restarts.");
+  }
+};
+
+CdclMetrics& Metrics() {
+  static CdclMetrics* m = new CdclMetrics();
+  return *m;
+}
+
+// Flushes the per-call counters to the registry on every exit path of
+// Solve() (which has many returns).
+class FlushStatsOnExit {
+ public:
+  explicit FlushStatsOnExit(const CdclSolver* solver) : solver_(solver) {}
+  ~FlushStatsOnExit() {
+    if (!obs::MetricsEnabled()) return;
+    CdclMetrics& m = Metrics();
+    const SolverStats& s = solver_->stats();
+    m.solves->Inc();
+    if (s.decisions > 0) m.decisions->Inc(s.decisions);
+    if (s.propagations > 0) m.propagations->Inc(s.propagations);
+    if (s.conflicts > 0) m.conflicts->Inc(s.conflicts);
+    if (solver_->learned_clauses() > 0) m.learned_clauses->Inc(solver_->learned_clauses());
+    if (solver_->restarts() > 0) m.restarts->Inc(solver_->restarts());
+  }
+
+ private:
+  const CdclSolver* solver_;
+};
+
+}  // namespace
 
 void CdclSolver::AddWatchedClause(int clause_index) {
   const std::vector<Lit>& c = clauses_[clause_index];
@@ -163,6 +218,7 @@ Result<SatResult> CdclSolver::Solve(const Cnf& cnf) {
   stats_ = SolverStats{};
   learned_ = 0;
   restarts_ = 0;
+  FlushStatsOnExit flush(this);
   num_vars_ = cnf.num_vars;
   clauses_.clear();
   watches_.assign(2 * num_vars_, {});

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "obs/metrics.h"
+
 namespace diffc::prop {
 
 namespace {
@@ -14,10 +16,51 @@ std::int8_t LitValue(Literal lit, const std::vector<std::int8_t>& assignment) {
   return (lit > 0) == (v == 1) ? std::int8_t{1} : std::int8_t{0};
 }
 
+// Registry handles for the DPLL solver. The hot loops only touch the local
+// `stats_` struct; these aggregates are flushed once per Solve() call.
+struct DpllMetrics {
+  obs::Counter* solves;
+  obs::Counter* decisions;
+  obs::Counter* propagations;
+  obs::Counter* conflicts;
+
+  DpllMetrics() {
+    obs::Registry& r = obs::Registry::Global();
+    solves = r.GetCounter("diffc_dpll_solves_total", "DPLL Solve() calls.");
+    decisions = r.GetCounter("diffc_dpll_decisions_total", "DPLL branch decisions.");
+    propagations =
+        r.GetCounter("diffc_dpll_propagations_total", "DPLL unit propagations.");
+    conflicts = r.GetCounter("diffc_dpll_conflicts_total", "DPLL conflicts.");
+  }
+};
+
+DpllMetrics& Metrics() {
+  static DpllMetrics* m = new DpllMetrics();
+  return *m;
+}
+
+// Flushes the per-call stats to the registry on every exit path of Solve().
+class FlushStatsOnExit {
+ public:
+  explicit FlushStatsOnExit(const SolverStats* stats) : stats_(stats) {}
+  ~FlushStatsOnExit() {
+    if (!obs::MetricsEnabled()) return;
+    DpllMetrics& m = Metrics();
+    m.solves->Inc();
+    if (stats_->decisions > 0) m.decisions->Inc(stats_->decisions);
+    if (stats_->propagations > 0) m.propagations->Inc(stats_->propagations);
+    if (stats_->conflicts > 0) m.conflicts->Inc(stats_->conflicts);
+  }
+
+ private:
+  const SolverStats* stats_;
+};
+
 }  // namespace
 
 Result<SatResult> DpllSolver::Solve(const Cnf& cnf) {
   stats_ = SolverStats{};
+  FlushStatsOnExit flush(&stats_);
   budget_exceeded_ = false;
   stop_status_ = Status::Ok();
   for (const Clause& clause : cnf.clauses) {

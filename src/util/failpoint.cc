@@ -7,6 +7,8 @@
 #include <random>
 #include <unordered_map>
 
+#include "obs/event_log.h"
+#include "obs/metrics.h"
 #include "util/text.h"
 
 namespace diffc::failpoint {
@@ -165,7 +167,7 @@ std::uint64_t TripCount(const std::string& name) {
 bool Evaluate(const char* name) {
   Registry& r = GetRegistry();
   if (r.armed_count.load(std::memory_order_acquire) == 0) return false;
-  std::lock_guard<std::mutex> lock(r.mu);
+  std::unique_lock<std::mutex> lock(r.mu);
   auto it = r.points.find(name);
   if (it == r.points.end()) return false;
   PointState& p = it->second;
@@ -187,6 +189,17 @@ bool Evaluate(const char* name) {
       break;
   }
   if (fire) ++p.trips;
+  lock.unlock();
+  // Observability outside the registry lock: a fired point is a rare,
+  // test-only event, but the metrics registry takes its own mutex on first
+  // lookup and must not nest under ours.
+  if (fire && obs::MetricsEnabled()) {
+    obs::Registry::Global()
+        .GetCounter("diffc_failpoint_fires_total", "Fail-point trips, by site.",
+                    {{"site", name}})
+        ->Inc();
+    obs::GlobalEventLog().Record("failpoint_fired", {{"site", name}});
+  }
   return fire;
 }
 

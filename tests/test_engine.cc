@@ -17,6 +17,7 @@
 #include "engine/caches.h"
 #include "engine/implication_engine.h"
 #include "engine/worker_pool.h"
+#include "obs/exposition.h"
 #include "prop/tautology.h"
 #include "test_helpers.h"
 #include "util/deadline.h"
@@ -594,6 +595,75 @@ TEST(WorkerPoolTest, TaskExceptionsAreContainedAndCounted) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   EXPECT_EQ(pool.uncaught_exceptions(), static_cast<std::uint64_t>(kThrowers));
+}
+
+TEST(WorkerPoolTest, StatsSnapshotRacesSafelyWithSubmit) {
+  // Regression test for the unsynchronized-stats-read bug class: one thread
+  // hammers Submit while others snapshot stats() / queue_depth() /
+  // in_flight() continuously. Run under TSan in CI; correctness here is the
+  // invariants every snapshot must satisfy.
+  WorkerPool pool(2);
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> submitted{0};
+
+  std::thread submitter([&] {
+    for (int i = 0; i < 2000; ++i) {
+      pool.Submit([] {});
+      submitted.fetch_add(1, std::memory_order_relaxed);
+    }
+    done.store(true, std::memory_order_release);
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        WorkerPool::Stats s = pool.stats();
+        EXPECT_LE(s.completed, s.submitted);
+        EXPECT_LE(s.queue_depth, s.submitted);
+        EXPECT_GE(s.in_flight, 0);
+        EXPECT_LE(s.in_flight, pool.size());
+        (void)pool.queue_depth();
+        (void)pool.in_flight();
+      }
+    });
+  }
+  submitter.join();
+  for (std::thread& r : readers) r.join();
+
+  // Drain: wait until everything completes, then the totals must agree.
+  for (int spin = 0; spin < 5000 && pool.stats().completed < submitted.load(); ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  WorkerPool::Stats s = pool.stats();
+  EXPECT_EQ(s.submitted, submitted.load());
+  EXPECT_EQ(s.completed, submitted.load());
+  EXPECT_EQ(s.queue_depth, 0u);
+  EXPECT_EQ(s.exceptions, 0u);
+}
+
+TEST(EngineReliabilityTest, TracedStressBatchIsRaceFree) {
+  // The TSan CI job runs this: a mixed batch on several threads with
+  // tracing, metrics, and the event log all live, exercising every
+  // instrumentation flush site concurrently.
+  MixedBatch b = MakeMixedBatch(12, 48, 99);
+  EngineOptions opts;
+  opts.num_threads = 4;
+  opts.trace = true;
+  ImplicationEngine engine(opts);
+  for (int round = 0; round < 2; ++round) {
+    Result<BatchOutcome> out = engine.CheckBatch(b.n, b.premises, b.goals);
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    for (const EngineQueryResult& r : out->results) {
+      ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+      ASSERT_NE(r.trace, nullptr);
+      EXPECT_FALSE(r.trace->spans.empty());
+      EXPECT_GE(r.trace->HottestLeaf(), 0);
+    }
+  }
+  // Exposition is safe concurrently with nothing else running, but also
+  // while the registry is warm: both renderings must be non-empty.
+  EXPECT_FALSE(obs::SnapshotPrometheus().empty());
+  EXPECT_FALSE(obs::SnapshotJson().empty());
 }
 
 }  // namespace

@@ -1,0 +1,566 @@
+// Observability layer: registry semantics (exact concurrent sums, histogram
+// bucket boundaries, snapshot-vs-reset), Prometheus / JSON exposition
+// (golden outputs plus a mini text-format parser), span-tree tracing, the
+// event-log flight recorder, and end-to-end metric deltas through
+// `ImplicationEngine::CheckBatch` under every exhaustion policy.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/implication.h"
+#include "engine/implication_engine.h"
+#include "obs/event_log.h"
+#include "obs/exposition.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "prop/tautology.h"
+
+namespace diffc {
+namespace {
+
+using obs::EventLog;
+using obs::Labels;
+using obs::MetricsSnapshot;
+using obs::Registry;
+using obs::TraceRecord;
+using obs::Tracer;
+
+// ---------------------------------------------------------------------------
+// Registry semantics.
+
+TEST(MetricsRegistryTest, CounterSumsConcurrentIncrementsExactly) {
+  Registry reg;
+  obs::Counter* c = reg.GetCounter("t_ops_total", "ops");
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 50'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c] {
+      for (int i = 0; i < kIncrements; ++i) c->Inc();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c->Value(), static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(MetricsRegistryTest, SameNameAndLabelsReturnsSameHandle) {
+  Registry reg;
+  obs::Counter* a = reg.GetCounter("t_total", "h", {{"k", "v"}});
+  obs::Counter* b = reg.GetCounter("t_total", "h", {{"k", "v"}});
+  obs::Counter* other = reg.GetCounter("t_total", "h", {{"k", "w"}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, other);
+  a->Inc(2);
+  b->Inc(3);
+  EXPECT_EQ(a->Value(), 5u);
+  EXPECT_EQ(other->Value(), 0u);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketBoundariesAreInclusiveUpperBounds) {
+  Registry reg;
+  obs::Histogram* h = reg.GetHistogram("t_seconds", "h", {0.1, 1.0, 10.0});
+  h->Observe(0.1);   // le="0.1": boundary values land in their bucket.
+  h->Observe(0.05);  // le="0.1"
+  h->Observe(0.5);   // le="1"
+  h->Observe(1.0);   // le="1"
+  h->Observe(10.0);  // le="10"
+  h->Observe(99.0);  // +Inf
+  std::vector<std::uint64_t> buckets = h->BucketCounts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 2u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(buckets[3], 1u);
+  EXPECT_EQ(h->Count(), 6u);
+  EXPECT_DOUBLE_EQ(h->Sum(), 0.1 + 0.05 + 0.5 + 1.0 + 10.0 + 99.0);
+}
+
+TEST(MetricsRegistryTest, ExponentialAndLinearBucketShapes) {
+  std::vector<double> exp = obs::ExponentialBuckets(1e-3, 10.0, 4);
+  ASSERT_EQ(exp.size(), 4u);
+  EXPECT_DOUBLE_EQ(exp[0], 1e-3);
+  EXPECT_DOUBLE_EQ(exp[3], 1.0);
+  std::vector<double> lin = obs::LinearBuckets(0.0, 0.5, 3);
+  ASSERT_EQ(lin.size(), 3u);
+  EXPECT_DOUBLE_EQ(lin[2], 1.0);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesValuesButKeepsHandles) {
+  Registry reg;
+  obs::Counter* c = reg.GetCounter("t_total", "h");
+  obs::Gauge* g = reg.GetGauge("t_depth", "h");
+  obs::Histogram* h = reg.GetHistogram("t_seconds", "h", {1.0});
+  c->Inc(7);
+  g->Set(-3);
+  h->Observe(0.5);
+  MetricsSnapshot before = reg.Snapshot();
+  ASSERT_EQ(before.counters.size(), 1u);
+  EXPECT_EQ(before.counters[0].value, 7u);
+  ASSERT_EQ(before.gauges.size(), 1u);
+  EXPECT_EQ(before.gauges[0].value, -3);
+  ASSERT_EQ(before.histograms.size(), 1u);
+  EXPECT_EQ(before.histograms[0].count, 1u);
+
+  reg.ResetValues();
+  // The snapshot is a copy: resetting the registry does not mutate it.
+  EXPECT_EQ(before.counters[0].value, 7u);
+  // Old handles keep working against the zeroed values.
+  EXPECT_EQ(c->Value(), 0u);
+  EXPECT_EQ(g->Value(), 0);
+  EXPECT_EQ(h->Count(), 0u);
+  c->Inc();
+  EXPECT_EQ(reg.Snapshot().counters[0].value, 1u);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedByNameThenLabels) {
+  Registry reg;
+  reg.GetCounter("t_b_total", "h");
+  reg.GetCounter("t_a_total", "h", {{"k", "2"}});
+  reg.GetCounter("t_a_total", "h", {{"k", "1"}});
+  MetricsSnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].name, "t_a_total");
+  EXPECT_EQ(snap.counters[0].labels[0].second, "1");
+  EXPECT_EQ(snap.counters[1].labels[0].second, "2");
+  EXPECT_EQ(snap.counters[2].name, "t_b_total");
+}
+
+// ---------------------------------------------------------------------------
+// Exposition.
+
+// A registry with one of everything, for the golden tests.
+void PopulateGolden(Registry& reg) {
+  reg.GetCounter("t_requests_total", "Requests served.", {{"code", "200"}})->Inc(3);
+  reg.GetGauge("t_queue_depth", "Queued tasks.")->Set(5);
+  obs::Histogram* h =
+      reg.GetHistogram("t_latency_seconds", "Request latency.", {0.1, 1.0});
+  h->Observe(0.05);
+  h->Observe(0.5);
+  h->Observe(5.0);
+}
+
+TEST(ExpositionTest, PrometheusGolden) {
+  Registry reg;
+  PopulateGolden(reg);
+  const std::string expected =
+      "# HELP t_requests_total Requests served.\n"
+      "# TYPE t_requests_total counter\n"
+      "t_requests_total{code=\"200\"} 3\n"
+      "# HELP t_queue_depth Queued tasks.\n"
+      "# TYPE t_queue_depth gauge\n"
+      "t_queue_depth 5\n"
+      "# HELP t_latency_seconds Request latency.\n"
+      "# TYPE t_latency_seconds histogram\n"
+      "t_latency_seconds_bucket{le=\"0.1\"} 1\n"
+      "t_latency_seconds_bucket{le=\"1\"} 2\n"
+      "t_latency_seconds_bucket{le=\"+Inf\"} 3\n"
+      "t_latency_seconds_sum 5.55\n"
+      "t_latency_seconds_count 3\n";
+  EXPECT_EQ(obs::RenderPrometheus(reg.Snapshot()), expected);
+}
+
+TEST(ExpositionTest, JsonGolden) {
+  Registry reg;
+  PopulateGolden(reg);
+  const std::string expected =
+      "{\n"
+      "  \"counters\": [\n"
+      "    {\"name\": \"t_requests_total\", \"labels\": {\"code\": \"200\"}, "
+      "\"value\": 3}\n"
+      "  ],\n"
+      "  \"gauges\": [\n"
+      "    {\"name\": \"t_queue_depth\", \"labels\": {}, \"value\": 5}\n"
+      "  ],\n"
+      "  \"histograms\": [\n"
+      "    {\"name\": \"t_latency_seconds\", \"labels\": {}, \"bounds\": [0.1, 1], "
+      "\"counts\": [1, 1, 1], \"count\": 3, \"sum\": 5.55}\n"
+      "  ]\n"
+      "}";
+  EXPECT_EQ(obs::RenderJson(reg.Snapshot()), expected);
+}
+
+TEST(ExpositionTest, LabelValuesAreEscaped) {
+  Registry reg;
+  reg.GetCounter("t_total", "h", {{"k", "a\"b\\c\nd"}})->Inc();
+  std::string prom = obs::RenderPrometheus(reg.Snapshot());
+  EXPECT_NE(prom.find("k=\"a\\\"b\\\\c\\nd\""), std::string::npos) << prom;
+  std::string json = obs::RenderJson(reg.Snapshot());
+  EXPECT_NE(json.find("\"k\": \"a\\\"b\\\\c\\nd\""), std::string::npos) << json;
+}
+
+TEST(ExpositionTest, FormatDoubleRoundTripsAndHandlesNonFinite) {
+  EXPECT_EQ(obs::FormatDouble(0.1), "0.1");
+  EXPECT_EQ(obs::FormatDouble(1.0), "1");
+  EXPECT_EQ(obs::FormatDouble(1e-06), "1e-06");
+  EXPECT_EQ(obs::FormatDouble(std::numeric_limits<double>::infinity()), "+Inf");
+  EXPECT_EQ(obs::FormatDouble(-std::numeric_limits<double>::infinity()), "-Inf");
+  EXPECT_EQ(obs::FormatDouble(std::nan("")), "NaN");
+}
+
+// A tiny parser of the Prometheus text format: every line must be a comment
+// (`# HELP` / `# TYPE`) or a sample `name[{labels}] value`; histogram
+// `_bucket` series must be cumulative and end at `_count`'s value. Applied
+// to the full global-registry snapshot, so every exported family in the
+// library is checked for well-formedness.
+void CheckPrometheusParses(const std::string& text) {
+  std::uint64_t last_bucket = 0;
+  std::string bucket_family;
+  std::size_t pos = 0;
+  int samples = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos) << "missing trailing newline";
+    std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') {
+      EXPECT_TRUE(line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0)
+          << line;
+      continue;
+    }
+    // Sample: metric name, optional {labels}, space, value.
+    std::size_t sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    std::string series = line.substr(0, sp);
+    std::string value = line.substr(sp + 1);
+    EXPECT_FALSE(value.empty()) << line;
+    std::string name = series.substr(0, series.find('{'));
+    ASSERT_FALSE(name.empty()) << line;
+    for (char c : name) {
+      EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':')
+          << line;
+    }
+    if (series.find('{') != std::string::npos) {
+      EXPECT_EQ(series.back(), '}') << line;
+    }
+    // Cumulative-bucket check per (family, labels) series run.
+    if (name.size() > 7 && name.compare(name.size() - 7, 7, "_bucket") == 0) {
+      if (series != bucket_family) {
+        // A new histogram series starts; its first bucket resets the run.
+        last_bucket = 0;
+      }
+      std::uint64_t v = std::stoull(value);
+      EXPECT_GE(v, last_bucket) << line;
+      last_bucket = v;
+      std::size_t le = series.find("le=\"");
+      ASSERT_NE(le, std::string::npos) << line;
+      bucket_family = series;
+    } else {
+      bucket_family.clear();
+      last_bucket = 0;
+    }
+    ++samples;
+  }
+  EXPECT_GT(samples, 0);
+}
+
+TEST(ExpositionTest, GlobalSnapshotPrometheusParses) {
+  // Make sure the library families exist (engine construction registers
+  // pool metrics; one query registers engine/solver/cache families).
+  ImplicationEngine engine(EngineOptions{});
+  ConstraintSet premises;
+  premises.push_back(DifferentialConstraint(ItemSet{0}, SetFamily({ItemSet{1}})));
+  (void)engine.CheckOne(4, premises, DifferentialConstraint(ItemSet{0}, SetFamily({ItemSet{2}})));
+  CheckPrometheusParses(obs::SnapshotPrometheus());
+}
+
+// ---------------------------------------------------------------------------
+// Tracing.
+
+TEST(TraceTest, SpansNestWithParentAndDepth) {
+  Tracer tracer(true);
+  int outer = tracer.Begin("outer");
+  int inner = tracer.Begin("inner");
+  tracer.End(inner);
+  int second = tracer.Begin("second");
+  tracer.End(second);
+  tracer.End(outer);
+  TraceRecord rec = tracer.Finish();
+  ASSERT_EQ(rec.spans.size(), 3u);
+  EXPECT_EQ(rec.spans[0].name, "outer");
+  EXPECT_EQ(rec.spans[0].parent, -1);
+  EXPECT_EQ(rec.spans[0].depth, 0);
+  EXPECT_EQ(rec.spans[1].name, "inner");
+  EXPECT_EQ(rec.spans[1].parent, 0);
+  EXPECT_EQ(rec.spans[1].depth, 1);
+  EXPECT_EQ(rec.spans[2].name, "second");
+  EXPECT_EQ(rec.spans[2].parent, 0);
+  EXPECT_EQ(rec.spans[2].depth, 1);
+  // Children are contained in the parent.
+  EXPECT_GE(rec.spans[1].start_ns, rec.spans[0].start_ns);
+  EXPECT_LE(rec.spans[1].start_ns + rec.spans[1].duration_ns,
+            rec.spans[0].start_ns + rec.spans[0].duration_ns);
+  EXPECT_EQ(rec.TotalNs(), rec.spans[0].duration_ns);
+}
+
+TEST(TraceTest, EndClosesStillOpenDescendants) {
+  // An early return unwinds guards in LIFO order, but a hand-written End on
+  // an outer span must not leave orphans open.
+  Tracer tracer(true);
+  int outer = tracer.Begin("outer");
+  tracer.Begin("leaked-child");
+  tracer.End(outer);
+  TraceRecord rec = tracer.Finish();
+  ASSERT_EQ(rec.spans.size(), 2u);
+  EXPECT_GT(rec.spans[1].duration_ns, 0u);
+  EXPECT_LE(rec.spans[1].start_ns + rec.spans[1].duration_ns,
+            rec.spans[0].start_ns + rec.spans[0].duration_ns);
+}
+
+TEST(TraceTest, HottestLeafFindsTheExpensiveSpan) {
+  Tracer tracer(true);
+  {
+    obs::SpanGuard a(&tracer, "cheap");
+  }
+  {
+    obs::SpanGuard b(&tracer, "expensive");
+    obs::SpanGuard c(&tracer, "expensive-child");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  TraceRecord rec = tracer.Finish();
+  int hottest = rec.HottestLeaf();
+  ASSERT_GE(hottest, 0);
+  EXPECT_EQ(rec.spans[hottest].name, "expensive-child");
+  EXPECT_NE(rec.ToString().find("expensive-child"), std::string::npos);
+  EXPECT_NE(rec.ToJson().find("\"expensive-child\""), std::string::npos);
+}
+
+TEST(TraceTest, DisabledTracerRecordsNothing) {
+  Tracer tracer;  // Default: disabled.
+  EXPECT_FALSE(tracer.enabled());
+  {
+    obs::SpanGuard a(&tracer, "ignored");
+  }
+  EXPECT_EQ(tracer.Begin("also-ignored"), -1);
+  EXPECT_TRUE(tracer.Finish().spans.empty());
+  // Null tracer is legal for SpanGuard too.
+  obs::SpanGuard b(nullptr, "ignored");
+}
+
+// ---------------------------------------------------------------------------
+// Event log.
+
+TEST(EventLogTest, RingWrapsKeepingTheNewestEvents) {
+  EventLog log(4);
+  for (int i = 0; i < 10; ++i) {
+    log.Record("e", {{"i", std::to_string(i)}});
+  }
+  EXPECT_EQ(log.total(), 10u);
+  EXPECT_EQ(log.dropped(), 6u);
+  std::vector<obs::Event> events = log.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].seq, static_cast<std::uint64_t>(6 + i));
+    EXPECT_EQ(events[i].fields[0].second, std::to_string(6 + i));
+    if (i > 0) {
+      EXPECT_GE(events[i].ns, events[i - 1].ns);
+    }
+  }
+}
+
+TEST(EventLogTest, JsonlDumpIsOneObjectPerLine) {
+  EventLog log(8);
+  log.Record("deadline_exceeded", {{"stopped_in", "sat"}});
+  log.Record("degrade", {{"from", "DEADLINE_EXCEEDED"}});
+  std::string dump = log.DumpJsonl();
+  std::size_t lines = 0;
+  std::size_t pos = 0;
+  while ((pos = dump.find('\n', pos)) != std::string::npos) {
+    ++lines;
+    ++pos;
+  }
+  EXPECT_EQ(lines, 2u);
+  EXPECT_NE(dump.find("\"type\": \"deadline_exceeded\""), std::string::npos) << dump;
+  EXPECT_NE(dump.find("\"stopped_in\": \"sat\""), std::string::npos) << dump;
+}
+
+TEST(EventLogTest, DisableIsAnOffSwitch) {
+  EventLog log(4);
+  log.SetEnabled(false);
+  log.Record("ignored", {});
+  EXPECT_EQ(log.total(), 0u);
+  log.SetEnabled(true);
+  log.Record("kept", {});
+  EXPECT_EQ(log.total(), 1u);
+}
+
+TEST(EventLogTest, ConcurrentRecordersNeverLoseCounts) {
+  EventLog log(64);
+  constexpr int kThreads = 4;
+  constexpr int kEvents = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log] {
+      for (int i = 0; i < kEvents; ++i) log.Record("e", {});
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(log.total(), static_cast<std::uint64_t>(kThreads) * kEvents);
+  EXPECT_EQ(log.dropped(), log.total() - 64);
+  EXPECT_EQ(log.Snapshot().size(), 64u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: engine instrumentation.
+
+// The PHP(holes+1, holes) tautology via the Proposition 5.5 reduction pins
+// queries to the SAT procedure (see test_engine.cc for the reasoning).
+prop::DnfFormula PigeonholeDnf(int holes) {
+  prop::DnfFormula f;
+  f.num_vars = (holes + 1) * holes;
+  auto var = [&](int pigeon, int hole) { return pigeon * holes + hole; };
+  for (int i = 0; i <= holes; ++i) {
+    prop::DnfConjunct c;
+    for (int k = 0; k < holes; ++k) c.neg |= Mask{1} << var(i, k);
+    f.conjuncts.push_back(c);
+  }
+  for (int i = 0; i <= holes; ++i)
+    for (int j = i + 1; j <= holes; ++j)
+      for (int k = 0; k < holes; ++k) {
+        prop::DnfConjunct c;
+        c.pos = (Mask{1} << var(i, k)) | (Mask{1} << var(j, k));
+        f.conjuncts.push_back(c);
+      }
+  return f;
+}
+
+// Handles into the global registry for delta assertions. Help strings must
+// not conflict with the library's registrations — re-registration returns
+// the existing handle regardless of help text.
+obs::Counter* QueriesCounter(const char* procedure) {
+  return Registry::Global().GetCounter("diffc_engine_queries_total", "",
+                                       {{"procedure", procedure}});
+}
+
+obs::Counter* OutcomeCounter(const char* outcome) {
+  return Registry::Global().GetCounter("diffc_engine_outcomes_total", "",
+                                       {{"outcome", outcome}});
+}
+
+TEST(EngineObservabilityTest, CheckBatchFlushesQueryAndOutcomeCounters) {
+  const std::uint64_t implied0 = OutcomeCounter("implied")->Value();
+  const std::uint64_t trivial0 = QueriesCounter("trivial")->Value();
+  const std::uint64_t batches0 =
+      Registry::Global().GetCounter("diffc_engine_batches_total", "")->Value();
+
+  ImplicationEngine engine(EngineOptions{});
+  ConstraintSet premises;
+  premises.push_back(DifferentialConstraint(ItemSet{0}, SetFamily({ItemSet{1}})));
+  // Trivial goal: a member inside the left-hand side.
+  std::vector<DifferentialConstraint> goals(
+      3, DifferentialConstraint(ItemSet{0, 1}, SetFamily({ItemSet{1}})));
+  Result<BatchOutcome> out = engine.CheckBatch(4, premises, goals);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->stats.implied, 3u);
+
+  EXPECT_EQ(OutcomeCounter("implied")->Value(), implied0 + 3);
+  EXPECT_EQ(QueriesCounter("trivial")->Value(), trivial0 + 3);
+  EXPECT_EQ(Registry::Global().GetCounter("diffc_engine_batches_total", "")->Value(),
+            batches0 + 1);
+}
+
+TEST(EngineObservabilityTest, DegradedQueryPopulatesSlackTraceAndEvents) {
+  obs::Histogram* slack = Registry::Global().GetHistogram(
+      "diffc_deadline_slack_seconds", "", obs::ExponentialBuckets(1e-5, 4.0, 12));
+  obs::Counter* degraded = Registry::Global().GetCounter(
+      "diffc_engine_degraded_total", "", {{"from", "deadline"}});
+  obs::Counter* unknown = OutcomeCounter("unknown");
+  const std::uint64_t slack0 = slack->Count();
+  const std::uint64_t degraded0 = degraded->Value();
+  const std::uint64_t unknown0 = unknown->Value();
+  const std::uint64_t events0 = obs::GlobalEventLog().total();
+
+  prop::DnfFormula f = PigeonholeDnf(7);
+  ConstraintSet premises = DnfTautologyReduction(f);
+  EngineOptions opts;
+  opts.per_query_deadline = std::chrono::milliseconds(10);
+  opts.exhaustion_policy = ExhaustionPolicy::kDegrade;
+  opts.trace = true;
+  ImplicationEngine engine(opts);
+  EngineQueryResult r = engine.CheckOne(f.num_vars, premises, TautologyGoal());
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.outcome.verdict, ImplicationOutcome::kUnknown);
+
+  // The acceptance criterion: the trace names the phase that consumed the
+  // budget. PHP(8,7) dies inside DPLL, so the hottest leaf is "sat".
+  ASSERT_NE(r.trace, nullptr);
+  ASSERT_FALSE(r.trace->spans.empty());
+  int hottest = r.trace->HottestLeaf();
+  ASSERT_GE(hottest, 0);
+  EXPECT_EQ(r.trace->spans[hottest].name, "sat") << r.trace->ToString();
+
+  // The slack histogram got a sample (a degraded query finished with ~zero
+  // slack, which still counts), and the degrade surfaced in counters and
+  // the flight recorder.
+  EXPECT_EQ(slack->Count(), slack0 + 1);
+  EXPECT_EQ(degraded->Value(), degraded0 + 1);
+  EXPECT_EQ(unknown->Value(), unknown0 + 1);
+  EXPECT_GT(obs::GlobalEventLog().total(), events0);
+  bool saw_degrade = false;
+  for (const obs::Event& e : obs::GlobalEventLog().Snapshot()) {
+    if (e.seq >= events0 && e.type == "degrade") saw_degrade = true;
+  }
+  EXPECT_TRUE(saw_degrade);
+}
+
+TEST(EngineObservabilityTest, EscalationsAreCountedPerRetry) {
+  obs::Counter* escalations =
+      Registry::Global().GetCounter("diffc_engine_escalations_total", "");
+  const std::uint64_t escalations0 = escalations->Value();
+
+  prop::DnfFormula f = PigeonholeDnf(6);
+  ConstraintSet premises = DnfTautologyReduction(f);
+  EngineOptions opts;
+  opts.max_solver_decisions = 2000;  // PHP(7,6) needs ~6.5k: two doublings.
+  opts.exhaustion_policy = ExhaustionPolicy::kEscalate;
+  opts.max_retries = 2;
+  opts.escalate_backoff = std::chrono::nanoseconds(0);
+  ImplicationEngine engine(opts);
+  EngineQueryResult r = engine.CheckOne(f.num_vars, premises, TautologyGoal());
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_TRUE(r.outcome.implied);
+  EXPECT_EQ(r.stats.attempts, 3);
+  EXPECT_EQ(escalations->Value(), escalations0 + 2);
+}
+
+TEST(EngineObservabilityTest, UntracedQueriesCarryNoTraceRecord) {
+  ImplicationEngine engine(EngineOptions{});  // trace defaults off.
+  ConstraintSet premises;
+  premises.push_back(DifferentialConstraint(ItemSet{0}, SetFamily({ItemSet{1}})));
+  EngineQueryResult r = engine.CheckOne(
+      4, premises, DifferentialConstraint(ItemSet{0}, SetFamily({ItemSet{2}})));
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.trace, nullptr);
+}
+
+TEST(EngineObservabilityTest, MetricsDisabledFreezesLibraryCounters) {
+  obs::Counter* trivial = QueriesCounter("trivial");
+  ConstraintSet premises;
+  premises.push_back(DifferentialConstraint(ItemSet{0}, SetFamily({ItemSet{1}})));
+  DifferentialConstraint goal(ItemSet{0, 1}, SetFamily({ItemSet{1}}));
+
+  obs::SetMetricsEnabled(false);
+  const std::uint64_t before = trivial->Value();
+  {
+    ImplicationEngine engine(EngineOptions{});
+    EngineQueryResult r = engine.CheckOne(4, premises, goal);
+    ASSERT_TRUE(r.status.ok());
+  }
+  EXPECT_EQ(trivial->Value(), before);
+  obs::SetMetricsEnabled(true);
+  {
+    ImplicationEngine engine(EngineOptions{});
+    EngineQueryResult r = engine.CheckOne(4, premises, goal);
+    ASSERT_TRUE(r.status.ok());
+  }
+  EXPECT_EQ(trivial->Value(), before + 1);
+}
+
+}  // namespace
+}  // namespace diffc

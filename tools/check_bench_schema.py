@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Validate a benchmark JSON artifact against a subset-JSON-Schema file.
+
+Stdlib-only (CI has no jsonschema package). Implements the subset the
+committed schemas use: ``type`` (string or list of strings, including
+"null"), ``properties``, ``required``, ``items``, and ``minimum``.
+Unknown schema keys are ignored, so schemas can carry ``$comment``.
+
+Usage: check_bench_schema.py <artifact.json> <schema.json>
+Exit code 0 on success; 1 with a path-qualified error list otherwise.
+"""
+
+import json
+import sys
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _type_ok(value, type_name):
+    if type_name == "integer":
+        # JSON has one number type; a float that is integral (1e3) counts,
+        # but bool must not (bool is an int subclass in Python).
+        if isinstance(value, bool):
+            return False
+        return isinstance(value, int) or (isinstance(value, float) and value.is_integer())
+    if type_name == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    expected = _TYPES.get(type_name)
+    if expected is None:
+        return True  # Unknown type name: be permissive.
+    if expected is dict or expected is list or expected is str:
+        return isinstance(value, expected)
+    if type_name == "boolean":
+        return isinstance(value, bool)
+    return value is None
+
+
+def validate(value, schema, path, errors):
+    types = schema.get("type")
+    if types is not None:
+        if isinstance(types, str):
+            types = [types]
+        if not any(_type_ok(value, t) for t in types):
+            errors.append(f"{path}: expected type {'/'.join(types)}, "
+                          f"got {type(value).__name__}")
+            return
+        if value is None and "null" in types:
+            return  # A nullable field that is null needs no further checks.
+
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key '{key}'")
+        for key, subschema in schema.get("properties", {}).items():
+            if key in value:
+                validate(value[key], subschema, f"{path}.{key}", errors)
+
+    if isinstance(value, list):
+        items = schema.get("items")
+        if items is not None:
+            for i, element in enumerate(value):
+                validate(element, items, f"{path}[{i}]", errors)
+
+    minimum = schema.get("minimum")
+    if minimum is not None and isinstance(value, (int, float)) and not isinstance(value, bool):
+        if value < minimum:
+            errors.append(f"{path}: {value} < minimum {minimum}")
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    artifact_path, schema_path = argv[1], argv[2]
+    try:
+        with open(artifact_path) as f:
+            artifact = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"FAIL: cannot parse {artifact_path}: {e}", file=sys.stderr)
+        return 1
+    with open(schema_path) as f:
+        schema = json.load(f)
+
+    errors = []
+    validate(artifact, schema, "$", errors)
+    if errors:
+        print(f"FAIL: {artifact_path} does not match {schema_path}:", file=sys.stderr)
+        for e in errors:
+            print(f"  {e}", file=sys.stderr)
+        return 1
+    print(f"OK: {artifact_path} matches {schema_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
