@@ -122,6 +122,8 @@ bool FdSubclassApplicable(const ConstraintSet& premises, const DifferentialConst
 
 Result<ImplicationOutcome> CheckImplicationFd(int n, const ConstraintSet& premises,
                                               const DifferentialConstraint& goal) {
+  // Unused: the FD closure works on attribute sets and never materializes
+  // the universe; `n` is kept for signature parity with the other checkers.
   (void)n;
   if (!FdSubclassApplicable(premises, goal)) {
     return Status::FailedPrecondition(

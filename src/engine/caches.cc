@@ -65,7 +65,7 @@ std::shared_ptr<const WitnessSetCache::Entry> WitnessSetCache::Get(const SetFami
   const bool obs_on = obs::MetricsEnabled();
   Key key{family, max_results};
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = map_.find(key);
     if (it != map_.end()) {
       counters_.hits.fetch_add(1, std::memory_order_relaxed);
@@ -93,7 +93,7 @@ std::shared_ptr<const WitnessSetCache::Entry> WitnessSetCache::Get(const SetFami
   bool inserted_negative = false;
   std::shared_ptr<const Entry> out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     // Find-then-insert: a concurrent miss may have populated the key while
     // we searched; reusing its entry keeps `order_` free of duplicate keys.
     auto it = map_.find(key);
@@ -125,7 +125,7 @@ std::shared_ptr<const WitnessSetCache::Entry> WitnessSetCache::Get(const SetFami
 }
 
 void WitnessSetCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   map_.clear();
   order_.clear();
   if (obs::MetricsEnabled()) WitnessMetrics().size->Set(0);
@@ -134,7 +134,7 @@ void WitnessSetCache::Clear() {
 CacheCounters WitnessSetCache::counters() const { return counters_.Snapshot(); }
 
 std::size_t WitnessSetCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return map_.size();
 }
 
@@ -153,7 +153,7 @@ std::shared_ptr<const PremiseTranslation> PremiseTranslationCache::Get(
   const bool obs_on = obs::MetricsEnabled();
   Key key{n, premises};
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = map_.find(key);
     if (it != map_.end()) {
       counters_.hits.fetch_add(1, std::memory_order_relaxed);
@@ -172,7 +172,7 @@ std::shared_ptr<const PremiseTranslation> PremiseTranslationCache::Get(
 
   std::size_t evicted = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = map_.find(key);
     if (it != map_.end()) return it->second;
     auto inserted_it = map_.emplace(std::move(key), translation).first;
@@ -194,7 +194,7 @@ std::shared_ptr<const PremiseTranslation> PremiseTranslationCache::Get(
 }
 
 void PremiseTranslationCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   map_.clear();
   order_.clear();
   if (obs::MetricsEnabled()) PremiseMetrics().size->Set(0);
@@ -203,7 +203,7 @@ void PremiseTranslationCache::Clear() {
 CacheCounters PremiseTranslationCache::counters() const { return counters_.Snapshot(); }
 
 std::size_t PremiseTranslationCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return map_.size();
 }
 

@@ -5,7 +5,6 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -14,7 +13,9 @@
 #include "lattice/hitting_set.h"
 #include "lattice/set_family.h"
 #include "util/deadline.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace diffc {
 
@@ -85,16 +86,17 @@ class WitnessSetCache {
   /// caller but never cached — those statuses describe this query's
   /// deadline, not the family.
   std::shared_ptr<const Entry> Get(const SetFamily& family, std::size_t max_results,
-                                   bool* hit = nullptr, StopCheck* stop = nullptr);
+                                   bool* hit = nullptr, StopCheck* stop = nullptr)
+      EXCLUDES(mu_);
 
   /// Drops every entry (counters are kept).
-  void Clear();
+  void Clear() EXCLUDES(mu_);
 
   /// Lifetime hit/miss/eviction counters.
   CacheCounters counters() const;
 
   /// Number of cached entries.
-  std::size_t size() const;
+  std::size_t size() const EXCLUDES(mu_);
 
  private:
   struct Key {
@@ -111,9 +113,9 @@ class WitnessSetCache {
   };
 
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::unordered_map<Key, std::shared_ptr<const Entry>, KeyHash> map_;
-  std::deque<Key> order_;  // Insertion order, for FIFO eviction.
+  mutable Mutex mu_;
+  std::unordered_map<Key, std::shared_ptr<const Entry>, KeyHash> map_ GUARDED_BY(mu_);
+  std::deque<Key> order_ GUARDED_BY(mu_);  // Insertion order, for FIFO eviction.
   AtomicCacheCounters counters_;
 };
 
@@ -131,16 +133,16 @@ class PremiseTranslationCache {
   /// The translation of `premises` over `n` attributes, built on miss.
   /// `hit`, when non-null, receives whether the entry was cached.
   std::shared_ptr<const PremiseTranslation> Get(int n, const ConstraintSet& premises,
-                                                bool* hit = nullptr);
+                                                bool* hit = nullptr) EXCLUDES(mu_);
 
   /// Drops every entry (counters are kept).
-  void Clear();
+  void Clear() EXCLUDES(mu_);
 
   /// Lifetime hit/miss/eviction counters.
   CacheCounters counters() const;
 
   /// Number of cached entries.
-  std::size_t size() const;
+  std::size_t size() const EXCLUDES(mu_);
 
  private:
   struct Key {
@@ -153,9 +155,10 @@ class PremiseTranslationCache {
   };
 
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::unordered_map<Key, std::shared_ptr<const PremiseTranslation>, KeyHash> map_;
-  std::deque<Key> order_;
+  mutable Mutex mu_;
+  std::unordered_map<Key, std::shared_ptr<const PremiseTranslation>, KeyHash> map_
+      GUARDED_BY(mu_);
+  std::deque<Key> order_ GUARDED_BY(mu_);
   AtomicCacheCounters counters_;
 };
 

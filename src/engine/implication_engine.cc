@@ -1,10 +1,8 @@
 #include "engine/implication_engine.h"
 
 #include <chrono>
-#include <condition_variable>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <random>
 #include <stdexcept>
 #include <thread>
@@ -12,6 +10,7 @@
 #include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "util/failpoint.h"
+#include "util/mutex.h"
 
 namespace diffc {
 
@@ -516,8 +515,8 @@ Result<BatchOutcome> ImplicationEngine::CheckBatch(
   if (!goals.empty()) {
     // Countdown latch: workers fill disjoint slots of the pre-sized result
     // vector, the submitter blocks until the last query lands.
-    std::mutex done_mu;
-    std::condition_variable done_cv;
+    Mutex done_mu;
+    CondVarAny done_cv;
     std::size_t remaining = goals.size();
 
     for (std::size_t i = 0; i < goals.size(); ++i) {
@@ -532,13 +531,13 @@ Result<BatchOutcome> ImplicationEngine::CheckBatch(
         } else {
           out.results[i] = GuardedRunQuery(n, premises, goals[i], batch_deadline, cancel);
         }
-        std::lock_guard<std::mutex> lock(done_mu);
-        if (--remaining == 0) done_cv.notify_one();
+        MutexLock lock(&done_mu);
+        if (--remaining == 0) done_cv.NotifyOne();
       });
     }
 
-    std::unique_lock<std::mutex> lock(done_mu);
-    done_cv.wait(lock, [&] { return remaining == 0; });
+    MutexLock lock(&done_mu);
+    done_cv.Wait(done_mu, [&] { return remaining == 0; });
   }
 
   BatchStats& s = out.stats;

@@ -63,7 +63,7 @@ WorkerPool::WorkerPool(int num_threads) {
 
 WorkerPool::~WorkerPool() {
   for (std::jthread& w : workers_) w.request_stop();
-  cv_.notify_all();
+  cv_.NotifyAll();
   // jthread joins on destruction.
 }
 
@@ -75,7 +75,7 @@ void WorkerPool::Submit(std::function<void()> task) {
   submitted_.fetch_add(1, std::memory_order_release);
   std::size_t depth;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queue_.push_back(QueuedTask{std::move(task), obs_on ? SteadyNowNs() : 0});
     depth = queue_.size();
   }
@@ -84,13 +84,13 @@ void WorkerPool::Submit(std::function<void()> task) {
     // Set (not Add): idempotent against the enable flag toggling mid-run.
     Metrics().queue_depth->Set(static_cast<std::int64_t>(depth));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 WorkerPool::Stats WorkerPool::stats() const {
   Stats s;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     s.queue_depth = queue_.size();
   }
   // Load `completed` before `submitted`: the acquire synchronizes with the
@@ -104,7 +104,7 @@ WorkerPool::Stats WorkerPool::stats() const {
 }
 
 std::size_t WorkerPool::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return queue_.size();
 }
 
@@ -113,8 +113,13 @@ void WorkerPool::WorkerLoop(std::stop_token stop) {
     QueuedTask task;
     std::size_t depth;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, stop, [this] { return !queue_.empty(); });
+      MutexLock lock(&mu_);
+      // `Wait` re-evaluates the predicate with `mu_` held; the analysis
+      // cannot see that through the type-erased wait, hence AssertHeld.
+      cv_.Wait(mu_, stop, [this] {
+        mu_.AssertHeld();
+        return !queue_.empty();
+      });
       if (queue_.empty()) return;  // Stop requested and nothing to drain.
       task = std::move(queue_.front());
       queue_.pop_front();

@@ -2,13 +2,14 @@
 #define DIFFC_ENGINE_WORKER_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace diffc {
 
@@ -61,14 +62,14 @@ class WorkerPool {
   int size() const { return static_cast<int>(workers_.size()); }
 
   /// Enqueues `task` for execution by some worker.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// A snapshot safe against concurrent `Submit` / completion: the queue
   /// depth is read under the queue mutex, counters atomically.
-  Stats stats() const;
+  Stats stats() const EXCLUDES(mu_);
 
   /// Tasks queued but not yet picked up.
-  std::size_t queue_depth() const;
+  std::size_t queue_depth() const EXCLUDES(mu_);
 
   /// Tasks currently executing.
   int in_flight() const { return in_flight_.load(std::memory_order_relaxed); }
@@ -85,11 +86,11 @@ class WorkerPool {
     std::uint64_t enqueue_ns = 0;
   };
 
-  void WorkerLoop(std::stop_token stop);
+  void WorkerLoop(std::stop_token stop) EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable_any cv_;
-  std::deque<QueuedTask> queue_;
+  mutable Mutex mu_;
+  CondVarAny cv_;
+  std::deque<QueuedTask> queue_ GUARDED_BY(mu_);
   std::vector<std::jthread> workers_;
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> completed_{0};

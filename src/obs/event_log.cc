@@ -34,7 +34,7 @@ EventLog::EventLog(std::size_t capacity) : capacity_(capacity < 1 ? 1 : capacity
 void EventLog::Record(std::string type,
                       std::vector<std::pair<std::string, std::string>> fields) {
   const std::uint64_t now = SteadyNowNs();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!enabled_) return;
   Event e;
   e.ns = now;
@@ -51,7 +51,7 @@ void EventLog::Record(std::string type,
 }
 
 std::vector<Event> EventLog::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<Event> out;
   out.reserve(ring_.size());
   // `next_` is the oldest slot once the ring is full; 0 before that.
@@ -71,28 +71,28 @@ std::string EventLog::DumpJsonl() const {
 }
 
 void EventLog::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ring_.clear();
   next_ = 0;
 }
 
 void EventLog::SetEnabled(bool enabled) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   enabled_ = enabled;
 }
 
 bool EventLog::enabled() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return enabled_;
 }
 
 std::uint64_t EventLog::total() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return total_;
 }
 
 std::uint64_t EventLog::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return dropped_;
 }
 

@@ -2,10 +2,12 @@
 #define DIFFC_OBS_EVENT_LOG_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace diffc::obs {
 
@@ -40,37 +42,38 @@ class EventLog {
 
   /// Records an event (no-op while disabled). Thread-safe.
   void Record(std::string type,
-              std::vector<std::pair<std::string, std::string>> fields = {});
+              std::vector<std::pair<std::string, std::string>> fields = {})
+      EXCLUDES(mu_);
 
   /// Oldest-to-newest copy of the retained events.
-  std::vector<Event> Snapshot() const;
+  std::vector<Event> Snapshot() const EXCLUDES(mu_);
 
   /// The retained events as JSONL, one event per line — the post-mortem
   /// dump format.
   std::string DumpJsonl() const;
 
   /// Drops every retained event; counters (`total`, `dropped`) survive.
-  void Clear();
+  void Clear() EXCLUDES(mu_);
 
   /// Enables/disables recording (enabled by default). Disabling is the
   /// production off-switch; the flight recorder costs nothing when off.
-  void SetEnabled(bool enabled);
-  bool enabled() const;
+  void SetEnabled(bool enabled) EXCLUDES(mu_);
+  bool enabled() const EXCLUDES(mu_);
 
   std::size_t capacity() const { return capacity_; }
   /// Events ever recorded (including overwritten ones).
-  std::uint64_t total() const;
+  std::uint64_t total() const EXCLUDES(mu_);
   /// Events overwritten by wraparound.
-  std::uint64_t dropped() const;
+  std::uint64_t dropped() const EXCLUDES(mu_);
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  bool enabled_ = true;
-  std::vector<Event> ring_;   // Up to capacity_ entries.
-  std::size_t next_ = 0;      // Overwrite position once full.
-  std::uint64_t total_ = 0;
-  std::uint64_t dropped_ = 0;
+  mutable Mutex mu_;
+  bool enabled_ GUARDED_BY(mu_) = true;
+  std::vector<Event> ring_ GUARDED_BY(mu_);   // Up to capacity_ entries.
+  std::size_t next_ GUARDED_BY(mu_) = 0;      // Overwrite position once full.
+  std::uint64_t total_ GUARDED_BY(mu_) = 0;
+  std::uint64_t dropped_ GUARDED_BY(mu_) = 0;
 };
 
 /// The process-wide flight recorder every library site records into.

@@ -103,7 +103,7 @@ std::string Registry::Key(std::string_view name, const Labels& labels) {
 Counter* Registry::GetCounter(std::string_view name, std::string_view help,
                               Labels labels) {
   const std::string key = Key(name, labels);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const Entry<Counter>& e : counters_) {
     if (Key(e.name, e.labels) == key) return e.metric.get();
   }
@@ -115,7 +115,7 @@ Counter* Registry::GetCounter(std::string_view name, std::string_view help,
 Gauge* Registry::GetGauge(std::string_view name, std::string_view help,
                           Labels labels) {
   const std::string key = Key(name, labels);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const Entry<Gauge>& e : gauges_) {
     if (Key(e.name, e.labels) == key) return e.metric.get();
   }
@@ -127,7 +127,7 @@ Gauge* Registry::GetGauge(std::string_view name, std::string_view help,
 Histogram* Registry::GetHistogram(std::string_view name, std::string_view help,
                                   std::vector<double> bounds, Labels labels) {
   const std::string key = Key(name, labels);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const Entry<Histogram>& e : histograms_) {
     if (Key(e.name, e.labels) == key) return e.metric.get();
   }
@@ -139,7 +139,7 @@ Histogram* Registry::GetHistogram(std::string_view name, std::string_view help,
 
 MetricsSnapshot Registry::Snapshot() const {
   MetricsSnapshot snap;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   snap.counters.reserve(counters_.size());
   for (const Entry<Counter>& e : counters_) {
     snap.counters.push_back(CounterSample{e.name, e.help, e.labels, e.metric->Value()});
@@ -164,7 +164,7 @@ MetricsSnapshot Registry::Snapshot() const {
 }
 
 void Registry::ResetValues() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const Entry<Counter>& e : counters_) e.metric->Reset();
   for (const Entry<Gauge>& e : gauges_) e.metric->Reset();
   for (const Entry<Histogram>& e : histograms_) e.metric->Reset();

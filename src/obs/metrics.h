@@ -4,11 +4,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace diffc::obs {
 
@@ -169,18 +171,18 @@ class Registry {
   static Registry& Global();
 
   Counter* GetCounter(std::string_view name, std::string_view help,
-                      Labels labels = {});
+                      Labels labels = {}) EXCLUDES(mu_);
   Gauge* GetGauge(std::string_view name, std::string_view help,
-                  Labels labels = {});
+                  Labels labels = {}) EXCLUDES(mu_);
   Histogram* GetHistogram(std::string_view name, std::string_view help,
-                          std::vector<double> bounds, Labels labels = {});
+                          std::vector<double> bounds, Labels labels = {}) EXCLUDES(mu_);
 
   /// A consistent point-in-time copy of every metric. Registration is
   /// blocked for the duration; values are atomic reads.
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const EXCLUDES(mu_);
 
   /// Zeroes every value; registrations (and outstanding handles) survive.
-  void ResetValues();
+  void ResetValues() EXCLUDES(mu_);
 
  private:
   template <typename M>
@@ -193,10 +195,10 @@ class Registry {
 
   static std::string Key(std::string_view name, const Labels& labels);
 
-  mutable std::mutex mu_;
-  std::vector<Entry<Counter>> counters_;
-  std::vector<Entry<Gauge>> gauges_;
-  std::vector<Entry<Histogram>> histograms_;
+  mutable Mutex mu_;
+  std::vector<Entry<Counter>> counters_ GUARDED_BY(mu_);
+  std::vector<Entry<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::vector<Entry<Histogram>> histograms_ GUARDED_BY(mu_);
 };
 
 }  // namespace diffc::obs

@@ -3,13 +3,14 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <random>
 #include <unordered_map>
 
 #include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "util/mutex.h"
 #include "util/text.h"
+#include "util/thread_annotations.h"
 
 namespace diffc::failpoint {
 
@@ -57,8 +58,8 @@ Result<Spec> ParseTrigger(std::string_view trigger) {
 }
 
 struct Registry {
-  std::mutex mu;
-  std::unordered_map<std::string, PointState> points;
+  Mutex mu;
+  std::unordered_map<std::string, PointState> points GUARDED_BY(mu);
   // Lock-free fast path: Evaluate() returns immediately while nothing is
   // armed, so a failpoint build running the regular test suite pays one
   // relaxed load per site.
@@ -71,7 +72,7 @@ struct Registry {
 // env-var arming never re-enters GetRegistry() mid-initialization (that
 // recursion deadlocks the function-local static's init guard).
 void ArmInto(Registry& r, const std::string& name, const Spec& spec) {
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(&r.mu);
   PointState state;
   state.spec = spec;
   state.rng.seed(spec.seed);
@@ -80,7 +81,7 @@ void ArmInto(Registry& r, const std::string& name, const Spec& spec) {
 }
 
 void DisarmInto(Registry& r, const std::string& name) {
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(&r.mu);
   r.points.erase(name);
   r.armed_count.store(r.points.size(), std::memory_order_release);
 }
@@ -145,21 +146,21 @@ void Disarm(const std::string& name) { DisarmInto(GetRegistry(), name); }
 
 void DisarmAll() {
   Registry& r = GetRegistry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(&r.mu);
   r.points.clear();
   r.armed_count.store(0, std::memory_order_release);
 }
 
 std::uint64_t HitCount(const std::string& name) {
   Registry& r = GetRegistry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(&r.mu);
   auto it = r.points.find(name);
   return it == r.points.end() ? 0 : it->second.hits;
 }
 
 std::uint64_t TripCount(const std::string& name) {
   Registry& r = GetRegistry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(&r.mu);
   auto it = r.points.find(name);
   return it == r.points.end() ? 0 : it->second.trips;
 }
@@ -167,29 +168,30 @@ std::uint64_t TripCount(const std::string& name) {
 bool Evaluate(const char* name) {
   Registry& r = GetRegistry();
   if (r.armed_count.load(std::memory_order_acquire) == 0) return false;
-  std::unique_lock<std::mutex> lock(r.mu);
-  auto it = r.points.find(name);
-  if (it == r.points.end()) return false;
-  PointState& p = it->second;
-  ++p.hits;
   bool fire = false;
-  switch (p.spec.trigger) {
-    case Spec::Trigger::kAlways:
-      fire = true;
-      break;
-    case Spec::Trigger::kNthHit:
-      fire = p.hits == p.spec.n;
-      break;
-    case Spec::Trigger::kAfterHit:
-      fire = p.hits > p.spec.n;
-      break;
-    case Spec::Trigger::kProbability:
-      fire = std::uniform_real_distribution<double>(0.0, 1.0)(p.rng) <
-             p.spec.probability;
-      break;
+  {
+    MutexLock lock(&r.mu);
+    auto it = r.points.find(name);
+    if (it == r.points.end()) return false;
+    PointState& p = it->second;
+    ++p.hits;
+    switch (p.spec.trigger) {
+      case Spec::Trigger::kAlways:
+        fire = true;
+        break;
+      case Spec::Trigger::kNthHit:
+        fire = p.hits == p.spec.n;
+        break;
+      case Spec::Trigger::kAfterHit:
+        fire = p.hits > p.spec.n;
+        break;
+      case Spec::Trigger::kProbability:
+        fire = std::uniform_real_distribution<double>(0.0, 1.0)(p.rng) <
+               p.spec.probability;
+        break;
+    }
+    if (fire) ++p.trips;
   }
-  if (fire) ++p.trips;
-  lock.unlock();
   // Observability outside the registry lock: a fired point is a rare,
   // test-only event, but the metrics registry takes its own mutex on first
   // lookup and must not nest under ours.

@@ -1,0 +1,105 @@
+#ifndef DIFFC_UTIL_MUTEX_H_
+#define DIFFC_UTIL_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#include "util/thread_annotations.h"
+
+namespace diffc {
+
+/// An annotated wrapper over `std::mutex`, the project's only mutex type
+/// for protected members (enforced by `tools/diffc_lint.py`): a raw
+/// `std::mutex` member is invisible to Clang's thread-safety analysis,
+/// while a `Mutex` participates as a capability, so `GUARDED_BY(mu_)`
+/// members and `REQUIRES(mu_)` functions are checked at compile time.
+///
+/// Same cost as `std::mutex` (the annotations are attributes, not code).
+/// Lock through the RAII `MutexLock` below; `Lock()`/`Unlock()` exist for
+/// the rare manually-paired section and for `MutexLock` itself.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Tells the analysis the calling thread holds this mutex, for facts it
+  /// cannot derive — e.g. inside a predicate that `CondVarAny::Wait`
+  /// re-evaluates with the lock held, or a callee reached only from
+  /// `REQUIRES` contexts through a type-erased boundary. No runtime effect.
+  void AssertHeld() const ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVarAny;
+  std::mutex mu_;
+};
+
+/// RAII critical section over `Mutex` — the annotated replacement for
+/// `std::lock_guard` (which the analysis cannot see). Scoped acquire in
+/// the constructor, release in the destructor:
+///
+///     MutexLock lock(&mu_);
+///     guarded_member_ = ...;  // OK: the analysis knows mu_ is held.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// A condition variable usable with `Mutex`, wrapping
+/// `std::condition_variable_any`. `Wait` must be called with the mutex
+/// held (`REQUIRES`), waits releasing it, and returns with it re-held —
+/// exactly the `std::condition_variable` contract, but visible to the
+/// analysis.
+///
+/// The predicate is re-evaluated with the mutex held; the analysis cannot
+/// see that through the type-erased wait, so a predicate touching guarded
+/// state should open with `mu_.AssertHeld()`.
+class CondVarAny {
+ public:
+  CondVarAny() = default;
+  CondVarAny(const CondVarAny&) = delete;
+  CondVarAny& operator=(const CondVarAny&) = delete;
+
+  /// Blocks until `pred()` is true, releasing `mu` while blocked.
+  template <typename Predicate>
+  void Wait(Mutex& mu, Predicate pred) REQUIRES(mu) {
+    // Adopt the already-held native mutex so the std wait can release and
+    // re-acquire it; `release()` hands ownership back without unlocking,
+    // keeping the capability held on return as declared.
+    std::unique_lock<std::mutex> relock(mu.mu_, std::adopt_lock);
+    cv_.wait(relock, std::move(pred));
+    relock.release();
+  }
+
+  /// As above, but also wakes on `stop` being requested. Returns the final
+  /// `pred()` value (false means a stop request interrupted the wait).
+  template <typename StopToken, typename Predicate>
+  bool Wait(Mutex& mu, StopToken stop, Predicate pred) REQUIRES(mu) {
+    std::unique_lock<std::mutex> relock(mu.mu_, std::adopt_lock);
+    const bool satisfied = cv_.wait(relock, std::move(stop), std::move(pred));
+    relock.release();
+    return satisfied;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace diffc
+
+#endif  // DIFFC_UTIL_MUTEX_H_

@@ -29,7 +29,14 @@ const char* StatusCodeName(StatusCode code);
 ///
 /// A default-constructed `Status` is OK. Error statuses carry a code and a
 /// message describing what went wrong.
-class Status {
+///
+/// `[[nodiscard]]`: every function returning a `Status` reports a failure
+/// the caller must either handle or *explicitly* discard with a
+/// `(void)`-cast carrying a comment that says why the error cannot matter
+/// (the project linter rejects bare `(void)` discards). Silently dropping
+/// a `Status` is how PR 1–2's overflow / deadline / degrade signals turn
+/// back into silent wrong answers, so the compiler now rejects it.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -86,6 +93,13 @@ class Status {
   /// Renders "OK" or "<CodeName>: <message>".
   std::string ToString() const;
 
+  /// Statuses are equal iff code and message are equal (all OK statuses
+  /// compare equal: an OK never carries a message).
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+  friend bool operator!=(const Status& a, const Status& b) { return !(a == b); }
+
  private:
   StatusCode code_;
   std::string message_;
@@ -95,8 +109,11 @@ class Status {
 ///
 /// Either holds a `T` (when `ok()`) or an error `Status`. Accessing the value
 /// of a non-OK result aborts in debug builds and is undefined otherwise.
+///
+/// `[[nodiscard]]` for the same reason as `Status`: a dropped `Result` is a
+/// dropped error (and a wasted computation).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a successful result holding `value`.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)

@@ -1,0 +1,104 @@
+#ifndef DIFFC_UTIL_THREAD_ANNOTATIONS_H_
+#define DIFFC_UTIL_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis macros (the `-Wthread-safety` capability
+/// model), no-ops on every other compiler. They let the locking discipline
+/// that PR 1–3 documented in comments be *proved* at compile time:
+///
+///   - a member is declared `GUARDED_BY(mu_)` and every unlocked access is
+///     a compile error;
+///   - a function that must be called with the lock held is `REQUIRES(mu_)`
+///     and every call site without it is a compile error;
+///   - lock/unlock functions are `ACQUIRE()` / `RELEASE()`, scoped lockers
+///     are `SCOPED_CAPABILITY`, and a function that must NOT hold the lock
+///     (it takes it itself) is `EXCLUDES(mu_)`.
+///
+/// The project convention (enforced by `tools/diffc_lint.py`) is:
+///
+///   - protected state uses `diffc::Mutex` (`util/mutex.h`), never a raw
+///     `std::mutex` member, and carries `GUARDED_BY` on every protected
+///     field;
+///   - critical sections use the RAII `MutexLock`, never a naked
+///     `std::lock_guard`;
+///   - `NO_THREAD_SAFETY_ANALYSIS` is a last resort and must carry a
+///     comment explaining why the analysis cannot see the invariant.
+///
+/// CI builds `src/` with `clang++ -Wthread-safety -Werror=thread-safety`,
+/// so a mis-locked access does not merge. The macro set and semantics
+/// follow the Clang documentation ("Thread Safety Analysis") and Abseil's
+/// `thread_annotations.h`; the names are unprefixed, like Abseil's, so the
+/// annotated code reads identically to the upstream exemplars.
+
+#if defined(__clang__) && !defined(SWIG)
+#define DIFFC_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define DIFFC_THREAD_ANNOTATION__(x)  // no-op
+#endif
+
+/// Declares a type to be a capability ("mutex"): lockable state the
+/// analysis tracks. Applied to the class, e.g. `class CAPABILITY("mutex")
+/// Mutex`.
+#define CAPABILITY(x) DIFFC_THREAD_ANNOTATION__(capability(x))
+
+/// Declares an RAII class whose constructor acquires and destructor
+/// releases a capability (e.g. `MutexLock`).
+#define SCOPED_CAPABILITY DIFFC_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Declares that a data member is protected by the given capability:
+/// reads require the capability held (shared or exclusive), writes require
+/// it held exclusively.
+#define GUARDED_BY(x) DIFFC_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Declares that the *pointee* of a pointer member is protected by the
+/// given capability (the pointer itself is not).
+#define PT_GUARDED_BY(x) DIFFC_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Declares that the function may only be called with the listed
+/// capabilities held exclusively; they are still held on return.
+#define REQUIRES(...) DIFFC_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// As `REQUIRES`, but shared (reader) access suffices.
+#define REQUIRES_SHARED(...) \
+  DIFFC_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// Declares that the function acquires the listed capabilities (not held
+/// on entry, held on return). With no argument on a member of a capability
+/// class, refers to `this`.
+#define ACQUIRE(...) DIFFC_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/// As `ACQUIRE`, for shared (reader) acquisition.
+#define ACQUIRE_SHARED(...) \
+  DIFFC_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+/// Declares that the function releases the listed capabilities (held on
+/// entry, not held on return).
+#define RELEASE(...) DIFFC_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/// As `RELEASE`, for shared (reader) release.
+#define RELEASE_SHARED(...) \
+  DIFFC_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+
+/// Declares that the function attempts to acquire the capability and
+/// returns `success` (a boolean) iff it did.
+#define TRY_ACQUIRE(...) \
+  DIFFC_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+/// Declares that the caller must NOT hold the listed capabilities — the
+/// function acquires them itself, so holding one on entry would deadlock.
+#define EXCLUDES(...) DIFFC_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Asserts (to the analysis) that the calling thread already holds the
+/// capability, for facts it cannot derive — e.g. a predicate invoked by a
+/// condition-variable wait that re-holds the lock around each evaluation.
+#define ASSERT_CAPABILITY(x) DIFFC_THREAD_ANNOTATION__(assert_capability(x))
+
+/// Declares that the function returns a reference to the given capability,
+/// letting accessors participate in the analysis.
+#define RETURN_CAPABILITY(x) DIFFC_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Turns the analysis off for one function. Last resort; the project
+/// linter expects an adjacent comment saying why.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  DIFFC_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif  // DIFFC_UTIL_THREAD_ANNOTATIONS_H_

@@ -1,0 +1,23 @@
+// Negative half of the thread-safety compile-fail pair: reads and writes a
+// GUARDED_BY member without holding its mutex. Clang's -Wthread-safety must
+// reject this translation unit; ctest runs it with WILL_FAIL so a compiler
+// that silently accepts the race breaks the suite.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+class Counter {
+ public:
+  void Increment() EXCLUDES(mu_) {
+    value_ += 1;  // BAD: mu_ is not held.
+  }
+
+ private:
+  diffc::Mutex mu_;
+  long value_ GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  Counter c;
+  c.Increment();
+  return 0;
+}

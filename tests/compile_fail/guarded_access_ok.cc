@@ -1,0 +1,25 @@
+// Positive half of the thread-safety compile-fail pair: identical to
+// guarded_access_bad.cc except the guarded member is accessed under the
+// lock. This must compile cleanly under -Werror=thread-safety, proving
+// that the rejection of the bad twin comes from the analysis and not from
+// an unrelated compile error in the fixture.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+class Counter {
+ public:
+  void Increment() EXCLUDES(mu_) {
+    diffc::MutexLock lock(&mu_);
+    value_ += 1;
+  }
+
+ private:
+  diffc::Mutex mu_;
+  long value_ GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  Counter c;
+  c.Increment();
+  return 0;
+}

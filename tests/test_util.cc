@@ -35,11 +35,43 @@ TEST(StatusTest, ErrorCarriesCodeAndMessage) {
 
 TEST(StatusTest, AllCodesHaveNames) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument), "InvalidArgument");
   EXPECT_STREQ(StatusCodeName(StatusCode::kOutOfRange), "OutOfRange");
   EXPECT_STREQ(StatusCodeName(StatusCode::kFailedPrecondition), "FailedPrecondition");
   EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
   EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted), "ResourceExhausted");
   EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded), "DeadlineExceeded");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCancelled), "Cancelled");
+}
+
+TEST(StatusTest, OkStatusDropsMessage) {
+  // Invariant: an OK status never carries a message, no matter how it was
+  // constructed — so `ok()` / equality / ToString can't disagree about it.
+  Status s(StatusCode::kOk, "should be ignored");
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_EQ(s, Status());
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status(), Status());
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_NE(Status::NotFound("x"), Status::NotFound("y"));
+  EXPECT_NE(Status::NotFound("x"), Status::Internal("x"));
+  EXPECT_NE(Status(), Status::Internal("boom"));
+}
+
+TEST(StatusTest, ToStringCoversAllErrorConstructors) {
+  EXPECT_EQ(Status::InvalidArgument("a").ToString(), "InvalidArgument: a");
+  EXPECT_EQ(Status::OutOfRange("b").ToString(), "OutOfRange: b");
+  EXPECT_EQ(Status::FailedPrecondition("c").ToString(), "FailedPrecondition: c");
+  EXPECT_EQ(Status::NotFound("d").ToString(), "NotFound: d");
+  EXPECT_EQ(Status::ResourceExhausted("e").ToString(), "ResourceExhausted: e");
+  EXPECT_EQ(Status::Internal("f").ToString(), "Internal: f");
+  EXPECT_EQ(Status::DeadlineExceeded("g").ToString(), "DeadlineExceeded: g");
+  EXPECT_EQ(Status::Cancelled("h").ToString(), "Cancelled: h");
 }
 
 TEST(ResultTest, HoldsValue) {

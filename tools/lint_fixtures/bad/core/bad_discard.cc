@@ -1,0 +1,8 @@
+// Fixture: void-discard — a discard must say why the value cannot matter.
+#include "util/status.h"
+
+diffc::Status DoThing();
+
+void CallIt() {
+  (void)DoThing();
+}

@@ -1,0 +1,10 @@
+// Fixture: failpoint-name — names are <area>/<site>, lowercase.
+#include "util/failpoint.h"
+#include "util/status.h"
+
+diffc::Status MaybeFail() {
+  if (DIFFC_FAILPOINT("BadName")) {
+    return diffc::Status::Internal("failpoint");
+  }
+  return diffc::Status::Ok();
+}

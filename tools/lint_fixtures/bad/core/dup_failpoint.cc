@@ -1,0 +1,5 @@
+// Fixture: failpoint-dup — a fail-point name must have exactly one site.
+#include "util/failpoint.h"
+
+bool SiteOne() { return DIFFC_FAILPOINT("cache/insert"); }
+bool SiteTwo() { return DIFFC_FAILPOINT("cache/insert"); }

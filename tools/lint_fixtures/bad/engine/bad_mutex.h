@@ -1,0 +1,26 @@
+#ifndef DIFFC_ENGINE_BAD_MUTEX_H_
+#define DIFFC_ENGINE_BAD_MUTEX_H_
+
+#include <mutex>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+// Fixture: mutex-guarded-by, both variants.
+
+// A raw std::mutex member is invisible to the analysis.
+class RawMutexHolder {
+ private:
+  std::mutex mu_;
+  std::vector<int> items_;
+};
+
+// An annotated Mutex that guards nothing proves nothing.
+class UnguardedMutexHolder {
+ private:
+  diffc::Mutex mu_;
+  std::vector<int> items_;
+};
+
+#endif  // DIFFC_ENGINE_BAD_MUTEX_H_

@@ -1,0 +1,8 @@
+// Fixture: naked-lock — std::lock_guard is invisible to the analysis.
+#include <mutex>
+
+static std::mutex g_mu;
+
+void Touch() {
+  std::lock_guard<std::mutex> lock(g_mu);
+}

@@ -1,0 +1,6 @@
+// Fixture: metric-name — a counter must end in `_total`.
+#include "obs/metrics.h"
+
+void RegisterBadMetric() {
+  diffc::obs::Registry::Global().GetCounter("diffc_cache_hits", "Cache hits.");
+}

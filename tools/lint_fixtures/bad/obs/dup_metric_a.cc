@@ -1,0 +1,6 @@
+// Fixture: metric-dup — first of two sites registering the same name.
+#include "obs/metrics.h"
+
+void RegisterDupA() {
+  diffc::obs::Registry::Global().GetCounter("diffc_dup_ops_total", "Ops.");
+}

@@ -1,0 +1,6 @@
+// Fixture: metric-dup — second site registering the same (name, labels).
+#include "obs/metrics.h"
+
+void RegisterDupB() {
+  diffc::obs::Registry::Global().GetCounter("diffc_dup_ops_total", "Ops again.");
+}

@@ -1,0 +1,10 @@
+// Fixture: solver-atomic — no metric mutations inside solver inner loops.
+#include "obs/metrics.h"
+
+void Solve(int budget) {
+  static diffc::obs::Counter* decisions =
+      diffc::obs::Registry::Global().GetCounter("diffc_dpll_fixture_total", "d");
+  while (budget-- > 0) {
+    decisions->Inc();
+  }
+}

@@ -1,0 +1,6 @@
+#ifndef WRONG_GUARD_H_
+#define WRONG_GUARD_H_
+
+// Fixture: include-guard — should be DIFFC_UTIL_BAD_GUARD_H_.
+
+#endif  // WRONG_GUARD_H_

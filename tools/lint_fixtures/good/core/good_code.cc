@@ -1,0 +1,13 @@
+// Fixture: the patterns the linter should accept.
+#include "util/failpoint.h"
+#include "util/mutex.h"
+#include "util/status.h"
+
+diffc::Status DoThing();
+
+bool Guarded() { return DIFFC_FAILPOINT("fixture/good-site"); }
+
+void ExplainedDiscard() {
+  // The fixture result cannot fail: DoThing is a stub.
+  (void)DoThing();
+}

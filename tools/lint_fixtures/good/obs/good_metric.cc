@@ -1,0 +1,11 @@
+// Fixture: well-formed registrations — one site per (name, labels).
+#include "obs/metrics.h"
+
+void RegisterGoodMetrics() {
+  diffc::obs::Registry& r = diffc::obs::Registry::Global();
+  r.GetCounter("diffc_fixture_ops_total", "Ops.");
+  r.GetCounter("diffc_fixture_verdicts_total", "Verdicts.", {{"verdict", "implied"}});
+  r.GetCounter("diffc_fixture_verdicts_total", "Verdicts.", {{"verdict", "refuted"}});
+  r.GetGauge("diffc_fixture_queue_depth", "Depth.");
+  r.GetHistogram("diffc_fixture_latency_seconds", "Latency.", {0.1, 1.0});
+}

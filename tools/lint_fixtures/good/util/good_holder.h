@@ -1,0 +1,23 @@
+#ifndef DIFFC_UTIL_GOOD_HOLDER_H_
+#define DIFFC_UTIL_GOOD_HOLDER_H_
+
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+// Fixture: a correctly annotated holder — Mutex member with GUARDED_BY
+// siblings, MutexLock critical sections.
+class GoodHolder {
+ public:
+  void Add(int v) EXCLUDES(mu_) {
+    diffc::MutexLock lock(&mu_);
+    items_.push_back(v);
+  }
+
+ private:
+  mutable diffc::Mutex mu_;
+  std::vector<int> items_ GUARDED_BY(mu_);
+};
+
+#endif  // DIFFC_UTIL_GOOD_HOLDER_H_
