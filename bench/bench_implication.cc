@@ -178,7 +178,7 @@ void PrintBatchEngineTable() {
       1);
 
   GlobalWitnessSetCache().Clear();
-  GlobalPremiseTranslationCache().Clear();
+  GlobalPreparedPremisesCache().Clear();
   EngineOptions opts;
   opts.num_threads = 4;
   ImplicationEngine engine(opts);

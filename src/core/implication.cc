@@ -1,7 +1,10 @@
 #include "core/implication.h"
 
+#include <iterator>
+
 #include "lattice/decomposition.h"
 #include "prop/cnf.h"
+#include "prop/implication_constraint.h"
 #include "util/failpoint.h"
 
 namespace diffc {
@@ -48,19 +51,15 @@ Result<ImplicationOutcome> CheckImplicationExhaustive(int n, const ConstraintSet
 PremiseTranslation TranslatePremises(int n, const ConstraintSet& premises) {
   PremiseTranslation out;
   out.num_vars = n;
-  // Each premise must not witness U: X' ⊄ U, or some member of Y' ⊆ U.
-  // aux_j asserts "member j is contained in U" (one-sided definition
-  // suffices: aux_j occurs positively only in the premise clause).
+  // Each premise must not witness U: X' ⊄ U, or some member of Y' ⊆ U —
+  // one clause block per premise (`TranslateImplicationConstraint`), with
+  // auxiliary variables numbered consecutively across blocks.
   for (const DifferentialConstraint& p : premises) {
-    prop::Clause clause;
-    ForEachBit(p.lhs().bits(), [&](int a) { clause.push_back(-(a + 1)); });
-    for (const ItemSet& member : p.rhs().members()) {
-      int aux = out.num_vars++;
-      ForEachBit(member.bits(),
-                 [&](int y) { out.clauses.push_back({-(aux + 1), y + 1}); });
-      clause.push_back(aux + 1);
-    }
-    out.clauses.push_back(std::move(clause));
+    prop::ConstraintClauseBlock block =
+        prop::TranslateImplicationConstraint(p.lhs(), p.rhs(), out.num_vars + 1);
+    out.num_vars += block.aux_vars;
+    out.clauses.insert(out.clauses.end(), std::make_move_iterator(block.clauses.begin()),
+                       std::make_move_iterator(block.clauses.end()));
   }
   return out;
 }
@@ -120,28 +119,46 @@ bool FdSubclassApplicable(const ConstraintSet& premises, const DifferentialConst
   return true;
 }
 
-Result<ImplicationOutcome> CheckImplicationFd(int n, const ConstraintSet& premises,
-                                              const DifferentialConstraint& goal) {
-  // Unused: the FD closure works on attribute sets and never materializes
-  // the universe; `n` is kept for signature parity with the other checkers.
-  (void)n;
-  if (!FdSubclassApplicable(premises, goal)) {
-    return Status::FailedPrecondition(
-        "FD subclass requires single-member right-hand sides");
+FdPremiseIndex BuildFdPremiseIndex(const ConstraintSet& premises) {
+  FdPremiseIndex index;
+  for (const DifferentialConstraint& p : premises) {
+    if (p.rhs().size() != 1) return index;  // eligible stays false.
   }
-  // Attribute-set closure of the goal's left-hand side under the premises,
-  // read as functional dependencies X' -> Y'.
-  ItemSet closure = goal.lhs();
+  index.eligible = true;
+  index.fds.reserve(premises.size());
+  for (const DifferentialConstraint& p : premises) {
+    index.fds.emplace_back(p.lhs(), p.rhs().member(0));
+  }
+  return index;
+}
+
+ItemSet FdClosure(const FdPremiseIndex& index, ItemSet x) {
+  // Attribute-set closure under the premises read as functional
+  // dependencies X' -> Y'.
+  ItemSet closure = x;
   bool changed = true;
   while (changed) {
     changed = false;
-    for (const DifferentialConstraint& p : premises) {
-      if (p.lhs().IsSubsetOf(closure) && !p.rhs().member(0).IsSubsetOf(closure)) {
-        closure = closure.Union(p.rhs().member(0));
+    for (const auto& [lhs, rhs] : index.fds) {
+      if (lhs.IsSubsetOf(closure) && !rhs.IsSubsetOf(closure)) {
+        closure = closure.Union(rhs);
         changed = true;
       }
     }
   }
+  return closure;
+}
+
+Result<ImplicationOutcome> CheckImplicationFdIndexed(int n, const FdPremiseIndex& index,
+                                                     const DifferentialConstraint& goal) {
+  // Unused: the FD closure works on attribute sets and never materializes
+  // the universe; `n` is kept for signature parity with the other checkers.
+  (void)n;
+  if (!index.eligible || goal.rhs().size() != 1) {
+    return Status::FailedPrecondition(
+        "FD subclass requires single-member right-hand sides");
+  }
+  const ItemSet closure = FdClosure(index, goal.lhs());
   ImplicationOutcome out;
   if (goal.rhs().member(0).IsSubsetOf(closure)) {
     out.SetImplied();
@@ -149,6 +166,15 @@ Result<ImplicationOutcome> CheckImplicationFd(int n, const ConstraintSet& premis
     out.SetNotImplied(closure);
   }
   return out;
+}
+
+Result<ImplicationOutcome> CheckImplicationFd(int n, const ConstraintSet& premises,
+                                              const DifferentialConstraint& goal) {
+  if (!FdSubclassApplicable(premises, goal)) {
+    return Status::FailedPrecondition(
+        "FD subclass requires single-member right-hand sides");
+  }
+  return CheckImplicationFdIndexed(n, BuildFdPremiseIndex(premises), goal);
 }
 
 Result<ImplicationOutcome> CheckImplication(int n, const ConstraintSet& premises,

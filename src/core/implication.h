@@ -2,6 +2,8 @@
 #define DIFFC_CORE_IMPLICATION_H_
 
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "core/constraint.h"
 #include "prop/dpll.h"
@@ -116,12 +118,38 @@ Result<ImplicationOutcome> CheckImplicationSatTranslated(
 /// dependencies, decidable in polynomial time.
 bool FdSubclassApplicable(const ConstraintSet& premises, const DifferentialConstraint& goal);
 
+/// The premise side of the FD-subclass closure check, reusable across
+/// goals: the premises reread as functional dependencies `lhs -> rhs`.
+/// Built once per `ConstraintSet` (e.g. inside a `PreparedPremises`
+/// artifact) so repeated closure queries skip the applicability scan.
+struct FdPremiseIndex {
+  /// True iff every premise has a single right-hand member. The goal-side
+  /// half of `FdSubclassApplicable` (singleton goal RHS) is per-query.
+  bool eligible = false;
+  /// The premises as (determinant, dependent) attribute-set pairs, in
+  /// premise order; meaningful only when `eligible`.
+  std::vector<std::pair<ItemSet, ItemSet>> fds;
+};
+
+/// Builds the FD view of `premises`; `eligible` is false (and `fds` empty)
+/// when some premise has a non-singleton right-hand family.
+FdPremiseIndex BuildFdPremiseIndex(const ConstraintSet& premises);
+
+/// The attribute-set closure of `x` under an eligible index (Armstrong),
+/// in O(|C|^2) set operations.
+ItemSet FdClosure(const FdPremiseIndex& index, ItemSet x);
+
 /// Decides the FD subclass by attribute-set closure (Armstrong), in
 /// O(|C|^2) set operations. Requires `FdSubclassApplicable`. The
 /// counterexample (when not implied) is the closure of the goal's
 /// left-hand side.
 Result<ImplicationOutcome> CheckImplicationFd(int n, const ConstraintSet& premises,
                                               const DifferentialConstraint& goal);
+
+/// `CheckImplicationFd` with a prebuilt (typically cached) premise index.
+/// Requires `index.eligible` and a singleton goal right-hand side.
+Result<ImplicationOutcome> CheckImplicationFdIndexed(int n, const FdPremiseIndex& index,
+                                                     const DifferentialConstraint& goal);
 
 /// Front door: dispatches to the FD subclass when applicable, otherwise to
 /// the SAT-based procedure.

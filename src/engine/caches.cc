@@ -25,6 +25,7 @@ struct CacheMetrics {
   obs::Counter* evictions;
   obs::Counter* negative_entries;
   obs::Gauge* size;
+  obs::Gauge* hit_ratio;
 
   explicit CacheMetrics(const char* which) {
     obs::Registry& r = obs::Registry::Global();
@@ -34,12 +35,14 @@ struct CacheMetrics {
     misses = r.GetCounter("diffc_cache_misses_total",
                           "Cache lookups that had to compute the entry.", labels);
     evictions = r.GetCounter("diffc_cache_evictions_total",
-                             "Entries evicted by FIFO capacity pressure.", labels);
+                             "Entries evicted by segmented-LRU capacity pressure.", labels);
     negative_entries =
         r.GetCounter("diffc_cache_negative_entries_total",
                      "Entries cached with a non-OK status (budget-exhausted families).",
                      labels);
     size = r.GetGauge("diffc_cache_size", "Entries currently resident.", labels);
+    hit_ratio = r.GetGauge("diffc_cache_hit_ratio",
+                           "Lifetime hits / lookups, updated per lookup.", labels);
   }
 };
 
@@ -48,13 +51,23 @@ CacheMetrics& WitnessMetrics() {
   return *m;
 }
 
-CacheMetrics& PremiseMetrics() {
-  static CacheMetrics* m = new CacheMetrics("premise");
+CacheMetrics& PreparedMetrics() {
+  static CacheMetrics* m = new CacheMetrics("prepared");
   return *m;
 }
 
 void RecordEviction(const char* which) {
   obs::GlobalEventLog().Record("cache_eviction", {{"cache", which}});
+}
+
+// Flushes one lookup into the per-cache counters and metrics (shared by
+// both caches, which differ only in their key/value types).
+void RecordLookup(AtomicCacheCounters* counters, CacheMetrics& metrics, bool hit,
+                  bool obs_on) {
+  (hit ? counters->hits : counters->misses).fetch_add(1, std::memory_order_relaxed);
+  if (!obs_on) return;
+  (hit ? metrics.hits : metrics.misses)->Inc();
+  metrics.hit_ratio->Set(counters->Snapshot().HitRatio());
 }
 
 }  // namespace
@@ -66,16 +79,13 @@ std::shared_ptr<const WitnessSetCache::Entry> WitnessSetCache::Get(const SetFami
   Key key{family, max_results};
   {
     MutexLock lock(&mu_);
-    auto it = map_.find(key);
-    if (it != map_.end()) {
-      counters_.hits.fetch_add(1, std::memory_order_relaxed);
-      if (obs_on) WitnessMetrics().hits->Inc();
+    if (const auto* found = lru_.Find(key)) {
+      RecordLookup(&counters_, WitnessMetrics(), /*hit=*/true, obs_on);
       if (hit != nullptr) *hit = true;
-      return it->second;
+      return *found;
     }
   }
-  counters_.misses.fetch_add(1, std::memory_order_relaxed);
-  if (obs_on) WitnessMetrics().misses->Inc();
+  RecordLookup(&counters_, WitnessMetrics(), /*hit=*/false, obs_on);
   if (hit != nullptr) *hit = false;
 
   // Compute outside the lock: the transversal search can be expensive and
@@ -94,21 +104,11 @@ std::shared_ptr<const WitnessSetCache::Entry> WitnessSetCache::Get(const SetFami
   std::shared_ptr<const Entry> out;
   {
     MutexLock lock(&mu_);
-    // Find-then-insert: a concurrent miss may have populated the key while
-    // we searched; reusing its entry keeps `order_` free of duplicate keys.
-    auto it = map_.find(key);
-    if (it != map_.end()) return it->second;
-    map_.emplace(key, entry);
-    order_.push_back(std::move(key));
-    inserted_negative = !entry->status.ok();
-    while (map_.size() > capacity_ && !order_.empty()) {
-      // Count only actual erases, so the eviction counter stays truthful
-      // even if `order_` ever drifts from the map's key set.
-      if (map_.erase(order_.front()) > 0) ++evicted;
-      order_.pop_front();
-    }
-    if (obs_on) WitnessMetrics().size->Set(static_cast<std::int64_t>(map_.size()));
-    out = entry;
+    // InsertIfAbsent: a concurrent miss may have populated the key while
+    // we searched; reusing its entry keeps the index free of duplicates.
+    out = *lru_.InsertIfAbsent(std::move(key), entry, &evicted);
+    inserted_negative = out == entry && !entry->status.ok();
+    if (obs_on) WitnessMetrics().size->Set(static_cast<double>(lru_.size()));
   }
   if (evicted > 0) {
     counters_.evictions.fetch_add(evicted, std::memory_order_relaxed);
@@ -126,8 +126,7 @@ std::shared_ptr<const WitnessSetCache::Entry> WitnessSetCache::Get(const SetFami
 
 void WitnessSetCache::Clear() {
   MutexLock lock(&mu_);
-  map_.clear();
-  order_.clear();
+  lru_.Clear();
   if (obs::MetricsEnabled()) WitnessMetrics().size->Set(0);
 }
 
@@ -135,10 +134,10 @@ CacheCounters WitnessSetCache::counters() const { return counters_.Snapshot(); }
 
 std::size_t WitnessSetCache::size() const {
   MutexLock lock(&mu_);
-  return map_.size();
+  return lru_.size();
 }
 
-std::size_t PremiseTranslationCache::KeyHash::operator()(const Key& k) const {
+std::size_t PreparedPremisesCache::KeyHash::operator()(const Key& k) const {
   std::uint64_t h = 0x9e3779b97f4a7c15ull + static_cast<std::uint64_t>(k.n);
   for (const DifferentialConstraint& c : k.premises) {
     h ^= c.lhs().bits() + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
@@ -148,63 +147,55 @@ std::size_t PremiseTranslationCache::KeyHash::operator()(const Key& k) const {
   return static_cast<std::size_t>(h);
 }
 
-std::shared_ptr<const PremiseTranslation> PremiseTranslationCache::Get(
+Result<std::shared_ptr<const PreparedPremises>> PreparedPremisesCache::Get(
     int n, const ConstraintSet& premises, bool* hit) {
   const bool obs_on = obs::MetricsEnabled();
   Key key{n, premises};
   {
     MutexLock lock(&mu_);
-    auto it = map_.find(key);
-    if (it != map_.end()) {
-      counters_.hits.fetch_add(1, std::memory_order_relaxed);
-      if (obs_on) PremiseMetrics().hits->Inc();
+    if (const auto* found = lru_.Find(key)) {
+      RecordLookup(&counters_, PreparedMetrics(), /*hit=*/true, obs_on);
       if (hit != nullptr) *hit = true;
-      return it->second;
+      return *found;
     }
   }
-  counters_.misses.fetch_add(1, std::memory_order_relaxed);
-  if (obs_on) PremiseMetrics().misses->Inc();
+  RecordLookup(&counters_, PreparedMetrics(), /*hit=*/false, obs_on);
   if (hit != nullptr) *hit = false;
 
-  auto translation = std::make_shared<PremiseTranslation>(TranslatePremises(n, premises));
+  // Compile outside the lock; only a valid artifact is cacheable.
+  Result<std::shared_ptr<const PreparedPremises>> built = PreparedPremises::Build(n, premises);
+  if (!built.ok()) return built.status();
 
-  if (DIFFC_FAILPOINT("cache/premise-insert")) return translation;  // Served uncached.
+  if (DIFFC_FAILPOINT("cache/premise-insert")) return built;  // Served uncached.
 
   std::size_t evicted = 0;
+  std::shared_ptr<const PreparedPremises> out;
   {
     MutexLock lock(&mu_);
-    auto it = map_.find(key);
-    if (it != map_.end()) return it->second;
-    auto inserted_it = map_.emplace(std::move(key), translation).first;
-    order_.push_back(inserted_it->first);
-    while (map_.size() > capacity_ && !order_.empty()) {
-      if (map_.erase(order_.front()) > 0) ++evicted;
-      order_.pop_front();
-    }
-    if (obs_on) PremiseMetrics().size->Set(static_cast<std::int64_t>(map_.size()));
+    out = *lru_.InsertIfAbsent(std::move(key), *built, &evicted);
+    if (obs_on) PreparedMetrics().size->Set(static_cast<double>(lru_.size()));
   }
   if (evicted > 0) {
     counters_.evictions.fetch_add(evicted, std::memory_order_relaxed);
     if (obs_on) {
-      PremiseMetrics().evictions->Inc(evicted);
-      RecordEviction("premise");
+      PreparedMetrics().evictions->Inc(evicted);
+      RecordEviction("prepared");
     }
   }
-  return translation;
+  return out;
 }
 
-void PremiseTranslationCache::Clear() {
+void PreparedPremisesCache::Clear() {
   MutexLock lock(&mu_);
-  map_.clear();
-  order_.clear();
-  if (obs::MetricsEnabled()) PremiseMetrics().size->Set(0);
+  lru_.Clear();
+  if (obs::MetricsEnabled()) PreparedMetrics().size->Set(0);
 }
 
-CacheCounters PremiseTranslationCache::counters() const { return counters_.Snapshot(); }
+CacheCounters PreparedPremisesCache::counters() const { return counters_.Snapshot(); }
 
-std::size_t PremiseTranslationCache::size() const {
+std::size_t PreparedPremisesCache::size() const {
   MutexLock lock(&mu_);
-  return map_.size();
+  return lru_.size();
 }
 
 WitnessSetCache& GlobalWitnessSetCache() {
@@ -212,8 +203,8 @@ WitnessSetCache& GlobalWitnessSetCache() {
   return *cache;
 }
 
-PremiseTranslationCache& GlobalPremiseTranslationCache() {
-  static PremiseTranslationCache* cache = new PremiseTranslationCache();
+PreparedPremisesCache& GlobalPreparedPremisesCache() {
+  static PreparedPremisesCache* cache = new PreparedPremisesCache();
   return *cache;
 }
 

@@ -1,0 +1,148 @@
+#ifndef DIFFC_ENGINE_ENGINE_OPTIONS_H_
+#define DIFFC_ENGINE_ENGINE_OPTIONS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "prop/dpll.h"
+#include "util/deadline.h"
+#include "util/status.h"
+
+namespace diffc {
+
+/// The option, enum, and per-query stat types shared by the engine front
+/// door (`engine/implication_engine.h`), the decision-procedure units
+/// (`engine/procedures/`), and the planner (`engine/planner.h`). Split out
+/// of the engine header so procedure implementations depend on these types
+/// without pulling in (or cyclically re-entering) the engine itself.
+
+/// What the engine does when a query exhausts a deadline or a solver
+/// budget (DeadlineExceeded / ResourceExhausted). Cancellation is never
+/// subject to this policy: a fired cancel token always surfaces as a
+/// Cancelled status.
+enum class ExhaustionPolicy {
+  /// Surface the failure as the per-query `Status` (the default; matches
+  /// the engine's historical behavior).
+  kFail = 0,
+  /// Return OK with `ImplicationOutcome::kUnknown`. The query stats keep
+  /// the partial evidence: `stopped_in` names the procedure that ran out
+  /// and `degraded_from` the status code it ran out with; solver / cache
+  /// counters describe the work done before giving up.
+  kDegrade,
+  /// Retry with doubled solver budgets (decision budget and witness
+  /// candidate budget) and a fresh per-query deadline, after a jittered
+  /// exponential backoff, up to `EngineOptions::max_retries` times; then
+  /// degrade as above.
+  kEscalate,
+};
+
+/// Stable name of an `ExhaustionPolicy` ("fail", "degrade", "escalate").
+const char* ExhaustionPolicyName(ExhaustionPolicy p);
+
+/// Tuning knobs of the batched implication engine.
+struct EngineOptions {
+  /// Worker threads for `CheckBatch` (clamped to at least 1).
+  int num_threads = 4;
+  /// Dispatch through the `QueryPlanner` over the registered decision
+  /// procedures (the default). When false, queries run the legacy inline
+  /// ladder (trivial → FD-subclass → interval-cover → SAT → exhaustive) on
+  /// the raw premise set — kept as the reference implementation for the
+  /// planner/ladder differential suite.
+  bool use_planner = true;
+  /// Serve `Prepare()` (and the unprepared `CheckBatch` / `CheckOne`
+  /// entry points, which prepare on the caller's behalf) from the
+  /// process-wide `PreparedPremisesCache`. When false every call compiles
+  /// the premises from scratch — the per-query baseline that
+  /// `bench_engine_prepared` measures `Prepare()` against.
+  bool use_prepared_cache = true;
+  /// Enables the interval-cover fast path: answer a query from the cached
+  /// minimal witness sets of its right-hand family when the cover is
+  /// conclusive, skipping the SAT solver entirely. Sound in both verdicts;
+  /// falls through to SAT when inconclusive.
+  bool use_interval_cover_fast_path = true;
+  /// Candidate budget for witness-set enumeration on the fast path.
+  /// Families whose transversal search exceeds it are cached negatively
+  /// and handled by SAT.
+  std::size_t witness_max_results = 4096;
+  /// DPLL decision budget per query (ResourceExhausted beyond it).
+  std::uint64_t max_solver_decisions = 50'000'000;
+  /// Free-attribute bound for the exhaustive fallback used when the SAT
+  /// budget is exhausted.
+  int exhaustive_max_free_bits = 24;
+  /// Wall-clock budget per query attempt; zero = unbounded. Checked
+  /// cooperatively (amortized every `stop_check_stride` steps) inside every
+  /// decision procedure, so a fired deadline surfaces at the next
+  /// check-point, not instantly.
+  std::chrono::nanoseconds per_query_deadline{0};
+  /// Wall-clock budget for a whole `CheckBatch` call; zero = unbounded.
+  /// Each query runs under the earlier of this and its own deadline.
+  std::chrono::nanoseconds batch_deadline{0};
+  /// What to do when a query exhausts a deadline or solver budget.
+  ExhaustionPolicy exhaustion_policy = ExhaustionPolicy::kFail;
+  /// Retries under `ExhaustionPolicy::kEscalate` (attempts beyond the
+  /// first); exhausted retries degrade.
+  int max_retries = 2;
+  /// Base backoff between escalation attempts (doubled per retry, jittered
+  /// by 0.5–1.5x, capped by the remaining batch deadline); zero disables
+  /// sleeping.
+  std::chrono::nanoseconds escalate_backoff{100'000};
+  /// Steps between cooperative deadline / cancellation checks inside the
+  /// solvers and enumerations.
+  std::uint32_t stop_check_stride = StopCheck::kDefaultStride;
+  /// Records a per-query span tree (`EngineQueryResult::trace`): one span
+  /// per attempt with children for each decision-procedure phase (cache
+  /// probe, interval cover, SAT, exhaustive, escalation backoff). Latency
+  /// *histograms* are aggregated regardless of this flag; the flag only
+  /// controls the per-query record.
+  bool trace = false;
+};
+
+/// Which decision procedure answered a query.
+enum class DecisionProcedure {
+  kNone = 0,        // Query failed before any procedure concluded.
+  kTrivial,         // Goal trivial (Definition 3.1): implied outright.
+  kFdSubclass,      // Polynomial closure check (singleton-RHS subclass).
+  kIntervalCover,   // Witness-set interval cover was conclusive.
+  kSat,             // Proposition 5.4 CNF refuted / satisfied by DPLL.
+  kExhaustive,      // Exhaustive lattice containment (SAT-budget fallback).
+};
+
+/// Stable name of a `DecisionProcedure` ("fd-subclass", "sat", ...).
+const char* DecisionProcedureName(DecisionProcedure p);
+
+/// Per-query execution counters.
+struct QueryStats {
+  DecisionProcedure procedure = DecisionProcedure::kNone;
+  /// The procedure that was running when a deadline / cancellation / budget
+  /// stop fired (kNone when the query concluded normally). Under
+  /// `ExhaustionPolicy::kDegrade` this is the partial evidence attached to
+  /// a kUnknown verdict.
+  DecisionProcedure stopped_in = DecisionProcedure::kNone;
+  /// The plan the `QueryPlanner` chose for the final attempt: the
+  /// applicable procedures in execution order. Empty on the legacy ladder
+  /// path (`EngineOptions::use_planner` false).
+  std::vector<DecisionProcedure> plan;
+  /// Attempts run (1 + escalation retries).
+  int attempts = 1;
+  /// Under `ExhaustionPolicy::kDegrade`: the status code (DeadlineExceeded
+  /// or ResourceExhausted) the final attempt failed with before the engine
+  /// converted it to OK + kUnknown; kOk otherwise.
+  StatusCode degraded_from = StatusCode::kOk;
+  /// Witness-set cache hit/lookup flags (fast-path queries only).
+  bool witness_cache_used = false;
+  bool witness_cache_hit = false;
+  /// Premise-compilation cache hit/lookup flags (SAT queries only): whether
+  /// the prepared artifact whose translation the SAT procedure used came
+  /// out of the process-wide prepared-premises cache.
+  bool premise_cache_used = false;
+  bool premise_cache_hit = false;
+  /// DPLL counters (zero off the SAT path; last attempt only).
+  prop::SolverStats solver;
+  /// Wall time of this query across all attempts, nanoseconds.
+  std::uint64_t wall_ns = 0;
+};
+
+}  // namespace diffc
+
+#endif  // DIFFC_ENGINE_ENGINE_OPTIONS_H_

@@ -6,6 +6,7 @@
 #include <random>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 
 #include "obs/event_log.h"
 #include "obs/metrics.h"
@@ -221,16 +222,68 @@ std::string BatchStats::ToString() const {
 }
 
 ImplicationEngine::ImplicationEngine(EngineOptions options)
-    : options_(options), pool_(options.num_threads < 1 ? 1 : options.num_threads) {
+    : options_(options),
+      planner_(ProcedureRegistry::Global().Snapshot()),
+      pool_(options.num_threads < 1 ? 1 : options.num_threads) {
   options_.num_threads = pool_.size();
 }
 
-EngineQueryResult ImplicationEngine::RunQueryOnce(int n, const ConstraintSet& premises,
+Result<std::shared_ptr<const PreparedPremises>> ImplicationEngine::Prepare(
+    int n, const ConstraintSet& premises) const {
+  if (options_.use_prepared_cache) {
+    return GlobalPreparedPremisesCache().Get(n, premises);
+  }
+  return PreparedPremises::Build(n, premises);
+}
+
+EngineQueryResult ImplicationEngine::RunQueryOnce(const PreparedPremises& prepared,
                                                   const DifferentialConstraint& goal,
-                                                  StopCheck* stop, const Budgets& budgets,
-                                                  obs::Tracer* tracer) {
+                                                  StopCheck* stop,
+                                                  const ProcedureBudgets& budgets,
+                                                  obs::Tracer* tracer,
+                                                  bool prepared_from_cache) {
+  if (!options_.use_planner) {
+    return RunLadderOnce(prepared, goal, stop, budgets, tracer, prepared_from_cache);
+  }
+
   EngineQueryResult r;
   const std::uint64_t start = NowNs();
+
+  const ProcedureQuery query{prepared.n(), &goal};
+  QueryPlan plan = planner_.Plan(prepared, query, options_);
+  if (tracer->enabled()) {
+    // The chosen plan, as an instantaneous marker span and an event-log
+    // record (both gated on tracing: plans repeat per query and would
+    // drown the global event ring in large batches).
+    const std::string label = "plan:" + plan.ToString();
+    obs::SpanGuard plan_span(tracer, label);
+    obs::GlobalEventLog().Record("query_plan", {{"plan", plan.ToString()}});
+  }
+
+  ProcedureContext ctx;
+  ctx.options = &options_;
+  ctx.budgets = budgets;
+  ctx.stop = stop;
+  ctx.tracer = tracer;
+  ctx.stats = &r.stats;
+  ctx.prepared_from_cache = prepared_from_cache;
+  PlanOutcome out = ExecutePlan(plan, prepared, query, &ctx);
+  r.status = std::move(out.status);
+  r.outcome = out.outcome;
+  r.stats.wall_ns = NowNs() - start;
+  return r;
+}
+
+EngineQueryResult ImplicationEngine::RunLadderOnce(const PreparedPremises& prepared,
+                                                   const DifferentialConstraint& goal,
+                                                   StopCheck* stop,
+                                                   const ProcedureBudgets& budgets,
+                                                   obs::Tracer* tracer,
+                                                   bool prepared_from_cache) {
+  EngineQueryResult r;
+  const std::uint64_t start = NowNs();
+  const int n = prepared.n();
+  const ConstraintSet& premises = prepared.constraints();
 
   // 1. Triviality: L(X, Y) = ∅, every function satisfies the goal. Runs
   // before the first stop sample on purpose: an O(1) certain answer beats a
@@ -250,10 +303,11 @@ EngineQueryResult ImplicationEngine::RunQueryOnce(int n, const ConstraintSet& pr
     return r;
   }
 
-  // 2. The polynomial FD subclass (singleton right-hand sides).
-  if (FdSubclassApplicable(premises, goal)) {
+  // 2. The polynomial FD subclass (singleton right-hand sides), off the
+  // precomputed closure index.
+  if (prepared.fd_index().eligible && goal.rhs().size() == 1) {
     obs::SpanGuard span(tracer, "fd-subclass");
-    Result<ImplicationOutcome> fd = CheckImplicationFd(n, premises, goal);
+    Result<ImplicationOutcome> fd = CheckImplicationFdIndexed(n, prepared.fd_index(), goal);
     if (fd.ok()) {
       r.outcome = *fd;
       r.stats.procedure = DecisionProcedure::kFdSubclass;
@@ -329,18 +383,13 @@ EngineQueryResult ImplicationEngine::RunQueryOnce(int n, const ConstraintSet& pr
     // inconclusive: fall through to the complete SAT procedure.
   }
 
-  // 4. SAT (Proposition 5.4), premise clauses from the shared cache.
+  // 4. SAT (Proposition 5.4), premise clauses from the prepared artifact.
   {
     obs::SpanGuard sat_span(tracer, "sat");
     r.stats.premise_cache_used = true;
-    std::shared_ptr<const PremiseTranslation> translation;
-    {
-      obs::SpanGuard probe_span(tracer, "premise-cache-probe");
-      translation = GlobalPremiseTranslationCache().Get(n, premises,
-                                                        &r.stats.premise_cache_hit);
-    }
+    r.stats.premise_cache_hit = prepared_from_cache;
     Result<ImplicationOutcome> sat = CheckImplicationSatTranslated(
-        n, *translation, goal, &r.stats.solver, budgets.max_decisions, stop);
+        n, prepared.translation(), goal, &r.stats.solver, budgets.max_decisions, stop);
     if (sat.ok()) {
       r.outcome = *sat;
       r.stats.procedure = DecisionProcedure::kSat;
@@ -382,14 +431,15 @@ EngineQueryResult ImplicationEngine::RunQueryOnce(int n, const ConstraintSet& pr
   return r;
 }
 
-EngineQueryResult ImplicationEngine::RunQuery(int n, const ConstraintSet& premises,
+EngineQueryResult ImplicationEngine::RunQuery(const PreparedPremises& prepared,
                                               const DifferentialConstraint& goal,
                                               const Deadline& batch_deadline,
-                                              const CancelToken& cancel) {
+                                              const CancelToken& cancel,
+                                              bool prepared_from_cache) {
   if (DIFFC_FAILPOINT("engine/throw")) {
     throw std::runtime_error("failpoint engine/throw: query task threw");
   }
-  Budgets budgets{options_.max_solver_decisions, options_.witness_max_results};
+  ProcedureBudgets budgets{options_.max_solver_decisions, options_.witness_max_results};
   const std::uint64_t start = NowNs();
   obs::Tracer tracer(options_.trace);
   EngineQueryResult r;
@@ -408,7 +458,7 @@ EngineQueryResult ImplicationEngine::RunQuery(int n, const ConstraintSet& premis
     {
       obs::SpanGuard attempt_span(&tracer,
                                   attempt == 1 ? "attempt" : "attempt-retry");
-      r = RunQueryOnce(n, premises, goal, &stop, budgets, &tracer);
+      r = RunQueryOnce(prepared, goal, &stop, budgets, &tracer, prepared_from_cache);
     }
     r.stats.attempts = attempt;
     if (r.status.ok() || !IsExhaustion(r.status)) break;
@@ -464,16 +514,17 @@ EngineQueryResult ImplicationEngine::RunQuery(int n, const ConstraintSet& premis
   return r;
 }
 
-EngineQueryResult ImplicationEngine::GuardedRunQuery(int n, const ConstraintSet& premises,
+EngineQueryResult ImplicationEngine::GuardedRunQuery(const PreparedPremises& prepared,
                                                      const DifferentialConstraint& goal,
                                                      const Deadline& batch_deadline,
-                                                     const CancelToken& cancel) {
+                                                     const CancelToken& cancel,
+                                                     bool prepared_from_cache) {
   // A decision procedure that throws must fail its own query, not the
   // process: the pool's loop-level catch would keep the worker alive but
   // lose the error.
   EngineQueryResult r;
   try {
-    r = RunQuery(n, premises, goal, batch_deadline, cancel);
+    r = RunQuery(prepared, goal, batch_deadline, cancel, prepared_from_cache);
   } catch (const std::exception& e) {
     r = EngineQueryResult{};
     r.status = Status::Internal(std::string("uncaught exception in query: ") + e.what());
@@ -487,24 +538,80 @@ EngineQueryResult ImplicationEngine::GuardedRunQuery(int n, const ConstraintSet&
 
 EngineQueryResult ImplicationEngine::CheckOne(int n, const ConstraintSet& premises,
                                               const DifferentialConstraint& goal) {
-  if (n < 0 || n > 64) {
+  EngineQueryResult r;
+  bool from_cache = false;
+  std::shared_ptr<const PreparedPremises> prepared;
+  if (options_.use_prepared_cache) {
+    Result<std::shared_ptr<const PreparedPremises>> p =
+        GlobalPreparedPremisesCache().Get(n, premises, &from_cache);
+    if (!p.ok()) {
+      r.status = p.status();
+      return r;
+    }
+    prepared = *std::move(p);
+  } else {
+    Result<std::shared_ptr<const PreparedPremises>> p = PreparedPremises::Build(n, premises);
+    if (!p.ok()) {
+      r.status = p.status();
+      return r;
+    }
+    prepared = *std::move(p);
+  }
+  Deadline batch_deadline = options_.batch_deadline.count() > 0
+                                ? Deadline::After(options_.batch_deadline)
+                                : Deadline::Never();
+  return GuardedRunQuery(*prepared, goal, batch_deadline, CancelToken(), from_cache);
+}
+
+EngineQueryResult ImplicationEngine::CheckOne(
+    const std::shared_ptr<const PreparedPremises>& prepared,
+    const DifferentialConstraint& goal) {
+  if (prepared == nullptr) {
     EngineQueryResult r;
-    r.status = Status::InvalidArgument("universe size must be in [0, 64]");
+    r.status = Status::InvalidArgument("prepared premises must be non-null");
     return r;
   }
   Deadline batch_deadline = options_.batch_deadline.count() > 0
                                 ? Deadline::After(options_.batch_deadline)
                                 : Deadline::Never();
-  return GuardedRunQuery(n, premises, goal, batch_deadline, CancelToken());
+  // An explicitly prepared artifact is amortized by construction; queries
+  // report it as a premise-compilation cache hit.
+  return GuardedRunQuery(*prepared, goal, batch_deadline, CancelToken(),
+                         /*prepared_from_cache=*/true);
 }
 
 Result<BatchOutcome> ImplicationEngine::CheckBatch(
     int n, const ConstraintSet& premises, const std::vector<DifferentialConstraint>& goals,
     CancelToken cancel) {
-  if (n < 0 || n > 64) {
-    return Status::InvalidArgument("universe size must be in [0, 64]");
+  bool from_cache = false;
+  std::shared_ptr<const PreparedPremises> prepared;
+  if (options_.use_prepared_cache) {
+    Result<std::shared_ptr<const PreparedPremises>> p =
+        GlobalPreparedPremisesCache().Get(n, premises, &from_cache);
+    if (!p.ok()) return p.status();
+    prepared = *std::move(p);
+  } else {
+    Result<std::shared_ptr<const PreparedPremises>> p = PreparedPremises::Build(n, premises);
+    if (!p.ok()) return p.status();
+    prepared = *std::move(p);
   }
+  return RunBatch(std::move(prepared), goals, std::move(cancel), from_cache);
+}
 
+Result<BatchOutcome> ImplicationEngine::CheckBatch(
+    std::shared_ptr<const PreparedPremises> prepared,
+    const std::vector<DifferentialConstraint>& goals, CancelToken cancel) {
+  if (prepared == nullptr) {
+    return Status::InvalidArgument("prepared premises must be non-null");
+  }
+  return RunBatch(std::move(prepared), goals, std::move(cancel),
+                  /*prepared_from_cache=*/true);
+}
+
+Result<BatchOutcome> ImplicationEngine::RunBatch(
+    std::shared_ptr<const PreparedPremises> prepared,
+    const std::vector<DifferentialConstraint>& goals, CancelToken cancel,
+    bool prepared_from_cache) {
   BatchOutcome out;
   out.results.resize(goals.size());
   const std::uint64_t batch_start = NowNs();
@@ -520,8 +627,8 @@ Result<BatchOutcome> ImplicationEngine::CheckBatch(
     std::size_t remaining = goals.size();
 
     for (std::size_t i = 0; i < goals.size(); ++i) {
-      pool_.Submit([this, i, n, &premises, &goals, &out, &done_mu, &done_cv, &remaining,
-                    &batch_deadline, cancel] {
+      pool_.Submit([this, i, &prepared, &goals, &out, &done_mu, &done_cv, &remaining,
+                    &batch_deadline, cancel, prepared_from_cache] {
         // A fired token drains still-queued queries without running them;
         // queries already inside a solver observe the same token at their
         // next check-point.
@@ -529,7 +636,8 @@ Result<BatchOutcome> ImplicationEngine::CheckBatch(
           out.results[i].status = Status::Cancelled("batch cancelled before query started");
           RecordQueryMetrics(out.results[i]);
         } else {
-          out.results[i] = GuardedRunQuery(n, premises, goals[i], batch_deadline, cancel);
+          out.results[i] = GuardedRunQuery(*prepared, goals[i], batch_deadline, cancel,
+                                           prepared_from_cache);
         }
         MutexLock lock(&done_mu);
         if (--remaining == 0) done_cv.NotifyOne();

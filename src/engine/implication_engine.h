@@ -1,7 +1,6 @@
 #ifndef DIFFC_ENGINE_IMPLICATION_ENGINE_H_
 #define DIFFC_ENGINE_IMPLICATION_ENGINE_H_
 
-#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -10,120 +9,15 @@
 #include "core/constraint.h"
 #include "core/implication.h"
 #include "engine/caches.h"
+#include "engine/engine_options.h"
+#include "engine/planner.h"
+#include "engine/prepared_premises.h"
 #include "engine/worker_pool.h"
 #include "obs/trace.h"
 #include "util/deadline.h"
 #include "util/status.h"
 
 namespace diffc {
-
-/// What the engine does when a query exhausts a deadline or a solver
-/// budget (DeadlineExceeded / ResourceExhausted). Cancellation is never
-/// subject to this policy: a fired cancel token always surfaces as a
-/// Cancelled status.
-enum class ExhaustionPolicy {
-  /// Surface the failure as the per-query `Status` (the default; matches
-  /// the engine's historical behavior).
-  kFail = 0,
-  /// Return OK with `ImplicationOutcome::kUnknown`. The query stats keep
-  /// the partial evidence: `stopped_in` names the procedure that ran out
-  /// and `degraded_from` the status code it ran out with; solver / cache
-  /// counters describe the work done before giving up.
-  kDegrade,
-  /// Retry with doubled solver budgets (decision budget and witness
-  /// candidate budget) and a fresh per-query deadline, after a jittered
-  /// exponential backoff, up to `EngineOptions::max_retries` times; then
-  /// degrade as above.
-  kEscalate,
-};
-
-/// Stable name of an `ExhaustionPolicy` ("fail", "degrade", "escalate").
-const char* ExhaustionPolicyName(ExhaustionPolicy p);
-
-/// Tuning knobs of the batched implication engine.
-struct EngineOptions {
-  /// Worker threads for `CheckBatch` (clamped to at least 1).
-  int num_threads = 4;
-  /// Enables the interval-cover fast path: answer a query from the cached
-  /// minimal witness sets of its right-hand family when the cover is
-  /// conclusive, skipping the SAT solver entirely. Sound in both verdicts;
-  /// falls through to SAT when inconclusive.
-  bool use_interval_cover_fast_path = true;
-  /// Candidate budget for witness-set enumeration on the fast path.
-  /// Families whose transversal search exceeds it are cached negatively
-  /// and handled by SAT.
-  std::size_t witness_max_results = 4096;
-  /// DPLL decision budget per query (ResourceExhausted beyond it).
-  std::uint64_t max_solver_decisions = 50'000'000;
-  /// Free-attribute bound for the exhaustive fallback used when the SAT
-  /// budget is exhausted.
-  int exhaustive_max_free_bits = 24;
-  /// Wall-clock budget per query attempt; zero = unbounded. Checked
-  /// cooperatively (amortized every `stop_check_stride` steps) inside every
-  /// decision procedure, so a fired deadline surfaces at the next
-  /// check-point, not instantly.
-  std::chrono::nanoseconds per_query_deadline{0};
-  /// Wall-clock budget for a whole `CheckBatch` call; zero = unbounded.
-  /// Each query runs under the earlier of this and its own deadline.
-  std::chrono::nanoseconds batch_deadline{0};
-  /// What to do when a query exhausts a deadline or solver budget.
-  ExhaustionPolicy exhaustion_policy = ExhaustionPolicy::kFail;
-  /// Retries under `ExhaustionPolicy::kEscalate` (attempts beyond the
-  /// first); exhausted retries degrade.
-  int max_retries = 2;
-  /// Base backoff between escalation attempts (doubled per retry, jittered
-  /// by 0.5–1.5x, capped by the remaining batch deadline); zero disables
-  /// sleeping.
-  std::chrono::nanoseconds escalate_backoff{100'000};
-  /// Steps between cooperative deadline / cancellation checks inside the
-  /// solvers and enumerations.
-  std::uint32_t stop_check_stride = StopCheck::kDefaultStride;
-  /// Records a per-query span tree (`EngineQueryResult::trace`): one span
-  /// per attempt with children for each decision-procedure phase (cache
-  /// probe, interval cover, SAT, exhaustive, escalation backoff). Latency
-  /// *histograms* are aggregated regardless of this flag; the flag only
-  /// controls the per-query record.
-  bool trace = false;
-};
-
-/// Which decision procedure answered a query.
-enum class DecisionProcedure {
-  kNone = 0,        // Query failed before any procedure concluded.
-  kTrivial,         // Goal trivial (Definition 3.1): implied outright.
-  kFdSubclass,      // Polynomial closure check (singleton-RHS subclass).
-  kIntervalCover,   // Witness-set interval cover was conclusive.
-  kSat,             // Proposition 5.4 CNF refuted / satisfied by DPLL.
-  kExhaustive,      // Exhaustive lattice containment (SAT-budget fallback).
-};
-
-/// Stable name of a `DecisionProcedure` ("fd-subclass", "sat", ...).
-const char* DecisionProcedureName(DecisionProcedure p);
-
-/// Per-query execution counters.
-struct QueryStats {
-  DecisionProcedure procedure = DecisionProcedure::kNone;
-  /// The procedure that was running when a deadline / cancellation / budget
-  /// stop fired (kNone when the query concluded normally). Under
-  /// `ExhaustionPolicy::kDegrade` this is the partial evidence attached to
-  /// a kUnknown verdict.
-  DecisionProcedure stopped_in = DecisionProcedure::kNone;
-  /// Attempts run (1 + escalation retries).
-  int attempts = 1;
-  /// Under `ExhaustionPolicy::kDegrade`: the status code (DeadlineExceeded
-  /// or ResourceExhausted) the final attempt failed with before the engine
-  /// converted it to OK + kUnknown; kOk otherwise.
-  StatusCode degraded_from = StatusCode::kOk;
-  /// Witness-set cache hit/lookup flags (fast-path queries only).
-  bool witness_cache_used = false;
-  bool witness_cache_hit = false;
-  /// Premise-translation cache hit/lookup flags (SAT queries only).
-  bool premise_cache_used = false;
-  bool premise_cache_hit = false;
-  /// DPLL counters (zero off the SAT path; last attempt only).
-  prop::SolverStats solver;
-  /// Wall time of this query across all attempts, nanoseconds.
-  std::uint64_t wall_ns = 0;
-};
 
 /// One query's answer: a per-query `Status` (the engine never aborts; every
 /// failure is carried here), the outcome when OK, and the counters.
@@ -188,16 +82,23 @@ struct BatchOutcome {
   BatchStats stats;
 };
 
-/// A batched, multi-threaded front door to the implication checkers.
+/// A batched, multi-threaded front door to the implication checkers, built
+/// as a prepare/plan/execute pipeline:
 ///
-/// Each query `premises |= goal` is dispatched to the cheapest applicable
-/// decision procedure — trivial / FD-subclass closure / witness-set
-/// interval cover / SAT (Proposition 5.4) / exhaustive fallback — on a
-/// fixed-size `std::jthread` worker pool. All engines share two
-/// process-wide caches: minimal witness sets keyed on the right-hand
-/// family, and premise CNF translations keyed on the constraint set, so a
-/// service answering many queries against the same `ConstraintSet` pays
-/// the translation and transversal costs once.
+///   - **Prepare**: `Prepare(n, premises)` compiles the premise set into
+///     an immutable, shared `PreparedPremises` artifact (canonical
+///     constraints, Proposition 5.4 CNF translation, FD closure index).
+///     Callers answering many queries against one premise set prepare once
+///     and pass the artifact to every batch; the unprepared entry points
+///     prepare on the caller's behalf through the process-wide
+///     `PreparedPremisesCache`.
+///   - **Plan**: per query, a `QueryPlanner` orders the registered
+///     decision procedures (trivial / FD-subclass closure / witness-set
+///     interval cover / SAT / exhaustive fallback) by estimated cost and
+///     the `EngineOptions` toggles; the plan lands in the query stats and
+///     trace.
+///   - **Execute**: the plan runs on a fixed-size `std::jthread` worker
+///     pool, against the shared witness-set cache.
 ///
 /// Verdicts are identical to `CheckImplication` (every procedure is sound
 /// and the dispatch is deterministic per query); only speed depends on
@@ -216,6 +117,14 @@ class ImplicationEngine {
   /// The options the engine was built with (threads already clamped).
   const EngineOptions& options() const { return options_; }
 
+  /// Compiles `premises` into a shared artifact, served from the
+  /// process-wide `PreparedPremisesCache` (unless
+  /// `EngineOptions::use_prepared_cache` is off). Returns InvalidArgument
+  /// for an out-of-range universe size. The artifact is immutable and may
+  /// be used concurrently, across batches, and by other engine instances.
+  Result<std::shared_ptr<const PreparedPremises>> Prepare(int n,
+                                                          const ConstraintSet& premises) const;
+
   /// Decides `premises |= goals[i]` for every goal, in parallel. Returns
   /// InvalidArgument for an out-of-range universe size; per-query failures
   /// land in the corresponding `EngineQueryResult::status`, never abort.
@@ -229,34 +138,54 @@ class ImplicationEngine {
                                   const std::vector<DifferentialConstraint>& goals,
                                   CancelToken cancel = CancelToken());
 
+  /// `CheckBatch` against an already-prepared premise set — the
+  /// prepare-once / execute-many fast path. `prepared` must be non-null.
+  Result<BatchOutcome> CheckBatch(std::shared_ptr<const PreparedPremises> prepared,
+                                  const std::vector<DifferentialConstraint>& goals,
+                                  CancelToken cancel = CancelToken());
+
   /// Single-query convenience: the same dispatch, caches, deadlines, and
   /// exhaustion policy, no pool round-trip.
   EngineQueryResult CheckOne(int n, const ConstraintSet& premises,
                              const DifferentialConstraint& goal);
 
- private:
-  /// Solver budgets, doubled per escalation attempt.
-  struct Budgets {
-    std::uint64_t max_decisions;
-    std::size_t witness_max_results;
-  };
+  /// `CheckOne` against an already-prepared premise set.
+  EngineQueryResult CheckOne(const std::shared_ptr<const PreparedPremises>& prepared,
+                             const DifferentialConstraint& goal);
 
-  /// One dispatch pass under `stop` (may end early with its status).
-  /// `tracer` (never null; disabled when tracing is off) receives the
-  /// per-phase spans.
-  EngineQueryResult RunQueryOnce(int n, const ConstraintSet& premises,
+ private:
+  /// One dispatch pass under `stop` (may end early with its status):
+  /// plan-and-execute over `prepared`, or the legacy inline ladder over
+  /// the raw premises when `EngineOptions::use_planner` is off. `tracer`
+  /// (never null; disabled when tracing is off) receives the per-phase
+  /// spans; `prepared_from_cache` feeds the premise-cache stat flags.
+  EngineQueryResult RunQueryOnce(const PreparedPremises& prepared,
                                  const DifferentialConstraint& goal, StopCheck* stop,
-                                 const Budgets& budgets, obs::Tracer* tracer);
+                                 const ProcedureBudgets& budgets, obs::Tracer* tracer,
+                                 bool prepared_from_cache);
+  /// The legacy inline ladder (the reference control flow the differential
+  /// suite pins the planner against). Shares the compiled artifacts inside
+  /// `prepared` — only the dispatch logic differs from the planner path.
+  EngineQueryResult RunLadderOnce(const PreparedPremises& prepared,
+                                  const DifferentialConstraint& goal, StopCheck* stop,
+                                  const ProcedureBudgets& budgets, obs::Tracer* tracer,
+                                  bool prepared_from_cache);
   /// The exhaustion-policy loop around `RunQueryOnce`.
-  EngineQueryResult RunQuery(int n, const ConstraintSet& premises,
+  EngineQueryResult RunQuery(const PreparedPremises& prepared,
                              const DifferentialConstraint& goal, const Deadline& batch_deadline,
-                             const CancelToken& cancel);
+                             const CancelToken& cancel, bool prepared_from_cache);
   /// `RunQuery` with exceptions converted to an Internal per-query status.
-  EngineQueryResult GuardedRunQuery(int n, const ConstraintSet& premises,
+  EngineQueryResult GuardedRunQuery(const PreparedPremises& prepared,
                                     const DifferentialConstraint& goal,
-                                    const Deadline& batch_deadline, const CancelToken& cancel);
+                                    const Deadline& batch_deadline, const CancelToken& cancel,
+                                    bool prepared_from_cache);
+  /// Shared batch driver for the prepared and unprepared entry points.
+  Result<BatchOutcome> RunBatch(std::shared_ptr<const PreparedPremises> prepared,
+                                const std::vector<DifferentialConstraint>& goals,
+                                CancelToken cancel, bool prepared_from_cache);
 
   EngineOptions options_;
+  QueryPlanner planner_;
   WorkerPool pool_;
 };
 

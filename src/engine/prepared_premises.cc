@@ -1,0 +1,106 @@
+#include "engine/prepared_premises.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace diffc {
+
+namespace {
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+// Registry handles of the prepare stage (`diffc_engine_prepare_*`), looked
+// up once.
+struct PrepareMetrics {
+  obs::Counter* builds;
+  obs::Counter* dropped_premises;
+  obs::Histogram* build_seconds;
+
+  PrepareMetrics() {
+    obs::Registry& r = obs::Registry::Global();
+    builds = r.GetCounter("diffc_engine_prepare_total",
+                          "PreparedPremises compilations (cache misses and direct builds).");
+    dropped_premises =
+        r.GetCounter("diffc_engine_prepare_dropped_premises_total",
+                     "Premises removed by canonicalization (trivial or duplicate).");
+    build_seconds = r.GetHistogram("diffc_engine_prepare_seconds",
+                                   "End-to-end PreparedPremises build wall time.",
+                                   obs::ExponentialBuckets(1e-7, 4.0, 12));
+  }
+};
+
+PrepareMetrics& Metrics() {
+  static PrepareMetrics* m = new PrepareMetrics();
+  return *m;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const PreparedPremises>> PreparedPremises::Build(
+    int n, const ConstraintSet& premises) {
+  if (n < 0 || n > 64) {
+    return Status::InvalidArgument("universe size must be in [0, 64]");
+  }
+  static std::atomic<std::uint64_t> next_id{1};
+
+  auto prepared = std::shared_ptr<PreparedPremises>(new PreparedPremises());
+  prepared->n_ = n;
+  prepared->id_ = next_id.fetch_add(1, std::memory_order_relaxed);
+  PrepareStats& stats = prepared->stats_;
+  stats.input_constraints = premises.size();
+  const std::uint64_t start = NowNs();
+
+  // Canonicalize: drop trivial premises (they exclude no set from L(C)),
+  // minimize each right-hand family (SomeMemberSubsetOf — and so L(X, Y) —
+  // is invariant under dropping non-minimal members), then sort and dedupe.
+  ConstraintSet canonical;
+  canonical.reserve(premises.size());
+  for (const DifferentialConstraint& p : premises) {
+    if (p.IsTrivial()) {
+      ++stats.dropped_trivial;
+      continue;
+    }
+    SetFamily minimized = p.rhs().Minimized();
+    stats.minimized_members +=
+        static_cast<std::size_t>(p.rhs().size() - minimized.size());
+    canonical.push_back(DifferentialConstraint(p.lhs(), std::move(minimized)));
+  }
+  std::sort(canonical.begin(), canonical.end());
+  auto last = std::unique(canonical.begin(), canonical.end());
+  stats.dropped_duplicates = static_cast<std::size_t>(canonical.end() - last);
+  canonical.erase(last, canonical.end());
+  stats.canonical_constraints = canonical.size();
+  prepared->constraints_ = std::move(canonical);
+  stats.canonicalize_ns = NowNs() - start;
+
+  const std::uint64_t translate_start = NowNs();
+  prepared->translation_ = TranslatePremises(n, prepared->constraints_);
+  stats.translation_vars = prepared->translation_.num_vars;
+  stats.translation_clauses = prepared->translation_.clauses.size();
+  stats.translate_ns = NowNs() - translate_start;
+
+  const std::uint64_t fd_start = NowNs();
+  prepared->fd_index_ = BuildFdPremiseIndex(prepared->constraints_);
+  stats.fd_eligible = prepared->fd_index_.eligible;
+  stats.fd_index_ns = NowNs() - fd_start;
+
+  stats.total_ns = NowNs() - start;
+  if (obs::MetricsEnabled()) {
+    PrepareMetrics& m = Metrics();
+    m.builds->Inc();
+    const std::uint64_t dropped = stats.dropped_trivial + stats.dropped_duplicates;
+    if (dropped > 0) m.dropped_premises->Inc(dropped);
+    m.build_seconds->Observe(stats.total_ns / 1e9);
+  }
+  return std::shared_ptr<const PreparedPremises>(std::move(prepared));
+}
+
+}  // namespace diffc

@@ -1,0 +1,94 @@
+#ifndef DIFFC_ENGINE_PREPARED_PREMISES_H_
+#define DIFFC_ENGINE_PREPARED_PREMISES_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "core/constraint.h"
+#include "core/implication.h"
+#include "util/status.h"
+
+namespace diffc {
+
+/// Per-artifact build counters of a `PreparedPremises` compilation.
+struct PrepareStats {
+  /// Constraints in the input set / surviving canonicalization.
+  std::size_t input_constraints = 0;
+  std::size_t canonical_constraints = 0;
+  /// Trivial premises dropped (`L(X, Y) = ∅` constrains nothing).
+  std::size_t dropped_trivial = 0;
+  /// Duplicates removed after sorting the canonical forms.
+  std::size_t dropped_duplicates = 0;
+  /// Right-hand members removed by witness-family minimization.
+  std::size_t minimized_members = 0;
+  /// Size of the Proposition 5.4 premise translation.
+  int translation_vars = 0;
+  std::size_t translation_clauses = 0;
+  /// True iff the canonical set is in the polynomial FD subclass.
+  bool fd_eligible = false;
+  /// Wall time per compilation stage and end-to-end, nanoseconds.
+  std::uint64_t canonicalize_ns = 0;
+  std::uint64_t translate_ns = 0;
+  std::uint64_t fd_index_ns = 0;
+  std::uint64_t total_ns = 0;
+};
+
+/// An immutable compilation of a `ConstraintSet`, built once per premise
+/// set and shared (`shared_ptr`) across queries, batches, and engine
+/// instances — the prepare side of the engine's prepare/plan/execute
+/// pipeline. Holds:
+///
+///   - the canonical constraints: trivial premises dropped, right-hand
+///     families minimized (`SetFamily::Minimized`, which preserves the
+///     witness structure `SomeMemberSubsetOf` and hence `L(C)` exactly),
+///     then sorted and deduplicated;
+///   - the Proposition 5.4 premise CNF translation over the canonical set;
+///   - the FD-subclass closure index (`FdPremiseIndex`), when eligible;
+///   - the per-stage build stats.
+///
+/// Canonicalization never changes the closure lattice `L(C)`, so verdicts
+/// and counterexamples computed against the artifact are valid against the
+/// original set. Thread-safe by immutability: every accessor is a const
+/// read of state fixed at `Build` time.
+class PreparedPremises {
+ public:
+  /// Compiles `premises` over an `n`-attribute universe. Returns
+  /// InvalidArgument for `n` outside [0, 64]; never fails otherwise.
+  static Result<std::shared_ptr<const PreparedPremises>> Build(int n,
+                                                               const ConstraintSet& premises);
+
+  /// The universe size the artifact was compiled for.
+  int n() const { return n_; }
+
+  /// A process-unique identity, assigned at build time — the cache /
+  /// trace key for "same compilation", cheaper and stricter than
+  /// re-comparing constraint sets.
+  std::uint64_t id() const { return id_; }
+
+  /// The canonical constraint set (see class comment for the invariants).
+  const ConstraintSet& constraints() const { return constraints_; }
+
+  /// The Proposition 5.4 premise clauses over the canonical set.
+  const PremiseTranslation& translation() const { return translation_; }
+
+  /// The FD view of the canonical set (`eligible` false when some premise
+  /// has a non-singleton right-hand family).
+  const FdPremiseIndex& fd_index() const { return fd_index_; }
+
+  /// The build counters.
+  const PrepareStats& stats() const { return stats_; }
+
+ private:
+  PreparedPremises() = default;
+
+  int n_ = 0;
+  std::uint64_t id_ = 0;
+  ConstraintSet constraints_;
+  PremiseTranslation translation_;
+  FdPremiseIndex fd_index_;
+  PrepareStats stats_;
+};
+
+}  // namespace diffc
+
+#endif  // DIFFC_ENGINE_PREPARED_PREMISES_H_

@@ -149,7 +149,7 @@ std::string RenderPrometheus(const MetricsSnapshot& snapshot) {
   last_family.clear();
   for (const GaugeSample& g : snapshot.gauges) {
     EmitFamilyHeader(out, last_family, g.name, g.help, "gauge");
-    out += g.name + PromLabels(g.labels) + " " + std::to_string(g.value) + "\n";
+    out += g.name + PromLabels(g.labels) + " " + FormatDouble(g.value) + "\n";
   }
   last_family.clear();
   for (const HistogramSample& h : snapshot.histograms) {
@@ -189,7 +189,7 @@ std::string RenderJson(const MetricsSnapshot& snapshot) {
     first = false;
     out += "    {\"name\": \"" + JsonEscape(g.name) + "\", ";
     AppendJsonLabels(out, g.labels);
-    out += ", \"value\": " + std::to_string(g.value) + "}";
+    out += ", \"value\": " + FormatDouble(std::isfinite(g.value) ? g.value : 0.0) + "}";
   }
   out += first ? "],\n" : "\n  ],\n";
   out += "  \"histograms\": [";

@@ -74,17 +74,27 @@ class Counter {
 };
 
 /// A gauge: a value that can go up and down (queue depth, cache size,
-/// in-flight tasks). All operations are single relaxed atomics.
+/// in-flight tasks) or hold a ratio (cache hit rate). Double-valued so
+/// fractional gauges need no fixed-point encoding; integral values render
+/// without a decimal point in the exposition layer. All operations are
+/// single relaxed atomics (`Add`/`Sub` spell the read-modify-write as a CAS
+/// loop, like `Histogram`'s sum, to avoid relying on C++20 floating-point
+/// `fetch_add` support).
 class Gauge {
  public:
-  void Set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
-  void Add(std::int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
-  void Sub(std::int64_t d) { value_.fetch_sub(d, std::memory_order_relaxed); }
-  std::int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double d) {
+    double expected = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(expected, expected + d,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  void Sub(double d) { Add(-d); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
   void Reset() { Set(0); }
 
  private:
-  std::atomic<std::int64_t> value_{0};
+  std::atomic<double> value_{0};
 };
 
 /// A fixed-bucket histogram with Prometheus semantics: `bounds` are
@@ -132,7 +142,7 @@ struct GaugeSample {
   std::string name;
   std::string help;
   Labels labels;
-  std::int64_t value = 0;
+  double value = 0;
 };
 
 struct HistogramSample {

@@ -1,5 +1,7 @@
 #include "prop/implication_constraint.h"
 
+#include "util/bitops.h"
+
 namespace diffc::prop {
 
 FormulaPtr ImplicationConstraintFormula(const ItemSet& x, const SetFamily& family) {
@@ -9,6 +11,20 @@ FormulaPtr ImplicationConstraintFormula(const ItemSet& x, const SetFamily& famil
     disjuncts.push_back(Formula::AndOfVars(member.bits()));
   }
   return Formula::Implies(Formula::AndOfVars(x.bits()), Formula::Or(std::move(disjuncts)));
+}
+
+ConstraintClauseBlock TranslateImplicationConstraint(const ItemSet& x, const SetFamily& family,
+                                                     int first_aux_var) {
+  ConstraintClauseBlock out;
+  Clause main_clause;
+  ForEachBit(x.bits(), [&](int a) { main_clause.push_back(-(a + 1)); });
+  for (const ItemSet& member : family.members()) {
+    const int aux = first_aux_var + out.aux_vars++;
+    ForEachBit(member.bits(), [&](int y) { out.clauses.push_back({-aux, y + 1}); });
+    main_clause.push_back(aux);
+  }
+  out.clauses.push_back(std::move(main_clause));
+  return out;
 }
 
 }  // namespace diffc::prop

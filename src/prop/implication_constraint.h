@@ -2,6 +2,7 @@
 #define DIFFC_PROP_IMPLICATION_CONSTRAINT_H_
 
 #include "lattice/set_family.h"
+#include "prop/cnf.h"
 #include "prop/formula.h"
 
 namespace diffc::prop {
@@ -15,6 +16,30 @@ namespace diffc::prop {
 /// right-hand family is the empty disjunction (false), and an empty member
 /// is the empty conjunction (true), matching trivial constraints.
 FormulaPtr ImplicationConstraintFormula(const ItemSet& x, const SetFamily& family);
+
+/// The CNF clause block of one implication constraint on the premise side
+/// of Proposition 5.4, as a standalone buildable artifact: the main clause
+///
+///   (∨_{a∈X} ¬u_a) ∨ ∨_j aux_j
+///
+/// preceded by the one-sided auxiliary definitions `aux_j → ∧_{y∈Y_j} u_y`
+/// (one auxiliary variable per right-hand member; one binary clause per
+/// attribute of the member). One-sided definitions suffice because every
+/// `aux_j` occurs positively only in the main clause.
+struct ConstraintClauseBlock {
+  /// Auxiliary variables consumed: `first_aux_var .. first_aux_var +
+  /// aux_vars - 1`, one per right-hand member.
+  int aux_vars = 0;
+  /// The definition clauses followed by the main clause (always last).
+  std::vector<Clause> clauses;
+};
+
+/// Builds the clause block of `x ⇒prop family` with auxiliaries numbered
+/// from `first_aux_var` (1-based DIMACS-style, like every other variable).
+/// Premise translations (`TranslatePremises` in `core/implication.h`) are
+/// the concatenation of these blocks in premise order.
+ConstraintClauseBlock TranslateImplicationConstraint(const ItemSet& x, const SetFamily& family,
+                                                     int first_aux_var);
 
 }  // namespace diffc::prop
 

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
@@ -268,6 +269,96 @@ TEST(ImplicationEngineTest, CheckOneMatchesFrontDoor) {
   }
 }
 
+TEST(ImplicationEngineTest, PreparedBatchMatchesUnprepared) {
+  MixedBatch b = MakeMixedBatch(12, 32, 41);
+  ImplicationEngine engine;
+  Result<std::shared_ptr<const PreparedPremises>> prepared = engine.Prepare(b.n, b.premises);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  Result<BatchOutcome> via_prepared = engine.CheckBatch(*prepared, b.goals);
+  Result<BatchOutcome> via_raw = engine.CheckBatch(b.n, b.premises, b.goals);
+  ASSERT_TRUE(via_prepared.ok());
+  ASSERT_TRUE(via_raw.ok());
+  ASSERT_EQ(via_prepared->results.size(), b.goals.size());
+  for (std::size_t i = 0; i < b.goals.size(); ++i) {
+    const EngineQueryResult& p = via_prepared->results[i];
+    const EngineQueryResult& r = via_raw->results[i];
+    ASSERT_TRUE(p.status.ok()) << p.status.ToString();
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    EXPECT_EQ(p.outcome.verdict, r.outcome.verdict) << "query=" << i;
+    EXPECT_EQ(p.stats.procedure, r.stats.procedure) << "query=" << i;
+    // An explicitly prepared artifact counts as amortized compilation.
+    if (p.stats.premise_cache_used) {
+      EXPECT_TRUE(p.stats.premise_cache_hit);
+    }
+  }
+  // CheckOne against the artifact agrees too.
+  EngineQueryResult one = engine.CheckOne(*prepared, b.goals[0]);
+  ASSERT_TRUE(one.status.ok());
+  EXPECT_EQ(one.outcome.verdict, via_raw->results[0].outcome.verdict);
+}
+
+TEST(ImplicationEngineTest, NullPreparedIsInvalidArgument) {
+  ImplicationEngine engine;
+  std::shared_ptr<const PreparedPremises> null_prepared;
+  EXPECT_EQ(engine.CheckBatch(null_prepared, {}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.CheckOne(null_prepared, DifferentialConstraint(ItemSet(), SetFamily()))
+                .status.code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ImplicationEngineTest, PlanIsRecordedInQueryStats) {
+  const int n = 10;
+  ConstraintSet premises{
+      DifferentialConstraint(ItemSet{0}, SetFamily({ItemSet{1}, ItemSet{2, 3}}))};
+  std::vector<DifferentialConstraint> goals{
+      // Trivial goal: the zero-cost procedure must lead its plan.
+      DifferentialConstraint(ItemSet{0, 1}, SetFamily({ItemSet{1}})),
+      // General goal: interval cover is planned before SAT, exhaustive last.
+      DifferentialConstraint(ItemSet{0}, SetFamily({ItemSet{4}, ItemSet{5, 6}}))};
+  ImplicationEngine engine;
+  Result<BatchOutcome> out = engine.CheckBatch(n, premises, goals);
+  ASSERT_TRUE(out.ok());
+  ASSERT_FALSE(out->results[0].stats.plan.empty());
+  EXPECT_EQ(out->results[0].stats.plan.front(), DecisionProcedure::kTrivial);
+  EXPECT_EQ(out->results[0].stats.procedure, DecisionProcedure::kTrivial);
+  const std::vector<DecisionProcedure>& plan = out->results[1].stats.plan;
+  auto pos = [&](DecisionProcedure p) {
+    return std::find(plan.begin(), plan.end(), p) - plan.begin();
+  };
+  ASSERT_NE(pos(DecisionProcedure::kIntervalCover),
+            static_cast<std::ptrdiff_t>(plan.size()));
+  ASSERT_NE(pos(DecisionProcedure::kSat), static_cast<std::ptrdiff_t>(plan.size()));
+  ASSERT_NE(pos(DecisionProcedure::kExhaustive), static_cast<std::ptrdiff_t>(plan.size()));
+  EXPECT_LT(pos(DecisionProcedure::kIntervalCover), pos(DecisionProcedure::kSat));
+  EXPECT_LT(pos(DecisionProcedure::kSat), pos(DecisionProcedure::kExhaustive));
+
+  // The legacy ladder path records no plan.
+  EngineOptions ladder_opts;
+  ladder_opts.use_planner = false;
+  ImplicationEngine ladder(ladder_opts);
+  Result<BatchOutcome> lout = ladder.CheckBatch(n, premises, goals);
+  ASSERT_TRUE(lout.ok());
+  EXPECT_EQ(lout->results[0].outcome.verdict, out->results[0].outcome.verdict);
+  EXPECT_EQ(lout->results[1].outcome.verdict, out->results[1].outcome.verdict);
+  EXPECT_TRUE(lout->results[1].stats.plan.empty());
+}
+
+TEST(ImplicationEngineTest, PlannerOffStillMatchesSequentialCheckers) {
+  MixedBatch b = MakeMixedBatch(12, 32, 58);
+  EngineOptions opts;
+  opts.use_planner = false;
+  ImplicationEngine engine(opts);
+  Result<BatchOutcome> out = engine.CheckBatch(b.n, b.premises, b.goals);
+  ASSERT_TRUE(out.ok());
+  for (std::size_t i = 0; i < b.goals.size(); ++i) {
+    Result<ImplicationOutcome> seq = CheckImplication(b.n, b.premises, b.goals[i]);
+    ASSERT_TRUE(seq.ok());
+    ASSERT_TRUE(out->results[i].status.ok()) << out->results[i].status.ToString();
+    EXPECT_EQ(out->results[i].outcome.implied, seq->implied);
+  }
+}
+
 TEST(ImplicationEngineTest, HugeWitnessFamilyFallsBackToSat) {
   // A right-hand family with an exponential transversal antichain: the
   // witness budget trips, the negative entry is cached, and the query is
@@ -305,7 +396,7 @@ TEST(ImplicationEngineTest, BatchStatsToStringMentionsCaches) {
 // Shared caches, tested on local instances (the global ones are shared
 // across tests and carry counters from earlier batches).
 
-TEST(CacheTest, WitnessCacheEvictsFifoAtCapacity) {
+TEST(CacheTest, WitnessCacheEvictsColdestAtCapacity) {
   WitnessSetCache cache(4);
   for (int i = 0; i < 10; ++i) {
     SetFamily family({ItemSet::Singleton(i), ItemSet{10, 11}});
@@ -319,12 +410,64 @@ TEST(CacheTest, WitnessCacheEvictsFifoAtCapacity) {
   EXPECT_EQ(c.misses, 10u);
   EXPECT_EQ(c.hits, 0u);
   EXPECT_EQ(c.evictions, 6u);
-  // FIFO: the newest entry survives, the oldest was evicted.
+  EXPECT_DOUBLE_EQ(c.HitRatio(), 0.0);
+  // Insert-only traffic stays probationary, so eviction is oldest-first:
+  // the newest entry survives, the oldest was evicted.
   bool hit = false;
   cache.Get(SetFamily({ItemSet::Singleton(9), ItemSet{10, 11}}), 64, &hit);
   EXPECT_TRUE(hit);
   cache.Get(SetFamily({ItemSet::Singleton(0), ItemSet{10, 11}}), 64, &hit);
   EXPECT_FALSE(hit);
+}
+
+TEST(CacheTest, WitnessCacheIsScanResistant) {
+  // One hot family (touched twice, so promoted to the protected segment),
+  // then a one-shot scan of 20 cold families through a capacity-5 cache.
+  // The scan may only churn the probationary segment: the hot entry must
+  // survive, where a plain FIFO or LRU would have evicted it.
+  WitnessSetCache cache(5);
+  SetFamily hot({ItemSet{0}, ItemSet{1, 2}});
+  cache.Get(hot, 64);
+  bool hit = false;
+  cache.Get(hot, 64, &hit);
+  ASSERT_TRUE(hit);
+  for (int i = 0; i < 20; ++i) {
+    cache.Get(SetFamily({ItemSet::Singleton(i), ItemSet{10, 11}}), 64, &hit);
+    EXPECT_FALSE(hit);
+  }
+  cache.Get(hot, 64, &hit);
+  EXPECT_TRUE(hit);
+}
+
+TEST(CacheTest, SegmentedLruPromotesAndDemotes) {
+  // The eviction index itself: capacity 5 → protected capacity 4. Promote
+  // four entries, then a fifth promotion must demote the coldest protected
+  // entry back to probation rather than grow the protected segment.
+  struct IntHash {
+    std::size_t operator()(int k) const { return static_cast<std::size_t>(k); }
+  };
+  SegmentedLruMap<int, int, IntHash> lru(5);
+  std::size_t evicted = 0;
+  for (int k = 0; k < 5; ++k) lru.InsertIfAbsent(k, k * 10, &evicted);
+  EXPECT_EQ(lru.size(), 5u);
+  EXPECT_EQ(lru.protected_size(), 0u);
+  for (int k = 0; k < 4; ++k) ASSERT_NE(lru.Find(k), nullptr);
+  EXPECT_EQ(lru.protected_size(), 4u);
+  ASSERT_NE(lru.Find(4), nullptr);  // Fifth promotion: 0 demotes.
+  EXPECT_EQ(lru.protected_size(), 4u);
+  EXPECT_EQ(lru.size(), 5u);
+  // Key 0 is now the only probationary entry, so the next insert past
+  // capacity evicts it first.
+  lru.InsertIfAbsent(100, 1000, &evicted);
+  EXPECT_EQ(evicted, 1u);
+  EXPECT_EQ(lru.Find(0), nullptr);
+  ASSERT_NE(lru.Find(1), nullptr);
+  EXPECT_EQ(*lru.Find(1), 10);
+  // A duplicate insert returns the resident value and evicts nothing.
+  evicted = 7;
+  const int* resident = lru.InsertIfAbsent(2, 999, &evicted);
+  EXPECT_EQ(evicted, 0u);
+  EXPECT_EQ(*resident, 20);
 }
 
 TEST(CacheTest, RepeatLookupsShareOneEntry) {
@@ -358,18 +501,22 @@ TEST(CacheTest, NegativeEntriesAreCachedAndServed) {
   EXPECT_EQ(second->status.code(), StatusCode::kResourceExhausted);
 }
 
-TEST(CacheTest, PremiseCacheEvictsAndDedupes) {
-  PremiseTranslationCache cache(2);
+TEST(CacheTest, PreparedCacheEvictsAndDedupes) {
+  PreparedPremisesCache cache(2);
   auto make = [](int i) {
     return ConstraintSet{DifferentialConstraint(ItemSet::Singleton(i),
                                                 SetFamily({ItemSet::Singleton(i + 1)}))};
   };
-  for (int i = 0; i < 5; ++i) cache.Get(8, make(i));
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(cache.Get(8, make(i)).ok());
   EXPECT_EQ(cache.size(), 2u);
   EXPECT_EQ(cache.counters().evictions, 3u);
   bool hit = false;
-  cache.Get(8, make(4), &hit);  // Newest still resident.
+  Result<std::shared_ptr<const PreparedPremises>> again = cache.Get(8, make(4), &hit);
+  ASSERT_TRUE(again.ok());  // Newest still resident.
   EXPECT_TRUE(hit);
+  EXPECT_EQ(cache.size(), 2u);
+  // An invalid universe size fails the lookup and is never cached.
+  EXPECT_EQ(cache.Get(65, make(0)).status().code(), StatusCode::kInvalidArgument);
   EXPECT_EQ(cache.size(), 2u);
 }
 

@@ -27,7 +27,7 @@ class FailpointTest : public ::testing::Test {
     // Injected statuses may have been cached; never leak them into other
     // tests sharing the process-wide caches.
     GlobalWitnessSetCache().Clear();
-    GlobalPremiseTranslationCache().Clear();
+    GlobalPreparedPremisesCache().Clear();
   }
 };
 
@@ -153,7 +153,7 @@ TEST_F(FailpointTest, CacheInsertFailuresServeUncachedResults) {
   const int n = 6;
   ImplicationEngine engine;
   GlobalWitnessSetCache().Clear();
-  GlobalPremiseTranslationCache().Clear();
+  GlobalPreparedPremisesCache().Clear();
   failpoint::Arm("cache/witness-insert", failpoint::Spec::Always());
   failpoint::Arm("cache/premise-insert", failpoint::Spec::Always());
 
@@ -165,7 +165,7 @@ TEST_F(FailpointTest, CacheInsertFailuresServeUncachedResults) {
     EXPECT_FALSE(r.stats.witness_cache_hit);
   }
   EXPECT_EQ(GlobalWitnessSetCache().size(), 0u);
-  EXPECT_EQ(GlobalPremiseTranslationCache().size(), 0u);
+  EXPECT_EQ(GlobalPreparedPremisesCache().size(), 0u);
 }
 
 TEST_F(FailpointTest, CnfTranslationFailureIsPerQuery) {

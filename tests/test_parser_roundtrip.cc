@@ -1,0 +1,68 @@
+// Parser/printer round-trip property: for seeded-random constraints c over
+// single-character-named universes, Parse(Print(c)) == c — the printed form
+// is a faithful, re-readable serialization (the engine's golden files and
+// examples depend on it). Complements the hand-picked cases in
+// test_parser.cc with bulk randomized coverage.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/constraint.h"
+#include "core/parser.h"
+#include "lattice/universe.h"
+#include "test_helpers.h"
+#include "util/random.h"
+
+namespace diffc {
+namespace {
+
+TEST(ParserRoundTripTest, RandomConstraintsSurviveParsePrint) {
+  Rng rng(20260806);
+  // Single-character names only (n <= 26): the concatenated-set syntax the
+  // printer emits is exactly what the parser accepts.
+  for (int n = 1; n <= 26; n += 5) {
+    Universe u = Universe::Letters(n);
+    for (int i = 0; i < 200; ++i) {
+      DifferentialConstraint c = testing::RandomConstraint(rng, n);
+      const std::string text = c.ToString(u);
+      Result<DifferentialConstraint> parsed = ParseConstraint(u, text);
+      ASSERT_TRUE(parsed.ok()) << "n=" << n << " text=\"" << text
+                               << "\": " << parsed.status().ToString();
+      EXPECT_EQ(*parsed, c) << "n=" << n << " text=\"" << text << "\" reprinted \""
+                            << parsed->ToString(u) << "\"";
+    }
+  }
+}
+
+TEST(ParserRoundTripTest, EdgeShapedConstraintsSurvive) {
+  Universe u = Universe::Letters(8);
+  std::vector<DifferentialConstraint> cases{
+      DifferentialConstraint(ItemSet(), SetFamily()),            // 0 -> {}
+      DifferentialConstraint(ItemSet{0, 7}, SetFamily()),        // AH -> {}
+      DifferentialConstraint(ItemSet(), SetFamily({ItemSet()})),  // 0 -> {0}
+      DifferentialConstraint(ItemSet{1}, SetFamily({ItemSet{1}})),
+      DifferentialConstraint(ItemSet(FullMask(8)), SetFamily({ItemSet(FullMask(8))})),
+  };
+  for (const DifferentialConstraint& c : cases) {
+    Result<DifferentialConstraint> parsed = ParseConstraint(u, c.ToString(u));
+    ASSERT_TRUE(parsed.ok()) << c.ToString(u) << ": " << parsed.status().ToString();
+    EXPECT_EQ(*parsed, c) << c.ToString(u);
+  }
+}
+
+TEST(ParserRoundTripTest, RandomConstraintSetsSurviveParsePrint) {
+  Rng rng(77);
+  Universe u = Universe::Letters(12);
+  for (int i = 0; i < 100; ++i) {
+    ConstraintSet set = testing::RandomConstraintSet(rng, 12, 1 + i % 7);
+    const std::string text = ConstraintSetToString(set, u);
+    Result<ConstraintSet> parsed = ParseConstraintSet(u, text);
+    ASSERT_TRUE(parsed.ok()) << "text=\"" << text << "\": " << parsed.status().ToString();
+    EXPECT_EQ(*parsed, set) << "text=\"" << text << "\"";
+  }
+}
+
+}  // namespace
+}  // namespace diffc

@@ -3,7 +3,9 @@
 
 Stdlib-only (CI has no jsonschema package). Implements the subset the
 committed schemas use: ``type`` (string or list of strings, including
-"null"), ``properties``, ``required``, ``items``, and ``minimum``.
+"null"), ``properties``, ``required``, ``items``, ``minimum``,
+``exclusiveMinimum``, ``maximum``, and ``const`` (the last three added for
+BENCH_E5.schema.json, which pins the prepared-path speedup floor).
 Unknown schema keys are ignored, so schemas can carry ``$comment``.
 
 Usage: check_bench_schema.py <artifact.json> <schema.json>
@@ -71,6 +73,20 @@ def validate(value, schema, path, errors):
     if minimum is not None and isinstance(value, (int, float)) and not isinstance(value, bool):
         if value < minimum:
             errors.append(f"{path}: {value} < minimum {minimum}")
+
+    exclusive_minimum = schema.get("exclusiveMinimum")
+    if (exclusive_minimum is not None and isinstance(value, (int, float))
+            and not isinstance(value, bool)):
+        if value <= exclusive_minimum:
+            errors.append(f"{path}: {value} <= exclusiveMinimum {exclusive_minimum}")
+
+    maximum = schema.get("maximum")
+    if maximum is not None and isinstance(value, (int, float)) and not isinstance(value, bool):
+        if value > maximum:
+            errors.append(f"{path}: {value} > maximum {maximum}")
+
+    if "const" in schema and value != schema["const"]:
+        errors.append(f"{path}: {value!r} != const {schema['const']!r}")
 
 
 def main(argv):

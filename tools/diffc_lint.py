@@ -32,6 +32,12 @@ layer honest:
                     previous line) saying why the value cannot matter;
                     this is the audited escape hatch for ``[[nodiscard]]``
                     ``Status``.
+  procedure-registry  Every ``DecisionProcedure`` enumerator (except
+                    ``kNone``) has a ``case DecisionProcedure::kX`` entry
+                    in the name table AND a ``DIFFC_REGISTER_PROCEDURE(kX,
+                    ...)`` site — a value without both is a procedure the
+                    planner can never run or report. Silent when the tree
+                    declares no ``enum class DecisionProcedure``.
 
 Findings print as ``path:line: rule: message`` (or ``--format=json``).
 A committed baseline (``--baseline``) grandfathers known findings by
@@ -94,6 +100,12 @@ SOLVER_ATOMIC_RE = re.compile(
     r"std::atomic\b|\.fetch_add\s*\(|\.fetch_sub\s*\(|"
     r"->Inc\s*\(|->Add\s*\(|->Sub\s*\(|->Set\s*\(|->Observe\s*\("
 )
+PROCEDURE_ENUM_RE = re.compile(
+    r"\benum\s+class\s+DecisionProcedure\s*(?::[^{]*)?\{([^}]*)\}"
+)
+PROCEDURE_ENUMERATOR_RE = re.compile(r"\b(k\w+)\b")
+PROCEDURE_CASE_RE = re.compile(r"\bcase\s+DecisionProcedure::(k\w+)")
+PROCEDURE_REGISTER_RE = re.compile(r"\bDIFFC_REGISTER_PROCEDURE\s*\(\s*(k\w+)\s*,")
 
 
 class Finding:
@@ -286,6 +298,45 @@ def report_duplicates(table, rule, what, findings):
             )
 
 
+# ------------------------------------------------------ procedure registry
+
+
+def scan_procedure_registry(rel, text, procedures):
+    """Collects enum declarations, name-table cases, and registrations."""
+    for m in PROCEDURE_ENUM_RE.finditer(text):
+        names = PROCEDURE_ENUMERATOR_RE.findall(m.group(1))
+        procedures["enums"].append((rel, line_of(text, m.start()), names))
+    for m in PROCEDURE_CASE_RE.finditer(text):
+        procedures["cases"].setdefault(m.group(1), []).append(
+            (rel, line_of(text, m.start())))
+    for m in PROCEDURE_REGISTER_RE.finditer(text):
+        procedures["registrations"].setdefault(m.group(1), []).append(
+            (rel, line_of(text, m.start())))
+
+
+def report_procedure_registry(procedures, findings):
+    """Every enumerator except kNone needs a name case and a registration."""
+    for rel, line, names in procedures["enums"]:
+        for name in names:
+            if name == "kNone":
+                continue
+            if name not in procedures["cases"]:
+                findings.append(
+                    Finding(rel, line, "procedure-registry",
+                            f"DecisionProcedure enumerator '{name}' has no "
+                            f"'case DecisionProcedure::{name}' name-table entry; "
+                            "stats and traces would print it as garbage")
+                )
+            if name not in procedures["registrations"]:
+                findings.append(
+                    Finding(rel, line, "procedure-registry",
+                            f"DecisionProcedure enumerator '{name}' has no "
+                            f"DIFFC_REGISTER_PROCEDURE({name}, ...) site; the "
+                            "planner can never run a procedure that is not "
+                            "registered")
+                )
+
+
 # ------------------------------------------------------------ solver loops
 
 
@@ -445,12 +496,13 @@ def scan_void_discards(rel, raw, findings):
 # ------------------------------------------------------------------ driver
 
 
-def lint_file(root, rel, registrations, failpoint_sites, findings):
+def lint_file(root, rel, registrations, failpoint_sites, procedures, findings):
     with open(os.path.join(root, rel), encoding="utf-8") as f:
         raw = f.read()
     no_comments, code_only = strip_comments(raw)
     scan_metrics(rel, no_comments, registrations, findings)
     scan_failpoints(rel, no_comments, failpoint_sites, findings)
+    scan_procedure_registry(rel, no_comments, procedures)
     if rel in SOLVER_LOOP_FILES:
         scan_solver_loops(rel, code_only, findings)
     if rel.endswith(".h"):
@@ -464,6 +516,7 @@ def lint_tree(root):
     findings = []
     registrations = {}
     failpoint_sites = {}
+    procedures = {"enums": [], "cases": {}, "registrations": {}}
     rels = []
     for dirpath, _, filenames in os.walk(root):
         for name in sorted(filenames):
@@ -471,7 +524,8 @@ def lint_tree(root):
                 rels.append(os.path.relpath(os.path.join(dirpath, name), root))
     for rel in sorted(rels):
         lint_file(root, rel.replace(os.sep, "/"), registrations, failpoint_sites,
-                  findings)
+                  procedures, findings)
+    report_procedure_registry(procedures, findings)
     metric_display = {}
     for (name, labels), occurrences in registrations.items():
         metric_display[name if not labels else f"{name} {labels}"] = occurrences

@@ -1,0 +1,19 @@
+// procedure-registry: kBar is declared but has neither a name-table case
+// nor a DIFFC_REGISTER_PROCEDURE site — an unrunnable, unprintable value.
+enum class DecisionProcedure {
+  kNone = 0,
+  kFoo,
+  kBar,
+};
+
+const char* DecisionProcedureName(DecisionProcedure p) {
+  switch (p) {
+    case DecisionProcedure::kNone:
+      return "none";
+    case DecisionProcedure::kFoo:
+      return "foo";
+  }
+  return "?";
+}
+
+DIFFC_REGISTER_PROCEDURE(kFoo, FooProcedure)

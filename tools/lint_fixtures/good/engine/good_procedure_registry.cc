@@ -1,0 +1,18 @@
+// procedure-registry accepted pattern: every enumerator except kNone has
+// both a name-table case and a registration site.
+enum class DecisionProcedure {
+  kNone = 0,
+  kFoo,
+};
+
+const char* DecisionProcedureName(DecisionProcedure p) {
+  switch (p) {
+    case DecisionProcedure::kNone:
+      return "none";
+    case DecisionProcedure::kFoo:
+      return "foo";
+  }
+  return "?";
+}
+
+DIFFC_REGISTER_PROCEDURE(kFoo, FooProcedure)

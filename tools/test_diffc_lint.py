@@ -28,6 +28,8 @@ EXPECTED_BAD = [
     ("core/dup_failpoint.cc", 5, "failpoint-dup"),
     ("engine/bad_mutex.h", 15, "mutex-guarded-by"),
     ("engine/bad_mutex.h", 22, "mutex-guarded-by"),
+    ("engine/bad_procedure_registry.cc", 3, "procedure-registry"),
+    ("engine/bad_procedure_registry.cc", 3, "procedure-registry"),
     ("engine/naked_lock.cc", 7, "naked-lock"),
     ("obs/bad_metric.cc", 5, "metric-name"),
     ("obs/dup_metric_b.cc", 5, "metric-dup"),
@@ -39,7 +41,7 @@ EXPECTED_BAD = [
 ALL_RULES = {
     "metric-name", "metric-dup", "failpoint-name", "failpoint-dup",
     "solver-atomic", "include-guard", "mutex-guarded-by", "naked-lock",
-    "void-discard",
+    "void-discard", "procedure-registry",
 }
 
 
