@@ -1,0 +1,84 @@
+#include "engine/handle_table.h"
+
+#include <string>
+#include <utility>
+
+namespace diffc {
+
+Result<std::uint64_t> PreparedHandleTable::Register(
+    std::uint64_t owner, std::shared_ptr<const PreparedPremises> prepared) {
+  if (prepared == nullptr) {
+    return Status::InvalidArgument("cannot register a null prepared artifact");
+  }
+  MutexLock lock(&mu_);
+  if (entries_.size() >= options_.max_total_handles) {
+    return Status::ResourceExhausted("handle table full (" +
+                                     std::to_string(options_.max_total_handles) +
+                                     " live handles)");
+  }
+  std::size_t& owned = per_owner_[owner];
+  if (owned >= options_.max_handles_per_owner) {
+    return Status::ResourceExhausted("handle quota exhausted: owner already holds " +
+                                     std::to_string(owned) + " of " +
+                                     std::to_string(options_.max_handles_per_owner) +
+                                     " handles");
+  }
+  const std::uint64_t id = next_id_++;
+  entries_.emplace(id, Entry{owner, std::move(prepared)});
+  ++owned;
+  return id;
+}
+
+Result<std::shared_ptr<const PreparedPremises>> PreparedHandleTable::Lookup(
+    std::uint64_t handle) const {
+  MutexLock lock(&mu_);
+  auto it = entries_.find(handle);
+  if (it == entries_.end()) {
+    return Status::NotFound("no such premise handle: " + std::to_string(handle));
+  }
+  return it->second.prepared;
+}
+
+Status PreparedHandleTable::Release(std::uint64_t handle, std::uint64_t owner) {
+  MutexLock lock(&mu_);
+  auto it = entries_.find(handle);
+  if (it == entries_.end()) {
+    return Status::NotFound("no such premise handle: " + std::to_string(handle));
+  }
+  if (it->second.owner != owner) {
+    return Status::FailedPrecondition("premise handle " + std::to_string(handle) +
+                                      " belongs to another session");
+  }
+  auto owned = per_owner_.find(owner);
+  if (owned != per_owner_.end() && --owned->second == 0) per_owner_.erase(owned);
+  entries_.erase(it);
+  return Status::Ok();
+}
+
+std::size_t PreparedHandleTable::ReleaseAllForOwner(std::uint64_t owner) {
+  MutexLock lock(&mu_);
+  std::size_t dropped = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.owner == owner) {
+      it = entries_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  per_owner_.erase(owner);
+  return dropped;
+}
+
+std::size_t PreparedHandleTable::size() const {
+  MutexLock lock(&mu_);
+  return entries_.size();
+}
+
+std::size_t PreparedHandleTable::CountForOwner(std::uint64_t owner) const {
+  MutexLock lock(&mu_);
+  auto it = per_owner_.find(owner);
+  return it == per_owner_.end() ? 0 : it->second;
+}
+
+}  // namespace diffc

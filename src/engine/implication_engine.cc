@@ -595,7 +595,8 @@ Result<BatchOutcome> ImplicationEngine::CheckBatch(
     if (!p.ok()) return p.status();
     prepared = *std::move(p);
   }
-  return RunBatch(std::move(prepared), goals, std::move(cancel), from_cache);
+  return RunBatch(std::move(prepared), goals, OptionsBatchDeadline(), std::move(cancel),
+                  from_cache);
 }
 
 Result<BatchOutcome> ImplicationEngine::CheckBatch(
@@ -604,20 +605,33 @@ Result<BatchOutcome> ImplicationEngine::CheckBatch(
   if (prepared == nullptr) {
     return Status::InvalidArgument("prepared premises must be non-null");
   }
-  return RunBatch(std::move(prepared), goals, std::move(cancel),
+  return RunBatch(std::move(prepared), goals, OptionsBatchDeadline(), std::move(cancel),
                   /*prepared_from_cache=*/true);
+}
+
+Result<BatchOutcome> ImplicationEngine::CheckBatch(
+    std::shared_ptr<const PreparedPremises> prepared,
+    const std::vector<DifferentialConstraint>& goals, Deadline batch_deadline,
+    CancelToken cancel) {
+  if (prepared == nullptr) {
+    return Status::InvalidArgument("prepared premises must be non-null");
+  }
+  return RunBatch(std::move(prepared), goals, batch_deadline, std::move(cancel),
+                  /*prepared_from_cache=*/true);
+}
+
+Deadline ImplicationEngine::OptionsBatchDeadline() const {
+  return options_.batch_deadline.count() > 0 ? Deadline::After(options_.batch_deadline)
+                                             : Deadline::Never();
 }
 
 Result<BatchOutcome> ImplicationEngine::RunBatch(
     std::shared_ptr<const PreparedPremises> prepared,
-    const std::vector<DifferentialConstraint>& goals, CancelToken cancel,
-    bool prepared_from_cache) {
+    const std::vector<DifferentialConstraint>& goals, Deadline batch_deadline,
+    CancelToken cancel, bool prepared_from_cache) {
   BatchOutcome out;
   out.results.resize(goals.size());
   const std::uint64_t batch_start = NowNs();
-  const Deadline batch_deadline = options_.batch_deadline.count() > 0
-                                      ? Deadline::After(options_.batch_deadline)
-                                      : Deadline::Never();
 
   if (!goals.empty()) {
     // Countdown latch: workers fill disjoint slots of the pre-sized result

@@ -144,6 +144,15 @@ class ImplicationEngine {
                                   const std::vector<DifferentialConstraint>& goals,
                                   CancelToken cancel = CancelToken());
 
+  /// As above, with an explicit per-call batch deadline overriding
+  /// `EngineOptions::batch_deadline` — the entry point for callers (the
+  /// diffcd service) whose requests each carry their own wall-clock
+  /// budget. `Deadline::Never()` means unbounded; per-query deadlines from
+  /// the options still compose via `Deadline::Earlier`.
+  Result<BatchOutcome> CheckBatch(std::shared_ptr<const PreparedPremises> prepared,
+                                  const std::vector<DifferentialConstraint>& goals,
+                                  Deadline batch_deadline, CancelToken cancel = CancelToken());
+
   /// Single-query convenience: the same dispatch, caches, deadlines, and
   /// exhaustion policy, no pool round-trip.
   EngineQueryResult CheckOne(int n, const ConstraintSet& premises,
@@ -179,10 +188,14 @@ class ImplicationEngine {
                                     const DifferentialConstraint& goal,
                                     const Deadline& batch_deadline, const CancelToken& cancel,
                                     bool prepared_from_cache);
-  /// Shared batch driver for the prepared and unprepared entry points.
+  /// Shared batch driver for the prepared and unprepared entry points;
+  /// `batch_deadline` is the already-resolved wall-clock bound.
   Result<BatchOutcome> RunBatch(std::shared_ptr<const PreparedPremises> prepared,
                                 const std::vector<DifferentialConstraint>& goals,
-                                CancelToken cancel, bool prepared_from_cache);
+                                Deadline batch_deadline, CancelToken cancel,
+                                bool prepared_from_cache);
+  /// The batch deadline implied by `EngineOptions::batch_deadline`.
+  Deadline OptionsBatchDeadline() const;
 
   EngineOptions options_;
   QueryPlanner planner_;

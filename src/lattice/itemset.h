@@ -1,6 +1,7 @@
 #ifndef DIFFC_LATTICE_ITEMSET_H_
 #define DIFFC_LATTICE_ITEMSET_H_
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <initializer_list>
@@ -22,9 +23,15 @@ class ItemSet {
   ItemSet() : bits_(0) {}
   /// The set with exactly the bits of `bits`.
   explicit ItemSet(Mask bits) : bits_(bits) {}
-  /// The set containing the given attribute indices.
+  /// The set containing the given attribute indices. Indices must lie in
+  /// [0, 64) — `Mask{1} << 64` is undefined behavior, and before this was
+  /// asserted an out-of-range index silently produced a garbage mask.
+  /// Untrusted indices are validated upstream (parser, wire decoders).
   ItemSet(std::initializer_list<int> indices) : bits_(0) {
-    for (int i : indices) bits_ |= Mask{1} << i;
+    for (int i : indices) {
+      assert(i >= 0 && i < 64 && "ItemSet attribute index out of [0, 64)");
+      bits_ |= Mask{1} << i;
+    }
   }
 
   /// The underlying bitmask.
@@ -34,8 +41,10 @@ class ItemSet {
   /// True iff empty.
   bool empty() const { return bits_ == 0; }
 
-  /// True iff attribute `i` is a member.
-  bool Contains(int i) const { return (bits_ >> i) & 1; }
+  /// True iff attribute `i` is a member. Well-defined for every `i`: an
+  /// index outside [0, 64) is simply not a member (the old unguarded shift
+  /// was undefined behavior there).
+  bool Contains(int i) const { return i >= 0 && i < 64 && ((bits_ >> i) & 1) != 0; }
   /// True iff this is a subset of `other`.
   bool IsSubsetOf(const ItemSet& other) const { return IsSubset(bits_, other.bits_); }
 
@@ -47,8 +56,11 @@ class ItemSet {
   ItemSet Minus(const ItemSet& other) const { return ItemSet(bits_ & ~other.bits_); }
   /// Complement within a universe of `n` attributes.
   ItemSet ComplementIn(int n) const { return ItemSet(FullMask(n) & ~bits_); }
-  /// The set {i}.
-  static ItemSet Singleton(int i) { return ItemSet(Mask{1} << i); }
+  /// The set {i}. Requires 0 <= i < 64 (see the index constructor).
+  static ItemSet Singleton(int i) {
+    assert(i >= 0 && i < 64 && "ItemSet::Singleton index out of [0, 64)");
+    return ItemSet(Mask{1} << i);
+  }
 
   /// Renders using the universe's attribute names.
   std::string ToString(const Universe& u) const { return u.FormatSet(bits_); }

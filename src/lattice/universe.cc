@@ -1,11 +1,17 @@
 #include "lattice/universe.h"
 
 #include <algorithm>
+#include <cassert>
 #include <unordered_set>
 
 namespace diffc {
 
 Universe Universe::Letters(int n) {
+  // An out-of-range n used to truncate silently at 64 — inconsistent with
+  // `Named`, which rejects — so a caller asking for a 70-attribute
+  // universe got a 64-attribute one and every later mask computed against
+  // the wrong size. Assert here; boundary code uses LettersChecked.
+  assert(n >= 0 && n <= 64 && "Universe::Letters requires 0 <= n <= 64");
   Universe u;
   for (int i = 0; i < n && i < 64; ++i) {
     std::string name(1, static_cast<char>('A' + (i % 26)));
@@ -13,6 +19,14 @@ Universe Universe::Letters(int n) {
     u.names_.push_back(std::move(name));
   }
   return u;
+}
+
+Result<Universe> Universe::LettersChecked(int n) {
+  if (n < 0 || n > 64) {
+    return Status::InvalidArgument("universe supports at most 64 attributes, got n=" +
+                                   std::to_string(n));
+  }
+  return Letters(n);
 }
 
 Result<Universe> Universe::Named(std::vector<std::string> names) {

@@ -20,8 +20,15 @@ class Universe {
   Universe() = default;
 
   /// A universe of `n` attributes named "A", "B", ..., "Z", "A1", "B1", ...
-  /// Requires 0 <= n <= 64.
+  /// Requires 0 <= n <= 64 (asserted in debug builds; clamped otherwise —
+  /// trusted internal callers only; validate external input through
+  /// `LettersChecked`).
   static Universe Letters(int n);
+
+  /// `Letters` for untrusted sizes: InvalidArgument outside [0, 64], the
+  /// same contract `Named` enforces. The wire protocol, parsers, and CLIs
+  /// size universes through this.
+  static Result<Universe> LettersChecked(int n);
 
   /// A universe with the given attribute names. Names must be nonempty,
   /// unique, and at most 64 of them.

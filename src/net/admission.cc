@@ -1,0 +1,36 @@
+#include "net/admission.h"
+
+#include <string>
+
+namespace diffc::net {
+
+void AdmissionController::Slot::Reset() {
+  if (ctrl_ != nullptr) {
+    ctrl_->Release();
+    ctrl_ = nullptr;
+  }
+}
+
+Result<AdmissionController::Slot> AdmissionController::Admit() {
+  MutexLock lock(&mu_);
+  if (inflight_ >= options_.max_inflight_batches) {
+    return Status::ResourceExhausted(
+        "server at capacity: " + std::to_string(inflight_) + " of " +
+        std::to_string(options_.max_inflight_batches) +
+        " batch slots in flight; retry after in-flight batches finish");
+  }
+  ++inflight_;
+  return Slot(this);
+}
+
+std::size_t AdmissionController::inflight() const {
+  MutexLock lock(&mu_);
+  return inflight_;
+}
+
+void AdmissionController::Release() {
+  MutexLock lock(&mu_);
+  if (inflight_ > 0) --inflight_;
+}
+
+}  // namespace diffc::net

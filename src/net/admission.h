@@ -1,0 +1,80 @@
+#ifndef DIFFC_NET_ADMISSION_H_
+#define DIFFC_NET_ADMISSION_H_
+
+#include <cstddef>
+
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace diffc::net {
+
+/// Admission control for the expensive request class: a fixed budget of
+/// concurrently executing CHECK_BATCH requests. A full server *rejects*
+/// (typed ResourceExhausted error frame, counted in
+/// `diffc_net_admission_rejected_total`) instead of queueing — the client
+/// owns the retry policy, and the server's memory is bounded by
+/// construction (queues are where overload hides).
+///
+/// Handle quotas — the other admission axis — live in
+/// `PreparedHandleTable`, enforced at registration.
+class AdmissionController {
+ public:
+  struct Options {
+    std::size_t max_inflight_batches = 8;
+  };
+
+  /// An RAII in-flight slot: holding one is the permission to run a batch;
+  /// the destructor returns it. Move-only; default-constructed slots hold
+  /// nothing.
+  class Slot {
+   public:
+    Slot() = default;
+    ~Slot() { Reset(); }
+    Slot(Slot&& other) noexcept : ctrl_(other.ctrl_) { other.ctrl_ = nullptr; }
+    Slot& operator=(Slot&& other) noexcept {
+      if (this != &other) {
+        Reset();
+        ctrl_ = other.ctrl_;
+        other.ctrl_ = nullptr;
+      }
+      return *this;
+    }
+    Slot(const Slot&) = delete;
+    Slot& operator=(const Slot&) = delete;
+
+    bool held() const { return ctrl_ != nullptr; }
+    /// Returns the slot early (idempotent).
+    void Reset();
+
+   private:
+    friend class AdmissionController;
+    explicit Slot(AdmissionController* ctrl) : ctrl_(ctrl) {}
+    AdmissionController* ctrl_ = nullptr;
+  };
+
+  explicit AdmissionController(Options options) : options_(options) {}
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Tries to take an in-flight slot. ResourceExhausted when the budget is
+  /// fully occupied.
+  Result<Slot> Admit() EXCLUDES(mu_);
+
+  /// Currently occupied slots.
+  std::size_t inflight() const EXCLUDES(mu_);
+
+  std::size_t capacity() const { return options_.max_inflight_batches; }
+
+ private:
+  void Release() EXCLUDES(mu_);
+
+  const Options options_;
+  mutable Mutex mu_;
+  std::size_t inflight_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace diffc::net
+
+#endif  // DIFFC_NET_ADMISSION_H_

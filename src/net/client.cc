@@ -1,0 +1,76 @@
+#include "net/client.h"
+
+#include <utility>
+
+namespace diffc::net {
+
+Result<DiffcClient> DiffcClient::Connect(const std::string& address) {
+  Result<Socket> sock = net::Connect(address);
+  if (!sock.ok()) return sock.status();
+  return DiffcClient(std::move(*sock));
+}
+
+Result<Frame> DiffcClient::RoundTrip(const Frame& request, WireResponse expected) {
+  if (!sock_.valid()) return Status::FailedPrecondition("client not connected");
+  Status ws = WriteFrame(sock_, request);
+  if (!ws.ok()) return ws;
+  Frame reply;
+  bool clean_eof = false;
+  Status rs = ReadFrame(sock_, &reply, &clean_eof);
+  if (!rs.ok()) return rs;
+  if (clean_eof) {
+    return Status::Internal("connection closed by server before a reply");
+  }
+  if (reply.type == static_cast<std::uint8_t>(WireResponse::kError)) {
+    Result<ErrorMsg> err = DecodeError(reply);
+    if (!err.ok()) return err.status();
+    return err->ToStatus();
+  }
+  if (reply.type != static_cast<std::uint8_t>(expected)) {
+    return Status::InvalidArgument(
+        "unexpected reply type byte " + std::to_string(int{reply.type}) + " (expected " +
+        WireResponseName(expected) + ")");
+  }
+  return reply;
+}
+
+Result<std::uint64_t> DiffcClient::Ping(std::uint64_t nonce) {
+  PingMsg msg;
+  msg.nonce = nonce;
+  Result<Frame> reply = RoundTrip(EncodePing(msg), WireResponse::kPong);
+  if (!reply.ok()) return reply.status();
+  Result<PingMsg> pong = DecodePong(*reply);
+  if (!pong.ok()) return pong.status();
+  return pong->nonce;
+}
+
+Result<RegisterOkMsg> DiffcClient::RegisterPremises(int n, const ConstraintSet& premises) {
+  RegisterPremisesMsg msg;
+  msg.n = n;
+  msg.premises = premises;
+  Result<Frame> reply = RoundTrip(EncodeRegisterPremises(msg), WireResponse::kRegisterOk);
+  if (!reply.ok()) return reply.status();
+  return DecodeRegisterOk(*reply);
+}
+
+Result<BatchResultMsg> DiffcClient::CheckBatch(std::uint64_t handle, int n,
+                                               const std::vector<DifferentialConstraint>& goals,
+                                               std::chrono::milliseconds deadline) {
+  CheckBatchMsg msg;
+  msg.handle = handle;
+  msg.deadline_ms = deadline.count() > 0 ? static_cast<std::uint64_t>(deadline.count()) : 0;
+  msg.n = n;
+  msg.goals = goals;
+  Result<Frame> reply = RoundTrip(EncodeCheckBatch(msg), WireResponse::kBatchResult);
+  if (!reply.ok()) return reply.status();
+  return DecodeBatchResult(*reply);
+}
+
+Status DiffcClient::Release(std::uint64_t handle) {
+  ReleaseMsg msg;
+  msg.handle = handle;
+  Result<Frame> reply = RoundTrip(EncodeRelease(msg), WireResponse::kReleaseOk);
+  return reply.status();
+}
+
+}  // namespace diffc::net

@@ -1,0 +1,66 @@
+#ifndef DIFFC_NET_CLIENT_H_
+#define DIFFC_NET_CLIENT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/constraint.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "util/status.h"
+
+namespace diffc::net {
+
+/// A blocking diffcd client: one connection, one outstanding request at a
+/// time (the protocol is strict request/reply per connection; open more
+/// connections for concurrency). Every server-side rejection arrives as
+/// the original typed `Status` — the error frame round-trips the code, so
+/// admission rejections are ResourceExhausted here, unknown handles are
+/// NotFound, malformed input is InvalidArgument.
+///
+/// Move-only; the destructor closes the connection, which releases every
+/// handle this session registered on the server.
+class DiffcClient {
+ public:
+  DiffcClient() = default;
+
+  /// Connects to a diffcd server at `address` ("host:port" or
+  /// "unix:/path").
+  static Result<DiffcClient> Connect(const std::string& address);
+
+  bool connected() const { return sock_.valid(); }
+  void Close() { sock_.Close(); }
+
+  /// Liveness probe; returns the echoed nonce.
+  Result<std::uint64_t> Ping(std::uint64_t nonce);
+
+  /// Compiles `premises` (over an `n`-attribute universe) server-side;
+  /// the returned handle feeds `CheckBatch` until `Release` or disconnect.
+  Result<RegisterOkMsg> RegisterPremises(int n, const ConstraintSet& premises);
+
+  /// Decides `handle's premises |= goals[i]` for every goal. `deadline`
+  /// (zero = none) is the server-side wall-clock budget for the whole
+  /// batch; queries past it come back DeadlineExceeded or degraded,
+  /// matching the in-process engine's semantics.
+  Result<BatchResultMsg> CheckBatch(std::uint64_t handle, int n,
+                                    const std::vector<DifferentialConstraint>& goals,
+                                    std::chrono::milliseconds deadline = {});
+
+  /// Drops `handle` server-side.
+  Status Release(std::uint64_t handle);
+
+ private:
+  explicit DiffcClient(Socket sock) : sock_(std::move(sock)) {}
+
+  /// Sends `request`, reads one reply, unwraps error frames into their
+  /// `Status`, and insists on `expected` otherwise.
+  Result<Frame> RoundTrip(const Frame& request, WireResponse expected);
+
+  Socket sock_;
+};
+
+}  // namespace diffc::net
+
+#endif  // DIFFC_NET_CLIENT_H_

@@ -1,0 +1,39 @@
+#include "net/handler_registry.h"
+
+namespace diffc::net {
+
+WireHandlerRegistry& WireHandlerRegistry::Global() {
+  static WireHandlerRegistry* registry = new WireHandlerRegistry();
+  return *registry;
+}
+
+void WireHandlerRegistry::Register(WireRequest id, std::unique_ptr<const WireHandlerImpl> impl) {
+  MutexLock lock(&mu_);
+  for (const auto& h : handlers_) {
+    if (h->id() == id) return;  // First registration wins, like metrics.
+  }
+  handlers_.push_back(std::move(impl));
+}
+
+const WireHandlerImpl* WireHandlerRegistry::Find(std::uint8_t type) const {
+  MutexLock lock(&mu_);
+  for (const auto& h : handlers_) {
+    if (static_cast<std::uint8_t>(h->id()) == type) return h.get();
+  }
+  return nullptr;
+}
+
+std::vector<const WireHandlerImpl*> WireHandlerRegistry::Snapshot() const {
+  MutexLock lock(&mu_);
+  std::vector<const WireHandlerImpl*> out;
+  out.reserve(handlers_.size());
+  for (const auto& h : handlers_) out.push_back(h.get());
+  return out;
+}
+
+bool RegisterWireHandler(WireRequest id, std::unique_ptr<const WireHandlerImpl> impl) {
+  WireHandlerRegistry::Global().Register(id, std::move(impl));
+  return true;
+}
+
+}  // namespace diffc::net

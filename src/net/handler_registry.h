@@ -1,0 +1,75 @@
+#ifndef DIFFC_NET_HANDLER_REGISTRY_H_
+#define DIFFC_NET_HANDLER_REGISTRY_H_
+
+#include <memory>
+#include <vector>
+
+#include "net/wire.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace diffc::net {
+
+struct SessionContext;
+
+/// A first-class wire-message handler: one server-side implementation per
+/// `WireRequest` type, registered into the process-wide
+/// `WireHandlerRegistry` the same way decision procedures register into
+/// `ProcedureRegistry`. The session loop dispatches by type byte; the
+/// `wire-registry` rule of tools/diffc_lint.py proves every declared
+/// request type has exactly this trio: enumerator, name-table case, and
+/// `DIFFC_REGISTER_WIRE_HANDLER` site — a message type without a handler
+/// would be a frame the server accepts but can never answer.
+class WireHandlerImpl {
+ public:
+  virtual ~WireHandlerImpl() = default;
+
+  /// The request type this handler answers.
+  virtual WireRequest id() const = 0;
+
+  /// Stable name; must equal `WireRequestName(id())`.
+  virtual const char* name() const = 0;
+
+  /// Decodes and executes `frame`, returning the response frame (a typed
+  /// error frame for any failure — handlers never throw and never close
+  /// the connection themselves).
+  virtual Frame Handle(SessionContext* session, const Frame& frame) const = 0;
+};
+
+/// The process-wide handler table. Registration happens during static
+/// initialization; lookups are lock-snapshot like the procedure registry.
+class WireHandlerRegistry {
+ public:
+  static WireHandlerRegistry& Global();
+
+  void Register(WireRequest id, std::unique_ptr<const WireHandlerImpl> impl) EXCLUDES(mu_);
+
+  /// The handler for type byte `type`, or null when unknown.
+  const WireHandlerImpl* Find(std::uint8_t type) const EXCLUDES(mu_);
+
+  /// All registered handlers (for the lint-mirroring completeness test).
+  std::vector<const WireHandlerImpl*> Snapshot() const EXCLUDES(mu_);
+
+ private:
+  WireHandlerRegistry() = default;
+
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<const WireHandlerImpl>> handlers_ GUARDED_BY(mu_);
+};
+
+/// Registration hook behind `DIFFC_REGISTER_WIRE_HANDLER`.
+bool RegisterWireHandler(WireRequest id, std::unique_ptr<const WireHandlerImpl> impl);
+
+/// Self-registers a `WireHandlerImpl` for `enum_value` (a bare
+/// `WireRequest` enumerator, e.g. `kCheckBatch` — spelled out so the
+/// project linter can check enum/handler drift). Use at namespace
+/// `diffc::net` scope.
+#define DIFFC_REGISTER_WIRE_HANDLER(enum_value, ClassName)                    \
+  namespace {                                                                 \
+  [[maybe_unused]] const bool registered_##ClassName =                        \
+      RegisterWireHandler(WireRequest::enum_value, std::make_unique<ClassName>()); \
+  }
+
+}  // namespace diffc::net
+
+#endif  // DIFFC_NET_HANDLER_REGISTRY_H_

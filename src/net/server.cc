@@ -1,0 +1,584 @@
+#include "net/server.h"
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "net/handler_registry.h"
+#include "obs/event_log.h"
+#include "obs/exposition.h"
+#include "obs/metrics.h"
+
+namespace diffc::net {
+
+namespace {
+
+/// Every diffcd service metric, registered once (the single registration
+/// site per (name, labels) the metric-dup lint rule audits) and reused via
+/// lock-free handles.
+struct ServiceMetrics {
+  obs::Counter* connections;
+  obs::Gauge* sessions_active;
+  obs::Counter* requests_ping;
+  obs::Counter* requests_register;
+  obs::Counter* requests_check_batch;
+  obs::Counter* requests_release;
+  obs::Counter* frame_errors;
+  obs::Counter* error_frames;
+  obs::Counter* admission_rejected;
+  obs::Counter* batch_queries;
+  obs::Gauge* handles_active;
+  obs::Gauge* inflight_batches;
+  obs::Counter* drains;
+  obs::Gauge* draining;
+  obs::Histogram* request_seconds;
+
+  obs::Counter* ForRequest(WireRequest t) const {
+    switch (t) {
+      case WireRequest::kPing:
+        return requests_ping;
+      case WireRequest::kRegisterPremises:
+        return requests_register;
+      case WireRequest::kCheckBatch:
+        return requests_check_batch;
+      case WireRequest::kRelease:
+        return requests_release;
+    }
+    return nullptr;
+  }
+};
+
+ServiceMetrics& Metrics() {
+  static ServiceMetrics* metrics = [] {
+    obs::Registry& r = obs::Registry::Global();
+    auto* m = new ServiceMetrics();
+    m->connections =
+        r.GetCounter("diffc_net_connections_total", "Wire connections accepted by diffcd");
+    m->sessions_active = r.GetGauge("diffc_net_sessions_active", "Live diffcd sessions");
+    m->requests_ping = r.GetCounter("diffc_net_requests_total", "Requests dispatched by type",
+                                    {{"type", "ping"}});
+    m->requests_register = r.GetCounter("diffc_net_requests_total",
+                                        "Requests dispatched by type",
+                                        {{"type", "register-premises"}});
+    m->requests_check_batch = r.GetCounter("diffc_net_requests_total",
+                                           "Requests dispatched by type",
+                                           {{"type", "check-batch"}});
+    m->requests_release = r.GetCounter("diffc_net_requests_total",
+                                       "Requests dispatched by type", {{"type", "release"}});
+    m->frame_errors = r.GetCounter(
+        "diffc_net_frame_errors_total",
+        "Malformed wire input: bad version, oversized or truncated frames, unknown types");
+    m->error_frames =
+        r.GetCounter("diffc_net_error_frames_total", "Typed error frames sent to clients");
+    m->admission_rejected = r.GetCounter(
+        "diffc_net_admission_rejected_total",
+        "Requests rejected by admission control (batch slots or handle quotas)");
+    m->batch_queries =
+        r.GetCounter("diffc_net_batch_queries_total", "Implication queries served over the wire");
+    m->handles_active =
+        r.GetGauge("diffc_net_handles_active", "Live prepared-premises handles");
+    m->inflight_batches =
+        r.GetGauge("diffc_net_inflight_batches", "CHECK_BATCH requests currently executing");
+    m->drains = r.GetCounter("diffc_net_drains_total", "Graceful drains begun");
+    m->draining = r.GetGauge("diffc_net_draining", "1 while a drain is in progress");
+    m->request_seconds =
+        r.GetHistogram("diffc_net_request_seconds", "Wire request wall time by type",
+                       obs::ExponentialBuckets(0.0001, 4.0, 12));
+    return m;
+  }();
+  return *metrics;
+}
+
+Frame ErrFrame(const Status& s) {
+  Metrics().error_frames->Inc();
+  return EncodeError(ErrorMsg::FromStatus(s));
+}
+
+// ----------------------------------------------------------- wire handlers
+//
+// One `WireHandlerImpl` per request type, self-registered like decision
+// procedures; the wire-registry lint rule keeps this list in sync with the
+// `WireRequest` enum. Handlers answer every failure with a typed error
+// frame — connection teardown is the session loop's call, not theirs.
+
+class PingHandler final : public WireHandlerImpl {
+ public:
+  WireRequest id() const override { return WireRequest::kPing; }
+  const char* name() const override { return WireRequestName(WireRequest::kPing); }
+
+  Frame Handle(SessionContext* ctx, const Frame& frame) const override {
+    (void)ctx;  // Ping touches no session state; the nonce is the contract.
+    Result<PingMsg> msg = DecodePing(frame);
+    if (!msg.ok()) return ErrFrame(msg.status());
+    return EncodePong(*msg);
+  }
+};
+
+class RegisterPremisesHandler final : public WireHandlerImpl {
+ public:
+  WireRequest id() const override { return WireRequest::kRegisterPremises; }
+  const char* name() const override {
+    return WireRequestName(WireRequest::kRegisterPremises);
+  }
+
+  Frame Handle(SessionContext* ctx, const Frame& frame) const override {
+    Result<RegisterPremisesMsg> msg = DecodeRegisterPremises(frame);
+    if (!msg.ok()) return ErrFrame(msg.status());
+
+    obs::SpanGuard prepare_span(ctx->tracer, "prepare");
+    Result<std::shared_ptr<const PreparedPremises>> prepared =
+        ctx->server->engine().Prepare(msg->n, msg->premises);
+    if (!prepared.ok()) return ErrFrame(prepared.status());
+
+    Result<std::uint64_t> handle =
+        ctx->server->handles().Register(ctx->session_id, *prepared);
+    if (!handle.ok()) {
+      if (handle.status().code() == StatusCode::kResourceExhausted) {
+        Metrics().admission_rejected->Inc();
+      }
+      return ErrFrame(handle.status());
+    }
+    Metrics().handles_active->Set(static_cast<double>(ctx->server->handles().size()));
+
+    RegisterOkMsg ok;
+    ok.handle = *handle;
+    ok.canonical_constraints =
+        static_cast<std::uint32_t>((*prepared)->constraints().size());
+    return EncodeRegisterOk(ok);
+  }
+};
+
+class CheckBatchHandler final : public WireHandlerImpl {
+ public:
+  WireRequest id() const override { return WireRequest::kCheckBatch; }
+  const char* name() const override { return WireRequestName(WireRequest::kCheckBatch); }
+
+  Frame Handle(SessionContext* ctx, const Frame& frame) const override {
+    Result<CheckBatchMsg> msg = DecodeCheckBatch(frame);
+    if (!msg.ok()) return ErrFrame(msg.status());
+
+    Result<std::shared_ptr<const PreparedPremises>> prepared =
+        ctx->server->handles().Lookup(msg->handle);
+    if (!prepared.ok()) return ErrFrame(prepared.status());
+    if (msg->n != (*prepared)->n()) {
+      return ErrFrame(Status::InvalidArgument(
+          "batch universe n=" + std::to_string(msg->n) + " does not match handle " +
+          std::to_string(msg->handle) + " (n=" + std::to_string((*prepared)->n()) + ")"));
+    }
+
+    Result<AdmissionController::Slot> slot = ctx->server->admission().Admit();
+    if (!slot.ok()) {
+      Metrics().admission_rejected->Inc();
+      return ErrFrame(slot.status());
+    }
+    Metrics().inflight_batches->Set(
+        static_cast<double>(ctx->server->admission().inflight()));
+
+    // The request's own wall-clock budget; the server-wide drain cancel
+    // token rides along so an expired drain stops this batch cooperatively.
+    Deadline deadline = msg->deadline_ms > 0
+                            ? Deadline::After(std::chrono::milliseconds(msg->deadline_ms))
+                            : Deadline::Never();
+    Result<BatchOutcome> outcome = [&]() -> Result<BatchOutcome> {
+      obs::SpanGuard execute_span(ctx->tracer, "execute");
+      return ctx->server->engine().CheckBatch(*prepared, msg->goals, deadline,
+                                              ctx->server->drain_cancel());
+    }();
+    slot->Reset();
+    Metrics().inflight_batches->Set(
+        static_cast<double>(ctx->server->admission().inflight()));
+    if (!outcome.ok()) return ErrFrame(outcome.status());
+    Metrics().batch_queries->Inc(msg->goals.size());
+
+    obs::SpanGuard encode_span(ctx->tracer, "encode");
+    BatchResultMsg reply;
+    reply.results.reserve(outcome->results.size());
+    for (const EngineQueryResult& r : outcome->results) {
+      WireQueryResult q;
+      q.status_code = r.status.code();
+      q.status_message = r.status.message();
+      q.verdict = static_cast<std::uint8_t>(r.outcome.verdict);
+      if (r.outcome.counterexample.has_value()) {
+        q.has_counterexample = true;
+        q.counterexample = r.outcome.counterexample->bits();
+      }
+      reply.results.push_back(std::move(q));
+    }
+    const BatchStats& s = outcome->stats;
+    reply.stats.queries = s.queries;
+    reply.stats.implied = s.implied;
+    reply.stats.not_implied = s.not_implied;
+    reply.stats.failed = s.failed;
+    reply.stats.degraded = s.degraded;
+    reply.stats.timed_out = s.timed_out;
+    reply.stats.cancelled = s.cancelled;
+    reply.stats.batch_wall_ns = s.batch_wall_ns;
+    return EncodeBatchResult(reply);
+  }
+};
+
+class ReleaseHandler final : public WireHandlerImpl {
+ public:
+  WireRequest id() const override { return WireRequest::kRelease; }
+  const char* name() const override { return WireRequestName(WireRequest::kRelease); }
+
+  Frame Handle(SessionContext* ctx, const Frame& frame) const override {
+    Result<ReleaseMsg> msg = DecodeRelease(frame);
+    if (!msg.ok()) return ErrFrame(msg.status());
+    Status s = ctx->server->handles().Release(msg->handle, ctx->session_id);
+    if (!s.ok()) return ErrFrame(s);
+    Metrics().handles_active->Set(static_cast<double>(ctx->server->handles().size()));
+    return EncodeReleaseOk();
+  }
+};
+
+}  // namespace
+
+DIFFC_REGISTER_WIRE_HANDLER(kPing, PingHandler)
+DIFFC_REGISTER_WIRE_HANDLER(kRegisterPremises, RegisterPremisesHandler)
+DIFFC_REGISTER_WIRE_HANDLER(kCheckBatch, CheckBatchHandler)
+DIFFC_REGISTER_WIRE_HANDLER(kRelease, ReleaseHandler)
+
+// ------------------------------------------------------------ server proper
+
+DiffcdServer::DiffcdServer(ServerOptions options)
+    : options_(std::move(options)),
+      engine_(options_.engine),
+      handles_(PreparedHandleTable::Options{options_.max_handles_per_session,
+                                            options_.max_total_handles}),
+      admission_(AdmissionController::Options{options_.max_inflight_batches}) {}
+
+DiffcdServer::~DiffcdServer() {
+  // Destructor drain: the outcome is whatever Shutdown reports; a caller
+  // that cares about DeadlineExceeded calls Shutdown itself first.
+  (void)Shutdown();
+}
+
+Status DiffcdServer::Start() {
+  {
+    MutexLock lock(&mu_);
+    if (state_ != State::kIdle) {
+      return Status::FailedPrecondition("diffcd server already started");
+    }
+  }
+  Result<Listener> wire = Listener::Bind(options_.listen_address);
+  if (!wire.ok()) return wire.status();
+  listener_ = std::move(*wire);
+  bound_address_ = listener_.bound_address();
+
+  if (!options_.metrics_address.empty()) {
+    Result<Listener> http = Listener::Bind(options_.metrics_address);
+    if (!http.ok()) {
+      listener_.Close();
+      return http.status();
+    }
+    metrics_listener_ = std::move(*http);
+    metrics_bound_address_ = metrics_listener_.bound_address();
+  }
+
+  {
+    MutexLock lock(&mu_);
+    state_ = State::kRunning;
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  if (metrics_listener_.valid()) {
+    metrics_thread_ = std::thread([this] { MetricsLoop(); });
+  }
+  obs::GlobalEventLog().Record("diffcd-start", {{"address", bound_address_}});
+  return Status::Ok();
+}
+
+std::string DiffcdServer::bound_address() const { return bound_address_; }
+
+std::string DiffcdServer::metrics_bound_address() const { return metrics_bound_address_; }
+
+bool DiffcdServer::draining() const {
+  MutexLock lock(&mu_);
+  return state_ == State::kDraining || state_ == State::kStopped;
+}
+
+std::size_t DiffcdServer::sessions_active() const {
+  MutexLock lock(&mu_);
+  return active_sessions_;
+}
+
+void DiffcdServer::AcceptLoop() {
+  while (true) {
+    Result<Socket> conn = listener_.Accept();
+    if (!conn.ok()) return;  // Cancelled by Shutdown closing the listener.
+    MutexLock lock(&mu_);
+    if (state_ != State::kRunning) {
+      conn->ShutdownBoth();
+      continue;
+    }
+    auto session = std::make_unique<Session>();
+    session->id = next_session_id_++;
+    session->sock = std::move(*conn);
+    Session* raw = session.get();
+    ++active_sessions_;
+    Metrics().connections->Inc();
+    Metrics().sessions_active->Set(static_cast<double>(active_sessions_));
+    sessions_.emplace(session->id, std::move(session));
+    // Started under the lock so Shutdown's join either sees a joinable
+    // thread or no session entry at all — never a half-built Session.
+    raw->thread = std::thread([this, raw] { SessionLoop(raw); });
+  }
+}
+
+void DiffcdServer::SessionLoop(Session* session) {
+  ServiceMetrics& m = Metrics();
+  SessionContext ctx;
+  ctx.server = this;
+  ctx.session_id = session->id;
+  while (true) {
+    Frame frame;
+    bool clean_eof = false;
+    Status rs = ReadFrame(session->sock, &frame, &clean_eof);
+    if (!rs.ok()) {
+      m.frame_errors->Inc();
+      // Best-effort: the stream is unparseable past this point, so the
+      // typed error frame is a courtesy before the connection closes.
+      (void)WriteFrame(session->sock, ErrFrame(rs));
+      break;
+    }
+    if (clean_eof) break;
+    if (draining()) {
+      // Error path deliberately unchecked: the session ends either way.
+      (void)WriteFrame(session->sock,
+                       ErrFrame(Status::FailedPrecondition(
+                           "server draining; connection accepts no new requests")));
+      break;
+    }
+    if (!IsKnownRequest(frame.type)) {
+      m.frame_errors->Inc();
+      // As above: unknown type bytes poison the stream's framing trust.
+      (void)WriteFrame(session->sock,
+                       ErrFrame(Status::InvalidArgument(
+                           "unknown request type byte " + std::to_string(int{frame.type}))));
+      break;
+    }
+
+    obs::Tracer tracer(options_.trace_requests);
+    ctx.tracer = &tracer;
+    const auto started = std::chrono::steady_clock::now();
+    Frame reply = Dispatch(&ctx, frame);
+    const double elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                         started)
+                               .count();
+    m.request_seconds->Observe(elapsed);
+    if (options_.slow_request_threshold.count() > 0 &&
+        elapsed >= std::chrono::duration<double>(options_.slow_request_threshold).count()) {
+      const WireHandlerImpl* h = WireHandlerRegistry::Global().Find(frame.type);
+      std::vector<std::pair<std::string, std::string>> fields = {
+          {"type", h != nullptr ? h->name() : "unknown"},
+          {"seconds", std::to_string(elapsed)},
+          {"session", std::to_string(session->id)},
+      };
+      if (tracer.enabled()) fields.emplace_back("trace", tracer.Finish().ToJson());
+      obs::GlobalEventLog().Record("diffcd-slow-request", std::move(fields));
+    }
+    ctx.tracer = nullptr;
+
+    Status ws = WriteFrame(session->sock, reply);
+    if (!ws.ok()) break;
+  }
+
+  // Session teardown: the session's handles die with it.
+  handles_.ReleaseAllForOwner(session->id);
+  m.handles_active->Set(static_cast<double>(handles_.size()));
+  session->sock.Close();
+  std::size_t remaining = 0;
+  {
+    MutexLock lock(&mu_);
+    --active_sessions_;
+    remaining = active_sessions_;
+    session->done.store(true, std::memory_order_release);
+  }
+  m.sessions_active->Set(static_cast<double>(remaining));
+}
+
+Frame DiffcdServer::Dispatch(SessionContext* ctx, const Frame& frame) {
+  const WireHandlerImpl* handler = WireHandlerRegistry::Global().Find(frame.type);
+  if (handler == nullptr) {
+    // IsKnownRequest passed but no handler registered — exactly the drift
+    // the wire-registry lint rule exists to prevent.
+    return ErrFrame(Status::Internal("no handler registered for request type byte " +
+                                     std::to_string(int{frame.type})));
+  }
+  ServiceMetrics& m = Metrics();
+  obs::Counter* by_type = m.ForRequest(static_cast<WireRequest>(frame.type));
+  if (by_type != nullptr) by_type->Inc();
+  obs::SpanGuard span(ctx->tracer, handler->name());
+  return handler->Handle(ctx, frame);
+}
+
+// ------------------------------------------------------------------- drain
+
+Status DiffcdServer::Shutdown() {
+  {
+    MutexLock lock(&mu_);
+    if (state_ == State::kStopped) return shutdown_status_;
+    if (state_ == State::kIdle) {
+      state_ = State::kStopped;
+      shutdown_status_ = Status::Ok();
+      return shutdown_status_;
+    }
+    if (state_ == State::kDraining) {
+      // A concurrent Shutdown owns the drain; report its eventual outcome
+      // conservatively as OK-in-progress. (Single-caller in practice:
+      // diffcd_main and the tests call Shutdown exactly once.)
+      return Status::Ok();
+    }
+    state_ = State::kDraining;
+  }
+
+  ServiceMetrics& m = Metrics();
+  m.drains->Inc();
+  m.draining->Set(1);
+  obs::GlobalEventLog().Record(
+      "diffcd-drain-begin",
+      {{"address", bound_address_}, {"sessions", std::to_string(sessions_active())}});
+
+  // 1. Stop accepting: close the listeners (Close wakes a blocked accept)
+  //    and retire the listener threads.
+  listener_.Close();
+  metrics_listener_.Close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (metrics_thread_.joinable()) metrics_thread_.join();
+
+  // 2. Half-close every session's read side: a session blocked in
+  //    ReadFrame wakes with clean EOF and exits; a session mid-request
+  //    keeps running and can still flush its response.
+  {
+    MutexLock lock(&mu_);
+    for (auto& [id, session] : sessions_) session->sock.ShutdownRead();
+  }
+
+  // 3. Wait for in-flight work under the drain budget.
+  const Deadline drain_deadline = options_.drain_deadline.count() > 0
+                                      ? Deadline::After(options_.drain_deadline)
+                                      : Deadline::Never();
+  bool drained = false;
+  while (true) {
+    {
+      MutexLock lock(&mu_);
+      if (active_sessions_ == 0) {
+        drained = true;
+        break;
+      }
+    }
+    if (drain_deadline.Expired()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  Status result = Status::Ok();
+  if (!drained) {
+    // 4. Budget spent: cancel in-flight batches cooperatively and cut the
+    //    write sides so stuck peers cannot pin the process.
+    drain_cancel_.Cancel();
+    {
+      MutexLock lock(&mu_);
+      for (auto& [id, session] : sessions_) session->sock.ShutdownBoth();
+    }
+    result = Status::DeadlineExceeded(
+        "drain budget expired with sessions in flight; in-flight batches cancelled");
+  }
+
+  // 5. Join every session thread (prompt now: reads EOF, batches
+  //    cancelled) and drop the table.
+  std::vector<std::unique_ptr<Session>> sessions;
+  {
+    MutexLock lock(&mu_);
+    sessions.reserve(sessions_.size());
+    for (auto& [id, session] : sessions_) sessions.push_back(std::move(session));
+    sessions_.clear();
+  }
+  for (auto& session : sessions) {
+    if (session->thread.joinable()) session->thread.join();
+  }
+
+  {
+    MutexLock lock(&mu_);
+    state_ = State::kStopped;
+    shutdown_status_ = result;
+  }
+  m.draining->Set(0);
+  m.sessions_active->Set(0);
+  obs::GlobalEventLog().Record("diffcd-drain-end",
+                               {{"forced", drained ? "false" : "true"},
+                                {"status", result.ToString()}});
+  return result;
+}
+
+// --------------------------------------------------------- /metrics (HTTP)
+
+namespace {
+
+void SendHttp(const Socket& sock, int code, const std::string& reason,
+              const std::string& content_type, const std::string& body) {
+  std::string head = "HTTP/1.1 " + std::to_string(code) + " " + reason +
+                     "\r\nContent-Type: " + content_type +
+                     "\r\nContent-Length: " + std::to_string(body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  // Best-effort both: a scraper that disconnected mid-reply is not an
+  // error the server can act on.
+  (void)sock.SendAll(head.data(), head.size());
+  (void)sock.SendAll(body.data(), body.size());  // Best-effort, as above.
+}
+
+}  // namespace
+
+void DiffcdServer::MetricsLoop() {
+  while (true) {
+    Result<Socket> conn = metrics_listener_.Accept();
+    if (!conn.ok()) return;  // Listener closed by Shutdown.
+    ServeMetricsConnection(std::move(*conn));
+  }
+}
+
+void DiffcdServer::ServeMetricsConnection(Socket sock) {
+  // Read until the end of the request head, bounded — the endpoint parses
+  // only the request line and ignores headers and bodies.
+  std::string head;
+  char buf[1024];
+  while (head.size() < 8192 && head.find("\r\n\r\n") == std::string::npos) {
+    Result<std::size_t> n = sock.RecvSome(buf, sizeof(buf));
+    if (!n.ok() || *n == 0) break;
+    head.append(buf, *n);
+  }
+  const std::size_t line_end = head.find("\r\n");
+  if (line_end == std::string::npos) return;  // Not HTTP; drop silently.
+  const std::string request_line = head.substr(0, line_end);
+
+  const std::size_t sp1 = request_line.find(' ');
+  const std::size_t sp2 = request_line.rfind(' ');
+  if (sp1 == std::string::npos || sp2 <= sp1) {
+    SendHttp(sock, 400, "Bad Request", "text/plain", "malformed request line\n");
+    return;
+  }
+  const std::string method = request_line.substr(0, sp1);
+  const std::string path = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (method != "GET") {
+    SendHttp(sock, 405, "Method Not Allowed", "text/plain", "GET only\n");
+    return;
+  }
+  if (path == "/metrics") {
+    SendHttp(sock, 200, "OK", "text/plain; version=0.0.4; charset=utf-8",
+             obs::SnapshotPrometheus());
+  } else if (path == "/metrics.json") {
+    SendHttp(sock, 200, "OK", "application/json", obs::SnapshotJson());
+  } else if (path == "/healthz") {
+    if (draining()) {
+      SendHttp(sock, 503, "Service Unavailable", "text/plain", "draining\n");
+    } else {
+      SendHttp(sock, 200, "OK", "text/plain", "ok\n");
+    }
+  } else {
+    SendHttp(sock, 404, "Not Found", "text/plain", "unknown path\n");
+  }
+}
+
+}  // namespace diffc::net

@@ -1,0 +1,171 @@
+#ifndef DIFFC_NET_SERVER_H_
+#define DIFFC_NET_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "engine/handle_table.h"
+#include "engine/implication_engine.h"
+#include "net/admission.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "obs/trace.h"
+#include "util/deadline.h"
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace diffc::net {
+
+struct SessionContext;
+
+/// Tuning knobs of a `DiffcdServer`.
+struct ServerOptions {
+  /// Wire-protocol listen address: "host:port" (port 0 = ephemeral) or
+  /// "unix:/path".
+  std::string listen_address = "127.0.0.1:0";
+  /// HTTP /metrics listen address; empty disables the endpoint.
+  std::string metrics_address;
+  /// Options for the embedded `ImplicationEngine`.
+  EngineOptions engine;
+  /// Admission: concurrently executing CHECK_BATCH requests beyond this
+  /// are rejected with a typed ResourceExhausted error frame.
+  std::size_t max_inflight_batches = 8;
+  /// Handle quota per session and process-wide (ResourceExhausted frames
+  /// past either).
+  std::size_t max_handles_per_session = 16;
+  std::size_t max_total_handles = 4096;
+  /// Graceful-drain budget: how long `Shutdown` waits for in-flight
+  /// requests before firing the server-wide cancel token.
+  std::chrono::milliseconds drain_deadline{5000};
+  /// Requests slower than this are recorded (with their span tree, when
+  /// `trace_requests` is on) in the global event log; zero disables.
+  std::chrono::milliseconds slow_request_threshold{250};
+  /// Record a per-request span tree (read/decode/execute/encode) for the
+  /// slow-request event log entries.
+  bool trace_requests = false;
+};
+
+/// `diffcd` — the networked implication service. One process-embedded
+/// instance owns:
+///
+///   - a wire listener (TCP or Unix) with one session thread per
+///     connection, dispatching frames through the `WireHandlerRegistry`;
+///   - an `ImplicationEngine` (shared worker pool) answering CHECK_BATCH
+///     requests, with per-request deadlines mapped onto `Deadline` and the
+///     drain path onto a server-wide `CancelToken`;
+///   - a `PreparedHandleTable` of REGISTER_PREMISES artifacts (per-session
+///     quota; a session's handles are released when it disconnects);
+///   - an `AdmissionController` bounding concurrent batches;
+///   - an optional HTTP listener serving the PR 3 Prometheus exposition at
+///     `/metrics` (and `/metrics.json`, `/healthz`).
+///
+/// Lifecycle: `Start()` binds and spawns the accept loop; `Shutdown()`
+/// drains gracefully — stop accepting, half-close session reads so blocked
+/// sessions see EOF while in-flight responses still flush, wait for
+/// in-flight work up to `drain_deadline`, then fire the server-wide cancel
+/// token and join everything. `Shutdown` is idempotent and also runs from
+/// the destructor. `diffcd_main.cc` maps SIGTERM/SIGINT onto it.
+class DiffcdServer {
+ public:
+  explicit DiffcdServer(ServerOptions options = {});
+  ~DiffcdServer();
+
+  DiffcdServer(const DiffcdServer&) = delete;
+  DiffcdServer& operator=(const DiffcdServer&) = delete;
+
+  /// Binds the listener(s) and starts accepting. FailedPrecondition when
+  /// already started.
+  Status Start() EXCLUDES(mu_);
+
+  /// Graceful drain (see class comment). OK when fully drained within the
+  /// deadline; DeadlineExceeded when the drain budget expired and
+  /// in-flight work had to be cancelled (the server is still fully stopped
+  /// on return). Idempotent: later calls return the first outcome.
+  Status Shutdown() EXCLUDES(mu_);
+
+  /// The bound wire address (real port for TCP port 0). Empty before
+  /// `Start`.
+  std::string bound_address() const EXCLUDES(mu_);
+  /// The bound metrics address; empty when disabled or before `Start`.
+  std::string metrics_bound_address() const EXCLUDES(mu_);
+
+  /// True once `Shutdown` has begun: new connections and new requests on
+  /// existing connections are refused.
+  bool draining() const EXCLUDES(mu_);
+
+  /// Live session count (tests and gauges).
+  std::size_t sessions_active() const EXCLUDES(mu_);
+
+  // --- shared state for the registered wire handlers -------------------
+
+  ImplicationEngine& engine() { return engine_; }
+  PreparedHandleTable& handles() { return handles_; }
+  AdmissionController& admission() { return admission_; }
+  const ServerOptions& options() const { return options_; }
+  /// The server-wide cancel token threaded into every batch; fired when
+  /// the drain deadline expires.
+  CancelToken drain_cancel() const { return drain_cancel_; }
+
+ private:
+  struct Session {
+    std::uint64_t id = 0;
+    Socket sock;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void SessionLoop(Session* session);
+  void MetricsLoop();
+  /// Serves one HTTP connection on the metrics listener.
+  void ServeMetricsConnection(Socket sock);
+  /// Dispatches one request frame, returning the response frame.
+  Frame Dispatch(SessionContext* ctx, const Frame& frame);
+
+  const ServerOptions options_;
+  ImplicationEngine engine_;
+  PreparedHandleTable handles_;
+  AdmissionController admission_;
+  CancelToken drain_cancel_;
+
+  // Listeners, listener threads, and bound addresses are written only in
+  // `Start` (before any server thread exists) and torn down once in the
+  // single `Shutdown` transition; the in-between reads (blocking `Accept`
+  // from the listener threads, address getters) are lock-free on purpose —
+  // a blocking accept cannot hold a mutex, and `Listener::Close` is the
+  // documented cross-thread unblock mechanism.
+  Listener listener_;
+  Listener metrics_listener_;
+  std::string bound_address_;
+  std::string metrics_bound_address_;
+  std::thread accept_thread_;
+  std::thread metrics_thread_;
+
+  mutable Mutex mu_;
+  enum class State { kIdle, kRunning, kDraining, kStopped };
+  State state_ GUARDED_BY(mu_) = State::kIdle;
+  Status shutdown_status_ GUARDED_BY(mu_);
+  std::uint64_t next_session_id_ GUARDED_BY(mu_) = 1;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Session>> sessions_ GUARDED_BY(mu_);
+  std::size_t active_sessions_ GUARDED_BY(mu_) = 0;
+};
+
+/// Per-request context handed to `WireHandlerImpl::Handle`.
+struct SessionContext {
+  DiffcdServer* server = nullptr;
+  /// The owning session — the handle-table owner id.
+  std::uint64_t session_id = 0;
+  /// Per-request tracer (never null; disabled unless
+  /// `ServerOptions::trace_requests`).
+  obs::Tracer* tracer = nullptr;
+};
+
+}  // namespace diffc::net
+
+#endif  // DIFFC_NET_SERVER_H_

@@ -1,0 +1,336 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace diffc::net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+bool IsUnixAddress(const std::string& address) {
+  return address.rfind("unix:", 0) == 0;
+}
+
+// Splits "host:port" at the last colon (host may be a name or IPv4
+// literal). Returns InvalidArgument when there is no colon or the port is
+// not numeric.
+Status SplitHostPort(const std::string& address, std::string* host, std::string* port) {
+  std::size_t colon = address.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == address.size()) {
+    return Status::InvalidArgument("address must be host:port or unix:/path, got '" +
+                                   address + "'");
+  }
+  *host = address.substr(0, colon);
+  *port = address.substr(colon + 1);
+  for (char c : *port) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("non-numeric port in '" + address + "'");
+    }
+  }
+  return Status::Ok();
+}
+
+Status FillUnixAddr(const std::string& path, sockaddr_un* addr) {
+  if (path.empty() || path.size() >= sizeof(addr->sun_path)) {
+    return Status::InvalidArgument("unix socket path empty or too long: '" + path + "'");
+  }
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::ShutdownRead() const {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+void Socket::ShutdownBoth() const {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+Status Socket::SendAll(const void* data, std::size_t len) const {
+  if (fd_ < 0) return Status::FailedPrecondition("send on closed socket");
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    ssize_t n = ::send(fd_, p, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status Socket::RecvAll(void* data, std::size_t len, bool* clean_eof) const {
+  *clean_eof = false;
+  if (fd_ < 0) return Status::FailedPrecondition("recv on closed socket");
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < len) {
+    ssize_t n = ::recv(fd_, p + got, len - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    if (n == 0) {
+      if (got == 0) {
+        *clean_eof = true;
+        return Status::Ok();
+      }
+      return Status::InvalidArgument("truncated frame: peer closed mid-read after " +
+                                     std::to_string(got) + " of " + std::to_string(len) +
+                                     " bytes");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Result<std::size_t> Socket::RecvSome(void* data, std::size_t cap) const {
+  if (fd_ < 0) return Status::FailedPrecondition("recv on closed socket");
+  while (true) {
+    ssize_t n = ::recv(fd_, data, cap, 0);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EINTR) continue;
+    return Errno("recv");
+  }
+}
+
+Result<Socket> Connect(const std::string& address) {
+  if (IsUnixAddress(address)) {
+    sockaddr_un addr;
+    Status s = FillUnixAddr(address.substr(5), &addr);
+    if (!s.ok()) return s;
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return Errno("socket(AF_UNIX)");
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      Status err = Errno("connect " + address);
+      ::close(fd);
+      return err;
+    }
+    return Socket(fd);
+  }
+
+  std::string host, port;
+  Status s = SplitHostPort(address, &host, &port);
+  if (!s.ok()) return s;
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  int gai = ::getaddrinfo(host.c_str(), port.c_str(), &hints, &res);
+  if (gai != 0) {
+    return Status::InvalidArgument("cannot resolve '" + address + "': " + gai_strerror(gai));
+  }
+  Status last = Status::Internal("no addresses for '" + address + "'");
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = Errno("socket");
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      ::freeaddrinfo(res);
+      return Socket(fd);
+    }
+    last = Errno("connect " + address);
+    ::close(fd);
+  }
+  ::freeaddrinfo(res);
+  return last;
+}
+
+Listener::~Listener() { Close(); }
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(other.fd_),
+      bound_address_(std::move(other.bound_address_)),
+      unix_path_(std::move(other.unix_path_)) {
+  other.fd_ = -1;
+  other.unix_path_.clear();
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    bound_address_ = std::move(other.bound_address_);
+    unix_path_ = std::move(other.unix_path_);
+    other.fd_ = -1;
+    other.unix_path_.clear();
+  }
+  return *this;
+}
+
+Result<Listener> Listener::Bind(const std::string& address) {
+  Listener listener;
+  if (IsUnixAddress(address)) {
+    const std::string path = address.substr(5);
+    sockaddr_un addr;
+    Status s = FillUnixAddr(path, &addr);
+    if (!s.ok()) return s;
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return Errno("socket(AF_UNIX)");
+    ::unlink(path.c_str());  // Stale socket file from a crashed predecessor.
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      Status err = Errno("bind " + address);
+      ::close(fd);
+      return err;
+    }
+    if (::listen(fd, 64) != 0) {
+      Status err = Errno("listen " + address);
+      ::close(fd);
+      return err;
+    }
+    listener.fd_ = fd;
+    listener.bound_address_ = address;
+    listener.unix_path_ = path;
+    return listener;
+  }
+
+  std::string host, port;
+  Status s = SplitHostPort(address, &host, &port);
+  if (!s.ok()) return s;
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  addrinfo* res = nullptr;
+  int gai = ::getaddrinfo(host.c_str(), port.c_str(), &hints, &res);
+  if (gai != 0) {
+    return Status::InvalidArgument("cannot resolve '" + address + "': " + gai_strerror(gai));
+  }
+  int fd = -1;
+  Status last = Status::Internal("no addresses for '" + address + "'");
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = Errno("socket");
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 && ::listen(fd, 64) == 0) break;
+    last = Errno("bind/listen " + address);
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) return last;
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+    Status err = Errno("getsockname");
+    ::close(fd);
+    return err;
+  }
+  char ip[INET_ADDRSTRLEN] = {0};
+  ::inet_ntop(AF_INET, &bound.sin_addr, ip, sizeof(ip));
+  listener.fd_ = fd;
+  listener.bound_address_ = std::string(ip) + ":" + std::to_string(ntohs(bound.sin_port));
+  return listener;
+}
+
+Result<Socket> Listener::Accept() const {
+  if (fd_ < 0) return Status::Cancelled("listener closed");
+  while (true) {
+    int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return Socket(fd);
+    }
+    if (errno == EINTR) continue;
+    // EBADF / EINVAL: Close() raced with or preceded this Accept — the
+    // orderly shutdown path, not an error worth surfacing loudly.
+    if (errno == EBADF || errno == EINVAL) return Status::Cancelled("listener closed");
+    return Errno("accept");
+  }
+}
+
+void Listener::Close() {
+  if (fd_ >= 0) {
+    // Shutdown wakes a concurrent blocking accept() before close
+    // invalidates the fd (close alone does not unblock accept on Linux).
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (!unix_path_.empty()) {
+    ::unlink(unix_path_.c_str());
+    unix_path_.clear();
+  }
+}
+
+Status WriteFrame(const Socket& sock, const Frame& frame) {
+  std::vector<std::uint8_t> bytes = SerializeFrame(frame);
+  return sock.SendAll(bytes.data(), bytes.size());
+}
+
+Status ReadFrame(const Socket& sock, Frame* frame, bool* clean_eof) {
+  *clean_eof = false;
+  std::uint8_t header[6];
+  bool eof = false;
+  Status s = sock.RecvAll(header, sizeof(header), &eof);
+  if (!s.ok()) return s;
+  if (eof) {
+    *clean_eof = true;
+    return Status::Ok();
+  }
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) len |= std::uint32_t{header[i]} << (8 * i);
+  const std::uint8_t version = header[4];
+  if (version != kWireVersion) {
+    return Status::InvalidArgument("unsupported wire version " + std::to_string(int{version}) +
+                                   " (expected " + std::to_string(int{kWireVersion}) + ")");
+  }
+  if (len > kMaxFramePayload) {
+    return Status::InvalidArgument("declared frame payload " + std::to_string(len) +
+                                   " exceeds cap " + std::to_string(kMaxFramePayload));
+  }
+  frame->type = header[5];
+  frame->payload.resize(len);
+  if (len > 0) {
+    s = sock.RecvAll(frame->payload.data(), len, &eof);
+    if (!s.ok()) return s;
+    if (eof) return Status::InvalidArgument("truncated frame: stream ended before payload");
+  }
+  return Status::Ok();
+}
+
+}  // namespace diffc::net

@@ -1,0 +1,109 @@
+#ifndef DIFFC_NET_SOCKET_H_
+#define DIFFC_NET_SOCKET_H_
+
+#include <string>
+
+#include "net/wire.h"
+#include "util/status.h"
+
+namespace diffc::net {
+
+/// Thin RAII wrappers over POSIX stream sockets — the only place in the
+/// tree that touches raw fds. Addresses are strings in one of two forms:
+///
+///   - `"host:port"`  — TCP (port 0 binds an ephemeral port; the bound
+///     address, with the real port, is available from `Listener`);
+///   - `"unix:/path"` — a Unix-domain socket at `/path`.
+///
+/// All operations are blocking; the server gives each connection its own
+/// thread and unblocks reads at drain time via `ShutdownRead`.
+
+/// A connected stream socket (move-only; closes on destruction).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  void Close();
+  /// Half-closes the read side: a peer or local thread blocked in
+  /// `ReadFrame` wakes with EOF, while pending writes still flush — the
+  /// drain primitive.
+  void ShutdownRead() const;
+  /// Full shutdown (both directions).
+  void ShutdownBoth() const;
+
+  /// Writes all `len` bytes (retrying short writes / EINTR; SIGPIPE is
+  /// suppressed). Fails with Internal on a broken connection.
+  Status SendAll(const void* data, std::size_t len) const;
+
+  /// Reads exactly `len` bytes. `*clean_eof` is set true (with OK
+  /// returned) when the stream ends *before the first byte*; an EOF
+  /// mid-buffer is an InvalidArgument ("truncated"), because a peer that
+  /// quits mid-frame left the stream unparseable.
+  Status RecvAll(void* data, std::size_t len, bool* clean_eof) const;
+
+  /// Reads up to `cap` bytes — whatever one `recv` returns. 0 means EOF.
+  /// The incremental read the line-oriented HTTP metrics endpoint needs.
+  Result<std::size_t> RecvSome(void* data, std::size_t cap) const;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Connects to `address` (see the address forms above).
+Result<Socket> Connect(const std::string& address);
+
+/// A listening socket.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener();
+
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Binds and listens on `address`.
+  static Result<Listener> Bind(const std::string& address);
+
+  bool valid() const { return fd_ >= 0; }
+
+  /// The bound address, with the kernel-assigned port for TCP port 0.
+  const std::string& bound_address() const { return bound_address_; }
+
+  /// Blocks for the next connection. After `Close`, returns Cancelled.
+  Result<Socket> Accept() const;
+
+  /// Closes the listening socket: concurrent and future `Accept` calls
+  /// fail. For a Unix listener, unlinks the socket path.
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::string bound_address_;
+  std::string unix_path_;  // Non-empty for Unix listeners; unlinked on Close.
+};
+
+/// Writes one frame (header + payload) to `sock`.
+Status WriteFrame(const Socket& sock, const Frame& frame);
+
+/// Reads one frame. Enforces the header contract before any allocation:
+/// declared payload length capped at `kMaxFramePayload`, version byte must
+/// match `kWireVersion`. `*clean_eof` true (with OK and an empty frame)
+/// means the peer closed between frames; EOF inside a frame is
+/// InvalidArgument.
+Status ReadFrame(const Socket& sock, Frame* frame, bool* clean_eof);
+
+}  // namespace diffc::net
+
+#endif  // DIFFC_NET_SOCKET_H_

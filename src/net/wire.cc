@@ -1,0 +1,431 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+#include "lattice/set_family.h"
+#include "util/bitops.h"
+
+namespace diffc::net {
+
+const char* WireRequestName(WireRequest t) {
+  switch (t) {
+    case WireRequest::kPing:
+      return "ping";
+    case WireRequest::kRegisterPremises:
+      return "register-premises";
+    case WireRequest::kCheckBatch:
+      return "check-batch";
+    case WireRequest::kRelease:
+      return "release";
+  }
+  return "?";
+}
+
+const char* WireResponseName(WireResponse t) {
+  switch (t) {
+    case WireResponse::kPong:
+      return "pong";
+    case WireResponse::kRegisterOk:
+      return "register-ok";
+    case WireResponse::kBatchResult:
+      return "batch-result";
+    case WireResponse::kReleaseOk:
+      return "release-ok";
+    case WireResponse::kError:
+      return "error";
+  }
+  return "?";
+}
+
+bool IsKnownRequest(std::uint8_t t) {
+  switch (static_cast<WireRequest>(t)) {
+    case WireRequest::kPing:
+    case WireRequest::kRegisterPremises:
+    case WireRequest::kCheckBatch:
+    case WireRequest::kRelease:
+      return true;
+  }
+  return false;
+}
+
+void WireWriter::U32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void WireWriter::U64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void WireWriter::String(std::string_view s) {
+  U32(static_cast<std::uint32_t>(s.size()));
+  out_.insert(out_.end(), s.begin(), s.end());
+}
+
+Result<std::uint8_t> WireReader::U8() {
+  if (size_ - pos_ < 1) return Status::InvalidArgument("truncated payload: u8");
+  return data_[pos_++];
+}
+
+Result<std::uint32_t> WireReader::U32() {
+  if (size_ - pos_ < 4) return Status::InvalidArgument("truncated payload: u32");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{data_[pos_ + i]} << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+Result<std::uint64_t> WireReader::U64() {
+  if (size_ - pos_ < 8) return Status::InvalidArgument("truncated payload: u64");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{data_[pos_ + i]} << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+Result<std::string> WireReader::String(std::uint32_t max_bytes) {
+  Result<std::uint32_t> len = U32();
+  if (!len.ok()) return len.status();
+  if (*len > max_bytes) {
+    return Status::InvalidArgument("string field exceeds cap (" + std::to_string(*len) +
+                                   " > " + std::to_string(max_bytes) + ")");
+  }
+  if (size_ - pos_ < *len) return Status::InvalidArgument("truncated payload: string body");
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), *len);
+  pos_ += *len;
+  return s;
+}
+
+Status WireReader::Finish() const {
+  if (pos_ != size_) {
+    return Status::InvalidArgument("trailing bytes after message (" +
+                                   std::to_string(size_ - pos_) + ")");
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+Status CheckFrameType(const Frame& f, std::uint8_t expected, const char* what) {
+  if (f.type != expected) {
+    return Status::InvalidArgument(std::string("frame is not a ") + what + " (type " +
+                                   std::to_string(f.type) + ")");
+  }
+  return Status::Ok();
+}
+
+// One constraint: lhs mask, member count, member masks. The universe size
+// travels in the enclosing message; every mask is validated against it
+// before any ItemSet is built (out-of-range bits would otherwise be
+// undefined shifts downstream — the ItemSet boundary contract).
+void EncodeConstraint(WireWriter* w, const DifferentialConstraint& c) {
+  w->U64(c.lhs().bits());
+  const std::vector<ItemSet>& members = c.rhs().members();
+  w->U32(static_cast<std::uint32_t>(members.size()));
+  for (const ItemSet& m : members) w->U64(m.bits());
+}
+
+Result<DifferentialConstraint> DecodeConstraint(WireReader* r, int n) {
+  const Mask full = FullMask(n);
+  Result<std::uint64_t> lhs = r->U64();
+  if (!lhs.ok()) return lhs.status();
+  if ((*lhs & ~full) != 0) {
+    return Status::InvalidArgument("constraint lhs mask has attributes outside the " +
+                                   std::to_string(n) + "-attribute universe");
+  }
+  Result<std::uint32_t> count = r->U32();
+  if (!count.ok()) return count.status();
+  if (*count > kMaxFamilyMembers) {
+    return Status::InvalidArgument("constraint family size " + std::to_string(*count) +
+                                   " exceeds cap " + std::to_string(kMaxFamilyMembers));
+  }
+  std::vector<ItemSet> members;
+  members.reserve(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    Result<std::uint64_t> m = r->U64();
+    if (!m.ok()) return m.status();
+    if ((*m & ~full) != 0) {
+      return Status::InvalidArgument("constraint family member has attributes outside the " +
+                                     std::to_string(n) + "-attribute universe");
+    }
+    members.push_back(ItemSet(*m));
+  }
+  return DifferentialConstraint(ItemSet(*lhs), SetFamily(std::move(members)));
+}
+
+// Shared list codec for premises and goals: u8 n, u32 count, constraints.
+Status DecodeConstraintList(WireReader* r, int* n, std::vector<DifferentialConstraint>* out) {
+  Result<std::uint8_t> raw_n = r->U8();
+  if (!raw_n.ok()) return raw_n.status();
+  if (*raw_n > 64) {
+    return Status::InvalidArgument("universe size " + std::to_string(int{*raw_n}) +
+                                   " exceeds the 64-attribute maximum");
+  }
+  *n = int{*raw_n};
+  Result<std::uint32_t> count = r->U32();
+  if (!count.ok()) return count.status();
+  if (*count > kMaxConstraintsPerMessage) {
+    return Status::InvalidArgument("constraint count " + std::to_string(*count) +
+                                   " exceeds cap " + std::to_string(kMaxConstraintsPerMessage));
+  }
+  out->reserve(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    Result<DifferentialConstraint> c = DecodeConstraint(r, *n);
+    if (!c.ok()) return c.status();
+    out->push_back(*std::move(c));
+  }
+  return Status::Ok();
+}
+
+void EncodeConstraintList(WireWriter* w, int n,
+                          const std::vector<DifferentialConstraint>& list) {
+  w->U8(static_cast<std::uint8_t>(n));
+  w->U32(static_cast<std::uint32_t>(list.size()));
+  for (const DifferentialConstraint& c : list) EncodeConstraint(w, c);
+}
+
+Frame MakeFrame(std::uint8_t type, WireWriter&& w) {
+  return Frame{type, std::move(w).Take()};
+}
+
+}  // namespace
+
+Frame EncodeRegisterPremises(const RegisterPremisesMsg& msg) {
+  WireWriter w;
+  EncodeConstraintList(&w, msg.n, msg.premises);
+  return MakeFrame(static_cast<std::uint8_t>(WireRequest::kRegisterPremises), std::move(w));
+}
+
+Result<RegisterPremisesMsg> DecodeRegisterPremises(const Frame& f) {
+  Status ts = CheckFrameType(f, static_cast<std::uint8_t>(WireRequest::kRegisterPremises),
+                             "register-premises");
+  if (!ts.ok()) return ts;
+  WireReader r(f.payload);
+  RegisterPremisesMsg msg;
+  Status s = DecodeConstraintList(&r, &msg.n, &msg.premises);
+  if (!s.ok()) return s;
+  s = r.Finish();
+  if (!s.ok()) return s;
+  return msg;
+}
+
+Frame EncodeRegisterOk(const RegisterOkMsg& msg) {
+  WireWriter w;
+  w.U64(msg.handle);
+  w.U32(msg.canonical_constraints);
+  return MakeFrame(static_cast<std::uint8_t>(WireResponse::kRegisterOk), std::move(w));
+}
+
+Result<RegisterOkMsg> DecodeRegisterOk(const Frame& f) {
+  Status ts =
+      CheckFrameType(f, static_cast<std::uint8_t>(WireResponse::kRegisterOk), "register-ok");
+  if (!ts.ok()) return ts;
+  WireReader r(f.payload);
+  RegisterOkMsg msg;
+  Result<std::uint64_t> handle = r.U64();
+  if (!handle.ok()) return handle.status();
+  msg.handle = *handle;
+  Result<std::uint32_t> canonical = r.U32();
+  if (!canonical.ok()) return canonical.status();
+  msg.canonical_constraints = *canonical;
+  Status s = r.Finish();
+  if (!s.ok()) return s;
+  return msg;
+}
+
+Frame EncodeCheckBatch(const CheckBatchMsg& msg) {
+  WireWriter w;
+  w.U64(msg.handle);
+  w.U64(msg.deadline_ms);
+  EncodeConstraintList(&w, msg.n, msg.goals);
+  return MakeFrame(static_cast<std::uint8_t>(WireRequest::kCheckBatch), std::move(w));
+}
+
+Result<CheckBatchMsg> DecodeCheckBatch(const Frame& f) {
+  Status ts =
+      CheckFrameType(f, static_cast<std::uint8_t>(WireRequest::kCheckBatch), "check-batch");
+  if (!ts.ok()) return ts;
+  WireReader r(f.payload);
+  CheckBatchMsg msg;
+  Result<std::uint64_t> handle = r.U64();
+  if (!handle.ok()) return handle.status();
+  msg.handle = *handle;
+  Result<std::uint64_t> deadline = r.U64();
+  if (!deadline.ok()) return deadline.status();
+  msg.deadline_ms = *deadline;
+  Status s = DecodeConstraintList(&r, &msg.n, &msg.goals);
+  if (!s.ok()) return s;
+  s = r.Finish();
+  if (!s.ok()) return s;
+  return msg;
+}
+
+Frame EncodeBatchResult(const BatchResultMsg& msg) {
+  WireWriter w;
+  w.U32(static_cast<std::uint32_t>(msg.results.size()));
+  for (const WireQueryResult& r : msg.results) {
+    w.U8(static_cast<std::uint8_t>(r.status_code));
+    w.String(r.status_message);
+    w.U8(r.verdict);
+    w.U8(r.has_counterexample ? 1 : 0);
+    w.U64(r.counterexample);
+  }
+  w.U64(msg.stats.queries);
+  w.U64(msg.stats.implied);
+  w.U64(msg.stats.not_implied);
+  w.U64(msg.stats.failed);
+  w.U64(msg.stats.degraded);
+  w.U64(msg.stats.timed_out);
+  w.U64(msg.stats.cancelled);
+  w.U64(msg.stats.batch_wall_ns);
+  return MakeFrame(static_cast<std::uint8_t>(WireResponse::kBatchResult), std::move(w));
+}
+
+Result<BatchResultMsg> DecodeBatchResult(const Frame& f) {
+  Status ts =
+      CheckFrameType(f, static_cast<std::uint8_t>(WireResponse::kBatchResult), "batch-result");
+  if (!ts.ok()) return ts;
+  WireReader r(f.payload);
+  Result<std::uint32_t> count = r.U32();
+  if (!count.ok()) return count.status();
+  if (*count > kMaxConstraintsPerMessage) {
+    return Status::InvalidArgument("result count " + std::to_string(*count) + " exceeds cap");
+  }
+  BatchResultMsg msg;
+  msg.results.reserve(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    WireQueryResult q;
+    Result<std::uint8_t> code = r.U8();
+    if (!code.ok()) return code.status();
+    q.status_code = static_cast<StatusCode>(*code);
+    Result<std::string> message = r.String(kMaxErrorMessageBytes);
+    if (!message.ok()) return message.status();
+    q.status_message = *std::move(message);
+    Result<std::uint8_t> verdict = r.U8();
+    if (!verdict.ok()) return verdict.status();
+    if (*verdict > 2) return Status::InvalidArgument("verdict byte out of range");
+    q.verdict = *verdict;
+    Result<std::uint8_t> has_cx = r.U8();
+    if (!has_cx.ok()) return has_cx.status();
+    q.has_counterexample = *has_cx != 0;
+    Result<std::uint64_t> cx = r.U64();
+    if (!cx.ok()) return cx.status();
+    q.counterexample = *cx;
+    msg.results.push_back(std::move(q));
+  }
+  std::uint64_t* stats_fields[] = {
+      &msg.stats.queries,   &msg.stats.implied,   &msg.stats.not_implied,
+      &msg.stats.failed,    &msg.stats.degraded,  &msg.stats.timed_out,
+      &msg.stats.cancelled, &msg.stats.batch_wall_ns,
+  };
+  for (std::uint64_t* field : stats_fields) {
+    Result<std::uint64_t> v = r.U64();
+    if (!v.ok()) return v.status();
+    *field = *v;
+  }
+  Status s = r.Finish();
+  if (!s.ok()) return s;
+  return msg;
+}
+
+Frame EncodeRelease(const ReleaseMsg& msg) {
+  WireWriter w;
+  w.U64(msg.handle);
+  return MakeFrame(static_cast<std::uint8_t>(WireRequest::kRelease), std::move(w));
+}
+
+Result<ReleaseMsg> DecodeRelease(const Frame& f) {
+  Status ts = CheckFrameType(f, static_cast<std::uint8_t>(WireRequest::kRelease), "release");
+  if (!ts.ok()) return ts;
+  WireReader r(f.payload);
+  ReleaseMsg msg;
+  Result<std::uint64_t> handle = r.U64();
+  if (!handle.ok()) return handle.status();
+  msg.handle = *handle;
+  Status s = r.Finish();
+  if (!s.ok()) return s;
+  return msg;
+}
+
+Frame EncodeReleaseOk() {
+  return Frame{static_cast<std::uint8_t>(WireResponse::kReleaseOk), {}};
+}
+
+namespace {
+
+Frame EncodeNonce(std::uint8_t type, const PingMsg& msg) {
+  WireWriter w;
+  w.U64(msg.nonce);
+  return MakeFrame(type, std::move(w));
+}
+
+Result<PingMsg> DecodeNonce(const Frame& f, std::uint8_t expected, const char* what) {
+  Status ts = CheckFrameType(f, expected, what);
+  if (!ts.ok()) return ts;
+  WireReader r(f.payload);
+  PingMsg msg;
+  Result<std::uint64_t> nonce = r.U64();
+  if (!nonce.ok()) return nonce.status();
+  msg.nonce = *nonce;
+  Status s = r.Finish();
+  if (!s.ok()) return s;
+  return msg;
+}
+
+}  // namespace
+
+Frame EncodePing(const PingMsg& msg) {
+  return EncodeNonce(static_cast<std::uint8_t>(WireRequest::kPing), msg);
+}
+
+Result<PingMsg> DecodePing(const Frame& f) {
+  return DecodeNonce(f, static_cast<std::uint8_t>(WireRequest::kPing), "ping");
+}
+
+Frame EncodePong(const PingMsg& msg) {
+  return EncodeNonce(static_cast<std::uint8_t>(WireResponse::kPong), msg);
+}
+
+Result<PingMsg> DecodePong(const Frame& f) {
+  return DecodeNonce(f, static_cast<std::uint8_t>(WireResponse::kPong), "pong");
+}
+
+Frame EncodeError(const ErrorMsg& msg) {
+  WireWriter w;
+  w.U8(static_cast<std::uint8_t>(msg.code));
+  std::string_view m = msg.message;
+  if (m.size() > kMaxErrorMessageBytes) m = m.substr(0, kMaxErrorMessageBytes);
+  w.String(m);
+  return MakeFrame(static_cast<std::uint8_t>(WireResponse::kError), std::move(w));
+}
+
+Result<ErrorMsg> DecodeError(const Frame& f) {
+  Status ts = CheckFrameType(f, static_cast<std::uint8_t>(WireResponse::kError), "error");
+  if (!ts.ok()) return ts;
+  WireReader r(f.payload);
+  ErrorMsg msg;
+  Result<std::uint8_t> code = r.U8();
+  if (!code.ok()) return code.status();
+  if (*code > static_cast<std::uint8_t>(StatusCode::kCancelled)) {
+    return Status::InvalidArgument("unknown status code byte " + std::to_string(int{*code}));
+  }
+  msg.code = static_cast<StatusCode>(*code);
+  Result<std::string> message = r.String(kMaxErrorMessageBytes);
+  if (!message.ok()) return message.status();
+  msg.message = *std::move(message);
+  Status s = r.Finish();
+  if (!s.ok()) return s;
+  return msg;
+}
+
+std::vector<std::uint8_t> SerializeFrame(const Frame& f) {
+  std::vector<std::uint8_t> out;
+  out.reserve(6 + f.payload.size());
+  std::uint32_t len = static_cast<std::uint32_t>(f.payload.size());
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  out.push_back(kWireVersion);
+  out.push_back(f.type);
+  out.insert(out.end(), f.payload.begin(), f.payload.end());
+  return out;
+}
+
+}  // namespace diffc::net

@@ -1,0 +1,225 @@
+#ifndef DIFFC_NET_WIRE_H_
+#define DIFFC_NET_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/constraint.h"
+#include "util/status.h"
+
+namespace diffc::net {
+
+/// The diffcd wire protocol: length-prefixed binary frames over a stream
+/// socket (TCP or Unix). Every frame is
+///
+///     [u32 payload_len][u8 version][u8 type][payload: payload_len bytes]
+///
+/// with all integers little-endian. `payload_len` counts only the payload
+/// (not the 6-byte header) and is capped at `kMaxFramePayload`; a peer
+/// declaring a larger frame is malformed and the connection is closed
+/// after a typed error frame — the length is rejected *before* any
+/// allocation, so a hostile 4 GiB declaration costs nothing. A version
+/// mismatch or unknown type byte is handled the same way. A stream that
+/// ends mid-frame decodes as InvalidArgument ("truncated"), never as a
+/// hang or a partial message.
+///
+/// Payload scalars are fixed-width little-endian; variable-size fields
+/// (strings, constraint lists) carry a length prefix with a hard cap each,
+/// and every attribute mask is validated against the message's universe
+/// size before any `ItemSet` is constructed — out-of-range attribute
+/// indices are rejected at the boundary (see DESIGN.md §11).
+
+/// Protocol version carried by every frame.
+inline constexpr std::uint8_t kWireVersion = 1;
+
+/// Hard cap on a frame payload, checked before allocation.
+inline constexpr std::uint32_t kMaxFramePayload = 4u << 20;  // 4 MiB
+
+/// Caps on variable-size message fields (defense against absurd-but-
+/// under-the-frame-cap declarations).
+inline constexpr std::uint32_t kMaxConstraintsPerMessage = 1u << 16;
+inline constexpr std::uint32_t kMaxFamilyMembers = 1u << 12;
+inline constexpr std::uint32_t kMaxErrorMessageBytes = 1u << 12;
+
+/// Client-to-server message types. Every enumerator must have a
+/// `WireRequestName` case and a `DIFFC_REGISTER_WIRE_HANDLER` site
+/// (enforced by the `wire-registry` rule of tools/diffc_lint.py).
+enum class WireRequest : std::uint8_t {
+  kPing = 0x01,              // liveness probe; echoes a nonce
+  kRegisterPremises = 0x02,  // compile a premise set into a server handle
+  kCheckBatch = 0x03,        // stream an implication batch against a handle
+  kRelease = 0x04,           // drop a handle
+};
+
+/// Server-to-client message types (disjoint byte range from requests, so a
+/// direction mix-up can never parse).
+enum class WireResponse : std::uint8_t {
+  kPong = 0x11,
+  kRegisterOk = 0x12,
+  kBatchResult = 0x13,
+  kReleaseOk = 0x14,
+  kError = 0x7F,
+};
+
+/// Stable names ("ping", "check-batch", ...) for stats and traces.
+const char* WireRequestName(WireRequest t);
+const char* WireResponseName(WireResponse t);
+
+/// True iff `t` is a declared `WireRequest` enumerator.
+bool IsKnownRequest(std::uint8_t t);
+
+/// One decoded frame: the type byte and the raw payload.
+struct Frame {
+  std::uint8_t type = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Appends little-endian scalars and length-prefixed blobs to a payload.
+class WireWriter {
+ public:
+  void U8(std::uint8_t v) { out_.push_back(v); }
+  void U32(std::uint32_t v);
+  void U64(std::uint64_t v);
+  /// u32 length + bytes.
+  void String(std::string_view s);
+
+  std::vector<std::uint8_t> Take() { return std::move(out_); }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+/// Bounds-checked little-endian reads over a payload. Every read reports
+/// truncation as InvalidArgument instead of walking off the buffer, and
+/// `Finish()` rejects trailing garbage.
+class WireReader {
+ public:
+  explicit WireReader(const std::vector<std::uint8_t>& payload)
+      : data_(payload.data()), size_(payload.size()) {}
+
+  Result<std::uint8_t> U8();
+  Result<std::uint32_t> U32();
+  Result<std::uint64_t> U64();
+  /// Reads a u32 length (capped at `max_bytes`) + bytes.
+  Result<std::string> String(std::uint32_t max_bytes);
+
+  /// OK iff the payload was consumed exactly.
+  Status Finish() const;
+
+  std::size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------- messages
+
+/// REGISTER_PREMISES: compile `premises` over an `n`-attribute universe
+/// into a server-side `PreparedPremises` handle.
+struct RegisterPremisesMsg {
+  int n = 0;
+  ConstraintSet premises;
+};
+
+/// Reply: the handle and the size of the canonicalized set.
+struct RegisterOkMsg {
+  std::uint64_t handle = 0;
+  std::uint32_t canonical_constraints = 0;
+};
+
+/// CHECK_BATCH: decide `handle's premises |= goals[i]` for every goal.
+/// `n` must match the handle's universe (revalidated server-side);
+/// `deadline_ms` (0 = none) bounds the whole batch server-side.
+struct CheckBatchMsg {
+  std::uint64_t handle = 0;
+  std::uint64_t deadline_ms = 0;
+  int n = 0;
+  std::vector<DifferentialConstraint> goals;
+};
+
+/// One per-goal answer: the engine's per-query status, verdict, and
+/// counterexample, index-aligned with the request's goals.
+struct WireQueryResult {
+  StatusCode status_code = StatusCode::kOk;
+  std::string status_message;
+  /// ImplicationOutcome::Verdict as a byte.
+  std::uint8_t verdict = 0;
+  bool has_counterexample = false;
+  std::uint64_t counterexample = 0;
+};
+
+/// The aggregate counters mirrored from `BatchStats` (the wire subset).
+struct WireBatchStats {
+  std::uint64_t queries = 0;
+  std::uint64_t implied = 0;
+  std::uint64_t not_implied = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t timed_out = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t batch_wall_ns = 0;
+};
+
+struct BatchResultMsg {
+  std::vector<WireQueryResult> results;
+  WireBatchStats stats;
+};
+
+struct ReleaseMsg {
+  std::uint64_t handle = 0;
+};
+
+struct PingMsg {
+  std::uint64_t nonce = 0;
+};
+
+/// ERROR: a typed failure — the `Status` the server rejected the request
+/// with, round-tripped so `DiffcClient` surfaces the original code
+/// (InvalidArgument for malformed input, ResourceExhausted for admission
+/// rejections, NotFound for unknown handles, ...).
+struct ErrorMsg {
+  StatusCode code = StatusCode::kInternal;
+  std::string message;
+
+  Status ToStatus() const { return Status(code, message); }
+  static ErrorMsg FromStatus(const Status& s) {
+    return ErrorMsg{s.code(), s.message()};
+  }
+};
+
+// ----------------------------------------------------------- frame codecs
+
+Frame EncodeRegisterPremises(const RegisterPremisesMsg& msg);
+Frame EncodeRegisterOk(const RegisterOkMsg& msg);
+Frame EncodeCheckBatch(const CheckBatchMsg& msg);
+Frame EncodeBatchResult(const BatchResultMsg& msg);
+Frame EncodeRelease(const ReleaseMsg& msg);
+Frame EncodeReleaseOk();
+Frame EncodePing(const PingMsg& msg);
+Frame EncodePong(const PingMsg& msg);
+Frame EncodeError(const ErrorMsg& msg);
+
+/// Decoders verify the frame type, every field bound, and (for constraint
+/// payloads) that each attribute mask fits the declared universe before
+/// constructing an `ItemSet` — the wire is the trust boundary.
+Result<RegisterPremisesMsg> DecodeRegisterPremises(const Frame& f);
+Result<RegisterOkMsg> DecodeRegisterOk(const Frame& f);
+Result<CheckBatchMsg> DecodeCheckBatch(const Frame& f);
+Result<BatchResultMsg> DecodeBatchResult(const Frame& f);
+Result<ReleaseMsg> DecodeRelease(const Frame& f);
+Result<PingMsg> DecodePing(const Frame& f);
+Result<PingMsg> DecodePong(const Frame& f);
+Result<ErrorMsg> DecodeError(const Frame& f);
+
+/// Serializes `f` as header + payload bytes (the exact octets WriteFrame
+/// puts on the wire), for tests and buffering.
+std::vector<std::uint8_t> SerializeFrame(const Frame& f);
+
+}  // namespace diffc::net
+
+#endif  // DIFFC_NET_WIRE_H_

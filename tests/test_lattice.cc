@@ -226,5 +226,70 @@ TEST(IntervalTest, ToString) {
   EXPECT_EQ(iv.ToString(u), "[A, AD]");
 }
 
+// ------------------------------------------------- n = 64 boundary (bugfix)
+//
+// Regression tests for the input-boundary fixes: Universe::Letters used to
+// truncate n > 64 silently (inconsistent with Named's InvalidArgument) and
+// ItemSet's index paths shifted unchecked (UB at i >= 64). The full
+// 64-attribute universe itself must keep working exactly.
+
+TEST(UniverseTest, LettersCheckedRejectsOutOfRange) {
+  EXPECT_FALSE(Universe::LettersChecked(-1).ok());
+  EXPECT_FALSE(Universe::LettersChecked(65).ok());
+  EXPECT_EQ(Universe::LettersChecked(65).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Universe::LettersChecked(100).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(UniverseTest, LettersCheckedAcceptsFullRange) {
+  Result<Universe> empty = Universe::LettersChecked(0);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->size(), 0);
+  Result<Universe> full = Universe::LettersChecked(64);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->size(), 64);
+  EXPECT_EQ(full->full_mask(), ~Mask{0});
+}
+
+TEST(ItemSetTest, ContainsIsWellDefinedOutOfRange) {
+  ItemSet all(~Mask{0});
+  EXPECT_TRUE(all.Contains(0));
+  EXPECT_TRUE(all.Contains(63));
+  // Out-of-range indices are simply not members — never UB, never true.
+  EXPECT_FALSE(all.Contains(64));
+  EXPECT_FALSE(all.Contains(70));
+  EXPECT_FALSE(all.Contains(-1));
+  EXPECT_FALSE(ItemSet().Contains(64));
+}
+
+TEST(ItemSetTest, FullMaskBoundaryAt64) {
+  EXPECT_EQ(FullMask(64), ~Mask{0});
+  EXPECT_EQ(FullMask(63), ~Mask{0} >> 1);
+  EXPECT_EQ(FullMask(0), Mask{0});
+  ItemSet all(FullMask(64));
+  EXPECT_EQ(all.size(), 64);
+  EXPECT_TRUE(all.Contains(63));
+}
+
+TEST(ItemSetTest, ComplementInBoundaryAt64) {
+  EXPECT_EQ(ItemSet().ComplementIn(64).bits(), ~Mask{0});
+  EXPECT_EQ(ItemSet(~Mask{0}).ComplementIn(64).bits(), Mask{0});
+  ItemSet low(FullMask(32));
+  EXPECT_EQ(low.ComplementIn(64).bits(), ~Mask{0} << 32);
+  EXPECT_EQ(ItemSet::Singleton(63).ComplementIn(64).size(), 63);
+}
+
+#ifndef NDEBUG
+TEST(ItemSetTest, DebugAssertsOnOutOfRangeConstruction) {
+  EXPECT_DEATH(ItemSet({64}), "out of");
+  EXPECT_DEATH(ItemSet({-1}), "out of");
+  EXPECT_DEATH(ItemSet::Singleton(64), "out of");
+}
+
+TEST(UniverseTest, DebugAssertsOnOutOfRangeLetters) {
+  EXPECT_DEATH(Universe::Letters(65), "0 <= n <= 64");
+  EXPECT_DEATH(Universe::Letters(-1), "0 <= n <= 64");
+}
+#endif
+
 }  // namespace
 }  // namespace diffc

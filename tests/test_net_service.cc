@@ -1,0 +1,482 @@
+// End-to-end tests of the diffcd service: a real server on a real socket
+// (TCP ephemeral and Unix), driven through DiffcClient — round-trip
+// equivalence against the in-process engine, typed error frames,
+// admission control, handle lifecycle, graceful drain under load, and the
+// HTTP /metrics endpoint. Unit coverage for PreparedHandleTable and
+// AdmissionController rides along.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/implication.h"
+#include "engine/handle_table.h"
+#include "engine/implication_engine.h"
+#include "net/admission.h"
+#include "net/client.h"
+#include "net/handler_registry.h"
+#include "net/server.h"
+#include "test_helpers.h"
+#include "util/random.h"
+
+namespace diffc::net {
+namespace {
+
+ServerOptions LoopbackOptions() {
+  ServerOptions options;
+  options.listen_address = "127.0.0.1:0";
+  return options;
+}
+
+// Polls until `pred` holds or ~2 s pass; the service's async transitions
+// (session teardown, batch start) have no synchronous hook by design.
+template <typename Pred>
+bool WaitFor(Pred pred) {
+  for (int i = 0; i < 1000; ++i) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return pred();
+}
+
+// ------------------------------------------------------ registry coverage
+
+TEST(WireHandlerRegistryTest, EveryRequestTypeHasARegisteredHandler) {
+  // The runtime mirror of the wire-registry lint rule: enum, name table,
+  // and handler registration must agree.
+  const WireRequest all[] = {WireRequest::kPing, WireRequest::kRegisterPremises,
+                             WireRequest::kCheckBatch, WireRequest::kRelease};
+  for (WireRequest t : all) {
+    const WireHandlerImpl* handler =
+        WireHandlerRegistry::Global().Find(static_cast<std::uint8_t>(t));
+    ASSERT_NE(handler, nullptr) << WireRequestName(t);
+    EXPECT_EQ(handler->id(), t);
+    EXPECT_STREQ(handler->name(), WireRequestName(t));
+  }
+  EXPECT_EQ(WireHandlerRegistry::Global().Snapshot().size(), 4u);
+}
+
+// ------------------------------------------------------------ handle table
+
+std::shared_ptr<const PreparedPremises> SomePrepared(int n) {
+  ImplicationEngine engine;
+  Result<std::shared_ptr<const PreparedPremises>> prepared = engine.Prepare(n, {});
+  EXPECT_TRUE(prepared.ok());
+  return *prepared;
+}
+
+TEST(PreparedHandleTableTest, RegisterLookupRelease) {
+  PreparedHandleTable table;
+  auto prepared = SomePrepared(4);
+  Result<std::uint64_t> handle = table.Register(1, prepared);
+  ASSERT_TRUE(handle.ok());
+  EXPECT_NE(*handle, 0u);
+  EXPECT_EQ(table.size(), 1u);
+
+  Result<std::shared_ptr<const PreparedPremises>> found = table.Lookup(*handle);
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->get(), prepared.get());
+
+  EXPECT_EQ(table.Lookup(*handle + 100).status().code(), StatusCode::kNotFound);
+  // Wrong owner cannot release someone else's handle.
+  EXPECT_EQ(table.Release(*handle, 2).code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(table.Release(*handle, 1).ok());
+  EXPECT_EQ(table.Release(*handle, 1).code(), StatusCode::kNotFound);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(PreparedHandleTableTest, QuotasAndOwnerTeardown) {
+  PreparedHandleTable::Options options;
+  options.max_handles_per_owner = 2;
+  options.max_total_handles = 3;
+  PreparedHandleTable table(options);
+  auto prepared = SomePrepared(4);
+
+  ASSERT_TRUE(table.Register(1, prepared).ok());
+  ASSERT_TRUE(table.Register(1, prepared).ok());
+  // Per-owner quota.
+  EXPECT_EQ(table.Register(1, prepared).status().code(), StatusCode::kResourceExhausted);
+  ASSERT_TRUE(table.Register(2, prepared).ok());
+  // Process-wide quota.
+  EXPECT_EQ(table.Register(3, prepared).status().code(), StatusCode::kResourceExhausted);
+
+  EXPECT_EQ(table.CountForOwner(1), 2u);
+  EXPECT_EQ(table.ReleaseAllForOwner(1), 2u);
+  EXPECT_EQ(table.CountForOwner(1), 0u);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(PreparedHandleTableTest, HandleIdsAreNeverReused) {
+  PreparedHandleTable table;
+  auto prepared = SomePrepared(4);
+  Result<std::uint64_t> first = table.Register(1, prepared);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(table.Release(*first, 1).ok());
+  Result<std::uint64_t> second = table.Register(1, prepared);
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(*first, *second);
+}
+
+// --------------------------------------------------------------- admission
+
+TEST(AdmissionControllerTest, SlotsAreBoundedAndRaii) {
+  AdmissionController::Options options;
+  options.max_inflight_batches = 2;
+  AdmissionController ctrl(options);
+
+  Result<AdmissionController::Slot> a = ctrl.Admit();
+  Result<AdmissionController::Slot> b = ctrl.Admit();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(ctrl.inflight(), 2u);
+  EXPECT_EQ(ctrl.Admit().status().code(), StatusCode::kResourceExhausted);
+
+  a->Reset();
+  EXPECT_EQ(ctrl.inflight(), 1u);
+  Result<AdmissionController::Slot> c = ctrl.Admit();
+  EXPECT_TRUE(c.ok());
+
+  // Move transfers ownership; the moved-from slot releases nothing.
+  AdmissionController::Slot moved = std::move(*c);
+  EXPECT_TRUE(moved.held());
+  EXPECT_EQ(ctrl.inflight(), 2u);
+}
+
+// ------------------------------------------------------------- end to end
+
+TEST(DiffcdServiceTest, PingRoundTrip) {
+  DiffcdServer server(LoopbackOptions());
+  ASSERT_TRUE(server.Start().ok());
+
+  Result<DiffcClient> client = DiffcClient::Connect(server.bound_address());
+  ASSERT_TRUE(client.ok());
+  Result<std::uint64_t> echoed = client->Ping(0xFEEDFACEull);
+  ASSERT_TRUE(echoed.ok());
+  EXPECT_EQ(*echoed, 0xFEEDFACEull);
+  EXPECT_TRUE(server.Shutdown().ok());
+}
+
+TEST(DiffcdServiceTest, HundredQueryRoundTripMatchesInProcessEngine) {
+  // The acceptance bar: 100+ queries over the wire, bit-for-bit the same
+  // verdicts as the in-process prepare/plan/execute path, and every
+  // counterexample genuinely refutes its goal.
+  const int n = 10;
+  Rng rng(20260809);
+  ConstraintSet premises = testing::RandomConstraintSet(rng, n, 40);
+  std::vector<DifferentialConstraint> goals;
+  for (int i = 0; i < 120; ++i) goals.push_back(testing::RandomConstraint(rng, n));
+
+  ImplicationEngine local;
+  Result<std::shared_ptr<const PreparedPremises>> prepared = local.Prepare(n, premises);
+  ASSERT_TRUE(prepared.ok());
+  Result<BatchOutcome> expected = local.CheckBatch(*prepared, goals);
+  ASSERT_TRUE(expected.ok());
+
+  DiffcdServer server(LoopbackOptions());
+  ASSERT_TRUE(server.Start().ok());
+  Result<DiffcClient> client = DiffcClient::Connect(server.bound_address());
+  ASSERT_TRUE(client.ok());
+  Result<RegisterOkMsg> registered = client->RegisterPremises(n, premises);
+  ASSERT_TRUE(registered.ok());
+  EXPECT_EQ(registered->canonical_constraints, (*prepared)->constraints().size());
+  Result<BatchResultMsg> wire = client->CheckBatch(registered->handle, n, goals);
+  ASSERT_TRUE(wire.ok());
+
+  ASSERT_EQ(wire->results.size(), goals.size());
+  ASSERT_EQ(expected->results.size(), goals.size());
+  for (std::size_t i = 0; i < goals.size(); ++i) {
+    const EngineQueryResult& e = expected->results[i];
+    const WireQueryResult& w = wire->results[i];
+    EXPECT_EQ(w.status_code, e.status.code()) << "goal " << i;
+    EXPECT_EQ(w.verdict, static_cast<std::uint8_t>(e.outcome.verdict)) << "goal " << i;
+    EXPECT_EQ(w.has_counterexample, e.outcome.counterexample.has_value()) << "goal " << i;
+    if (w.has_counterexample) {
+      // The wire witness must actually refute: inside the goal's lattice,
+      // outside the premises'.
+      ItemSet u(w.counterexample);
+      EXPECT_TRUE(InConstraintLattice({goals[i]}, u)) << "goal " << i;
+      EXPECT_FALSE(InConstraintLattice(premises, u)) << "goal " << i;
+    }
+  }
+  EXPECT_EQ(wire->stats.queries, goals.size());
+  EXPECT_EQ(wire->stats.implied, expected->stats.implied);
+  EXPECT_EQ(wire->stats.not_implied, expected->stats.not_implied);
+
+  EXPECT_TRUE(client->Release(registered->handle).ok());
+  EXPECT_TRUE(server.Shutdown().ok());
+}
+
+TEST(DiffcdServiceTest, UnixSocketRoundTrip) {
+  const std::string path = "/tmp/diffcd_test_" + std::to_string(::getpid()) + ".sock";
+  ServerOptions options;
+  options.listen_address = "unix:" + path;
+  DiffcdServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_EQ(server.bound_address(), "unix:" + path);
+
+  Result<DiffcClient> client = DiffcClient::Connect(server.bound_address());
+  ASSERT_TRUE(client.ok());
+  Result<RegisterOkMsg> registered =
+      client->RegisterPremises(3, {DifferentialConstraint(ItemSet{0}, SetFamily({ItemSet{1}}))});
+  ASSERT_TRUE(registered.ok());
+  Result<BatchResultMsg> batch = client->CheckBatch(
+      registered->handle, 3, {DifferentialConstraint(ItemSet{0}, SetFamily({ItemSet{1}}))});
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->results.size(), 1u);
+  EXPECT_EQ(batch->results[0].verdict, 1);  // A premise implies itself.
+  EXPECT_TRUE(server.Shutdown().ok());
+}
+
+TEST(DiffcdServiceTest, TypedErrorFramesCarryTheOriginalStatusCode) {
+  ServerOptions options = LoopbackOptions();
+  options.max_handles_per_session = 2;
+  DiffcdServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  Result<DiffcClient> client = DiffcClient::Connect(server.bound_address());
+  ASSERT_TRUE(client.ok());
+
+  // Unknown handle -> NotFound.
+  Result<BatchResultMsg> missing = client->CheckBatch(
+      424242, 3, {DifferentialConstraint(ItemSet{0}, SetFamily({ItemSet{1}}))});
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+
+  // Universe mismatch -> InvalidArgument.
+  Result<RegisterOkMsg> registered = client->RegisterPremises(3, {});
+  ASSERT_TRUE(registered.ok());
+  Result<BatchResultMsg> mismatched = client->CheckBatch(
+      registered->handle, 5, {DifferentialConstraint(ItemSet{0}, SetFamily({ItemSet{1}}))});
+  EXPECT_EQ(mismatched.status().code(), StatusCode::kInvalidArgument);
+
+  // Handle quota -> ResourceExhausted (admission's second axis).
+  ASSERT_TRUE(client->RegisterPremises(3, {}).ok());
+  Result<RegisterOkMsg> over_quota = client->RegisterPremises(3, {});
+  EXPECT_EQ(over_quota.status().code(), StatusCode::kResourceExhausted);
+
+  // Releasing an unknown handle -> NotFound; the connection survives all
+  // of these rejections.
+  EXPECT_EQ(client->Release(99999).code(), StatusCode::kNotFound);
+  Result<std::uint64_t> echoed = client->Ping(7);
+  EXPECT_TRUE(echoed.ok());
+  EXPECT_TRUE(server.Shutdown().ok());
+}
+
+TEST(DiffcdServiceTest, AdmissionRejectsWhenNoBatchSlots) {
+  ServerOptions options = LoopbackOptions();
+  options.max_inflight_batches = 0;  // Deterministic: every batch rejected.
+  DiffcdServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  Result<DiffcClient> client = DiffcClient::Connect(server.bound_address());
+  ASSERT_TRUE(client.ok());
+  Result<RegisterOkMsg> registered = client->RegisterPremises(3, {});
+  ASSERT_TRUE(registered.ok());
+  Result<BatchResultMsg> rejected = client->CheckBatch(
+      registered->handle, 3, {DifferentialConstraint(ItemSet{0}, SetFamily({ItemSet{1}}))});
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+  // Rejected, not queued: the connection is still serviceable.
+  EXPECT_TRUE(client->Ping(1).ok());
+  EXPECT_TRUE(server.Shutdown().ok());
+}
+
+TEST(DiffcdServiceTest, HandlesReleasedWhenSessionDisconnects) {
+  DiffcdServer server(LoopbackOptions());
+  ASSERT_TRUE(server.Start().ok());
+  {
+    Result<DiffcClient> client = DiffcClient::Connect(server.bound_address());
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE(client->RegisterPremises(3, {}).ok());
+    ASSERT_TRUE(client->RegisterPremises(4, {}).ok());
+    EXPECT_EQ(server.handles().size(), 2u);
+  }  // Client destroyed: connection closes.
+  EXPECT_TRUE(WaitFor([&] { return server.handles().size() == 0; }));
+  EXPECT_TRUE(WaitFor([&] { return server.sessions_active() == 0; }));
+  EXPECT_TRUE(server.Shutdown().ok());
+}
+
+TEST(DiffcdServiceTest, MalformedFramesGetTypedErrorThenClose) {
+  DiffcdServer server(LoopbackOptions());
+  ASSERT_TRUE(server.Start().ok());
+
+  {
+    // Bad version byte: error frame back, then EOF.
+    Result<Socket> raw = Connect(server.bound_address());
+    ASSERT_TRUE(raw.ok());
+    std::uint8_t header[6] = {0, 0, 0, 0, kWireVersion + 1,
+                              static_cast<std::uint8_t>(WireRequest::kPing)};
+    ASSERT_TRUE(raw->SendAll(header, sizeof(header)).ok());
+    Frame reply;
+    bool clean_eof = false;
+    ASSERT_TRUE(ReadFrame(*raw, &reply, &clean_eof).ok());
+    ASSERT_FALSE(clean_eof);
+    Result<ErrorMsg> err = DecodeError(reply);
+    ASSERT_TRUE(err.ok());
+    EXPECT_EQ(err->code, StatusCode::kInvalidArgument);
+    // And the server hangs up after an unparseable stream.
+    EXPECT_TRUE(ReadFrame(*raw, &reply, &clean_eof).ok());
+    EXPECT_TRUE(clean_eof);
+  }
+  {
+    // Unknown request type byte (framing fine): same treatment.
+    Result<Socket> raw = Connect(server.bound_address());
+    ASSERT_TRUE(raw.ok());
+    ASSERT_TRUE(WriteFrame(*raw, Frame{0x66, {}}).ok());
+    Frame reply;
+    bool clean_eof = false;
+    ASSERT_TRUE(ReadFrame(*raw, &reply, &clean_eof).ok());
+    ASSERT_FALSE(clean_eof);
+    Result<ErrorMsg> err = DecodeError(reply);
+    ASSERT_TRUE(err.ok());
+    EXPECT_EQ(err->code, StatusCode::kInvalidArgument);
+  }
+  {
+    // Oversized declared payload: rejected from the header alone.
+    Result<Socket> raw = Connect(server.bound_address());
+    ASSERT_TRUE(raw.ok());
+    const std::uint32_t huge = kMaxFramePayload + 1;
+    std::uint8_t header[6];
+    for (int i = 0; i < 4; ++i) header[i] = static_cast<std::uint8_t>(huge >> (8 * i));
+    header[4] = kWireVersion;
+    header[5] = static_cast<std::uint8_t>(WireRequest::kPing);
+    ASSERT_TRUE(raw->SendAll(header, sizeof(header)).ok());
+    Frame reply;
+    bool clean_eof = false;
+    ASSERT_TRUE(ReadFrame(*raw, &reply, &clean_eof).ok());
+    ASSERT_FALSE(clean_eof);
+    EXPECT_EQ(reply.type, static_cast<std::uint8_t>(WireResponse::kError));
+  }
+  EXPECT_TRUE(server.Shutdown().ok());
+}
+
+TEST(DiffcdServiceTest, PerRequestDeadlineMapsOntoTheBatch) {
+  ServerOptions options = LoopbackOptions();
+  options.engine.num_threads = 1;
+  DiffcdServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  Result<DiffcClient> client = DiffcClient::Connect(server.bound_address());
+  ASSERT_TRUE(client.ok());
+
+  const int n = 12;
+  Rng rng(7);
+  ConstraintSet premises = testing::RandomConstraintSet(rng, n, 30);
+  std::vector<DifferentialConstraint> goals;
+  for (int i = 0; i < 20000; ++i) goals.push_back(testing::RandomConstraint(rng, n));
+  Result<RegisterOkMsg> registered = client->RegisterPremises(n, premises);
+  ASSERT_TRUE(registered.ok());
+
+  Result<BatchResultMsg> batch = client->CheckBatch(registered->handle, n, goals,
+                                                    std::chrono::milliseconds(1));
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->results.size(), goals.size());
+  // 20k queries on one worker cannot finish in 1 ms: the deadline must
+  // have fired, and every slot is still populated (index-aligned).
+  EXPECT_GT(batch->stats.timed_out, 0u);
+  EXPECT_EQ(batch->stats.queries, goals.size());
+  EXPECT_TRUE(server.Shutdown().ok());
+}
+
+TEST(DiffcdServiceTest, GracefulDrainWaitsForInflightBatch) {
+  ServerOptions options = LoopbackOptions();
+  options.engine.num_threads = 2;
+  options.drain_deadline = std::chrono::seconds(30);
+  DiffcdServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const int n = 12;
+  Rng rng(11);
+  ConstraintSet premises = testing::RandomConstraintSet(rng, n, 30);
+  std::vector<DifferentialConstraint> goals;
+  for (int i = 0; i < 20000; ++i) goals.push_back(testing::RandomConstraint(rng, n));
+
+  Result<DiffcClient> client = DiffcClient::Connect(server.bound_address());
+  ASSERT_TRUE(client.ok());
+  Result<RegisterOkMsg> registered = client->RegisterPremises(n, premises);
+  ASSERT_TRUE(registered.ok());
+
+  Result<BatchResultMsg> batch = Status::Internal("batch never ran");
+  std::thread in_flight([&] {
+    batch = client->CheckBatch(registered->handle, n, goals);
+  });
+  // Wait until the batch is genuinely executing, then drain mid-burst.
+  ASSERT_TRUE(WaitFor([&] { return server.admission().inflight() > 0; }));
+  Status drained = server.Shutdown();
+  in_flight.join();
+
+  // The drain waited: the client holds a complete, index-aligned reply.
+  EXPECT_TRUE(drained.ok()) << drained.ToString();
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  EXPECT_EQ(batch->results.size(), goals.size());
+  EXPECT_EQ(server.sessions_active(), 0u);
+
+  // Stopped means stopped: new requests fail, repeat shutdowns are no-ops.
+  EXPECT_FALSE(client->Ping(1).ok());
+  EXPECT_TRUE(server.Shutdown().ok());
+}
+
+// ----------------------------------------------------------- HTTP metrics
+
+std::string HttpGet(const std::string& address, const std::string& path) {
+  Result<Socket> sock = Connect(address);
+  EXPECT_TRUE(sock.ok());
+  if (!sock.ok()) return "";
+  const std::string request = "GET " + path + " HTTP/1.1\r\nHost: diffcd\r\n\r\n";
+  EXPECT_TRUE(sock->SendAll(request.data(), request.size()).ok());
+  std::string response;
+  char buf[2048];
+  while (true) {
+    Result<std::size_t> got = sock->RecvSome(buf, sizeof(buf));
+    if (!got.ok() || *got == 0) break;
+    response.append(buf, *got);
+  }
+  return response;
+}
+
+TEST(DiffcdServiceTest, MetricsEndpointServesPrometheusAndJson) {
+  ServerOptions options = LoopbackOptions();
+  options.metrics_address = "127.0.0.1:0";
+  DiffcdServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_FALSE(server.metrics_bound_address().empty());
+
+  // Generate some traffic so the per-service counters exist with values.
+  Result<DiffcClient> client = DiffcClient::Connect(server.bound_address());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Ping(1).ok());
+  Result<RegisterOkMsg> registered = client->RegisterPremises(3, {});
+  ASSERT_TRUE(registered.ok());
+  ASSERT_TRUE(client
+                  ->CheckBatch(registered->handle, 3,
+                               {DifferentialConstraint(ItemSet{0}, SetFamily({ItemSet{1}}))})
+                  .ok());
+
+  const std::string metrics = HttpGet(server.metrics_bound_address(), "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.1 200 OK"), std::string::npos);
+  // Valid Prometheus exposition: HELP/TYPE blocks and the per-service
+  // counters, including the labeled per-type request family.
+  EXPECT_NE(metrics.find("# TYPE diffc_net_requests_total counter"), std::string::npos);
+  EXPECT_NE(metrics.find("diffc_net_requests_total{type=\"ping\"}"), std::string::npos);
+  EXPECT_NE(metrics.find("diffc_net_requests_total{type=\"check-batch\"}"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("# TYPE diffc_net_sessions_active gauge"), std::string::npos);
+  EXPECT_NE(metrics.find("diffc_net_connections_total"), std::string::npos);
+  EXPECT_NE(metrics.find("diffc_net_request_seconds_bucket"), std::string::npos);
+
+  const std::string json = HttpGet(server.metrics_bound_address(), "/metrics.json");
+  EXPECT_NE(json.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+
+  const std::string health = HttpGet(server.metrics_bound_address(), "/healthz");
+  EXPECT_NE(health.find("200 OK"), std::string::npos);
+  EXPECT_NE(health.find("ok"), std::string::npos);
+
+  const std::string missing = HttpGet(server.metrics_bound_address(), "/nope");
+  EXPECT_NE(missing.find("404"), std::string::npos);
+
+  EXPECT_TRUE(server.Shutdown().ok());
+}
+
+}  // namespace
+}  // namespace diffc::net

@@ -1,0 +1,314 @@
+// Wire-protocol codec and framing tests: round-trips for every message
+// type, and the malformed-input matrix the boundary owes us — oversized
+// declared lengths, bad version bytes, truncated payloads, out-of-range
+// universe sizes and attribute masks, trailing garbage.
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/constraint.h"
+#include "lattice/set_family.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "util/bitops.h"
+
+namespace diffc::net {
+namespace {
+
+DifferentialConstraint MakeConstraint(std::initializer_list<int> lhs,
+                                      std::vector<ItemSet> members) {
+  return DifferentialConstraint(ItemSet(lhs), SetFamily(std::move(members)));
+}
+
+// ------------------------------------------------------------- round trips
+
+TEST(WireCodecTest, PingRoundTrip) {
+  PingMsg msg;
+  msg.nonce = 0xDEADBEEFCAFEF00Dull;
+  Result<PingMsg> decoded = DecodePing(EncodePing(msg));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->nonce, msg.nonce);
+
+  Result<PingMsg> pong = DecodePong(EncodePong(msg));
+  ASSERT_TRUE(pong.ok());
+  EXPECT_EQ(pong->nonce, msg.nonce);
+}
+
+TEST(WireCodecTest, RegisterPremisesRoundTrip) {
+  RegisterPremisesMsg msg;
+  msg.n = 5;
+  msg.premises = {MakeConstraint({0}, {ItemSet{1}, ItemSet{2, 3}}),
+                  MakeConstraint({1, 4}, {ItemSet{0}}),
+                  MakeConstraint({2}, {})};
+  Result<RegisterPremisesMsg> decoded = DecodeRegisterPremises(EncodeRegisterPremises(msg));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->n, 5);
+  ASSERT_EQ(decoded->premises.size(), 3u);
+  for (std::size_t i = 0; i < msg.premises.size(); ++i) {
+    EXPECT_EQ(decoded->premises[i].lhs(), msg.premises[i].lhs());
+    EXPECT_EQ(decoded->premises[i].rhs(), msg.premises[i].rhs());
+  }
+}
+
+TEST(WireCodecTest, CheckBatchRoundTrip) {
+  CheckBatchMsg msg;
+  msg.handle = 7;
+  msg.deadline_ms = 1500;
+  msg.n = 6;
+  msg.goals = {MakeConstraint({0, 1}, {ItemSet{2}}), MakeConstraint({3}, {ItemSet{4, 5}})};
+  Result<CheckBatchMsg> decoded = DecodeCheckBatch(EncodeCheckBatch(msg));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->handle, 7u);
+  EXPECT_EQ(decoded->deadline_ms, 1500u);
+  EXPECT_EQ(decoded->n, 6);
+  ASSERT_EQ(decoded->goals.size(), 2u);
+  EXPECT_EQ(decoded->goals[0].lhs(), msg.goals[0].lhs());
+  EXPECT_EQ(decoded->goals[1].rhs(), msg.goals[1].rhs());
+}
+
+TEST(WireCodecTest, BatchResultRoundTrip) {
+  BatchResultMsg msg;
+  WireQueryResult implied;
+  implied.verdict = 1;
+  WireQueryResult refuted;
+  refuted.verdict = 0;
+  refuted.has_counterexample = true;
+  refuted.counterexample = 0b1011;
+  WireQueryResult failed;
+  failed.status_code = StatusCode::kDeadlineExceeded;
+  failed.status_message = "budget spent";
+  msg.results = {implied, refuted, failed};
+  msg.stats.queries = 3;
+  msg.stats.implied = 1;
+  msg.stats.not_implied = 1;
+  msg.stats.failed = 1;
+  msg.stats.timed_out = 1;
+  msg.stats.batch_wall_ns = 12345;
+
+  Result<BatchResultMsg> decoded = DecodeBatchResult(EncodeBatchResult(msg));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->results.size(), 3u);
+  EXPECT_EQ(decoded->results[0].verdict, 1);
+  EXPECT_FALSE(decoded->results[0].has_counterexample);
+  EXPECT_TRUE(decoded->results[1].has_counterexample);
+  EXPECT_EQ(decoded->results[1].counterexample, 0b1011u);
+  EXPECT_EQ(decoded->results[2].status_code, StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(decoded->results[2].status_message, "budget spent");
+  EXPECT_EQ(decoded->stats.queries, 3u);
+  EXPECT_EQ(decoded->stats.timed_out, 1u);
+  EXPECT_EQ(decoded->stats.batch_wall_ns, 12345u);
+}
+
+TEST(WireCodecTest, ReleaseAndErrorRoundTrip) {
+  ReleaseMsg rel;
+  rel.handle = 99;
+  Result<ReleaseMsg> decoded_rel = DecodeRelease(EncodeRelease(rel));
+  ASSERT_TRUE(decoded_rel.ok());
+  EXPECT_EQ(decoded_rel->handle, 99u);
+
+  Status original = Status::ResourceExhausted("server at capacity");
+  Result<ErrorMsg> err = DecodeError(EncodeError(ErrorMsg::FromStatus(original)));
+  ASSERT_TRUE(err.ok());
+  EXPECT_EQ(err->ToStatus().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(err->ToStatus().message(), "server at capacity");
+}
+
+TEST(WireCodecTest, FullUniverseMasksRoundTripAtN64) {
+  // The n = 64 boundary: FullMask(64) masks must survive the wire intact.
+  RegisterPremisesMsg msg;
+  msg.n = 64;
+  msg.premises = {DifferentialConstraint(ItemSet(FullMask(64)),
+                                         SetFamily({ItemSet(Mask{1} << 63)}))};
+  Result<RegisterPremisesMsg> decoded = DecodeRegisterPremises(EncodeRegisterPremises(msg));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->premises[0].lhs().bits(), ~Mask{0});
+  EXPECT_EQ(decoded->premises[0].rhs().members()[0].bits(), Mask{1} << 63);
+}
+
+// --------------------------------------------------------- malformed input
+
+Frame TamperedPing() { return EncodePing(PingMsg{42}); }
+
+TEST(WireCodecTest, WrongFrameTypeRejected) {
+  Frame ping = TamperedPing();
+  EXPECT_FALSE(DecodeRelease(ping).ok());
+  EXPECT_FALSE(DecodeCheckBatch(ping).ok());
+  EXPECT_EQ(DecodeRelease(ping).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireCodecTest, TrailingGarbageRejected) {
+  Frame ping = TamperedPing();
+  ping.payload.push_back(0xFF);
+  Result<PingMsg> decoded = DecodePing(ping);
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireCodecTest, TruncatedPayloadRejected) {
+  Frame ping = TamperedPing();
+  ping.payload.pop_back();
+  EXPECT_FALSE(DecodePing(ping).ok());
+
+  CheckBatchMsg batch;
+  batch.handle = 1;
+  batch.n = 4;
+  batch.goals = {MakeConstraint({0}, {ItemSet{1}})};
+  Frame f = EncodeCheckBatch(batch);
+  f.payload.resize(f.payload.size() / 2);
+  EXPECT_FALSE(DecodeCheckBatch(f).ok());
+}
+
+TEST(WireCodecTest, UniverseSizeOver64Rejected) {
+  // Wire-side of the Universe::Letters truncation fix: n = 65 is refused
+  // outright, never clamped.
+  RegisterPremisesMsg msg;
+  msg.n = 65;
+  Frame f = EncodeRegisterPremises(msg);
+  Result<RegisterPremisesMsg> decoded = DecodeRegisterPremises(f);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(decoded.status().message().find("64"), std::string::npos);
+}
+
+TEST(WireCodecTest, OutOfUniverseMaskRejected) {
+  // A goal whose mask has bits past the declared n: rejected before any
+  // ItemSet reaches the engine (the ItemSet boundary contract).
+  CheckBatchMsg msg;
+  msg.handle = 1;
+  msg.n = 4;
+  msg.goals = {MakeConstraint({0}, {ItemSet{1}})};
+  Frame f = EncodeCheckBatch(msg);
+  // The lhs mask u64 sits after handle (8) + deadline (8) + n (1) +
+  // count (4) = 21 bytes; set a bit far outside n = 4.
+  ASSERT_GT(f.payload.size(), 28u);
+  f.payload[21 + 7] = 0x80;  // bit 63 of the little-endian lhs mask
+  Result<CheckBatchMsg> decoded = DecodeCheckBatch(f);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(decoded.status().message().find("outside"), std::string::npos);
+}
+
+TEST(WireCodecTest, AbsurdFamilyCountRejected) {
+  // A family-member count past the cap must fail fast on the declared
+  // count, not by walking off the truncated payload.
+  WireWriter w;
+  w.U8(4);                        // n
+  w.U32(1);                       // one constraint
+  w.U64(0b1);                     // lhs
+  w.U32(kMaxFamilyMembers + 1);   // family count over the cap
+  Frame f{static_cast<std::uint8_t>(WireRequest::kRegisterPremises), std::move(w).Take()};
+  Result<RegisterPremisesMsg> decoded = DecodeRegisterPremises(f);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("cap"), std::string::npos);
+}
+
+TEST(WireCodecTest, SerializedHeaderLayout) {
+  Frame ping = TamperedPing();
+  std::vector<std::uint8_t> bytes = SerializeFrame(ping);
+  ASSERT_EQ(bytes.size(), 6u + ping.payload.size());
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) len |= std::uint32_t{bytes[i]} << (8 * i);
+  EXPECT_EQ(len, ping.payload.size());
+  EXPECT_EQ(bytes[4], kWireVersion);
+  EXPECT_EQ(bytes[5], static_cast<std::uint8_t>(WireRequest::kPing));
+}
+
+// ----------------------------------------------------------------- framing
+//
+// ReadFrame over a socketpair: the header contract (version byte, length
+// cap, truncation) is enforced before any payload allocation.
+
+struct SocketPair {
+  Socket a;
+  Socket b;
+  SocketPair() {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a = Socket(fds[0]);
+    b = Socket(fds[1]);
+  }
+};
+
+TEST(FramingTest, FrameRoundTripOverSocket) {
+  SocketPair pair;
+  Frame sent = EncodePing(PingMsg{1234});
+  ASSERT_TRUE(WriteFrame(pair.a, sent).ok());
+  Frame got;
+  bool clean_eof = true;
+  ASSERT_TRUE(ReadFrame(pair.b, &got, &clean_eof).ok());
+  EXPECT_FALSE(clean_eof);
+  EXPECT_EQ(got.type, sent.type);
+  EXPECT_EQ(got.payload, sent.payload);
+}
+
+TEST(FramingTest, CleanEofBetweenFrames) {
+  SocketPair pair;
+  pair.a.Close();
+  Frame got;
+  bool clean_eof = false;
+  ASSERT_TRUE(ReadFrame(pair.b, &got, &clean_eof).ok());
+  EXPECT_TRUE(clean_eof);
+}
+
+TEST(FramingTest, OversizedDeclaredLengthRejectedBeforeAllocation) {
+  SocketPair pair;
+  // Header declaring a payload one byte over the cap; no payload follows.
+  const std::uint32_t len = kMaxFramePayload + 1;
+  std::uint8_t header[6];
+  for (int i = 0; i < 4; ++i) header[i] = static_cast<std::uint8_t>(len >> (8 * i));
+  header[4] = kWireVersion;
+  header[5] = static_cast<std::uint8_t>(WireRequest::kPing);
+  ASSERT_TRUE(pair.a.SendAll(header, sizeof(header)).ok());
+  Frame got;
+  bool clean_eof = false;
+  Status s = ReadFrame(pair.b, &got, &clean_eof);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("cap"), std::string::npos);
+}
+
+TEST(FramingTest, VersionMismatchRejected) {
+  SocketPair pair;
+  std::uint8_t header[6] = {0, 0, 0, 0, static_cast<std::uint8_t>(kWireVersion + 1),
+                            static_cast<std::uint8_t>(WireRequest::kPing)};
+  ASSERT_TRUE(pair.a.SendAll(header, sizeof(header)).ok());
+  Frame got;
+  bool clean_eof = false;
+  Status s = ReadFrame(pair.b, &got, &clean_eof);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("version"), std::string::npos);
+}
+
+TEST(FramingTest, TruncatedHeaderIsError) {
+  SocketPair pair;
+  std::uint8_t partial[3] = {1, 2, 3};
+  ASSERT_TRUE(pair.a.SendAll(partial, sizeof(partial)).ok());
+  pair.a.Close();
+  Frame got;
+  bool clean_eof = false;
+  Status s = ReadFrame(pair.b, &got, &clean_eof);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("truncated"), std::string::npos);
+}
+
+TEST(FramingTest, TruncatedPayloadIsError) {
+  SocketPair pair;
+  Frame sent = EncodePing(PingMsg{1});
+  std::vector<std::uint8_t> bytes = SerializeFrame(sent);
+  // Header promises 8 payload bytes; deliver half and hang up.
+  ASSERT_TRUE(pair.a.SendAll(bytes.data(), bytes.size() - 4).ok());
+  pair.a.Close();
+  Frame got;
+  bool clean_eof = false;
+  Status s = ReadFrame(pair.b, &got, &clean_eof);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("truncated"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace diffc::net

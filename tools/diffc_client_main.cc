@@ -1,0 +1,195 @@
+// diffc_client — command-line client for a running diffcd.
+//
+//   diffc_client --server=127.0.0.1:7411 ping
+//   diffc_client --server=unix:/tmp/diffcd.sock check --n=4 \
+//       --premises="A -> {B}; B -> {C}" --goals="A -> {C}; C -> {A}" \
+//       [--deadline-ms=500]
+//
+// `check` registers the premises, runs one CHECK_BATCH over the goals,
+// prints one verdict per goal, releases the handle, and exits 0 when the
+// batch ran (regardless of verdicts), 1 on any transport/server error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/parser.h"
+#include "lattice/universe.h"
+#include "net/client.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --server=ADDR ping [--nonce=N]\n"
+               "       %s --server=ADDR check --n=K\n"
+               "           --premises=TEXT | --premises-file=PATH\n"
+               "           --goals=TEXT    | --goals-file=PATH\n"
+               "           [--deadline-ms=N]\n",
+               argv0, argv0);
+}
+
+bool ParseFlag(const std::string& arg, const std::string& name, std::string* out) {
+  const std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *out = arg.substr(prefix.size());
+  return true;
+}
+
+bool ReadFileInto(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+const char* VerdictName(std::uint8_t verdict) {
+  switch (verdict) {
+    case 0:
+      return "not-implied";
+    case 1:
+      return "implied";
+    case 2:
+      return "unknown";
+    default:
+      return "invalid";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string server_address;
+  std::string command;
+  std::string premises_text;
+  std::string goals_text;
+  long n = -1;
+  long deadline_ms = 0;
+  std::uint64_t nonce = 42;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string text;
+    if (ParseFlag(arg, "server", &server_address)) {
+    } else if (ParseFlag(arg, "premises", &premises_text)) {
+    } else if (ParseFlag(arg, "goals", &goals_text)) {
+    } else if (ParseFlag(arg, "premises-file", &text)) {
+      if (!ReadFileInto(text, &premises_text)) {
+        std::fprintf(stderr, "diffc_client: cannot read %s\n", text.c_str());
+        return 1;
+      }
+    } else if (ParseFlag(arg, "goals-file", &text)) {
+      if (!ReadFileInto(text, &goals_text)) {
+        std::fprintf(stderr, "diffc_client: cannot read %s\n", text.c_str());
+        return 1;
+      }
+    } else if (ParseFlag(arg, "n", &text)) {
+      n = std::strtol(text.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "deadline-ms", &text)) {
+      deadline_ms = std::strtol(text.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "nonce", &text)) {
+      nonce = std::strtoull(text.c_str(), nullptr, 10);
+    } else if (arg == "ping" || arg == "check") {
+      command = arg;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "diffc_client: unknown argument '%s'\n", arg.c_str());
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (server_address.empty() || command.empty()) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  diffc::Result<diffc::net::DiffcClient> client =
+      diffc::net::DiffcClient::Connect(server_address);
+  if (!client.ok()) {
+    std::fprintf(stderr, "diffc_client: %s\n", client.status().ToString().c_str());
+    return 1;
+  }
+
+  if (command == "ping") {
+    diffc::Result<std::uint64_t> echoed = client->Ping(nonce);
+    if (!echoed.ok()) {
+      std::fprintf(stderr, "diffc_client: %s\n", echoed.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("pong nonce=%llu\n", static_cast<unsigned long long>(*echoed));
+    return 0;
+  }
+
+  // check
+  diffc::Result<diffc::Universe> u = diffc::Universe::LettersChecked(static_cast<int>(n));
+  if (!u.ok()) {
+    std::fprintf(stderr, "diffc_client: --n: %s\n", u.status().ToString().c_str());
+    return 2;
+  }
+  diffc::Result<diffc::ConstraintSet> premises = diffc::ParseConstraintSet(*u, premises_text);
+  if (!premises.ok()) {
+    std::fprintf(stderr, "diffc_client: premises: %s\n",
+                 premises.status().ToString().c_str());
+    return 2;
+  }
+  diffc::Result<diffc::ConstraintSet> goals = diffc::ParseConstraintSet(*u, goals_text);
+  if (!goals.ok()) {
+    std::fprintf(stderr, "diffc_client: goals: %s\n", goals.status().ToString().c_str());
+    return 2;
+  }
+  if (goals->empty()) {
+    std::fprintf(stderr, "diffc_client: no goals given\n");
+    return 2;
+  }
+
+  diffc::Result<diffc::net::RegisterOkMsg> registered =
+      client->RegisterPremises(static_cast<int>(n), *premises);
+  if (!registered.ok()) {
+    std::fprintf(stderr, "diffc_client: register: %s\n",
+                 registered.status().ToString().c_str());
+    return 1;
+  }
+  diffc::Result<diffc::net::BatchResultMsg> batch =
+      client->CheckBatch(registered->handle, static_cast<int>(n), *goals,
+                         std::chrono::milliseconds(deadline_ms));
+  if (!batch.ok()) {
+    std::fprintf(stderr, "diffc_client: check: %s\n", batch.status().ToString().c_str());
+    return 1;
+  }
+
+  for (std::size_t i = 0; i < batch->results.size(); ++i) {
+    const diffc::net::WireQueryResult& r = batch->results[i];
+    const std::string goal = (*goals)[i].ToString(*u);
+    if (r.status_code != diffc::StatusCode::kOk) {
+      std::printf("%s: error: %s\n", goal.c_str(), r.status_message.c_str());
+      continue;
+    }
+    if (r.has_counterexample) {
+      const std::string witness = (*u).FormatSet(r.counterexample);
+      std::printf("%s: %s (counterexample %s)\n", goal.c_str(), VerdictName(r.verdict),
+                  witness.c_str());
+    } else {
+      std::printf("%s: %s\n", goal.c_str(), VerdictName(r.verdict));
+    }
+  }
+  std::printf("# %llu queries: %llu implied, %llu not implied, %llu degraded, %llu failed\n",
+              static_cast<unsigned long long>(batch->stats.queries),
+              static_cast<unsigned long long>(batch->stats.implied),
+              static_cast<unsigned long long>(batch->stats.not_implied),
+              static_cast<unsigned long long>(batch->stats.degraded),
+              static_cast<unsigned long long>(batch->stats.failed));
+
+  diffc::Status released = client->Release(registered->handle);
+  if (!released.ok()) {
+    std::fprintf(stderr, "diffc_client: release: %s\n", released.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

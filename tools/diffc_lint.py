@@ -38,6 +38,13 @@ layer honest:
                     ...)`` site — a value without both is a procedure the
                     planner can never run or report. Silent when the tree
                     declares no ``enum class DecisionProcedure``.
+  wire-registry     Every ``WireRequest`` enumerator has a
+                    ``case WireRequest::kX`` entry in the name table AND a
+                    ``DIFFC_REGISTER_WIRE_HANDLER(kX, ...)`` site — a wire
+                    message type without both is a frame the server
+                    advertises but can never dispatch (or names as
+                    garbage in metrics and traces). Silent when the tree
+                    declares no ``enum class WireRequest``.
 
 Findings print as ``path:line: rule: message`` (or ``--format=json``).
 A committed baseline (``--baseline``) grandfathers known findings by
@@ -106,6 +113,11 @@ PROCEDURE_ENUM_RE = re.compile(
 PROCEDURE_ENUMERATOR_RE = re.compile(r"\b(k\w+)\b")
 PROCEDURE_CASE_RE = re.compile(r"\bcase\s+DecisionProcedure::(k\w+)")
 PROCEDURE_REGISTER_RE = re.compile(r"\bDIFFC_REGISTER_PROCEDURE\s*\(\s*(k\w+)\s*,")
+WIRE_ENUM_RE = re.compile(
+    r"\benum\s+class\s+WireRequest\s*(?::[^{]*)?\{([^}]*)\}"
+)
+WIRE_CASE_RE = re.compile(r"\bcase\s+WireRequest::(k\w+)")
+WIRE_REGISTER_RE = re.compile(r"\bDIFFC_REGISTER_WIRE_HANDLER\s*\(\s*(k\w+)\s*,")
 
 
 class Finding:
@@ -337,6 +349,43 @@ def report_procedure_registry(procedures, findings):
                 )
 
 
+# ----------------------------------------------------------- wire registry
+
+
+def scan_wire_registry(rel, text, wire):
+    """Collects WireRequest declarations, name-table cases, registrations."""
+    for m in WIRE_ENUM_RE.finditer(text):
+        names = PROCEDURE_ENUMERATOR_RE.findall(m.group(1))
+        wire["enums"].append((rel, line_of(text, m.start()), names))
+    for m in WIRE_CASE_RE.finditer(text):
+        wire["cases"].setdefault(m.group(1), []).append(
+            (rel, line_of(text, m.start())))
+    for m in WIRE_REGISTER_RE.finditer(text):
+        wire["registrations"].setdefault(m.group(1), []).append(
+            (rel, line_of(text, m.start())))
+
+
+def report_wire_registry(wire, findings):
+    """Every WireRequest enumerator needs a name case and a handler."""
+    for rel, line, names in wire["enums"]:
+        for name in names:
+            if name not in wire["cases"]:
+                findings.append(
+                    Finding(rel, line, "wire-registry",
+                            f"WireRequest enumerator '{name}' has no "
+                            f"'case WireRequest::{name}' name-table entry; "
+                            "metrics and traces would print it as garbage")
+                )
+            if name not in wire["registrations"]:
+                findings.append(
+                    Finding(rel, line, "wire-registry",
+                            f"WireRequest enumerator '{name}' has no "
+                            f"DIFFC_REGISTER_WIRE_HANDLER({name}, ...) site; "
+                            "the server advertises a frame type it can never "
+                            "dispatch")
+                )
+
+
 # ------------------------------------------------------------ solver loops
 
 
@@ -496,13 +545,14 @@ def scan_void_discards(rel, raw, findings):
 # ------------------------------------------------------------------ driver
 
 
-def lint_file(root, rel, registrations, failpoint_sites, procedures, findings):
+def lint_file(root, rel, registrations, failpoint_sites, procedures, wire, findings):
     with open(os.path.join(root, rel), encoding="utf-8") as f:
         raw = f.read()
     no_comments, code_only = strip_comments(raw)
     scan_metrics(rel, no_comments, registrations, findings)
     scan_failpoints(rel, no_comments, failpoint_sites, findings)
     scan_procedure_registry(rel, no_comments, procedures)
+    scan_wire_registry(rel, no_comments, wire)
     if rel in SOLVER_LOOP_FILES:
         scan_solver_loops(rel, code_only, findings)
     if rel.endswith(".h"):
@@ -517,6 +567,7 @@ def lint_tree(root):
     registrations = {}
     failpoint_sites = {}
     procedures = {"enums": [], "cases": {}, "registrations": {}}
+    wire = {"enums": [], "cases": {}, "registrations": {}}
     rels = []
     for dirpath, _, filenames in os.walk(root):
         for name in sorted(filenames):
@@ -524,8 +575,9 @@ def lint_tree(root):
                 rels.append(os.path.relpath(os.path.join(dirpath, name), root))
     for rel in sorted(rels):
         lint_file(root, rel.replace(os.sep, "/"), registrations, failpoint_sites,
-                  procedures, findings)
+                  procedures, wire, findings)
     report_procedure_registry(procedures, findings)
+    report_wire_registry(wire, findings)
     metric_display = {}
     for (name, labels), occurrences in registrations.items():
         metric_display[name if not labels else f"{name} {labels}"] = occurrences

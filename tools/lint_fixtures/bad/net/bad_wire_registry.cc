@@ -1,0 +1,16 @@
+// wire-registry: kPoke is declared but has neither a name-table case nor a
+// DIFFC_REGISTER_WIRE_HANDLER site — an advertised but undispatchable frame.
+enum class WireRequest : unsigned char {
+  kPing = 0x01,
+  kPoke = 0x02,
+};
+
+const char* WireRequestName(WireRequest t) {
+  switch (t) {
+    case WireRequest::kPing:
+      return "ping";
+  }
+  return "?";
+}
+
+DIFFC_REGISTER_WIRE_HANDLER(kPing, PingHandler)

@@ -1,0 +1,19 @@
+// wire-registry accepted pattern: every WireRequest enumerator has both a
+// name-table case and a DIFFC_REGISTER_WIRE_HANDLER site.
+enum class WireRequest : unsigned char {
+  kPing = 0x01,
+  kRelease = 0x02,
+};
+
+const char* WireRequestName(WireRequest t) {
+  switch (t) {
+    case WireRequest::kPing:
+      return "ping";
+    case WireRequest::kRelease:
+      return "release";
+  }
+  return "?";
+}
+
+DIFFC_REGISTER_WIRE_HANDLER(kPing, PingHandler)
+DIFFC_REGISTER_WIRE_HANDLER(kRelease, ReleaseHandler)

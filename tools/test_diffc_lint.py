@@ -31,6 +31,8 @@ EXPECTED_BAD = [
     ("engine/bad_procedure_registry.cc", 3, "procedure-registry"),
     ("engine/bad_procedure_registry.cc", 3, "procedure-registry"),
     ("engine/naked_lock.cc", 7, "naked-lock"),
+    ("net/bad_wire_registry.cc", 3, "wire-registry"),
+    ("net/bad_wire_registry.cc", 3, "wire-registry"),
     ("obs/bad_metric.cc", 5, "metric-name"),
     ("obs/dup_metric_b.cc", 5, "metric-dup"),
     ("prop/dpll.cc", 8, "solver-atomic"),
@@ -41,7 +43,7 @@ EXPECTED_BAD = [
 ALL_RULES = {
     "metric-name", "metric-dup", "failpoint-name", "failpoint-dup",
     "solver-atomic", "include-guard", "mutex-guarded-by", "naked-lock",
-    "void-discard", "procedure-registry",
+    "void-discard", "procedure-registry", "wire-registry",
 }
 
 
