@@ -305,10 +305,30 @@ std::size_t DiffcdServer::sessions_active() const {
   return active_sessions_;
 }
 
+std::size_t DiffcdServer::sessions_tracked() const {
+  MutexLock lock(&mu_);
+  return sessions_.size() + finished_sessions_.size();
+}
+
+void DiffcdServer::ReapFinishedSessions() {
+  std::vector<std::unique_ptr<Session>> finished;
+  {
+    MutexLock lock(&mu_);
+    finished.swap(finished_sessions_);
+  }
+  // Joins run unlocked: a finished session's thread is at (or within a few
+  // instructions of) exit, so each join is near-instant but may still
+  // briefly block.
+  for (auto& session : finished) {
+    if (session->thread.joinable()) session->thread.join();
+  }
+}
+
 void DiffcdServer::AcceptLoop() {
   while (true) {
     Result<Socket> conn = listener_.Accept();
     if (!conn.ok()) return;  // Cancelled by Shutdown closing the listener.
+    ReapFinishedSessions();
     MutexLock lock(&mu_);
     if (state_ != State::kRunning) {
       conn->ShutdownBoth();
@@ -389,14 +409,24 @@ void DiffcdServer::SessionLoop(Session* session) {
   // Session teardown: the session's handles die with it.
   handles_.ReleaseAllForOwner(session->id);
   m.handles_active->Set(static_cast<double>(handles_.size()));
-  session->sock.Close();
   std::size_t remaining = 0;
   {
     MutexLock lock(&mu_);
+    // Close under mu_: Shutdown's ShutdownRead/ShutdownBoth sweeps touch
+    // the same fd under the same lock, and once the entry leaves
+    // `sessions_` here they cannot see it at all — no close/shutdown race
+    // on a recycled fd.
+    session->sock.Close();
     --active_sessions_;
     remaining = active_sessions_;
-    session->done.store(true, std::memory_order_release);
+    auto it = sessions_.find(session->id);
+    if (it != sessions_.end()) {
+      finished_sessions_.push_back(std::move(it->second));
+      sessions_.erase(it);
+    }
   }
+  // `session` may now be freed by a reaper — but only after this thread
+  // exits (the reaper joins first), so the remaining statement is safe.
   m.sessions_active->Set(static_cast<double>(remaining));
 }
 
@@ -488,7 +518,10 @@ Status DiffcdServer::Shutdown() {
   }
 
   // 5. Join every session thread (prompt now: reads EOF, batches
-  //    cancelled) and drop the table.
+  //    cancelled) and drop the table. Sessions pulled out of `sessions_`
+  //    here no longer self-move to the finished list (the move guards on
+  //    map membership); sessions that already finished are joined by the
+  //    final reap.
   std::vector<std::unique_ptr<Session>> sessions;
   {
     MutexLock lock(&mu_);
@@ -499,6 +532,7 @@ Status DiffcdServer::Shutdown() {
   for (auto& session : sessions) {
     if (session->thread.joinable()) session->thread.join();
   }
+  ReapFinishedSessions();
 
   {
     MutexLock lock(&mu_);
@@ -540,11 +574,30 @@ void DiffcdServer::MetricsLoop() {
 }
 
 void DiffcdServer::ServeMetricsConnection(Socket sock) {
+  // Shutdown joins the metrics thread before waiting out the drain, so
+  // this connection must terminate on its own: every recv and the reply
+  // send are bounded by the per-connection budget, and the head loop
+  // re-checks an overall deadline so a byte-at-a-time trickle cannot
+  // stretch the serve past ~2x the budget.
+  const std::chrono::milliseconds budget = options_.metrics_timeout;
+  const bool bounded = budget.count() > 0;
+  if (bounded) {
+    // Best-effort: on setsockopt failure the recv deadline below still
+    // caps non-silent peers, and a fully silent peer is a kernel oddity
+    // not worth failing the scrape over.
+    (void)sock.SetRecvTimeout(budget);
+    (void)sock.SetSendTimeout(budget);  // Best-effort, as above.
+  }
+  const auto give_up = std::chrono::steady_clock::now() + budget;
+
   // Read until the end of the request head, bounded — the endpoint parses
   // only the request line and ignores headers and bodies.
   std::string head;
   char buf[1024];
   while (head.size() < 8192 && head.find("\r\n\r\n") == std::string::npos) {
+    if (bounded && std::chrono::steady_clock::now() >= give_up) {
+      return;  // Trickling peer spent the budget; drop silently.
+    }
     Result<std::size_t> n = sock.RecvSome(buf, sizeof(buf));
     if (!n.ok() || *n == 0) break;
     head.append(buf, *n);

@@ -1,13 +1,13 @@
 #ifndef DIFFC_NET_SERVER_H_
 #define DIFFC_NET_SERVER_H_
 
-#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "engine/handle_table.h"
 #include "engine/implication_engine.h"
@@ -43,6 +43,11 @@ struct ServerOptions {
   /// Graceful-drain budget: how long `Shutdown` waits for in-flight
   /// requests before firing the server-wide cancel token.
   std::chrono::milliseconds drain_deadline{5000};
+  /// Per-connection budget on the HTTP metrics endpoint: every recv and
+  /// the reply write are bounded by this, so a silent or trickling
+  /// scraper cannot pin the metrics thread (which `Shutdown` joins
+  /// before waiting out the drain). Zero disables the bound.
+  std::chrono::milliseconds metrics_timeout{5000};
   /// Requests slower than this are recorded (with their span tree, when
   /// `trace_requests` is on) in the global event log; zero disables.
   std::chrono::milliseconds slow_request_threshold{250};
@@ -102,6 +107,11 @@ class DiffcdServer {
   /// Live session count (tests and gauges).
   std::size_t sessions_active() const EXCLUDES(mu_);
 
+  /// Sessions the server still holds state for: live ones plus finished
+  /// ones awaiting their join by the reaper. Tests use this to prove that
+  /// completed connections do not accumulate.
+  std::size_t sessions_tracked() const EXCLUDES(mu_);
+
   // --- shared state for the registered wire handlers -------------------
 
   ImplicationEngine& engine() { return engine_; }
@@ -117,11 +127,15 @@ class DiffcdServer {
     std::uint64_t id = 0;
     Socket sock;
     std::thread thread;
-    std::atomic<bool> done{false};
   };
 
   void AcceptLoop();
   void SessionLoop(Session* session);
+  /// Joins and destroys sessions that have finished their loop. The
+  /// accept loop runs this on every new connection (so a long-lived
+  /// server's footprint tracks *live* connections, not historical ones)
+  /// and `Shutdown` runs it once more at the end.
+  void ReapFinishedSessions() EXCLUDES(mu_);
   void MetricsLoop();
   /// Serves one HTTP connection on the metrics listener.
   void ServeMetricsConnection(Socket sock);
@@ -152,7 +166,11 @@ class DiffcdServer {
   State state_ GUARDED_BY(mu_) = State::kIdle;
   Status shutdown_status_ GUARDED_BY(mu_);
   std::uint64_t next_session_id_ GUARDED_BY(mu_) = 1;
+  /// Live sessions only: a session's last act (under `mu_`) is to move
+  /// its own entry onto `finished_sessions_`, where the reaper (accept
+  /// loop or `Shutdown`) joins the thread and frees the `Session`.
   std::unordered_map<std::uint64_t, std::unique_ptr<Session>> sessions_ GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<Session>> finished_sessions_ GUARDED_BY(mu_);
   std::size_t active_sessions_ GUARDED_BY(mu_) = 0;
 };
 

@@ -5,6 +5,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -76,6 +77,30 @@ void Socket::ShutdownRead() const {
 
 void Socket::ShutdownBoth() const {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+namespace {
+
+Status SetTimeoutOpt(int fd, int opt, std::chrono::milliseconds timeout) {
+  if (fd < 0) return Status::FailedPrecondition("setsockopt on closed socket");
+  if (timeout.count() < 0) timeout = std::chrono::milliseconds(0);  // 0 = no bound.
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  if (::setsockopt(fd, SOL_SOCKET, opt, &tv, sizeof(tv)) != 0) {
+    return Errno("setsockopt(timeout)");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status Socket::SetRecvTimeout(std::chrono::milliseconds timeout) const {
+  return SetTimeoutOpt(fd_, SO_RCVTIMEO, timeout);
+}
+
+Status Socket::SetSendTimeout(std::chrono::milliseconds timeout) const {
+  return SetTimeoutOpt(fd_, SO_SNDTIMEO, timeout);
 }
 
 Status Socket::SendAll(const void* data, std::size_t len) const {

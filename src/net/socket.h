@@ -1,6 +1,7 @@
 #ifndef DIFFC_NET_SOCKET_H_
 #define DIFFC_NET_SOCKET_H_
 
+#include <chrono>
 #include <string>
 
 #include "net/wire.h"
@@ -40,6 +41,15 @@ class Socket {
   void ShutdownRead() const;
   /// Full shutdown (both directions).
   void ShutdownBoth() const;
+
+  /// Bounds every subsequent blocking recv (SO_RCVTIMEO): a recv that
+  /// waits longer fails instead of blocking forever. Zero or negative
+  /// clears the bound. The metrics endpoint sets this so a silent peer
+  /// cannot pin its serving thread across a drain.
+  Status SetRecvTimeout(std::chrono::milliseconds timeout) const;
+  /// Bounds every subsequent blocking send (SO_SNDTIMEO), as above for
+  /// peers that stop reading mid-reply.
+  Status SetSendTimeout(std::chrono::milliseconds timeout) const;
 
   /// Writes all `len` bytes (retrying short writes / EINTR; SIGPIPE is
   /// suppressed). Fails with Internal on a broken connection.

@@ -1,5 +1,6 @@
 #include "net/wire.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "lattice/set_family.h"
@@ -260,11 +261,26 @@ Result<CheckBatchMsg> DecodeCheckBatch(const Frame& f) {
 }
 
 Frame EncodeBatchResult(const BatchResultMsg& msg) {
+  // The reply must decode under the peer's own caps: each status_message
+  // is truncated to kMaxErrorMessageBytes (mirroring EncodeError), and
+  // the per-message cap shrinks further whenever full-length messages
+  // could push the frame past kMaxFramePayload — so the reply provably
+  // fits for any result count DecodeBatchResult accepts. Fixed bytes per
+  // result: code(1) + length(4) + verdict(1) + has_cx(1) + cx(8) = 15;
+  // plus the count(4) and the 8 u64 stats.
+  std::size_t message_cap = kMaxErrorMessageBytes;
+  if (!msg.results.empty()) {
+    const std::size_t fixed = 4 + 15 * msg.results.size() + 8 * 8;
+    const std::size_t budget = fixed < kMaxFramePayload ? kMaxFramePayload - fixed : 0;
+    message_cap = std::min<std::size_t>(message_cap, budget / msg.results.size());
+  }
   WireWriter w;
   w.U32(static_cast<std::uint32_t>(msg.results.size()));
   for (const WireQueryResult& r : msg.results) {
     w.U8(static_cast<std::uint8_t>(r.status_code));
-    w.String(r.status_message);
+    std::string_view m = r.status_message;
+    if (m.size() > message_cap) m = m.substr(0, message_cap);
+    w.String(m);
     w.U8(r.verdict);
     w.U8(r.has_counterexample ? 1 : 0);
     w.U64(r.counterexample);

@@ -297,6 +297,51 @@ TEST(DiffcdServiceTest, HandlesReleasedWhenSessionDisconnects) {
   EXPECT_TRUE(server.Shutdown().ok());
 }
 
+TEST(DiffcdServiceTest, FinishedSessionsAreReapedNotAccumulated) {
+  // Regression: a long-running daemon must not retain a Session (and its
+  // unjoined thread) per historical connection. The accept loop reaps
+  // finished sessions on every new connection.
+  DiffcdServer server(LoopbackOptions());
+  ASSERT_TRUE(server.Start().ok());
+  for (int i = 0; i < 5; ++i) {
+    Result<DiffcClient> client = DiffcClient::Connect(server.bound_address());
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE(client->Ping(static_cast<std::uint64_t>(i)).ok());
+  }  // Each client destroyed: its connection closes.
+  ASSERT_TRUE(WaitFor([&] { return server.sessions_active() == 0; }));
+
+  // The next accept reaps everything the five dead connections left.
+  Result<DiffcClient> survivor = DiffcClient::Connect(server.bound_address());
+  ASSERT_TRUE(survivor.ok());
+  ASSERT_TRUE(survivor->Ping(99).ok());
+  EXPECT_TRUE(WaitFor([&] { return server.sessions_tracked() <= 1; }));
+  EXPECT_TRUE(server.Shutdown().ok());
+  EXPECT_EQ(server.sessions_tracked(), 0u);
+}
+
+TEST(DiffcdServiceTest, ShutdownIsNotBlockedByAnIdleMetricsConnection) {
+  // Regression: a client that connects to the metrics port and sends
+  // nothing must not pin the metrics thread — Shutdown joins it before
+  // waiting out the drain, so an unbounded recv would hang SIGTERM
+  // forever.
+  ServerOptions options = LoopbackOptions();
+  options.metrics_address = "127.0.0.1:0";
+  options.metrics_timeout = std::chrono::milliseconds(200);
+  DiffcdServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  Result<Socket> idle = Connect(server.metrics_bound_address());
+  ASSERT_TRUE(idle.ok());
+  // Give the metrics thread time to accept and block in the head read.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  const auto started = std::chrono::steady_clock::now();
+  EXPECT_TRUE(server.Shutdown().ok());
+  const auto elapsed = std::chrono::steady_clock::now() - started;
+  // Bound: one serve budget (~200 ms) plus slack, nowhere near a hang.
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+}
+
 TEST(DiffcdServiceTest, MalformedFramesGetTypedErrorThenClose) {
   DiffcdServer server(LoopbackOptions());
   ASSERT_TRUE(server.Start().ok());

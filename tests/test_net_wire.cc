@@ -104,6 +104,51 @@ TEST(WireCodecTest, BatchResultRoundTrip) {
   EXPECT_EQ(decoded->stats.batch_wall_ns, 12345u);
 }
 
+TEST(WireCodecTest, BatchResultEncodeTruncatesOversizedStatusMessages) {
+  // An engine status longer than kMaxErrorMessageBytes must be truncated
+  // at encode time — otherwise every conforming decoder would reject the
+  // server's own reply as malformed.
+  BatchResultMsg msg;
+  WireQueryResult failed;
+  failed.status_code = StatusCode::kInternal;
+  failed.status_message = std::string(kMaxErrorMessageBytes + 500, 'x');
+  msg.results = {failed};
+
+  Result<BatchResultMsg> decoded = DecodeBatchResult(EncodeBatchResult(msg));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->results.size(), 1u);
+  EXPECT_EQ(decoded->results[0].status_message.size(), std::size_t{kMaxErrorMessageBytes});
+  EXPECT_EQ(decoded->results[0].status_code, StatusCode::kInternal);
+}
+
+TEST(WireCodecTest, BatchResultEncodeStaysUnderFrameCapWithManyFailures) {
+  // Enough failed results that even per-message-capped text would blow
+  // kMaxFramePayload: the encoder must shrink the per-message cap so the
+  // whole reply still frames and decodes. 1100 x ~4 KiB > 4 MiB.
+  const std::size_t count = 1100;
+  BatchResultMsg msg;
+  msg.results.reserve(count);
+  WireQueryResult failed;
+  failed.status_code = StatusCode::kDeadlineExceeded;
+  failed.status_message = std::string(kMaxErrorMessageBytes, 'y');
+  for (std::size_t i = 0; i < count; ++i) msg.results.push_back(failed);
+  msg.stats.queries = count;
+  msg.stats.failed = count;
+
+  Frame reply = EncodeBatchResult(msg);
+  EXPECT_LE(reply.payload.size(), std::size_t{kMaxFramePayload});
+  Result<BatchResultMsg> decoded = DecodeBatchResult(reply);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->results.size(), count);
+  // Messages shrank uniformly (never grew), and some diagnostic text
+  // survived.
+  EXPECT_LT(decoded->results[0].status_message.size(), std::size_t{kMaxErrorMessageBytes});
+  EXPECT_GT(decoded->results[0].status_message.size(), 0u);
+  EXPECT_EQ(decoded->results[0].status_message,
+            decoded->results[count - 1].status_message);
+  EXPECT_EQ(decoded->stats.failed, count);
+}
+
 TEST(WireCodecTest, ReleaseAndErrorRoundTrip) {
   ReleaseMsg rel;
   rel.handle = 99;
