@@ -1,6 +1,7 @@
 #ifndef DIFFC_NET_ADMISSION_H_
 #define DIFFC_NET_ADMISSION_H_
 
+#include <chrono>
 #include <cstddef>
 
 #include "util/mutex.h"
@@ -11,10 +12,16 @@ namespace diffc::net {
 
 /// Admission control for the expensive request class: a fixed budget of
 /// concurrently executing CHECK_BATCH requests. A full server *rejects*
-/// (typed ResourceExhausted error frame, counted in
+/// (a typed OVERLOADED reply carrying a retry-after hint, counted in
 /// `diffc_net_admission_rejected_total`) instead of queueing — the client
 /// owns the retry policy, and the server's memory is bounded by
 /// construction (queues are where overload hides).
+///
+/// On top of the hard cap sits load-based shedding: an optional soft
+/// watermark on the in-flight count and an EWMA watermark on batch
+/// latency. Either trips `ShouldShed()`, and `RetryAfterHint()` turns the
+/// observed latency into the backoff the shed reply advertises — a loaded
+/// server tells clients how long its batches are actually taking.
 ///
 /// Handle quotas — the other admission axis — live in
 /// `PreparedHandleTable`, enforced at registration.
@@ -22,6 +29,15 @@ class AdmissionController {
  public:
   struct Options {
     std::size_t max_inflight_batches = 8;
+    /// Soft shed watermark on in-flight batches: `ShouldShed()` trips at
+    /// or above it. 0 disables (only the hard cap sheds).
+    std::size_t shed_watermark = 0;
+    /// Latency watermark: `ShouldShed()` trips while the EWMA batch
+    /// latency exceeds this. Zero disables.
+    std::chrono::milliseconds latency_watermark{0};
+    /// Clamp on `RetryAfterHint()`.
+    std::chrono::milliseconds min_retry_after{10};
+    std::chrono::milliseconds max_retry_after{2000};
   };
 
   /// An RAII in-flight slot: holding one is the permission to run a batch;
@@ -31,11 +47,14 @@ class AdmissionController {
    public:
     Slot() = default;
     ~Slot() { Reset(); }
-    Slot(Slot&& other) noexcept : ctrl_(other.ctrl_) { other.ctrl_ = nullptr; }
+    Slot(Slot&& other) noexcept : ctrl_(other.ctrl_), start_(other.start_) {
+      other.ctrl_ = nullptr;
+    }
     Slot& operator=(Slot&& other) noexcept {
       if (this != &other) {
         Reset();
         ctrl_ = other.ctrl_;
+        start_ = other.start_;
         other.ctrl_ = nullptr;
       }
       return *this;
@@ -44,13 +63,16 @@ class AdmissionController {
     Slot& operator=(const Slot&) = delete;
 
     bool held() const { return ctrl_ != nullptr; }
-    /// Returns the slot early (idempotent).
+    /// Returns the slot early (idempotent), feeding the held duration into
+    /// the controller's latency EWMA.
     void Reset();
 
    private:
     friend class AdmissionController;
-    explicit Slot(AdmissionController* ctrl) : ctrl_(ctrl) {}
+    explicit Slot(AdmissionController* ctrl)
+        : ctrl_(ctrl), start_(std::chrono::steady_clock::now()) {}
     AdmissionController* ctrl_ = nullptr;
+    std::chrono::steady_clock::time_point start_{};
   };
 
   explicit AdmissionController(Options options) : options_(options) {}
@@ -62,17 +84,32 @@ class AdmissionController {
   /// fully occupied.
   Result<Slot> Admit() EXCLUDES(mu_);
 
+  /// True when load shedding should bounce a new batch *before* admission:
+  /// the in-flight count is at/above the soft watermark, or the EWMA batch
+  /// latency is above the latency watermark.
+  bool ShouldShed() const EXCLUDES(mu_);
+
+  /// The retry-after hint for a shed/rejected request: the EWMA batch
+  /// latency (how long until a slot plausibly frees), clamped to
+  /// [min_retry_after, max_retry_after].
+  std::chrono::milliseconds RetryAfterHint() const EXCLUDES(mu_);
+
   /// Currently occupied slots.
   std::size_t inflight() const EXCLUDES(mu_);
 
   std::size_t capacity() const { return options_.max_inflight_batches; }
 
+  /// The EWMA batch latency in milliseconds (0 until a batch finishes);
+  /// tests and gauges.
+  double ewma_latency_ms() const EXCLUDES(mu_);
+
  private:
-  void Release() EXCLUDES(mu_);
+  void Release(double latency_ms) EXCLUDES(mu_);
 
   const Options options_;
   mutable Mutex mu_;
   std::size_t inflight_ GUARDED_BY(mu_) = 0;
+  double ewma_latency_ms_ GUARDED_BY(mu_) = 0.0;
 };
 
 }  // namespace diffc::net

@@ -1,45 +1,307 @@
 #include "net/client.h"
 
+#include <thread>
 #include <utility>
+
+#include "obs/metrics.h"
 
 namespace diffc::net {
 
-Result<DiffcClient> DiffcClient::Connect(const std::string& address) {
-  Result<Socket> sock = net::Connect(address);
-  if (!sock.ok()) return sock.status();
-  return DiffcClient(std::move(*sock));
+namespace {
+
+/// Client-side resilience metrics, registered once (the single site the
+/// metric-dup lint rule audits) and shared by every client in the
+/// process.
+struct ClientMetricsSet {
+  obs::Counter* retries;
+  obs::Counter* retries_exhausted;
+  obs::Counter* reconnects;
+  obs::Counter* shed_backoffs;
+  obs::Counter* breaker_to_open;
+  obs::Counter* breaker_to_half_open;
+  obs::Counter* breaker_to_closed;
+};
+
+ClientMetricsSet& ClientMetrics() {
+  static ClientMetricsSet* metrics = [] {
+    obs::Registry& r = obs::Registry::Global();
+    auto* m = new ClientMetricsSet();
+    m->retries = r.GetCounter("diffc_net_client_retries_total",
+                              "Request attempts retried by DiffcClient");
+    m->retries_exhausted =
+        r.GetCounter("diffc_net_client_retries_exhausted_total",
+                     "Requests that failed after exhausting the retry policy");
+    m->reconnects = r.GetCounter("diffc_net_client_reconnects_total",
+                                 "Reconnects after a lost or poisoned connection");
+    m->shed_backoffs = r.GetCounter("diffc_net_client_shed_backoffs_total",
+                                    "Backoffs honoring a server OVERLOADED retry-after hint");
+    m->breaker_to_open = r.GetCounter("diffc_net_client_breaker_transitions_total",
+                                      "Circuit-breaker state transitions by target state",
+                                      {{"to", "open"}});
+    m->breaker_to_half_open = r.GetCounter("diffc_net_client_breaker_transitions_total",
+                                           "Circuit-breaker state transitions by target state",
+                                           {{"to", "half-open"}});
+    m->breaker_to_closed = r.GetCounter("diffc_net_client_breaker_transitions_total",
+                                        "Circuit-breaker state transitions by target state",
+                                        {{"to", "closed"}});
+    return m;
+  }();
+  return *metrics;
 }
 
-Result<Frame> DiffcClient::RoundTrip(const Frame& request, WireResponse expected) {
+}  // namespace
+
+DiffcClient::DiffcClient(std::string address, ClientOptions options)
+    : address_(std::move(address)),
+      options_(options),
+      breaker_(options.breaker),
+      rng_(options.seed != 0 ? options.seed : std::random_device{}()) {}
+
+DiffcClient DiffcClient::Create(const std::string& address, ClientOptions options) {
+  return DiffcClient(address, options);
+}
+
+Result<DiffcClient> DiffcClient::Connect(const std::string& address, ClientOptions options) {
+  DiffcClient client(address, options);
+  FailureClass cls = FailureClass::kTransport;
+  Status s = client.EnsureReady(&cls);
+  if (!s.ok()) return s;
+  return client;
+}
+
+void DiffcClient::Close() {
+  sock_.Close();
+  dead_ = false;
+  closed_ = true;
+  handles_.clear();
+}
+
+std::uint64_t DiffcClient::NextNonce() {
+  // Nonce 0 means "no idempotency" on the wire, so never hand it out.
+  std::uint64_t nonce = rng_();
+  return nonce != 0 ? nonce : 1;
+}
+
+void DiffcClient::NoteBreakerTransition(CircuitBreaker::State before) {
+  const CircuitBreaker::State after = breaker_.state();
+  if (after == before) return;
+  ++stats_.breaker_transitions;
+  ClientMetricsSet& m = ClientMetrics();
+  switch (after) {
+    case CircuitBreaker::State::kOpen:
+      m.breaker_to_open->Inc();
+      break;
+    case CircuitBreaker::State::kHalfOpen:
+      m.breaker_to_half_open->Inc();
+      break;
+    case CircuitBreaker::State::kClosed:
+      m.breaker_to_closed->Inc();
+      break;
+  }
+}
+
+void DiffcClient::OnTransportFailure() {
+  const CircuitBreaker::State before = breaker_.state();
+  breaker_.RecordFailure();
+  NoteBreakerTransition(before);
+}
+
+void DiffcClient::OnServerReply() {
+  // Any framed reply — success, typed error, or shed — proves the
+  // endpoint alive, so the breaker's consecutive-failure count resets.
+  const CircuitBreaker::State before = breaker_.state();
+  breaker_.RecordSuccess();
+  NoteBreakerTransition(before);
+}
+
+Result<Frame> DiffcClient::RoundTripRaw(const Frame& request, WireResponse expected,
+                                        FailureClass* cls,
+                                        std::chrono::milliseconds* retry_hint) {
+  *cls = FailureClass::kTransport;
+  *retry_hint = std::chrono::milliseconds(0);
   if (!sock_.valid()) return Status::FailedPrecondition("client not connected");
   Status ws = WriteFrame(sock_, request);
-  if (!ws.ok()) return ws;
+  if (!ws.ok()) {
+    dead_ = true;
+    return ws;
+  }
   Frame reply;
   bool clean_eof = false;
   Status rs = ReadFrame(sock_, &reply, &clean_eof);
-  if (!rs.ok()) return rs;
+  if (!rs.ok()) {
+    dead_ = true;
+    return rs;
+  }
   if (clean_eof) {
-    return Status::Internal("connection closed by server before a reply");
+    dead_ = true;
+    return Status::Unavailable("connection closed by server before a reply");
+  }
+  if (reply.type == static_cast<std::uint8_t>(WireResponse::kOverloaded)) {
+    Result<OverloadedMsg> shed = DecodeOverloaded(reply);
+    if (!shed.ok()) {
+      dead_ = true;
+      return shed.status();
+    }
+    *cls = FailureClass::kOverloaded;
+    *retry_hint = std::chrono::milliseconds(shed->retry_after_ms);
+    return shed->ToStatus();
   }
   if (reply.type == static_cast<std::uint8_t>(WireResponse::kError)) {
     Result<ErrorMsg> err = DecodeError(reply);
-    if (!err.ok()) return err.status();
+    if (!err.ok()) {
+      dead_ = true;
+      return err.status();
+    }
+    if (err->code == StatusCode::kUnavailable) {
+      // The server sends Unavailable only when the connection itself is
+      // doomed (an injected fault, a read it cannot trust): transport-class,
+      // so the retry reconnects instead of surfacing the transient.
+      dead_ = true;
+      return err->ToStatus();
+    }
+    *cls = FailureClass::kFatal;
     return err->ToStatus();
   }
   if (reply.type != static_cast<std::uint8_t>(expected)) {
-    return Status::InvalidArgument(
+    // A parseable-but-wrong type byte means the request/reply pairing is
+    // lost (e.g. a stale reply from a previous, interrupted exchange) —
+    // the connection cannot be trusted for the next call either.
+    dead_ = true;
+    return Status::Unavailable(
         "unexpected reply type byte " + std::to_string(int{reply.type}) + " (expected " +
-        WireResponseName(expected) + ")");
+        WireResponseName(expected) + "); connection desynced");
   }
   return reply;
+}
+
+Status DiffcClient::EnsureReady(FailureClass* cls) {
+  *cls = FailureClass::kTransport;
+  if (address_.empty()) return Status::FailedPrecondition("client not connected");
+  if (!sock_.valid() || dead_) {
+    if (connected_once_ && !options_.reconnect) {
+      *cls = FailureClass::kFatal;
+      return Status::FailedPrecondition("connection lost and reconnect is disabled");
+    }
+    sock_.Close();
+    Result<Socket> fresh = net::Connect(address_, options_.connect_timeout);
+    if (!fresh.ok()) return fresh.status();
+    sock_ = std::move(*fresh);
+    dead_ = false;
+    if (connected_once_) {
+      ++stats_.reconnects;
+      ClientMetrics().reconnects->Inc();
+    }
+    connected_once_ = true;
+    // A fresh session starts with no server-side handles: re-establish
+    // every recorded registration so the client-scoped handles keep
+    // working transparently.
+    for (auto& [client_handle, rec] : handles_) {
+      RegisterPremisesMsg msg;
+      msg.n = rec.n;
+      msg.premises = rec.premises;
+      std::chrono::milliseconds hint{0};
+      Result<Frame> reply = RoundTripRaw(EncodeRegisterPremises(msg),
+                                         WireResponse::kRegisterOk, cls, &hint);
+      if (!reply.ok()) return reply.status();
+      Result<RegisterOkMsg> ok = DecodeRegisterOk(*reply);
+      if (!ok.ok()) {
+        dead_ = true;
+        *cls = FailureClass::kTransport;
+        return ok.status();
+      }
+      rec.server_handle = ok->handle;
+    }
+  }
+  if (breaker_.state() == CircuitBreaker::State::kHalfOpen) {
+    // The health probe an open breaker recovers through: cheap, touches
+    // no handles, and proves the whole request/reply path.
+    PingMsg probe;
+    probe.nonce = NextNonce();
+    std::chrono::milliseconds hint{0};
+    Result<Frame> pong = RoundTripRaw(EncodePing(probe), WireResponse::kPong, cls, &hint);
+    if (!pong.ok()) return pong.status();
+    OnServerReply();
+  }
+  return Status::Ok();
+}
+
+template <typename T>
+Result<T> DiffcClient::CallDecoded(WireResponse expected, const Deadline& deadline,
+                                   const std::function<Frame()>& encode,
+                                   const std::function<Result<T>(const Frame&)>& decode) {
+  if (closed_) return Status::FailedPrecondition("client closed");
+  RetrySchedule schedule(options_.retry, rng_());
+  while (true) {
+    Status last = Status::Ok();
+    FailureClass cls = FailureClass::kFatal;
+    std::chrono::milliseconds hint{0};
+    bool server_shed = false;
+
+    const CircuitBreaker::State gate_before = breaker_.state();
+    Status gate = breaker_.Allow();
+    NoteBreakerTransition(gate_before);
+    if (!gate.ok()) {
+      // Short-circuit: no I/O while the breaker cools down; the remaining
+      // cooldown doubles as the backoff hint.
+      ++stats_.breaker_short_circuits;
+      cls = FailureClass::kOverloaded;
+      hint = breaker_.RetryAfter();
+      last = gate;
+    } else {
+      Status ready = EnsureReady(&cls);
+      if (!ready.ok()) {
+        last = ready;
+        if (cls == FailureClass::kTransport) OnTransportFailure();
+      } else {
+        Result<Frame> reply = RoundTripRaw(encode(), expected, &cls, &hint);
+        if (reply.ok()) {
+          Result<T> decoded = decode(*reply);
+          if (decoded.ok()) {
+            OnServerReply();
+            return decoded;
+          }
+          // Framed but unparseable: treat like any other desync — poison
+          // the connection and retry the idempotent request on a fresh
+          // one.
+          dead_ = true;
+          cls = FailureClass::kTransport;
+          last = decoded.status();
+          OnTransportFailure();
+        } else {
+          last = reply.status();
+          if (cls == FailureClass::kTransport) {
+            OnTransportFailure();
+          } else {
+            server_shed = cls == FailureClass::kOverloaded;
+            OnServerReply();
+          }
+        }
+      }
+    }
+
+    if (cls == FailureClass::kFatal) return last;
+    Result<std::chrono::milliseconds> delay = schedule.NextDelay(hint, deadline);
+    if (!delay.ok()) {
+      ++stats_.retries_exhausted;
+      ClientMetrics().retries_exhausted->Inc();
+      return last;
+    }
+    if (server_shed) {
+      ++stats_.shed_backoffs;
+      ClientMetrics().shed_backoffs->Inc();
+    }
+    if (delay->count() > 0) std::this_thread::sleep_for(*delay);
+    ++stats_.retries;
+    ClientMetrics().retries->Inc();
+  }
 }
 
 Result<std::uint64_t> DiffcClient::Ping(std::uint64_t nonce) {
   PingMsg msg;
   msg.nonce = nonce;
-  Result<Frame> reply = RoundTrip(EncodePing(msg), WireResponse::kPong);
-  if (!reply.ok()) return reply.status();
-  Result<PingMsg> pong = DecodePong(*reply);
+  Result<PingMsg> pong = CallDecoded<PingMsg>(
+      WireResponse::kPong, Deadline::Never(), [&] { return EncodePing(msg); },
+      [](const Frame& f) { return DecodePong(f); });
   if (!pong.ok()) return pong.status();
   return pong->nonce;
 }
@@ -48,29 +310,72 @@ Result<RegisterOkMsg> DiffcClient::RegisterPremises(int n, const ConstraintSet& 
   RegisterPremisesMsg msg;
   msg.n = n;
   msg.premises = premises;
-  Result<Frame> reply = RoundTrip(EncodeRegisterPremises(msg), WireResponse::kRegisterOk);
-  if (!reply.ok()) return reply.status();
-  return DecodeRegisterOk(*reply);
+  Result<RegisterOkMsg> ok = CallDecoded<RegisterOkMsg>(
+      WireResponse::kRegisterOk, Deadline::Never(),
+      [&] { return EncodeRegisterPremises(msg); },
+      [](const Frame& f) { return DecodeRegisterOk(f); });
+  if (!ok.ok()) return ok;
+  // Hand out a client-scoped handle: stable across reconnects (and across
+  // server restarts, whose fresh handle spaces could collide with stale
+  // server handles).
+  const std::uint64_t client_handle = next_handle_++;
+  HandleRecord rec;
+  rec.server_handle = ok->handle;
+  rec.n = n;
+  rec.premises = premises;
+  handles_.emplace(client_handle, std::move(rec));
+  RegisterOkMsg out = *ok;
+  out.handle = client_handle;
+  return out;
 }
 
 Result<BatchResultMsg> DiffcClient::CheckBatch(std::uint64_t handle, int n,
                                                const std::vector<DifferentialConstraint>& goals,
                                                std::chrono::milliseconds deadline) {
+  auto it = handles_.find(handle);
+  if (it == handles_.end()) {
+    // The same NotFound an unknown handle would earn server-side.
+    return Status::NotFound("unknown handle " + std::to_string(handle));
+  }
   CheckBatchMsg msg;
-  msg.handle = handle;
   msg.deadline_ms = deadline.count() > 0 ? static_cast<std::uint64_t>(deadline.count()) : 0;
   msg.n = n;
   msg.goals = goals;
-  Result<Frame> reply = RoundTrip(EncodeCheckBatch(msg), WireResponse::kBatchResult);
-  if (!reply.ok()) return reply.status();
-  return DecodeBatchResult(*reply);
+  // One nonce for every attempt of this logical batch: a retry whose
+  // predecessor actually executed replays the cached reply instead of
+  // running (and admission-counting) the batch twice.
+  msg.nonce = NextNonce();
+  const Deadline op_deadline = deadline.count() > 0 ? Deadline::After(deadline)
+                                                    : Deadline::Never();
+  return CallDecoded<BatchResultMsg>(
+      WireResponse::kBatchResult, op_deadline,
+      [&] {
+        // Re-resolved per attempt: a reconnect re-registers and changes
+        // the server-side handle.
+        msg.handle = it->second.server_handle;
+        return EncodeCheckBatch(msg);
+      },
+      [](const Frame& f) { return DecodeBatchResult(f); });
 }
 
 Status DiffcClient::Release(std::uint64_t handle) {
+  auto it = handles_.find(handle);
+  if (it == handles_.end()) {
+    return Status::NotFound("unknown handle " + std::to_string(handle));
+  }
   ReleaseMsg msg;
-  msg.handle = handle;
-  Result<Frame> reply = RoundTrip(EncodeRelease(msg), WireResponse::kReleaseOk);
-  return reply.status();
+  Result<bool> ok = CallDecoded<bool>(
+      WireResponse::kReleaseOk, Deadline::Never(),
+      [&] {
+        msg.handle = it->second.server_handle;
+        return EncodeRelease(msg);
+      },
+      [](const Frame&) { return Result<bool>(true); });
+  // Forget the record either way: on failure the server-side handle dies
+  // with its session (or already did), and keeping the record would just
+  // re-register premises nobody will use again.
+  handles_.erase(it);
+  return ok.status();
 }
 
 }  // namespace diffc::net

@@ -3,62 +3,180 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
+#include <random>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/constraint.h"
+#include "net/retry.h"
 #include "net/socket.h"
 #include "net/wire.h"
+#include "util/deadline.h"
 #include "util/status.h"
 
 namespace diffc::net {
+
+/// Resilience knobs of a `DiffcClient`. The defaults ride out transient
+/// faults transparently; `RetryPolicy{.max_attempts = 1}` plus
+/// `reconnect = false` recovers the PR 6 fail-fast behavior.
+struct ClientOptions {
+  /// Bound on connection establishment (non-blocking connect + poll);
+  /// zero blocks indefinitely.
+  std::chrono::milliseconds connect_timeout{2000};
+  /// Backoff/budget discipline for transient failures (transport errors,
+  /// OVERLOADED replies).
+  RetryPolicy retry;
+  /// Per-endpoint circuit breaker over transport failures.
+  CircuitBreakerOptions breaker;
+  /// Reconnect automatically after a lost connection, transparently
+  /// re-registering every recorded premise set. When false, a lost
+  /// connection fails every later call with FailedPrecondition.
+  bool reconnect = true;
+  /// Seed for retry jitter and request nonces; 0 draws one from
+  /// std::random_device (tests pin it for reproducibility).
+  std::uint64_t seed = 0;
+};
+
+/// Client-side resilience counters (monotonic over the client's life);
+/// mirrored into the global metrics registry as diffc_net_client_*.
+struct ClientStats {
+  std::uint64_t retries = 0;
+  std::uint64_t retries_exhausted = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t breaker_transitions = 0;
+  std::uint64_t breaker_short_circuits = 0;
+  /// Backoffs taken because the server shed the request (OVERLOADED).
+  std::uint64_t shed_backoffs = 0;
+};
 
 /// A blocking diffcd client: one connection, one outstanding request at a
 /// time (the protocol is strict request/reply per connection; open more
 /// connections for concurrency). Every server-side rejection arrives as
 /// the original typed `Status` — the error frame round-trips the code, so
-/// admission rejections are ResourceExhausted here, unknown handles are
+/// handle-quota rejections are ResourceExhausted here, unknown handles are
 /// NotFound, malformed input is InvalidArgument.
 ///
-/// Move-only; the destructor closes the connection, which releases every
-/// handle this session registered on the server.
+/// Failure handling (DESIGN.md §11): transport-level failures (connect,
+/// torn frames, resets, a reply that fails to decode) poison the
+/// connection — the next attempt reconnects rather than reading a
+/// desynced stream — and are retried under `ClientOptions::retry` with
+/// capped exponential backoff, never past the caller's deadline.
+/// Registered premise sets are recorded client-side and transparently
+/// re-registered after a reconnect, so the handles this class hands out
+/// stay valid across connection loss; CHECK_BATCH retries carry an
+/// idempotency nonce so the server never runs (or admission-counts) a
+/// batch twice. OVERLOADED replies back off by at least the server's
+/// retry-after hint. Repeated transport failures open a circuit breaker
+/// that fails fast locally and recovers through a half-open `Ping` probe.
+///
+/// Not thread-safe. Move-only; the destructor closes the connection,
+/// which releases every handle this session registered on the server.
 class DiffcClient {
  public:
   DiffcClient() = default;
 
-  /// Connects to a diffcd server at `address` ("host:port" or
-  /// "unix:/path").
-  static Result<DiffcClient> Connect(const std::string& address);
+  /// Creates a client without touching the network; the first request
+  /// connects lazily (useful when the endpoint may be down and the
+  /// breaker/retry machinery should own the failure).
+  static DiffcClient Create(const std::string& address, ClientOptions options = {});
 
-  bool connected() const { return sock_.valid(); }
-  void Close() { sock_.Close(); }
+  /// Connects eagerly to a diffcd server at `address` ("host:port" or
+  /// "unix:/path"); fails fast when the endpoint is unreachable.
+  static Result<DiffcClient> Connect(const std::string& address, ClientOptions options = {});
+
+  bool connected() const { return sock_.valid() && !dead_; }
+
+  /// Closes for good: drops the connection (releasing server-side
+  /// handles), forgets recorded registrations, and fails later calls with
+  /// FailedPrecondition — explicit Close is not a fault to ride out.
+  void Close();
 
   /// Liveness probe; returns the echoed nonce.
   Result<std::uint64_t> Ping(std::uint64_t nonce);
 
   /// Compiles `premises` (over an `n`-attribute universe) server-side;
-  /// the returned handle feeds `CheckBatch` until `Release` or disconnect.
+  /// the returned handle feeds `CheckBatch` until `Release` or `Close`.
+  /// The handle is client-scoped and survives reconnects (the client
+  /// re-registers under the covers).
   Result<RegisterOkMsg> RegisterPremises(int n, const ConstraintSet& premises);
 
   /// Decides `handle's premises |= goals[i]` for every goal. `deadline`
   /// (zero = none) is the server-side wall-clock budget for the whole
-  /// batch; queries past it come back DeadlineExceeded or degraded,
-  /// matching the in-process engine's semantics.
+  /// batch — and the client-side bound past which no retry is scheduled;
+  /// queries past it come back DeadlineExceeded or degraded, matching the
+  /// in-process engine's semantics.
   Result<BatchResultMsg> CheckBatch(std::uint64_t handle, int n,
                                     const std::vector<DifferentialConstraint>& goals,
                                     std::chrono::milliseconds deadline = {});
 
-  /// Drops `handle` server-side.
+  /// Drops `handle` server-side and forgets its registration record.
   Status Release(std::uint64_t handle);
 
+  const ClientStats& stats() const { return stats_; }
+  CircuitBreaker::State breaker_state() const { return breaker_.state(); }
+
  private:
-  explicit DiffcClient(Socket sock) : sock_(std::move(sock)) {}
+  /// A recorded registration: enough to re-establish the server-side
+  /// handle on a fresh connection.
+  struct HandleRecord {
+    std::uint64_t server_handle = 0;
+    int n = 0;
+    ConstraintSet premises;
+  };
 
-  /// Sends `request`, reads one reply, unwraps error frames into their
-  /// `Status`, and insists on `expected` otherwise.
-  Result<Frame> RoundTrip(const Frame& request, WireResponse expected);
+  /// How a failed attempt should drive the retry loop.
+  enum class FailureClass {
+    kTransport,   // connection-level: poison + reconnect + retry
+    kOverloaded,  // server shed: back off (honoring the hint) + retry
+    kFatal,       // typed server verdict: surface immediately
+  };
 
+  DiffcClient(std::string address, ClientOptions options);
+
+  /// The retry loop shared by every request: breaker gate, (re)connect
+  /// with handle re-registration, one round trip, decode, classify,
+  /// back off. `encode` runs per attempt (server handles may change
+  /// across reconnects); `decode` validates the expected reply payload.
+  template <typename T>
+  Result<T> CallDecoded(WireResponse expected, const Deadline& deadline,
+                        const std::function<Frame()>& encode,
+                        const std::function<Result<T>(const Frame&)>& decode);
+
+  /// One send/receive on the current connection. Any framing-level
+  /// failure (write, read, clean EOF, unexpected type) marks the
+  /// connection dead — a partially read reply must never poison the next
+  /// request. Typed error and OVERLOADED frames come back as their
+  /// Status with `*cls`/`*retry_hint` set accordingly.
+  Result<Frame> RoundTripRaw(const Frame& request, WireResponse expected, FailureClass* cls,
+                             std::chrono::milliseconds* retry_hint);
+
+  /// Ensures a live connection: reconnects when poisoned, runs the
+  /// half-open breaker probe (Ping), and re-registers recorded premises.
+  Status EnsureReady(FailureClass* cls);
+
+  void NoteBreakerTransition(CircuitBreaker::State before);
+  void OnTransportFailure();
+  void OnServerReply();
+  std::uint64_t NextNonce();
+
+  std::string address_;
+  ClientOptions options_;
   Socket sock_;
+  /// Poisoned-connection flag (set on any framing error): the next call
+  /// reconnects instead of reading garbage.
+  bool dead_ = false;
+  bool closed_ = false;
+  bool connected_once_ = false;
+  CircuitBreaker breaker_;
+  std::mt19937_64 rng_;
+  /// Client-scoped handle → registration record. Client handles are
+  /// allocated locally so they can never collide with a restarted
+  /// server's handle space.
+  std::unordered_map<std::uint64_t, HandleRecord> handles_;
+  std::uint64_t next_handle_ = 1;
+  ClientStats stats_;
 };
 
 }  // namespace diffc::net

@@ -1,0 +1,54 @@
+#include "net/nonce_cache.h"
+
+namespace diffc::net {
+
+NonceCache::Lookup NonceCache::Begin(std::uint64_t nonce) {
+  Lookup out;
+  if (nonce == 0) return out;
+  MutexLock lock(&mu_);
+  auto it = entries_.find(nonce);
+  if (it != entries_.end()) {
+    if (it->second.done) {
+      out.state = State::kDone;
+      out.reply = it->second.reply;
+    } else {
+      out.state = State::kInFlight;
+    }
+    return out;
+  }
+  // In-flight claims get a small slack over the done-capacity; beyond it
+  // dedup is best-effort (miss without a claim) so the table stays bounded
+  // no matter how many claims a crashing client strands.
+  if (entries_.size() < options_.capacity + 64) {
+    entries_.emplace(nonce, Entry{});
+  }
+  return out;
+}
+
+void NonceCache::Complete(std::uint64_t nonce, const Frame& reply) {
+  if (nonce == 0) return;
+  MutexLock lock(&mu_);
+  auto it = entries_.find(nonce);
+  if (it == entries_.end() || it->second.done) return;
+  it->second.done = true;
+  it->second.reply = reply;
+  done_order_.push_back(nonce);
+  while (done_order_.size() > options_.capacity) {
+    entries_.erase(done_order_.front());
+    done_order_.pop_front();
+  }
+}
+
+void NonceCache::Abandon(std::uint64_t nonce) {
+  if (nonce == 0) return;
+  MutexLock lock(&mu_);
+  auto it = entries_.find(nonce);
+  if (it != entries_.end() && !it->second.done) entries_.erase(it);
+}
+
+std::size_t NonceCache::size() const {
+  MutexLock lock(&mu_);
+  return entries_.size();
+}
+
+}  // namespace diffc::net

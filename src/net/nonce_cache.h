@@ -1,0 +1,76 @@
+#ifndef DIFFC_NET_NONCE_CACHE_H_
+#define DIFFC_NET_NONCE_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "net/wire.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace diffc::net {
+
+/// The server's idempotent-reply cache: CHECK_BATCH requests carrying a
+/// nonzero nonce are answered at most once. The first arrival claims the
+/// nonce (kMiss) and executes; a retry racing that execution sees
+/// kInFlight (the server sheds it with a retry-after instead of running —
+/// and admission-charging — the batch twice); a retry after completion
+/// sees kDone and gets the original reply frame byte-for-byte.
+///
+/// Completed replies are kept FIFO up to `capacity`; in-flight claims are
+/// bounded separately (a small slack over capacity) so an aborted client
+/// cannot grow the table — past the bound, dedup degrades to best-effort
+/// (kMiss without a claim) rather than failing requests.
+class NonceCache {
+ public:
+  struct Options {
+    std::size_t capacity = 64;
+  };
+
+  enum class State { kMiss, kInFlight, kDone };
+
+  struct Lookup {
+    State state = State::kMiss;
+    /// The cached reply; meaningful only for kDone.
+    Frame reply;
+  };
+
+  explicit NonceCache(Options options) : options_(options) {}
+
+  NonceCache(const NonceCache&) = delete;
+  NonceCache& operator=(const NonceCache&) = delete;
+
+  /// Looks up `nonce` and, on a miss, claims it in-flight. Nonce 0 (a
+  /// client without idempotency) is always a miss and never claimed.
+  Lookup Begin(std::uint64_t nonce) EXCLUDES(mu_);
+
+  /// Publishes the reply for an in-flight claim (no-op for unclaimed or
+  /// already-done nonces), FIFO-evicting the oldest completed entries
+  /// beyond capacity.
+  void Complete(std::uint64_t nonce, const Frame& reply) EXCLUDES(mu_);
+
+  /// Drops an in-flight claim whose outcome must not be replayed (error
+  /// replies: a retry should re-execute, not replay a stale error).
+  void Abandon(std::uint64_t nonce) EXCLUDES(mu_);
+
+  /// Entries currently held (in-flight + done); tests.
+  std::size_t size() const EXCLUDES(mu_);
+
+ private:
+  struct Entry {
+    bool done = false;
+    Frame reply;
+  };
+
+  const Options options_;
+  mutable Mutex mu_;
+  std::unordered_map<std::uint64_t, Entry> entries_ GUARDED_BY(mu_);
+  /// Completed nonces in completion order — the FIFO eviction queue.
+  std::deque<std::uint64_t> done_order_ GUARDED_BY(mu_);
+};
+
+}  // namespace diffc::net
+
+#endif  // DIFFC_NET_NONCE_CACHE_H_

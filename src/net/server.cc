@@ -11,6 +11,7 @@
 #include "obs/event_log.h"
 #include "obs/exposition.h"
 #include "obs/metrics.h"
+#include "util/failpoint.h"
 
 namespace diffc::net {
 
@@ -35,6 +36,11 @@ struct ServiceMetrics {
   obs::Counter* drains;
   obs::Gauge* draining;
   obs::Histogram* request_seconds;
+  obs::Counter* shed;
+  obs::Counter* watchdog_kills;
+  obs::Counter* nonce_replays;
+  obs::Counter* nonce_inflight_dups;
+  obs::Counter* accept_failures;
 
   obs::Counter* ForRequest(WireRequest t) const {
     switch (t) {
@@ -87,6 +93,22 @@ ServiceMetrics& Metrics() {
     m->request_seconds =
         r.GetHistogram("diffc_net_request_seconds", "Wire request wall time by type",
                        obs::ExponentialBuckets(0.0001, 4.0, 12));
+    m->shed = r.GetCounter(
+        "diffc_net_shed_total",
+        "CHECK_BATCH requests shed with an OVERLOADED reply (watermarks, admission "
+        "cap, or in-flight retry nonces)");
+    m->watchdog_kills = r.GetCounter(
+        "diffc_net_watchdog_kills_total",
+        "Sessions killed by the watchdog for stalling mid-frame beyond the stall budget");
+    m->nonce_replays = r.GetCounter(
+        "diffc_net_nonce_replays_total",
+        "CHECK_BATCH retries answered from the idempotency nonce cache");
+    m->nonce_inflight_dups = r.GetCounter(
+        "diffc_net_nonce_inflight_dups_total",
+        "CHECK_BATCH retries shed because the original attempt is still executing");
+    m->accept_failures = r.GetCounter(
+        "diffc_net_accept_failures_total",
+        "Transient accept() failures the accept loop rode out");
     return m;
   }();
   return *metrics;
@@ -151,6 +173,37 @@ class RegisterPremisesHandler final : public WireHandlerImpl {
   }
 };
 
+/// RAII over an in-flight nonce claim: `Abandon`s on destruction unless
+/// the reply was published with `Publish` — error replies must not be
+/// replayed (a retry should re-execute, not re-fail).
+class NonceClaim {
+ public:
+  NonceClaim(NonceCache* cache, std::uint64_t nonce) : cache_(cache), nonce_(nonce) {}
+  ~NonceClaim() {
+    if (cache_ != nullptr) cache_->Abandon(nonce_);
+  }
+  NonceClaim(const NonceClaim&) = delete;
+  NonceClaim& operator=(const NonceClaim&) = delete;
+
+  void Publish(const Frame& reply) {
+    if (cache_ != nullptr) cache_->Complete(nonce_, reply);
+    cache_ = nullptr;
+  }
+
+ private:
+  NonceCache* cache_;
+  std::uint64_t nonce_;
+};
+
+/// The OVERLOADED shed reply, hinting the server's EWMA batch latency.
+Frame ShedFrame(SessionContext* ctx) {
+  Metrics().shed->Inc();
+  OverloadedMsg shed;
+  shed.retry_after_ms =
+      static_cast<std::uint32_t>(ctx->server->admission().RetryAfterHint().count());
+  return EncodeOverloaded(shed);
+}
+
 class CheckBatchHandler final : public WireHandlerImpl {
  public:
   WireRequest id() const override { return WireRequest::kCheckBatch; }
@@ -159,6 +212,20 @@ class CheckBatchHandler final : public WireHandlerImpl {
   Frame Handle(SessionContext* ctx, const Frame& frame) const override {
     Result<CheckBatchMsg> msg = DecodeCheckBatch(frame);
     if (!msg.ok()) return ErrFrame(msg.status());
+
+    // Idempotency first: a retry of an already-answered batch replays the
+    // original reply (no second execution, no second admission charge); a
+    // retry racing the original execution is shed rather than run twice.
+    NonceCache::Lookup seen = ctx->server->nonces().Begin(msg->nonce);
+    if (seen.state == NonceCache::State::kDone) {
+      Metrics().nonce_replays->Inc();
+      return seen.reply;
+    }
+    if (seen.state == NonceCache::State::kInFlight) {
+      Metrics().nonce_inflight_dups->Inc();
+      return ShedFrame(ctx);
+    }
+    NonceClaim claim(&ctx->server->nonces(), msg->nonce);
 
     Result<std::shared_ptr<const PreparedPremises>> prepared =
         ctx->server->handles().Lookup(msg->handle);
@@ -169,10 +236,17 @@ class CheckBatchHandler final : public WireHandlerImpl {
           std::to_string(msg->handle) + " (n=" + std::to_string((*prepared)->n()) + ")"));
     }
 
+    // Load shedding before admission: past the soft watermarks (or under
+    // the injected-overload failpoint) the server answers OVERLOADED
+    // while it still has headroom to say so.
+    if (DIFFC_FAILPOINT("server/shed") || ctx->server->admission().ShouldShed()) {
+      return ShedFrame(ctx);
+    }
+
     Result<AdmissionController::Slot> slot = ctx->server->admission().Admit();
     if (!slot.ok()) {
       Metrics().admission_rejected->Inc();
-      return ErrFrame(slot.status());
+      return ShedFrame(ctx);
     }
     Metrics().inflight_batches->Set(
         static_cast<double>(ctx->server->admission().inflight()));
@@ -216,7 +290,11 @@ class CheckBatchHandler final : public WireHandlerImpl {
     reply.stats.timed_out = s.timed_out;
     reply.stats.cancelled = s.cancelled;
     reply.stats.batch_wall_ns = s.batch_wall_ns;
-    return EncodeBatchResult(reply);
+    Frame out = EncodeBatchResult(reply);
+    // Only successful results are replayable; failures above Abandon the
+    // claim via RAII so a retry re-executes.
+    claim.Publish(out);
+    return out;
   }
 };
 
@@ -249,7 +327,10 @@ DiffcdServer::DiffcdServer(ServerOptions options)
       engine_(options_.engine),
       handles_(PreparedHandleTable::Options{options_.max_handles_per_session,
                                             options_.max_total_handles}),
-      admission_(AdmissionController::Options{options_.max_inflight_batches}) {}
+      admission_(AdmissionController::Options{options_.max_inflight_batches,
+                                              options_.shed_watermark,
+                                              options_.shed_latency_watermark}),
+      nonces_(NonceCache::Options{options_.nonce_cache_capacity}) {}
 
 DiffcdServer::~DiffcdServer() {
   // Destructor drain: the outcome is whatever Shutdown reports; a caller
@@ -327,7 +408,15 @@ void DiffcdServer::ReapFinishedSessions() {
 void DiffcdServer::AcceptLoop() {
   while (true) {
     Result<Socket> conn = listener_.Accept();
-    if (!conn.ok()) return;  // Cancelled by Shutdown closing the listener.
+    if (!conn.ok()) {
+      // Cancelled means Shutdown closed the listener. Anything else
+      // (EMFILE, injected net/accept-fail, ...) is transient: one lost
+      // connection must not take the whole accept loop down with it.
+      if (conn.status().code() == StatusCode::kCancelled) return;
+      Metrics().accept_failures->Inc();
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      continue;
+    }
     ReapFinishedSessions();
     MutexLock lock(&mu_);
     if (state_ != State::kRunning) {
@@ -356,8 +445,17 @@ void DiffcdServer::SessionLoop(Session* session) {
   while (true) {
     Frame frame;
     bool clean_eof = false;
-    Status rs = ReadFrame(session->sock, &frame, &clean_eof);
+    Status rs = ReadFrame(session->sock, &frame, &clean_eof, options_.session_stall_budget);
     if (!rs.ok()) {
+      if (rs.code() == StatusCode::kDeadlineExceeded) {
+        // Watchdog: the peer went silent mid-frame past the stall budget;
+        // kill the session rather than pin its thread until drain.
+        m.watchdog_kills->Inc();
+        obs::GlobalEventLog().Record("diffcd-watchdog-kill",
+                                     {{"session", std::to_string(session->id)}});
+        (void)WriteFrame(session->sock, ErrFrame(rs));  // Best-effort courtesy.
+        break;
+      }
       m.frame_errors->Inc();
       // Best-effort: the stream is unparseable past this point, so the
       // typed error frame is a courtesy before the connection closes.
@@ -401,6 +499,19 @@ void DiffcdServer::SessionLoop(Session* session) {
       obs::GlobalEventLog().Record("diffcd-slow-request", std::move(fields));
     }
     ctx.tracer = nullptr;
+
+    // Chaos-only fault sites on the reply path (compiled out by default):
+    // a handler thread that dies before replying, a delayed reply, and a
+    // connection reset halfway through the reply frame.
+    if (DIFFC_FAILPOINT("server/abort-session")) break;
+    if (DIFFC_FAILPOINT("server/delay-reply")) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    }
+    if (DIFFC_FAILPOINT("server/reset-mid-reply")) {
+      std::vector<std::uint8_t> bytes = SerializeFrame(reply);
+      (void)session->sock.SendAll(bytes.data(), bytes.size() / 2);  // Torn on purpose.
+      break;
+    }
 
     Status ws = WriteFrame(session->sock, reply);
     if (!ws.ok()) break;

@@ -12,6 +12,7 @@
 #include "engine/handle_table.h"
 #include "engine/implication_engine.h"
 #include "net/admission.h"
+#include "net/nonce_cache.h"
 #include "net/socket.h"
 #include "net/wire.h"
 #include "obs/trace.h"
@@ -36,6 +37,20 @@ struct ServerOptions {
   /// Admission: concurrently executing CHECK_BATCH requests beyond this
   /// are rejected with a typed ResourceExhausted error frame.
   std::size_t max_inflight_batches = 8;
+  /// Load shedding (DESIGN.md §11): at/above this many in-flight batches a
+  /// new CHECK_BATCH gets an OVERLOADED reply (with a retry-after hint)
+  /// *before* admission. 0 disables the soft watermark.
+  std::size_t shed_watermark = 0;
+  /// Shed while the EWMA batch latency exceeds this. Zero disables.
+  std::chrono::milliseconds shed_latency_watermark{0};
+  /// Retained replies for CHECK_BATCH idempotency nonces (retry dedup).
+  std::size_t nonce_cache_capacity = 64;
+  /// Per-frame stall budget: once a session has sent the first byte of a
+  /// frame, the rest must arrive within this budget or the watchdog kills
+  /// the session (a stuck-mid-frame peer otherwise pins its thread until
+  /// drain). Idle sessions (no partial frame) are unaffected. Zero
+  /// disables.
+  std::chrono::milliseconds session_stall_budget{10000};
   /// Handle quota per session and process-wide (ResourceExhausted frames
   /// past either).
   std::size_t max_handles_per_session = 16;
@@ -117,6 +132,7 @@ class DiffcdServer {
   ImplicationEngine& engine() { return engine_; }
   PreparedHandleTable& handles() { return handles_; }
   AdmissionController& admission() { return admission_; }
+  NonceCache& nonces() { return nonces_; }
   const ServerOptions& options() const { return options_; }
   /// The server-wide cancel token threaded into every batch; fired when
   /// the drain deadline expires.
@@ -146,6 +162,7 @@ class DiffcdServer {
   ImplicationEngine engine_;
   PreparedHandleTable handles_;
   AdmissionController admission_;
+  NonceCache nonces_;
   CancelToken drain_cancel_;
 
   // Listeners, listener threads, and bound addresses are written only in

@@ -1,9 +1,11 @@
 #include "net/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <sys/un.h>
@@ -11,6 +13,8 @@
 
 #include <cerrno>
 #include <cstring>
+
+#include "util/failpoint.h"
 
 namespace diffc::net {
 
@@ -105,6 +109,24 @@ Status Socket::SetSendTimeout(std::chrono::milliseconds timeout) const {
 
 Status Socket::SendAll(const void* data, std::size_t len) const {
   if (fd_ < 0) return Status::FailedPrecondition("send on closed socket");
+  if (DIFFC_FAILPOINT("net/send-reset")) {
+    return Status::Unavailable("failpoint: injected connection reset before send");
+  }
+  if (len > 1 && DIFFC_FAILPOINT("net/send-torn")) {
+    // A torn write: deliver a prefix, then fail as a mid-write reset
+    // would — the peer sees a truncated frame, the writer a dead
+    // connection.
+    const char* q = static_cast<const char*>(data);
+    std::size_t left = len / 2;
+    while (left > 0) {
+      ssize_t n = ::send(fd_, q, left, MSG_NOSIGNAL);
+      if (n <= 0) break;
+      q += n;
+      left -= static_cast<std::size_t>(n);
+    }
+    return Status::Unavailable("failpoint: torn write after " + std::to_string(len / 2 - left) +
+                               " of " + std::to_string(len) + " bytes");
+  }
   const char* p = static_cast<const char*>(data);
   while (len > 0) {
     ssize_t n = ::send(fd_, p, len, MSG_NOSIGNAL);
@@ -119,18 +141,53 @@ Status Socket::SendAll(const void* data, std::size_t len) const {
 }
 
 Status Socket::RecvAll(void* data, std::size_t len, bool* clean_eof) const {
+  auto give_up = std::chrono::steady_clock::time_point::max();
+  return RecvAllStalled(data, len, clean_eof, std::chrono::milliseconds(0), &give_up);
+}
+
+Status Socket::RecvAllStalled(void* data, std::size_t len, bool* clean_eof,
+                              std::chrono::milliseconds stall,
+                              std::chrono::steady_clock::time_point* give_up) const {
+  using Clock = std::chrono::steady_clock;
   *clean_eof = false;
   if (fd_ < 0) return Status::FailedPrecondition("recv on closed socket");
+  if (DIFFC_FAILPOINT("net/recv-reset")) {
+    return Status::Unavailable("failpoint: injected connection reset before recv");
+  }
+  // Whether some earlier read already armed the stall deadline — then an
+  // EOF here, even before this buffer's first byte, lands mid-frame and
+  // must decode as truncation, not a clean close.
+  const bool mid_frame = *give_up != Clock::time_point::max();
   char* p = static_cast<char*>(data);
   std::size_t got = 0;
   while (got < len) {
+    if (*give_up != Clock::time_point::max()) {
+      const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+          *give_up - Clock::now());
+      if (remaining.count() <= 0) {
+        return Status::DeadlineExceeded("peer stalled mid-frame beyond the stall budget");
+      }
+      pollfd pfd{};
+      pfd.fd = fd_;
+      pfd.events = POLLIN;
+      int pr = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        return Errno("poll");
+      }
+      if (pr == 0) {
+        return Status::DeadlineExceeded("peer stalled mid-frame beyond the stall budget");
+      }
+      // Readable (or hung up / errored): fall through to recv, which
+      // reports the precise condition.
+    }
     ssize_t n = ::recv(fd_, p + got, len - got, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
       return Errno("recv");
     }
     if (n == 0) {
-      if (got == 0) {
+      if (got == 0 && !mid_frame) {
         *clean_eof = true;
         return Status::Ok();
       }
@@ -139,6 +196,9 @@ Status Socket::RecvAll(void* data, std::size_t len, bool* clean_eof) const {
                                      " bytes");
     }
     got += static_cast<std::size_t>(n);
+    if (*give_up == Clock::time_point::max() && stall.count() > 0) {
+      *give_up = Clock::now() + stall;
+    }
   }
   return Status::Ok();
 }
@@ -153,17 +213,79 @@ Result<std::size_t> Socket::RecvSome(void* data, std::size_t cap) const {
   }
 }
 
-Result<Socket> Connect(const std::string& address) {
+namespace {
+
+// Connects `fd` to `addr`, bounded by `timeout` when positive: the socket
+// goes non-blocking, the in-progress connect is awaited with poll, and the
+// outcome is read back from SO_ERROR — the only portable way to bound
+// ::connect (there is no SO_CONNECTTIMEO). The socket is restored to
+// blocking mode on success.
+Status ConnectFd(int fd, const sockaddr* addr, socklen_t addrlen, const std::string& address,
+                 std::chrono::milliseconds timeout) {
+  if (timeout.count() <= 0) {
+    while (::connect(fd, addr, addrlen) != 0) {
+      if (errno == EINTR) continue;
+      return Errno("connect " + address);
+    }
+    return Status::Ok();
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  if (::connect(fd, addr, addrlen) != 0) {
+    // EINTR here also means "in progress" (POSIX: the connection proceeds
+    // asynchronously), so both wait below.
+    if (errno != EINPROGRESS && errno != EINTR) return Errno("connect " + address);
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    const auto give_up = std::chrono::steady_clock::now() + timeout;
+    int pr;
+    do {
+      const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+          give_up - std::chrono::steady_clock::now());
+      if (remaining.count() <= 0) {
+        pr = 0;
+        break;
+      }
+      pr = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+    } while (pr < 0 && errno == EINTR);
+    if (pr < 0) return Errno("poll(connect " + address + ")");
+    if (pr == 0) {
+      return Status::DeadlineExceeded("connect " + address + " timed out after " +
+                                      std::to_string(timeout.count()) + "ms");
+    }
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0) {
+      return Errno("getsockopt(SO_ERROR)");
+    }
+    if (err != 0) {
+      return Status::Internal("connect " + address + ": " + std::strerror(err));
+    }
+  }
+  if (::fcntl(fd, F_SETFL, flags) != 0) return Errno("fcntl(restore blocking)");
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<Socket> Connect(const std::string& address, std::chrono::milliseconds connect_timeout) {
+  if (DIFFC_FAILPOINT("net/connect-fail")) {
+    return Status::Unavailable("failpoint: injected connect failure to " + address);
+  }
   if (IsUnixAddress(address)) {
     sockaddr_un addr;
     Status s = FillUnixAddr(address.substr(5), &addr);
     if (!s.ok()) return s;
     int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd < 0) return Errno("socket(AF_UNIX)");
-    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-      Status err = Errno("connect " + address);
+    Status cs = ConnectFd(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr), address,
+                          connect_timeout);
+    if (!cs.ok()) {
       ::close(fd);
-      return err;
+      return cs;
     }
     return Socket(fd);
   }
@@ -186,13 +308,14 @@ Result<Socket> Connect(const std::string& address) {
       last = Errno("socket");
       continue;
     }
-    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+    Status cs = ConnectFd(fd, ai->ai_addr, ai->ai_addrlen, address, connect_timeout);
+    if (cs.ok()) {
       int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
       ::freeaddrinfo(res);
       return Socket(fd);
     }
-    last = Errno("connect " + address);
+    last = std::move(cs);
     ::close(fd);
   }
   ::freeaddrinfo(res);
@@ -293,6 +416,9 @@ Result<Listener> Listener::Bind(const std::string& address) {
 
 Result<Socket> Listener::Accept() const {
   if (fd_ < 0) return Status::Cancelled("listener closed");
+  if (DIFFC_FAILPOINT("net/accept-fail")) {
+    return Status::Unavailable("failpoint: injected accept failure");
+  }
   while (true) {
     int fd = ::accept(fd_, nullptr, nullptr);
     if (fd >= 0) {
@@ -327,11 +453,15 @@ Status WriteFrame(const Socket& sock, const Frame& frame) {
   return sock.SendAll(bytes.data(), bytes.size());
 }
 
-Status ReadFrame(const Socket& sock, Frame* frame, bool* clean_eof) {
+Status ReadFrame(const Socket& sock, Frame* frame, bool* clean_eof,
+                 std::chrono::milliseconds stall_budget) {
   *clean_eof = false;
+  // One stall deadline spans the whole frame: armed by the header's first
+  // byte, shared with the payload read below.
+  auto give_up = std::chrono::steady_clock::time_point::max();
   std::uint8_t header[6];
   bool eof = false;
-  Status s = sock.RecvAll(header, sizeof(header), &eof);
+  Status s = sock.RecvAllStalled(header, sizeof(header), &eof, stall_budget, &give_up);
   if (!s.ok()) return s;
   if (eof) {
     *clean_eof = true;
@@ -351,7 +481,7 @@ Status ReadFrame(const Socket& sock, Frame* frame, bool* clean_eof) {
   frame->type = header[5];
   frame->payload.resize(len);
   if (len > 0) {
-    s = sock.RecvAll(frame->payload.data(), len, &eof);
+    s = sock.RecvAllStalled(frame->payload.data(), len, &eof, stall_budget, &give_up);
     if (!s.ok()) return s;
     if (eof) return Status::InvalidArgument("truncated frame: stream ended before payload");
   }

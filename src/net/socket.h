@@ -61,6 +61,19 @@ class Socket {
   /// quits mid-frame left the stream unparseable.
   Status RecvAll(void* data, std::size_t len, bool* clean_eof) const;
 
+  /// `RecvAll` with a watchdog: `*give_up` is the absolute stall deadline
+  /// for the unit of work spanning this read (one wire frame). While
+  /// `*give_up` is `time_point::max()` the read blocks indefinitely (an
+  /// idle peer between frames is legitimate); the first byte received
+  /// arms it to now + `stall` (when `stall` > 0), and every subsequent
+  /// wait is bounded by what remains — a peer that goes silent mid-frame
+  /// fails with DeadlineExceeded instead of pinning the reader forever.
+  /// Pass the same `*give_up` through the header and payload reads of one
+  /// frame so the budget covers the frame as a whole.
+  Status RecvAllStalled(void* data, std::size_t len, bool* clean_eof,
+                        std::chrono::milliseconds stall,
+                        std::chrono::steady_clock::time_point* give_up) const;
+
   /// Reads up to `cap` bytes — whatever one `recv` returns. 0 means EOF.
   /// The incremental read the line-oriented HTTP metrics endpoint needs.
   Result<std::size_t> RecvSome(void* data, std::size_t cap) const;
@@ -69,8 +82,12 @@ class Socket {
   int fd_ = -1;
 };
 
-/// Connects to `address` (see the address forms above).
-Result<Socket> Connect(const std::string& address);
+/// Connects to `address` (see the address forms above). A positive
+/// `connect_timeout` bounds connection establishment (non-blocking
+/// connect + poll: DeadlineExceeded on expiry) so an unreachable or
+/// black-holed host cannot hang the caller; zero blocks indefinitely.
+Result<Socket> Connect(const std::string& address,
+                       std::chrono::milliseconds connect_timeout = std::chrono::milliseconds(0));
 
 /// A listening socket.
 class Listener {
@@ -111,8 +128,11 @@ Status WriteFrame(const Socket& sock, const Frame& frame);
 /// declared payload length capped at `kMaxFramePayload`, version byte must
 /// match `kWireVersion`. `*clean_eof` true (with OK and an empty frame)
 /// means the peer closed between frames; EOF inside a frame is
-/// InvalidArgument.
-Status ReadFrame(const Socket& sock, Frame* frame, bool* clean_eof);
+/// InvalidArgument. A positive `stall_budget` bounds the whole frame from
+/// its first byte (see `RecvAllStalled`): DeadlineExceeded identifies a
+/// peer stuck mid-frame, while waiting *between* frames stays unbounded.
+Status ReadFrame(const Socket& sock, Frame* frame, bool* clean_eof,
+                 std::chrono::milliseconds stall_budget = std::chrono::milliseconds(0));
 
 }  // namespace diffc::net
 

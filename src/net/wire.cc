@@ -5,6 +5,7 @@
 
 #include "lattice/set_family.h"
 #include "util/bitops.h"
+#include "util/failpoint.h"
 
 namespace diffc::net {
 
@@ -32,6 +33,8 @@ const char* WireResponseName(WireResponse t) {
       return "batch-result";
     case WireResponse::kReleaseOk:
       return "release-ok";
+    case WireResponse::kOverloaded:
+      return "overloaded";
     case WireResponse::kError:
       return "error";
   }
@@ -220,6 +223,9 @@ Result<RegisterOkMsg> DecodeRegisterOk(const Frame& f) {
   Status ts =
       CheckFrameType(f, static_cast<std::uint8_t>(WireResponse::kRegisterOk), "register-ok");
   if (!ts.ok()) return ts;
+  if (DIFFC_FAILPOINT("wire/decode-register-ok")) {
+    return Status::Unavailable("failpoint: injected register-ok decode failure");
+  }
   WireReader r(f.payload);
   RegisterOkMsg msg;
   Result<std::uint64_t> handle = r.U64();
@@ -237,6 +243,7 @@ Frame EncodeCheckBatch(const CheckBatchMsg& msg) {
   WireWriter w;
   w.U64(msg.handle);
   w.U64(msg.deadline_ms);
+  w.U64(msg.nonce);
   EncodeConstraintList(&w, msg.n, msg.goals);
   return MakeFrame(static_cast<std::uint8_t>(WireRequest::kCheckBatch), std::move(w));
 }
@@ -253,6 +260,9 @@ Result<CheckBatchMsg> DecodeCheckBatch(const Frame& f) {
   Result<std::uint64_t> deadline = r.U64();
   if (!deadline.ok()) return deadline.status();
   msg.deadline_ms = *deadline;
+  Result<std::uint64_t> nonce = r.U64();
+  if (!nonce.ok()) return nonce.status();
+  msg.nonce = *nonce;
   Status s = DecodeConstraintList(&r, &msg.n, &msg.goals);
   if (!s.ok()) return s;
   s = r.Finish();
@@ -300,6 +310,9 @@ Result<BatchResultMsg> DecodeBatchResult(const Frame& f) {
   Status ts =
       CheckFrameType(f, static_cast<std::uint8_t>(WireResponse::kBatchResult), "batch-result");
   if (!ts.ok()) return ts;
+  if (DIFFC_FAILPOINT("wire/decode-batch-result")) {
+    return Status::Unavailable("failpoint: injected batch-result decode failure");
+  }
   WireReader r(f.payload);
   Result<std::uint32_t> count = r.U32();
   if (!count.ok()) return count.status();
@@ -405,6 +418,26 @@ Result<PingMsg> DecodePong(const Frame& f) {
   return DecodeNonce(f, static_cast<std::uint8_t>(WireResponse::kPong), "pong");
 }
 
+Frame EncodeOverloaded(const OverloadedMsg& msg) {
+  WireWriter w;
+  w.U32(msg.retry_after_ms);
+  return MakeFrame(static_cast<std::uint8_t>(WireResponse::kOverloaded), std::move(w));
+}
+
+Result<OverloadedMsg> DecodeOverloaded(const Frame& f) {
+  Status ts =
+      CheckFrameType(f, static_cast<std::uint8_t>(WireResponse::kOverloaded), "overloaded");
+  if (!ts.ok()) return ts;
+  WireReader r(f.payload);
+  OverloadedMsg msg;
+  Result<std::uint32_t> retry_after = r.U32();
+  if (!retry_after.ok()) return retry_after.status();
+  msg.retry_after_ms = *retry_after;
+  Status s = r.Finish();
+  if (!s.ok()) return s;
+  return msg;
+}
+
 Frame EncodeError(const ErrorMsg& msg) {
   WireWriter w;
   w.U8(static_cast<std::uint8_t>(msg.code));
@@ -421,7 +454,7 @@ Result<ErrorMsg> DecodeError(const Frame& f) {
   ErrorMsg msg;
   Result<std::uint8_t> code = r.U8();
   if (!code.ok()) return code.status();
-  if (*code > static_cast<std::uint8_t>(StatusCode::kCancelled)) {
+  if (*code > static_cast<std::uint8_t>(kMaxStatusCode)) {
     return Status::InvalidArgument("unknown status code byte " + std::to_string(int{*code}));
   }
   msg.code = static_cast<StatusCode>(*code);

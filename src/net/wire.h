@@ -32,8 +32,9 @@ namespace diffc::net {
 /// size before any `ItemSet` is constructed — out-of-range attribute
 /// indices are rejected at the boundary (see DESIGN.md §11).
 
-/// Protocol version carried by every frame.
-inline constexpr std::uint8_t kWireVersion = 1;
+/// Protocol version carried by every frame. v2 added the CHECK_BATCH
+/// idempotency nonce and the OVERLOADED reply.
+inline constexpr std::uint8_t kWireVersion = 2;
 
 /// Hard cap on a frame payload, checked before allocation.
 inline constexpr std::uint32_t kMaxFramePayload = 4u << 20;  // 4 MiB
@@ -61,6 +62,7 @@ enum class WireResponse : std::uint8_t {
   kRegisterOk = 0x12,
   kBatchResult = 0x13,
   kReleaseOk = 0x14,
+  kOverloaded = 0x15,
   kError = 0x7F,
 };
 
@@ -135,9 +137,14 @@ struct RegisterOkMsg {
 /// CHECK_BATCH: decide `handle's premises |= goals[i]` for every goal.
 /// `n` must match the handle's universe (revalidated server-side);
 /// `deadline_ms` (0 = none) bounds the whole batch server-side.
+/// `nonce` (0 = none) makes the request idempotent: the server caches the
+/// reply keyed by nonce, so a client retry of a batch whose reply was
+/// lost gets the original answer back instead of a second execution (and
+/// a second admission-quota charge).
 struct CheckBatchMsg {
   std::uint64_t handle = 0;
   std::uint64_t deadline_ms = 0;
+  std::uint64_t nonce = 0;
   int n = 0;
   std::vector<DifferentialConstraint> goals;
 };
@@ -178,6 +185,22 @@ struct PingMsg {
   std::uint64_t nonce = 0;
 };
 
+/// OVERLOADED: the server shed this request — admission hard cap, the
+/// shed watermark, or a duplicate of a still-executing retry nonce.
+/// `retry_after_ms` (0 = client's choice) is the server's backoff hint,
+/// derived from its EWMA batch latency; `DiffcClient`'s retry schedule
+/// never retries sooner than the hint.
+struct OverloadedMsg {
+  std::uint32_t retry_after_ms = 0;
+
+  /// The Status a client surfaces when its retries exhaust on shed
+  /// replies (ResourceExhausted, matching direct admission rejections).
+  Status ToStatus() const {
+    return Status::ResourceExhausted(
+        "server overloaded; retry after " + std::to_string(retry_after_ms) + "ms");
+  }
+};
+
 /// ERROR: a typed failure — the `Status` the server rejected the request
 /// with, round-tripped so `DiffcClient` surfaces the original code
 /// (InvalidArgument for malformed input, ResourceExhausted for admission
@@ -202,6 +225,7 @@ Frame EncodeRelease(const ReleaseMsg& msg);
 Frame EncodeReleaseOk();
 Frame EncodePing(const PingMsg& msg);
 Frame EncodePong(const PingMsg& msg);
+Frame EncodeOverloaded(const OverloadedMsg& msg);
 Frame EncodeError(const ErrorMsg& msg);
 
 /// Decoders verify the frame type, every field bound, and (for constraint
@@ -214,6 +238,7 @@ Result<BatchResultMsg> DecodeBatchResult(const Frame& f);
 Result<ReleaseMsg> DecodeRelease(const Frame& f);
 Result<PingMsg> DecodePing(const Frame& f);
 Result<PingMsg> DecodePong(const Frame& f);
+Result<OverloadedMsg> DecodeOverloaded(const Frame& f);
 Result<ErrorMsg> DecodeError(const Frame& f);
 
 /// Serializes `f` as header + payload bytes (the exact octets WriteFrame

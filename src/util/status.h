@@ -20,7 +20,12 @@ enum class StatusCode {
   kInternal = 6,
   kDeadlineExceeded = 7,
   kCancelled = 8,
+  kUnavailable = 9,
 };
+
+/// The largest declared `StatusCode` enumerator — the wire codecs bound
+/// incoming status-code bytes with it, so it must track the enum above.
+inline constexpr StatusCode kMaxStatusCode = StatusCode::kUnavailable;
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
 const char* StatusCodeName(StatusCode code);
@@ -81,6 +86,13 @@ class [[nodiscard]] Status {
   /// fired before or during the computation.
   static Status Cancelled(std::string message) {
     return Status(StatusCode::kCancelled, std::move(message));
+  }
+  /// Returns an Unavailable error with `message` — a transport-level
+  /// failure (connection reset, torn frame, unreachable or injected-fault
+  /// endpoint, open circuit breaker). Unavailable is the retryable
+  /// failure class: the operation may not have executed at all.
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
   }
 
   /// True iff this status represents success.

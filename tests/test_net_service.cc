@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <string>
@@ -147,6 +148,94 @@ TEST(AdmissionControllerTest, SlotsAreBoundedAndRaii) {
   EXPECT_EQ(ctrl.inflight(), 2u);
 }
 
+TEST(AdmissionControllerTest, RejectionsDoNotLeakSlots) {
+  // The rejection path must not consume capacity: rejected requests took
+  // nothing, so they release nothing.
+  AdmissionController::Options options;
+  options.max_inflight_batches = 1;
+  AdmissionController ctrl(options);
+
+  Result<AdmissionController::Slot> held = ctrl.Admit();
+  ASSERT_TRUE(held.ok());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(ctrl.Admit().status().code(), StatusCode::kResourceExhausted);
+  }
+  EXPECT_EQ(ctrl.inflight(), 1u);  // Rejections charged nothing.
+  held->Reset();
+  EXPECT_EQ(ctrl.inflight(), 0u);
+  EXPECT_TRUE(ctrl.Admit().ok());
+}
+
+TEST(AdmissionControllerTest, ConcurrentContentionNeverExceedsCapacity) {
+  AdmissionController::Options options;
+  options.max_inflight_batches = 4;
+  AdmissionController ctrl(options);
+
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  std::atomic<int> admitted{0};
+  std::vector<std::thread> threads;
+  threads.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        Result<AdmissionController::Slot> slot = ctrl.Admit();
+        if (!slot.ok()) {
+          ASSERT_EQ(slot.status().code(), StatusCode::kResourceExhausted);
+          continue;
+        }
+        const int now = concurrent.fetch_add(1) + 1;
+        int prev = peak.load();
+        while (now > prev && !peak.compare_exchange_weak(prev, now)) {
+        }
+        ++admitted;
+        std::this_thread::sleep_for(std::chrono::microseconds(20));
+        concurrent.fetch_sub(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_LE(peak.load(), 4);
+  EXPECT_GT(admitted.load(), 0);
+  EXPECT_EQ(ctrl.inflight(), 0u);  // Every admitted slot returned exactly once.
+}
+
+TEST(AdmissionControllerTest, ShedWatermarksAndLatencyEwma) {
+  AdmissionController::Options options;
+  options.max_inflight_batches = 8;
+  options.shed_watermark = 2;
+  options.latency_watermark = std::chrono::milliseconds(50);
+  options.min_retry_after = std::chrono::milliseconds(10);
+  options.max_retry_after = std::chrono::milliseconds(100);
+  AdmissionController ctrl(options);
+
+  // Below both watermarks: no shedding, and the hint floors at the min.
+  EXPECT_FALSE(ctrl.ShouldShed());
+  EXPECT_EQ(ctrl.RetryAfterHint(), std::chrono::milliseconds(10));
+
+  // In-flight watermark: trips at `shed_watermark` held slots even though
+  // the hard cap still has headroom.
+  Result<AdmissionController::Slot> a = ctrl.Admit();
+  ASSERT_TRUE(a.ok());
+  EXPECT_FALSE(ctrl.ShouldShed());
+  Result<AdmissionController::Slot> b = ctrl.Admit();
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(ctrl.ShouldShed());
+
+  // Latency watermark: a slow batch pushes the EWMA over 50 ms, so the
+  // controller keeps shedding after the slots drain — and the hint tracks
+  // the observed latency (clamped to max_retry_after).
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  a->Reset();
+  b->Reset();
+  EXPECT_EQ(ctrl.inflight(), 0u);
+  EXPECT_GT(ctrl.ewma_latency_ms(), 50.0);
+  EXPECT_TRUE(ctrl.ShouldShed());
+  EXPECT_GE(ctrl.RetryAfterHint(), std::chrono::milliseconds(10));
+  EXPECT_LE(ctrl.RetryAfterHint(), std::chrono::milliseconds(100));
+}
+
 // ------------------------------------------------------------- end to end
 
 TEST(DiffcdServiceTest, PingRoundTrip) {
@@ -279,6 +368,79 @@ TEST(DiffcdServiceTest, AdmissionRejectsWhenNoBatchSlots) {
   EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
   // Rejected, not queued: the connection is still serviceable.
   EXPECT_TRUE(client->Ping(1).ok());
+  EXPECT_TRUE(server.Shutdown().ok());
+}
+
+TEST(DiffcdServiceTest, ShedRepliesAreHonoredByClientBackoff) {
+  // Overload shedding end-to-end: with the soft watermark tripped the
+  // server answers OVERLOADED (not an error, not a queue), and the
+  // client's retry schedule backs off until capacity returns.
+  ServerOptions options = LoopbackOptions();
+  options.shed_watermark = 1;
+  DiffcdServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  ClientOptions copts;
+  copts.retry.max_attempts = 12;
+  copts.retry.initial_backoff = std::chrono::milliseconds(5);
+  copts.seed = 99;
+  Result<DiffcClient> client = DiffcClient::Connect(server.bound_address(), copts);
+  ASSERT_TRUE(client.ok());
+  Result<RegisterOkMsg> registered = client->RegisterPremises(
+      3, {DifferentialConstraint(ItemSet{0}, SetFamily({ItemSet{1}}))});
+  ASSERT_TRUE(registered.ok());
+
+  // Pin an admission slot so the watermark sheds every new batch, then
+  // free it while the client is backing off.
+  Result<AdmissionController::Slot> pinned = server.admission().Admit();
+  ASSERT_TRUE(pinned.ok());
+  std::thread unpin([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    pinned->Reset();
+  });
+  Result<BatchResultMsg> batch = client->CheckBatch(
+      registered->handle, 3, {DifferentialConstraint(ItemSet{0}, SetFamily({ItemSet{1}}))});
+  unpin.join();
+
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->results.size(), 1u);
+  EXPECT_EQ(batch->results[0].verdict, 1);
+  EXPECT_GT(client->stats().shed_backoffs, 0u);
+  EXPECT_GT(client->stats().retries, 0u);
+  EXPECT_TRUE(server.Shutdown().ok());
+}
+
+TEST(DiffcdServiceTest, WatchdogKillsSessionStalledMidFrame) {
+  ServerOptions options = LoopbackOptions();
+  options.session_stall_budget = std::chrono::milliseconds(100);
+  DiffcdServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // An idle session (zero bytes sent) is fine indefinitely — the budget
+  // arms only once a frame has started.
+  Result<Socket> idle = Connect(server.bound_address());
+  ASSERT_TRUE(idle.ok());
+  ASSERT_TRUE(WaitFor([&] { return server.sessions_active() == 1; }));
+
+  // A session that sends half a header and goes silent is killed within
+  // the stall budget, without taking the idle session with it.
+  Result<Socket> stalled = Connect(server.bound_address());
+  ASSERT_TRUE(stalled.ok());
+  ASSERT_TRUE(WaitFor([&] { return server.sessions_active() == 2; }));
+  const std::uint8_t half_header[3] = {1, 0, 0};
+  ASSERT_TRUE(stalled->SendAll(half_header, sizeof(half_header)).ok());
+  EXPECT_TRUE(WaitFor([&] { return server.sessions_active() == 1; }));
+
+  // The idle session outlived the watchdog and still serves requests.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  ASSERT_TRUE(WriteFrame(*idle, EncodePing(PingMsg{77})).ok());
+  Frame reply;
+  bool clean_eof = false;
+  ASSERT_TRUE(ReadFrame(*idle, &reply, &clean_eof).ok());
+  ASSERT_FALSE(clean_eof);
+  Result<PingMsg> pong = DecodePong(reply);
+  ASSERT_TRUE(pong.ok());
+  EXPECT_EQ(pong->nonce, 77u);
   EXPECT_TRUE(server.Shutdown().ok());
 }
 
@@ -508,6 +670,12 @@ TEST(DiffcdServiceTest, MetricsEndpointServesPrometheusAndJson) {
   EXPECT_NE(metrics.find("# TYPE diffc_net_sessions_active gauge"), std::string::npos);
   EXPECT_NE(metrics.find("diffc_net_connections_total"), std::string::npos);
   EXPECT_NE(metrics.find("diffc_net_request_seconds_bucket"), std::string::npos);
+  // The PR 7 resilience counters are registered (0 until faults happen).
+  EXPECT_NE(metrics.find("diffc_net_shed_total"), std::string::npos);
+  EXPECT_NE(metrics.find("diffc_net_watchdog_kills_total"), std::string::npos);
+  EXPECT_NE(metrics.find("diffc_net_nonce_replays_total"), std::string::npos);
+  EXPECT_NE(metrics.find("diffc_net_nonce_inflight_dups_total"), std::string::npos);
+  EXPECT_NE(metrics.find("diffc_net_accept_failures_total"), std::string::npos);
 
   const std::string json = HttpGet(server.metrics_bound_address(), "/metrics.json");
   EXPECT_NE(json.find("HTTP/1.1 200 OK"), std::string::npos);

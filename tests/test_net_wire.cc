@@ -228,10 +228,10 @@ TEST(WireCodecTest, OutOfUniverseMaskRejected) {
   msg.n = 4;
   msg.goals = {MakeConstraint({0}, {ItemSet{1}})};
   Frame f = EncodeCheckBatch(msg);
-  // The lhs mask u64 sits after handle (8) + deadline (8) + n (1) +
-  // count (4) = 21 bytes; set a bit far outside n = 4.
-  ASSERT_GT(f.payload.size(), 28u);
-  f.payload[21 + 7] = 0x80;  // bit 63 of the little-endian lhs mask
+  // The lhs mask u64 sits after handle (8) + deadline (8) + nonce (8) +
+  // n (1) + count (4) = 29 bytes; set a bit far outside n = 4.
+  ASSERT_GT(f.payload.size(), 36u);
+  f.payload[29 + 7] = 0x80;  // bit 63 of the little-endian lhs mask
   Result<CheckBatchMsg> decoded = DecodeCheckBatch(f);
   ASSERT_FALSE(decoded.ok());
   EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);

@@ -28,7 +28,10 @@ void Usage(const char* argv0) {
                "       %s --server=ADDR check --n=K\n"
                "           --premises=TEXT | --premises-file=PATH\n"
                "           --goals=TEXT    | --goals-file=PATH\n"
-               "           [--deadline-ms=N]\n",
+               "           [--deadline-ms=N]\n"
+               "resilience (both commands):\n"
+               "           [--retries=N] [--retry-initial-ms=N] [--retry-budget-ms=N]\n"
+               "           [--connect-timeout-ms=N] [--no-reconnect]\n",
                argv0, argv0);
 }
 
@@ -71,6 +74,7 @@ int main(int argc, char** argv) {
   long n = -1;
   long deadline_ms = 0;
   std::uint64_t nonce = 42;
+  diffc::net::ClientOptions client_options;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -94,6 +98,19 @@ int main(int argc, char** argv) {
       deadline_ms = std::strtol(text.c_str(), nullptr, 10);
     } else if (ParseFlag(arg, "nonce", &text)) {
       nonce = std::strtoull(text.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "retries", &text)) {
+      client_options.retry.max_attempts = static_cast<int>(std::strtol(text.c_str(), nullptr, 10));
+    } else if (ParseFlag(arg, "retry-initial-ms", &text)) {
+      client_options.retry.initial_backoff =
+          std::chrono::milliseconds(std::strtol(text.c_str(), nullptr, 10));
+    } else if (ParseFlag(arg, "retry-budget-ms", &text)) {
+      client_options.retry.retry_budget =
+          std::chrono::milliseconds(std::strtol(text.c_str(), nullptr, 10));
+    } else if (ParseFlag(arg, "connect-timeout-ms", &text)) {
+      client_options.connect_timeout =
+          std::chrono::milliseconds(std::strtol(text.c_str(), nullptr, 10));
+    } else if (arg == "--no-reconnect") {
+      client_options.reconnect = false;
     } else if (arg == "ping" || arg == "check") {
       command = arg;
     } else if (arg == "--help" || arg == "-h") {
@@ -111,7 +128,7 @@ int main(int argc, char** argv) {
   }
 
   diffc::Result<diffc::net::DiffcClient> client =
-      diffc::net::DiffcClient::Connect(server_address);
+      diffc::net::DiffcClient::Connect(server_address, client_options);
   if (!client.ok()) {
     std::fprintf(stderr, "diffc_client: %s\n", client.status().ToString().c_str());
     return 1;

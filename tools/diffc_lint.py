@@ -16,6 +16,12 @@ layer honest:
                     dash-separated words).
   failpoint-dup     Each fail-point name has exactly one site, so arming a
                     name fires a unique, known code path.
+  failpoint-catalog Every well-formed fail-point site name appears
+                    (backtick-quoted) in the DESIGN.md fail-point catalog
+                    (s11 "Failure handling"), so the set of armable names
+                    an operator can read about is complete. The catalog is
+                    ``<root>/DESIGN.md`` or ``<root>/../DESIGN.md``; the
+                    rule is silent when neither exists (fixture subsets).
   solver-atomic     No atomics and no metric mutations inside solver inner
                     loops (DPLL / CDCL / transversal): counters accumulate
                     thread-locally and flush at procedure exit (DESIGN.md
@@ -295,6 +301,43 @@ def scan_failpoints(rel, text, sites, findings):
                         "<area>/<site> (lowercase, dash-separated words)")
             )
         sites.setdefault(name, []).append((rel, line))
+
+
+def load_failpoint_catalog(root):
+    """The DESIGN.md text the catalog rule checks against, or None.
+
+    Looks in the linted tree first, then one level up (the repo layout:
+    ``--root src`` with DESIGN.md at the repo root). Returning None keeps
+    the rule silent for trees without a catalog, so single-fixture scratch
+    copies exercise only their own rule.
+    """
+    for candidate in (os.path.join(root, "DESIGN.md"),
+                      os.path.join(root, os.pardir, "DESIGN.md")):
+        if os.path.isfile(candidate):
+            with open(candidate, encoding="utf-8") as f:
+                return f.read()
+    return None
+
+
+def report_failpoint_catalog(root, sites, findings):
+    catalog = load_failpoint_catalog(root)
+    if catalog is None:
+        return
+    for name, occurrences in sorted(sites.items()):
+        # Malformed names are already failpoint-name findings; demanding a
+        # catalog entry for them would ask for documenting a name that must
+        # be renamed instead.
+        if not FAILPOINT_NAME_RE.match(name):
+            continue
+        if f"`{name}`" in catalog:
+            continue
+        file, line = occurrences[0]
+        findings.append(
+            Finding(file, line, "failpoint-catalog",
+                    f"fail point '{name}' is not listed in the DESIGN.md "
+                    "fail-point catalog; every site an operator can arm "
+                    "must be documented there")
+        )
 
 
 def report_duplicates(table, rule, what, findings):
@@ -583,6 +626,7 @@ def lint_tree(root):
         metric_display[name if not labels else f"{name} {labels}"] = occurrences
     report_duplicates(metric_display, "metric-dup", "metric", findings)
     report_duplicates(failpoint_sites, "failpoint-dup", "fail point", findings)
+    report_failpoint_catalog(root, failpoint_sites, findings)
     return findings
 
 

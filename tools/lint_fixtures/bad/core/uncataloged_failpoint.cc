@@ -1,0 +1,5 @@
+// Fixture: failpoint-catalog — a well-formed site name that the companion
+// DESIGN.md catalog does not list (it lists only `cache/insert`).
+#include "util/failpoint.h"
+
+bool Uncataloged() { return DIFFC_FAILPOINT("core/uncataloged-site"); }

@@ -26,6 +26,7 @@ EXPECTED_BAD = [
     ("core/bad_discard.cc", 7, "void-discard"),
     ("core/bad_failpoint.cc", 6, "failpoint-name"),
     ("core/dup_failpoint.cc", 5, "failpoint-dup"),
+    ("core/uncataloged_failpoint.cc", 5, "failpoint-catalog"),
     ("engine/bad_mutex.h", 15, "mutex-guarded-by"),
     ("engine/bad_mutex.h", 22, "mutex-guarded-by"),
     ("engine/bad_procedure_registry.cc", 3, "procedure-registry"),
@@ -42,8 +43,9 @@ EXPECTED_BAD = [
 # Every rule the linter implements must be covered by the bad fixtures.
 ALL_RULES = {
     "metric-name", "metric-dup", "failpoint-name", "failpoint-dup",
-    "solver-atomic", "include-guard", "mutex-guarded-by", "naked-lock",
-    "void-discard", "procedure-registry", "wire-registry",
+    "failpoint-catalog", "solver-atomic", "include-guard",
+    "mutex-guarded-by", "naked-lock", "void-discard",
+    "procedure-registry", "wire-registry",
 }
 
 
@@ -68,15 +70,20 @@ class BadFixtureTest(unittest.TestCase):
 
     def test_each_violation_exits_nonzero_alone(self):
         # Each fixture file must independently fail the lint: copy it alone
-        # into a scratch tree (duplicate rules need both their files).
-        companions = {"obs/dup_metric_b.cc": ["obs/dup_metric_a.cc"]}
+        # into a scratch tree (duplicate rules need both their files; the
+        # catalog rule needs the DESIGN.md it checks against).
+        companions = {
+            "obs/dup_metric_b.cc": ["obs/dup_metric_a.cc"],
+            "core/uncataloged_failpoint.cc": ["DESIGN.md"],
+        }
         files = sorted({f for f, _, _ in EXPECTED_BAD})
         for rel in files:
             with tempfile.TemporaryDirectory() as scratch:
                 for member in [rel] + companions.get(rel, []):
                     src = os.path.join(FIXTURES, "bad", member)
                     dst = os.path.join(scratch, member)
-                    os.makedirs(os.path.dirname(dst), exist_ok=True)
+                    if os.path.dirname(dst):
+                        os.makedirs(os.path.dirname(dst), exist_ok=True)
                     with open(src) as fin, open(dst, "w") as fout:
                         fout.write(fin.read())
                 proc = run_lint("--root", scratch)
