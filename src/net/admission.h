@@ -99,6 +99,9 @@ class AdmissionController {
 
   std::size_t capacity() const { return options_.max_inflight_batches; }
 
+  /// The configured watermarks and bounds, for /statusz.
+  const Options& options() const { return options_; }
+
   /// The EWMA batch latency in milliseconds (0 until a batch finishes);
   /// tests and gauges.
   double ewma_latency_ms() const EXCLUDES(mu_);

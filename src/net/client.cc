@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_store.h"
 
 namespace diffc::net {
 
@@ -55,7 +57,11 @@ DiffcClient::DiffcClient(std::string address, ClientOptions options)
     : address_(std::move(address)),
       options_(options),
       breaker_(options.breaker),
-      rng_(options.seed != 0 ? options.seed : std::random_device{}()) {}
+      rng_(options.seed != 0 ? options.seed : std::random_device{}()) {
+  wire_version_ = options.wire_version;
+  if (wire_version_ < kMinWireVersion) wire_version_ = kMinWireVersion;
+  if (wire_version_ > kWireVersion) wire_version_ = kWireVersion;
+}
 
 DiffcClient DiffcClient::Create(const std::string& address, ClientOptions options) {
   return DiffcClient(address, options);
@@ -80,6 +86,12 @@ std::uint64_t DiffcClient::NextNonce() {
   // Nonce 0 means "no idempotency" on the wire, so never hand it out.
   std::uint64_t nonce = rng_();
   return nonce != 0 ? nonce : 1;
+}
+
+std::uint64_t DiffcClient::RandomBits() {
+  std::uint64_t v = 0;
+  while (v == 0) v = rng_();
+  return v;
 }
 
 void DiffcClient::NoteBreakerTransition(CircuitBreaker::State before) {
@@ -200,7 +212,7 @@ Status DiffcClient::EnsureReady(FailureClass* cls) {
       msg.n = rec.n;
       msg.premises = rec.premises;
       std::chrono::milliseconds hint{0};
-      Result<Frame> reply = RoundTripRaw(EncodeRegisterPremises(msg),
+      Result<Frame> reply = RoundTripRaw(EncodeRegisterPremises(msg, wire_version_),
                                          WireResponse::kRegisterOk, cls, &hint);
       if (!reply.ok()) return reply.status();
       Result<RegisterOkMsg> ok = DecodeRegisterOk(*reply);
@@ -218,24 +230,111 @@ Status DiffcClient::EnsureReady(FailureClass* cls) {
     PingMsg probe;
     probe.nonce = NextNonce();
     std::chrono::milliseconds hint{0};
-    Result<Frame> pong = RoundTripRaw(EncodePing(probe), WireResponse::kPong, cls, &hint);
+    Frame probe_frame = EncodePing(probe);
+    probe_frame.version = wire_version_;  // Pings have no versioned payload.
+    Result<Frame> pong = RoundTripRaw(probe_frame, WireResponse::kPong, cls, &hint);
     if (!pong.ok()) return pong.status();
     OnServerReply();
   }
   return Status::Ok();
 }
 
+namespace {
+
+const char* BreakerStateName(CircuitBreaker::State s) {
+  switch (s) {
+    case CircuitBreaker::State::kClosed:
+      return "closed";
+    case CircuitBreaker::State::kOpen:
+      return "open";
+    case CircuitBreaker::State::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
 template <typename T>
-Result<T> DiffcClient::CallDecoded(WireResponse expected, const Deadline& deadline,
+Result<T> DiffcClient::CallDecoded(const char* op, TraceContext* wire_tc,
+                                   WireResponse expected, const Deadline& deadline,
                                    const std::function<Frame()>& encode,
                                    const std::function<Result<T>(const Frame&)>& decode) {
   if (closed_) return Status::FailedPrecondition("client closed");
+  // Every call mints a trace identity up front (two rng draws) so the
+  // server can join its span even when the client records nothing. The
+  // head-sampling decision controls whether *this side* records spans; an
+  // unsampled call that starts failing tail-arms its tracer so the retry
+  // chain is captured from the first failure on.
+  TraceContext tc;
+  tc.trace_id_hi = RandomBits();
+  tc.trace_id_lo = RandomBits();
+  const std::uint64_t client_span_id = RandomBits();
+  tc.parent_span_id = client_span_id;
+  const bool head_sampled =
+      options_.trace ||
+      (options_.trace_sample_rate > 0 &&
+       std::uniform_real_distribution<double>(0.0, 1.0)(rng_) < options_.trace_sample_rate);
+  tc.sampled = head_sampled;
+  if (wire_tc != nullptr) *wire_tc = tc;
+  last_trace_ = tc;
+  obs::Tracer tracer(head_sampled);
+  if (head_sampled) tracer.Begin(std::string("client:") + op);
+  bool any_shed = false;
+  const auto arm_tail = [&] {
+    if (tracer.enabled()) return;
+    tracer = obs::Tracer(true);
+    tracer.Begin(std::string("client:") + op);
+    tracer.Note("tail-armed");
+    // Ask the server to sample the remaining attempts too, so both sides
+    // of the struggling request land in the trace store.
+    if (wire_tc != nullptr) wire_tc->sampled = true;
+  };
+  const auto finish_trace = [&](const char* status, bool errored) {
+    if (!tracer.enabled()) return;
+    obs::StoredTrace st;
+    st.trace_id_hi = tc.trace_id_hi;
+    st.trace_id_lo = tc.trace_id_lo;
+    st.span_id = client_span_id;
+    st.parent_span_id = 0;  // The client is the trace root.
+    st.kind = "client";
+    st.name = op;
+    st.status = status;
+    st.sampled = head_sampled;
+    st.forced = options_.trace;
+    st.shed = any_shed;
+    st.errored = errored;
+    st.record = tracer.Finish();
+    st.duration_ns = st.record.TotalNs();
+    obs::GlobalTraceStore().Add(std::move(st));
+  };
   RetrySchedule schedule(options_.retry, rng_());
+  int attempt = 0;
   while (true) {
+    ++attempt;
+    if (tracer.enabled() && attempt > 1) {
+      tracer.Note("attempt", std::to_string(attempt));
+    }
     Status last = Status::Ok();
     FailureClass cls = FailureClass::kFatal;
     std::chrono::milliseconds hint{0};
     bool server_shed = false;
+    const CircuitBreaker::State iter_breaker_before = breaker_.state();
+
+    // An old server rejects v3 frames with a typed InvalidArgument and
+    // closes the connection. Recognizing that reply downgrades this client
+    // to the floor version for good and retries transport-class on a fresh
+    // connection (re-registration then also runs at v2).
+    const auto downgrade_on_version_reject = [&](const Status& s) {
+      if (wire_version_ <= kMinWireVersion) return false;
+      if (s.code() != StatusCode::kInvalidArgument) return false;
+      if (s.message().find("unsupported wire version") == std::string::npos) return false;
+      wire_version_ = kMinWireVersion;
+      dead_ = true;
+      arm_tail();
+      tracer.Note("wire-downgrade", "v" + std::to_string(int{kMinWireVersion}));
+      return true;
+    };
 
     const CircuitBreaker::State gate_before = breaker_.state();
     Status gate = breaker_.Allow();
@@ -247,17 +346,29 @@ Result<T> DiffcClient::CallDecoded(WireResponse expected, const Deadline& deadli
       cls = FailureClass::kOverloaded;
       hint = breaker_.RetryAfter();
       last = gate;
+      arm_tail();
+      tracer.Note("breaker-short-circuit", BreakerStateName(breaker_.state()));
     } else {
+      const std::uint64_t reconnects_before = stats_.reconnects;
       Status ready = EnsureReady(&cls);
+      if (stats_.reconnects > reconnects_before) tracer.Note("reconnect", address_);
       if (!ready.ok()) {
         last = ready;
-        if (cls == FailureClass::kTransport) OnTransportFailure();
+        if (downgrade_on_version_reject(ready)) {
+          cls = FailureClass::kTransport;
+          OnServerReply();
+        } else if (cls == FailureClass::kTransport) {
+          arm_tail();
+          tracer.Note("connect-failed", ready.message());
+          OnTransportFailure();
+        }
       } else {
         Result<Frame> reply = RoundTripRaw(encode(), expected, &cls, &hint);
         if (reply.ok()) {
           Result<T> decoded = decode(*reply);
           if (decoded.ok()) {
             OnServerReply();
+            finish_trace("ok", /*errored=*/false);
             return decoded;
           }
           // Framed but unparseable: treat like any other desync — poison
@@ -266,29 +377,53 @@ Result<T> DiffcClient::CallDecoded(WireResponse expected, const Deadline& deadli
           dead_ = true;
           cls = FailureClass::kTransport;
           last = decoded.status();
+          arm_tail();
+          tracer.Note("decode-failed", last.message());
           OnTransportFailure();
         } else {
           last = reply.status();
-          if (cls == FailureClass::kTransport) {
+          if (downgrade_on_version_reject(last)) {
+            cls = FailureClass::kTransport;
+            OnServerReply();  // The rejection is a framed reply: endpoint alive.
+          } else if (cls == FailureClass::kTransport) {
+            arm_tail();
+            tracer.Note("transport-error", last.message());
             OnTransportFailure();
           } else {
             server_shed = cls == FailureClass::kOverloaded;
             OnServerReply();
+            if (server_shed) {
+              any_shed = true;
+              arm_tail();
+              tracer.Note("shed", "retry_after=" + std::to_string(hint.count()) + "ms");
+            }
           }
         }
       }
     }
 
-    if (cls == FailureClass::kFatal) return last;
+    if (tracer.enabled() && breaker_.state() != iter_breaker_before) {
+      tracer.Note("breaker", BreakerStateName(breaker_.state()));
+    }
+    if (cls == FailureClass::kFatal) {
+      finish_trace("error", /*errored=*/true);
+      return last;
+    }
     Result<std::chrono::milliseconds> delay = schedule.NextDelay(hint, deadline);
     if (!delay.ok()) {
       ++stats_.retries_exhausted;
       ClientMetrics().retries_exhausted->Inc();
+      tracer.Note("retries-exhausted", delay.status().message());
+      finish_trace(server_shed ? "shed" : "error", /*errored=*/true);
       return last;
     }
     if (server_shed) {
       ++stats_.shed_backoffs;
       ClientMetrics().shed_backoffs->Inc();
+    }
+    if (tracer.enabled()) {
+      tracer.Note("backoff", std::to_string(delay->count()) + "ms" +
+                                 (server_shed ? " shed" : ""));
     }
     if (delay->count() > 0) std::this_thread::sleep_for(*delay);
     ++stats_.retries;
@@ -300,7 +435,12 @@ Result<std::uint64_t> DiffcClient::Ping(std::uint64_t nonce) {
   PingMsg msg;
   msg.nonce = nonce;
   Result<PingMsg> pong = CallDecoded<PingMsg>(
-      WireResponse::kPong, Deadline::Never(), [&] { return EncodePing(msg); },
+      "ping", nullptr, WireResponse::kPong, Deadline::Never(),
+      [&] {
+        Frame f = EncodePing(msg);
+        f.version = wire_version_;  // No versioned payload; label only.
+        return f;
+      },
       [](const Frame& f) { return DecodePong(f); });
   if (!pong.ok()) return pong.status();
   return pong->nonce;
@@ -311,10 +451,11 @@ Result<RegisterOkMsg> DiffcClient::RegisterPremises(int n, const ConstraintSet& 
   msg.n = n;
   msg.premises = premises;
   Result<RegisterOkMsg> ok = CallDecoded<RegisterOkMsg>(
-      WireResponse::kRegisterOk, Deadline::Never(),
-      [&] { return EncodeRegisterPremises(msg); },
+      "register-premises", &msg.trace, WireResponse::kRegisterOk, Deadline::Never(),
+      [&] { return EncodeRegisterPremises(msg, wire_version_); },
       [](const Frame& f) { return DecodeRegisterOk(f); });
   if (!ok.ok()) return ok;
+  if (ok->trace.valid()) last_trace_ = ok->trace;
   // Hand out a client-scoped handle: stable across reconnects (and across
   // server restarts, whose fresh handle spaces could collide with stale
   // server handles).
@@ -347,15 +488,17 @@ Result<BatchResultMsg> DiffcClient::CheckBatch(std::uint64_t handle, int n,
   msg.nonce = NextNonce();
   const Deadline op_deadline = deadline.count() > 0 ? Deadline::After(deadline)
                                                     : Deadline::Never();
-  return CallDecoded<BatchResultMsg>(
-      WireResponse::kBatchResult, op_deadline,
+  Result<BatchResultMsg> res = CallDecoded<BatchResultMsg>(
+      "check-batch", &msg.trace, WireResponse::kBatchResult, op_deadline,
       [&] {
         // Re-resolved per attempt: a reconnect re-registers and changes
         // the server-side handle.
         msg.handle = it->second.server_handle;
-        return EncodeCheckBatch(msg);
+        return EncodeCheckBatch(msg, wire_version_);
       },
       [](const Frame& f) { return DecodeBatchResult(f); });
+  if (res.ok() && res->trace.valid()) last_trace_ = res->trace;
+  return res;
 }
 
 Status DiffcClient::Release(std::uint64_t handle) {
@@ -365,10 +508,12 @@ Status DiffcClient::Release(std::uint64_t handle) {
   }
   ReleaseMsg msg;
   Result<bool> ok = CallDecoded<bool>(
-      WireResponse::kReleaseOk, Deadline::Never(),
+      "release", nullptr, WireResponse::kReleaseOk, Deadline::Never(),
       [&] {
         msg.handle = it->second.server_handle;
-        return EncodeRelease(msg);
+        Frame f = EncodeRelease(msg);
+        f.version = wire_version_;  // No versioned payload; label only.
+        return f;
       },
       [](const Frame&) { return Result<bool>(true); });
   // Forget the record either way: on failure the server-side handle dies

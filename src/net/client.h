@@ -37,6 +37,17 @@ struct ClientOptions {
   /// Seed for retry jitter and request nonces; 0 draws one from
   /// std::random_device (tests pin it for reproducibility).
   std::uint64_t seed = 0;
+  /// Force-sample every call's trace (the diffc_client --trace flag): the
+  /// client records its span (with every retry/backoff/reconnect event)
+  /// into the global trace store and asks the server to sample too.
+  bool trace = false;
+  /// Head-sampling probability in [0, 1] for calls when `trace` is off.
+  /// Unsampled calls that hit a non-fatal failure tail-arm their tracer,
+  /// so a retried call's chain is captured from the first failure on.
+  double trace_sample_rate = 0.0;
+  /// Wire version to speak, clamped to [kMinWireVersion, kWireVersion].
+  /// The client auto-downgrades to v2 when the server rejects v3 frames.
+  std::uint8_t wire_version = kWireVersion;
 };
 
 /// Client-side resilience counters (monotonic over the client's life);
@@ -117,6 +128,14 @@ class DiffcClient {
   const ClientStats& stats() const { return stats_; }
   CircuitBreaker::State breaker_state() const { return breaker_.state(); }
 
+  /// The trace context of the most recent call: minted client-side at call
+  /// start, overwritten by the server's echo when the reply carries one.
+  /// `IdHex()` is the id to look up in the server's /tracez.
+  const TraceContext& last_trace() const { return last_trace_; }
+
+  /// The wire version currently spoken (changes only via auto-downgrade).
+  std::uint8_t wire_version() const { return wire_version_; }
+
  private:
   /// A recorded registration: enough to re-establish the server-side
   /// handle on a fresh connection.
@@ -139,9 +158,12 @@ class DiffcClient {
   /// with handle re-registration, one round trip, decode, classify,
   /// back off. `encode` runs per attempt (server handles may change
   /// across reconnects); `decode` validates the expected reply payload.
+  /// `op` names the call for spans ("check-batch", ...); `wire_tc`, when
+  /// non-null, receives the minted trace context so the encode closure can
+  /// put it on the wire (null for messages without a trace field).
   template <typename T>
-  Result<T> CallDecoded(WireResponse expected, const Deadline& deadline,
-                        const std::function<Frame()>& encode,
+  Result<T> CallDecoded(const char* op, TraceContext* wire_tc, WireResponse expected,
+                        const Deadline& deadline, const std::function<Frame()>& encode,
                         const std::function<Result<T>(const Frame&)>& decode);
 
   /// One send/receive on the current connection. Any framing-level
@@ -160,6 +182,9 @@ class DiffcClient {
   void OnTransportFailure();
   void OnServerReply();
   std::uint64_t NextNonce();
+  /// Nonzero draw from the client's seeded rng (trace/span ids —
+  /// deterministic under a pinned seed).
+  std::uint64_t RandomBits();
 
   std::string address_;
   ClientOptions options_;
@@ -177,6 +202,10 @@ class DiffcClient {
   std::unordered_map<std::uint64_t, HandleRecord> handles_;
   std::uint64_t next_handle_ = 1;
   ClientStats stats_;
+  /// Negotiated wire version: starts at the clamped option, drops to
+  /// kMinWireVersion when the server rejects v3 frames.
+  std::uint8_t wire_version_ = kWireVersion;
+  TraceContext last_trace_;
 };
 
 }  // namespace diffc::net

@@ -7,10 +7,15 @@
 #include <utility>
 #include <vector>
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
 #include "net/handler_registry.h"
 #include "obs/event_log.h"
 #include "obs/exposition.h"
 #include "obs/metrics.h"
+#include "obs/trace_store.h"
 #include "util/failpoint.h"
 
 namespace diffc::net {
@@ -132,9 +137,11 @@ class PingHandler final : public WireHandlerImpl {
   const char* name() const override { return WireRequestName(WireRequest::kPing); }
 
   Frame Handle(SessionContext* ctx, const Frame& frame) const override {
-    (void)ctx;  // Ping touches no session state; the nonce is the contract.
     Result<PingMsg> msg = DecodePing(frame);
     if (!msg.ok()) return ErrFrame(msg.status());
+    // Ping carries no wire trace context; the server still mints a trace
+    // so slow/errored pings land in the store like any request.
+    ctx->server->ArmRequestTrace(ctx, TraceContext{}, "ping");
     return EncodePong(*msg);
   }
 };
@@ -149,12 +156,15 @@ class RegisterPremisesHandler final : public WireHandlerImpl {
   Frame Handle(SessionContext* ctx, const Frame& frame) const override {
     Result<RegisterPremisesMsg> msg = DecodeRegisterPremises(frame);
     if (!msg.ok()) return ErrFrame(msg.status());
+    ctx->server->ArmRequestTrace(ctx, msg->trace, "register-premises");
 
-    obs::SpanGuard prepare_span(ctx->tracer, "prepare");
-    Result<std::shared_ptr<const PreparedPremises>> prepared =
-        ctx->server->engine().Prepare(msg->n, msg->premises);
+    Result<std::shared_ptr<const PreparedPremises>> prepared = [&] {
+      obs::SpanGuard prepare_span(ctx->tracer, "prepare");
+      return ctx->server->engine().Prepare(msg->n, msg->premises);
+    }();
     if (!prepared.ok()) return ErrFrame(prepared.status());
 
+    obs::SpanGuard register_span(ctx->tracer, "handle-register");
     Result<std::uint64_t> handle =
         ctx->server->handles().Register(ctx->session_id, *prepared);
     if (!handle.ok()) {
@@ -169,7 +179,8 @@ class RegisterPremisesHandler final : public WireHandlerImpl {
     ok.handle = *handle;
     ok.canonical_constraints =
         static_cast<std::uint32_t>((*prepared)->constraints().size());
-    return EncodeRegisterOk(ok);
+    ok.trace = DiffcdServer::ReplyTraceContext(*ctx);
+    return EncodeRegisterOk(ok, ctx->wire_version);
   }
 };
 
@@ -212,17 +223,31 @@ class CheckBatchHandler final : public WireHandlerImpl {
   Frame Handle(SessionContext* ctx, const Frame& frame) const override {
     Result<CheckBatchMsg> msg = DecodeCheckBatch(frame);
     if (!msg.ok()) return ErrFrame(msg.status());
+    ctx->server->ArmRequestTrace(ctx, msg->trace, "check-batch");
 
     // Idempotency first: a retry of an already-answered batch replays the
     // original reply (no second execution, no second admission charge); a
     // retry racing the original execution is shed rather than run twice.
-    NonceCache::Lookup seen = ctx->server->nonces().Begin(msg->nonce);
+    NonceCache::Lookup seen = [&] {
+      obs::SpanGuard nonce_span(ctx->tracer, "nonce-lookup");
+      return ctx->server->nonces().Begin(msg->nonce);
+    }();
     if (seen.state == NonceCache::State::kDone) {
       Metrics().nonce_replays->Inc();
+      ctx->tracer->Note("nonce-replay");
+      // The cached reply was framed at the original request's version; a
+      // retry arriving at a different version gets it re-encoded so the
+      // payload matches the frame label.
+      if (seen.reply.version != ctx->wire_version &&
+          seen.reply.type == static_cast<std::uint8_t>(WireResponse::kBatchResult)) {
+        Result<BatchResultMsg> cached = DecodeBatchResult(seen.reply);
+        if (cached.ok()) return EncodeBatchResult(*cached, ctx->wire_version);
+      }
       return seen.reply;
     }
     if (seen.state == NonceCache::State::kInFlight) {
       Metrics().nonce_inflight_dups->Inc();
+      ctx->tracer->Note("nonce-inflight-dup");
       return ShedFrame(ctx);
     }
     NonceClaim claim(&ctx->server->nonces(), msg->nonce);
@@ -239,13 +264,21 @@ class CheckBatchHandler final : public WireHandlerImpl {
     // Load shedding before admission: past the soft watermarks (or under
     // the injected-overload failpoint) the server answers OVERLOADED
     // while it still has headroom to say so.
-    if (DIFFC_FAILPOINT("server/shed") || ctx->server->admission().ShouldShed()) {
-      return ShedFrame(ctx);
-    }
-
-    Result<AdmissionController::Slot> slot = ctx->server->admission().Admit();
+    bool watermark_shed = false;
+    Result<AdmissionController::Slot> slot = [&]() -> Result<AdmissionController::Slot> {
+      obs::SpanGuard admit_span(ctx->tracer, "admission");
+      if (DIFFC_FAILPOINT("server/shed") || ctx->server->admission().ShouldShed()) {
+        watermark_shed = true;
+        ctx->tracer->Note("shed", "watermark");
+        return Status::ResourceExhausted("shed at watermark");
+      }
+      return ctx->server->admission().Admit();
+    }();
     if (!slot.ok()) {
-      Metrics().admission_rejected->Inc();
+      if (!watermark_shed) {
+        Metrics().admission_rejected->Inc();
+        ctx->tracer->Note("shed", "admission-cap");
+      }
       return ShedFrame(ctx);
     }
     Metrics().inflight_batches->Set(
@@ -266,6 +299,15 @@ class CheckBatchHandler final : public WireHandlerImpl {
         static_cast<double>(ctx->server->admission().inflight()));
     if (!outcome.ok()) return ErrFrame(outcome.status());
     Metrics().batch_queries->Inc(msg->goals.size());
+
+    // Keep up to 4 engine span trees (present when EngineOptions::trace is
+    // on) to join under this request's "execute" span at finish time.
+    if (ctx->trace != nullptr && ctx->trace->sampled) {
+      for (const EngineQueryResult& r : outcome->results) {
+        if (ctx->trace->engine_traces.size() >= 4) break;
+        if (r.trace != nullptr) ctx->trace->engine_traces.push_back(r.trace);
+      }
+    }
 
     obs::SpanGuard encode_span(ctx->tracer, "encode");
     BatchResultMsg reply;
@@ -290,7 +332,8 @@ class CheckBatchHandler final : public WireHandlerImpl {
     reply.stats.timed_out = s.timed_out;
     reply.stats.cancelled = s.cancelled;
     reply.stats.batch_wall_ns = s.batch_wall_ns;
-    Frame out = EncodeBatchResult(reply);
+    reply.trace = DiffcdServer::ReplyTraceContext(*ctx);
+    Frame out = EncodeBatchResult(reply, ctx->wire_version);
     // Only successful results are replayable; failures above Abandon the
     // claim via RAII so a retry re-executes.
     claim.Publish(out);
@@ -306,6 +349,7 @@ class ReleaseHandler final : public WireHandlerImpl {
   Frame Handle(SessionContext* ctx, const Frame& frame) const override {
     Result<ReleaseMsg> msg = DecodeRelease(frame);
     if (!msg.ok()) return ErrFrame(msg.status());
+    ctx->server->ArmRequestTrace(ctx, TraceContext{}, "release");
     Status s = ctx->server->handles().Release(msg->handle, ctx->session_id);
     if (!s.ok()) return ErrFrame(s);
     Metrics().handles_active->Set(static_cast<double>(ctx->server->handles().size()));
@@ -358,6 +402,17 @@ Status DiffcdServer::Start() {
     }
     metrics_listener_ = std::move(*http);
     metrics_bound_address_ = metrics_listener_.bound_address();
+  }
+
+  start_steady_ = std::chrono::steady_clock::now();
+  start_wall_unix_ns_ = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  // Resize only on change: SetCapacity drops retained traces, and tests
+  // start several servers in one process against the one global store.
+  if (obs::GlobalTraceStore().capacity() != options_.trace_store_capacity) {
+    obs::GlobalTraceStore().SetCapacity(options_.trace_store_capacity);
   }
 
   {
@@ -470,6 +525,19 @@ void DiffcdServer::SessionLoop(Session* session) {
                            "server draining; connection accepts no new requests")));
       break;
     }
+    if (frame.version > options_.max_wire_version) {
+      // Old-server emulation (tests pin max_wire_version below the build's
+      // kWireVersion): answer with the same error a genuinely old build's
+      // ReadFrame produces, framed at the old version so the peer can
+      // parse it — DiffcClient keys its auto-downgrade off this message.
+      m.frame_errors->Inc();
+      Frame err = ErrFrame(Status::InvalidArgument(
+          "unsupported wire version " + std::to_string(int{frame.version}) +
+          " (expected " + std::to_string(int{options_.max_wire_version}) + ")"));
+      err.version = options_.max_wire_version;
+      (void)WriteFrame(session->sock, err);  // Courtesy; connection closes.
+      break;
+    }
     if (!IsKnownRequest(frame.type)) {
       m.frame_errors->Inc();
       // As above: unknown type bytes poison the stream's framing trust.
@@ -479,13 +547,19 @@ void DiffcdServer::SessionLoop(Session* session) {
       break;
     }
 
-    obs::Tracer tracer(options_.trace_requests);
-    ctx.tracer = &tracer;
+    RequestTrace rt;
+    ctx.trace = &rt;
+    ctx.tracer = &rt.tracer;
+    ctx.wire_version = frame.version;
     const auto started = std::chrono::steady_clock::now();
     Frame reply = Dispatch(&ctx, frame);
-    const double elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                                         started)
-                               .count();
+    // Replies never carry a version above the request's: a v2 peer must be
+    // able to parse every frame it is sent. The trace-carrying replies are
+    // already encoded at ctx.wire_version; this relabels only the
+    // version-independent ones (pong, release-ok, overloaded, error).
+    if (reply.version > frame.version) reply.version = frame.version;
+    const auto elapsed_steady = std::chrono::steady_clock::now() - started;
+    const double elapsed = std::chrono::duration<double>(elapsed_steady).count();
     m.request_seconds->Observe(elapsed);
     if (options_.slow_request_threshold.count() > 0 &&
         elapsed >= std::chrono::duration<double>(options_.slow_request_threshold).count()) {
@@ -495,10 +569,16 @@ void DiffcdServer::SessionLoop(Session* session) {
           {"seconds", std::to_string(elapsed)},
           {"session", std::to_string(session->id)},
       };
-      if (tracer.enabled()) fields.emplace_back("trace", tracer.Finish().ToJson());
+      if (rt.armed) fields.emplace_back("trace_id", rt.wire.IdHex());
       obs::GlobalEventLog().Record("diffcd-slow-request", std::move(fields));
     }
+    FinishRequestTrace(&ctx, reply.type,
+                       static_cast<std::uint64_t>(
+                           std::chrono::duration_cast<std::chrono::nanoseconds>(
+                               elapsed_steady)
+                               .count()));
     ctx.tracer = nullptr;
+    ctx.trace = nullptr;
 
     // Chaos-only fault sites on the reply path (compiled out by default):
     // a handler thread that dies before replying, a delayed reply, and a
@@ -554,6 +634,131 @@ Frame DiffcdServer::Dispatch(SessionContext* ctx, const Frame& frame) {
   if (by_type != nullptr) by_type->Inc();
   obs::SpanGuard span(ctx->tracer, handler->name());
   return handler->Handle(ctx, frame);
+}
+
+// ---------------------------------------------------------- request tracing
+
+void DiffcdServer::ArmRequestTrace(SessionContext* ctx, const TraceContext& wire_tc,
+                                   const char* name) {
+  RequestTrace* rt = ctx->trace;
+  if (rt == nullptr || rt->armed) return;
+  rt->armed = true;
+  rt->name = name;
+  rt->wire = wire_tc;
+  if (!rt->wire.valid()) {
+    // The client sent no context (v2 peer, or ping/release): mint a trace
+    // id server-side so the request is still addressable in /tracez.
+    rt->wire.trace_id_hi = obs::RandomTraceBits();
+    rt->wire.trace_id_lo = obs::RandomTraceBits();
+    rt->wire.parent_span_id = 0;
+    rt->wire.sampled = false;
+  }
+  rt->server_span_id = obs::RandomTraceBits();
+  // Head sampling: the wire flag and trace_requests force it; otherwise
+  // one probability draw per request decides.
+  rt->forced = wire_tc.sampled || options_.trace_requests;
+  rt->sampled = rt->forced || (options_.trace_sample_rate > 0.0 &&
+                               obs::SamplingDraw() < options_.trace_sample_rate);
+  rt->wire.sampled = rt->sampled;
+  if (rt->sampled) {
+    rt->tracer = obs::Tracer(true);
+    // Root span: closed by Finish(), so it covers everything from arm
+    // (just after decode) to the reply being chosen.
+    rt->tracer.Begin(std::string("server:") + name);
+  }
+}
+
+TraceContext DiffcdServer::ReplyTraceContext(const SessionContext& ctx) {
+  TraceContext tc;
+  if (ctx.trace == nullptr || !ctx.trace->armed) return tc;
+  tc.trace_id_hi = ctx.trace->wire.trace_id_hi;
+  tc.trace_id_lo = ctx.trace->wire.trace_id_lo;
+  tc.parent_span_id = ctx.trace->server_span_id;
+  tc.sampled = ctx.trace->sampled;
+  return tc;
+}
+
+void DiffcdServer::FinishRequestTrace(SessionContext* ctx, std::uint8_t reply_type,
+                                      std::uint64_t elapsed_ns) {
+  RequestTrace* rt = ctx->trace;
+  if (rt == nullptr || !rt->armed) return;
+
+  std::string status = "ok";
+  bool shed = false;
+  bool errored = false;
+  if (reply_type == static_cast<std::uint8_t>(WireResponse::kError)) {
+    status = "error";
+    errored = true;
+  } else if (reply_type == static_cast<std::uint8_t>(WireResponse::kOverloaded)) {
+    status = "shed";
+    shed = true;
+  }
+  const bool slow =
+      options_.slow_request_threshold.count() > 0 &&
+      elapsed_ns >= static_cast<std::uint64_t>(
+                        std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            options_.slow_request_threshold)
+                            .count());
+  // Tail rule: unsampled requests still land in the store when something
+  // went wrong enough that an operator will come looking.
+  if (!(rt->sampled || slow || shed || errored)) return;
+
+  obs::StoredTrace st;
+  st.trace_id_hi = rt->wire.trace_id_hi;
+  st.trace_id_lo = rt->wire.trace_id_lo;
+  st.span_id = rt->server_span_id;
+  st.parent_span_id = rt->wire.parent_span_id;
+  st.kind = "server";
+  st.name = rt->name;
+  st.status = status;
+  st.sampled = rt->sampled;
+  st.forced = rt->forced;
+  st.slow = slow;
+  st.shed = shed;
+  st.errored = errored;
+  st.duration_ns = elapsed_ns;
+  if (rt->sampled) {
+    obs::TraceRecord rec = rt->tracer.Finish();
+    // Join the engine span trees under this request's "execute" span
+    // (falling back to the root when a shed/error path never opened one).
+    int attach = 0;
+    for (std::size_t i = 0; i < rec.spans.size(); ++i) {
+      if (rec.spans[i].name == "execute") attach = static_cast<int>(i);
+    }
+    for (const auto& engine_trace : rt->engine_traces) {
+      if (engine_trace != nullptr) obs::AppendChildRecord(&rec, attach, *engine_trace);
+    }
+    st.record = std::move(rec);
+  } else {
+    // Skeleton record: one root span, wall anchor back-dated by the
+    // elapsed time so /tracez still renders an absolute start.
+    obs::TraceRecord rec;
+    const std::uint64_t now_wall = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    rec.wall_start_unix_ns = now_wall >= elapsed_ns ? now_wall - elapsed_ns : 0;
+    obs::TraceSpan root;
+    root.name = "server:" + rt->name;
+    root.duration_ns = elapsed_ns;
+    rec.spans.push_back(std::move(root));
+    st.record = std::move(rec);
+  }
+
+  if (slow) {
+    obs::SlowQuery q;
+    q.wall_unix_ns = st.record.wall_start_unix_ns;
+    q.kind = rt->name;
+    q.seconds = static_cast<double>(elapsed_ns) / 1e9;
+    q.session = ctx->session_id;
+    q.trace_id = rt->wire.IdHex();
+    q.status = status;
+    const obs::SlowQuery stored = obs::GlobalSlowQueryLog().Add(q);
+    // The structured stderr line operators grep/tail for.
+    std::fprintf(stderr, "%s\n", stored.ToJsonLine().c_str());
+  }
+
+  obs::GlobalTraceStore().Add(std::move(st));
 }
 
 // ------------------------------------------------------------------- drain
@@ -662,6 +867,48 @@ Status DiffcdServer::Shutdown() {
 
 namespace {
 
+/// Minimal query-string view: "a=1&b=x" -> lookups by key. Values are not
+/// percent-decoded (trace ids and the filter values are plain hex/ASCII).
+std::string QueryParam(const std::string& query, const std::string& key) {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::size_t eq = query.find('=', pos);
+    if (eq != std::string::npos && eq < amp && query.substr(pos, eq - pos) == key) {
+      return query.substr(eq + 1, amp - eq - 1);
+    }
+    pos = amp + 1;
+  }
+  return "";
+}
+
+/// Parses 32 hex digits into the two trace-id halves. False on any other
+/// shape.
+bool ParseTraceId(const std::string& hex, std::uint64_t* hi, std::uint64_t* lo) {
+  if (hex.size() != 32) return false;
+  std::uint64_t halves[2] = {0, 0};
+  for (int half = 0; half < 2; ++half) {
+    for (int i = 0; i < 16; ++i) {
+      const char c = hex[static_cast<std::size_t>(half * 16 + i)];
+      std::uint64_t digit = 0;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<std::uint64_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<std::uint64_t>(c - 'a') + 10;
+      } else if (c >= 'A' && c <= 'F') {
+        digit = static_cast<std::uint64_t>(c - 'A') + 10;
+      } else {
+        return false;
+      }
+      halves[half] = (halves[half] << 4) | digit;
+    }
+  }
+  *hi = halves[0];
+  *lo = halves[1];
+  return true;
+}
+
 void SendHttp(const Socket& sock, int code, const std::string& reason,
               const std::string& content_type, const std::string& body) {
   std::string head = "HTTP/1.1 " + std::to_string(code) + " " + reason +
@@ -724,7 +971,13 @@ void DiffcdServer::ServeMetricsConnection(Socket sock) {
     return;
   }
   const std::string method = request_line.substr(0, sp1);
-  const std::string path = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string path = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string query;
+  const std::size_t qmark = path.find('?');
+  if (qmark != std::string::npos) {
+    query = path.substr(qmark + 1);
+    path = path.substr(0, qmark);
+  }
   if (method != "GET") {
     SendHttp(sock, 405, "Method Not Allowed", "text/plain", "GET only\n");
     return;
@@ -740,9 +993,160 @@ void DiffcdServer::ServeMetricsConnection(Socket sock) {
     } else {
       SendHttp(sock, 200, "OK", "text/plain", "ok\n");
     }
+  } else if (path == "/tracez") {
+    SendHttp(sock, 200, "OK", "application/json", RenderTracez(query));
+  } else if (path == "/statusz") {
+    SendHttp(sock, 200, "OK", "application/json", RenderStatusz());
+  } else if (path == "/slowz") {
+    SendHttp(sock, 200, "OK", "application/json", RenderSlowz());
   } else {
     SendHttp(sock, 404, "Not Found", "text/plain", "unknown path\n");
   }
+}
+
+std::string DiffcdServer::RenderTracez(const std::string& query) const {
+  obs::TraceStore& store = obs::GlobalTraceStore();
+
+  // Filters: trace_id (exact), status (ok|error|shed), min_ms (duration
+  // floor), limit (newest N, default 64).
+  const std::string want_id = QueryParam(query, "trace_id");
+  const std::string want_status = QueryParam(query, "status");
+  const std::string min_ms_s = QueryParam(query, "min_ms");
+  const std::string limit_s = QueryParam(query, "limit");
+  double min_ms = 0;
+  if (!min_ms_s.empty()) min_ms = std::strtod(min_ms_s.c_str(), nullptr);
+  std::size_t limit = 64;
+  if (!limit_s.empty()) {
+    const unsigned long parsed = std::strtoul(limit_s.c_str(), nullptr, 10);
+    if (parsed > 0) limit = static_cast<std::size_t>(parsed);
+  }
+
+  std::vector<obs::StoredTrace> traces;
+  std::uint64_t id_hi = 0;
+  std::uint64_t id_lo = 0;
+  if (!want_id.empty() && ParseTraceId(want_id, &id_hi, &id_lo)) {
+    traces = store.FindByTraceId(id_hi, id_lo);
+  } else {
+    traces = store.Snapshot();
+  }
+
+  std::string body = "{\"capacity\": " + std::to_string(store.capacity()) +
+                     ", \"total\": " + std::to_string(store.total()) +
+                     ", \"dropped\": " + std::to_string(store.dropped());
+  std::string items;
+  std::size_t count = 0;
+  // Newest first, up to `limit`.
+  for (std::size_t i = traces.size(); i-- > 0 && count < limit;) {
+    const obs::StoredTrace& t = traces[i];
+    if (!want_status.empty() && t.status != want_status) continue;
+    if (min_ms > 0 && static_cast<double>(t.duration_ns) / 1e6 < min_ms) continue;
+    if (!items.empty()) items += ", ";
+    items += t.ToJson();
+    ++count;
+  }
+  body += ", \"count\": " + std::to_string(count) + ", \"traces\": [" + items + "]}";
+  return body;
+}
+
+std::string DiffcdServer::RenderStatusz() const {
+  using obs::JsonEscape;
+  const std::uint64_t uptime_ms = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start_steady_)
+          .count());
+
+  std::string b = "{";
+  // Build info: compiler, build mode, protocol, compiled-in fail points.
+  b += "\"build\": {\"compiler\": \"" + JsonEscape(
+#if defined(__VERSION__)
+                                            __VERSION__
+#else
+                                            "unknown"
+#endif
+                                            ) +
+       "\"";
+#if defined(NDEBUG)
+  b += ", \"debug\": false";
+#else
+  b += ", \"debug\": true";
+#endif
+#if defined(DIFFC_FAILPOINTS)
+  b += ", \"failpoints\": true";
+#else
+  b += ", \"failpoints\": false";
+#endif
+  b += ", \"wire_version\": " + std::to_string(int{kWireVersion});
+  b += ", \"min_wire_version\": " + std::to_string(int{kMinWireVersion});
+  b += "}";
+
+  b += ", \"uptime_ms\": " + std::to_string(uptime_ms);
+  b += ", \"start_wall_unix_ns\": " + std::to_string(start_wall_unix_ns_);
+  b += ", \"draining\": " + std::string(draining() ? "true" : "false");
+
+  // The server options in force (the observable subset).
+  b += ", \"options\": {";
+  b += "\"listen_address\": \"" + JsonEscape(options_.listen_address) + "\"";
+  b += ", \"metrics_address\": \"" + JsonEscape(options_.metrics_address) + "\"";
+  b += ", \"max_inflight_batches\": " + std::to_string(options_.max_inflight_batches);
+  b += ", \"shed_watermark\": " + std::to_string(options_.shed_watermark);
+  b += ", \"shed_latency_watermark_ms\": " +
+       std::to_string(options_.shed_latency_watermark.count());
+  b += ", \"nonce_cache_capacity\": " + std::to_string(options_.nonce_cache_capacity);
+  b += ", \"session_stall_budget_ms\": " +
+       std::to_string(options_.session_stall_budget.count());
+  b += ", \"max_handles_per_session\": " +
+       std::to_string(options_.max_handles_per_session);
+  b += ", \"max_total_handles\": " + std::to_string(options_.max_total_handles);
+  b += ", \"drain_deadline_ms\": " + std::to_string(options_.drain_deadline.count());
+  b += ", \"metrics_timeout_ms\": " + std::to_string(options_.metrics_timeout.count());
+  b += ", \"slow_query_ms\": " + std::to_string(options_.slow_request_threshold.count());
+  b += ", \"trace_requests\": " + std::string(options_.trace_requests ? "true" : "false");
+  b += ", \"trace_sample_rate\": " + obs::FormatDouble(options_.trace_sample_rate);
+  b += ", \"trace_store_capacity\": " + std::to_string(options_.trace_store_capacity);
+  b += ", \"max_wire_version\": " + std::to_string(int{options_.max_wire_version});
+  b += "}";
+
+  // Admission: configured watermarks plus the live controller state.
+  const AdmissionController::Options& adm = admission_.options();
+  b += ", \"admission\": {";
+  b += "\"inflight\": " + std::to_string(admission_.inflight());
+  b += ", \"capacity\": " + std::to_string(admission_.capacity());
+  b += ", \"shed_watermark\": " + std::to_string(adm.shed_watermark);
+  b += ", \"latency_watermark_ms\": " + std::to_string(adm.latency_watermark.count());
+  b += ", \"ewma_latency_ms\": " + obs::FormatDouble(admission_.ewma_latency_ms());
+  b += "}";
+
+  // Live counts.
+  b += ", \"sessions_active\": " + std::to_string(sessions_active());
+  b += ", \"sessions_tracked\": " + std::to_string(sessions_tracked());
+  b += ", \"handles_active\": " + std::to_string(handles_.size());
+  b += ", \"nonce_cache_entries\": " + std::to_string(nonces_.size());
+
+  // Trace-store and slow-query-log health.
+  obs::TraceStore& store = obs::GlobalTraceStore();
+  b += ", \"trace_store\": {\"capacity\": " + std::to_string(store.capacity()) +
+       ", \"size\": " + std::to_string(store.size()) +
+       ", \"total\": " + std::to_string(store.total()) +
+       ", \"dropped\": " + std::to_string(store.dropped()) + "}";
+  obs::SlowQueryLog& slow = obs::GlobalSlowQueryLog();
+  b += ", \"slow_query_log\": {\"capacity\": " + std::to_string(slow.capacity()) +
+       ", \"total\": " + std::to_string(slow.total()) +
+       ", \"dropped\": " + std::to_string(slow.dropped()) + "}";
+  b += "}";
+  return b;
+}
+
+std::string DiffcdServer::RenderSlowz() const {
+  obs::SlowQueryLog& log = obs::GlobalSlowQueryLog();
+  std::string items;
+  for (const obs::SlowQuery& q : log.Snapshot()) {
+    if (!items.empty()) items += ", ";
+    items += q.ToJsonLine();
+  }
+  return "{\"capacity\": " + std::to_string(log.capacity()) +
+         ", \"total\": " + std::to_string(log.total()) +
+         ", \"dropped\": " + std::to_string(log.dropped()) + ", \"slow_queries\": [" +
+         items + "]}";
 }
 
 }  // namespace diffc::net

@@ -16,6 +16,7 @@
 #include "net/socket.h"
 #include "net/wire.h"
 #include "obs/trace.h"
+#include "obs/trace_store.h"
 #include "util/deadline.h"
 #include "util/mutex.h"
 #include "util/status.h"
@@ -24,6 +25,7 @@
 namespace diffc::net {
 
 struct SessionContext;
+struct RequestTrace;
 
 /// Tuning knobs of a `DiffcdServer`.
 struct ServerOptions {
@@ -64,11 +66,27 @@ struct ServerOptions {
   /// before waiting out the drain). Zero disables the bound.
   std::chrono::milliseconds metrics_timeout{5000};
   /// Requests slower than this are recorded (with their span tree, when
-  /// `trace_requests` is on) in the global event log; zero disables.
+  /// `trace_requests` is on) in the global event log, the slow-query log
+  /// (/slowz + one JSON line to stderr), and the trace store; zero
+  /// disables. diffcd exposes this as --slow_query_ms.
   std::chrono::milliseconds slow_request_threshold{250};
   /// Record a per-request span tree (read/decode/execute/encode) for the
-  /// slow-request event log entries.
+  /// slow-request event log entries. Forces head-sampling of every request
+  /// (equivalent to trace_sample_rate = 1).
   bool trace_requests = false;
+  /// Head-sampling probability for request traces in [0, 1]: a sampled
+  /// request records its full span tree (admission wait, nonce lookup,
+  /// engine execution) into the trace store for /tracez. Unsampled
+  /// requests pay one branch; slow/shed/errored ones still land in the
+  /// store as single-span skeletons (tail always-sample).
+  double trace_sample_rate = 0.01;
+  /// Retained traces in the process-wide store behind /tracez.
+  std::size_t trace_store_capacity = 256;
+  /// Highest wire version this server accepts/speaks. Defaults to
+  /// `kWireVersion`; tests pin it to an older version to emulate an
+  /// old server against a new client (the client auto-downgrades on the
+  /// version-mismatch error frame).
+  std::uint8_t max_wire_version = kWireVersion;
 };
 
 /// `diffcd` — the networked implication service. One process-embedded
@@ -138,6 +156,17 @@ class DiffcdServer {
   /// the drain deadline expires.
   CancelToken drain_cancel() const { return drain_cancel_; }
 
+  /// Called by a handler once it has decoded the request's trace context:
+  /// adopts the wire identity (or mints one when absent), draws the
+  /// head-sampling decision, mints the server span id, and enables
+  /// `ctx->tracer` when sampled. Idempotent per request.
+  void ArmRequestTrace(SessionContext* ctx, const TraceContext& wire_tc, const char* name);
+
+  /// The trace context a handler echoes in a v3 reply: the request's trace
+  /// id, this request's server span id, and the sampling flag. Zero-id
+  /// (invalid) before `ArmRequestTrace`.
+  static TraceContext ReplyTraceContext(const SessionContext& ctx);
+
  private:
   struct Session {
     std::uint64_t id = 0;
@@ -155,8 +184,18 @@ class DiffcdServer {
   void MetricsLoop();
   /// Serves one HTTP connection on the metrics listener.
   void ServeMetricsConnection(Socket sock);
+  /// JSON bodies of the introspection endpoints (schemas: DESIGN.md §12).
+  std::string RenderTracez(const std::string& query) const;
+  std::string RenderStatusz() const;
+  std::string RenderSlowz() const;
   /// Dispatches one request frame, returning the response frame.
   Frame Dispatch(SessionContext* ctx, const Frame& frame);
+  /// Closes the request's trace after the reply frame is chosen: joins the
+  /// collected engine traces, classifies the outcome from the reply type,
+  /// and stores into the trace store / slow-query log per the sampling and
+  /// tail rules (DESIGN.md §12).
+  void FinishRequestTrace(SessionContext* ctx, std::uint8_t reply_type,
+                          std::uint64_t elapsed_ns);
 
   const ServerOptions options_;
   ImplicationEngine engine_;
@@ -175,6 +214,9 @@ class DiffcdServer {
   Listener metrics_listener_;
   std::string bound_address_;
   std::string metrics_bound_address_;
+  /// Set once in `Start` (before any server thread), read by /statusz.
+  std::chrono::steady_clock::time_point start_steady_{};
+  std::uint64_t start_wall_unix_ns_ = 0;
   std::thread accept_thread_;
   std::thread metrics_thread_;
 
@@ -191,14 +233,45 @@ class DiffcdServer {
   std::size_t active_sessions_ GUARDED_BY(mu_) = 0;
 };
 
+/// The server-side trace state of one in-flight request. Armed by the
+/// handler once the wire trace context is decoded (`ArmRequestTrace`),
+/// finished by the session loop after the reply frame is chosen
+/// (`FinishRequestTrace`), which decides storage: sampled requests always,
+/// unsampled ones when slow/shed/errored (as single-span skeletons).
+struct RequestTrace {
+  /// Trace identity: from the wire when the client sent one, minted
+  /// server-side otherwise.
+  TraceContext wire;
+  /// This request's server span id (minted at arm time; echoed in the
+  /// reply's trace context).
+  std::uint64_t server_span_id = 0;
+  /// Span sink; enabled iff `sampled`.
+  obs::Tracer tracer;
+  bool armed = false;
+  bool sampled = false;
+  /// True when sampling was forced by the wire flag or `trace_requests`
+  /// rather than drawn from `trace_sample_rate`.
+  bool forced = false;
+  /// Operation name ("check-batch", ...) once known.
+  std::string name;
+  /// Engine trace records collected by the handler (capped at 4), joined
+  /// under the request's "execute" span at finish time.
+  std::vector<std::shared_ptr<const obs::TraceRecord>> engine_traces;
+};
+
 /// Per-request context handed to `WireHandlerImpl::Handle`.
 struct SessionContext {
   DiffcdServer* server = nullptr;
   /// The owning session — the handle-table owner id.
   std::uint64_t session_id = 0;
-  /// Per-request tracer (never null; disabled unless
-  /// `ServerOptions::trace_requests`).
+  /// Per-request tracer (never null; disabled unless the request is
+  /// sampled — see `RequestTrace`).
   obs::Tracer* tracer = nullptr;
+  /// Wire version of the request frame being handled; replies are encoded
+  /// at this version so a v2 peer never sees v3 fields.
+  std::uint8_t wire_version = kWireVersion;
+  /// This request's trace state (never null during dispatch).
+  RequestTrace* trace = nullptr;
 };
 
 }  // namespace diffc::net

@@ -470,7 +470,7 @@ Status ReadFrame(const Socket& sock, Frame* frame, bool* clean_eof,
   std::uint32_t len = 0;
   for (int i = 0; i < 4; ++i) len |= std::uint32_t{header[i]} << (8 * i);
   const std::uint8_t version = header[4];
-  if (version != kWireVersion) {
+  if (version < kMinWireVersion || version > kWireVersion) {
     return Status::InvalidArgument("unsupported wire version " + std::to_string(int{version}) +
                                    " (expected " + std::to_string(int{kWireVersion}) + ")");
   }
@@ -479,6 +479,7 @@ Status ReadFrame(const Socket& sock, Frame* frame, bool* clean_eof,
                                    " exceeds cap " + std::to_string(kMaxFramePayload));
   }
   frame->type = header[5];
+  frame->version = version;
   frame->payload.resize(len);
   if (len > 0) {
     s = sock.RecvAllStalled(frame->payload.data(), len, &eof, stall_budget, &give_up);

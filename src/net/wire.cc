@@ -4,10 +4,15 @@
 #include <cstring>
 
 #include "lattice/set_family.h"
+#include "obs/exposition.h"
 #include "util/bitops.h"
 #include "util/failpoint.h"
 
 namespace diffc::net {
+
+std::string TraceContext::IdHex() const {
+  return obs::HexU64(trace_id_hi) + obs::HexU64(trace_id_lo);
+}
 
 const char* WireRequestName(WireRequest t) {
   switch (t) {
@@ -187,16 +192,48 @@ void EncodeConstraintList(WireWriter* w, int n,
   for (const DifferentialConstraint& c : list) EncodeConstraint(w, c);
 }
 
-Frame MakeFrame(std::uint8_t type, WireWriter&& w) {
-  return Frame{type, std::move(w).Take()};
+Frame MakeFrame(std::uint8_t type, WireWriter&& w, std::uint8_t version = kWireVersion) {
+  return Frame{type, version, std::move(w).Take()};
+}
+
+// v3 trace context: 25 bytes — trace id hi/lo, parent span id, sampled flag.
+constexpr std::size_t kTraceContextBytes = 25;
+
+void EncodeTraceContext(WireWriter* w, const TraceContext& tc) {
+  w->U64(tc.trace_id_hi);
+  w->U64(tc.trace_id_lo);
+  w->U64(tc.parent_span_id);
+  w->U8(tc.sampled ? 1 : 0);
+}
+
+Status DecodeTraceContext(WireReader* r, TraceContext* tc) {
+  Result<std::uint64_t> hi = r->U64();
+  if (!hi.ok()) return hi.status();
+  tc->trace_id_hi = *hi;
+  Result<std::uint64_t> lo = r->U64();
+  if (!lo.ok()) return lo.status();
+  tc->trace_id_lo = *lo;
+  Result<std::uint64_t> parent = r->U64();
+  if (!parent.ok()) return parent.status();
+  tc->parent_span_id = *parent;
+  Result<std::uint8_t> sampled = r->U8();
+  if (!sampled.ok()) return sampled.status();
+  if (*sampled > 1) {
+    return Status::InvalidArgument("trace sampled flag byte out of range (" +
+                                   std::to_string(int{*sampled}) + ")");
+  }
+  tc->sampled = *sampled != 0;
+  return Status::Ok();
 }
 
 }  // namespace
 
-Frame EncodeRegisterPremises(const RegisterPremisesMsg& msg) {
+Frame EncodeRegisterPremises(const RegisterPremisesMsg& msg, std::uint8_t version) {
   WireWriter w;
   EncodeConstraintList(&w, msg.n, msg.premises);
-  return MakeFrame(static_cast<std::uint8_t>(WireRequest::kRegisterPremises), std::move(w));
+  if (version >= 3) EncodeTraceContext(&w, msg.trace);
+  return MakeFrame(static_cast<std::uint8_t>(WireRequest::kRegisterPremises), std::move(w),
+                   version);
 }
 
 Result<RegisterPremisesMsg> DecodeRegisterPremises(const Frame& f) {
@@ -207,16 +244,22 @@ Result<RegisterPremisesMsg> DecodeRegisterPremises(const Frame& f) {
   RegisterPremisesMsg msg;
   Status s = DecodeConstraintList(&r, &msg.n, &msg.premises);
   if (!s.ok()) return s;
+  if (f.version >= 3) {
+    s = DecodeTraceContext(&r, &msg.trace);
+    if (!s.ok()) return s;
+  }
   s = r.Finish();
   if (!s.ok()) return s;
   return msg;
 }
 
-Frame EncodeRegisterOk(const RegisterOkMsg& msg) {
+Frame EncodeRegisterOk(const RegisterOkMsg& msg, std::uint8_t version) {
   WireWriter w;
   w.U64(msg.handle);
   w.U32(msg.canonical_constraints);
-  return MakeFrame(static_cast<std::uint8_t>(WireResponse::kRegisterOk), std::move(w));
+  if (version >= 3) EncodeTraceContext(&w, msg.trace);
+  return MakeFrame(static_cast<std::uint8_t>(WireResponse::kRegisterOk), std::move(w),
+                   version);
 }
 
 Result<RegisterOkMsg> DecodeRegisterOk(const Frame& f) {
@@ -234,18 +277,24 @@ Result<RegisterOkMsg> DecodeRegisterOk(const Frame& f) {
   Result<std::uint32_t> canonical = r.U32();
   if (!canonical.ok()) return canonical.status();
   msg.canonical_constraints = *canonical;
+  if (f.version >= 3) {
+    Status ds = DecodeTraceContext(&r, &msg.trace);
+    if (!ds.ok()) return ds;
+  }
   Status s = r.Finish();
   if (!s.ok()) return s;
   return msg;
 }
 
-Frame EncodeCheckBatch(const CheckBatchMsg& msg) {
+Frame EncodeCheckBatch(const CheckBatchMsg& msg, std::uint8_t version) {
   WireWriter w;
   w.U64(msg.handle);
   w.U64(msg.deadline_ms);
   w.U64(msg.nonce);
   EncodeConstraintList(&w, msg.n, msg.goals);
-  return MakeFrame(static_cast<std::uint8_t>(WireRequest::kCheckBatch), std::move(w));
+  if (version >= 3) EncodeTraceContext(&w, msg.trace);
+  return MakeFrame(static_cast<std::uint8_t>(WireRequest::kCheckBatch), std::move(w),
+                   version);
 }
 
 Result<CheckBatchMsg> DecodeCheckBatch(const Frame& f) {
@@ -265,22 +314,27 @@ Result<CheckBatchMsg> DecodeCheckBatch(const Frame& f) {
   msg.nonce = *nonce;
   Status s = DecodeConstraintList(&r, &msg.n, &msg.goals);
   if (!s.ok()) return s;
+  if (f.version >= 3) {
+    s = DecodeTraceContext(&r, &msg.trace);
+    if (!s.ok()) return s;
+  }
   s = r.Finish();
   if (!s.ok()) return s;
   return msg;
 }
 
-Frame EncodeBatchResult(const BatchResultMsg& msg) {
+Frame EncodeBatchResult(const BatchResultMsg& msg, std::uint8_t version) {
   // The reply must decode under the peer's own caps: each status_message
   // is truncated to kMaxErrorMessageBytes (mirroring EncodeError), and
   // the per-message cap shrinks further whenever full-length messages
   // could push the frame past kMaxFramePayload — so the reply provably
   // fits for any result count DecodeBatchResult accepts. Fixed bytes per
   // result: code(1) + length(4) + verdict(1) + has_cx(1) + cx(8) = 15;
-  // plus the count(4) and the 8 u64 stats.
+  // plus the count(4), the 8 u64 stats, and (v3) the trace-context echo.
   std::size_t message_cap = kMaxErrorMessageBytes;
   if (!msg.results.empty()) {
-    const std::size_t fixed = 4 + 15 * msg.results.size() + 8 * 8;
+    const std::size_t fixed =
+        4 + 15 * msg.results.size() + 8 * 8 + (version >= 3 ? kTraceContextBytes : 0);
     const std::size_t budget = fixed < kMaxFramePayload ? kMaxFramePayload - fixed : 0;
     message_cap = std::min<std::size_t>(message_cap, budget / msg.results.size());
   }
@@ -303,7 +357,9 @@ Frame EncodeBatchResult(const BatchResultMsg& msg) {
   w.U64(msg.stats.timed_out);
   w.U64(msg.stats.cancelled);
   w.U64(msg.stats.batch_wall_ns);
-  return MakeFrame(static_cast<std::uint8_t>(WireResponse::kBatchResult), std::move(w));
+  if (version >= 3) EncodeTraceContext(&w, msg.trace);
+  return MakeFrame(static_cast<std::uint8_t>(WireResponse::kBatchResult), std::move(w),
+                   version);
 }
 
 Result<BatchResultMsg> DecodeBatchResult(const Frame& f) {
@@ -351,6 +407,10 @@ Result<BatchResultMsg> DecodeBatchResult(const Frame& f) {
     if (!v.ok()) return v.status();
     *field = *v;
   }
+  if (f.version >= 3) {
+    Status ds = DecodeTraceContext(&r, &msg.trace);
+    if (!ds.ok()) return ds;
+  }
   Status s = r.Finish();
   if (!s.ok()) return s;
   return msg;
@@ -376,7 +436,7 @@ Result<ReleaseMsg> DecodeRelease(const Frame& f) {
 }
 
 Frame EncodeReleaseOk() {
-  return Frame{static_cast<std::uint8_t>(WireResponse::kReleaseOk), {}};
+  return Frame{static_cast<std::uint8_t>(WireResponse::kReleaseOk), kWireVersion, {}};
 }
 
 namespace {
@@ -471,7 +531,7 @@ std::vector<std::uint8_t> SerializeFrame(const Frame& f) {
   out.reserve(6 + f.payload.size());
   std::uint32_t len = static_cast<std::uint32_t>(f.payload.size());
   for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
-  out.push_back(kWireVersion);
+  out.push_back(f.version);
   out.push_back(f.type);
   out.insert(out.end(), f.payload.begin(), f.payload.end());
   return out;

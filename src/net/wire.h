@@ -33,8 +33,17 @@ namespace diffc::net {
 /// indices are rejected at the boundary (see DESIGN.md §11).
 
 /// Protocol version carried by every frame. v2 added the CHECK_BATCH
-/// idempotency nonce and the OVERLOADED reply.
-inline constexpr std::uint8_t kWireVersion = 2;
+/// idempotency nonce and the OVERLOADED reply. v3 added the trace context
+/// (16-byte trace id + 8-byte parent span id + sampling flag) to
+/// REGISTER_PREMISES / CHECK_BATCH requests and its echo (trace id + server
+/// span id + flag) to their replies.
+inline constexpr std::uint8_t kWireVersion = 3;
+
+/// Oldest version this build still speaks. `ReadFrame` accepts any frame in
+/// [kMinWireVersion, kWireVersion] and records the version on the `Frame`;
+/// codecs for the trace-carrying messages encode/decode the trace fields
+/// only at v3+, so a v2 peer round-trips bit-for-bit against a v3 process.
+inline constexpr std::uint8_t kMinWireVersion = 2;
 
 /// Hard cap on a frame payload, checked before allocation.
 inline constexpr std::uint32_t kMaxFramePayload = 4u << 20;  // 4 MiB
@@ -73,10 +82,31 @@ const char* WireResponseName(WireResponse t);
 /// True iff `t` is a declared `WireRequest` enumerator.
 bool IsKnownRequest(std::uint8_t t);
 
-/// One decoded frame: the type byte and the raw payload.
+/// One decoded frame: the type byte, the wire version it was (or will be)
+/// framed with, and the raw payload.
 struct Frame {
   std::uint8_t type = 0;
+  std::uint8_t version = kWireVersion;
   std::vector<std::uint8_t> payload;
+};
+
+/// The trace context carried by v3 REGISTER_PREMISES / CHECK_BATCH frames
+/// and echoed (with the responder's span id as `parent_span_id`) in their
+/// replies. A zero trace id means "no context"; the server then mints one.
+struct TraceContext {
+  /// 16-byte trace id as two u64 halves (hi rendered first).
+  std::uint64_t trace_id_hi = 0;
+  std::uint64_t trace_id_lo = 0;
+  /// Requests: the sender's span the server span should parent under.
+  /// Replies: the server span id, so the client can point at it.
+  std::uint64_t parent_span_id = 0;
+  /// Head-sampling decision, propagated so both sides store the trace.
+  bool sampled = false;
+
+  bool valid() const { return trace_id_hi != 0 || trace_id_lo != 0; }
+
+  /// 32 lower-case hex digits, hi half first (matches /tracez).
+  std::string IdHex() const;
 };
 
 /// Appends little-endian scalars and length-prefixed blobs to a payload.
@@ -126,12 +156,16 @@ class WireReader {
 struct RegisterPremisesMsg {
   int n = 0;
   ConstraintSet premises;
+  /// v3+: the caller's trace context (ignored by v2 encodes).
+  TraceContext trace;
 };
 
 /// Reply: the handle and the size of the canonicalized set.
 struct RegisterOkMsg {
   std::uint64_t handle = 0;
   std::uint32_t canonical_constraints = 0;
+  /// v3+: trace id echo; `parent_span_id` is the server span id.
+  TraceContext trace;
 };
 
 /// CHECK_BATCH: decide `handle's premises |= goals[i]` for every goal.
@@ -147,6 +181,8 @@ struct CheckBatchMsg {
   std::uint64_t nonce = 0;
   int n = 0;
   std::vector<DifferentialConstraint> goals;
+  /// v3+: the caller's trace context (ignored by v2 encodes).
+  TraceContext trace;
 };
 
 /// One per-goal answer: the engine's per-query status, verdict, and
@@ -175,6 +211,8 @@ struct WireBatchStats {
 struct BatchResultMsg {
   std::vector<WireQueryResult> results;
   WireBatchStats stats;
+  /// v3+: trace id echo; `parent_span_id` is the server span id.
+  TraceContext trace;
 };
 
 struct ReleaseMsg {
@@ -217,10 +255,15 @@ struct ErrorMsg {
 
 // ----------------------------------------------------------- frame codecs
 
-Frame EncodeRegisterPremises(const RegisterPremisesMsg& msg);
-Frame EncodeRegisterOk(const RegisterOkMsg& msg);
-Frame EncodeCheckBatch(const CheckBatchMsg& msg);
-Frame EncodeBatchResult(const BatchResultMsg& msg);
+/// The four trace-carrying codecs take the wire version to frame at:
+/// v2 omits the trace fields (bit-for-bit the PR 7 encoding), v3 appends
+/// them. The remaining codecs are version-independent and default to
+/// `kWireVersion` on the frame.
+Frame EncodeRegisterPremises(const RegisterPremisesMsg& msg,
+                             std::uint8_t version = kWireVersion);
+Frame EncodeRegisterOk(const RegisterOkMsg& msg, std::uint8_t version = kWireVersion);
+Frame EncodeCheckBatch(const CheckBatchMsg& msg, std::uint8_t version = kWireVersion);
+Frame EncodeBatchResult(const BatchResultMsg& msg, std::uint8_t version = kWireVersion);
 Frame EncodeRelease(const ReleaseMsg& msg);
 Frame EncodeReleaseOk();
 Frame EncodePing(const PingMsg& msg);

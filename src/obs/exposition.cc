@@ -139,6 +139,12 @@ std::string FormatDouble(double v) {
   return buf;
 }
 
+std::string HexU64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
 std::string RenderPrometheus(const MetricsSnapshot& snapshot) {
   std::string out;
   std::string last_family;

@@ -1,6 +1,7 @@
 #ifndef DIFFC_OBS_EXPOSITION_H_
 #define DIFFC_OBS_EXPOSITION_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -38,6 +39,10 @@ std::string JsonEscape(std::string_view s);
 /// decimal, "+Inf"/"-Inf"/"NaN" for non-finite values (Prometheus only; the
 /// JSON renderer never emits non-finite numbers).
 std::string FormatDouble(double v);
+
+/// Lower-case zero-padded 16-digit hex, no "0x" prefix — the rendering used
+/// for trace and span ids in /tracez and the slow-query log.
+std::string HexU64(std::uint64_t v);
 
 }  // namespace diffc::obs
 

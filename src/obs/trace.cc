@@ -15,6 +15,12 @@ std::uint64_t SteadyNowNs() {
                                         .count());
 }
 
+std::uint64_t WallNowUnixNs() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::system_clock::now().time_since_epoch())
+                                        .count());
+}
+
 }  // namespace
 
 std::uint64_t TraceRecord::TotalNs() const {
@@ -66,14 +72,19 @@ std::string TraceRecord::ToJson() const {
            "\", \"parent\": " + std::to_string(s.parent) +
            ", \"depth\": " + std::to_string(s.depth) +
            ", \"start_ns\": " + std::to_string(s.start_ns) +
-           ", \"duration_ns\": " + std::to_string(s.duration_ns) + "}";
+           ", \"duration_ns\": " + std::to_string(s.duration_ns);
+    if (!s.detail.empty()) out += ", \"detail\": \"" + JsonEscape(s.detail) + "\"";
+    out += "}";
   }
   out += "]";
   return out;
 }
 
 Tracer::Tracer(bool enabled) : enabled_(enabled) {
-  if (enabled_) start_ns_ = SteadyNowNs();
+  if (enabled_) {
+    start_ns_ = SteadyNowNs();
+    wall_start_unix_ns_ = WallNowUnixNs();
+  }
 }
 
 std::uint64_t Tracer::NowRelNs() const { return SteadyNowNs() - start_ns_; }
@@ -105,11 +116,29 @@ void Tracer::End(int handle) {
   }
 }
 
+void Tracer::Note(std::string_view name, std::string_view detail) {
+  if (!enabled_) return;
+  TraceSpan span;
+  span.name = std::string(name);
+  span.parent = open_.empty() ? -1 : open_.back();
+  span.depth = static_cast<int>(open_.size());
+  span.start_ns = NowRelNs();
+  span.duration_ns = 0;
+  span.detail = std::string(detail);
+  record_.spans.push_back(std::move(span));
+}
+
 TraceRecord Tracer::Finish() {
   if (!open_.empty()) End(open_.front());
   TraceRecord out = std::move(record_);
+  out.wall_start_unix_ns = wall_start_unix_ns_;
   record_ = TraceRecord{};
   open_.clear();
+  // Re-anchor so a reused tracer gets fresh clocks.
+  if (enabled_) {
+    start_ns_ = SteadyNowNs();
+    wall_start_unix_ns_ = WallNowUnixNs();
+  }
   return out;
 }
 

@@ -28,12 +28,22 @@ struct TraceSpan {
   std::uint64_t start_ns = 0;
   /// Span duration, nanoseconds (0 while open).
   std::uint64_t duration_ns = 0;
+  /// Free-form annotation (set for `Tracer::Note` event spans; empty for
+  /// ordinary phase spans).
+  std::string detail;
 };
 
 /// The span tree of one traced query, in span-start order (a parent always
 /// precedes its children).
 struct TraceRecord {
   std::vector<TraceSpan> spans;
+  /// Wall-clock (`system_clock`) Unix nanoseconds at the tracer's
+  /// construction — the anchor that turns the spans' steady-clock offsets
+  /// into absolute times. Span offsets stay on `steady_clock` (monotonic,
+  /// immune to NTP steps); renderers add the anchor when they need
+  /// absolute timestamps (e.g. /tracez). 0 for records from a disabled
+  /// tracer.
+  std::uint64_t wall_start_unix_ns = 0;
 
   /// Total traced wall time: the sum of root-span durations.
   std::uint64_t TotalNs() const;
@@ -72,6 +82,11 @@ class Tracer {
   /// Closes the span `handle` (and any still-open descendants).
   void End(int handle);
 
+  /// Records an instant event: a zero-duration span under the innermost
+  /// open span, carrying `detail` as its annotation. The client's retry /
+  /// backoff / breaker-transition events use this.
+  void Note(std::string_view name, std::string_view detail = {});
+
   /// Closes every open span and returns the finished record. The tracer is
   /// left empty and may be reused.
   TraceRecord Finish();
@@ -81,6 +96,7 @@ class Tracer {
 
   bool enabled_ = false;
   std::uint64_t start_ns_ = 0;  // Absolute steady_clock ns at construction.
+  std::uint64_t wall_start_unix_ns_ = 0;  // system_clock anchor, see TraceRecord.
   TraceRecord record_;
   std::vector<int> open_;  // Stack of open span indices.
 };

@@ -26,6 +26,7 @@
 #include "net/retry.h"
 #include "net/server.h"
 #include "obs/exposition.h"
+#include "obs/trace_store.h"
 #include "test_helpers.h"
 #include "util/failpoint.h"
 #include "util/random.h"
@@ -197,7 +198,7 @@ TEST(NonceCacheTest, MissInFlightDoneLifecycle) {
   EXPECT_EQ(cache.Begin(7).state, NonceCache::State::kMiss);
   EXPECT_EQ(cache.Begin(7).state, NonceCache::State::kInFlight);
 
-  Frame reply{0x13, {1, 2, 3}};
+  Frame reply{0x13, kWireVersion, {1, 2, 3}};
   cache.Complete(7, reply);
   NonceCache::Lookup done = cache.Begin(7);
   EXPECT_EQ(done.state, NonceCache::State::kDone);
@@ -215,7 +216,7 @@ TEST(NonceCacheTest, DoneEntriesEvictFifoAtCapacity) {
   NonceCache cache(NonceCache::Options{2});
   for (std::uint64_t nonce = 1; nonce <= 3; ++nonce) {
     ASSERT_EQ(cache.Begin(nonce).state, NonceCache::State::kMiss);
-    cache.Complete(nonce, Frame{0x13, {static_cast<std::uint8_t>(nonce)}});
+    cache.Complete(nonce, Frame{0x13, kWireVersion, {static_cast<std::uint8_t>(nonce)}});
   }
   // Nonce 1 was evicted by 3; 2 and 3 still replay.
   EXPECT_EQ(cache.Begin(2).state, NonceCache::State::kDone);
@@ -390,6 +391,76 @@ TEST(NetChaosTest, InjectedShedIsRetriedAfterTheHint) {
   EXPECT_EQ(batch->results[0].verdict, 1);
   EXPECT_GE(client->stats().shed_backoffs, 1u);
   EXPECT_GE(CounterValue("diffc_net_shed_total"), shed_before + 1);
+  EXPECT_TRUE(server.Shutdown().ok());
+}
+
+TEST(NetChaosTest, ShedRequestsLandInTraceStoreWithRetryChainIntact) {
+  SKIP_WITHOUT_FAILPOINTS();
+  // PR 8 acceptance: a request shed on its first attempt and retried to
+  // success must leave the whole story in the trace store under ONE trace
+  // id — the shed server record, the successful server record, and the
+  // client record whose span carries the shed/backoff events between them.
+  obs::GlobalTraceStore().Clear();
+  DiffcdServer server(ServerOptions{.listen_address = "127.0.0.1:0"});
+  ASSERT_TRUE(server.Start().ok());
+  ClientOptions copts;
+  copts.retry.initial_backoff = std::chrono::milliseconds(2);
+  copts.seed = ChaosSeed() + 11;
+  copts.trace = true;  // Force-sample the whole chain.
+  Result<DiffcClient> client = DiffcClient::Connect(server.bound_address(), copts);
+  ASSERT_TRUE(client.ok());
+  Result<RegisterOkMsg> registered = client->RegisterPremises(
+      3, {DifferentialConstraint(ItemSet{0}, SetFamily({ItemSet{1}}))});
+  ASSERT_TRUE(registered.ok());
+
+  failpoint::Arm("server/shed", failpoint::Spec::NthHit(1));
+  Result<BatchResultMsg> batch = client->CheckBatch(
+      registered->handle, 3, {DifferentialConstraint(ItemSet{0}, SetFamily({ItemSet{1}}))});
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  EXPECT_GE(client->stats().shed_backoffs, 1u);
+
+  const TraceContext tc = client->last_trace();
+  ASSERT_TRUE(tc.valid());
+  std::vector<obs::StoredTrace> chain =
+      obs::GlobalTraceStore().FindByTraceId(tc.trace_id_hi, tc.trace_id_lo);
+  ASSERT_EQ(chain.size(), 3u) << "shed attempt + retried attempt + client record";
+
+  const obs::StoredTrace* shed_rec = nullptr;
+  const obs::StoredTrace* ok_rec = nullptr;
+  const obs::StoredTrace* client_rec = nullptr;
+  for (const obs::StoredTrace& t : chain) {
+    if (t.kind == "server" && t.status == "shed") shed_rec = &t;
+    if (t.kind == "server" && t.status == "ok") ok_rec = &t;
+    if (t.kind == "client") client_rec = &t;
+  }
+  ASSERT_NE(shed_rec, nullptr);
+  ASSERT_NE(ok_rec, nullptr);
+  ASSERT_NE(client_rec, nullptr);
+
+  // Both server attempts hang off the same client span.
+  EXPECT_EQ(shed_rec->parent_span_id, client_rec->span_id);
+  EXPECT_EQ(ok_rec->parent_span_id, client_rec->span_id);
+  EXPECT_NE(shed_rec->span_id, ok_rec->span_id);
+  EXPECT_TRUE(shed_rec->shed);
+  // The shed attempt recorded where it was turned away.
+  bool shed_noted = false;
+  for (const obs::TraceSpan& s : shed_rec->record.spans) {
+    if (s.name == "shed" && s.detail == "watermark") shed_noted = true;
+  }
+  EXPECT_TRUE(shed_noted);
+
+  // The client span tells the retry story: the overload event, then the
+  // backoff it honored — and the call still ended "ok".
+  EXPECT_EQ(client_rec->status, "ok");
+  EXPECT_TRUE(client_rec->shed);
+  bool saw_shed_event = false;
+  bool saw_backoff = false;
+  for (const obs::TraceSpan& s : client_rec->record.spans) {
+    if (s.name == "shed") saw_shed_event = true;
+    if (s.name == "backoff") saw_backoff = true;
+  }
+  EXPECT_TRUE(saw_shed_event);
+  EXPECT_TRUE(saw_backoff);
   EXPECT_TRUE(server.Shutdown().ok());
 }
 

@@ -22,6 +22,8 @@
 #include "net/client.h"
 #include "net/handler_registry.h"
 #include "net/server.h"
+#include "obs/trace_store.h"
+#include "prop/tautology.h"
 #include "test_helpers.h"
 #include "util/random.h"
 
@@ -530,7 +532,7 @@ TEST(DiffcdServiceTest, MalformedFramesGetTypedErrorThenClose) {
     // Unknown request type byte (framing fine): same treatment.
     Result<Socket> raw = Connect(server.bound_address());
     ASSERT_TRUE(raw.ok());
-    ASSERT_TRUE(WriteFrame(*raw, Frame{0x66, {}}).ok());
+    ASSERT_TRUE(WriteFrame(*raw, Frame{0x66, kWireVersion, {}}).ok());
     Frame reply;
     bool clean_eof = false;
     ASSERT_TRUE(ReadFrame(*raw, &reply, &clean_eof).ok());
@@ -688,6 +690,305 @@ TEST(DiffcdServiceTest, MetricsEndpointServesPrometheusAndJson) {
   const std::string missing = HttpGet(server.metrics_bound_address(), "/nope");
   EXPECT_NE(missing.find("404"), std::string::npos);
 
+  EXPECT_TRUE(server.Shutdown().ok());
+}
+
+// ---------------------------------------------------------- tracing (PR 8)
+
+// The PHP(holes+1, holes) tautology via the Proposition 5.5 reduction: a
+// query guaranteed to spend real time in the SAT procedure (see
+// test_engine.cc), used here to cross the slow-query threshold.
+prop::DnfFormula PigeonholeDnf(int holes) {
+  prop::DnfFormula f;
+  f.num_vars = (holes + 1) * holes;
+  auto var = [&](int pigeon, int hole) { return pigeon * holes + hole; };
+  for (int i = 0; i <= holes; ++i) {
+    prop::DnfConjunct c;
+    for (int k = 0; k < holes; ++k) c.neg |= Mask{1} << var(i, k);
+    f.conjuncts.push_back(c);
+  }
+  for (int i = 0; i <= holes; ++i)
+    for (int j = i + 1; j <= holes; ++j)
+      for (int k = 0; k < holes; ++k) {
+        prop::DnfConjunct c;
+        c.pos = (Mask{1} << var(i, k)) | (Mask{1} << var(j, k));
+        f.conjuncts.push_back(c);
+      }
+  return f;
+}
+
+TEST(DiffcdServiceTest, TracezServesOneJoinedClientServerEngineTrace) {
+  obs::GlobalTraceStore().Clear();
+  ServerOptions options = LoopbackOptions();
+  options.metrics_address = "127.0.0.1:0";
+  options.engine.trace = true;  // Engine spans join the request trace.
+  DiffcdServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  ClientOptions copts;
+  copts.trace = true;  // Force-sample: client span + wire sampled flag.
+  copts.seed = 20260809;
+  Result<DiffcClient> client = DiffcClient::Connect(server.bound_address(), copts);
+  ASSERT_TRUE(client.ok());
+  EXPECT_EQ(client->wire_version(), kWireVersion);
+
+  Result<RegisterOkMsg> registered = client->RegisterPremises(
+      4, {DifferentialConstraint(ItemSet{0}, SetFamily({ItemSet{1}}))});
+  ASSERT_TRUE(registered.ok());
+  Result<BatchResultMsg> batch = client->CheckBatch(
+      registered->handle, 4, {DifferentialConstraint(ItemSet{0}, SetFamily({ItemSet{2}}))});
+  ASSERT_TRUE(batch.ok());
+
+  // The reply echoes the trace id the client minted for the batch call,
+  // with the server's span id as the parent half of the echo.
+  const TraceContext echo = client->last_trace();
+  ASSERT_TRUE(echo.valid());
+  EXPECT_TRUE(echo.sampled);
+  EXPECT_EQ(echo.trace_id_hi, batch->trace.trace_id_hi);
+
+  // Both sides of the loopback share the process-global store: exactly one
+  // client record and one server record under the batch call's trace id.
+  std::vector<obs::StoredTrace> joined =
+      obs::GlobalTraceStore().FindByTraceId(echo.trace_id_hi, echo.trace_id_lo);
+  ASSERT_EQ(joined.size(), 2u);
+  const obs::StoredTrace* client_rec = nullptr;
+  const obs::StoredTrace* server_rec = nullptr;
+  for (const obs::StoredTrace& t : joined) {
+    if (t.kind == "client") client_rec = &t;
+    if (t.kind == "server") server_rec = &t;
+  }
+  ASSERT_NE(client_rec, nullptr);
+  ASSERT_NE(server_rec, nullptr);
+  // The span chain: client root -> server span (client ⊇ server ⊇ engine).
+  EXPECT_EQ(client_rec->parent_span_id, 0u);
+  EXPECT_EQ(server_rec->parent_span_id, client_rec->span_id);
+  EXPECT_EQ(echo.parent_span_id, server_rec->span_id);
+  EXPECT_EQ(client_rec->name, "check-batch");
+  EXPECT_TRUE(client_rec->forced);
+  ASSERT_FALSE(client_rec->record.spans.empty());
+  EXPECT_EQ(client_rec->record.spans[0].name, "client:check-batch");
+  // The server record covers the request phases, with the engine's span
+  // tree grafted under "execute" (grafted spans sit at depth >= 2).
+  ASSERT_FALSE(server_rec->record.spans.empty());
+  EXPECT_EQ(server_rec->record.spans[0].name, "server:check-batch");
+  bool saw_execute = false;
+  bool saw_engine_depth = false;
+  for (const obs::TraceSpan& s : server_rec->record.spans) {
+    if (s.name == "execute") saw_execute = true;
+    if (s.depth >= 2) saw_engine_depth = true;
+  }
+  EXPECT_TRUE(saw_execute);
+  EXPECT_TRUE(saw_engine_depth);
+  // Both records carry wall anchors, and the server starts no earlier
+  // than the client (same host clock).
+  EXPECT_GT(client_rec->record.wall_start_unix_ns, 0u);
+  EXPECT_GE(server_rec->record.wall_start_unix_ns,
+            client_rec->record.wall_start_unix_ns);
+
+  // The same joined view over HTTP, filterable by trace id.
+  const std::string by_id =
+      HttpGet(server.metrics_bound_address(), "/tracez?trace_id=" + echo.IdHex());
+  EXPECT_NE(by_id.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(by_id.find("\"count\": 2"), std::string::npos);
+  EXPECT_NE(by_id.find("\"kind\": \"client\""), std::string::npos);
+  EXPECT_NE(by_id.find("\"kind\": \"server\""), std::string::npos);
+  EXPECT_NE(by_id.find("\"trace_id\": \"" + echo.IdHex() + "\""), std::string::npos);
+  // Filters compose: a status filter that matches nothing yields an empty
+  // list but the same envelope.
+  const std::string none = HttpGet(server.metrics_bound_address(),
+                                   "/tracez?trace_id=" + echo.IdHex() + "&status=shed");
+  EXPECT_NE(none.find("\"count\": 0"), std::string::npos);
+  EXPECT_NE(none.find("\"traces\": []"), std::string::npos);
+  // And limit caps the newest-first listing.
+  const std::string limited = HttpGet(server.metrics_bound_address(), "/tracez?limit=1");
+  EXPECT_NE(limited.find("\"count\": 1"), std::string::npos);
+
+  EXPECT_TRUE(server.Shutdown().ok());
+}
+
+TEST(DiffcdServiceTest, StatuszReportsBuildOptionsAdmissionAndStoreHealth) {
+  ServerOptions options = LoopbackOptions();
+  options.metrics_address = "127.0.0.1:0";
+  options.trace_sample_rate = 0.25;
+  options.slow_request_threshold = std::chrono::milliseconds(750);
+  DiffcdServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  Result<DiffcClient> client = DiffcClient::Connect(server.bound_address());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Ping(1).ok());
+
+  const std::string statusz = HttpGet(server.metrics_bound_address(), "/statusz");
+  EXPECT_NE(statusz.find("HTTP/1.1 200 OK"), std::string::npos);
+  // Build block: protocol window and build mode are pinned.
+  EXPECT_NE(statusz.find("\"wire_version\": 3"), std::string::npos);
+  EXPECT_NE(statusz.find("\"min_wire_version\": 2"), std::string::npos);
+  EXPECT_NE(statusz.find("\"compiler\": \""), std::string::npos);
+  EXPECT_NE(statusz.find("\"uptime_ms\": "), std::string::npos);
+  EXPECT_NE(statusz.find("\"start_wall_unix_ns\": "), std::string::npos);
+  EXPECT_NE(statusz.find("\"draining\": false"), std::string::npos);
+  // Options in force, including the PR 8 knobs.
+  EXPECT_NE(statusz.find("\"slow_query_ms\": 750"), std::string::npos);
+  EXPECT_NE(statusz.find("\"trace_sample_rate\": 0.25"), std::string::npos);
+  EXPECT_NE(statusz.find("\"trace_store_capacity\": 256"), std::string::npos);
+  EXPECT_NE(statusz.find("\"max_wire_version\": 3"), std::string::npos);
+  // Live admission and session state.
+  EXPECT_NE(statusz.find("\"admission\": {\"inflight\": 0"), std::string::npos);
+  EXPECT_NE(statusz.find("\"shed_watermark\": "), std::string::npos);
+  EXPECT_NE(statusz.find("\"ewma_latency_ms\": "), std::string::npos);
+  EXPECT_NE(statusz.find("\"sessions_active\": 1"), std::string::npos);
+  EXPECT_NE(statusz.find("\"handles_active\": 0"), std::string::npos);
+  // Store health envelopes.
+  EXPECT_NE(statusz.find("\"trace_store\": {\"capacity\": 256"), std::string::npos);
+  EXPECT_NE(statusz.find("\"slow_query_log\": {\"capacity\": 128"), std::string::npos);
+
+  EXPECT_TRUE(server.Shutdown().ok());
+}
+
+TEST(DiffcdServiceTest, SlowRequestsLandInTheSlowQueryLogWithTraceId) {
+  obs::GlobalTraceStore().Clear();
+  const std::uint64_t slow_before = obs::GlobalSlowQueryLog().total();
+  ServerOptions options = LoopbackOptions();
+  options.metrics_address = "127.0.0.1:0";
+  options.slow_request_threshold = std::chrono::milliseconds(1);
+  DiffcdServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // PHP(8,7) pins the query in the SAT procedure for far longer than the
+  // 1 ms threshold (test_engine measures ~10^5 decisions), regardless of
+  // whether it finishes or degrades.
+  prop::DnfFormula php = PigeonholeDnf(7);
+  ConstraintSet premises = DnfTautologyReduction(php);
+  Result<DiffcClient> client = DiffcClient::Connect(server.bound_address());
+  ASSERT_TRUE(client.ok());
+  Result<RegisterOkMsg> registered = client->RegisterPremises(php.num_vars, premises);
+  ASSERT_TRUE(registered.ok());
+  Result<BatchResultMsg> batch =
+      client->CheckBatch(registered->handle, php.num_vars, {TautologyGoal()});
+  ASSERT_TRUE(batch.ok());
+
+  ASSERT_GT(obs::GlobalSlowQueryLog().total(), slow_before);
+  std::vector<obs::SlowQuery> entries = obs::GlobalSlowQueryLog().Snapshot();
+  ASSERT_FALSE(entries.empty());
+  const obs::SlowQuery& slow = entries.back();
+  EXPECT_EQ(slow.kind, "check-batch");
+  EXPECT_GE(slow.seconds, 0.001);
+  EXPECT_EQ(slow.trace_id.size(), 32u);
+  EXPECT_GT(slow.wall_unix_ns, 0u);
+
+  // An unsampled slow request still lands in the trace store (tail rule)
+  // as a skeleton record flagged slow.
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  ASSERT_TRUE(client->last_trace().valid());
+  hi = client->last_trace().trace_id_hi;
+  lo = client->last_trace().trace_id_lo;
+  std::vector<obs::StoredTrace> stored = obs::GlobalTraceStore().FindByTraceId(hi, lo);
+  ASSERT_EQ(stored.size(), 1u);  // Server-side only: the client was unsampled.
+  EXPECT_TRUE(stored[0].slow);
+  EXPECT_FALSE(stored[0].sampled);
+  EXPECT_EQ(stored[0].status, "ok");
+  ASSERT_EQ(stored[0].record.spans.size(), 1u);  // Skeleton: one root span.
+  EXPECT_GT(stored[0].record.wall_start_unix_ns, 0u);
+
+  // /slowz serves the ring with its counters.
+  const std::string slowz = HttpGet(server.metrics_bound_address(), "/slowz");
+  EXPECT_NE(slowz.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(slowz.find("\"slow_queries\": [{\"slow_query\": "), std::string::npos);
+  EXPECT_NE(slowz.find("\"kind\": \"check-batch\""), std::string::npos);
+
+  EXPECT_TRUE(server.Shutdown().ok());
+}
+
+// ------------------------------------------------- wire-version interop
+
+TEST(DiffcdServiceTest, V2ClientAgainstV3ServerPassesTheDifferentialSuite) {
+  // Compat half 1: an old client (wire v2, no trace bytes) against the
+  // current server must produce bit-for-bit the verdicts of the in-process
+  // engine — the same bar the v3 path clears.
+  const int n = 10;
+  Rng rng(20260810);
+  ConstraintSet premises = testing::RandomConstraintSet(rng, n, 40);
+  std::vector<DifferentialConstraint> goals;
+  for (int i = 0; i < 60; ++i) goals.push_back(testing::RandomConstraint(rng, n));
+
+  ImplicationEngine local;
+  Result<std::shared_ptr<const PreparedPremises>> prepared = local.Prepare(n, premises);
+  ASSERT_TRUE(prepared.ok());
+  Result<BatchOutcome> expected = local.CheckBatch(*prepared, goals);
+  ASSERT_TRUE(expected.ok());
+
+  DiffcdServer server(LoopbackOptions());
+  ASSERT_TRUE(server.Start().ok());
+  ClientOptions copts;
+  copts.wire_version = kMinWireVersion;
+  Result<DiffcClient> client = DiffcClient::Connect(server.bound_address(), copts);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Ping(5).ok());
+  Result<RegisterOkMsg> registered = client->RegisterPremises(n, premises);
+  ASSERT_TRUE(registered.ok());
+  // A v2 reply carries no trace echo.
+  EXPECT_FALSE(registered->trace.valid());
+  Result<BatchResultMsg> wire = client->CheckBatch(registered->handle, n, goals);
+  ASSERT_TRUE(wire.ok());
+  EXPECT_EQ(client->wire_version(), kMinWireVersion);
+
+  ASSERT_EQ(wire->results.size(), goals.size());
+  for (std::size_t i = 0; i < goals.size(); ++i) {
+    EXPECT_EQ(wire->results[i].verdict,
+              static_cast<std::uint8_t>(expected->results[i].outcome.verdict))
+        << "goal " << i;
+    EXPECT_EQ(wire->results[i].has_counterexample,
+              expected->results[i].outcome.counterexample.has_value())
+        << "goal " << i;
+  }
+  EXPECT_EQ(wire->stats.implied, expected->stats.implied);
+  EXPECT_EQ(wire->stats.not_implied, expected->stats.not_implied);
+  EXPECT_TRUE(client->Release(registered->handle).ok());
+  EXPECT_TRUE(server.Shutdown().ok());
+}
+
+TEST(DiffcdServiceTest, V3ClientAutoDowngradesAgainstV2ServerAndStillMatches) {
+  // Compat half 2: the current client against an old server (emulated via
+  // max_wire_version) sees its first v3 frame rejected, downgrades to v2
+  // transparently, and the differential suite still passes.
+  const int n = 10;
+  Rng rng(20260811);
+  ConstraintSet premises = testing::RandomConstraintSet(rng, n, 40);
+  std::vector<DifferentialConstraint> goals;
+  for (int i = 0; i < 60; ++i) goals.push_back(testing::RandomConstraint(rng, n));
+
+  ImplicationEngine local;
+  Result<std::shared_ptr<const PreparedPremises>> prepared = local.Prepare(n, premises);
+  ASSERT_TRUE(prepared.ok());
+  Result<BatchOutcome> expected = local.CheckBatch(*prepared, goals);
+  ASSERT_TRUE(expected.ok());
+
+  ServerOptions options = LoopbackOptions();
+  options.max_wire_version = kMinWireVersion;  // Old-server emulation.
+  DiffcdServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  Result<DiffcClient> client = DiffcClient::Connect(server.bound_address());
+  ASSERT_TRUE(client.ok());
+  EXPECT_EQ(client->wire_version(), kWireVersion);
+
+  // The downgrade happens inside the first call's retry loop.
+  ASSERT_TRUE(client->Ping(9).ok());
+  EXPECT_EQ(client->wire_version(), kMinWireVersion);
+  EXPECT_GE(client->stats().retries, 1u);
+
+  Result<RegisterOkMsg> registered = client->RegisterPremises(n, premises);
+  ASSERT_TRUE(registered.ok());
+  Result<BatchResultMsg> wire = client->CheckBatch(registered->handle, n, goals);
+  ASSERT_TRUE(wire.ok());
+  ASSERT_EQ(wire->results.size(), goals.size());
+  for (std::size_t i = 0; i < goals.size(); ++i) {
+    EXPECT_EQ(wire->results[i].verdict,
+              static_cast<std::uint8_t>(expected->results[i].outcome.verdict))
+        << "goal " << i;
+  }
+  EXPECT_EQ(wire->stats.implied, expected->stats.implied);
+  EXPECT_TRUE(client->Release(registered->handle).ok());
   EXPECT_TRUE(server.Shutdown().ok());
 }
 

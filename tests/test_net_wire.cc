@@ -175,6 +175,100 @@ TEST(WireCodecTest, FullUniverseMasksRoundTripAtN64) {
   EXPECT_EQ(decoded->premises[0].rhs().members()[0].bits(), Mask{1} << 63);
 }
 
+// ------------------------------------------------ trace context (wire v3)
+
+TEST(WireCodecTest, TraceContextRoundTripsAtV3) {
+  TraceContext tc;
+  tc.trace_id_hi = 0xA1A2A3A4A5A6A7A8ull;
+  tc.trace_id_lo = 0xB1B2B3B4B5B6B7B8ull;
+  tc.parent_span_id = 0xC1C2C3C4C5C6C7C8ull;
+  tc.sampled = true;
+  ASSERT_TRUE(tc.valid());
+  EXPECT_EQ(tc.IdHex(), "a1a2a3a4a5a6a7a8b1b2b3b4b5b6b7b8");
+
+  CheckBatchMsg msg;
+  msg.handle = 7;
+  msg.n = 4;
+  msg.goals = {MakeConstraint({0}, {ItemSet{1}})};
+  msg.trace = tc;
+  Frame f = EncodeCheckBatch(msg);
+  EXPECT_EQ(f.version, kWireVersion);
+  Result<CheckBatchMsg> decoded = DecodeCheckBatch(f);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->trace.trace_id_hi, tc.trace_id_hi);
+  EXPECT_EQ(decoded->trace.trace_id_lo, tc.trace_id_lo);
+  EXPECT_EQ(decoded->trace.parent_span_id, tc.parent_span_id);
+  EXPECT_TRUE(decoded->trace.sampled);
+
+  RegisterPremisesMsg reg;
+  reg.n = 4;
+  reg.trace = tc;
+  Result<RegisterPremisesMsg> reg_decoded = DecodeRegisterPremises(EncodeRegisterPremises(reg));
+  ASSERT_TRUE(reg_decoded.ok());
+  EXPECT_EQ(reg_decoded->trace.trace_id_lo, tc.trace_id_lo);
+
+  RegisterOkMsg ok;
+  ok.handle = 3;
+  ok.trace = tc;
+  Result<RegisterOkMsg> ok_decoded = DecodeRegisterOk(EncodeRegisterOk(ok));
+  ASSERT_TRUE(ok_decoded.ok());
+  EXPECT_EQ(ok_decoded->trace.parent_span_id, tc.parent_span_id);
+
+  BatchResultMsg res;
+  res.trace = tc;
+  Result<BatchResultMsg> res_decoded = DecodeBatchResult(EncodeBatchResult(res));
+  ASSERT_TRUE(res_decoded.ok());
+  EXPECT_EQ(res_decoded->trace.trace_id_hi, tc.trace_id_hi);
+}
+
+TEST(WireCodecTest, V2FramesAreBitForBitFreeOfTraceBytes) {
+  // Compat contract: a trace-carrying message encoded at v2 must be byte
+  // identical to the same message with no trace at all — the context may
+  // only ever ride on v3 frames.
+  CheckBatchMsg with_trace;
+  with_trace.handle = 9;
+  with_trace.n = 4;
+  with_trace.goals = {MakeConstraint({0}, {ItemSet{1}})};
+  with_trace.trace.trace_id_hi = 1;
+  with_trace.trace.trace_id_lo = 2;
+  with_trace.trace.parent_span_id = 3;
+  with_trace.trace.sampled = true;
+  CheckBatchMsg without = with_trace;
+  without.trace = TraceContext{};
+
+  Frame v2_traced = EncodeCheckBatch(with_trace, kMinWireVersion);
+  Frame v2_plain = EncodeCheckBatch(without, kMinWireVersion);
+  EXPECT_EQ(v2_traced.version, kMinWireVersion);
+  EXPECT_EQ(v2_traced.payload, v2_plain.payload);
+  // And shorter than v3 by exactly the 25 trace-context bytes.
+  EXPECT_EQ(EncodeCheckBatch(with_trace).payload.size(), v2_traced.payload.size() + 25);
+
+  // A v2 frame decodes with an empty (invalid) context...
+  Result<CheckBatchMsg> decoded = DecodeCheckBatch(v2_traced);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(decoded->trace.valid());
+  // ...and a v2 frame with trailing trace bytes is malformed, not lenient.
+  Frame mislabeled = EncodeCheckBatch(with_trace, kWireVersion);
+  mislabeled.version = kMinWireVersion;
+  EXPECT_FALSE(DecodeCheckBatch(mislabeled).ok());
+}
+
+TEST(WireCodecTest, CorruptSampledByteRejected) {
+  CheckBatchMsg msg;
+  msg.handle = 1;
+  msg.n = 4;
+  msg.goals = {MakeConstraint({0}, {ItemSet{1}})};
+  msg.trace.trace_id_hi = 1;
+  msg.trace.trace_id_lo = 2;
+  Frame f = EncodeCheckBatch(msg);
+  // The sampled flag is the final payload byte; anything but 0/1 is
+  // malformed.
+  f.payload.back() = 2;
+  Result<CheckBatchMsg> decoded = DecodeCheckBatch(f);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
 // --------------------------------------------------------- malformed input
 
 Frame TamperedPing() { return EncodePing(PingMsg{42}); }
@@ -246,7 +340,8 @@ TEST(WireCodecTest, AbsurdFamilyCountRejected) {
   w.U32(1);                       // one constraint
   w.U64(0b1);                     // lhs
   w.U32(kMaxFamilyMembers + 1);   // family count over the cap
-  Frame f{static_cast<std::uint8_t>(WireRequest::kRegisterPremises), std::move(w).Take()};
+  Frame f{static_cast<std::uint8_t>(WireRequest::kRegisterPremises), kWireVersion,
+          std::move(w).Take()};
   Result<RegisterPremisesMsg> decoded = DecodeRegisterPremises(f);
   ASSERT_FALSE(decoded.ok());
   EXPECT_NE(decoded.status().message().find("cap"), std::string::npos);
@@ -315,6 +410,33 @@ TEST(FramingTest, OversizedDeclaredLengthRejectedBeforeAllocation) {
   ASSERT_FALSE(s.ok());
   EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
   EXPECT_NE(s.message().find("cap"), std::string::npos);
+}
+
+TEST(FramingTest, BothSupportedVersionsAreAcceptedAndRecorded) {
+  // v3 servers keep talking to v2 clients: ReadFrame accepts the whole
+  // [kMinWireVersion, kWireVersion] window and reports which version the
+  // peer spoke so codecs can gate the trace-context bytes.
+  for (std::uint8_t v = kMinWireVersion; v <= kWireVersion; ++v) {
+    SocketPair pair;
+    Frame sent = EncodePing(PingMsg{77});
+    sent.version = v;
+    ASSERT_TRUE(WriteFrame(pair.a, sent).ok());
+    Frame got;
+    bool clean_eof = true;
+    ASSERT_TRUE(ReadFrame(pair.b, &got, &clean_eof).ok());
+    EXPECT_EQ(got.version, v);
+    EXPECT_EQ(got.payload, sent.payload);
+  }
+  // Below the window is as dead as above it.
+  SocketPair pair;
+  std::uint8_t header[6] = {0, 0, 0, 0, static_cast<std::uint8_t>(kMinWireVersion - 1),
+                            static_cast<std::uint8_t>(WireRequest::kPing)};
+  ASSERT_TRUE(pair.a.SendAll(header, sizeof(header)).ok());
+  Frame got;
+  bool clean_eof = false;
+  Status s = ReadFrame(pair.b, &got, &clean_eof);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("version"), std::string::npos);
 }
 
 TEST(FramingTest, VersionMismatchRejected) {

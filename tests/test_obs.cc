@@ -19,6 +19,7 @@
 #include "obs/exposition.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_store.h"
 #include "prop/tautology.h"
 
 namespace diffc {
@@ -341,6 +342,162 @@ TEST(TraceTest, DisabledTracerRecordsNothing) {
   EXPECT_TRUE(tracer.Finish().spans.empty());
   // Null tracer is legal for SpanGuard too.
   obs::SpanGuard b(nullptr, "ignored");
+}
+
+TEST(TraceTest, RecordsCarryOneWallClockAnchor) {
+  // Regression (PR 8): /tracez needs absolute times, so every enabled
+  // tracer stamps exactly one system_clock anchor; the spans themselves
+  // stay on steady_clock offsets. The anchor must fall inside the
+  // [before, after] window bracketing the tracer's construction.
+  const auto before = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::system_clock::now().time_since_epoch())
+                          .count();
+  Tracer tracer(true);
+  {
+    obs::SpanGuard a(&tracer, "work");
+  }
+  const auto after = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::system_clock::now().time_since_epoch())
+                         .count();
+  TraceRecord rec = tracer.Finish();
+  EXPECT_GE(rec.wall_start_unix_ns, static_cast<std::uint64_t>(before));
+  EXPECT_LE(rec.wall_start_unix_ns, static_cast<std::uint64_t>(after));
+  // A disabled tracer has no anchor to offer.
+  EXPECT_EQ(Tracer().Finish().wall_start_unix_ns, 0u);
+  // Reuse after Finish re-anchors: the second record's anchor is no
+  // earlier than the first's.
+  tracer.Begin("again");
+  EXPECT_GE(tracer.Finish().wall_start_unix_ns, rec.wall_start_unix_ns);
+}
+
+TEST(TraceTest, NoteRecordsInstantEventsWithDetail) {
+  Tracer tracer(true);
+  int root = tracer.Begin("call");
+  tracer.Note("backoff", "25ms shed");
+  tracer.Note("plain");
+  tracer.End(root);
+  TraceRecord rec = tracer.Finish();
+  ASSERT_EQ(rec.spans.size(), 3u);
+  EXPECT_EQ(rec.spans[1].name, "backoff");
+  EXPECT_EQ(rec.spans[1].parent, 0);
+  EXPECT_EQ(rec.spans[1].duration_ns, 0u);
+  EXPECT_EQ(rec.spans[1].detail, "25ms shed");
+  // Detail shows up in JSON only when non-empty.
+  const std::string json = rec.ToJson();
+  EXPECT_NE(json.find("\"detail\": \"25ms shed\""), std::string::npos);
+  EXPECT_EQ(json.find("\"detail\": \"\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Trace store.
+
+TEST(TraceStoreTest, StoredTraceJsonGolden) {
+  obs::StoredTrace st;
+  st.trace_id_hi = 0x0123456789ABCDEFull;
+  st.trace_id_lo = 0xFEDCBA9876543210ull;
+  st.span_id = 0x1111;
+  st.parent_span_id = 0;
+  st.kind = "server";
+  st.name = "check-batch";
+  st.status = "ok";
+  st.sampled = true;
+  st.record.wall_start_unix_ns = 1700000000000000000ull;
+  st.record.spans.push_back(obs::TraceSpan{"server:check-batch", -1, 0, 0, 42, ""});
+  st.duration_ns = 42;
+  EXPECT_EQ(st.TraceIdHex(), "0123456789abcdeffedcba9876543210");
+  EXPECT_EQ(st.ToJson(),
+            "{\"trace_id\": \"0123456789abcdeffedcba9876543210\", "
+            "\"span_id\": \"0000000000001111\", "
+            "\"parent_span_id\": \"0000000000000000\", "
+            "\"kind\": \"server\", \"name\": \"check-batch\", \"status\": \"ok\", "
+            "\"sampled\": true, \"forced\": false, \"slow\": false, "
+            "\"shed\": false, \"errored\": false, \"duration_ns\": 42, "
+            "\"wall_start_unix_ns\": 1700000000000000000, "
+            "\"spans\": [{\"name\": \"server:check-batch\", \"parent\": -1, "
+            "\"depth\": 0, \"start_ns\": 0, \"duration_ns\": 42}]}");
+}
+
+TEST(TraceStoreTest, RingOverwritesOldestAndFindsById) {
+  obs::TraceStore store(2);
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    obs::StoredTrace st;
+    st.trace_id_hi = i;
+    st.trace_id_lo = i;
+    store.Add(st);
+  }
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.total(), 3u);
+  EXPECT_EQ(store.dropped(), 1u);
+  std::vector<obs::StoredTrace> all = store.Snapshot();
+  ASSERT_EQ(all.size(), 2u);
+  // Oldest first; trace 1 was overwritten.
+  EXPECT_EQ(all[0].trace_id_hi, 2u);
+  EXPECT_EQ(all[1].trace_id_hi, 3u);
+  EXPECT_TRUE(store.FindByTraceId(1, 1).empty());
+  EXPECT_EQ(store.FindByTraceId(3, 3).size(), 1u);
+}
+
+TEST(TraceStoreTest, AppendChildRecordGraftsUnderAttachSpan) {
+  // The server grafts engine records under its "execute" span: parents and
+  // depths shift, and the child's steady offsets are re-based via the two
+  // wall anchors.
+  TraceRecord server;
+  server.wall_start_unix_ns = 1000;
+  server.spans.push_back(obs::TraceSpan{"server:check-batch", -1, 0, 0, 500, ""});
+  server.spans.push_back(obs::TraceSpan{"execute", 0, 1, 100, 300, ""});
+  TraceRecord engine;
+  engine.wall_start_unix_ns = 1150;  // 150 ns after the server anchor.
+  engine.spans.push_back(obs::TraceSpan{"sat", -1, 0, 0, 200, ""});
+  engine.spans.push_back(obs::TraceSpan{"solve", 0, 1, 10, 100, ""});
+
+  obs::AppendChildRecord(&server, 1, engine);
+  ASSERT_EQ(server.spans.size(), 4u);
+  EXPECT_EQ(server.spans[2].name, "sat");
+  EXPECT_EQ(server.spans[2].parent, 1);  // Re-parented under "execute".
+  EXPECT_EQ(server.spans[2].depth, 2);
+  EXPECT_EQ(server.spans[2].start_ns, 150u);  // Wall-anchor delta.
+  EXPECT_EQ(server.spans[3].name, "solve");
+  EXPECT_EQ(server.spans[3].parent, 2);  // Internal edges preserved.
+  EXPECT_EQ(server.spans[3].depth, 3);
+  EXPECT_EQ(server.spans[3].start_ns, 160u);
+
+  // A child without an anchor lands at the attach span's start.
+  TraceRecord bare;
+  bare.spans.push_back(obs::TraceSpan{"unanchored", -1, 0, 0, 5, ""});
+  obs::AppendChildRecord(&server, 1, bare);
+  EXPECT_EQ(server.spans[4].start_ns, 100u);
+}
+
+TEST(TraceStoreTest, SlowQueryLogAssignsSeqAndRendersOneLine) {
+  obs::SlowQueryLog log(2);
+  obs::SlowQuery q;
+  q.wall_unix_ns = 123;
+  q.kind = "check-batch";
+  q.seconds = 1.5;
+  q.session = 7;
+  q.trace_id = "00000000000000000000000000000000";
+  q.status = "ok";
+  obs::SlowQuery stored = log.Add(q);
+  EXPECT_EQ(stored.seq, 1u);
+  const std::string line = stored.ToJsonLine();
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_NE(line.find("\"slow_query\": {\"seq\": 1"), std::string::npos);
+  EXPECT_NE(line.find("\"kind\": \"check-batch\""), std::string::npos);
+  log.Add(q);
+  log.Add(q);
+  EXPECT_EQ(log.total(), 3u);
+  EXPECT_EQ(log.dropped(), 1u);
+  ASSERT_EQ(log.Snapshot().size(), 2u);
+  EXPECT_EQ(log.Snapshot()[0].seq, 2u);  // Oldest surviving entry.
+}
+
+TEST(TraceStoreTest, RandomTraceBitsAreNonzeroAndSamplingDrawInRange) {
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_NE(obs::RandomTraceBits(), 0u);
+    const double d = obs::SamplingDraw();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
 }
 
 // ---------------------------------------------------------------------------

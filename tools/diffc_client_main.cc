@@ -31,7 +31,10 @@ void Usage(const char* argv0) {
                "           [--deadline-ms=N]\n"
                "resilience (both commands):\n"
                "           [--retries=N] [--retry-initial-ms=N] [--retry-budget-ms=N]\n"
-               "           [--connect-timeout-ms=N] [--no-reconnect]\n",
+               "           [--connect-timeout-ms=N] [--no-reconnect]\n"
+               "tracing (both commands):\n"
+               "           [--trace]   force-sample the request end to end and print\n"
+               "                       the trace id (look it up in diffcd's /tracez)\n",
                argv0, argv0);
 }
 
@@ -111,6 +114,8 @@ int main(int argc, char** argv) {
           std::chrono::milliseconds(std::strtol(text.c_str(), nullptr, 10));
     } else if (arg == "--no-reconnect") {
       client_options.reconnect = false;
+    } else if (arg == "--trace") {
+      client_options.trace = true;
     } else if (arg == "ping" || arg == "check") {
       command = arg;
     } else if (arg == "--help" || arg == "-h") {
@@ -141,6 +146,9 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("pong nonce=%llu\n", static_cast<unsigned long long>(*echoed));
+    if (client_options.trace) {
+      std::printf("trace_id=%s\n", client->last_trace().IdHex().c_str());
+    }
     return 0;
   }
 
@@ -202,6 +210,11 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(batch->stats.not_implied),
               static_cast<unsigned long long>(batch->stats.degraded),
               static_cast<unsigned long long>(batch->stats.failed));
+  if (client_options.trace) {
+    // The id of the CHECK_BATCH call (the server echoes it in the reply):
+    // feed it to diffcd's /tracez?trace_id=... for the joined span tree.
+    std::printf("# trace_id=%s\n", client->last_trace().IdHex().c_str());
+  }
 
   diffc::Status released = client->Release(registered->handle);
   if (!released.ok()) {

@@ -51,6 +51,15 @@ layer honest:
                     advertises but can never dispatch (or names as
                     garbage in metrics and traces). Silent when the tree
                     declares no ``enum class WireRequest``.
+  wire-doc          Every wire opcode (``WireRequest`` / ``WireResponse``
+                    enumerator in a ``*wire*.h`` header) and every field
+                    of a ``*Msg`` wire struct is documented in the
+                    DESIGN.md s11 wire table: the backticked hex literal
+                    (for opcodes) or backticked field name must appear
+                    there, so the on-the-wire contract an operator reads
+                    about never drifts from the structs that define it.
+                    Same DESIGN.md lookup as failpoint-catalog; silent
+                    when neither exists (fixture subsets).
 
 Findings print as ``path:line: rule: message`` (or ``--format=json``).
 A committed baseline (``--baseline``) grandfathers known findings by
@@ -124,6 +133,12 @@ WIRE_ENUM_RE = re.compile(
 )
 WIRE_CASE_RE = re.compile(r"\bcase\s+WireRequest::(k\w+)")
 WIRE_REGISTER_RE = re.compile(r"\bDIFFC_REGISTER_WIRE_HANDLER\s*\(\s*(k\w+)\s*,")
+WIRE_OPCODE_ENUM_RE = re.compile(
+    r"\benum\s+class\s+(WireRequest|WireResponse)\s*(?::[^{]*)?\{([^}]*)\}"
+)
+WIRE_OPCODE_RE = re.compile(r"\b(k\w+)\s*=\s*(0x[0-9A-Fa-f]+)")
+WIRE_MSG_STRUCT_RE = re.compile(r"\bstruct\s+(\w*Msg)\s*\{")
+WIRE_FIELD_RE = re.compile(r"^\s*[A-Za-z_][\w:<>,\s]*[\s>]\s*(\w+)\s*(?:=[^;]*)?;")
 
 
 class Finding:
@@ -429,6 +444,74 @@ def report_wire_registry(wire, findings):
                 )
 
 
+# ------------------------------------------------------------ wire contract
+
+
+def scan_wire_doc(rel, text, wire_doc):
+    """Collects opcodes and ``*Msg`` fields from wire headers.
+
+    Only headers with "wire" in the basename are the protocol definition;
+    enums or Msg structs elsewhere (handlers, tests) are not the contract.
+    """
+    base = os.path.basename(rel)
+    if not base.endswith(".h") or "wire" not in base:
+        return
+    for m in WIRE_OPCODE_ENUM_RE.finditer(text):
+        enum_name = m.group(1)
+        for om in WIRE_OPCODE_RE.finditer(m.group(2)):
+            wire_doc["opcodes"].append(
+                (rel, line_of(text, m.start(2) + om.start()), enum_name,
+                 om.group(1), om.group(2)))
+    for m in WIRE_MSG_STRUCT_RE.finditer(text):
+        struct_name = m.group(1)
+        open_brace = m.end() - 1
+        depth = 0
+        end = len(text)
+        for i in range(open_brace, len(text)):
+            if text[i] == "{":
+                depth += 1
+            elif text[i] == "}":
+                depth -= 1
+                if depth == 0:
+                    end = i
+                    break
+        # Blank nested braces so method bodies never read as fields; skip
+        # lines with '(' (methods) or 'static' (named constructors).
+        surface = top_level_text(text[open_brace + 1 : end])
+        pos = open_brace + 1
+        for line in surface.split("\n"):
+            if "(" not in line and "static" not in line:
+                fm = WIRE_FIELD_RE.match(line)
+                if fm:
+                    wire_doc["fields"].append(
+                        (rel, line_of(text, pos + fm.start(1)), struct_name,
+                         fm.group(1)))
+            pos += len(line) + 1
+
+
+def report_wire_doc(root, wire_doc, findings):
+    """Every opcode hex and Msg field must be backticked in DESIGN.md."""
+    catalog = load_failpoint_catalog(root)
+    if catalog is None:
+        return
+    for rel, line, enum_name, kname, hexval in wire_doc["opcodes"]:
+        if f"`{hexval}`" in catalog:
+            continue
+        findings.append(
+            Finding(rel, line, "wire-doc",
+                    f"wire opcode {enum_name}::{kname} ({hexval}) is not in "
+                    f"the DESIGN.md wire table; document it as `{hexval}` so "
+                    "the on-the-wire contract never drifts from the code"))
+    for rel, line, struct_name, field in wire_doc["fields"]:
+        if f"`{field}`" in catalog:
+            continue
+        findings.append(
+            Finding(rel, line, "wire-doc",
+                    f"wire message field {struct_name}.{field} is not in the "
+                    f"DESIGN.md wire table; document it as `{field}` so the "
+                    "on-the-wire contract never drifts from the code"))
+
+
 # ------------------------------------------------------------ solver loops
 
 
@@ -588,7 +671,8 @@ def scan_void_discards(rel, raw, findings):
 # ------------------------------------------------------------------ driver
 
 
-def lint_file(root, rel, registrations, failpoint_sites, procedures, wire, findings):
+def lint_file(root, rel, registrations, failpoint_sites, procedures, wire,
+              wire_doc, findings):
     with open(os.path.join(root, rel), encoding="utf-8") as f:
         raw = f.read()
     no_comments, code_only = strip_comments(raw)
@@ -596,6 +680,7 @@ def lint_file(root, rel, registrations, failpoint_sites, procedures, wire, findi
     scan_failpoints(rel, no_comments, failpoint_sites, findings)
     scan_procedure_registry(rel, no_comments, procedures)
     scan_wire_registry(rel, no_comments, wire)
+    scan_wire_doc(rel, no_comments, wire_doc)
     if rel in SOLVER_LOOP_FILES:
         scan_solver_loops(rel, code_only, findings)
     if rel.endswith(".h"):
@@ -611,6 +696,7 @@ def lint_tree(root):
     failpoint_sites = {}
     procedures = {"enums": [], "cases": {}, "registrations": {}}
     wire = {"enums": [], "cases": {}, "registrations": {}}
+    wire_doc = {"opcodes": [], "fields": []}
     rels = []
     for dirpath, _, filenames in os.walk(root):
         for name in sorted(filenames):
@@ -618,9 +704,10 @@ def lint_tree(root):
                 rels.append(os.path.relpath(os.path.join(dirpath, name), root))
     for rel in sorted(rels):
         lint_file(root, rel.replace(os.sep, "/"), registrations, failpoint_sites,
-                  procedures, wire, findings)
+                  procedures, wire, wire_doc, findings)
     report_procedure_registry(procedures, findings)
     report_wire_registry(wire, findings)
+    report_wire_doc(root, wire_doc, findings)
     metric_display = {}
     for (name, labels), occurrences in registrations.items():
         metric_display[name if not labels else f"{name} {labels}"] = occurrences

@@ -25,7 +25,9 @@ void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--listen=HOST:PORT|unix:/path] [--metrics=HOST:PORT]\n"
                "          [--threads=N] [--max-inflight=N] [--max-handles=N]\n"
-               "          [--drain-ms=N] [--trace]\n",
+               "          [--drain-ms=N] [--trace]\n"
+               "          [--trace_sample_rate=P] [--slow_query_ms=N]\n"
+               "          [--trace_store_capacity=N]\n",
                argv0);
 }
 
@@ -71,6 +73,19 @@ int main(int argc, char** argv) {
       options.max_handles_per_session = static_cast<std::size_t>(value);
     } else if (ParseIntFlag(arg, "drain-ms", &value)) {
       options.drain_deadline = std::chrono::milliseconds(value);
+    } else if (ParseFlag(arg, "trace_sample_rate", &text)) {
+      char* end = nullptr;
+      double rate = std::strtod(text.c_str(), &end);
+      if (end == nullptr || *end != '\0' || rate < 0.0 || rate > 1.0) {
+        std::fprintf(stderr, "diffcd: --trace_sample_rate must be in [0, 1], got '%s'\n",
+                     text.c_str());
+        return 2;
+      }
+      options.trace_sample_rate = rate;
+    } else if (ParseIntFlag(arg, "slow_query_ms", &value)) {
+      options.slow_request_threshold = std::chrono::milliseconds(value);
+    } else if (ParseIntFlag(arg, "trace_store_capacity", &value)) {
+      options.trace_store_capacity = static_cast<std::size_t>(value);
     } else if (arg == "--trace") {
       options.trace_requests = true;
       options.engine.trace = true;

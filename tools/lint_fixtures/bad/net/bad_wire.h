@@ -1,0 +1,16 @@
+// wire-doc: WireResponse::kGone (0x77) and GoneMsg's retry_hint_ms appear in
+// no DESIGN.md wire table — an on-the-wire contract nobody can read about.
+// Uses WireResponse (not WireRequest) so the wire-registry rule stays quiet:
+// this fixture isolates wire-doc.
+#ifndef DIFFC_NET_BAD_WIRE_H_
+#define DIFFC_NET_BAD_WIRE_H_
+
+enum class WireResponse : unsigned char {
+  kGone = 0x77,
+};
+
+struct GoneMsg {
+  unsigned int retry_hint_ms = 0;
+};
+
+#endif  // DIFFC_NET_BAD_WIRE_H_

@@ -1,0 +1,14 @@
+// wire-doc accepted pattern: every opcode hex literal and every *Msg field
+// declared in a wire header is backticked in the tree's DESIGN.md wire table.
+#ifndef DIFFC_NET_GOOD_WIRE_H_
+#define DIFFC_NET_GOOD_WIRE_H_
+
+enum class WireResponse : unsigned char {
+  kPong = 0x11,
+};
+
+struct PongMsg {
+  unsigned long nonce = 0;
+};
+
+#endif  // DIFFC_NET_GOOD_WIRE_H_

@@ -32,6 +32,8 @@ EXPECTED_BAD = [
     ("engine/bad_procedure_registry.cc", 3, "procedure-registry"),
     ("engine/bad_procedure_registry.cc", 3, "procedure-registry"),
     ("engine/naked_lock.cc", 7, "naked-lock"),
+    ("net/bad_wire.h", 9, "wire-doc"),
+    ("net/bad_wire.h", 13, "wire-doc"),
     ("net/bad_wire_registry.cc", 3, "wire-registry"),
     ("net/bad_wire_registry.cc", 3, "wire-registry"),
     ("obs/bad_metric.cc", 5, "metric-name"),
@@ -45,7 +47,7 @@ ALL_RULES = {
     "metric-name", "metric-dup", "failpoint-name", "failpoint-dup",
     "failpoint-catalog", "solver-atomic", "include-guard",
     "mutex-guarded-by", "naked-lock", "void-discard",
-    "procedure-registry", "wire-registry",
+    "procedure-registry", "wire-registry", "wire-doc",
 }
 
 
@@ -75,6 +77,8 @@ class BadFixtureTest(unittest.TestCase):
         companions = {
             "obs/dup_metric_b.cc": ["obs/dup_metric_a.cc"],
             "core/uncataloged_failpoint.cc": ["DESIGN.md"],
+            # The doc rule is silent without the DESIGN.md it checks against.
+            "net/bad_wire.h": ["DESIGN.md"],
         }
         files = sorted({f for f, _, _ in EXPECTED_BAD})
         for rel in files:
