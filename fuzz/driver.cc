@@ -1,0 +1,170 @@
+// Standalone driver for the fuzz targets, used when the compiler lacks
+// -fsanitize=fuzzer (gcc). Implements just enough of the libFuzzer CLI
+// that the same invocations work in both modes:
+//
+//   fuzz_x CORPUS_DIR...              replay every file, then mutate
+//   fuzz_x -runs=0 CORPUS_DIR...      replay only (the ctest regression mode)
+//   fuzz_x -max_total_time=60 DIR...  time-boxed random mutation
+//
+// Mutation here is dumb (byte flips/splices of corpus entries under a
+// deterministic PRNG) — real coverage guidance comes from the clang
+// libFuzzer build in CI's fuzz-smoke job. The point of this fallback is
+// that the committed regression corpus replays under ASan+UBSan in every
+// toolchain, so a fixed crash stays fixed even where clang is absent.
+//
+// Interesting inputs have no coverage signal to be retained by, so this
+// driver writes nothing back to the corpus; it only reports crashes by
+// dying on them (ASan/UBSan abort or a FuzzFail abort), leaving the
+// current input in ./crash-standalone for triage.
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size);
+
+namespace {
+
+using Input = std::vector<std::uint8_t>;
+
+bool ReadFile(const std::string& path, Input* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out->assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  return true;
+}
+
+// Collects regular files under `path` (one level; libFuzzer corpora are
+// flat), or `path` itself when it is a file.
+void Collect(const std::string& path, std::vector<std::string>* files) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) {
+    std::fprintf(stderr, "driver: cannot stat %s\n", path.c_str());
+    std::exit(1);
+  }
+  if (S_ISREG(st.st_mode)) {
+    files->push_back(path);
+    return;
+  }
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) {
+    std::fprintf(stderr, "driver: cannot open dir %s\n", path.c_str());
+    std::exit(1);
+  }
+  while (dirent* e = ::readdir(dir)) {
+    if (e->d_name[0] == '.') continue;
+    std::string child = path + "/" + e->d_name;
+    struct stat cst{};
+    if (::stat(child.c_str(), &cst) == 0 && S_ISREG(cst.st_mode)) {
+      files->push_back(child);
+    }
+  }
+  ::closedir(dir);
+}
+
+// Persists the dying input so a finding from the mutation loop is
+// reproducible: rerun the target with ./crash-standalone as the argument.
+void SaveCurrent(const Input& input) {
+  std::ofstream out("crash-standalone", std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(input.data()),
+            static_cast<std::streamsize>(input.size()));
+}
+
+Input Mutate(const std::vector<Input>& corpus, std::mt19937_64* rng) {
+  Input m;
+  if (!corpus.empty()) {
+    m = corpus[(*rng)() % corpus.size()];
+  }
+  // 1-4 random edits: flip, insert, erase, or splice from another entry.
+  const int edits = 1 + static_cast<int>((*rng)() % 4);
+  for (int i = 0; i < edits; ++i) {
+    switch ((*rng)() % 4) {
+      case 0:  // flip / overwrite a byte
+        if (!m.empty()) m[(*rng)() % m.size()] = static_cast<std::uint8_t>((*rng)());
+        break;
+      case 1:  // insert a byte
+        m.insert(m.begin() + static_cast<std::ptrdiff_t>(m.empty() ? 0 : (*rng)() % m.size()),
+                 static_cast<std::uint8_t>((*rng)()));
+        break;
+      case 2:  // erase a byte
+        if (!m.empty()) m.erase(m.begin() + static_cast<std::ptrdiff_t>((*rng)() % m.size()));
+        break;
+      default: {  // splice a window from another corpus entry
+        if (corpus.empty()) break;
+        const Input& other = corpus[(*rng)() % corpus.size()];
+        if (other.empty()) break;
+        const std::size_t from = (*rng)() % other.size();
+        const std::size_t len = 1 + (*rng)() % (other.size() - from);
+        const std::size_t at = m.empty() ? 0 : (*rng)() % m.size();
+        m.insert(m.begin() + static_cast<std::ptrdiff_t>(at), other.begin() + from,
+                 other.begin() + from + len);
+        break;
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long runs = -1;            // -1: unset (default: mutate for max_total_time)
+  long max_total_time = 30;  // seconds, matching libFuzzer's flag name
+  std::uint64_t seed = 1;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("-runs=", 0) == 0) {
+      runs = std::strtol(arg.c_str() + 6, nullptr, 10);
+    } else if (arg.rfind("-max_total_time=", 0) == 0) {
+      max_total_time = std::strtol(arg.c_str() + 16, nullptr, 10);
+    } else if (arg.rfind("-seed=", 0) == 0) {
+      seed = std::strtoull(arg.c_str() + 6, nullptr, 10);
+    } else if (!arg.empty() && arg[0] == '-') {
+      // Unknown libFuzzer flag: ignore, so shared CI invocations work.
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  std::vector<std::string> files;
+  for (const std::string& p : paths) Collect(p, &files);
+
+  std::vector<Input> corpus;
+  for (const std::string& f : files) {
+    Input input;
+    if (!ReadFile(f, &input)) {
+      std::fprintf(stderr, "driver: cannot read %s\n", f.c_str());
+      return 1;
+    }
+    SaveCurrent(input);
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+    corpus.push_back(std::move(input));
+  }
+  std::fprintf(stderr, "driver: replayed %zu corpus file(s)\n", corpus.size());
+
+  std::mt19937_64 rng(seed);
+  long executed = 0;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(max_total_time);
+  while (true) {
+    if (runs >= 0 && executed >= runs) break;
+    if (runs < 0 && std::chrono::steady_clock::now() >= deadline) break;
+    Input input = Mutate(corpus, &rng);
+    SaveCurrent(input);
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+    ++executed;
+  }
+  std::fprintf(stderr, "driver: done (%ld mutated run(s), no findings)\n", executed);
+  std::remove("crash-standalone");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Fuzzes the HTTP request-head parser behind /metrics, /tracez, /statusz
+// and /slowz (net/http.{h,cc}), plus the query-param and trace-id parsing
+// the /tracez renderer layers on top. Properties: totality (typed Status,
+// no crash), and that an accepted head re-parses to the same split after
+// reassembly — the parser must be a projection, not a lossy guess.
+
+#include <cstdint>
+#include <string>
+
+#include "harness.h"
+#include "net/http.h"
+
+using namespace diffc;
+using namespace diffc::net;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  if (size > kMaxHttpHeadBytes) return 0;
+  const std::string head(reinterpret_cast<const char*>(data), size);
+
+  HttpRequestHead req;
+  Status s = ParseHttpRequestHead(head, &req);
+  if (!s.ok()) {
+    if (s.code() != StatusCode::kNotFound && s.code() != StatusCode::kInvalidArgument) {
+      fuzz::FuzzFail("typed-error",
+                     "unexpected status from ParseHttpRequestHead: " + s.ToString());
+    }
+    return 0;
+  }
+
+  // Reassemble the request target and re-parse: the split must be stable.
+  std::string target = req.path;
+  if (!req.query.empty()) target += "?" + req.query;
+  const std::string rebuilt = req.method + " " + target + " HTTP/1.1\r\n\r\n";
+  HttpRequestHead again;
+  Status s2 = ParseHttpRequestHead(rebuilt, &again);
+  if (!s2.ok()) {
+    fuzz::FuzzFail("re-parse", "rebuilt head rejected: " + s2.ToString());
+  }
+  if (again.method != req.method || again.path != req.path || again.query != req.query) {
+    fuzz::FuzzFail("idempotence", "re-parse of rebuilt head differs (method/path/query)");
+  }
+
+  // The /tracez parameter surface over whatever query came through.
+  const std::string trace_id = HttpQueryParam(req.query, "trace_id");
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  (void)ParseTraceId(trace_id, &hi, &lo);
+  (void)HttpQueryParam(req.query, "status");
+  (void)HttpQueryParam(req.query, "min_ms");
+  (void)HttpQueryParam(req.query, "limit");
+  return 0;
+}

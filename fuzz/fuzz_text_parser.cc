@@ -1,0 +1,44 @@
+// Fuzzes the constraint text parser (core/parser.cc) — the format the
+// diffc_client CLI and the basket-mining examples feed user text through.
+// The first byte selects the universe size; the rest is parsed as a
+// `;`-separated constraint set. Accepted input must survive a
+// ToString-then-reparse round trip as the identical set — the parse/print
+// pair is the textual analogue of the wire codecs' idempotence property.
+
+#include <cstdint>
+#include <string>
+
+#include "core/parser.h"
+#include "harness.h"
+#include "lattice/universe.h"
+
+using namespace diffc;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  if (size == 0 || size > 64 * 1024) return 0;
+
+  // Universe sizes 0..16 cover empty, single-letter, and multi-letter
+  // regimes without making each run quadratic in attributes.
+  const int n = data[0] % 17;
+  const Universe u = Universe::Letters(n);
+  const std::string text(reinterpret_cast<const char*>(data + 1), size - 1);
+
+  Result<ConstraintSet> parsed = ParseConstraintSet(u, text);
+  if (!parsed.ok()) {
+    if (parsed.status().message().empty()) {
+      fuzz::FuzzFail("typed-error", "parser rejected input with an empty message");
+    }
+    return 0;
+  }
+
+  const std::string printed = ConstraintSetToString(*parsed, u);
+  Result<ConstraintSet> again = ParseConstraintSet(u, printed);
+  if (!again.ok()) {
+    fuzz::FuzzFail("re-parse", "printed set rejected: " + again.status().ToString() +
+                                   " text: " + printed);
+  }
+  if (*again != *parsed) {
+    fuzz::FuzzFail("idempotence", "reparse of printed set differs: " + printed);
+  }
+  return 0;
+}

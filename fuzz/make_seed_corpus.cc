@@ -1,0 +1,170 @@
+// Generates the seed corpora for the five fuzz targets from golden frames
+// produced by the real encoders — the same messages the wire tests pin —
+// so coverage starts inside the accepting region instead of spending its
+// budget rediscovering the header format. Run as:
+//
+//   make_seed_corpus OUT_DIR
+//
+// writing OUT_DIR/<target>/<seed-name>. The build invokes this into the
+// build tree; the committed regression corpus under fuzz/corpus/ is
+// separate and append-only (minimized reproducers of fixed findings).
+
+#include <sys/stat.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/parser.h"
+#include "lattice/universe.h"
+#include "net/wire.h"
+
+using namespace diffc;
+using namespace diffc::net;
+
+namespace {
+
+std::string g_out_root;
+
+void WriteSeed(const std::string& target, const std::string& name,
+               const std::vector<std::uint8_t>& bytes) {
+  const std::string dir = g_out_root + "/" + target;
+  ::mkdir(g_out_root.c_str(), 0755);
+  ::mkdir(dir.c_str(), 0755);
+  std::ofstream out(dir + "/" + name, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    std::fprintf(stderr, "make_seed_corpus: cannot write %s/%s\n", dir.c_str(), name.c_str());
+    std::exit(1);
+  }
+}
+
+void WriteText(const std::string& target, const std::string& name, const std::string& text) {
+  WriteSeed(target, name, std::vector<std::uint8_t>(text.begin(), text.end()));
+}
+
+// Payload prefixed with the structure-aware targets' selector byte.
+std::vector<std::uint8_t> WithSelector(std::uint8_t selector, const Frame& f) {
+  std::vector<std::uint8_t> bytes;
+  bytes.push_back(selector);
+  bytes.insert(bytes.end(), f.payload.begin(), f.payload.end());
+  return bytes;
+}
+
+TraceContext SampleTrace() {
+  TraceContext t;
+  t.trace_id_hi = 0x0123456789abcdefULL;
+  t.trace_id_lo = 0xfedcba9876543210ULL;
+  t.parent_span_id = 0x1122334455667788ULL;
+  t.sampled = true;
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: make_seed_corpus OUT_DIR\n");
+    return 1;
+  }
+  g_out_root = argv[1];
+
+  const Universe u = Universe::Letters(4);
+  RegisterPremisesMsg reg;
+  reg.n = 4;
+  reg.premises = *ParseConstraintSet(u, "A -> {B}; AB -> {C, BC}");
+  reg.trace = SampleTrace();
+
+  CheckBatchMsg batch;
+  batch.handle = 7;
+  batch.deadline_ms = 250;
+  batch.nonce = 0xdeadbeef;
+  batch.n = 4;
+  batch.goals = *ParseConstraintSet(u, "A -> {C}; C -> {A}; 0 -> {D}");
+  batch.trace = SampleTrace();
+
+  BatchResultMsg result;
+  result.results.resize(3);
+  result.results[0].verdict = 1;
+  result.results[1].verdict = 2;
+  result.results[1].has_counterexample = true;
+  result.results[1].counterexample = 0b1010;
+  result.results[2].status_code = StatusCode::kDeadlineExceeded;
+  result.results[2].status_message = "query deadline exceeded";
+  result.stats.queries = 3;
+  result.stats.implied = 1;
+  result.stats.not_implied = 1;
+  result.stats.failed = 1;
+  result.stats.batch_wall_ns = 123456;
+  result.trace = SampleTrace();
+
+  RegisterOkMsg reg_ok;
+  reg_ok.handle = 7;
+  reg_ok.canonical_constraints = 2;
+  reg_ok.trace = SampleTrace();
+
+  PingMsg ping;
+  ping.nonce = 42;
+  OverloadedMsg overloaded;
+  overloaded.retry_after_ms = 100;
+  const ErrorMsg error{StatusCode::kNotFound, "unknown handle 9"};
+
+  // ---- read_frame: whole serialized frames (and adversarial cut-downs).
+  WriteSeed("read_frame", "ping", SerializeFrame(EncodePing(ping)));
+  WriteSeed("read_frame", "register_v3", SerializeFrame(EncodeRegisterPremises(reg)));
+  WriteSeed("read_frame", "register_v2",
+            SerializeFrame(EncodeRegisterPremises(reg, kMinWireVersion)));
+  WriteSeed("read_frame", "check_batch_v3", SerializeFrame(EncodeCheckBatch(batch)));
+  WriteSeed("read_frame", "batch_result_v3", SerializeFrame(EncodeBatchResult(result)));
+  WriteSeed("read_frame", "error", SerializeFrame(EncodeError(error)));
+  WriteSeed("read_frame", "overloaded", SerializeFrame(EncodeOverloaded(overloaded)));
+  {
+    // Two frames back-to-back: framing must resynchronize.
+    std::vector<std::uint8_t> two = SerializeFrame(EncodePing(ping));
+    const std::vector<std::uint8_t> second = SerializeFrame(EncodeCheckBatch(batch));
+    two.insert(two.end(), second.begin(), second.end());
+    WriteSeed("read_frame", "two_frames", two);
+    // A frame cut mid-payload: must decode as truncation.
+    std::vector<std::uint8_t> cut = SerializeFrame(EncodeRegisterPremises(reg));
+    cut.resize(cut.size() - 3);
+    WriteSeed("read_frame", "truncated_payload", cut);
+  }
+
+  // ---- request_decode: selector byte (type | version<<1) + raw payload.
+  WriteSeed("request_decode", "register_v2", WithSelector(0, EncodeRegisterPremises(reg, 2)));
+  WriteSeed("request_decode", "register_v3", WithSelector(2, EncodeRegisterPremises(reg)));
+  WriteSeed("request_decode", "check_batch_v2", WithSelector(1, EncodeCheckBatch(batch, 2)));
+  WriteSeed("request_decode", "check_batch_v3", WithSelector(3, EncodeCheckBatch(batch)));
+
+  // ---- reply_decode: selector % 5 picks the codec; bit 3 picks v3.
+  WriteSeed("reply_decode", "pong", WithSelector(0, EncodePong(ping)));
+  WriteSeed("reply_decode", "register_ok_v2", WithSelector(1, EncodeRegisterOk(reg_ok, 2)));
+  WriteSeed("reply_decode", "register_ok_v3", WithSelector(9, EncodeRegisterOk(reg_ok)));
+  WriteSeed("reply_decode", "batch_result_v2", WithSelector(2, EncodeBatchResult(result, 2)));
+  WriteSeed("reply_decode", "batch_result_v3", WithSelector(10, EncodeBatchResult(result)));
+  WriteSeed("reply_decode", "overloaded", WithSelector(3, EncodeOverloaded(overloaded)));
+  WriteSeed("reply_decode", "error", WithSelector(4, EncodeError(error)));
+
+  // ---- http_head: the observability surface's real request shapes.
+  WriteText("http_head", "metrics", "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  WriteText("http_head", "tracez_filtered",
+            "GET /tracez?trace_id=0123456789abcdeffedcba9876543210&status=ok&min_ms=1.5&"
+            "limit=8 HTTP/1.1\r\n\r\n");
+  WriteText("http_head", "statusz", "GET /statusz HTTP/1.1\r\n\r\n");
+  WriteText("http_head", "post", "POST /metrics HTTP/1.1\r\n\r\n");
+  WriteText("http_head", "malformed", "NONSENSE\r\n\r\n");
+  WriteText("http_head", "not_http", "\x16\x03\x01\x02\x00");  // TLS ClientHello prefix
+
+  // ---- text_parser: leading universe-size byte + constraint text.
+  WriteText("text_parser", "basic", std::string(1, 4) + "A -> {B}; AB -> {C, BC}");
+  WriteText("text_parser", "empty_family", std::string(1, 4) + "AB -> {}");
+  WriteText("text_parser", "zero_lhs", std::string(1, 4) + "0 -> {C}");
+  WriteText("text_parser", "empty_set", std::string(1, 4));
+  WriteText("text_parser", "garbage", std::string(1, 3) + "A -> -> {B}");
+
+  std::fprintf(stderr, "make_seed_corpus: wrote seeds under %s\n", g_out_root.c_str());
+  return 0;
+}

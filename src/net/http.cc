@@ -1,0 +1,66 @@
+#include "net/http.h"
+
+namespace diffc::net {
+
+Status ParseHttpRequestHead(const std::string& head, HttpRequestHead* out) {
+  const std::size_t line_end = head.find("\r\n");
+  if (line_end == std::string::npos) {
+    return Status::NotFound("no request line terminator");
+  }
+  const std::string request_line = head.substr(0, line_end);
+
+  const std::size_t sp1 = request_line.find(' ');
+  const std::size_t sp2 = request_line.rfind(' ');
+  if (sp1 == std::string::npos || sp2 <= sp1) {
+    return Status::InvalidArgument("malformed request line");
+  }
+  out->method = request_line.substr(0, sp1);
+  out->path = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  out->query.clear();
+  const std::size_t qmark = out->path.find('?');
+  if (qmark != std::string::npos) {
+    out->query = out->path.substr(qmark + 1);
+    out->path = out->path.substr(0, qmark);
+  }
+  return Status::Ok();
+}
+
+std::string HttpQueryParam(const std::string& query, const std::string& key) {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::size_t eq = query.find('=', pos);
+    if (eq != std::string::npos && eq < amp && query.substr(pos, eq - pos) == key) {
+      return query.substr(eq + 1, amp - eq - 1);
+    }
+    pos = amp + 1;
+  }
+  return "";
+}
+
+bool ParseTraceId(const std::string& hex, std::uint64_t* hi, std::uint64_t* lo) {
+  if (hex.size() != 32) return false;
+  std::uint64_t halves[2] = {0, 0};
+  for (int half = 0; half < 2; ++half) {
+    for (int i = 0; i < 16; ++i) {
+      const char c = hex[static_cast<std::size_t>(half * 16 + i)];
+      std::uint64_t digit = 0;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<std::uint64_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<std::uint64_t>(c - 'a') + 10;
+      } else if (c >= 'A' && c <= 'F') {
+        digit = static_cast<std::uint64_t>(c - 'A') + 10;
+      } else {
+        return false;
+      }
+      halves[half] = (halves[half] << 4) | digit;
+    }
+  }
+  *hi = halves[0];
+  *lo = halves[1];
+  return true;
+}
+
+}  // namespace diffc::net

@@ -1,0 +1,46 @@
+#ifndef DIFFC_NET_HTTP_H_
+#define DIFFC_NET_HTTP_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace diffc::net {
+
+/// Cap on the bytes of request head the observability endpoints will
+/// buffer before giving up on finding the end of the head.
+inline constexpr std::size_t kMaxHttpHeadBytes = 8192;
+
+/// The request line of an HTTP/1.x head, split into the parts the
+/// observability endpoints route on. Headers and bodies are ignored by
+/// design — the surface serves only GET with empty bodies.
+struct HttpRequestHead {
+  std::string method;
+  std::string path;   // Without the query string.
+  std::string query;  // Bytes after '?', empty when absent.
+};
+
+/// Parses the request line out of `head` (the raw bytes received so far,
+/// which need not include the full `\r\n\r\n` terminator).
+///
+///  - NotFound: no `\r\n` yet — not HTTP (or not enough of it); the
+///    server drops such connections silently.
+///  - InvalidArgument: a request line without the two spaces of
+///    `METHOD SP target SP version`; the server answers 400.
+///  - Ok: `out` holds method/path/query. Method policy (GET-only) is the
+///    caller's to enforce.
+Status ParseHttpRequestHead(const std::string& head, HttpRequestHead* out);
+
+/// Minimal query-string view: "a=1&b=x" -> lookup by key. Values are not
+/// percent-decoded (trace ids and the filter values are plain hex/ASCII).
+/// Returns "" when the key is absent.
+std::string HttpQueryParam(const std::string& query, const std::string& key);
+
+/// Parses 32 hex digits into the two trace-id halves. False on any other
+/// shape.
+bool ParseTraceId(const std::string& hex, std::uint64_t* hi, std::uint64_t* lo);
+
+}  // namespace diffc::net
+
+#endif  // DIFFC_NET_HTTP_H_

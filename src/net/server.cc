@@ -12,6 +12,7 @@
 #include <cstdlib>
 
 #include "net/handler_registry.h"
+#include "net/http.h"
 #include "obs/event_log.h"
 #include "obs/exposition.h"
 #include "obs/metrics.h"
@@ -867,48 +868,6 @@ Status DiffcdServer::Shutdown() {
 
 namespace {
 
-/// Minimal query-string view: "a=1&b=x" -> lookups by key. Values are not
-/// percent-decoded (trace ids and the filter values are plain hex/ASCII).
-std::string QueryParam(const std::string& query, const std::string& key) {
-  std::size_t pos = 0;
-  while (pos < query.size()) {
-    std::size_t amp = query.find('&', pos);
-    if (amp == std::string::npos) amp = query.size();
-    const std::size_t eq = query.find('=', pos);
-    if (eq != std::string::npos && eq < amp && query.substr(pos, eq - pos) == key) {
-      return query.substr(eq + 1, amp - eq - 1);
-    }
-    pos = amp + 1;
-  }
-  return "";
-}
-
-/// Parses 32 hex digits into the two trace-id halves. False on any other
-/// shape.
-bool ParseTraceId(const std::string& hex, std::uint64_t* hi, std::uint64_t* lo) {
-  if (hex.size() != 32) return false;
-  std::uint64_t halves[2] = {0, 0};
-  for (int half = 0; half < 2; ++half) {
-    for (int i = 0; i < 16; ++i) {
-      const char c = hex[static_cast<std::size_t>(half * 16 + i)];
-      std::uint64_t digit = 0;
-      if (c >= '0' && c <= '9') {
-        digit = static_cast<std::uint64_t>(c - '0');
-      } else if (c >= 'a' && c <= 'f') {
-        digit = static_cast<std::uint64_t>(c - 'a') + 10;
-      } else if (c >= 'A' && c <= 'F') {
-        digit = static_cast<std::uint64_t>(c - 'A') + 10;
-      } else {
-        return false;
-      }
-      halves[half] = (halves[half] << 4) | digit;
-    }
-  }
-  *hi = halves[0];
-  *lo = halves[1];
-  return true;
-}
-
 void SendHttp(const Socket& sock, int code, const std::string& reason,
               const std::string& content_type, const std::string& body) {
   std::string head = "HTTP/1.1 " + std::to_string(code) + " " + reason +
@@ -952,7 +911,7 @@ void DiffcdServer::ServeMetricsConnection(Socket sock) {
   // only the request line and ignores headers and bodies.
   std::string head;
   char buf[1024];
-  while (head.size() < 8192 && head.find("\r\n\r\n") == std::string::npos) {
+  while (head.size() < kMaxHttpHeadBytes && head.find("\r\n\r\n") == std::string::npos) {
     if (bounded && std::chrono::steady_clock::now() >= give_up) {
       return;  // Trickling peer spent the budget; drop silently.
     }
@@ -960,28 +919,19 @@ void DiffcdServer::ServeMetricsConnection(Socket sock) {
     if (!n.ok() || *n == 0) break;
     head.append(buf, *n);
   }
-  const std::size_t line_end = head.find("\r\n");
-  if (line_end == std::string::npos) return;  // Not HTTP; drop silently.
-  const std::string request_line = head.substr(0, line_end);
-
-  const std::size_t sp1 = request_line.find(' ');
-  const std::size_t sp2 = request_line.rfind(' ');
-  if (sp1 == std::string::npos || sp2 <= sp1) {
+  HttpRequestHead req;
+  Status parsed = ParseHttpRequestHead(head, &req);
+  if (parsed.code() == StatusCode::kNotFound) return;  // Not HTTP; drop silently.
+  if (!parsed.ok()) {
     SendHttp(sock, 400, "Bad Request", "text/plain", "malformed request line\n");
     return;
   }
-  const std::string method = request_line.substr(0, sp1);
-  std::string path = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
-  std::string query;
-  const std::size_t qmark = path.find('?');
-  if (qmark != std::string::npos) {
-    query = path.substr(qmark + 1);
-    path = path.substr(0, qmark);
-  }
-  if (method != "GET") {
+  if (req.method != "GET") {
     SendHttp(sock, 405, "Method Not Allowed", "text/plain", "GET only\n");
     return;
   }
+  const std::string& path = req.path;
+  const std::string& query = req.query;
   if (path == "/metrics") {
     SendHttp(sock, 200, "OK", "text/plain; version=0.0.4; charset=utf-8",
              obs::SnapshotPrometheus());
@@ -1009,10 +959,10 @@ std::string DiffcdServer::RenderTracez(const std::string& query) const {
 
   // Filters: trace_id (exact), status (ok|error|shed), min_ms (duration
   // floor), limit (newest N, default 64).
-  const std::string want_id = QueryParam(query, "trace_id");
-  const std::string want_status = QueryParam(query, "status");
-  const std::string min_ms_s = QueryParam(query, "min_ms");
-  const std::string limit_s = QueryParam(query, "limit");
+  const std::string want_id = HttpQueryParam(query, "trace_id");
+  const std::string want_status = HttpQueryParam(query, "status");
+  const std::string min_ms_s = HttpQueryParam(query, "min_ms");
+  const std::string limit_s = HttpQueryParam(query, "limit");
   double min_ms = 0;
   if (!min_ms_s.empty()) min_ms = std::strtod(min_ms_s.c_str(), nullptr);
   std::size_t limit = 64;

@@ -20,8 +20,23 @@ namespace diffc::net {
 
 namespace {
 
+// Classifies the current errno into the status code the retry layers key
+// on. EINTR never reaches here — every syscall loop retries it — so by the
+// time an error surfaces it is a real condition: a peer reset/abort is
+// Unavailable (safe to retry on a fresh connection, matching the error
+// frames the server sends before closing), a receive timeout from
+// SO_RCVTIMEO is DeadlineExceeded, and anything else (EBADF, ENOMEM, ...)
+// stays Internal so programming errors are not silently retried.
 Status Errno(const std::string& what) {
-  return Status::Internal(what + ": " + std::strerror(errno));
+  const int err = errno;
+  const std::string msg = what + ": " + std::strerror(err);
+  if (err == ECONNRESET || err == ECONNABORTED || err == EPIPE) {
+    return Status::Unavailable(msg);
+  }
+  if (err == EAGAIN || err == EWOULDBLOCK || err == ETIMEDOUT) {
+    return Status::DeadlineExceeded(msg);
+  }
+  return Status::Internal(msg);
 }
 
 bool IsUnixAddress(const std::string& address) {
@@ -467,22 +482,15 @@ Status ReadFrame(const Socket& sock, Frame* frame, bool* clean_eof,
     *clean_eof = true;
     return Status::Ok();
   }
-  std::uint32_t len = 0;
-  for (int i = 0; i < 4; ++i) len |= std::uint32_t{header[i]} << (8 * i);
-  const std::uint8_t version = header[4];
-  if (version < kMinWireVersion || version > kWireVersion) {
-    return Status::InvalidArgument("unsupported wire version " + std::to_string(int{version}) +
-                                   " (expected " + std::to_string(int{kWireVersion}) + ")");
-  }
-  if (len > kMaxFramePayload) {
-    return Status::InvalidArgument("declared frame payload " + std::to_string(len) +
-                                   " exceeds cap " + std::to_string(kMaxFramePayload));
-  }
-  frame->type = header[5];
-  frame->version = version;
-  frame->payload.resize(len);
-  if (len > 0) {
-    s = sock.RecvAllStalled(frame->payload.data(), len, &eof, stall_budget, &give_up);
+  FrameHeader head;
+  s = DecodeFrameHeader(header, sizeof(header), &head);
+  if (!s.ok()) return s;
+  frame->type = head.type;
+  frame->version = head.version;
+  frame->payload.resize(head.payload_len);
+  if (head.payload_len > 0) {
+    s = sock.RecvAllStalled(frame->payload.data(), head.payload_len, &eof, stall_budget,
+                            &give_up);
     if (!s.ok()) return s;
     if (eof) return Status::InvalidArgument("truncated frame: stream ended before payload");
   }

@@ -52,13 +52,18 @@ class Socket {
   Status SetSendTimeout(std::chrono::milliseconds timeout) const;
 
   /// Writes all `len` bytes (retrying short writes / EINTR; SIGPIPE is
-  /// suppressed). Fails with Internal on a broken connection.
+  /// suppressed). Errors are classified for the retry layers: a peer
+  /// reset/abort/broken pipe is Unavailable, a send-timeout expiry is
+  /// DeadlineExceeded, anything else (EBADF, ENOMEM, ...) is Internal.
   Status SendAll(const void* data, std::size_t len) const;
 
   /// Reads exactly `len` bytes. `*clean_eof` is set true (with OK
   /// returned) when the stream ends *before the first byte*; an EOF
   /// mid-buffer is an InvalidArgument ("truncated"), because a peer that
-  /// quits mid-frame left the stream unparseable.
+  /// quits mid-frame left the stream unparseable. EINTR and short reads
+  /// are retried internally and never surface; a hard peer reset
+  /// (ECONNRESET/ECONNABORTED) is Unavailable, distinct from both the
+  /// truncation case and the DeadlineExceeded of a recv-timeout expiry.
   Status RecvAll(void* data, std::size_t len, bool* clean_eof) const;
 
   /// `RecvAll` with a watchdog: `*give_up` is the absolute stall deadline

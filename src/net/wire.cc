@@ -71,23 +71,20 @@ void WireWriter::String(std::string_view s) {
 }
 
 Result<std::uint8_t> WireReader::U8() {
-  if (size_ - pos_ < 1) return Status::InvalidArgument("truncated payload: u8");
-  return data_[pos_++];
+  std::uint8_t v = 0;
+  if (!cur_.TryU8(&v)) return Status::InvalidArgument("truncated payload: u8");
+  return v;
 }
 
 Result<std::uint32_t> WireReader::U32() {
-  if (size_ - pos_ < 4) return Status::InvalidArgument("truncated payload: u32");
   std::uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) v |= std::uint32_t{data_[pos_ + i]} << (8 * i);
-  pos_ += 4;
+  if (!cur_.TryU32(&v)) return Status::InvalidArgument("truncated payload: u32");
   return v;
 }
 
 Result<std::uint64_t> WireReader::U64() {
-  if (size_ - pos_ < 8) return Status::InvalidArgument("truncated payload: u64");
   std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v |= std::uint64_t{data_[pos_ + i]} << (8 * i);
-  pos_ += 8;
+  if (!cur_.TryU64(&v)) return Status::InvalidArgument("truncated payload: u64");
   return v;
 }
 
@@ -98,17 +95,40 @@ Result<std::string> WireReader::String(std::uint32_t max_bytes) {
     return Status::InvalidArgument("string field exceeds cap (" + std::to_string(*len) +
                                    " > " + std::to_string(max_bytes) + ")");
   }
-  if (size_ - pos_ < *len) return Status::InvalidArgument("truncated payload: string body");
-  std::string s(reinterpret_cast<const char*>(data_ + pos_), *len);
-  pos_ += *len;
+  std::string s;
+  if (!cur_.TryBytes(*len, &s)) {
+    return Status::InvalidArgument("truncated payload: string body");
+  }
   return s;
 }
 
 Status WireReader::Finish() const {
-  if (pos_ != size_) {
+  if (!cur_.exhausted()) {
     return Status::InvalidArgument("trailing bytes after message (" +
-                                   std::to_string(size_ - pos_) + ")");
+                                   std::to_string(cur_.remaining()) + ")");
   }
+  return Status::Ok();
+}
+
+Status DecodeFrameHeader(const std::uint8_t* data, std::size_t size, FrameHeader* out) {
+  ByteCursor cur(data, size);
+  std::uint32_t len = 0;
+  std::uint8_t version = 0;
+  std::uint8_t type = 0;
+  if (!cur.TryU32(&len) || !cur.TryU8(&version) || !cur.TryU8(&type)) {
+    return Status::InvalidArgument("truncated frame header");
+  }
+  if (version < kMinWireVersion || version > kWireVersion) {
+    return Status::InvalidArgument("unsupported wire version " + std::to_string(int{version}) +
+                                   " (expected " + std::to_string(int{kWireVersion}) + ")");
+  }
+  if (len > kMaxFramePayload) {
+    return Status::InvalidArgument("declared frame payload " + std::to_string(len) +
+                                   " exceeds cap " + std::to_string(kMaxFramePayload));
+  }
+  out->payload_len = len;
+  out->version = version;
+  out->type = type;
   return Status::Ok();
 }
 

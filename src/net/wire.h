@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/constraint.h"
+#include "net/cursor.h"
 #include "util/status.h"
 
 namespace diffc::net {
@@ -90,6 +91,25 @@ struct Frame {
   std::vector<std::uint8_t> payload;
 };
 
+/// The fixed 6 bytes in front of every payload.
+inline constexpr std::size_t kFrameHeaderBytes = 6;
+
+/// A decoded (and validated) frame header.
+struct FrameHeader {
+  std::uint32_t payload_len = 0;
+  std::uint8_t version = 0;
+  std::uint8_t type = 0;
+};
+
+/// Decodes the 6-byte frame header out of `data` and enforces the header
+/// contract before anything is allocated: the version byte must fall in
+/// [kMinWireVersion, kWireVersion] and the declared payload length under
+/// `kMaxFramePayload`. InvalidArgument on a short buffer, a version
+/// outside the window, or an oversized declaration — the same Status
+/// `ReadFrame` surfaces, shared so the fuzz harness exercises the exact
+/// production path.
+Status DecodeFrameHeader(const std::uint8_t* data, std::size_t size, FrameHeader* out);
+
 /// The trace context carried by v3 REGISTER_PREMISES / CHECK_BATCH frames
 /// and echoed (with the responder's span id as `parent_span_id`) in their
 /// replies. A zero trace id means "no context"; the server then mints one.
@@ -126,11 +146,12 @@ class WireWriter {
 
 /// Bounds-checked little-endian reads over a payload. Every read reports
 /// truncation as InvalidArgument instead of walking off the buffer, and
-/// `Finish()` rejects trailing garbage.
+/// `Finish()` rejects trailing garbage. All byte access goes through the
+/// `ByteCursor` (net/cursor.h) — this class only adds the typed-Status
+/// vocabulary the codecs speak.
 class WireReader {
  public:
-  explicit WireReader(const std::vector<std::uint8_t>& payload)
-      : data_(payload.data()), size_(payload.size()) {}
+  explicit WireReader(const std::vector<std::uint8_t>& payload) : cur_(payload) {}
 
   Result<std::uint8_t> U8();
   Result<std::uint32_t> U32();
@@ -141,12 +162,10 @@ class WireReader {
   /// OK iff the payload was consumed exactly.
   Status Finish() const;
 
-  std::size_t remaining() const { return size_ - pos_; }
+  std::size_t remaining() const { return cur_.remaining(); }
 
  private:
-  const std::uint8_t* data_;
-  std::size_t size_;
-  std::size_t pos_ = 0;
+  ByteCursor cur_;
 };
 
 // ---------------------------------------------------------------- messages

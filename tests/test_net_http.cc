@@ -1,0 +1,120 @@
+// HTTP head-parsing tests for the observability surface: the request-line
+// contract (NotFound vs InvalidArgument vs Ok), query-param lookup, and
+// trace-id parsing. These pin the error taxonomy the server routes on —
+// NotFound means "drop silently", InvalidArgument means "answer 400".
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "net/http.h"
+
+namespace diffc::net {
+namespace {
+
+// ---------------------------------------------------- ParseHttpRequestHead
+
+TEST(HttpHeadTest, SimpleGet) {
+  HttpRequestHead head;
+  Status s = ParseHttpRequestHead("GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n", &head);
+  ASSERT_TRUE(s.ok()) << s.message();
+  EXPECT_EQ(head.method, "GET");
+  EXPECT_EQ(head.path, "/metrics");
+  EXPECT_EQ(head.query, "");
+}
+
+TEST(HttpHeadTest, GetWithQuery) {
+  HttpRequestHead head;
+  Status s = ParseHttpRequestHead("GET /tracez?trace=00112233445566778899aabbccddeeff&limit=5 HTTP/1.0\r\n",
+                                  &head);
+  ASSERT_TRUE(s.ok()) << s.message();
+  EXPECT_EQ(head.path, "/tracez");
+  EXPECT_EQ(head.query, "trace=00112233445566778899aabbccddeeff&limit=5");
+}
+
+TEST(HttpHeadTest, EmptyQueryAfterQuestionMark) {
+  HttpRequestHead head;
+  Status s = ParseHttpRequestHead("GET /slowz? HTTP/1.1\r\n", &head);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(head.path, "/slowz");
+  EXPECT_EQ(head.query, "");
+}
+
+TEST(HttpHeadTest, NoCrlfIsNotFound) {
+  // A head with no request-line terminator is not (yet) HTTP: the server
+  // drops such connections without a response. Distinct from 400.
+  HttpRequestHead head;
+  EXPECT_EQ(ParseHttpRequestHead("", &head).code(), StatusCode::kNotFound);
+  EXPECT_EQ(ParseHttpRequestHead("GET /metrics HTTP/1.1", &head).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(ParseHttpRequestHead(std::string("\x00\x01\x02", 3), &head).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(HttpHeadTest, MalformedRequestLineIsInvalidArgument) {
+  HttpRequestHead head;
+  // No spaces at all.
+  EXPECT_EQ(ParseHttpRequestHead("GET\r\n", &head).code(),
+            StatusCode::kInvalidArgument);
+  // One space: rfind == find.
+  EXPECT_EQ(ParseHttpRequestHead("GET /metrics\r\n", &head).code(),
+            StatusCode::kInvalidArgument);
+  // Empty line.
+  EXPECT_EQ(ParseHttpRequestHead("\r\n", &head).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(HttpHeadTest, MethodPolicyIsTheCallers) {
+  // POST parses fine — the parser reports shape, the server enforces
+  // GET-only with a 405.
+  HttpRequestHead head;
+  Status s = ParseHttpRequestHead("POST /metrics HTTP/1.1\r\n", &head);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(head.method, "POST");
+}
+
+// --------------------------------------------------------- HttpQueryParam
+
+TEST(HttpQueryParamTest, LookupHitAndMiss) {
+  const std::string q = "a=1&trace=abc&empty=&b=2";
+  EXPECT_EQ(HttpQueryParam(q, "a"), "1");
+  EXPECT_EQ(HttpQueryParam(q, "trace"), "abc");
+  EXPECT_EQ(HttpQueryParam(q, "empty"), "");
+  EXPECT_EQ(HttpQueryParam(q, "b"), "2");
+  EXPECT_EQ(HttpQueryParam(q, "missing"), "");
+  EXPECT_EQ(HttpQueryParam("", "a"), "");
+}
+
+TEST(HttpQueryParamTest, KeyMustMatchExactly) {
+  // "ab=1" must not satisfy a lookup for "a"; a bare key with no '='
+  // yields no value.
+  EXPECT_EQ(HttpQueryParam("ab=1", "a"), "");
+  EXPECT_EQ(HttpQueryParam("flag&a=1", "a"), "1");
+  EXPECT_EQ(HttpQueryParam("flag", "flag"), "");
+}
+
+// ----------------------------------------------------------- ParseTraceId
+
+TEST(ParseTraceIdTest, ValidBothCases) {
+  std::uint64_t hi = 0, lo = 0;
+  ASSERT_TRUE(ParseTraceId("00112233445566778899aabbccddeeff", &hi, &lo));
+  EXPECT_EQ(hi, 0x0011223344556677ull);
+  EXPECT_EQ(lo, 0x8899aabbccddeeffull);
+  ASSERT_TRUE(ParseTraceId("8899AABBCCDDEEFF0011223344556677", &hi, &lo));
+  EXPECT_EQ(hi, 0x8899aabbccddeeffull);
+  EXPECT_EQ(lo, 0x0011223344556677ull);
+}
+
+TEST(ParseTraceIdTest, RejectsWrongLengthAndNonHex) {
+  std::uint64_t hi = 0, lo = 0;
+  EXPECT_FALSE(ParseTraceId("", &hi, &lo));
+  EXPECT_FALSE(ParseTraceId("0011223344556677", &hi, &lo));            // 16
+  EXPECT_FALSE(ParseTraceId("00112233445566778899aabbccddeef", &hi, &lo));   // 31
+  EXPECT_FALSE(ParseTraceId("00112233445566778899aabbccddeeff0", &hi, &lo)); // 33
+  EXPECT_FALSE(ParseTraceId("00112233445566778899aabbccddeexx", &hi, &lo));  // non-hex
+  EXPECT_FALSE(ParseTraceId("g0112233445566778899aabbccddeeff", &hi, &lo));  // non-hex hi
+}
+
+}  // namespace
+}  // namespace diffc::net

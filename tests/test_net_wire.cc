@@ -4,9 +4,15 @@
 // universe sizes and attribute masks, trailing garbage.
 
 #include <gtest/gtest.h>
+#include <pthread.h>
 #include <sys/socket.h>
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdint>
+#include <cstring>
+#include <functional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -347,6 +353,203 @@ TEST(WireCodecTest, AbsurdFamilyCountRejected) {
   EXPECT_NE(decoded.status().message().find("cap"), std::string::npos);
 }
 
+// -------------------------------------------- cap symmetry at the boundary
+//
+// The caps are a two-party contract: whatever the encoder lets through,
+// every conforming decoder must accept, and one byte past the cap must be
+// truncated (encoder) or rejected (decoder) — on both the client and the
+// server side of each message.
+
+TEST(CapSymmetryTest, ErrorMessageAtExactCapRoundTripsUntruncated) {
+  ErrorMsg msg;
+  msg.code = StatusCode::kInternal;
+  msg.message = std::string(kMaxErrorMessageBytes, 'e');
+  Result<ErrorMsg> decoded = DecodeError(EncodeError(msg));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->message.size(), std::size_t{kMaxErrorMessageBytes});
+  EXPECT_EQ(decoded->message, msg.message);
+}
+
+TEST(CapSymmetryTest, ErrorMessageOneOverCapIsTruncatedByEncoder) {
+  ErrorMsg msg;
+  msg.code = StatusCode::kUnavailable;
+  msg.message = std::string(kMaxErrorMessageBytes + 1, 'e');
+  Result<ErrorMsg> decoded = DecodeError(EncodeError(msg));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->message.size(), std::size_t{kMaxErrorMessageBytes});
+}
+
+TEST(CapSymmetryTest, ErrorDecoderRejectsDeclaredLengthOneOverCap) {
+  // A non-conforming encoder that declares kMaxErrorMessageBytes + 1 must
+  // be refused on the declared length, before the body is consumed.
+  WireWriter w;
+  w.U8(static_cast<std::uint8_t>(StatusCode::kInternal));
+  w.String(std::string(kMaxErrorMessageBytes + 1, 'x'));
+  Frame f{static_cast<std::uint8_t>(WireResponse::kError), kWireVersion,
+          std::move(w).Take()};
+  Result<ErrorMsg> decoded = DecodeError(f);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(decoded.status().message().find("cap"), std::string::npos);
+}
+
+TEST(CapSymmetryTest, BatchResultStatusMessageAtExactCapAcceptedOneOverRejected) {
+  // Same boundary on the reply path the client decodes: a result whose
+  // status_message is exactly at the cap is legal; a declared length one
+  // past it is malformed.
+  BatchResultMsg msg;
+  WireQueryResult failed;
+  failed.status_code = StatusCode::kInternal;
+  failed.status_message = std::string(kMaxErrorMessageBytes, 'm');
+  msg.results = {failed};
+  Result<BatchResultMsg> decoded = DecodeBatchResult(EncodeBatchResult(msg));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->results[0].status_message.size(),
+            std::size_t{kMaxErrorMessageBytes});
+
+  WireWriter w;
+  w.U32(1);  // one result
+  w.U8(static_cast<std::uint8_t>(StatusCode::kInternal));
+  w.String(std::string(kMaxErrorMessageBytes + 1, 'm'));
+  w.U8(2);   // verdict: failed
+  w.U8(0);   // no counterexample
+  w.U64(0);
+  for (int i = 0; i < 8; ++i) w.U64(0);  // stats
+  Frame f{static_cast<std::uint8_t>(WireResponse::kBatchResult), kMinWireVersion,
+          std::move(w).Take()};
+  Result<BatchResultMsg> rejected = DecodeBatchResult(f);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_NE(rejected.status().message().find("cap"), std::string::npos);
+}
+
+// ------------------------------------------------- frame header contract
+
+TEST(FrameHeaderTest, ValidHeaderParses) {
+  std::uint8_t bytes[kFrameHeaderBytes] = {0x0D, 0xF0, 0x00, 0x00, kWireVersion,
+                                           static_cast<std::uint8_t>(WireRequest::kCheckBatch)};
+  FrameHeader head;
+  ASSERT_TRUE(DecodeFrameHeader(bytes, sizeof(bytes), &head).ok());
+  EXPECT_EQ(head.payload_len, 0xF00Du);
+  EXPECT_EQ(head.version, kWireVersion);
+  EXPECT_EQ(head.type, static_cast<std::uint8_t>(WireRequest::kCheckBatch));
+}
+
+TEST(FrameHeaderTest, ShortBufferIsTruncated) {
+  std::uint8_t bytes[kFrameHeaderBytes] = {0, 0, 0, 0, kWireVersion, 0};
+  FrameHeader head;
+  for (std::size_t len = 0; len < kFrameHeaderBytes; ++len) {
+    Status s = DecodeFrameHeader(bytes, len, &head);
+    ASSERT_FALSE(s.ok()) << "header of " << len << " bytes must not parse";
+    EXPECT_NE(s.message().find("truncated"), std::string::npos);
+  }
+}
+
+TEST(FrameHeaderTest, VersionWindowIsClosedOnBothSides) {
+  FrameHeader head;
+  std::uint8_t low[kFrameHeaderBytes] = {0, 0, 0, 0, kMinWireVersion - 1, 0};
+  Status s = DecodeFrameHeader(low, sizeof(low), &head);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("version"), std::string::npos);
+
+  std::uint8_t high[kFrameHeaderBytes] = {0, 0, 0, 0, kWireVersion + 1, 0};
+  s = DecodeFrameHeader(high, sizeof(high), &head);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("version"), std::string::npos);
+}
+
+TEST(FrameHeaderTest, PayloadCapBoundary) {
+  // len == kMaxFramePayload is the last legal value; one more is refused.
+  // This is the shared gate for both directions — client and server frame
+  // reads run through the same DecodeFrameHeader.
+  auto header_with_len = [](std::uint32_t len) {
+    std::vector<std::uint8_t> bytes(kFrameHeaderBytes, 0);
+    for (int i = 0; i < 4; ++i) bytes[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(len >> (8 * i));
+    bytes[4] = kWireVersion;
+    bytes[5] = static_cast<std::uint8_t>(WireRequest::kPing);
+    return bytes;
+  };
+  FrameHeader head;
+  std::vector<std::uint8_t> at_cap = header_with_len(kMaxFramePayload);
+  ASSERT_TRUE(DecodeFrameHeader(at_cap.data(), at_cap.size(), &head).ok());
+  EXPECT_EQ(head.payload_len, kMaxFramePayload);
+
+  std::vector<std::uint8_t> over = header_with_len(kMaxFramePayload + 1);
+  Status s = DecodeFrameHeader(over.data(), over.size(), &head);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("cap"), std::string::npos);
+}
+
+// --------------------------------------- trace-context truncation matrix
+//
+// A v3 frame carries exactly kTraceContextBytes (25) of trace context at
+// the payload tail. Cutting the frame at every point inside those 25
+// bytes must be InvalidArgument — for the request codecs the server runs
+// and the reply codecs the client runs alike. (Leaving all 25 intact is
+// the round-trip case, pinned here too so the loop bounds are honest.)
+
+void ExpectTraceCutPointsRejected(
+    const Frame& v3, const std::function<Status(const Frame&)>& decode) {
+  ASSERT_GE(v3.payload.size(), std::size_t{25});
+  const std::size_t base = v3.payload.size() - 25;
+  for (std::size_t kept = 0; kept < 25; ++kept) {
+    Frame cut = v3;
+    cut.payload.resize(base + kept);
+    Status s = decode(cut);
+    ASSERT_FALSE(s.ok()) << "decode with " << kept << "/25 trace bytes must fail";
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << "kept=" << kept;
+  }
+  EXPECT_TRUE(decode(v3).ok());
+}
+
+TEST(TraceCutPointTest, RegisterPremisesRequest) {
+  RegisterPremisesMsg msg;
+  msg.n = 4;
+  msg.premises = {MakeConstraint({0}, {ItemSet{1}})};
+  msg.trace.trace_id_hi = 1;
+  msg.trace.trace_id_lo = 2;
+  msg.trace.parent_span_id = 3;
+  ExpectTraceCutPointsRejected(EncodeRegisterPremises(msg), [](const Frame& f) {
+    return DecodeRegisterPremises(f).status();
+  });
+}
+
+TEST(TraceCutPointTest, CheckBatchRequest) {
+  CheckBatchMsg msg;
+  msg.handle = 5;
+  msg.n = 4;
+  msg.goals = {MakeConstraint({0}, {ItemSet{1}})};
+  msg.trace.trace_id_hi = 1;
+  msg.trace.trace_id_lo = 2;
+  ExpectTraceCutPointsRejected(EncodeCheckBatch(msg), [](const Frame& f) {
+    return DecodeCheckBatch(f).status();
+  });
+}
+
+TEST(TraceCutPointTest, RegisterOkReply) {
+  RegisterOkMsg msg;
+  msg.handle = 11;
+  msg.trace.trace_id_hi = 1;
+  msg.trace.trace_id_lo = 2;
+  ExpectTraceCutPointsRejected(EncodeRegisterOk(msg), [](const Frame& f) {
+    return DecodeRegisterOk(f).status();
+  });
+}
+
+TEST(TraceCutPointTest, BatchResultReply) {
+  BatchResultMsg msg;
+  WireQueryResult implied;
+  implied.verdict = 1;
+  msg.results = {implied};
+  msg.stats.queries = 1;
+  msg.trace.trace_id_hi = 1;
+  msg.trace.trace_id_lo = 2;
+  ExpectTraceCutPointsRejected(EncodeBatchResult(msg), [](const Frame& f) {
+    return DecodeBatchResult(f).status();
+  });
+}
+
 TEST(WireCodecTest, SerializedHeaderLayout) {
   Frame ping = TamperedPing();
   std::vector<std::uint8_t> bytes = SerializeFrame(ping);
@@ -475,6 +678,101 @@ TEST(FramingTest, TruncatedPayloadIsError) {
   Status s = ReadFrame(pair.b, &got, &clean_eof);
   ASSERT_FALSE(s.ok());
   EXPECT_NE(s.message().find("truncated"), std::string::npos);
+}
+
+// ------------------------------------------------- errno classification
+//
+// The socket layer's error taxonomy, pinned at the boundary the client
+// retry logic keys on: a hard peer reset is Unavailable (retryable on a
+// fresh connection), an orderly-but-early close is InvalidArgument
+// ("truncated", not retryable as-is), and EINTR never surfaces at all.
+
+TEST(SocketErrnoTest, PeerResetOnRecvIsUnavailable) {
+  // Linux AF_UNIX semantics: closing a socket that still has unread data
+  // in its receive queue resets the peer — the peer's next recv fails
+  // with ECONNRESET rather than reporting EOF. That must classify as
+  // Unavailable, distinct from the InvalidArgument of a mid-frame EOF.
+  SocketPair pair;
+  const std::uint8_t junk[64] = {};
+  ASSERT_TRUE(pair.a.SendAll(junk, sizeof(junk)).ok());
+  // b closes with a's 64 bytes still queued and unread.
+  pair.b.Close();
+  std::uint8_t buf[16];
+  bool clean_eof = false;
+  Status s = pair.a.RecvAll(buf, sizeof(buf), &clean_eof);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable) << s.message();
+  EXPECT_FALSE(clean_eof);
+}
+
+TEST(SocketErrnoTest, BrokenPipeOnSendIsUnavailable) {
+  SocketPair pair;
+  pair.b.Close();
+  const std::uint8_t junk[64] = {};
+  Status s = pair.a.SendAll(junk, sizeof(junk));
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable) << s.message();
+}
+
+TEST(SocketErrnoTest, OrderlyEarlyCloseStaysInvalidArgumentNotUnavailable) {
+  // The reset case above must not blur the existing truncation contract:
+  // a peer that sends part of a request and closes cleanly (nothing
+  // unread in its own queue) is a protocol error, not an outage.
+  SocketPair pair;
+  const std::uint8_t partial[4] = {1, 2, 3, 4};
+  ASSERT_TRUE(pair.a.SendAll(partial, sizeof(partial)).ok());
+  pair.a.Close();
+  std::uint8_t buf[16];
+  bool clean_eof = false;
+  Status s = pair.b.RecvAll(buf, sizeof(buf), &clean_eof);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << s.message();
+  EXPECT_NE(s.message().find("truncated"), std::string::npos);
+}
+
+TEST(SocketErrnoTest, RecvTimeoutIsDeadlineExceeded) {
+  SocketPair pair;
+  ASSERT_TRUE(pair.b.SetRecvTimeout(std::chrono::milliseconds(50)).ok());
+  std::uint8_t buf[16];
+  bool clean_eof = false;
+  Status s = pair.b.RecvAll(buf, sizeof(buf), &clean_eof);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded) << s.message();
+}
+
+TEST(SocketErrnoTest, EintrDuringBlockingRecvIsRetriedNotSurfaced) {
+  // A signal delivered to a thread parked in recv makes the syscall fail
+  // with EINTR when the handler is installed without SA_RESTART. The read
+  // loop must absorb it and deliver the bytes that eventually arrive.
+  struct sigaction sa {};
+  sa.sa_handler = [](int) {};
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // Deliberately no SA_RESTART: recv must see EINTR.
+  struct sigaction old {};
+  ASSERT_EQ(sigaction(SIGUSR1, &sa, &old), 0);
+
+  SocketPair pair;
+  std::atomic<bool> receiving{false};
+  Status result = Status::Internal("not run");
+  std::uint8_t got[8] = {};
+  std::thread reader([&] {
+    receiving.store(true);
+    bool clean_eof = false;
+    result = pair.b.RecvAll(got, sizeof(got), &clean_eof);
+  });
+  while (!receiving.load()) std::this_thread::yield();
+  // Interrupt the blocked recv several times before any data exists.
+  for (int i = 0; i < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    pthread_kill(reader.native_handle(), SIGUSR1);
+  }
+  const std::uint8_t payload[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  ASSERT_TRUE(pair.a.SendAll(payload, sizeof(payload)).ok());
+  reader.join();
+  ASSERT_EQ(sigaction(SIGUSR1, &old, nullptr), 0);
+
+  ASSERT_TRUE(result.ok()) << result.message();
+  EXPECT_EQ(std::memcmp(got, payload, sizeof(payload)), 0);
 }
 
 }  // namespace

@@ -60,12 +60,29 @@ layer honest:
                     about never drifts from the structs that define it.
                     Same DESIGN.md lookup as failpoint-catalog; silent
                     when neither exists (fixture subsets).
+  decoder-discipline  Decode-path files (``DECODER_PATH_FILES``) read
+                    untrusted bytes only through the ``ByteCursor`` API
+                    (net/cursor.h): no ``memcpy``/``memmove``, no
+                    ``reinterpret_cast``, no pointer arithmetic or
+                    indexing off ``.data()``, no ``*p++`` walks. The
+                    cursor is the single audited home of raw reads, and
+                    the fuzz targets (fuzz/) hammer it under ASan.
+  fuzzer-catalog    Every fuzz target (``fuzz/fuzz_*.cc`` next to the
+                    linted tree, same two-level lookup as the DESIGN.md
+                    catalog) is documented (backtick-quoted) in the
+                    DESIGN.md s13 fuzzing table, mirroring
+                    failpoint-catalog: the set of harnesses a developer
+                    can run must be complete in the docs. Silent when no
+                    fuzz directory or no DESIGN.md exists.
 
 Findings print as ``path:line: rule: message`` (or ``--format=json``).
 A committed baseline (``--baseline``) grandfathers known findings by
 (rule, file, message) — line numbers may drift; ``--write-baseline``
-regenerates it. Exit code 0 when no non-baselined findings, 1 otherwise,
-2 on usage errors.
+regenerates it. ``--check-fixtures DIR`` audits the golden fixture trees
+instead of linting: every implemented rule must fire somewhere under
+``DIR/bad`` (a rule with no bad fixture is a dead rule) and ``DIR/good``
+must be clean. Exit code 0 when no non-baselined findings (or no fixture
+drift), 1 otherwise, 2 on usage errors.
 """
 
 import argparse
@@ -81,6 +98,26 @@ SOLVER_LOOP_FILES = {
     "prop/cdcl.cc",
     "lattice/hitting_set.cc",
 }
+
+# Files that decode untrusted bytes: every raw read must go through the
+# ByteCursor API (net/cursor.h). The cursor header itself is the audited
+# exception. Paths are relative to --root.
+DECODER_PATH_FILES = {
+    "net/wire.h",
+    "net/wire.cc",
+    "net/http.h",
+    "net/http.cc",
+}
+
+# Every rule this linter implements, in docstring order. --check-fixtures
+# verifies each has a bad fixture that fires it.
+ALL_RULES = (
+    "metric-name", "metric-dup", "failpoint-name", "failpoint-dup",
+    "failpoint-catalog", "solver-atomic", "include-guard",
+    "mutex-guarded-by", "naked-lock", "void-discard",
+    "procedure-registry", "wire-registry", "wire-doc",
+    "decoder-discipline", "fuzzer-catalog",
+)
 
 # The annotated wrapper itself legitimately holds a raw std::mutex member
 # and uses std:: locking internally. Paths relative to --root.
@@ -512,6 +549,65 @@ def report_wire_doc(root, wire_doc, findings):
                     "on-the-wire contract never drifts from the code"))
 
 
+# ------------------------------------------------------- decoder discipline
+
+# Raw-byte-read idioms banned outside ByteCursor: bulk copies, type puns,
+# arithmetic or indexing off a buffer's .data(), and *p++ walks. Plain
+# std::string find/substr slicing stays legal — it is bounds-checked by
+# construction.
+DECODER_BAN_RES = (
+    (re.compile(r"\bmem(?:cpy|move)\s*\("), "memcpy/memmove"),
+    (re.compile(r"\breinterpret_cast\b"), "reinterpret_cast"),
+    (re.compile(r"\.data\s*\(\s*\)\s*[+\[]"), "pointer arithmetic off .data()"),
+    (re.compile(r"\*\s*\w+\s*\+\+"), "*p++ pointer walk"),
+)
+
+
+def scan_decoder_discipline(rel, code, findings):
+    for ban_re, what in DECODER_BAN_RES:
+        for m in ban_re.finditer(code):
+            findings.append(
+                Finding(rel, line_of(code, m.start()), "decoder-discipline",
+                        f"{what} on the decode path; untrusted bytes are read "
+                        "only through the ByteCursor API (net/cursor.h), the "
+                        "single audited home of raw reads")
+            )
+
+
+# ----------------------------------------------------------- fuzzer catalog
+
+
+def find_fuzz_targets(root):
+    """``fuzz_*`` stems of the fuzz dir beside the linted tree, or [].
+
+    Same two-level lookup as ``load_failpoint_catalog``: ``<root>/fuzz``
+    first, then ``<root>/../fuzz`` (the repo layout: ``--root src`` with
+    fuzz/ at the repo root). Missing dir means no targets to audit.
+    """
+    for candidate in (os.path.join(root, "fuzz"),
+                      os.path.join(root, os.pardir, "fuzz")):
+        if os.path.isdir(candidate):
+            return sorted(
+                name[:-len(".cc")] for name in os.listdir(candidate)
+                if name.startswith("fuzz_") and name.endswith(".cc"))
+    return []
+
+
+def report_fuzzer_catalog(root, findings):
+    catalog = load_failpoint_catalog(root)
+    if catalog is None:
+        return
+    for target in find_fuzz_targets(root):
+        if f"`{target}`" in catalog:
+            continue
+        findings.append(
+            Finding(f"fuzz/{target}.cc", 1, "fuzzer-catalog",
+                    f"fuzz target '{target}' is not listed in the DESIGN.md "
+                    "fuzzing catalog; every harness a developer can run must "
+                    "be documented there")
+        )
+
+
 # ------------------------------------------------------------ solver loops
 
 
@@ -683,6 +779,8 @@ def lint_file(root, rel, registrations, failpoint_sites, procedures, wire,
     scan_wire_doc(rel, no_comments, wire_doc)
     if rel in SOLVER_LOOP_FILES:
         scan_solver_loops(rel, code_only, findings)
+    if rel in DECODER_PATH_FILES:
+        scan_decoder_discipline(rel, code_only, findings)
     if rel.endswith(".h"):
         scan_include_guard(rel, raw, findings)
     scan_mutex_members(rel, code_only, findings)
@@ -714,20 +812,62 @@ def lint_tree(root):
     report_duplicates(metric_display, "metric-dup", "metric", findings)
     report_duplicates(failpoint_sites, "failpoint-dup", "fail point", findings)
     report_failpoint_catalog(root, failpoint_sites, findings)
+    report_fuzzer_catalog(root, findings)
     return findings
+
+
+def check_fixtures(fixtures_dir):
+    """Fails on fixture-directory drift: dead rules or a dirty good tree."""
+    bad = os.path.join(fixtures_dir, "bad")
+    good = os.path.join(fixtures_dir, "good")
+    if not os.path.isdir(bad) or not os.path.isdir(good):
+        print(f"diffc_lint: {fixtures_dir} must contain bad/ and good/ trees",
+              file=sys.stderr)
+        return 2
+    drift = 0
+    fired = {f.rule for f in lint_tree(bad)}
+    for rule in ALL_RULES:
+        if rule not in fired:
+            print(f"diffc_lint: rule '{rule}' fires on nothing under {bad}; "
+                  "a rule with no bad fixture is a dead rule")
+            drift += 1
+    for stray in sorted(fired - set(ALL_RULES)):
+        print(f"diffc_lint: bad fixtures fire unknown rule '{stray}'; "
+              "update ALL_RULES or the fixture")
+        drift += 1
+    for finding in lint_tree(good):
+        print(f"diffc_lint: good fixture tree must be clean, got: {finding}")
+        drift += 1
+    print(f"diffc_lint: fixture audit: {len(ALL_RULES)} rule(s), "
+          f"{drift} drift problem(s)", file=sys.stderr)
+    return 1 if drift else 0
 
 
 def main(argv):
     parser = argparse.ArgumentParser(description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
-    parser.add_argument("--root", required=True, help="source tree to lint (e.g. src)")
+    parser.add_argument("--root", default=None,
+                        help="source tree to lint (e.g. src); required unless "
+                             "--check-fixtures is given")
     parser.add_argument("--baseline", default=None,
                         help="baseline JSON; findings listed there are suppressed")
     parser.add_argument("--write-baseline", action="store_true",
                         help="rewrite the baseline with the current findings")
     parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--check-fixtures", metavar="DIR", default=None,
+                        help="audit the golden fixture trees under DIR instead of "
+                             "linting --root: every rule must fire under DIR/bad "
+                             "(a rule with no bad fixture is a dead rule) and "
+                             "DIR/good must be clean")
     args = parser.parse_args(argv[1:])
 
+    if args.check_fixtures:
+        return check_fixtures(args.check_fixtures)
+
+    if not args.root:
+        print("diffc_lint: --root is required (or use --check-fixtures)",
+              file=sys.stderr)
+        return 2
     if not os.path.isdir(args.root):
         print(f"diffc_lint: no such directory: {args.root}", file=sys.stderr)
         return 2

@@ -1,0 +1,23 @@
+// decoder-discipline: raw byte reads on the decode path. Untrusted bytes
+// must flow through the ByteCursor API (net/cursor.h), never through
+// memcpy, type puns, or pointer walks the linter cannot bounds-audit.
+#include <cstdint>
+#include <cstring>
+
+namespace diffc::net {
+
+std::uint32_t DecodeLen(const std::uint8_t* data) {
+  std::uint32_t len = 0;
+  std::memcpy(&len, data, sizeof(len));
+  return len;
+}
+
+const char* DecodeName(const std::uint8_t* data) {
+  return reinterpret_cast<const char*>(data);
+}
+
+std::uint8_t DecodeTag(const std::uint8_t* p) {
+  return *p++;
+}
+
+}  // namespace diffc::net

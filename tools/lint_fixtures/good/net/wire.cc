@@ -1,0 +1,22 @@
+// decoder-discipline: the accepted pattern — every raw byte read on the
+// decode path goes through the bounds-checked ByteCursor (net/cursor.h);
+// textual slicing via std::string find/substr stays legal.
+#include <cstdint>
+#include <string>
+
+namespace diffc::net {
+
+class ByteCursor;  // net/cursor.h in the real tree.
+bool TryU32(ByteCursor& cur, std::uint32_t* out);
+
+bool DecodeLen(ByteCursor& cur, std::uint32_t* len) {
+  return TryU32(cur, len);
+}
+
+std::string RequestLine(const std::string& head) {
+  const std::size_t line_end = head.find("\r\n");
+  if (line_end == std::string::npos) return "";
+  return head.substr(0, line_end);
+}
+
+}  // namespace diffc::net

@@ -32,10 +32,14 @@ EXPECTED_BAD = [
     ("engine/bad_procedure_registry.cc", 3, "procedure-registry"),
     ("engine/bad_procedure_registry.cc", 3, "procedure-registry"),
     ("engine/naked_lock.cc", 7, "naked-lock"),
+    ("fuzz/fuzz_uncataloged.cc", 1, "fuzzer-catalog"),
     ("net/bad_wire.h", 9, "wire-doc"),
     ("net/bad_wire.h", 13, "wire-doc"),
     ("net/bad_wire_registry.cc", 3, "wire-registry"),
     ("net/bad_wire_registry.cc", 3, "wire-registry"),
+    ("net/wire.cc", 11, "decoder-discipline"),
+    ("net/wire.cc", 16, "decoder-discipline"),
+    ("net/wire.cc", 20, "decoder-discipline"),
     ("obs/bad_metric.cc", 5, "metric-name"),
     ("obs/dup_metric_b.cc", 5, "metric-dup"),
     ("prop/dpll.cc", 8, "solver-atomic"),
@@ -48,6 +52,7 @@ ALL_RULES = {
     "failpoint-catalog", "solver-atomic", "include-guard",
     "mutex-guarded-by", "naked-lock", "void-discard",
     "procedure-registry", "wire-registry", "wire-doc",
+    "decoder-discipline", "fuzzer-catalog",
 }
 
 
@@ -79,6 +84,8 @@ class BadFixtureTest(unittest.TestCase):
             "core/uncataloged_failpoint.cc": ["DESIGN.md"],
             # The doc rule is silent without the DESIGN.md it checks against.
             "net/bad_wire.h": ["DESIGN.md"],
+            # The catalog rule is likewise silent without DESIGN.md.
+            "fuzz/fuzz_uncataloged.cc": ["DESIGN.md"],
         }
         files = sorted({f for f, _, _ in EXPECTED_BAD})
         for rel in files:
@@ -133,9 +140,55 @@ class BaselineTest(unittest.TestCase):
         self.assertEqual(proc.returncode, 0)
 
 
+class CheckFixturesTest(unittest.TestCase):
+    def test_real_fixture_tree_passes(self):
+        proc = run_lint("--check-fixtures", FIXTURES)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_missing_bad_fixture_is_drift(self):
+        # Rebuild the fixture tree without the solver-atomic fixture: the
+        # audit must flag the now-dead rule and exit nonzero.
+        with tempfile.TemporaryDirectory() as scratch:
+            for dirpath, _, filenames in os.walk(FIXTURES):
+                for name in filenames:
+                    src = os.path.join(dirpath, name)
+                    rel = os.path.relpath(src, FIXTURES)
+                    if rel == os.path.join("bad", "prop", "dpll.cc"):
+                        continue
+                    dst = os.path.join(scratch, rel)
+                    os.makedirs(os.path.dirname(dst), exist_ok=True)
+                    with open(src) as fin, open(dst, "w") as fout:
+                        fout.write(fin.read())
+            proc = run_lint("--check-fixtures", scratch)
+            self.assertEqual(proc.returncode, 1, proc.stdout)
+            self.assertIn("solver-atomic", proc.stdout)
+            self.assertIn("dead rule", proc.stdout)
+
+    def test_dirty_good_tree_is_drift(self):
+        with tempfile.TemporaryDirectory() as scratch:
+            for sub in ("bad", "good"):
+                for dirpath, _, filenames in os.walk(os.path.join(FIXTURES, sub)):
+                    for name in filenames:
+                        src = os.path.join(dirpath, name)
+                        rel = os.path.relpath(src, FIXTURES)
+                        dst = os.path.join(scratch, rel)
+                        os.makedirs(os.path.dirname(dst), exist_ok=True)
+                        with open(src) as fin, open(dst, "w") as fout:
+                            fout.write(fin.read())
+            with open(os.path.join(scratch, "good", "engine", "oops.cc"), "w") as f:
+                f.write("int G();\nvoid F() {\n  (void)G();\n}\n")
+            proc = run_lint("--check-fixtures", scratch)
+            self.assertEqual(proc.returncode, 1, proc.stdout)
+            self.assertIn("good fixture tree must be clean", proc.stdout)
+
+
 class UsageTest(unittest.TestCase):
     def test_bad_root_exits_two(self):
         proc = run_lint("--root", "/nonexistent/tree")
+        self.assertEqual(proc.returncode, 2)
+
+    def test_missing_root_without_check_fixtures_exits_two(self):
+        proc = run_lint()
         self.assertEqual(proc.returncode, 2)
 
 
