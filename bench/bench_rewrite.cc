@@ -1,0 +1,277 @@
+// Experiment E10 — the rewrite canonicalizer vs the legacy inline path:
+// one revalidation-style workload (a premise set with the redundancy shapes
+// real mining loops accumulate: augmented copies of existing constraints,
+// non-minimal witness families, members overlapping their left-hand side,
+// and split same-lhs constraints) compiled two ways:
+//
+//   raw        — `PrepareOptions::use_rewriter = false`: the PR 5 inline
+//                canonicalization (drop trivial, minimize families, dedupe).
+//   simplified — the rule-driven simplifier at level 2 (DESIGN.md §14).
+//
+// The headline number is the artifact shrink attributable to the rewriter
+// beyond the inline path: member_reduction = 1 − members(simplified) /
+// members(raw). The acceptance bar is >= 10%, encoded in
+// bench/BENCH_E10.schema.json and checked in CI; repeated-query speedup on
+// the smaller artifact is reported alongside, and verdict agreement across
+// the two compilations is pinned. Results land in BENCH_E10.json.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/implication_engine.h"
+#include "rewrite/rewrite_rule.h"
+#include "rewrite/simplifier.h"
+#include "util/random.h"
+
+namespace diffc {
+namespace {
+
+DifferentialConstraint RandomConstraint(Rng& rng, int n, int members) {
+  ItemSet lhs(rng.RandomMask(n, 2.0 / n));
+  std::vector<ItemSet> family;
+  for (int i = 0; i < members; ++i) {
+    Mask m = rng.RandomMask(n, 3.0 / n);
+    if (m == 0) m = Mask{1} << rng.UniformInt(0, n - 1);
+    family.push_back(ItemSet(m));
+  }
+  return DifferentialConstraint(lhs, SetFamily(std::move(family)));
+}
+
+// The E10 workload: a base set plus the redundancy only the rewriter can
+// remove — the inline path keeps augmented (non-identical) copies and
+// split same-lhs constraints, so the differential is exactly the new
+// rules' contribution.
+void MakeWorkload(int n, ConstraintSet* premises,
+                  std::vector<DifferentialConstraint>* goals) {
+  Rng rng(20260809);
+  premises->clear();
+  const int kBase = 48;
+  for (int i = 0; i < kBase; ++i) premises->push_back(RandomConstraint(rng, n, 2));
+  // Augmented copies (wider lhs, same family): absorbed by their base.
+  for (int i = 0; i < 16; ++i) {
+    const DifferentialConstraint& p = (*premises)[static_cast<std::size_t>(i * 3 % kBase)];
+    premises->push_back(DifferentialConstraint(
+        p.lhs().Union(ItemSet(rng.RandomMask(n, 2.0 / n))), p.rhs()));
+  }
+  // Split same-lhs singleton constraints: merged into one via the union rule.
+  for (int i = 0; i < 12; ++i) {
+    ItemSet lhs(rng.RandomMask(n, 2.0 / n));
+    Mask a = rng.RandomMask(n, 2.0 / n) & ~lhs.bits();
+    Mask b = rng.RandomMask(n, 2.0 / n) & ~lhs.bits();
+    if (a == 0) a = Mask{1} << rng.UniformInt(0, n - 1);
+    if (b == 0) b = Mask{1} << rng.UniformInt(0, n - 1);
+    premises->push_back(DifferentialConstraint(lhs, SetFamily({ItemSet(a)})));
+    premises->push_back(DifferentialConstraint(lhs, SetFamily({ItemSet(b)})));
+  }
+  // Members overlapping their lhs: narrowed (items shrink, members stay).
+  for (int i = 0; i < 8; ++i) {
+    ItemSet lhs(rng.RandomMask(n, 3.0 / n));
+    Mask outside = rng.RandomMask(n, 2.0 / n) & ~lhs.bits();
+    if (outside == 0) outside = Mask{1} << rng.UniformInt(0, n - 1);
+    premises->push_back(DifferentialConstraint(
+        lhs, SetFamily({ItemSet(outside | (lhs.bits() & (lhs.bits() >> 1)))})));
+  }
+  // Non-minimal families and trivial constraints: both paths remove these,
+  // so they add canonicalization work without skewing the differential.
+  for (int i = 0; i < 8; ++i) {
+    const DifferentialConstraint& p = (*premises)[static_cast<std::size_t>(i * 5 % kBase)];
+    premises->push_back(DifferentialConstraint(
+        p.lhs(), p.rhs().WithMember(p.rhs().member(0).Union(ItemSet(rng.RandomMask(n, 0.3))))));
+  }
+  premises->push_back(DifferentialConstraint(ItemSet{0, 1}, SetFamily({ItemSet{1}})));
+
+  goals->clear();
+  const int kQueries = 400;
+  goals->reserve(kQueries);
+  for (int i = 0; i < kQueries; ++i) {
+    if (i % 4 != 3) {  // Mostly revalidation: augmented premises (implied).
+      const DifferentialConstraint& p = (*premises)[static_cast<std::size_t>(i % kBase)];
+      goals->push_back(DifferentialConstraint(
+          p.lhs().Union(ItemSet(rng.RandomMask(n, 2.0 / n))), p.rhs()));
+    } else {
+      goals->push_back(RandomConstraint(rng, n, 2));
+    }
+  }
+}
+
+double MeasureMs(const std::function<void()>& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+void RunRewriteExperiment() {
+  std::printf("=== E10: rewrite canonicalizer vs inline path "
+              "(n=16, planted redundancy, 400 queries) ===\n");
+  const int n = 16;
+  const int kTrials = 5;
+  ConstraintSet premises;
+  std::vector<DifferentialConstraint> goals;
+  MakeWorkload(n, &premises, &goals);
+
+  PrepareOptions raw_opts;
+  raw_opts.use_rewriter = false;
+  Result<std::shared_ptr<const PreparedPremises>> raw =
+      PreparedPremises::Build(n, premises, raw_opts);
+  Result<std::shared_ptr<const PreparedPremises>> simplified =
+      PreparedPremises::Build(n, premises);  // Rewriter at level 2.
+  if (!raw.ok() || !simplified.ok()) {
+    std::fprintf(stderr, "Build failed\n");
+    return;
+  }
+
+  const rewrite::RewriteCost raw_cost = rewrite::RewriteCost::Of((*raw)->constraints());
+  const rewrite::RewriteCost simplified_cost =
+      rewrite::RewriteCost::Of((*simplified)->constraints());
+  const double member_reduction =
+      raw_cost.members == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(simplified_cost.members) /
+                      static_cast<double>(raw_cost.members);
+  const double constraint_reduction =
+      raw_cost.constraints == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(simplified_cost.constraints) /
+                      static_cast<double>(raw_cost.constraints);
+  const double item_reduction =
+      raw_cost.member_items == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(simplified_cost.member_items) /
+                      static_cast<double>(raw_cost.member_items);
+
+  EngineOptions opts;
+  opts.num_threads = 1;
+  ImplicationEngine engine(opts);
+
+  // Warm the witness cache so both rows measure steady-state query cost on
+  // their artifact, not first-touch witness enumeration.
+  for (const DifferentialConstraint& g : goals) {
+    (void)engine.CheckOne(*raw, g);
+    (void)engine.CheckOne(*simplified, g);
+  }
+
+  bool verdicts_agree = true;
+  auto run_row = [&](const std::shared_ptr<const PreparedPremises>& artifact,
+                     std::vector<bool>* verdicts) {
+    double best = 1e100;
+    for (int t = 0; t < kTrials; ++t) {
+      std::vector<bool> got;
+      got.reserve(goals.size());
+      best = std::min(best, MeasureMs([&] {
+        for (const DifferentialConstraint& g : goals) {
+          EngineQueryResult r = engine.CheckOne(artifact, g);
+          got.push_back(r.status.ok() && r.outcome.implied);
+        }
+      }));
+      *verdicts = std::move(got);
+    }
+    return best;
+  };
+
+  std::vector<bool> raw_verdicts;
+  std::vector<bool> simplified_verdicts;
+  const double raw_ms = run_row(*raw, &raw_verdicts);
+  const double simplified_ms = run_row(*simplified, &simplified_verdicts);
+  verdicts_agree = raw_verdicts == simplified_verdicts;
+  const double query_speedup = simplified_ms > 0 ? raw_ms / simplified_ms : 0.0;
+
+  const PrepareStats& ss = (*simplified)->stats();
+  std::printf("%22s %12s %10s %10s\n", "", "constraints", "members", "items");
+  std::printf("%22s %12zu %10zu %10zu\n", "input",
+              rewrite::RewriteCost::Of(premises).constraints,
+              rewrite::RewriteCost::Of(premises).members,
+              rewrite::RewriteCost::Of(premises).member_items);
+  std::printf("%22s %12zu %10zu %10zu\n", "inline (raw)", raw_cost.constraints,
+              raw_cost.members, raw_cost.member_items);
+  std::printf("%22s %12zu %10zu %10zu\n", "rewriter (level 2)",
+              simplified_cost.constraints, simplified_cost.members,
+              simplified_cost.member_items);
+  std::printf("reduction vs inline: %.1f%% constraints, %.1f%% members, %.1f%% items\n",
+              100 * constraint_reduction, 100 * member_reduction, 100 * item_reduction);
+  std::printf("rewriter: %zu passes, %zu edits", ss.rewrite_passes, ss.rewrite_applied);
+  for (const auto& [rule, edits] : ss.rewrite_rule_applied) {
+    std::printf("  %s=%zu", rule.c_str(), edits);
+  }
+  std::printf("\nqueries: raw %.3fms, simplified %.3fms (%.2fx), verdicts %s\n\n",
+              raw_ms, simplified_ms, query_speedup, verdicts_agree ? "agree" : "DISAGREE");
+
+  // Machine-readable record, shape-checked against BENCH_E10.schema.json
+  // (which pins member_reduction >= 0.10 and verdicts_agree).
+  std::ofstream json("BENCH_E10.json");
+  json << "{\n";
+  json << "  \"experiment\": \"E10\",\n";
+  json << "  \"n\": " << n << ",\n";
+  json << "  \"input_constraints\": " << premises.size() << ",\n";
+  json << "  \"queries\": " << goals.size() << ",\n";
+  json << "  \"trials\": " << kTrials << ",\n";
+  json << "  \"raw\": {\"constraints\": " << raw_cost.constraints
+       << ", \"members\": " << raw_cost.members
+       << ", \"items\": " << raw_cost.member_items << "},\n";
+  json << "  \"simplified\": {\"constraints\": " << simplified_cost.constraints
+       << ", \"members\": " << simplified_cost.members
+       << ", \"items\": " << simplified_cost.member_items << "},\n";
+  json << "  \"member_reduction\": " << member_reduction << ",\n";
+  json << "  \"constraint_reduction\": " << constraint_reduction << ",\n";
+  json << "  \"item_reduction\": " << item_reduction << ",\n";
+  json << "  \"rewrite_passes\": " << ss.rewrite_passes << ",\n";
+  json << "  \"rewrite_applied\": " << ss.rewrite_applied << ",\n";
+  json << "  \"raw_ms\": " << raw_ms << ",\n";
+  json << "  \"simplified_ms\": " << simplified_ms << ",\n";
+  json << "  \"query_speedup\": " << query_speedup << ",\n";
+  json << "  \"verdicts_agree\": " << (verdicts_agree ? "true" : "false") << "\n";
+  json << "}\n";
+  std::printf("wrote BENCH_E10.json\n\n");
+}
+
+void BM_SimplifyWorkload(benchmark::State& state) {
+  const int n = 16;
+  ConstraintSet premises;
+  std::vector<DifferentialConstraint> goals;
+  MakeWorkload(n, &premises, &goals);
+  rewrite::SimplifyOptions opts;
+  opts.level = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rewrite::Simplify(n, premises, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(premises.size()));
+}
+BENCHMARK(BM_SimplifyWorkload)->Arg(1)->Arg(2);
+
+void BM_PrepareWithRewriter(benchmark::State& state) {
+  const int n = 16;
+  ConstraintSet premises;
+  std::vector<DifferentialConstraint> goals;
+  MakeWorkload(n, &premises, &goals);
+  PrepareOptions opts;
+  opts.use_rewriter = state.range(0) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PreparedPremises::Build(n, premises, opts));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PrepareWithRewriter)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace diffc
+
+int main(int argc, char** argv) {
+  // Fast path for CI schema validation: only the E10 table.
+  if (std::getenv("DIFFC_BENCH_E10_ONLY") != nullptr) {
+    diffc::RunRewriteExperiment();
+    return 0;
+  }
+  diffc::RunRewriteExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

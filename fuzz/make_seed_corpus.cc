@@ -158,6 +158,24 @@ int main(int argc, char** argv) {
   WriteText("http_head", "malformed", "NONSENSE\r\n\r\n");
   WriteText("http_head", "not_http", "\x16\x03\x01\x02\x00");  // TLS ClientHello prefix
 
+  // ---- rewrite: byte 0 picks n (2 + b % 7); then per constraint an lhs
+  // byte, a member-count byte (low 2 bits + 1), and the member bytes. Seeds
+  // plant one redundancy per rule so coverage starts with every rule firing.
+  WriteSeed("rewrite", "trivial",  // {A,B} -> {{A}} (member ⊆ lhs).
+            {2, 0b0011, 0, 0b0001});
+  WriteSeed("rewrite", "nested_members",  // A -> {{B}, {B,C}}: non-minimal.
+            {2, 0b0001, 1, 0b0010, 0b0110});
+  WriteSeed("rewrite", "lhs_overlap",  // {A,B} -> {{B,C}}: narrows to {{C}}.
+            {2, 0b0011, 0, 0b0110});
+  WriteSeed("rewrite", "augmented_pair",  // A -> {{C}} absorbs {A,B} -> {{C}}.
+            {2, 0b0001, 0, 0b0100, 0b0011, 0, 0b0100});
+  WriteSeed("rewrite", "same_lhs_pair",  // A -> {{B}}, A -> {{C}}: merges.
+            {2, 0b0001, 0, 0b0010, 0b0001, 0, 0b0100});
+  WriteSeed("rewrite", "empty_member",  // A -> {∅}: trivial via ∅ ⊆ U.
+            {2, 0b0001, 0, 0b0000});
+  WriteSeed("rewrite", "n8_mixed",  // n=8, wider masks, three constraints.
+            {6, 0x0f, 1, 0xf0, 0x3c, 0x81, 0, 0x42, 0x0f, 2, 0xf0, 0x3c, 0x81});
+
   // ---- text_parser: leading universe-size byte + constraint text.
   WriteText("text_parser", "basic", std::string(1, 4) + "A -> {B}; AB -> {C, BC}");
   WriteText("text_parser", "empty_family", std::string(1, 4) + "AB -> {}");

@@ -228,12 +228,22 @@ ImplicationEngine::ImplicationEngine(EngineOptions options)
   options_.num_threads = pool_.size();
 }
 
+// Maps the engine's simplify level onto premise-compilation options:
+// level 0 selects the legacy inline canonicalizer (the differential
+// reference), any higher level runs the rewrite simplifier at that level.
+static PrepareOptions PrepareOptionsFrom(const EngineOptions& o) {
+  PrepareOptions p;
+  p.use_rewriter = o.simplify_level > 0;
+  if (o.simplify_level > 0) p.simplify_level = o.simplify_level;
+  return p;
+}
+
 Result<std::shared_ptr<const PreparedPremises>> ImplicationEngine::Prepare(
     int n, const ConstraintSet& premises) const {
   if (options_.use_prepared_cache) {
-    return GlobalPreparedPremisesCache().Get(n, premises);
+    return GlobalPreparedPremisesCache().Get(n, premises, PrepareOptionsFrom(options_));
   }
-  return PreparedPremises::Build(n, premises);
+  return PreparedPremises::Build(n, premises, PrepareOptionsFrom(options_));
 }
 
 EngineQueryResult ImplicationEngine::RunQueryOnce(const PreparedPremises& prepared,
@@ -543,14 +553,16 @@ EngineQueryResult ImplicationEngine::CheckOne(int n, const ConstraintSet& premis
   std::shared_ptr<const PreparedPremises> prepared;
   if (options_.use_prepared_cache) {
     Result<std::shared_ptr<const PreparedPremises>> p =
-        GlobalPreparedPremisesCache().Get(n, premises, &from_cache);
+        GlobalPreparedPremisesCache().Get(n, premises, PrepareOptionsFrom(options_),
+                                          &from_cache);
     if (!p.ok()) {
       r.status = p.status();
       return r;
     }
     prepared = *std::move(p);
   } else {
-    Result<std::shared_ptr<const PreparedPremises>> p = PreparedPremises::Build(n, premises);
+    Result<std::shared_ptr<const PreparedPremises>> p =
+        PreparedPremises::Build(n, premises, PrepareOptionsFrom(options_));
     if (!p.ok()) {
       r.status = p.status();
       return r;
@@ -587,11 +599,13 @@ Result<BatchOutcome> ImplicationEngine::CheckBatch(
   std::shared_ptr<const PreparedPremises> prepared;
   if (options_.use_prepared_cache) {
     Result<std::shared_ptr<const PreparedPremises>> p =
-        GlobalPreparedPremisesCache().Get(n, premises, &from_cache);
+        GlobalPreparedPremisesCache().Get(n, premises, PrepareOptionsFrom(options_),
+                                          &from_cache);
     if (!p.ok()) return p.status();
     prepared = *std::move(p);
   } else {
-    Result<std::shared_ptr<const PreparedPremises>> p = PreparedPremises::Build(n, premises);
+    Result<std::shared_ptr<const PreparedPremises>> p =
+        PreparedPremises::Build(n, premises, PrepareOptionsFrom(options_));
     if (!p.ok()) return p.status();
     prepared = *std::move(p);
   }

@@ -3,6 +3,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "core/constraint.h"
 #include "core/implication.h"
@@ -10,17 +13,64 @@
 
 namespace diffc {
 
+/// How `PreparedPremises::Build` canonicalizes the premise set.
+struct PrepareOptions {
+  /// Canonicalize through the rule-driven rewrite simplifier
+  /// (`src/rewrite/`, DESIGN.md §14). When false the PR 5 inline path
+  /// (drop trivial, minimize right-hand families, sort + dedupe) runs
+  /// instead — kept as a differential reference, mirroring the
+  /// planner/ladder split.
+  bool use_rewriter = true;
+  /// `rewrite::SimplifyOptions::level` when the rewriter runs: 1 =
+  /// structural rules only, 2 = full rule set. Clamped to >= 1.
+  int simplify_level = 2;
+
+  friend bool operator==(const PrepareOptions& a, const PrepareOptions& b) {
+    return a.use_rewriter == b.use_rewriter && a.simplify_level == b.simplify_level;
+  }
+  friend bool operator!=(const PrepareOptions& a, const PrepareOptions& b) {
+    return !(a == b);
+  }
+};
+
 /// Per-artifact build counters of a `PreparedPremises` compilation.
 struct PrepareStats {
   /// Constraints in the input set / surviving canonicalization.
   std::size_t input_constraints = 0;
   std::size_t canonical_constraints = 0;
-  /// Trivial premises dropped (`L(X, Y) = ∅` constrains nothing).
+  /// Trivial premises dropped (`L(X, Y) = ∅` constrains nothing). On the
+  /// rewriter path this is the `drop-trivial` edit count.
   std::size_t dropped_trivial = 0;
-  /// Duplicates removed after sorting the canonical forms.
+  /// Inline path: duplicates removed after sorting the canonical forms.
+  /// Rewriter path: constraints dropped by `absorb-subsumed`, which
+  /// subsumes exact duplicates (DESIGN.md §14).
   std::size_t dropped_duplicates = 0;
-  /// Right-hand members removed by witness-family minimization.
+  /// Right-hand members removed by witness-family minimization
+  /// (`minimize-rhs` on the rewriter path).
   std::size_t minimized_members = 0;
+  /// Constraints removed by `merge-same-lhs` (rewriter path only).
+  std::size_t merged_constraints = 0;
+  /// Member items removed by `narrow-members` (rewriter path only).
+  std::size_t narrowed_items = 0;
+  /// True when the rule-driven simplifier canonicalized the set.
+  bool used_rewriter = false;
+  /// The level the rewriter ran at; 0 on the legacy inline path.
+  int simplify_level = 0;
+  /// Rewriter fixpoint passes / total rule edits (zero on the inline path).
+  std::size_t rewrite_passes = 0;
+  std::size_t rewrite_applied = 0;
+  /// The simplifier cost triple — (constraints, witness-family members,
+  /// total member sizes) — before and after canonicalization. Populated on
+  /// both paths, so artifact-shrink is comparable across them.
+  std::size_t cost_constraints_before = 0;
+  std::size_t cost_members_before = 0;
+  std::size_t cost_items_before = 0;
+  std::size_t cost_constraints_after = 0;
+  std::size_t cost_members_after = 0;
+  std::size_t cost_items_after = 0;
+  /// (rule name, edit count) per rule the rewriter ran, in application
+  /// order; empty on the inline path.
+  std::vector<std::pair<std::string, std::size_t>> rewrite_rule_applied;
   /// Size of the Proposition 5.4 premise translation.
   int translation_vars = 0;
   std::size_t translation_clauses = 0;
@@ -52,10 +102,16 @@ struct PrepareStats {
 /// read of state fixed at `Build` time.
 class PreparedPremises {
  public:
-  /// Compiles `premises` over an `n`-attribute universe. Returns
-  /// InvalidArgument for `n` outside [0, 64]; never fails otherwise.
+  /// Compiles `premises` over an `n`-attribute universe with default
+  /// options (rewrite simplifier at level 2). Returns InvalidArgument for
+  /// `n` outside [0, 64]; never fails otherwise.
   static Result<std::shared_ptr<const PreparedPremises>> Build(int n,
                                                                const ConstraintSet& premises);
+
+  /// As above, with explicit canonicalization options.
+  static Result<std::shared_ptr<const PreparedPremises>> Build(int n,
+                                                               const ConstraintSet& premises,
+                                                               const PrepareOptions& options);
 
   /// The universe size the artifact was compiled for.
   int n() const { return n_; }
@@ -78,10 +134,14 @@ class PreparedPremises {
   /// The build counters.
   const PrepareStats& stats() const { return stats_; }
 
+  /// The canonicalization options the artifact was built with.
+  const PrepareOptions& options() const { return options_; }
+
  private:
   PreparedPremises() = default;
 
   int n_ = 0;
+  PrepareOptions options_;
   std::uint64_t id_ = 0;
   ConstraintSet constraints_;
   PremiseTranslation translation_;

@@ -17,6 +17,7 @@
 #include "obs/exposition.h"
 #include "obs/metrics.h"
 #include "obs/trace_store.h"
+#include "rewrite/simplifier.h"
 #include "util/failpoint.h"
 
 namespace diffc::net {
@@ -1054,6 +1055,7 @@ std::string DiffcdServer::RenderStatusz() const {
   b += ", \"trace_sample_rate\": " + obs::FormatDouble(options_.trace_sample_rate);
   b += ", \"trace_store_capacity\": " + std::to_string(options_.trace_store_capacity);
   b += ", \"max_wire_version\": " + std::to_string(int{options_.max_wire_version});
+  b += ", \"simplify_level\": " + std::to_string(options_.engine.simplify_level);
   b += "}";
 
   // Admission: configured watermarks plus the live controller state.
@@ -1082,6 +1084,13 @@ std::string DiffcdServer::RenderStatusz() const {
   b += ", \"slow_query_log\": {\"capacity\": " + std::to_string(slow.capacity()) +
        ", \"total\": " + std::to_string(slow.total()) +
        ", \"dropped\": " + std::to_string(slow.dropped()) + "}";
+
+  // Rewrite-simplifier totals since start (DESIGN.md §14).
+  const rewrite::RewriteTotals rw = rewrite::GlobalRewriteTotals();
+  b += ", \"rewrite\": {\"simplify_calls\": " + std::to_string(rw.simplify_calls) +
+       ", \"passes\": " + std::to_string(rw.passes) +
+       ", \"applied\": " + std::to_string(rw.applied) +
+       ", \"constraints_removed\": " + std::to_string(rw.constraints_removed) + "}";
   b += "}";
   return b;
 }

@@ -1,0 +1,45 @@
+#include "rewrite/lc_check.h"
+
+#include <cstddef>
+
+#include "lattice/decomposition.h"
+
+namespace diffc {
+namespace rewrite {
+
+Result<std::vector<bool>> MaterializeLc(int n, const ConstraintSet& c) {
+  if (n < 0) return Status::InvalidArgument("universe size must be non-negative");
+  if (n > kMaxMaterializeN) {
+    return Status::ResourceExhausted("MaterializeLc enumerates 2^n subsets; n too large");
+  }
+  const Mask limit = Mask{1} << n;
+  std::vector<bool> in_lc(static_cast<std::size_t>(limit), false);
+  for (Mask m = 0; m < limit; ++m) {
+    const ItemSet u(m);
+    for (const DifferentialConstraint& dc : c) {
+      if (InDecomposition(n, dc.lhs(), dc.rhs(), u)) {
+        in_lc[static_cast<std::size_t>(m)] = true;
+        break;
+      }
+    }
+  }
+  return in_lc;
+}
+
+Result<bool> LcEquivalent(int n, const ConstraintSet& a, const ConstraintSet& b,
+                          ItemSet* witness) {
+  Result<std::vector<bool>> la = MaterializeLc(n, a);
+  if (!la.ok()) return la.status();
+  Result<std::vector<bool>> lb = MaterializeLc(n, b);
+  if (!lb.ok()) return lb.status();
+  for (std::size_t m = 0; m < la->size(); ++m) {
+    if ((*la)[m] != (*lb)[m]) {
+      if (witness != nullptr) *witness = ItemSet(static_cast<Mask>(m));
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace rewrite
+}  // namespace diffc

@@ -1,0 +1,33 @@
+#ifndef DIFFC_REWRITE_LC_CHECK_H_
+#define DIFFC_REWRITE_LC_CHECK_H_
+
+#include <vector>
+
+#include "core/constraint.h"
+#include "util/status.h"
+
+namespace diffc {
+namespace rewrite {
+
+/// The largest universe `MaterializeLc` will enumerate (2^20 subsets). The
+/// rule tester and fuzz harness stay well below this (n ≤ 10).
+inline constexpr int kMaxMaterializeN = 20;
+
+/// Materializes L(C) = ∪_c L(lhs(c), rhs(c)) as a bitmap indexed by subset
+/// mask over all 2^n subsets of an `n`-attribute universe. This is the
+/// ground truth the rewrite property tests compare against: two constraint
+/// sets with equal bitmaps yield identical verdicts for every implication
+/// query. Returns ResourceExhausted for n > kMaxMaterializeN and
+/// InvalidArgument for n < 0.
+Result<std::vector<bool>> MaterializeLc(int n, const ConstraintSet& c);
+
+/// True iff L(a) = L(b) on the `n`-attribute universe. On inequality,
+/// `witness` (when non-null) receives a subset in exactly one of the two
+/// lattices. Same guards as `MaterializeLc`.
+Result<bool> LcEquivalent(int n, const ConstraintSet& a, const ConstraintSet& b,
+                          ItemSet* witness = nullptr);
+
+}  // namespace rewrite
+}  // namespace diffc
+
+#endif  // DIFFC_REWRITE_LC_CHECK_H_

@@ -1,0 +1,68 @@
+#include "rewrite/rewrite_rule.h"
+
+#include <cassert>
+#include <cstring>
+#include <utility>
+
+namespace diffc {
+namespace rewrite {
+
+RewriteCost RewriteCost::Of(const ConstraintSet& c) {
+  RewriteCost cost;
+  cost.constraints = c.size();
+  for (const DifferentialConstraint& dc : c) {
+    cost.members += static_cast<std::size_t>(dc.rhs().size());
+    for (const ItemSet& y : dc.rhs().members()) {
+      cost.member_items += static_cast<std::size_t>(y.size());
+    }
+  }
+  return cost;
+}
+
+bool RewriteRule::Matches(int n, const ConstraintSet& c) const {
+  ConstraintSet copy = c;
+  return Apply(n, &copy) > 0;
+}
+
+RuleProbe Probe(const RewriteRule& rule, int n, const ConstraintSet& c) {
+  RuleProbe probe;
+  probe.before = RewriteCost::Of(c);
+  probe.result = c;
+  probe.edits = rule.Apply(n, &probe.result);
+  probe.after = RewriteCost::Of(probe.result);
+  return probe;
+}
+
+RewriteRuleRegistry& RewriteRuleRegistry::Instance() {
+  static RewriteRuleRegistry* registry = new RewriteRuleRegistry();
+  return *registry;
+}
+
+RewriteRuleRegistry& RewriteRuleRegistry::Global() {
+  // Referencing the anchor forces rules.cc out of the static library, so
+  // the builtin rules are registered before anyone reads the catalog.
+  (void)ForceLinkBuiltinRewriteRules();  // Link anchor; value unused.
+  return Instance();
+}
+
+const RewriteRule* RewriteRuleRegistry::Find(const std::string& name) const {
+  for (const RewriteRule* rule : rules_) {
+    if (name == rule->name()) return rule;
+  }
+  return nullptr;
+}
+
+bool RegisterRewriteRule(const char* rule_name, std::unique_ptr<RewriteRule> rule) {
+  assert(rule != nullptr);
+  assert(std::strcmp(rule_name, rule->name()) == 0 &&
+         "registration name must match RewriteRule::name()");
+  (void)rule_name;  // Only consumed by the assert in release builds.
+  RewriteRuleRegistry& registry = RewriteRuleRegistry::Instance();
+  assert(registry.Find(rule->name()) == nullptr && "duplicate rewrite rule name");
+  registry.rules_.push_back(rule.get());
+  registry.owned_.push_back(std::move(rule));
+  return true;
+}
+
+}  // namespace rewrite
+}  // namespace diffc

@@ -148,6 +148,48 @@ TEST(PlannerDifferentialTest, PlannerMatchesLadderUnderTinySolverBudget) {
   EXPECT_GT(exhausted, 0u);
 }
 
+TEST(PlannerDifferentialTest, SimplifiedMatchesRawOn500PlusInstances) {
+  // The rewrite canonicalizer (DESIGN.md §14) must be invisible to callers:
+  // running every instance with the full rule set (simplify level 2) and
+  // with the legacy inline path (level 0) must produce bit-for-bit equal
+  // verdicts, across both the planner and the ladder dispatch. Statuses
+  // must match too; counterexamples may legitimately differ (both engines
+  // pick a subset of L(goal) ∖ L(C), and the search order depends on the
+  // canonical form), so they are not compared here — their validity is
+  // pinned by the engine's own counterexample checks.
+  std::vector<Instance> instances = MakeInstances(20260809);
+  ASSERT_GE(instances.size(), 500u);
+
+  EngineOptions simplified_opts;  // Defaults: planner on, simplify level 2.
+  EngineOptions raw_opts;
+  raw_opts.simplify_level = 0;
+  EngineOptions ladder_simplified_opts = simplified_opts;
+  ladder_simplified_opts.use_planner = false;
+  EngineOptions ladder_raw_opts = raw_opts;
+  ladder_raw_opts.use_planner = false;
+  ImplicationEngine simplified_engine(simplified_opts);
+  ImplicationEngine raw_engine(raw_opts);
+  ImplicationEngine ladder_simplified_engine(ladder_simplified_opts);
+  ImplicationEngine ladder_raw_engine(ladder_raw_opts);
+
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const Instance& inst = instances[i];
+    EngineQueryResult s = simplified_engine.CheckOne(inst.n, inst.premises, inst.goal);
+    EngineQueryResult r = raw_engine.CheckOne(inst.n, inst.premises, inst.goal);
+    EngineQueryResult ls = ladder_simplified_engine.CheckOne(inst.n, inst.premises, inst.goal);
+    EngineQueryResult lr = ladder_raw_engine.CheckOne(inst.n, inst.premises, inst.goal);
+    ASSERT_TRUE(s.status.ok()) << "instance " << i << ": " << s.status.ToString();
+    ASSERT_TRUE(r.status.ok()) << "instance " << i << ": " << r.status.ToString();
+    ASSERT_TRUE(ls.status.ok()) << "instance " << i << ": " << ls.status.ToString();
+    ASSERT_TRUE(lr.status.ok()) << "instance " << i << ": " << lr.status.ToString();
+    EXPECT_EQ(s.outcome.verdict, r.outcome.verdict) << "instance " << i;
+    EXPECT_EQ(s.outcome.implied, r.outcome.implied) << "instance " << i;
+    EXPECT_EQ(ls.outcome.verdict, lr.outcome.verdict) << "ladder instance " << i;
+    EXPECT_EQ(ls.outcome.implied, lr.outcome.implied) << "ladder instance " << i;
+    EXPECT_EQ(s.outcome.verdict, ls.outcome.verdict) << "cross instance " << i;
+  }
+}
+
 TEST(PlannerDifferentialTest, PreparedBatchesMatchUnpreparedBatches) {
   Rng rng(7);
   ImplicationEngine engine;

@@ -141,8 +141,8 @@ TEST(PreparedPremisesTest, BuildStatsAreCoherent) {
   ASSERT_TRUE(built.ok());
   const PrepareStats& s = (*built)->stats();
   EXPECT_EQ(s.input_constraints, premises.size());
-  EXPECT_EQ(s.canonical_constraints,
-            s.input_constraints - s.dropped_trivial - s.dropped_duplicates);
+  EXPECT_EQ(s.canonical_constraints, s.input_constraints - s.dropped_trivial -
+                                         s.dropped_duplicates - s.merged_constraints);
   EXPECT_GE(s.translation_vars, n);
   EXPECT_GT(s.translation_clauses, 0u);
   EXPECT_GT(s.total_ns, 0u);

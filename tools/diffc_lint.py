@@ -74,6 +74,14 @@ layer honest:
                     failpoint-catalog: the set of harnesses a developer
                     can run must be complete in the docs. Silent when no
                     fuzz directory or no DESIGN.md exists.
+  rewrite-catalog   Every ``DIFFC_REGISTER_REWRITE_RULE("name", ...)``
+                    site is documented (backtick-quoted) in the DESIGN.md
+                    s14 rewrite-rule catalog AND exercised (quoted) in
+                    ``tests/test_rewrite.cc`` — an L(C) rewrite without a
+                    soundness argument in the docs or a seeded property
+                    test is a correctness hazard. Same two-level DESIGN.md
+                    lookup as failpoint-catalog; the test half is silent
+                    when no test_rewrite.cc exists (fixture subsets).
 
 Findings print as ``path:line: rule: message`` (or ``--format=json``).
 A committed baseline (``--baseline``) grandfathers known findings by
@@ -116,7 +124,7 @@ ALL_RULES = (
     "failpoint-catalog", "solver-atomic", "include-guard",
     "mutex-guarded-by", "naked-lock", "void-discard",
     "procedure-registry", "wire-registry", "wire-doc",
-    "decoder-discipline", "fuzzer-catalog",
+    "decoder-discipline", "fuzzer-catalog", "rewrite-catalog",
 )
 
 # The annotated wrapper itself legitimately holds a raw std::mutex member
@@ -175,6 +183,7 @@ WIRE_OPCODE_ENUM_RE = re.compile(
 )
 WIRE_OPCODE_RE = re.compile(r"\b(k\w+)\s*=\s*(0x[0-9A-Fa-f]+)")
 WIRE_MSG_STRUCT_RE = re.compile(r"\bstruct\s+(\w*Msg)\s*\{")
+REWRITE_REGISTER_RE = re.compile(r"\bDIFFC_REGISTER_REWRITE_RULE\s*\(\s*\"([^\"]+)\"")
 WIRE_FIELD_RE = re.compile(r"^\s*[A-Za-z_][\w:<>,\s]*[\s>]\s*(\w+)\s*(?:=[^;]*)?;")
 
 
@@ -608,6 +617,53 @@ def report_fuzzer_catalog(root, findings):
         )
 
 
+# ----------------------------------------------------------- rewrite catalog
+
+
+def scan_rewrite_rules(rel, text, rewrite_sites):
+    for m in REWRITE_REGISTER_RE.finditer(text):
+        rewrite_sites.setdefault(m.group(1), []).append(
+            (rel, line_of(text, m.start())))
+
+
+def load_rewrite_tests(root):
+    """The test_rewrite.cc text the catalog rule checks against, or None.
+
+    Same two-level lookup as ``load_failpoint_catalog``: the repo layout is
+    ``--root src`` with tests/ at the repo root. None keeps the test half
+    silent for trees without the suite (fixture subsets).
+    """
+    for candidate in (os.path.join(root, "tests", "test_rewrite.cc"),
+                      os.path.join(root, os.pardir, "tests", "test_rewrite.cc")):
+        if os.path.isfile(candidate):
+            with open(candidate, encoding="utf-8") as f:
+                return f.read()
+    return None
+
+
+def report_rewrite_catalog(root, rewrite_sites, findings):
+    catalog = load_failpoint_catalog(root)
+    if catalog is None:
+        return
+    tests = load_rewrite_tests(root)
+    for name, occurrences in sorted(rewrite_sites.items()):
+        file, line = occurrences[0]
+        if f"`{name}`" not in catalog:
+            findings.append(
+                Finding(file, line, "rewrite-catalog",
+                        f"rewrite rule '{name}' is not listed in the DESIGN.md "
+                        "rewrite-rule catalog (s14); every L(C) rewrite needs "
+                        "its soundness argument documented there")
+            )
+        if tests is not None and f'"{name}"' not in tests:
+            findings.append(
+                Finding(file, line, "rewrite-catalog",
+                        f"rewrite rule '{name}' is never exercised in "
+                        "tests/test_rewrite.cc; every registered rule must "
+                        "pass the seeded L(C)-equivalence rule tester")
+            )
+
+
 # ------------------------------------------------------------ solver loops
 
 
@@ -768,7 +824,7 @@ def scan_void_discards(rel, raw, findings):
 
 
 def lint_file(root, rel, registrations, failpoint_sites, procedures, wire,
-              wire_doc, findings):
+              wire_doc, rewrite_sites, findings):
     with open(os.path.join(root, rel), encoding="utf-8") as f:
         raw = f.read()
     no_comments, code_only = strip_comments(raw)
@@ -777,6 +833,7 @@ def lint_file(root, rel, registrations, failpoint_sites, procedures, wire,
     scan_procedure_registry(rel, no_comments, procedures)
     scan_wire_registry(rel, no_comments, wire)
     scan_wire_doc(rel, no_comments, wire_doc)
+    scan_rewrite_rules(rel, no_comments, rewrite_sites)
     if rel in SOLVER_LOOP_FILES:
         scan_solver_loops(rel, code_only, findings)
     if rel in DECODER_PATH_FILES:
@@ -795,6 +852,7 @@ def lint_tree(root):
     procedures = {"enums": [], "cases": {}, "registrations": {}}
     wire = {"enums": [], "cases": {}, "registrations": {}}
     wire_doc = {"opcodes": [], "fields": []}
+    rewrite_sites = {}
     rels = []
     for dirpath, _, filenames in os.walk(root):
         for name in sorted(filenames):
@@ -802,7 +860,7 @@ def lint_tree(root):
                 rels.append(os.path.relpath(os.path.join(dirpath, name), root))
     for rel in sorted(rels):
         lint_file(root, rel.replace(os.sep, "/"), registrations, failpoint_sites,
-                  procedures, wire, wire_doc, findings)
+                  procedures, wire, wire_doc, rewrite_sites, findings)
     report_procedure_registry(procedures, findings)
     report_wire_registry(wire, findings)
     report_wire_doc(root, wire_doc, findings)
@@ -813,6 +871,7 @@ def lint_tree(root):
     report_duplicates(failpoint_sites, "failpoint-dup", "fail point", findings)
     report_failpoint_catalog(root, failpoint_sites, findings)
     report_fuzzer_catalog(root, findings)
+    report_rewrite_catalog(root, rewrite_sites, findings)
     return findings
 
 

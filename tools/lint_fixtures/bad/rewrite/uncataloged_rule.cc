@@ -1,0 +1,6 @@
+// rewrite-catalog: both halves of the rule. "fixture-uncataloged" is
+// missing from the bad tree's DESIGN.md rewrite-rule catalog;
+// "fixture-untested" is cataloged there but never quoted in the bad
+// tree's tests/test_rewrite.cc companion.
+DIFFC_REGISTER_REWRITE_RULE("fixture-uncataloged", FixtureUncatalogedRule)
+DIFFC_REGISTER_REWRITE_RULE("fixture-untested", FixtureUntestedRule)

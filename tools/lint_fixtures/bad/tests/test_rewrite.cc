@@ -1,0 +1,5 @@
+// Companion rule-tester stub for rewrite/uncataloged_rule.cc. It quotes
+// only the first fixture rule name, so the catalog half of rewrite-catalog
+// fires for that one; the second name (cataloged in DESIGN.md but
+// deliberately absent here) trips the test-coverage half instead.
+const char* kFixtureTestedRule = "fixture-uncataloged";

@@ -1,0 +1,4 @@
+// rewrite-catalog accepted pattern: the registered name is backticked in
+// the good tree's DESIGN.md rewrite-rule catalog and quoted in its
+// tests/test_rewrite.cc.
+DIFFC_REGISTER_REWRITE_RULE("fixture-good-rule", FixtureGoodRule)
